@@ -1,0 +1,267 @@
+package flicker
+
+// Benchmark suite: one testing.B benchmark per table and figure of the
+// paper's evaluation (Section 7). Each benchmark runs the corresponding
+// experiment from internal/bench against the platform simulation and
+// reports the headline measurement as a custom metric in the paper's units
+// (simulated milliseconds / seconds / fractions), alongside the usual
+// real-time ns/op of the simulation itself.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// or, for the full side-by-side tables, run:
+//
+//	go run ./cmd/benchtables
+
+import (
+	"testing"
+
+	"flicker/internal/bench"
+)
+
+// report attaches each row of a reproduced table as a custom metric.
+func report(b *testing.B, t *bench.Table) {
+	b.Helper()
+	for _, r := range t.Rows {
+		name := sanitizeMetric(r.Label) + "_" + sanitizeMetric(firstWord(r.Unit))
+		b.ReportMetric(r.Measured, name)
+	}
+	if e := t.MaxRelError(); e > 0 {
+		b.ReportMetric(e*100, "max_rel_err_%")
+	}
+}
+
+func sanitizeMetric(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ', r == '-', r == ':', r == '@':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func firstWord(s string) string {
+	for i, r := range s {
+		if r == ' ' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// BenchmarkTable1RootkitBreakdown regenerates Table 1: the rootkit
+// detector's per-operation overhead and the 1.02 s end-to-end query.
+func BenchmarkTable1RootkitBreakdown(b *testing.B) {
+	var last *bench.Table
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Table1RootkitBreakdown()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	report(b, last)
+}
+
+// BenchmarkTable2SkinitVsSLBSize regenerates Table 2: SKINIT latency as a
+// function of SLB size (0/4/16/32/64 KB).
+func BenchmarkTable2SkinitVsSLBSize(b *testing.B) {
+	var last *bench.Table
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Table2SkinitVsSize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	report(b, last)
+}
+
+// BenchmarkTable3SystemImpact regenerates Table 3: the 7:22.6 kernel build
+// under periodic rootkit detection (full scale; the clock is simulated).
+func BenchmarkTable3SystemImpact(b *testing.B) {
+	var last *bench.Table
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Table3SystemImpact(1.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	report(b, last)
+}
+
+// BenchmarkTable4DistcompOverhead regenerates Table 4: per-session overhead
+// of the distributed-computing client at 1/2/4/8 s of application work.
+func BenchmarkTable4DistcompOverhead(b *testing.B) {
+	var last *bench.Table
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Table4DistcompOverhead()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	report(b, last)
+}
+
+// BenchmarkFig8EfficiencyCurve regenerates Figure 8: Flicker efficiency vs
+// user latency against 3/5/7-way replication.
+func BenchmarkFig8EfficiencyCurve(b *testing.B) {
+	var last *bench.Table
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Figure8Efficiency()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	report(b, last)
+}
+
+// BenchmarkFig9aSSHSetupPAL regenerates Figure 9a: the SSH setup PAL
+// breakdown (SKINIT, keygen, seal).
+func BenchmarkFig9aSSHSetupPAL(b *testing.B) {
+	var last *bench.Table
+	for i := 0; i < b.N; i++ {
+		t1, _, err := bench.Figure9SSH()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t1
+	}
+	report(b, last)
+}
+
+// BenchmarkFig9bSSHLoginPAL regenerates Figure 9b: the SSH login PAL
+// breakdown (SKINIT, unseal, decrypt).
+func BenchmarkFig9bSSHLoginPAL(b *testing.B) {
+	var last *bench.Table
+	for i := 0; i < b.N; i++ {
+		_, t2, err := bench.Figure9SSH()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t2
+	}
+	report(b, last)
+}
+
+// BenchmarkCASign regenerates Section 7.4.2: the CA's 906.2 ms certificate
+// signing session.
+func BenchmarkCASign(b *testing.B) {
+	var last *bench.Table
+	for i := 0; i < b.N; i++ {
+		t, err := bench.CASignLatency()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	report(b, last)
+}
+
+// BenchmarkRootkitEndToEnd isolates the Section 7.2 end-to-end number: one
+// remote detection query (≈1.02 s simulated).
+func BenchmarkRootkitEndToEnd(b *testing.B) {
+	BenchmarkTable1RootkitBreakdown(b)
+}
+
+// BenchmarkSkinitOptimized measures the Section 7.2 optimization: the
+// 4736-byte hash-and-extend stub cuts SKINIT from ~176 ms to ~14 ms.
+func BenchmarkSkinitOptimized(b *testing.B) {
+	prof := ProfileBroadcom()
+	var full, stub float64
+	for i := 0; i < b.N; i++ {
+		full = float64(prof.SkinitCost(64*1024-4)) / 1e6
+		stub = float64(prof.SkinitCost(4736)) / 1e6
+	}
+	b.ReportMetric(full, "skinit_64KB_ms")
+	b.ReportMetric(stub, "skinit_stub_ms")
+	b.ReportMetric(full-stub, "savings_ms")
+}
+
+// BenchmarkSec75BlockDevice regenerates the Section 7.5 experiment: file
+// copies interleaved with repeated 8.3 s sessions, zero I/O errors.
+func BenchmarkSec75BlockDevice(b *testing.B) {
+	var last *bench.Table
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Sec75BlockDeviceIntegrity(4<<20, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	report(b, last)
+}
+
+// BenchmarkAblationTPMProfiles compares Broadcom / Infineon / future-
+// hardware profiles across the session-critical operations.
+func BenchmarkAblationTPMProfiles(b *testing.B) {
+	var last *bench.Table
+	for i := 0; i < b.N; i++ {
+		t, err := bench.AblationTPMProfiles()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	report(b, last)
+}
+
+// BenchmarkAblationNextGen quantifies the [19] recommendations: hardware-
+// protected PAL context vs TPM sealed storage across hardware generations.
+func BenchmarkAblationNextGen(b *testing.B) {
+	var last *bench.Table
+	for i := 0; i < b.N; i++ {
+		t, err := bench.AblationNextGenSession()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	report(b, last)
+}
+
+// BenchmarkAblationMulticore compares classic (OS-suspending) sessions with
+// partitioned launches that keep the OS running on the other cores.
+func BenchmarkAblationMulticore(b *testing.B) {
+	var last *bench.Table
+	for i := 0; i < b.N; i++ {
+		t, err := bench.AblationMulticoreImpact()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	report(b, last)
+}
+
+// BenchmarkSessionRoundTrip measures the real-time cost of one simulated
+// hello-world Flicker session (the simulator's own speed, not the paper's).
+func BenchmarkSessionRoundTrip(b *testing.B) {
+	p, err := NewPlatform(Config{Seed: "bench-rt"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hello := &PALFunc{
+		PALName: "hello",
+		Binary:  DescriptorCode("hello", "1.0", nil, nil),
+		Fn: func(env *Env, input []byte) ([]byte, error) {
+			return []byte("Hello, world"), nil
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.RunSession(hello, SessionOptions{})
+		if err != nil || res.PALError != nil {
+			b.Fatalf("%v %v", err, res.PALError)
+		}
+	}
+}

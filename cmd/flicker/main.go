@@ -1,0 +1,196 @@
+// Command flicker is the developer CLI for the Flicker platform simulation.
+//
+// Subcommands:
+//
+//	flicker run      — run a demo PAL in a Flicker session and print the
+//	                   Figure 2 timeline and attestation values
+//	flicker modules  — print the PAL module inventory (Figure 6) and TCB sizes
+//	flicker extract  — extract a function and its dependency closure from Go
+//	                   source into a standalone PAL file (Section 5.2 tool)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"flicker"
+	"flicker/internal/extract"
+	"flicker/internal/pal"
+	"flicker/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		cmdRun(os.Args[2:])
+	case "modules":
+		cmdModules()
+	case "extract":
+		cmdExtract(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: flicker <run|modules|extract> [flags]")
+	os.Exit(2)
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	palName := fs.String("pal", "hello", "demo PAL: hello, echo, seal")
+	input := fs.String("input", "", "PAL input string")
+	profile := fs.String("profile", "broadcom", "latency profile: broadcom, infineon, future")
+	sandbox := fs.Bool("sandbox", false, "link the OS Protection module (ring-3 PAL)")
+	twoStage := fs.Bool("two-stage", false, "use the Section 7.2 optimized two-stage SLB")
+	fs.Parse(args)
+
+	var prof *flicker.Profile
+	switch *profile {
+	case "broadcom":
+		prof = flicker.ProfileBroadcom()
+	case "infineon":
+		prof = flicker.ProfileInfineon()
+	case "future":
+		prof = flicker.ProfileFuture()
+	default:
+		log.Fatalf("unknown profile %q", *profile)
+	}
+	p, err := flicker.NewPlatform(flicker.Config{Seed: "cli", Profile: prof})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var target flicker.PAL
+	switch *palName {
+	case "hello":
+		target = &flicker.PALFunc{
+			PALName: "hello",
+			Binary:  flicker.DescriptorCode("hello", "1.0", nil, nil),
+			Fn: func(env *flicker.Env, in []byte) ([]byte, error) {
+				return []byte("Hello, world"), nil
+			},
+		}
+	case "echo":
+		target = &flicker.PALFunc{
+			PALName: "echo",
+			Binary:  flicker.DescriptorCode("echo", "1.0", nil, nil),
+			Fn: func(env *flicker.Env, in []byte) ([]byte, error) {
+				return append([]byte("echo: "), in...), nil
+			},
+		}
+	case "seal":
+		target = &flicker.PALFunc{
+			PALName: "seal",
+			Binary:  flicker.DescriptorCode("seal", "1.0", []string{"TPM Driver", "TPM Utilities"}, nil),
+			Fn: func(env *flicker.Env, in []byte) ([]byte, error) {
+				blob, err := env.SealToSelf(in)
+				if err != nil {
+					return nil, err
+				}
+				back, err := env.Unseal(blob)
+				if err != nil {
+					return nil, err
+				}
+				return append([]byte("sealed+unsealed: "), back...), nil
+			},
+		}
+	default:
+		log.Fatalf("unknown PAL %q (want hello, echo, seal)", *palName)
+	}
+
+	nonce := flicker.SHA1Sum([]byte("cli-nonce"))
+	res, err := p.RunSession(target, flicker.SessionOptions{
+		Input:    []byte(*input),
+		Nonce:    &nonce,
+		Sandbox:  *sandbox,
+		TwoStage: *twoStage,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.PALError != nil {
+		log.Fatalf("PAL error: %v", res.PALError)
+	}
+	fmt.Printf("profile:  %s\n", prof.Name)
+	fmt.Printf("output:   %q\n", res.Outputs)
+	fmt.Printf("H(P):     %x\n", res.Measurement)
+	fmt.Printf("PCR17@0:  %x\n", res.PCR17AtLaunch)
+	fmt.Printf("PCR17@f:  %x\n", res.PCR17Final)
+	fmt.Println()
+	fmt.Print(trace.RenderTimeline(res, 48))
+	fmt.Println()
+	fmt.Print(trace.RenderCharges(p.Clock.ChargesSince(res.Start)))
+}
+
+func cmdModules() {
+	fmt.Println("PAL module library (Figure 6):")
+	fmt.Printf("  %-20s %6s %9s  %s\n", "module", "LoC", "size KB", "description")
+	for _, m := range flicker.ModuleInventory() {
+		mand := ""
+		if m.Mandatory {
+			mand = " (mandatory)"
+		}
+		fmt.Printf("  %-20s %6d %9.3f  %s%s\n", m.Name, m.LOC, m.SizeKB, m.Description, mand)
+	}
+	fmt.Println("\nTCB size for common configurations:")
+	for _, cfg := range [][]string{
+		nil,
+		{"OS Protection"},
+		{"TPM Driver", "TPM Utilities"},
+		{"TPM Driver", "TPM Utilities", "Crypto", "Memory Management", "Secure Channel"},
+	} {
+		loc, kb, err := pal.TCBSize(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "SLB Core only"
+		if len(cfg) > 0 {
+			label = "core + " + strings.Join(cfg, " + ")
+		}
+		fmt.Printf("  %-62s %5d LoC %8.3f KB\n", label, loc, kb)
+	}
+}
+
+func cmdExtract(args []string) {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	target := fs.String("target", "", "function to extract (required)")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	if *target == "" || fs.NArg() == 0 {
+		log.Fatal("usage: flicker extract -target <func> [-o out.go] <files...>")
+	}
+	src := make(map[string]string)
+	for _, f := range fs.Args() {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src[f] = string(b)
+	}
+	res, err := extract.Extract(src, *target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out == "" {
+		os.Stdout.Write(res.Source)
+	} else if err := os.WriteFile(*out, res.Source, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "extracted %d declarations: %s\n",
+		len(res.Included), strings.Join(res.Included, ", "))
+	if len(res.External) > 0 {
+		fmt.Fprintf(os.Stderr, "REPLACE OR ELIMINATE these external references (cf. printf/malloc in the paper):\n")
+		for _, e := range res.External {
+			fmt.Fprintf(os.Stderr, "  %s\n", e)
+		}
+	}
+}

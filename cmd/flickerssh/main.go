@@ -1,0 +1,185 @@
+// Command flickerssh runs the paper's SSH password-authentication protocol
+// (Section 6.3.1, Figure 7) over a real TCP connection: the server drives
+// the two Flicker sessions on its simulated platform; the client verifies
+// the setup attestation before encrypting the password under K_PAL.
+//
+// Server:  flickerssh -serve 127.0.0.1:9022
+// Client:  flickerssh -connect 127.0.0.1:9022 -user alice -password "..."
+//
+// The demo server is provisioned with user "alice", password
+// "correct horse battery staple".
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"flicker"
+	"flicker/internal/apps/sshauth"
+	"flicker/internal/tpm"
+)
+
+// Wire messages (gob-encoded, one request/response pair per connection).
+type request struct {
+	Kind       string // "setup" or "login"
+	Nonce      tpm.Digest
+	User       string
+	Ciphertext []byte
+}
+
+type response struct {
+	Kind string
+	// setup:
+	Setup *sshauth.SetupResult
+	// login handshake: the server's nonce for the password encryption.
+	ServerNonce tpm.Digest
+	// login result:
+	OK  bool
+	Err string
+}
+
+func main() {
+	log.SetFlags(0)
+	serve := flag.String("serve", "", "server mode: address to listen on")
+	connect := flag.String("connect", "", "client mode: server address")
+	user := flag.String("user", "alice", "client mode: user name")
+	password := flag.String("password", "", "client mode: password")
+	flag.Parse()
+	switch {
+	case *serve != "":
+		runServer(*serve)
+	case *connect != "":
+		runClient(*connect, *user, *password)
+	default:
+		log.Fatal("usage: flickerssh -serve addr | flickerssh -connect addr -user u -password p")
+	}
+}
+
+func runServer(addr string) {
+	p, err := flicker.NewPlatform(flicker.Config{Seed: "flickerssh"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ca, err := flicker.NewPrivacyCA([]byte("flickerssh-ca"), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tqd, err := flicker.NewQuoteDaemon(p.OSTPM(), flicker.Digest{}, ca, "flickerssh-server")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := sshauth.NewServer(p, tqd)
+	srv.AddUser("alice", "correct horse battery staple", "a1b2c3d4")
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("sshd: listening on %s (user alice provisioned)", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		go handle(conn, srv)
+	}
+}
+
+func handle(conn net.Conn, srv *sshauth.Server) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var req request
+	if err := dec.Decode(&req); err != nil {
+		log.Printf("sshd: bad request: %v", err)
+		return
+	}
+	var resp response
+	switch req.Kind {
+	case "setup":
+		sr, err := srv.Setup(req.Nonce)
+		if err != nil {
+			resp = response{Kind: "setup", Err: err.Error()}
+		} else {
+			resp = response{Kind: "setup", Setup: sr}
+		}
+	case "login-challenge":
+		resp = response{Kind: "login-challenge", ServerNonce: srv.FreshNonce()}
+	case "login":
+		err := srv.Login(req.User, req.Ciphertext, req.Nonce)
+		if err != nil {
+			resp = response{Kind: "login", OK: false, Err: err.Error()}
+		} else {
+			resp = response{Kind: "login", OK: true}
+		}
+	default:
+		resp = response{Err: "unknown request"}
+	}
+	if err := enc.Encode(&resp); err != nil {
+		log.Printf("sshd: encoding response: %v", err)
+	}
+}
+
+// roundTrip opens a connection, sends one request, reads one response.
+func roundTrip(addr string, req *request) (*response, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+		return nil, err
+	}
+	var resp response
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func runClient(addr, user, password string) {
+	// The client trusts the demo Privacy CA (same deterministic seed).
+	ca, err := flicker.NewPrivacyCA([]byte("flickerssh-ca"), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := sshauth.NewClient(ca.PublicKey(), []byte("flickerssh-client"))
+
+	// 1. Setup: challenge the server and verify the attestation on K_PAL.
+	nonce := client.FreshNonce()
+	resp, err := roundTrip(addr, &request{Kind: "setup", Nonce: nonce})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.Err != "" {
+		log.Fatalf("server setup failed: %s", resp.Err)
+	}
+	if err := client.TrustSetup(resp.Setup, nonce); err != nil {
+		log.Fatalf("REFUSING to send password: %v", err)
+	}
+	fmt.Printf("setup attestation verified; K_PAL is %d-bit and sealed to the login PAL\n",
+		resp.Setup.KPAL.N.BitLen())
+
+	// 2. Login: get the server nonce, encrypt {password, nonce}, submit.
+	resp, err = roundTrip(addr, &request{Kind: "login-challenge"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	serverNonce := resp.ServerNonce
+	ct, err := client.Encrypt(password, serverNonce)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err = roundTrip(addr, &request{Kind: "login", User: user, Ciphertext: ct, Nonce: serverNonce})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.OK {
+		fmt.Println("login GRANTED — the cleartext password existed only inside the login PAL")
+	} else {
+		fmt.Printf("login DENIED: %s\n", resp.Err)
+	}
+}

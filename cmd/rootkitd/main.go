@@ -1,0 +1,176 @@
+// Command rootkitd is the networked remote-rootkit-detection demo
+// (Section 6.1 deployed over a real TCP connection): the host side runs a
+// simulated Flicker platform and answers detection queries; the admin side
+// connects, challenges with a fresh nonce, verifies the attestation, and
+// compares the kernel hash against its known-good value.
+//
+// Host:   rootkitd -listen 127.0.0.1:9525 [-infect]
+// Admin:  rootkitd -query 127.0.0.1:9525
+//
+// Both sides boot the kernel from the same deterministic seed, which plays
+// the role of the admin's golden image of the fleet's kernel build.
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"flicker"
+	"flicker/internal/apps/rootkit"
+	"flicker/internal/core"
+	"flicker/internal/tpm"
+)
+
+// wire types exchanged over the TCP connection.
+type queryRequest struct {
+	Nonce   tpm.Digest
+	Regions [][2]uint32
+}
+
+type queryResponse struct {
+	Report *rootkit.Report
+	Err    string
+}
+
+// fleetSeed is the deterministic kernel build both sides know.
+const fleetSeed = "fleet-kernel-2.6.20"
+
+func bootFleetPlatform() (*core.Platform, error) {
+	p, err := flicker.NewPlatform(flicker.Config{Seed: fleetSeed, MemSize: 64 << 20})
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range []struct {
+		name string
+		size int
+	}{{"ext3", 96 * 1024}, {"e1000", 128 * 1024}, {"tpm_tis", 32 * 1024}} {
+		if _, err := p.Kernel.LoadModule(m.name, m.size); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	listen := flag.String("listen", "", "host mode: address to listen on")
+	query := flag.String("query", "", "admin mode: host address to query")
+	infect := flag.Bool("infect", false, "host mode: install a rootkit before serving")
+	flag.Parse()
+
+	switch {
+	case *listen != "":
+		runHost(*listen, *infect)
+	case *query != "":
+		runAdmin(*query)
+	default:
+		log.Fatal("usage: rootkitd -listen addr [-infect] | rootkitd -query addr")
+	}
+}
+
+func runHost(addr string, infect bool) {
+	p, err := bootFleetPlatform()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ca, err := flicker.NewPrivacyCA([]byte("fleet-privacy-ca"), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tqd, err := flicker.NewQuoteDaemon(p.OSTPM(), flicker.Digest{}, ca, "fleet-host")
+	if err != nil {
+		log.Fatal(err)
+	}
+	host := rootkit.NewHost(p, tqd)
+	if infect {
+		if err := p.Kernel.InstallRootkit("adore-ng", []int{2, 11, 39}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("host: rootkit installed (syscalls 2, 11, 39 hooked)")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("host: serving detection queries on %s", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		go serveOne(conn, host)
+	}
+}
+
+func serveOne(conn net.Conn, host *rootkit.Host) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var req queryRequest
+	if err := dec.Decode(&req); err != nil {
+		log.Printf("host: bad request: %v", err)
+		return
+	}
+	report, err := host.HandleQuery(req.Regions, req.Nonce)
+	resp := queryResponse{Report: report}
+	if err != nil {
+		resp.Err = err.Error()
+	}
+	if err := enc.Encode(&resp); err != nil {
+		log.Printf("host: sending response: %v", err)
+	}
+}
+
+func runAdmin(addr string) {
+	// The admin derives the known-good hash and the expected regions from
+	// its golden image.
+	golden, err := bootFleetPlatform()
+	if err != nil {
+		log.Fatal(err)
+	}
+	known, err := rootkit.KnownGoodFor(golden.Kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ca, err := flicker.NewPrivacyCA([]byte("fleet-privacy-ca"), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	admin := rootkit.NewAdmin(ca.PublicKey(), []byte("fleet-admin"))
+	admin.AddKnownGood(known)
+	regions := golden.Kernel.MeasurableRegions()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	nonce := flicker.SHA1Sum([]byte("admin-" + addr))
+	if err := gob.NewEncoder(conn).Encode(&queryRequest{Nonce: nonce, Regions: regions}); err != nil {
+		log.Fatal(err)
+	}
+	var resp queryResponse
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		log.Fatal(err)
+	}
+	if resp.Err != "" {
+		log.Fatalf("host returned error: %s", resp.Err)
+	}
+	out := admin.VerifyReport(resp.Report, nonce, regions)
+	fmt.Printf("attestation verified: %v\n", out.Verified)
+	fmt.Printf("kernel clean:         %v\n", out.Clean)
+	fmt.Printf("kernel digest:        %x\n", out.Digest)
+	if out.Err != nil {
+		fmt.Printf("verification error:   %v\n", out.Err)
+	}
+	if out.Verified && !out.Clean {
+		fmt.Println("VERDICT: host is compromised — deny VPN access")
+	} else if out.Verified {
+		fmt.Println("VERDICT: host kernel matches the golden image")
+	} else {
+		fmt.Println("VERDICT: host cannot be trusted (attestation failed)")
+	}
+}

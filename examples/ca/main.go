@@ -1,0 +1,70 @@
+// Command ca demonstrates the paper's Section 6.3.2 application: a
+// certificate authority whose private signing key is only ever available to
+// a tiny PAL inside a Flicker session. The issuance policy is part of the
+// PAL's measured identity, the certificate database lives in sealed
+// storage, and mis-issued certificates can be revoked without rolling the
+// CA key.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flicker"
+	"flicker/internal/apps/ca"
+	"flicker/internal/palcrypto"
+	"flicker/internal/simtime"
+)
+
+func main() {
+	p, err := flicker.NewPlatform(flicker.Config{Seed: "ca-demo"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy := &ca.Policy{AllowedSuffixes: []string{".corp.example"}, MaxCerts: 100}
+	authority := ca.NewAuthority(p, policy)
+
+	fmt.Println("== Flicker-enhanced Certificate Authority (Section 6.3.2) ==")
+	t0 := p.Clock.Now()
+	if err := authority.Init(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("keygen session: %.1f ms — %d-bit key generated and sealed under PCR 17\n\n",
+		simtime.Millis(p.Clock.Now()-t0), authority.PublicKey().N.BitLen())
+
+	csr := func(subject string) *ca.CSR {
+		key, _ := palcrypto.GenerateRSAKey(palcrypto.NewPRNG([]byte("req|"+subject)), 512)
+		return &ca.CSR{Subject: subject, PublicKey: palcrypto.MarshalPublicKey(&key.RSAPublicKey)}
+	}
+
+	sign := func(subject string) *ca.Certificate {
+		t0 := p.Clock.Now()
+		cert, err := authority.Sign(csr(subject))
+		ms := simtime.Millis(p.Clock.Now() - t0)
+		if err != nil {
+			fmt.Printf("CSR %-28s REJECTED (%.1f ms): %v\n", subject, ms, err)
+			return nil
+		}
+		fmt.Printf("CSR %-28s issued serial %d (%.1f ms)\n", subject, cert.Serial, ms)
+		return cert
+	}
+
+	mail := sign("mail.corp.example")
+	sign("vpn.corp.example")
+	sign("phishing.attacker.example") // policy rejects
+
+	fmt.Println()
+	if err := authority.Validate(mail); err != nil {
+		log.Fatalf("validation failed: %v", err)
+	}
+	fmt.Printf("certificate %d validates against the CA public key\n", mail.Serial)
+
+	// Mis-issued certificate: revoke it, no key rollover needed.
+	authority.Revoke(mail.Serial)
+	if err := authority.Validate(mail); err != nil {
+		fmt.Printf("after revocation: %v\n", err)
+	}
+	fmt.Println("\nEven with the server OS fully compromised, the signing key")
+	fmt.Println("was only ever readable inside the measured CA PAL; compromise")
+	fmt.Println("recovery is certificate revocation, not CA key rollover.")
+}

@@ -1,0 +1,106 @@
+// Command nextgen demonstrates the hardware extensions the paper
+// anticipates in its concurrent recommendations work ([19], discussed in
+// Section 7.5): multicore secure partitions that keep the OS running during
+// a session, a hardware-protected PAL context store that replaces TPM
+// sealed storage for checkpointing, and the resulting orders-of-magnitude
+// overhead reduction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"flicker"
+	"flicker/internal/apps/distcomp"
+	"flicker/internal/core"
+	"flicker/internal/simtime"
+)
+
+func main() {
+	fmt.Println("== Next-generation hardware extensions ([19]) ==")
+
+	// --- 1. The 2008 baseline: checkpoint sessions pay ~920 ms each ---
+	oldP, err := flicker.NewPlatform(flicker.Config{Seed: "nextgen-2008"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	oldOverhead := measureCheckpointOverhead(oldP, false)
+	fmt.Printf("2008 Broadcom platform, sealed-storage checkpoint: %8.3f ms/session\n",
+		simtime.Millis(oldOverhead))
+
+	// --- 2. Future hardware with the protected context store ---
+	newP, err := flicker.NewPlatform(flicker.Config{
+		Seed:    "nextgen-future",
+		Profile: flicker.ProfileFuture(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	newOverhead := measureCheckpointOverhead(newP, true)
+	fmt.Printf("future hardware, protected-context checkpoint:     %8.3f ms/session\n",
+		simtime.Millis(newOverhead))
+	fmt.Printf("end-to-end session speedup: %.0fx\n", float64(oldOverhead)/float64(newOverhead))
+	fmt.Printf("checkpoint primitive speedup (unseal -> ctx fetch): %.0fx\n\n",
+		float64(flicker.ProfileBroadcom().TPMUnseal)/float64(flicker.ProfileFuture().HWContextCost))
+
+	// --- 3. Multicore partitioned launch: the OS never stops ---
+	fmt.Println("-- partitioned launch: OS keeps working on the other core --")
+	work := 2 * time.Second
+	newP.Kernel.Spawn("background-build", work)
+	before := newP.Clock.Now()
+	hello := &flicker.PALFunc{
+		PALName: "partitioned-hello",
+		Binary:  flicker.DescriptorCode("partitioned-hello", "1.0", nil, nil),
+		Fn: func(env *flicker.Env, in []byte) ([]byte, error) {
+			env.ChargeCPU(simtime.Charge{Duration: work, Label: "app.work"})
+			return []byte("done"), nil
+		},
+	}
+	res, err := newP.RunSessionConcurrent(hello, flicker.SessionOptions{})
+	if err != nil || res.PALError != nil {
+		log.Fatalf("%v %v", err, res.PALError)
+	}
+	elapsed := newP.Clock.Now() - before
+	left := len(newP.Kernel.Processes())
+	fmt.Printf("2 s PAL session + 2 s of OS work finished in %.3f s of wall time\n",
+		elapsed.Seconds())
+	fmt.Printf("background processes still pending: %d (work overlapped the session)\n\n", left)
+
+	// On 2008 hardware the same request is refused.
+	if _, err := oldP.RunSessionConcurrent(hello, flicker.SessionOptions{}); err != nil {
+		fmt.Printf("2008 hardware refuses partitioned launch: %v\n", err)
+	}
+}
+
+// measureCheckpointOverhead runs an init + one minimal-work continuation
+// session of the factoring PAL and returns the continuation's fixed cost.
+func measureCheckpointOverhead(p *flicker.Platform, hwContext bool) time.Duration {
+	unit := distcomp.State{UnitID: 1, N: 15, Next: 2, Hi: 1 << 62}
+	initRes, err := p.RunSession(distcomp.NewFactorPAL(), core.SessionOptions{
+		Input: distcomp.EncodeRequest(&distcomp.Request{
+			Init: true, Unit: unit, UseHWContext: hwContext,
+		}),
+		TwoStage: true,
+	})
+	if err != nil || initRes.PALError != nil {
+		log.Fatalf("init session: %v %v", err, initRes.PALError)
+	}
+	resp, err := distcomp.DecodeResponse(initRes.Outputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	contRes, err := p.RunSession(distcomp.NewFactorPAL(), core.SessionOptions{
+		Input: distcomp.EncodeRequest(&distcomp.Request{
+			SealedKey:    resp.SealedKey,
+			Envelope:     resp.Envelope,
+			WorkBudget:   time.Millisecond,
+			UseHWContext: hwContext,
+		}),
+		TwoStage: true,
+	})
+	if err != nil || contRes.PALError != nil {
+		log.Fatalf("continuation session: %v %v", err, contRes.PALError)
+	}
+	return contRes.Duration() - time.Millisecond
+}

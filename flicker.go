@@ -1,0 +1,152 @@
+// Package flicker is a Go reproduction of "Flicker: An Execution
+// Infrastructure for TCB Minimization" (McCune, Parno, Perrig, Reiter,
+// Isozaki — EuroSys 2008).
+//
+// Flicker executes security-sensitive code (a Piece of Application Logic,
+// or PAL) in complete isolation from the OS, BIOS, devices and all other
+// software, using AMD SVM's SKINIT late launch and a v1.2 TPM, while adding
+// as few as 250 lines to the application's trusted computing base. This
+// package and its internal subpackages implement the whole system as a
+// deterministic platform simulation — the TPM, the SVM machine, the
+// untrusted kernel, the flicker-module, the SLB layout, the PAL module
+// library, attestation, and the paper's four applications — together with
+// a calibrated latency model that regenerates every table and figure of
+// the paper's evaluation.
+//
+// # Quick start
+//
+//	p, _ := flicker.NewPlatform(flicker.Config{})
+//	hello := &flicker.PALFunc{
+//		PALName: "hello",
+//		Binary:  flicker.DescriptorCode("hello", "1.0", nil, nil),
+//		Fn: func(env *flicker.Env, input []byte) ([]byte, error) {
+//			return []byte("Hello, world"), nil
+//		},
+//	}
+//	res, _ := p.RunSession(hello, flicker.SessionOptions{})
+//	fmt.Println(string(res.Outputs))
+//
+// See the examples directory for attestation, sealed storage, and the
+// rootkit-detector / distributed-computing / SSH / CA applications.
+package flicker
+
+import (
+	"flicker/internal/attest"
+	"flicker/internal/core"
+	"flicker/internal/pal"
+	"flicker/internal/palcrypto"
+	"flicker/internal/simtime"
+	"flicker/internal/slb"
+	"flicker/internal/tpm"
+)
+
+// Platform is a fully assembled simulated Flicker machine: TPM, CPU,
+// physical memory, untrusted kernel, and the flicker-module.
+type Platform = core.Platform
+
+// Config describes a platform to construct.
+type Config = core.PlatformConfig
+
+// NewPlatform boots a simulated platform.
+func NewPlatform(cfg Config) (*Platform, error) { return core.NewPlatform(cfg) }
+
+// PAL is a Piece of Application Logic: the unit of code Flicker isolates.
+type PAL = pal.PAL
+
+// PALFunc adapts a Go function to the PAL interface.
+type PALFunc = pal.Func
+
+// Env is the execution environment a PAL sees inside a session.
+type Env = pal.Env
+
+// SessionOptions configures one Flicker session (inputs, verifier nonce,
+// OS-protection sandbox, heap, two-stage measurement).
+type SessionOptions = core.SessionOptions
+
+// SessionResult describes a completed session: outputs, measurements,
+// PCR-17 values, and the Figure 2 timeline.
+type SessionResult = core.SessionResult
+
+// DescriptorCode builds a deterministic PAL code identity from a name,
+// version, module list, and embedded configuration.
+func DescriptorCode(name, version string, modules []string, config []byte) []byte {
+	return pal.DescriptorCode(name, version, modules, config)
+}
+
+// BuildImage builds the SLB image for a PAL (for computing expected
+// measurements on the verifier side).
+func BuildImage(p PAL, twoStage bool) (*SLBImage, error) { return core.BuildImage(p, twoStage) }
+
+// SLBImage is a built Secure Loader Block.
+type SLBImage = slb.Image
+
+// Digest is a TPM measurement digest (SHA-1).
+type Digest = tpm.Digest
+
+// Profile is a hardware latency profile.
+type Profile = simtime.Profile
+
+// Latency profiles from the paper's evaluation.
+var (
+	// ProfileBroadcom models the HP dc5750 test machine with its Broadcom
+	// BCM0102 TPM (the paper's primary numbers).
+	ProfileBroadcom = simtime.ProfileBroadcom
+	// ProfileInfineon models the faster Infineon TPM the paper cites.
+	ProfileInfineon = simtime.ProfileInfineon
+	// ProfileFuture models the hardware recommendations of the authors'
+	// concurrent work ("up to six orders of magnitude" faster).
+	ProfileFuture = simtime.ProfileFuture
+)
+
+// PrivacyCA certifies AIKs; remote verifiers trust its public key.
+type PrivacyCA = attest.PrivacyCA
+
+// NewPrivacyCA creates a Privacy CA (bits 0 = default key size).
+func NewPrivacyCA(seed []byte, bits int) (*PrivacyCA, error) {
+	return attest.NewPrivacyCA(seed, bits)
+}
+
+// QuoteDaemon is the tqd: the untrusted OS service that produces TPM quotes.
+type QuoteDaemon = attest.Daemon
+
+// NewQuoteDaemon generates and certifies an AIK for a platform and returns
+// its quote daemon. Use Platform.OSTPM() for the client.
+func NewQuoteDaemon(c *TPMClient, ownerAuth Digest, ca *PrivacyCA, platformID string) (*QuoteDaemon, error) {
+	return attest.NewDaemon(c, ownerAuth, ca, platformID)
+}
+
+// TPMClient is a TPM driver bound to a locality.
+type TPMClient = tpm.Client
+
+// Attestation is a quote over PCR 17 plus the AIK certificate.
+type Attestation = attest.Attestation
+
+// VerifySession is the remote party's end-to-end check: it recomputes the
+// expected final PCR-17 value for (image, input, output, nonce) and
+// verifies the attestation against it.
+func VerifySession(caPub *PublicKey, att *Attestation, nonce Digest, im *SLBImage, input, output []byte) error {
+	return attest.VerifySession(caPub, att, nonce, im, input, output)
+}
+
+// ExpectedFinalPCR17 recomputes the PCR-17 value after a session.
+func ExpectedFinalPCR17(im *SLBImage, input, output []byte, nonce *Digest) Digest {
+	return attest.ExpectedFinalPCR17(im, input, output, nonce)
+}
+
+// PublicKey is an RSA public key from the PAL crypto library.
+type PublicKey = palcrypto.RSAPublicKey
+
+// PrivateKey is an RSA private key from the PAL crypto library.
+type PrivateKey = palcrypto.RSAPrivateKey
+
+// SHA1Sum computes a SHA-1 digest with the PAL crypto library.
+func SHA1Sum(data []byte) Digest { return palcrypto.SHA1Sum(data) }
+
+// ModuleInventory reproduces Figure 6: the PAL module library with its
+// lines-of-code and size accounting.
+func ModuleInventory() []pal.ModuleInfo { return pal.ModuleInventory() }
+
+// TCBSize sums the TCB lines of code for a set of linked PAL modules.
+func TCBSize(modules []string) (loc int, sizeKB float64, err error) {
+	return pal.TCBSize(modules)
+}

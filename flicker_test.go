@@ -1,0 +1,213 @@
+package flicker
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// These tests exercise the public API end to end, the way a downstream user
+// of the library would.
+
+func newTestPlatform(t *testing.T, seed string) *Platform {
+	t.Helper()
+	p, err := NewPlatform(Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func echoPAL() PAL {
+	return &PALFunc{
+		PALName: "echo",
+		Binary:  DescriptorCode("echo", "1.0", nil, nil),
+		Fn: func(env *Env, input []byte) ([]byte, error) {
+			return append([]byte("echo:"), input...), nil
+		},
+	}
+}
+
+func TestPublicAPISessionAndAttestation(t *testing.T) {
+	p := newTestPlatform(t, "api-1")
+	ca, err := NewPrivacyCA([]byte("api-ca"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tqd, err := NewQuoteDaemon(p.OSTPM(), Digest{}, ca, "api-host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := SHA1Sum([]byte("api-nonce"))
+	res, err := p.RunSession(echoPAL(), SessionOptions{Input: []byte("ping"), Nonce: &nonce})
+	if err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+	if string(res.Outputs) != "echo:ping" {
+		t.Fatalf("outputs = %q", res.Outputs)
+	}
+	att, err := tqd.Quote(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := BuildImage(echoPAL(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := im.Patch(res.SLBBase); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySession(ca.PublicKey(), att, nonce, im, []byte("ping"), res.Outputs); err != nil {
+		t.Fatalf("attestation: %v", err)
+	}
+}
+
+// Property: for arbitrary inputs, the verifier's offline recomputation of
+// the final PCR-17 value always matches what the platform produced — the
+// attestation algebra is total over the input space.
+func TestSessionPCRAlgebraProperty(t *testing.T) {
+	p := newTestPlatform(t, "api-prop")
+	f := func(input []byte, nonceSeed []byte, useNonce bool) bool {
+		if len(input) > 2000 {
+			input = input[:2000]
+		}
+		var nonce *Digest
+		if useNonce {
+			n := SHA1Sum(nonceSeed)
+			nonce = &n
+		}
+		res, err := p.RunSession(echoPAL(), SessionOptions{Input: input, Nonce: nonce})
+		if err != nil || res.PALError != nil {
+			return false
+		}
+		im, err := BuildImage(echoPAL(), false)
+		if err != nil {
+			return false
+		}
+		if err := im.Patch(res.SLBBase); err != nil {
+			return false
+		}
+		return res.PCR17Final == ExpectedFinalPCR17(im, input, res.Outputs, nonce)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilesExposed(t *testing.T) {
+	b, i, fu := ProfileBroadcom(), ProfileInfineon(), ProfileFuture()
+	if !(fu.TPMQuote < i.TPMQuote && i.TPMQuote < b.TPMQuote) {
+		t.Fatal("profile ordering broken")
+	}
+	p, err := NewPlatform(Config{Seed: "api-inf", Profile: i})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunSession(echoPAL(), SessionOptions{})
+	if err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+}
+
+func TestModuleInventoryAndTCB(t *testing.T) {
+	inv := ModuleInventory()
+	if len(inv) != 7 {
+		t.Fatalf("inventory = %d modules", len(inv))
+	}
+	loc, _, err := TCBSize([]string{"OS Protection"})
+	if err != nil || loc != 99 {
+		t.Fatalf("TCB = %d (%v)", loc, err)
+	}
+}
+
+func TestFullApplicationStoryOnOnePlatform(t *testing.T) {
+	// One platform serves all four applications in sequence, sharing the
+	// TPM, the SLB region, and the quote daemon — the "server consolidation"
+	// picture of Figure 1.
+	p := newTestPlatform(t, "api-story")
+	ca, err := NewPrivacyCA([]byte("story-ca"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewQuoteDaemon(p.OSTPM(), Digest{}, ca, "story-host"); err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. A sealing PAL stores a secret for its future self.
+	var sealed []byte
+	sealer := &PALFunc{
+		PALName: "storage",
+		Binary:  DescriptorCode("storage", "1.0", []string{"TPM Driver", "TPM Utilities"}, nil),
+		Fn: func(env *Env, input []byte) ([]byte, error) {
+			if len(input) > 0 {
+				return env.Unseal(input)
+			}
+			blob, err := env.SealToSelf([]byte("long-term secret"))
+			sealed = blob
+			return []byte("stored"), err
+		},
+	}
+	if res, err := p.RunSession(sealer, SessionOptions{}); err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+
+	// 2. A different PAL runs in between (and cannot unseal the secret).
+	thief := &PALFunc{
+		PALName: "thief",
+		Binary:  DescriptorCode("thief", "1.0", nil, nil),
+		Fn: func(env *Env, input []byte) ([]byte, error) {
+			if _, err := env.Unseal(input); err == nil {
+				return nil, errors.New("unsealed someone else's secret")
+			}
+			return []byte("blocked"), nil
+		},
+	}
+	res, err := p.RunSession(thief, SessionOptions{Input: sealed})
+	if err != nil || res.PALError != nil {
+		t.Fatalf("isolation: %v %v", err, res.PALError)
+	}
+
+	// 3. The original PAL gets its secret back.
+	res, err = p.RunSession(sealer, SessionOptions{Input: sealed})
+	if err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+	if !bytes.Equal(res.Outputs, []byte("long-term secret")) {
+		t.Fatalf("recovered %q", res.Outputs)
+	}
+}
+
+func TestSandboxedPALViaPublicAPI(t *testing.T) {
+	p := newTestPlatform(t, "api-sbx")
+	probe := &PALFunc{
+		PALName: "probe",
+		Binary:  DescriptorCode("probe", "1.0", []string{"OS Protection"}, nil),
+		Fn: func(env *Env, input []byte) ([]byte, error) {
+			if !env.Sandboxed() {
+				return nil, errors.New("sandbox not active")
+			}
+			if _, err := env.ReadMem(0x100000, 16); err == nil {
+				return nil, errors.New("read kernel memory from the sandbox")
+			}
+			return []byte("confined"), nil
+		},
+	}
+	res, err := p.RunSession(probe, SessionOptions{Sandbox: true})
+	if err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+}
+
+func TestTwoStageViaPublicAPI(t *testing.T) {
+	p := newTestPlatform(t, "api-2s")
+	res, err := p.RunSession(echoPAL(), SessionOptions{Input: []byte("x"), TwoStage: true})
+	if err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+	im, _ := BuildImage(echoPAL(), true)
+	im.Patch(res.SLBBase)
+	if res.PCR17Final != ExpectedFinalPCR17(im, []byte("x"), res.Outputs, nil) {
+		t.Fatal("two-stage algebra mismatch via public API")
+	}
+}

@@ -1,0 +1,3 @@
+module flicker
+
+go 1.22

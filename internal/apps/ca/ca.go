@@ -1,0 +1,382 @@
+// Package ca implements the paper's Flicker-enhanced Certificate Authority
+// (Section 6.3.2): "only a tiny piece of code ever has access to the CA's
+// private signing key. Thus, the key will remain secure, even if all of the
+// other software on the machine is compromised."
+//
+// One PAL session generates the 1024-bit signing keypair from TPM
+// randomness and seals the private key under PCR 17. The second session
+// takes a certificate signing request, unseals the key and the certificate
+// database, applies the administrator's access-control policy, and — if
+// approved — signs the certificate, updates and reseals the database, and
+// outputs the signed certificate.
+package ca
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"flicker/internal/pal"
+	"flicker/internal/palcrypto"
+	"flicker/internal/sealed"
+	"flicker/internal/simtime"
+)
+
+// KeyBits is the CA signing key size (1024 in the paper).
+const KeyBits = 1024
+
+// Policy is the access-control policy on certificate creation, embedded in
+// the PAL's measured identity so a verifier knows exactly which policy
+// gated issuance.
+type Policy struct {
+	// AllowedSuffixes lists subject suffixes the CA will sign (e.g.
+	// ".internal.example.com"). Empty means sign nothing.
+	AllowedSuffixes []string
+	// MaxCerts caps total issuance (0 = unlimited).
+	MaxCerts int
+	// ReplayNVIndex, when non-zero, stores the certificate database with
+	// the replay-protected sealed storage of Section 4.3.2: a PCR-gated NV
+	// counter at this index defeats database-rollback attacks (stale
+	// sealed DBs are rejected, so serials can never repeat). The index is
+	// part of the measured policy. The counter space must be defined with
+	// sealed.DefineCounter before Init.
+	ReplayNVIndex uint32
+}
+
+// Encode canonicalizes the policy for inclusion in the PAL descriptor.
+func (p *Policy) Encode() []byte {
+	return []byte(fmt.Sprintf("suffixes=%q;max=%d;nv=%d", p.AllowedSuffixes, p.MaxCerts, p.ReplayNVIndex))
+}
+
+// Allows applies the policy to a subject.
+func (p *Policy) Allows(subject string, issuedSoFar int) bool {
+	if p.MaxCerts > 0 && issuedSoFar >= p.MaxCerts {
+		return false
+	}
+	for _, suf := range p.AllowedSuffixes {
+		if strings.HasSuffix(subject, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// CSR is a certificate signing request.
+type CSR struct {
+	Subject   string
+	PublicKey []byte // marshaled RSA public key of the requester
+}
+
+// Certificate is an issued certificate.
+type Certificate struct {
+	Serial    uint64
+	Subject   string
+	PublicKey []byte
+	Issuer    string
+	Signature []byte // CA signature over the TBS bytes
+}
+
+// tbs returns the to-be-signed byte string.
+func tbs(serial uint64, subject string, pub []byte, issuer string) []byte {
+	out := []byte("FLICKER-CERT|")
+	out = binary.BigEndian.AppendUint64(out, serial)
+	out = append(out, subject...)
+	out = append(out, 0)
+	out = append(out, pub...)
+	out = append(out, 0)
+	return append(out, issuer...)
+}
+
+// VerifyCertificate checks a certificate against the CA public key.
+func VerifyCertificate(caPub *palcrypto.RSAPublicKey, c *Certificate) error {
+	if c == nil {
+		return errors.New("ca: nil certificate")
+	}
+	body := tbs(c.Serial, c.Subject, c.PublicKey, c.Issuer)
+	if err := palcrypto.VerifyPKCS1SHA1(caPub, body, c.Signature); err != nil {
+		return fmt.Errorf("ca: certificate signature invalid: %w", err)
+	}
+	return nil
+}
+
+// EncodeCertificate / DecodeCertificate move certificates across the PAL
+// boundary.
+func EncodeCertificate(c *Certificate) []byte {
+	var out []byte
+	out = binary.BigEndian.AppendUint64(out, c.Serial)
+	for _, f := range [][]byte{[]byte(c.Subject), c.PublicKey, []byte(c.Issuer), c.Signature} {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(f)))
+		out = append(out, f...)
+	}
+	return out
+}
+
+// DecodeCertificate parses EncodeCertificate output.
+func DecodeCertificate(b []byte) (*Certificate, error) {
+	if len(b) < 8 {
+		return nil, errors.New("ca: truncated certificate")
+	}
+	c := &Certificate{Serial: binary.BigEndian.Uint64(b)}
+	b = b[8:]
+	fields := make([][]byte, 4)
+	for i := range fields {
+		if len(b) < 4 {
+			return nil, errors.New("ca: truncated certificate field")
+		}
+		n := binary.BigEndian.Uint32(b)
+		if int(n) > len(b)-4 {
+			return nil, errors.New("ca: certificate field overflow")
+		}
+		fields[i] = append([]byte(nil), b[4:4+n]...)
+		b = b[4+n:]
+	}
+	c.Subject = string(fields[0])
+	c.PublicKey = fields[1]
+	c.Issuer = string(fields[2])
+	c.Signature = fields[3]
+	return c, nil
+}
+
+// database is the CA's sealed state: the private key, serial counter, and
+// issuance log.
+type database struct {
+	priv    []byte // marshaled private key
+	serial  uint64
+	entries []dbEntry
+}
+
+type dbEntry struct {
+	serial  uint64
+	subject string
+}
+
+func (d *database) encode() []byte {
+	var out []byte
+	out = binary.BigEndian.AppendUint32(out, uint32(len(d.priv)))
+	out = append(out, d.priv...)
+	out = binary.BigEndian.AppendUint64(out, d.serial)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(d.entries)))
+	for _, e := range d.entries {
+		out = binary.BigEndian.AppendUint64(out, e.serial)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(e.subject)))
+		out = append(out, e.subject...)
+	}
+	return out
+}
+
+func decodeDatabase(b []byte) (*database, error) {
+	if len(b) < 4 {
+		return nil, errors.New("ca: truncated database")
+	}
+	n := binary.BigEndian.Uint32(b)
+	if int(n) > len(b)-4 {
+		return nil, errors.New("ca: database key overflow")
+	}
+	d := &database{priv: append([]byte(nil), b[4:4+n]...)}
+	b = b[4+n:]
+	if len(b) < 12 {
+		return nil, errors.New("ca: truncated database header")
+	}
+	d.serial = binary.BigEndian.Uint64(b)
+	cnt := binary.BigEndian.Uint32(b[8:])
+	b = b[12:]
+	for i := 0; i < int(cnt); i++ {
+		if len(b) < 12 {
+			return nil, errors.New("ca: truncated database entry")
+		}
+		e := dbEntry{serial: binary.BigEndian.Uint64(b)}
+		sn := binary.BigEndian.Uint32(b[8:])
+		if int(sn) > len(b)-12 {
+			return nil, errors.New("ca: database entry overflow")
+		}
+		e.subject = string(b[12 : 12+sn])
+		b = b[12+sn:]
+		d.entries = append(d.entries, e)
+	}
+	return d, nil
+}
+
+// Modes for the CA PAL.
+const (
+	modeKeygen byte = 1
+	modeSign   byte = 2
+)
+
+// IssuerName identifies this CA in issued certificates.
+const IssuerName = "flicker-ca"
+
+// NewCAPAL builds the CA PAL for a given policy. The policy bytes are part
+// of the measured identity: changing the policy changes the PAL, and hence
+// the PCR-17 value every sealed blob is bound to.
+func NewCAPAL(policy *Policy) pal.PAL {
+	pol := *policy
+	return &pal.Func{
+		PALName: "flicker-ca",
+		Binary: pal.DescriptorCode("flicker-ca", "1.0",
+			[]string{"TPM Driver", "TPM Utilities", "Crypto", "Memory Management", "Secure Channel"},
+			policy.Encode()),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			return runCA(env, &pol, input)
+		},
+	}
+}
+
+// EncodeKeygen builds the keygen-mode input.
+func EncodeKeygen() []byte { return []byte{modeKeygen} }
+
+// EncodeSign builds the sign-mode input: sealed DB + CSR.
+func EncodeSign(sealedDB []byte, csr *CSR) []byte {
+	out := []byte{modeSign}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(sealedDB)))
+	out = append(out, sealedDB...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(csr.Subject)))
+	out = append(out, csr.Subject...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(csr.PublicKey)))
+	out = append(out, csr.PublicKey...)
+	return out
+}
+
+func runCA(env *pal.Env, policy *Policy, input []byte) ([]byte, error) {
+	if len(input) < 1 {
+		return nil, errors.New("ca: empty input")
+	}
+	switch input[0] {
+	case modeKeygen:
+		env.ChargeCPU(simtime.Charge{Duration: env.Profile().RSAKeyGen1024, Label: "cpu.keygen"})
+		key, err := palcrypto.GenerateRSAKey(env.RNG(), KeyBits)
+		if err != nil {
+			return nil, err
+		}
+		db := &database{priv: palcrypto.MarshalPrivateKey(key), serial: 1}
+		sealedDB, err := sealDB(env, policy, db.encode())
+		if err != nil {
+			return nil, err
+		}
+		pub := palcrypto.MarshalPublicKey(&key.RSAPublicKey)
+		var out []byte
+		out = binary.BigEndian.AppendUint32(out, uint32(len(pub)))
+		out = append(out, pub...)
+		out = append(out, sealedDB...)
+		return out, nil
+
+	case modeSign:
+		b := input[1:]
+		take := func() ([]byte, error) {
+			if len(b) < 4 {
+				return nil, errors.New("ca: truncated sign input")
+			}
+			n := binary.BigEndian.Uint32(b)
+			if int(n) > len(b)-4 {
+				return nil, errors.New("ca: sign input overflow")
+			}
+			f := b[4 : 4+n]
+			b = b[4+n:]
+			return f, nil
+		}
+		sealedDB, err := take()
+		if err != nil {
+			return nil, err
+		}
+		subject, err := take()
+		if err != nil {
+			return nil, err
+		}
+		csrPub, err := take()
+		if err != nil {
+			return nil, err
+		}
+		raw, err := unsealDB(env, policy, sealedDB)
+		if err != nil {
+			return nil, fmt.Errorf("ca: unsealing database: %w", err)
+		}
+		db, err := decodeDatabase(raw)
+		if err != nil {
+			return nil, err
+		}
+		if !policy.Allows(string(subject), len(db.entries)) {
+			return nil, fmt.Errorf("ca: policy rejects subject %q", subject)
+		}
+		key, err := palcrypto.UnmarshalPrivateKey(db.priv)
+		if err != nil {
+			return nil, err
+		}
+		cert := &Certificate{
+			Serial:    db.serial,
+			Subject:   string(subject),
+			PublicKey: append([]byte(nil), csrPub...),
+			Issuer:    IssuerName,
+		}
+		env.ChargeCPU(simtime.Charge{Duration: env.Profile().RSASign1024, Label: "cpu.rsasign"})
+		sig, err := palcrypto.SignPKCS1SHA1(key, tbs(cert.Serial, cert.Subject, cert.PublicKey, cert.Issuer))
+		if err != nil {
+			return nil, err
+		}
+		cert.Signature = sig
+		db.serial++
+		db.entries = append(db.entries, dbEntry{serial: cert.Serial, subject: cert.Subject})
+		newSealed, err := sealDB(env, policy, db.encode())
+		if err != nil {
+			return nil, err
+		}
+		certBytes := EncodeCertificate(cert)
+		var out []byte
+		out = binary.BigEndian.AppendUint32(out, uint32(len(certBytes)))
+		out = append(out, certBytes...)
+		out = append(out, newSealed...)
+		return out, nil
+
+	default:
+		return nil, fmt.Errorf("ca: unknown mode %d", input[0])
+	}
+}
+
+// DecodeKeygenOutput splits the keygen output into (public key, sealed DB).
+func DecodeKeygenOutput(out []byte) (*palcrypto.RSAPublicKey, []byte, error) {
+	if len(out) < 4 {
+		return nil, nil, errors.New("ca: truncated keygen output")
+	}
+	n := binary.BigEndian.Uint32(out)
+	if int(n) > len(out)-4 {
+		return nil, nil, errors.New("ca: keygen output overflow")
+	}
+	pub, err := palcrypto.UnmarshalPublicKey(out[4 : 4+n])
+	if err != nil {
+		return nil, nil, err
+	}
+	return pub, append([]byte(nil), out[4+n:]...), nil
+}
+
+// DecodeSignOutput splits the sign output into (certificate, new sealed DB).
+func DecodeSignOutput(out []byte) (*Certificate, []byte, error) {
+	if len(out) < 4 {
+		return nil, nil, errors.New("ca: truncated sign output")
+	}
+	n := binary.BigEndian.Uint32(out)
+	if int(n) > len(out)-4 {
+		return nil, nil, errors.New("ca: sign output overflow")
+	}
+	cert, err := DecodeCertificate(out[4 : 4+n])
+	if err != nil {
+		return nil, nil, err
+	}
+	return cert, append([]byte(nil), out[4+n:]...), nil
+}
+
+// sealDB seals the CA database, with Figure 4 replay protection when the
+// policy names an NV counter index.
+func sealDB(env *pal.Env, policy *Policy, data []byte) ([]byte, error) {
+	if policy.ReplayNVIndex != 0 {
+		return sealed.Seal(env, policy.ReplayNVIndex, data)
+	}
+	return env.SealToSelf(data)
+}
+
+// unsealDB is the matching open path; stale databases fail with
+// sealed.ErrReplay under a replay-protected policy.
+func unsealDB(env *pal.Env, policy *Policy, blob []byte) ([]byte, error) {
+	if policy.ReplayNVIndex != 0 {
+		return sealed.Unseal(env, policy.ReplayNVIndex, blob)
+	}
+	return env.Unseal(blob)
+}

@@ -1,0 +1,153 @@
+package distcomp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"flicker/internal/attest"
+	"flicker/internal/core"
+	"flicker/internal/tpm"
+)
+
+// Client is a Flicker-enabled BOINC client: it runs its assigned unit in a
+// series of Flicker sessions, yielding to the OS between them ("an
+// application may prefer to break up a long work segment into multiple
+// Flicker sessions to allow the rest of the system time to operate,
+// essentially multitasking with the OS").
+type Client struct {
+	P   *core.Platform
+	TQD *attest.Daemon
+	// Slice is the application work budget per session (Table 4's
+	// "Application Work" parameter).
+	Slice time.Duration
+	// BetweenSessions, if set, runs while the OS has control between
+	// sessions (e.g. p.Kernel.Run to let other processes make progress).
+	BetweenSessions func()
+}
+
+// ProcessUnit runs one unit to completion and returns the proof-carrying
+// result for the server.
+func (c *Client) ProcessUnit(unit State, nonce tpm.Digest) (*UnitResult, error) {
+	if c.Slice <= 0 {
+		return nil, errors.New("distcomp: non-positive work slice")
+	}
+	palImpl := NewFactorPAL()
+	sessions := 0
+	runOnce := func(req *Request) (*Response, []byte, []byte, uint32, error) {
+		in := EncodeRequest(req)
+		res, err := c.P.RunSession(palImpl, core.SessionOptions{
+			Input:    in,
+			Nonce:    &nonce,
+			TwoStage: true, // the paper uses the SKINIT optimization here
+		})
+		if err != nil {
+			return nil, nil, nil, 0, err
+		}
+		if res.PALError != nil {
+			return nil, nil, nil, 0, fmt.Errorf("distcomp: PAL: %w", res.PALError)
+		}
+		sessions++
+		resp, err := DecodeResponse(res.Outputs)
+		return resp, in, res.Outputs, res.SLBBase, err
+	}
+
+	// Init session: key generation + first checkpoint.
+	resp, lastIn, lastOut, slbBase, err := runOnce(&Request{Init: true, Unit: unit})
+	if err != nil {
+		return nil, err
+	}
+	for !resp.Done {
+		if c.BetweenSessions != nil {
+			c.BetweenSessions()
+		}
+		resp, lastIn, lastOut, slbBase, err = runOnce(&Request{
+			SealedKey:  resp.SealedKey,
+			Envelope:   resp.Envelope,
+			WorkBudget: c.Slice,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	att, err := c.TQD.Quote(nonce)
+	if err != nil {
+		return nil, err
+	}
+	return &UnitResult{
+		UnitID:      unit.UnitID,
+		LastInput:   lastIn,
+		LastOutput:  lastOut,
+		SLBBase:     slbBase,
+		Attestation: att,
+		Sessions:    sessions,
+	}, nil
+}
+
+// SessionOverhead returns the fixed per-session cost of the factoring PAL
+// under the given profile: SKINIT over the optimized stub plus the
+// dominant TPM Unseal (Table 4's "SKINIT" and "Unseal" rows).
+func SessionOverhead(p *core.Platform) time.Duration {
+	im, err := core.BuildImage(NewFactorPAL(), true)
+	if err != nil {
+		return 0
+	}
+	return p.Profile.SkinitCost(im.MeasuredLen()) + p.Profile.TPMUnseal
+}
+
+// FlickerEfficiency is Figure 8's y-axis for the Flicker curve: the useful
+// fraction of a session of total length userLatency whose fixed overhead is
+// overhead. Negative values clamp to zero (sessions shorter than the
+// overhead do no useful work).
+func FlickerEfficiency(userLatency, overhead time.Duration) float64 {
+	if userLatency <= 0 {
+		return 0
+	}
+	e := float64(userLatency-overhead) / float64(userLatency)
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// ReplicationEfficiency is Figure 8's y-axis for k-way replication: every
+// unit is computed k times, so at most 1/k of the fleet's cycles are
+// useful, independent of latency.
+func ReplicationEfficiency(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return 1 / float64(k)
+}
+
+// ReplicateUnit is the baseline the paper compares against: run the same
+// unit on k untrusted clients with no Flicker protection and accept the
+// majority result. It returns the agreed divisors and the total CPU time
+// consumed across replicas (k times the single-client work).
+func ReplicateUnit(unit State, k int, tamper func(replica int, found []uint64) []uint64) ([]uint64, time.Duration) {
+	votes := make(map[string]int)
+	results := make(map[string][]uint64)
+	var total time.Duration
+	for r := 0; r < k; r++ {
+		var found []uint64
+		for d := unit.Next; d < unit.Hi; d++ {
+			if d > 1 && unit.N%d == 0 {
+				found = append(found, d)
+			}
+		}
+		total += time.Duration(unit.Hi-unit.Next) * CostPerCandidate
+		if tamper != nil {
+			found = tamper(r, found)
+		}
+		key := fmt.Sprint(found)
+		votes[key]++
+		results[key] = found
+	}
+	bestKey, best := "", 0
+	for k2, v := range votes {
+		if v > best {
+			best, bestKey = v, k2
+		}
+	}
+	return results[bestKey], total
+}

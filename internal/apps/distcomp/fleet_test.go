@@ -1,0 +1,95 @@
+package distcomp
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"flicker/internal/attest"
+	"flicker/internal/core"
+	"flicker/internal/tpm"
+)
+
+// TestFleetOfClients runs a whole BOINC project: one server, several
+// independent client platforms (each with its own TPM, kernel and AIK),
+// all contributing attested units toward factoring one number — including
+// one fully compromised client whose forged result the server rejects
+// while still accepting its honest work.
+func TestFleetOfClients(t *testing.T) {
+	ca, err := attest.NewPrivacyCA([]byte("fleet-ca"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1234577 * 2 * 3 has small divisors spread over the range.
+	const n = 1234577 * 6
+	srv := NewServer(n, 60000, 15000, ca.PublicKey())
+
+	var clients []*Client
+	for i := 0; i < 4; i++ {
+		p, err := core.NewPlatform(core.PlatformConfig{Seed: fmt.Sprintf("fleet-%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tqd, err := attest.NewDaemon(p.OSTPM(), tpm.Digest{}, ca, fmt.Sprintf("volunteer-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, &Client{P: p, TQD: tqd, Slice: 100 * time.Millisecond})
+	}
+
+	// Round-robin the units over the fleet; client 2 is malicious and
+	// tampers with every result before submitting.
+	i := 0
+	tampered, accepted := 0, 0
+	retry := []State{}
+	retryNonce := []tpm.Digest{}
+	for {
+		unit, nonce, ok := srv.NextUnit()
+		if !ok {
+			break
+		}
+		c := clients[i%len(clients)]
+		i++
+		res, err := c.ProcessUnit(unit, nonce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%len(clients) == 3 { // the malicious client
+			res.LastOutput = append([]byte(nil), res.LastOutput...)
+			res.LastOutput[len(res.LastOutput)-1] ^= 0xFF
+			if err := srv.Submit(res); err == nil {
+				t.Fatal("tampered fleet result accepted")
+			}
+			tampered++
+			retry = append(retry, unit)
+			retryNonce = append(retryNonce, nonce)
+			continue
+		}
+		if err := srv.Submit(res); err != nil {
+			t.Fatal(err)
+		}
+		accepted++
+	}
+	// Honest clients re-run the rejected units (the server's recovery).
+	for j, unit := range retry {
+		res, err := clients[0].ProcessUnit(unit, retryNonce[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Submit(res); err != nil {
+			t.Fatal(err)
+		}
+		accepted++
+	}
+	if tampered == 0 {
+		t.Fatal("fixture never exercised the malicious client")
+	}
+	acc, rej := srv.Stats()
+	if acc != accepted || rej != tampered {
+		t.Fatalf("stats = %d/%d, want %d/%d", acc, rej, accepted, tampered)
+	}
+	if got := srv.Divisors(); !reflect.DeepEqual(got, []uint64{2, 3, 6}) {
+		t.Fatalf("fleet divisors = %v, want [2 3 6]", got)
+	}
+}

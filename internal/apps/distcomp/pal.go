@@ -1,0 +1,271 @@
+package distcomp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"flicker/internal/pal"
+	"flicker/internal/simtime"
+)
+
+// CostPerCandidate is the simulated CPU cost of one trial division. The
+// paper's client "performs division on 1,500,000 possible factors" in a
+// multi-second session (Section 7.5), putting a candidate at a handful of
+// microseconds on the 2.2 GHz test machine.
+const CostPerCandidate = 5 * time.Microsecond
+
+// Request is the input to the factoring PAL for one session.
+type Request struct {
+	// Init starts a fresh unit: generate + seal the session key.
+	Init bool
+	// Unit is the work assignment (Init only).
+	Unit State
+	// SealedKey is the sealed 160-bit HMAC key (non-Init sessions).
+	SealedKey []byte
+	// Envelope is the MAC'd checkpoint from the previous session.
+	Envelope []byte
+	// WorkBudget caps this session's application work; the PAL yields
+	// afterwards so the OS can multitask (Section 6.2: "it periodically
+	// returns control to the untrusted OS").
+	WorkBudget time.Duration
+	// UseHWContext checkpoints state in the next-generation hardware's
+	// protected context store instead of TPM sealed storage, eliminating
+	// the per-session Unseal (the [19] extension). Requires a profile with
+	// HWContextProtection.
+	UseHWContext bool
+}
+
+// Response is the PAL's output.
+type Response struct {
+	SealedKey []byte
+	Envelope  []byte
+	Done      bool
+}
+
+// EncodeRequest flattens a request for the input page.
+func EncodeRequest(r *Request) []byte {
+	var out []byte
+	flags := byte(0)
+	if r.Init {
+		flags |= 1
+	}
+	if r.UseHWContext {
+		flags |= 2
+	}
+	out = append(out, flags)
+	out = binary.BigEndian.AppendUint64(out, uint64(r.WorkBudget))
+	st := r.Unit.Encode()
+	out = binary.BigEndian.AppendUint32(out, uint32(len(st)))
+	out = append(out, st...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(r.SealedKey)))
+	out = append(out, r.SealedKey...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(r.Envelope)))
+	out = append(out, r.Envelope...)
+	return out
+}
+
+// DecodeRequest parses EncodeRequest output.
+func DecodeRequest(b []byte) (*Request, error) {
+	if len(b) < 9 {
+		return nil, errors.New("distcomp: truncated request")
+	}
+	r := &Request{
+		Init:         b[0]&1 != 0,
+		UseHWContext: b[0]&2 != 0,
+		WorkBudget:   time.Duration(binary.BigEndian.Uint64(b[1:])),
+	}
+	b = b[9:]
+	take := func() ([]byte, error) {
+		if len(b) < 4 {
+			return nil, errors.New("distcomp: truncated request field")
+		}
+		n := binary.BigEndian.Uint32(b)
+		if int(n) > len(b)-4 {
+			return nil, errors.New("distcomp: request field overflow")
+		}
+		f := b[4 : 4+n]
+		b = b[4+n:]
+		return f, nil
+	}
+	st, err := take()
+	if err != nil {
+		return nil, err
+	}
+	if len(st) > 0 {
+		s, err := DecodeState(st)
+		if err != nil {
+			return nil, err
+		}
+		r.Unit = *s
+	}
+	if r.SealedKey, err = take(); err != nil {
+		return nil, err
+	}
+	if r.Envelope, err = take(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// EncodeResponse flattens a response for the output page.
+func EncodeResponse(r *Response) []byte {
+	var out []byte
+	if r.Done {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(r.SealedKey)))
+	out = append(out, r.SealedKey...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(r.Envelope)))
+	out = append(out, r.Envelope...)
+	return out
+}
+
+// DecodeResponse parses EncodeResponse output.
+func DecodeResponse(b []byte) (*Response, error) {
+	if len(b) < 1 {
+		return nil, errors.New("distcomp: truncated response")
+	}
+	r := &Response{Done: b[0] == 1}
+	b = b[1:]
+	take := func() ([]byte, error) {
+		if len(b) < 4 {
+			return nil, errors.New("distcomp: truncated response field")
+		}
+		n := binary.BigEndian.Uint32(b)
+		if int(n) > len(b)-4 {
+			return nil, errors.New("distcomp: response field overflow")
+		}
+		f := append([]byte(nil), b[4:4+n]...)
+		b = b[4+n:]
+		return f, nil
+	}
+	var err error
+	if r.SealedKey, err = take(); err != nil {
+		return nil, err
+	}
+	if r.Envelope, err = take(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// palVersion pins the factoring PAL's measured identity.
+const palVersion = "1.0-boinc-factor"
+
+// NewFactorPAL builds the BOINC factoring PAL.
+func NewFactorPAL() pal.PAL {
+	return &pal.Func{
+		PALName: "boinc-factor",
+		Binary: pal.DescriptorCode("boinc-factor", palVersion,
+			[]string{"TPM Driver", "TPM Utilities", "Crypto"}, nil),
+		Fn: runFactor,
+	}
+}
+
+func runFactor(env *pal.Env, input []byte) ([]byte, error) {
+	req, err := DecodeRequest(input)
+	if err != nil {
+		return nil, err
+	}
+	if req.UseHWContext {
+		return runFactorHWContext(env, req)
+	}
+	if req.Init {
+		// "the very first invocation of the BOINC PAL generates a 160-bit
+		// symmetric key based on randomness obtained from the TPM and uses
+		// the TPM to seal the key so that no other code can access it."
+		key, err := env.TPM.GetRandom(20)
+		if err != nil {
+			return nil, err
+		}
+		sealedKey, err := env.SealToSelf(key)
+		if err != nil {
+			return nil, err
+		}
+		st := req.Unit
+		resp := &Response{
+			SealedKey: sealedKey,
+			Envelope:  Wrap(key, &st).EncodeEnvelope(),
+			Done:      st.Done(),
+		}
+		return EncodeResponse(resp), nil
+	}
+
+	// Continuation: unseal the key and verify the checkpoint MAC.
+	key, err := env.Unseal(req.SealedKey)
+	if err != nil {
+		return nil, fmt.Errorf("distcomp: unsealing session key: %w", err)
+	}
+	envlp, err := DecodeEnvelope(req.Envelope)
+	if err != nil {
+		return nil, err
+	}
+	st, err := Open(key, envlp)
+	if err != nil {
+		return nil, err
+	}
+
+	// Application work: trial division within the time budget.
+	candidates := uint64(req.WorkBudget / CostPerCandidate)
+	worked := uint64(0)
+	for st.Next < st.Hi && worked < candidates {
+		st.Step()
+		worked++
+	}
+	env.ChargeCPU(simtime.Charge{
+		Duration: time.Duration(worked) * CostPerCandidate,
+		Label:    "app.work",
+	})
+
+	resp := &Response{
+		SealedKey: req.SealedKey,
+		Envelope:  Wrap(key, st).EncodeEnvelope(),
+		Done:      st.Done(),
+	}
+	return EncodeResponse(resp), nil
+}
+
+// runFactorHWContext is the [19]-extension flow: state checkpoints live in
+// the hardware-protected context store, keyed by the PAL identity, so no
+// per-session TPM Unseal is needed. The MAC chain is unnecessary — the
+// store itself is integrity- and secrecy-protected by the CPU.
+func runFactorHWContext(env *pal.Env, req *Request) ([]byte, error) {
+	if !env.HWContextAvailable() {
+		return nil, fmt.Errorf("distcomp: hardware context store unavailable on this platform")
+	}
+	var st *State
+	if req.Init {
+		s := req.Unit
+		st = &s
+	} else {
+		raw, err := env.FetchContext()
+		if err != nil {
+			return nil, err
+		}
+		var err2 error
+		st, err2 = DecodeState(raw)
+		if err2 != nil {
+			return nil, err2
+		}
+		candidates := uint64(req.WorkBudget / CostPerCandidate)
+		worked := uint64(0)
+		for st.Next < st.Hi && worked < candidates {
+			st.Step()
+			worked++
+		}
+		env.ChargeCPU(simtime.Charge{
+			Duration: time.Duration(worked) * CostPerCandidate,
+			Label:    "app.work",
+		})
+	}
+	if err := env.StashContext(st.Encode()); err != nil {
+		return nil, err
+	}
+	// The envelope carries the cleartext state for the host to inspect;
+	// its integrity is still proven by the session's output extend.
+	return EncodeResponse(&Response{Envelope: st.Encode(), Done: st.Done()}), nil
+}

@@ -1,0 +1,163 @@
+package distcomp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"flicker/internal/attest"
+	"flicker/internal/core"
+	"flicker/internal/palcrypto"
+	"flicker/internal/tpm"
+)
+
+// Server is the BOINC-style project server: it hands out work units and
+// accepts results. With Flicker clients it verifies one attestation per
+// unit instead of replicating the unit across machines ("The server then
+// has a high degree of confidence in the results and need not waste
+// computation on redundant work units").
+type Server struct {
+	mu     sync.Mutex
+	app    AppID
+	n      uint64
+	chunk  uint64
+	nextLo uint64
+	limit  uint64
+
+	caPub     *palcrypto.RSAPublicKey
+	nonceSeed []byte
+	nonceCtr  uint64
+	issued    map[uint64]tpm.Digest // unitID -> nonce
+
+	divisors map[uint64]bool
+	accepted int
+	rejected int
+}
+
+// NewServer creates a server factoring n over candidate range [2, limit),
+// split into units of the given chunk size.
+func NewServer(n, limit, chunk uint64, caPub *palcrypto.RSAPublicKey) *Server {
+	if limit > n {
+		limit = n
+	}
+	return &Server{
+		n: n, chunk: chunk, nextLo: 2, limit: limit, app: AppFactor,
+		caPub:     caPub,
+		nonceSeed: []byte("distcomp-server"),
+		issued:    make(map[uint64]tpm.Digest),
+		divisors:  make(map[uint64]bool),
+	}
+}
+
+// NextUnit issues the next work unit and its freshness nonce.
+func (s *Server) NextUnit() (State, tpm.Digest, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.nextLo >= s.limit {
+		return State{}, tpm.Digest{}, false
+	}
+	lo := s.nextLo
+	hi := lo + s.chunk
+	if hi > s.limit {
+		hi = s.limit
+	}
+	s.nextLo = hi
+	s.nonceCtr++
+	id := s.nonceCtr
+	nonce := palcrypto.SHA1Sum(append(s.nonceSeed,
+		byte(id), byte(id>>8), byte(id>>16), byte(id>>24)))
+	s.issued[id] = nonce
+	return State{UnitID: id, App: s.app, N: s.n, Next: lo, Hi: hi}, nonce, true
+}
+
+// SetApp switches the project's application (the same framework serves
+// factoring, prime counting, and any other AppID).
+func (s *Server) SetApp(app AppID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.app = app
+}
+
+// UnitResult is a Flicker client's completed unit with its proof.
+type UnitResult struct {
+	UnitID uint64
+	// LastInput and LastOutput are the final session's raw parameters.
+	LastInput  []byte
+	LastOutput []byte
+	// SLBBase is where the client's flicker-module loads SLBs.
+	SLBBase uint32
+	// Attestation covers the final session's PCR 17.
+	Attestation *attest.Attestation
+	// Sessions counts the Flicker sessions the unit took.
+	Sessions int
+}
+
+// Submit verifies a unit result and, if the attestation proves the genuine
+// factoring PAL produced it, accepts its divisors.
+func (s *Server) Submit(res *UnitResult) error {
+	s.mu.Lock()
+	nonce, ok := s.issued[res.UnitID]
+	s.mu.Unlock()
+	if !ok {
+		return errors.New("distcomp: unknown unit")
+	}
+	im, err := core.BuildImage(NewFactorPAL(), true)
+	if err != nil {
+		return err
+	}
+	if err := im.Patch(res.SLBBase); err != nil {
+		return err
+	}
+	if err := attest.VerifySession(s.caPub, res.Attestation, nonce, im, res.LastInput, res.LastOutput); err != nil {
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
+		return fmt.Errorf("distcomp: result rejected: %w", err)
+	}
+	// The attested output is trustworthy; parse the final state out of it.
+	resp, err := DecodeResponse(res.LastOutput)
+	if err != nil {
+		return err
+	}
+	if !resp.Done {
+		return errors.New("distcomp: final session did not complete the unit")
+	}
+	env, err := DecodeEnvelope(resp.Envelope)
+	if err != nil {
+		return err
+	}
+	// The MAC key stays inside the PAL; the server trusts the state bytes
+	// because the attestation covers the whole output.
+	st, err := DecodeState(env.State)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, d := range st.Found {
+		s.divisors[d] = true
+	}
+	s.accepted++
+	delete(s.issued, res.UnitID)
+	return nil
+}
+
+// Divisors returns all accepted divisors in ascending order.
+func (s *Server) Divisors() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, 0, len(s.divisors))
+	for d := range s.divisors {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats reports accepted/rejected unit counts.
+func (s *Server) Stats() (accepted, rejected int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.accepted, s.rejected
+}

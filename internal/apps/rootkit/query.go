@@ -1,0 +1,161 @@
+package rootkit
+
+import (
+	"errors"
+	"fmt"
+
+	"flicker/internal/attest"
+	"flicker/internal/core"
+	"flicker/internal/kernel"
+	"flicker/internal/netsim"
+	"flicker/internal/palcrypto"
+	"flicker/internal/tpm"
+)
+
+// Host is the challenged machine: the platform running the untrusted OS,
+// the tqd, and the detector PAL. This mirrors the deployment where "a
+// corporation may wish to verify that employee laptops have not been
+// compromised before allowing them to connect to the corporate VPN".
+type Host struct {
+	Platform *core.Platform
+	TQD      *attest.Daemon
+	detector *detectorHandle
+}
+
+type detectorHandle struct {
+	p core.SessionOptions
+}
+
+// NewHost prepares a host for detection queries.
+func NewHost(p *core.Platform, tqd *attest.Daemon) *Host {
+	return &Host{Platform: p, TQD: tqd}
+}
+
+// Report is the host's answer to one detection query.
+type Report struct {
+	// Digest is the aggregate kernel hash the detector PAL computed.
+	Digest tpm.Digest
+	// SLBBase is where the SLB was loaded (the verifier needs it to
+	// recompute the patched measurement).
+	SLBBase uint32
+	// Attestation covers PCR 17.
+	Attestation *attest.Attestation
+}
+
+// HandleQuery runs the detector over the given regions with the verifier's
+// nonce and returns the report. The untrusted OS orchestrates all of this;
+// none of it is trusted — the attestation is.
+func (h *Host) HandleQuery(regions [][2]uint32, nonce tpm.Digest) (*Report, error) {
+	res, err := h.Platform.RunSession(NewDetectorPAL(), core.SessionOptions{
+		Input: EncodeRegions(regions),
+		Nonce: &nonce,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rootkit: session: %w", err)
+	}
+	if res.PALError != nil {
+		return nil, fmt.Errorf("rootkit: detector: %w", res.PALError)
+	}
+	att, err := h.TQD.Quote(nonce)
+	if err != nil {
+		return nil, err
+	}
+	var d tpm.Digest
+	copy(d[:], res.Outputs)
+	return &Report{Digest: d, SLBBase: res.SLBBase, Attestation: att}, nil
+}
+
+// Admin is the remote administrator: it knows the Privacy CA, the expected
+// detector PAL, and the known-good kernel hash for the fleet's kernel
+// build.
+type Admin struct {
+	CAPub     *palcrypto.RSAPublicKey
+	KnownGood map[tpm.Digest]bool
+	nonceCtr  uint64
+	nonceSeed []byte
+}
+
+// NewAdmin creates an administrator trusting the given Privacy CA.
+func NewAdmin(caPub *palcrypto.RSAPublicKey, seed []byte) *Admin {
+	return &Admin{CAPub: caPub, KnownGood: make(map[tpm.Digest]bool), nonceSeed: seed}
+}
+
+// AddKnownGood registers an acceptable aggregate kernel hash.
+func (a *Admin) AddKnownGood(d tpm.Digest) { a.KnownGood[d] = true }
+
+// KnownGoodFor computes the known-good hash for a reference (clean) kernel
+// with the given measurable regions — what the admin derives from a golden
+// image of the fleet's kernel build.
+func KnownGoodFor(ref *kernel.Kernel) (tpm.Digest, error) {
+	h := palcrypto.NewSHA1()
+	for _, r := range ref.MeasurableRegions() {
+		data, err := ref.M.Mem.Read(r[0], int(r[1]))
+		if err != nil {
+			return tpm.Digest{}, err
+		}
+		h.Write(data)
+	}
+	var d tpm.Digest
+	copy(d[:], h.Sum(nil))
+	return d, nil
+}
+
+// Outcome is the admin's conclusion for one query.
+type Outcome struct {
+	// Verified means the attestation proves the genuine detector ran under
+	// Flicker and returned Digest for exactly the queried regions.
+	Verified bool
+	// Clean means the digest matches a known-good kernel.
+	Clean  bool
+	Digest tpm.Digest
+	// Err carries the verification failure, if any.
+	Err error
+}
+
+func (a *Admin) freshNonce() tpm.Digest {
+	a.nonceCtr++
+	return palcrypto.SHA1Sum(append(a.nonceSeed, byte(a.nonceCtr), byte(a.nonceCtr>>8),
+		byte(a.nonceCtr>>16), byte(a.nonceCtr>>24)))
+}
+
+// Query runs one remote detection round trip over the link: nonce out,
+// report back, verify, compare against known-good hashes.
+func (a *Admin) Query(link *netsim.Link, host *Host, regions [][2]uint32) *Outcome {
+	nonce := a.freshNonce()
+	// Request: nonce + region list travel to the host.
+	link.Send(append(nonce[:], EncodeRegions(regions)...))
+	report, err := host.HandleQuery(regions, nonce)
+	if err != nil {
+		return &Outcome{Err: err}
+	}
+	// Response: digest + attestation (signature + cert) travel back.
+	respSize := len(report.Digest) + len(report.Attestation.Signature) + len(report.Attestation.Cert.AIKPub)
+	link.Send(make([]byte, respSize))
+	return a.VerifyReport(report, nonce, regions)
+}
+
+// VerifyReport validates a report against the nonce the admin issued.
+func (a *Admin) VerifyReport(report *Report, nonce tpm.Digest, regions [][2]uint32) *Outcome {
+	if report == nil || report.Attestation == nil {
+		return &Outcome{Err: errors.New("rootkit: empty report")}
+	}
+	im, err := core.BuildImage(NewDetectorPAL(), false)
+	if err != nil {
+		return &Outcome{Err: err}
+	}
+	if err := im.Patch(report.SLBBase); err != nil {
+		return &Outcome{Err: err}
+	}
+	// The detector extends its digest into PCR 17 before the SLB Core's
+	// closing extends; recompute the full chain.
+	expected := attest.ExpectedFinalPCR17Ext(im, []tpm.Digest{report.Digest},
+		EncodeRegions(regions), report.Digest[:], &nonce)
+	if err := attest.Verify(a.CAPub, report.Attestation, nonce, expected); err != nil {
+		return &Outcome{Err: err, Digest: report.Digest}
+	}
+	return &Outcome{
+		Verified: true,
+		Clean:    a.KnownGood[report.Digest],
+		Digest:   report.Digest,
+	}
+}

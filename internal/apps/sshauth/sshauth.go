@@ -1,0 +1,194 @@
+// Package sshauth implements the paper's SSH password-authentication
+// application (Section 6.3.1, Figure 7). The goal: a user's cleartext
+// password never exists on the server outside a Flicker session, and the
+// client can verify that this was enforced, even if the server's OS is
+// compromised.
+//
+// Two PALs run on the server:
+//
+//   - Setup PAL (first Flicker session): generates an RSA keypair inside
+//     the session, seals the private key to itself, and outputs the public
+//     key K_PAL. The attestation convinces the client that K_PAL's private
+//     half is accessible only to this PAL under Flicker.
+//   - Login PAL (second Flicker session): unseals the private key,
+//     decrypts the client's {password, nonce} ciphertext, checks the
+//     nonce, computes md5crypt(salt, password), and outputs only the hash
+//     for comparison against /etc/passwd.
+package sshauth
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"flicker/internal/pal"
+	"flicker/internal/palcrypto"
+	"flicker/internal/simtime"
+	"flicker/internal/tpm"
+)
+
+// Versions pin the PAL identities.
+const (
+	setupVersion = "1.0-ssh-setup"
+	loginVersion = "1.0-ssh-login"
+)
+
+// sharedModules is the module footprint of the SSH PALs (everything but OS
+// Protection, per Section 5.1.2's Secure Channel description).
+var sharedModules = []string{"TPM Driver", "TPM Utilities", "Crypto", "Memory Management", "Secure Channel"}
+
+// KeyBits is the channel keypair size (1024 in the paper's evaluation).
+const KeyBits = 1024
+
+// NewSetupPAL builds the first-session PAL.
+//
+// IMPORTANT: the login PAL must be the SAME PAL for sealed storage to flow
+// (the private key is sealed to the PAL's measurement). The paper uses one
+// SSH PAL with two entry modes; we do the same — the "setup" and "login"
+// behaviors live in one PAL whose input selects the mode.
+func NewSSHPAL() pal.PAL {
+	return &pal.Func{
+		PALName: "ssh-auth",
+		Binary: pal.DescriptorCode("ssh-auth", setupVersion+"+"+loginVersion,
+			sharedModules, nil),
+		Fn: runSSH,
+	}
+}
+
+// Request modes.
+const (
+	modeSetup byte = 1
+	modeLogin byte = 2
+)
+
+// LoginRequest is the input to the login mode (Figure 7's
+// "Server -> PAL: c, salt, sdata, nonce").
+type LoginRequest struct {
+	SData      []byte // sealed private key
+	Ciphertext []byte // c = encrypt_KPAL({password, nonce})
+	Salt       string
+	Nonce      tpm.Digest
+}
+
+// EncodeSetup builds the setup-mode input.
+func EncodeSetup() []byte { return []byte{modeSetup} }
+
+// EncodeLogin builds the login-mode input.
+func EncodeLogin(r *LoginRequest) []byte {
+	out := []byte{modeLogin}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(r.SData)))
+	out = append(out, r.SData...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(r.Ciphertext)))
+	out = append(out, r.Ciphertext...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(r.Salt)))
+	out = append(out, r.Salt...)
+	out = append(out, r.Nonce[:]...)
+	return out
+}
+
+func decodeLogin(b []byte) (*LoginRequest, error) {
+	r := &LoginRequest{}
+	take := func() ([]byte, error) {
+		if len(b) < 4 {
+			return nil, errors.New("sshauth: truncated login request")
+		}
+		n := binary.BigEndian.Uint32(b)
+		if int(n) > len(b)-4 {
+			return nil, errors.New("sshauth: login request field overflow")
+		}
+		f := b[4 : 4+n]
+		b = b[4+n:]
+		return f, nil
+	}
+	var err error
+	if r.SData, err = take(); err != nil {
+		return nil, err
+	}
+	if r.Ciphertext, err = take(); err != nil {
+		return nil, err
+	}
+	salt, err := take()
+	if err != nil {
+		return nil, err
+	}
+	r.Salt = string(salt)
+	if len(b) != tpm.DigestSize {
+		return nil, errors.New("sshauth: missing nonce")
+	}
+	copy(r.Nonce[:], b)
+	return r, nil
+}
+
+// EncryptPassword is the client-side step: c = encrypt_KPAL({password,
+// nonce}) with PKCS#1 v1.5 ("We use PKCS1 encryption which is
+// chosen-ciphertext-secure and nonmalleable").
+func EncryptPassword(rng *palcrypto.PRNG, kpal *palcrypto.RSAPublicKey, password string, nonce tpm.Digest) ([]byte, error) {
+	msg := append([]byte(password), nonce[:]...)
+	return palcrypto.EncryptPKCS1(rng, kpal, msg)
+}
+
+func runSSH(env *pal.Env, input []byte) ([]byte, error) {
+	if len(input) < 1 {
+		return nil, errors.New("sshauth: empty input")
+	}
+	switch input[0] {
+	case modeSetup:
+		kp, err := pal.GenerateChannelKeypair(env, KeyBits)
+		if err != nil {
+			return nil, err
+		}
+		// Output: public key || sealed private key. Both become part of
+		// the attested output, so the client knows K_PAL is genuine and
+		// the OS knows what to store as sdata.
+		pub := palcrypto.MarshalPublicKey(kp.Public)
+		out := binary.BigEndian.AppendUint32(nil, uint32(len(pub)))
+		out = append(out, pub...)
+		out = append(out, kp.SealedPrivate...)
+		return out, nil
+
+	case modeLogin:
+		req, err := decodeLogin(input[1:])
+		if err != nil {
+			return nil, err
+		}
+		// K_PAL^-1 <- unseal(sdata); {password, nonce'} <- decrypt(c).
+		plain, err := pal.OpenChannel(env, req.SData, req.Ciphertext)
+		if err != nil {
+			return nil, err
+		}
+		if len(plain) < tpm.DigestSize {
+			return nil, errors.New("sshauth: malformed decrypted payload")
+		}
+		password := string(plain[:len(plain)-tpm.DigestSize])
+		var nonce tpm.Digest
+		copy(nonce[:], plain[len(plain)-tpm.DigestSize:])
+		// "if (nonce' != nonce) then abort" — replay protection for the
+		// well-behaved server.
+		if nonce != req.Nonce {
+			return nil, errors.New("sshauth: nonce mismatch (replayed ciphertext)")
+		}
+		// hash <- md5crypt(salt, password); only the hash leaves the PAL.
+		env.ChargeCPU(simtime.Charge{Duration: env.Profile().MD5CryptCost, Label: "cpu.md5crypt"})
+		hash := palcrypto.MD5Crypt(password, req.Salt)
+		return []byte(hash), nil
+
+	default:
+		return nil, fmt.Errorf("sshauth: unknown mode %d", input[0])
+	}
+}
+
+// DecodeSetupOutput splits the setup PAL's output into (K_PAL, sdata).
+func DecodeSetupOutput(out []byte) (*palcrypto.RSAPublicKey, []byte, error) {
+	if len(out) < 4 {
+		return nil, nil, errors.New("sshauth: truncated setup output")
+	}
+	n := binary.BigEndian.Uint32(out)
+	if int(n) > len(out)-4 {
+		return nil, nil, errors.New("sshauth: setup output overflow")
+	}
+	pub, err := palcrypto.UnmarshalPublicKey(out[4 : 4+n])
+	if err != nil {
+		return nil, nil, err
+	}
+	return pub, append([]byte(nil), out[4+n:]...), nil
+}

@@ -1,0 +1,229 @@
+// Package attest implements the remote-party side of Flicker (Section 4.4):
+// the Privacy CA that certifies AIKs, the TPM Quote Daemon (tqd) that the
+// untrusted OS runs to produce attestations, and the verifier logic that
+// recomputes expected PCR-17 values and validates quotes.
+//
+// The PCR-17 algebra a verifier relies on:
+//
+//	after SKINIT:      V0 = H(0^20 || H(P))
+//	(two-stage only):  V0' = H(V0 || H(window))
+//	after the session: Vf = extend chain of V0 with
+//	                        H(inputs), H(outputs), [nonce], terminator
+//
+// Only SKINIT can put PCR 17 into state V0, so a valid quote over Vf proves
+// that PAL P ran under Flicker with exactly those inputs and outputs.
+package attest
+
+import (
+	"errors"
+	"fmt"
+
+	"flicker/internal/palcrypto"
+	"flicker/internal/slb"
+	"flicker/internal/tpm"
+)
+
+// ExpectedLaunchPCR17 returns PCR 17 immediately after launch for an image
+// (handling the two-stage optimization).
+func ExpectedLaunchPCR17(im *slb.Image) tpm.Digest {
+	v := im.ExpectedPCR17()
+	if im.TwoStage() {
+		v = im.ExpectedPCR17TwoStage()
+	}
+	if im.HasExtra() {
+		// The preparatory code extends the upper region's measurement
+		// after protecting it (Section 2.4).
+		v = tpm.ExtendDigest(v, im.ExtraMeasurement())
+	}
+	return v
+}
+
+// ExpectedFinalPCR17 recomputes the PCR-17 value after a complete session
+// of the given image with the given parameters. nonce may be nil.
+func ExpectedFinalPCR17(im *slb.Image, input, output []byte, nonce *tpm.Digest) tpm.Digest {
+	v := ExpectedLaunchPCR17(im)
+	v = tpm.ExtendDigest(v, palcrypto.SHA1Sum(input))
+	v = tpm.ExtendDigest(v, palcrypto.SHA1Sum(output))
+	if nonce != nil {
+		v = tpm.ExtendDigest(v, *nonce)
+	}
+	return tpm.ExtendDigest(v, slb.SessionTerminator)
+}
+
+// ExpectedFinalPCR17Ext is ExpectedFinalPCR17 for PALs that perform their
+// own PCR-17 extends during execution (like the rootkit detector, which
+// extends the kernel hash). palExtends lists those values in order; the
+// verifier recomputes the chain launch → palExtends… → H(input) →
+// H(output) → [nonce] → terminator.
+func ExpectedFinalPCR17Ext(im *slb.Image, palExtends []tpm.Digest, input, output []byte, nonce *tpm.Digest) tpm.Digest {
+	v := ExpectedLaunchPCR17(im)
+	for _, m := range palExtends {
+		v = tpm.ExtendDigest(v, m)
+	}
+	v = tpm.ExtendDigest(v, palcrypto.SHA1Sum(input))
+	v = tpm.ExtendDigest(v, palcrypto.SHA1Sum(output))
+	if nonce != nil {
+		v = tpm.ExtendDigest(v, *nonce)
+	}
+	return tpm.ExtendDigest(v, slb.SessionTerminator)
+}
+
+// PrivacyCA certifies that AIKs belong to legitimate TPMs. Verifiers trust
+// its public key.
+type PrivacyCA struct {
+	key *palcrypto.RSAPrivateKey
+}
+
+// NewPrivacyCA creates a CA with a deterministic key from the seed.
+func NewPrivacyCA(seed []byte, bits int) (*PrivacyCA, error) {
+	if bits == 0 {
+		bits = 512
+	}
+	key, err := palcrypto.GenerateRSAKey(palcrypto.NewPRNG(append([]byte("privacy-ca|"), seed...)), bits)
+	if err != nil {
+		return nil, err
+	}
+	return &PrivacyCA{key: key}, nil
+}
+
+// PublicKey returns the CA's verification key.
+func (ca *PrivacyCA) PublicKey() *palcrypto.RSAPublicKey { return &ca.key.RSAPublicKey }
+
+// AIKCert binds an AIK public key to a platform identity.
+type AIKCert struct {
+	PlatformID string
+	AIKPub     []byte // marshaled RSA public key
+	Signature  []byte // CA signature over PlatformID || AIKPub
+}
+
+// certBody is the signed byte string.
+func certBody(platformID string, aikPub []byte) []byte {
+	out := []byte("AIK-CERT|")
+	out = append(out, platformID...)
+	out = append(out, 0)
+	return append(out, aikPub...)
+}
+
+// Certify issues an AIK certificate.
+func (ca *PrivacyCA) Certify(platformID string, aikPub *palcrypto.RSAPublicKey) (*AIKCert, error) {
+	pub := palcrypto.MarshalPublicKey(aikPub)
+	sig, err := palcrypto.SignPKCS1SHA1(ca.key, certBody(platformID, pub))
+	if err != nil {
+		return nil, err
+	}
+	return &AIKCert{PlatformID: platformID, AIKPub: pub, Signature: sig}, nil
+}
+
+// VerifyCert checks an AIK certificate against a trusted CA key and returns
+// the certified AIK public key.
+func VerifyCert(caPub *palcrypto.RSAPublicKey, cert *AIKCert) (*palcrypto.RSAPublicKey, error) {
+	if cert == nil {
+		return nil, errors.New("attest: nil certificate")
+	}
+	if err := palcrypto.VerifyPKCS1SHA1(caPub, certBody(cert.PlatformID, cert.AIKPub), cert.Signature); err != nil {
+		return nil, fmt.Errorf("attest: AIK certificate invalid: %w", err)
+	}
+	return palcrypto.UnmarshalPublicKey(cert.AIKPub)
+}
+
+// Attestation is what the challenged platform returns: a quote over PCR 17
+// and the AIK certificate chain. The event log (which PAL, which
+// parameters) travels separately and is untrusted; the verifier recomputes
+// it.
+type Attestation struct {
+	Nonce     tpm.Digest
+	Composite tpm.Digest
+	Signature []byte
+	Cert      *AIKCert
+}
+
+// Daemon is the tqd: "a TPM Quote Daemon ... that runs on the untrusted OS
+// and provides an attestation service" (Section 6). It owns a loaded AIK.
+type Daemon struct {
+	tpmc      *tpm.Client
+	aikHandle uint32
+	aikAuth   tpm.Digest
+	aikBlob   []byte // wrapped AIK, reloaded after reboots
+	cert      *AIKCert
+}
+
+// NewDaemon creates the quote daemon: it generates an AIK in the TPM
+// (owner-authorized), keeps the wrapped blob for reloads, and has the
+// Privacy CA certify the public key.
+func NewDaemon(tpmc *tpm.Client, ownerAuth tpm.Digest, ca *PrivacyCA, platformID string) (*Daemon, error) {
+	handle, pub, blob, err := tpmc.MakeIdentity(ownerAuth)
+	if err != nil {
+		return nil, fmt.Errorf("attest: MakeIdentity: %w", err)
+	}
+	cert, err := ca.Certify(platformID, pub)
+	if err != nil {
+		return nil, fmt.Errorf("attest: certifying AIK: %w", err)
+	}
+	return &Daemon{tpmc: tpmc, aikHandle: handle, aikBlob: blob, cert: cert}, nil
+}
+
+// ReloadAIK loads the wrapped AIK blob into a fresh volatile handle; the
+// tqd calls this at boot, since a platform reset evicts all loaded keys.
+func (d *Daemon) ReloadAIK() error {
+	h, err := d.tpmc.LoadKey2(d.aikBlob)
+	if err != nil {
+		return fmt.Errorf("attest: reloading AIK: %w", err)
+	}
+	d.aikHandle = h
+	return nil
+}
+
+// Quote produces an attestation of PCR 17 for the verifier's nonce.
+func (d *Daemon) Quote(nonce tpm.Digest) (*Attestation, error) {
+	q, err := d.tpmc.Quote(d.aikHandle, d.aikAuth, nonce, tpm.SelectPCRs(17))
+	if err != nil {
+		return nil, fmt.Errorf("attest: quote: %w", err)
+	}
+	return &Attestation{
+		Nonce:     nonce,
+		Composite: q.Composite,
+		Signature: q.Signature,
+		Cert:      d.cert,
+	}, nil
+}
+
+// Verify checks an attestation end to end against the PCR-17 value the
+// verifier expects:
+//
+//  1. the AIK certificate chains to the trusted Privacy CA;
+//  2. the quote signature covers TPM_QUOTE_INFO(composite, nonce);
+//  3. the nonce is the verifier's own (freshness);
+//  4. the composite equals CompositeHash({17: expected}).
+func Verify(caPub *palcrypto.RSAPublicKey, att *Attestation, nonce tpm.Digest, expectedPCR17 tpm.Digest) error {
+	if att == nil {
+		return errors.New("attest: nil attestation")
+	}
+	aikPub, err := VerifyCert(caPub, att.Cert)
+	if err != nil {
+		return err
+	}
+	if att.Nonce != nonce {
+		return errors.New("attest: nonce mismatch (stale or replayed attestation)")
+	}
+	qi := tpm.QuoteInfo(att.Composite, nonce)
+	if err := palcrypto.VerifyPKCS1SHA1(aikPub, qi, att.Signature); err != nil {
+		return fmt.Errorf("attest: quote signature invalid: %w", err)
+	}
+	want := tpm.CompositeHash(tpm.SelectPCRs(17), map[int]tpm.Digest{17: expectedPCR17})
+	if att.Composite != want {
+		return errors.New("attest: PCR 17 does not match the expected PAL/session value")
+	}
+	return nil
+}
+
+// VerifySession is the full remote-party check for a Flicker session: it
+// recomputes the expected final PCR 17 from the image and parameters, then
+// verifies the attestation against it.
+func VerifySession(caPub *palcrypto.RSAPublicKey, att *Attestation, nonce tpm.Digest,
+	im *slb.Image, input, output []byte) error {
+	expected := ExpectedFinalPCR17(im, input, output, &nonce)
+	if err := Verify(caPub, att, nonce, expected); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section 7) from the platform simulation. Each experiment
+// returns a structured Table whose rows carry the paper's reported value
+// and the value measured from the simulation, so both the benchmark suite
+// (bench_test.go) and the cmd/benchtables tool print the same comparison.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"flicker/internal/apps/rootkit"
+	"flicker/internal/attest"
+	"flicker/internal/core"
+	"flicker/internal/netsim"
+	"flicker/internal/pal"
+	"flicker/internal/simtime"
+	"flicker/internal/tpm"
+)
+
+// Row is one line of a reproduced table: the paper's number next to ours.
+type Row struct {
+	Label    string
+	Paper    float64
+	Measured float64
+	Unit     string
+}
+
+// Table is one reproduced experiment.
+type Table struct {
+	ID    string
+	Title string
+	Rows  []Row
+	Notes string
+}
+
+// Format renders the table for terminal output.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "  %-38s %12s %12s  %s\n", "", "paper", "measured", "unit")
+	for _, r := range t.Rows {
+		paper := fmtVal(r.Paper)
+		if r.Paper == 0 {
+			paper = "-"
+		}
+		fmt.Fprintf(&b, "  %-38s %12s %12s  %s\n", r.Label, paper, fmtVal(r.Measured), r.Unit)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "  note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// fmtVal prints small values (fractions) with more precision than big ones
+// (milliseconds/seconds).
+func fmtVal(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	if av != 0 && av < 10 {
+		return fmt.Sprintf("%.2f", v)
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// MaxRelError returns the worst relative deviation from the paper across
+// rows that have a paper value, as a fraction.
+func (t *Table) MaxRelError() float64 {
+	worst := 0.0
+	for _, r := range t.Rows {
+		if r.Paper == 0 {
+			continue
+		}
+		rel := (r.Measured - r.Paper) / r.Paper
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+// paperModules is the module load-out that makes the measurable kernel
+// image total ~1.833 MB, so hashing it at the calibrated CPU rate costs
+// Table 1's 22.0 ms.
+var paperModules = []struct {
+	Name string
+	Size int
+}{
+	{"ext3", 98304},
+	{"e1000", 131072},
+	{"tpm_tis", 29813},
+}
+
+// hostPlatform boots the standard Table 1 host: dc5750-like platform with
+// the calibrated module load-out, a Privacy CA, and a quote daemon.
+func hostPlatform(seed string) (*core.Platform, *attest.Daemon, *attest.PrivacyCA, error) {
+	p, err := core.NewPlatform(core.PlatformConfig{Seed: seed, MemSize: 64 << 20})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, m := range paperModules {
+		if _, err := p.Kernel.LoadModule(m.Name, m.Size); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	ca, err := attest.NewPrivacyCA([]byte("bench-ca"), 0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tqd, err := attest.NewDaemon(p.OSTPM(), tpm.Digest{}, ca, "bench-host")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return p, tqd, ca, nil
+}
+
+// ms converts a duration to milliseconds for table rows.
+func ms(d time.Duration) float64 { return simtime.Millis(d) }
+
+// sumLabel totals one charge label over a charge list.
+func sumLabel(charges []simtime.Charge, label string) time.Duration {
+	var d time.Duration
+	for _, c := range charges {
+		if c.Label == label {
+			d += c.Duration
+		}
+	}
+	return d
+}
+
+// paperRTTLink builds the 9.45 ms evaluation link.
+func paperRTTLink(p *core.Platform) *netsim.Link { return netsim.PaperLink(p.Clock) }
+
+// detectorPAL and detectionInput are shared by the multicore ablation.
+func detectorPAL() pal.PAL { return rootkit.NewDetectorPAL() }
+
+func detectionInput(regions [][2]uint32) []byte { return rootkit.EncodeRegions(regions) }

@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment must regenerate the paper's shape: here "shape" is a
+// maximum relative error across the rows that carry a paper value. The
+// bounds are deliberately loose for noisy rows and tight for calibrated
+// ones; the point of the suite is to catch regressions that change who
+// wins or by how much.
+
+func TestTable1ShapeHolds(t *testing.T) {
+	tb, err := Table1RootkitBreakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := tb.MaxRelError(); e > 0.10 {
+		t.Fatalf("Table 1 max relative error %.1f%%:\n%s", e*100, tb.Format())
+	}
+}
+
+func TestTable2ShapeHolds(t *testing.T) {
+	tb, err := Table2SkinitVsSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skip the 0 KB row (paper reports 0.0); others within 5%.
+	for _, r := range tb.Rows[1:] {
+		rel := (r.Measured - r.Paper) / r.Paper
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.05 {
+			t.Errorf("%s: measured %.1f vs paper %.1f", r.Label, r.Measured, r.Paper)
+		}
+	}
+	// Monotonically increasing in SLB size.
+	for i := 1; i < len(tb.Rows); i++ {
+		if tb.Rows[i].Measured <= tb.Rows[i-1].Measured {
+			t.Errorf("SKINIT not increasing at row %d", i)
+		}
+	}
+}
+
+func TestTable3ShapeHolds(t *testing.T) {
+	// Full scale — the simulated clock makes a 7:22 build cheap. The shape
+	// claim is that the detection overhead is lost in the noise (all rows
+	// within ~1-2% of the no-detection baseline).
+	tb, err := Table3SystemImpact(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tb.Rows[0].Measured
+	for _, r := range tb.Rows[1:] {
+		if rel := (r.Measured - base) / base; rel > 0.02 || rel < -0.02 {
+			t.Errorf("%s: %.1f s vs baseline %.1f s (%.2f%%)", r.Label, r.Measured, base, rel*100)
+		}
+	}
+}
+
+func TestTable4ShapeHolds(t *testing.T) {
+	tb, err := Table4DistcompOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := tb.MaxRelError(); e > 0.08 {
+		t.Fatalf("Table 4 max relative error %.1f%%:\n%s", e*100, tb.Format())
+	}
+	// Overhead decreases as work grows (the table's defining shape).
+	for i := 1; i < 4; i++ {
+		if tb.Rows[i].Measured >= tb.Rows[i-1].Measured {
+			t.Errorf("overhead not decreasing: row %d", i)
+		}
+	}
+}
+
+func TestFigure8ShapeHolds(t *testing.T) {
+	tb, err := Figure8Efficiency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crossovers: at 2 s Flicker beats 3-way; below ~1 s it loses to 3-way.
+	byLabel := map[string]float64{}
+	for _, r := range tb.Rows {
+		byLabel[r.Label] = r.Measured
+	}
+	if byLabel["Flicker efficiency @ 2 s latency"] <= byLabel["3-way replication efficiency"] {
+		t.Error("2 s Flicker does not beat 3-way replication")
+	}
+	if byLabel["Flicker efficiency @ 1 s latency"] >= 0.33 {
+		t.Error("1 s Flicker should not beat 3-way replication")
+	}
+	if byLabel["Flicker efficiency @ 10 s latency"] < 0.85 {
+		t.Error("10 s efficiency too low")
+	}
+}
+
+func TestFigure9ShapeHolds(t *testing.T) {
+	t1, t2, err := Figure9SSH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range []*Table{t1, t2} {
+		if e := tb.MaxRelError(); e > 0.08 {
+			t.Fatalf("%s max relative error %.1f%%:\n%s", tb.ID, e*100, tb.Format())
+		}
+	}
+}
+
+func TestCASignShapeHolds(t *testing.T) {
+	tb, err := CASignLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := tb.MaxRelError(); e > 0.06 {
+		t.Fatalf("CA sign max relative error %.1f%%:\n%s", e*100, tb.Format())
+	}
+}
+
+func TestFigure6Exact(t *testing.T) {
+	tb := Figure6Modules()
+	for _, r := range tb.Rows[:7] {
+		if r.Paper != r.Measured {
+			t.Errorf("%s: %v != %v", r.Label, r.Paper, r.Measured)
+		}
+	}
+}
+
+func TestSec75Integrity(t *testing.T) {
+	tb, err := Sec75BlockDeviceIntegrity(2<<20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]float64{}
+	for _, r := range tb.Rows {
+		byLabel[r.Label] = r.Measured
+	}
+	if byLabel["I/O errors reported"] != 0 {
+		t.Error("I/O errors occurred")
+	}
+	if byLabel["md5 checksums match"] != 1 {
+		t.Error("copied file corrupted")
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	tb, err := AblationTPMProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	login := map[string]float64{}
+	for _, r := range tb.Rows {
+		if strings.HasSuffix(r.Label, "SSH login session") {
+			login[strings.Split(r.Label, ":")[0]] = r.Measured
+		}
+	}
+	if !(login["future-hw"] < login["infineon"] && login["infineon"] < login["broadcom-bcm0102"]) {
+		t.Fatalf("login latency ordering wrong: %v", login)
+	}
+	// The future-hardware profile should make the login orders of
+	// magnitude cheaper, per [19].
+	if login["broadcom-bcm0102"]/login["future-hw"] < 100 {
+		t.Errorf("future hardware speedup only %.0fx", login["broadcom-bcm0102"]/login["future-hw"])
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tb := &Table{ID: "T", Title: "demo", Rows: []Row{{"row", 1, 1.05, "ms"}}, Notes: "n"}
+	s := tb.Format()
+	for _, want := range []string{"T — demo", "row", "1.00", "1.05", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("format missing %q:\n%s", want, s)
+		}
+	}
+	if e := tb.MaxRelError(); e < 0.04 || e > 0.06 {
+		t.Errorf("MaxRelError = %v", e)
+	}
+}
+
+func TestAblationNextGenSixOrders(t *testing.T) {
+	tb, err := AblationNextGenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]float64{}
+	for _, r := range tb.Rows {
+		byLabel[r.Label] = r.Measured
+	}
+	if byLabel["2008 Broadcom + sealed storage"] < 900 {
+		t.Errorf("2008 overhead = %.1f ms, want ~920", byLabel["2008 Broadcom + sealed storage"])
+	}
+	// End-to-end sessions keep OS costs (context switch, page tables), so
+	// the whole-session speedup is hundreds of x...
+	if sp := byLabel["session speedup: future hw + context"]; sp < 400 {
+		t.Errorf("session speedup = %.0fx, want >= 400", sp)
+	}
+	// ...while the checkpoint primitive itself improves by the paper's
+	// anticipated "up to six orders of magnitude".
+	if sp := byLabel["primitive speedup: unseal -> ctx fetch"]; sp < 1e5 {
+		t.Errorf("primitive speedup = %.0fx, want >= 1e5", sp)
+	}
+}
+
+func TestAblationMulticoreEliminatesImpact(t *testing.T) {
+	tb, err := AblationMulticoreImpact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]float64{}
+	for _, r := range tb.Rows {
+		byLabel[r.Label] = r.Measured
+	}
+	classic := byLabel["build-time overhead: classic"]
+	part := byLabel["build-time overhead: partitioned"]
+	if classic <= 0 {
+		t.Fatalf("classic sessions show no overhead (%.3f s)", classic)
+	}
+	if part > classic/10 {
+		t.Fatalf("partitioned overhead %.3f s not << classic %.3f s", part, classic)
+	}
+}

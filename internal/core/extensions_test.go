@@ -1,0 +1,322 @@
+package core
+
+// Tests for the next-generation hardware extensions (the paper's Section
+// 5.1.2 timer restrictions and the [19] recommendations: multicore secure
+// partitions and hardware-protected PAL context).
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"flicker/internal/attest"
+	"flicker/internal/hw/cpu"
+	"flicker/internal/pal"
+	"flicker/internal/palcrypto"
+	"flicker/internal/simtime"
+)
+
+func futurePlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := NewPlatform(PlatformConfig{Seed: "future-test", Profile: simtime.ProfileFuture()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// --- Section 5.1.2: SLB Core execution timer -------------------------------
+
+func TestPALTimerFiresOnRunawayPAL(t *testing.T) {
+	p := newPlatform(t)
+	runaway := &pal.Func{
+		PALName: "runaway",
+		Binary:  pal.DescriptorCode("runaway", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			for i := 0; i < 100; i++ {
+				env.ChargeCPU(simtime.Charge{Duration: 100 * time.Millisecond, Label: "app.spin"})
+				// A well-behaved PAL would notice the timer; this one
+				// spins until an Env operation fails.
+				if _, err := env.HashMem(env.SLBBase(), 16); err != nil {
+					return nil, err
+				}
+			}
+			return []byte("never"), nil
+		},
+	}
+	res, err := p.RunSession(runaway, SessionOptions{MaxPALTime: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.PALError, pal.ErrPALTimeout) {
+		t.Fatalf("PALError = %v, want timeout", res.PALError)
+	}
+	// The session still tore down: OS resumed, protections cleared.
+	if !p.Machine.BSP().InterruptsEnabled() || p.Machine.SecureSessionActive() {
+		t.Fatal("teardown incomplete after timer kill")
+	}
+}
+
+func TestPALTimerMarksSilentOverrun(t *testing.T) {
+	// A PAL that overruns but never calls a checked Env op is caught at
+	// exit (the SLB Core's final timer check).
+	p := newPlatform(t)
+	silent := &pal.Func{
+		PALName: "silent-overrun",
+		Binary:  pal.DescriptorCode("silent-overrun", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			env.ChargeCPU(simtime.Charge{Duration: 2 * time.Second, Label: "app.spin"})
+			return []byte("done anyway"), nil
+		},
+	}
+	res, err := p.RunSession(silent, SessionOptions{MaxPALTime: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.PALError, pal.ErrPALTimeout) {
+		t.Fatalf("PALError = %v, want timeout", res.PALError)
+	}
+	if res.Outputs != nil {
+		t.Fatal("timed-out PAL still produced outputs")
+	}
+}
+
+func TestPALTimerLeavesRoomForTPM(t *testing.T) {
+	// "a PAL may need some minimal amount of time to allow TPM operations
+	// to complete": an op started within budget completes (non-preemptible
+	// TPM command), and a PAL that fits its budget is unaffected.
+	p := newPlatform(t)
+	sealer := &pal.Func{
+		PALName: "sealer",
+		Binary:  pal.DescriptorCode("sealer", "1.0", []string{"TPM Driver", "TPM Utilities"}, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			if _, err := env.SealToSelf([]byte("x")); err != nil {
+				return nil, err
+			}
+			return []byte("sealed"), nil
+		},
+	}
+	// Budget comfortably above seal cost (~16 ms with session setup).
+	res, err := p.RunSession(sealer, SessionOptions{MaxPALTime: 200 * time.Millisecond})
+	if err != nil || res.PALError != nil {
+		t.Fatalf("in-budget PAL failed: %v %v", err, res.PALError)
+	}
+	// No timer: long PALs are fine.
+	long := &pal.Func{
+		PALName: "long",
+		Binary:  pal.DescriptorCode("long", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			env.ChargeCPU(simtime.Charge{Duration: 10 * time.Second, Label: "app.work"})
+			return []byte("ok"), nil
+		},
+	}
+	res, err = p.RunSession(long, SessionOptions{})
+	if err != nil || res.PALError != nil {
+		t.Fatalf("untimed long PAL failed: %v %v", err, res.PALError)
+	}
+}
+
+// --- [19]: multicore secure partitions -------------------------------------
+
+func TestConcurrentSessionRequiresFutureHardware(t *testing.T) {
+	p := newPlatform(t) // Broadcom-era profile
+	_, err := p.RunSessionConcurrent(helloPAL(), SessionOptions{})
+	if !errors.Is(err, cpu.ErrNoMulticoreIsolation) {
+		t.Fatalf("err = %v, want ErrNoMulticoreIsolation", err)
+	}
+}
+
+func TestConcurrentSessionRunsAndAttests(t *testing.T) {
+	p := futurePlatform(t)
+	nonce := sha1Of("concurrent-nonce")
+	res, err := p.RunSessionConcurrent(helloPAL(), SessionOptions{Nonce: &nonce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PALError != nil || string(res.Outputs) != "Hello, world" {
+		t.Fatalf("outputs = %q, err %v", res.Outputs, res.PALError)
+	}
+	// The attestation algebra is unchanged.
+	want := attest.ExpectedFinalPCR17(res.Image, nil, res.Outputs, &nonce)
+	if res.PCR17Final != want {
+		t.Fatal("concurrent session PCR-17 chain mismatch")
+	}
+	// The APs were never touched.
+	for _, c := range p.Machine.Cores()[1:] {
+		if c.State() != cpu.CoreRunning {
+			t.Fatalf("AP %d state = %v", c.ID, c.State())
+		}
+	}
+}
+
+func TestConcurrentSessionAbsorbsOSWork(t *testing.T) {
+	// The headline benefit: OS work on the other core proceeds during the
+	// session, so the session adds (almost) no wall-clock cost to it.
+	p := futurePlatform(t)
+
+	// Run one session to learn its duration.
+	probe, err := p.RunSessionConcurrent(helloPAL(), SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := probe.Duration()
+	if d <= 0 {
+		t.Fatal("zero-duration session")
+	}
+
+	// Give the kernel exactly one session's worth of work, then run a
+	// session: the work must be fully retired with no extra clock time.
+	p.Kernel.Spawn("background", d)
+	before := p.Clock.Now()
+	if _, err := p.RunSessionConcurrent(helloPAL(), SessionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := p.Clock.Now() - before
+	if len(p.Kernel.Processes()) != 0 {
+		t.Fatal("background work not retired during the session")
+	}
+	// Elapsed is one session, not session + work.
+	if elapsed > d+d/10 {
+		t.Fatalf("elapsed %v, want ~%v (work should overlap the session)", elapsed, d)
+	}
+}
+
+func TestConcurrentSessionKeepsInterruptsFlowing(t *testing.T) {
+	p := futurePlatform(t)
+	spy := &pal.Func{
+		PALName: "irq-spy",
+		Binary:  pal.DescriptorCode("irq-spy", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			// An interrupt arrives mid-session.
+			p.Machine.PendInterrupt(1)
+			// The APs are running with interrupts enabled, so it is
+			// deliverable immediately — unlike a classic session.
+			if got := p.Machine.DrainInterrupts(); len(got) != 1 {
+				return nil, errors.New("interrupt not deliverable during partitioned session")
+			}
+			return []byte("ok"), nil
+		},
+	}
+	res, err := p.RunSessionConcurrent(spy, SessionOptions{})
+	if err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+}
+
+// --- [19]: hardware-protected PAL context ----------------------------------
+
+func TestHWContextRoundTripAcrossSessions(t *testing.T) {
+	p := futurePlatform(t)
+	store := &pal.Func{
+		PALName: "ctx-store",
+		Binary:  pal.DescriptorCode("ctx-store", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			return []byte("stored"), env.StashContext(input)
+		},
+	}
+	fetch := &pal.Func{
+		PALName: "ctx-store", // same identity: same Binary is what matters
+		Binary:  pal.DescriptorCode("ctx-store", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			return env.FetchContext()
+		},
+	}
+	if res, err := p.RunSession(store, SessionOptions{Input: []byte("checkpoint-v1")}); err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+	res, err := p.RunSession(fetch, SessionOptions{})
+	if err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+	if string(res.Outputs) != "checkpoint-v1" {
+		t.Fatalf("fetched %q", res.Outputs)
+	}
+}
+
+func TestHWContextIsolatedByIdentity(t *testing.T) {
+	p := futurePlatform(t)
+	victim := &pal.Func{
+		PALName: "victim",
+		Binary:  pal.DescriptorCode("victim", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			return []byte("ok"), env.StashContext([]byte("victim secret"))
+		},
+	}
+	thief := &pal.Func{
+		PALName: "thief",
+		Binary:  pal.DescriptorCode("thief", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			if data, err := env.FetchContext(); err == nil {
+				return nil, errors.New("stole context: " + string(data))
+			}
+			return []byte("blocked"), nil
+		},
+	}
+	if res, err := p.RunSession(victim, SessionOptions{}); err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+	res, err := p.RunSession(thief, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PALError != nil {
+		t.Fatalf("context isolation failed: %v", res.PALError)
+	}
+}
+
+func TestHWContextGates(t *testing.T) {
+	// Unavailable on 2008 hardware.
+	p := newPlatform(t)
+	oldPal := &pal.Func{
+		PALName: "ctx-on-old-hw",
+		Binary:  pal.DescriptorCode("ctx-on-old-hw", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			if env.HWContextAvailable() {
+				return nil, errors.New("HW context claimed on 2008 hardware")
+			}
+			if err := env.StashContext([]byte("x")); !errors.Is(err, cpu.ErrNoHWContext) {
+				return nil, errors.New("stash did not fail on 2008 hardware")
+			}
+			return []byte("ok"), nil
+		},
+	}
+	if res, err := p.RunSession(oldPal, SessionOptions{}); err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+	// Inaccessible outside a session, even on future hardware.
+	fp := futurePlatform(t)
+	if err := fp.Machine.StashWrite(sha1Of("id"), []byte("x")); err == nil {
+		t.Fatal("stash writable outside a session")
+	}
+	if _, err := fp.Machine.StashRead(sha1Of("id")); err == nil {
+		t.Fatal("stash readable outside a session")
+	}
+}
+
+func TestHWContextCapacity(t *testing.T) {
+	p := futurePlatform(t)
+	hog := &pal.Func{
+		PALName: "hog",
+		Binary:  pal.DescriptorCode("hog", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			if err := env.StashContext(make([]byte, cpu.StashCapacity+1)); err == nil {
+				return nil, errors.New("over-capacity stash accepted")
+			}
+			// Replacing one's own slot reuses its space.
+			if err := env.StashContext(make([]byte, cpu.StashCapacity/2)); err != nil {
+				return nil, err
+			}
+			if err := env.StashContext(make([]byte, cpu.StashCapacity/2)); err != nil {
+				return nil, err
+			}
+			return []byte("ok"), nil
+		},
+	}
+	if res, err := p.RunSession(hog, SessionOptions{}); err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+}
+
+func sha1Of(s string) [20]byte {
+	return palcrypto.SHA1Sum([]byte(s))
+}

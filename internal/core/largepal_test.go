@@ -1,0 +1,202 @@
+package core
+
+// Tests for "Additional PAL Code" beyond the 64 KB SLB window (Section 2.4:
+// protections "can be extended to larger memory regions" by preparatory
+// code that programs the DEV and extends PCR 17 for the upper region).
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"flicker/internal/attest"
+	"flicker/internal/pal"
+	"flicker/internal/palcrypto"
+	"flicker/internal/slb"
+)
+
+// largePAL carries 128 KB of extra code (e.g. a full crypto library plus
+// application logic that would never fit in the SLB).
+func largePAL(p *Platform, probe func(env *pal.Env) error) pal.PAL {
+	extra := palcrypto.NewPRNG([]byte("big-pal-extra-code")).Bytes(128 * 1024)
+	return &pal.Func{
+		PALName:     "big-pal",
+		Binary:      pal.DescriptorCode("big-pal", "1.0", []string{"Crypto"}, nil),
+		ExtraBinary: extra,
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			if probe != nil {
+				if err := probe(env); err != nil {
+					return nil, err
+				}
+			}
+			// The PAL reads its own upper-region code (executing it, in
+			// spirit).
+			head, err := env.ReadMem(env.ExtraCodeAddr(), 64)
+			if err != nil {
+				return nil, err
+			}
+			if !bytes.Equal(head, extra[:64]) {
+				return nil, errors.New("extra code not placed")
+			}
+			return []byte("big ok"), nil
+		},
+	}
+}
+
+func TestLargePALSessionAndAttestation(t *testing.T) {
+	p := newPlatform(t)
+	lp := largePAL(p, nil)
+	nonce := palcrypto.SHA1Sum([]byte("big-nonce"))
+	res, err := p.RunSession(lp, SessionOptions{Nonce: &nonce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PALError != nil {
+		t.Fatalf("PAL error: %v", res.PALError)
+	}
+	// The verifier's chain includes the extra-code measurement.
+	im, err := BuildImage(lp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !im.HasExtra() {
+		t.Fatal("image lost its extra code")
+	}
+	im.Patch(res.SLBBase)
+	want := attest.ExpectedFinalPCR17(im, nil, res.Outputs, &nonce)
+	if res.PCR17Final != want {
+		t.Fatal("large-PAL PCR-17 chain mismatch")
+	}
+	// A PAL with different extra code has a different launch identity even
+	// with an identical SLB.
+	other := &pal.Func{
+		PALName:     "big-pal",
+		Binary:      lp.Code(),
+		ExtraBinary: bytes.Repeat([]byte{0xEE}, 128*1024),
+		Fn:          func(env *pal.Env, in []byte) ([]byte, error) { return nil, nil },
+	}
+	oim, _ := BuildImage(other, false)
+	oim.Patch(res.SLBBase)
+	if attest.ExpectedLaunchPCR17(oim) == attest.ExpectedLaunchPCR17(im) {
+		t.Fatal("extra code not part of the launch identity")
+	}
+}
+
+func TestLargePALExtraRegionDMAProtected(t *testing.T) {
+	p := newPlatform(t)
+	nic := p.Machine.Mem.AttachDevice("evil-nic")
+	var dmaErrInside error
+	lp := largePAL(p, func(env *pal.Env) error {
+		// Mid-session, a malicious device tries to read the upper region.
+		_, dmaErrInside = nic.Read(env.ExtraCodeAddr()+4096, 64)
+		return nil
+	})
+	res, err := p.RunSession(lp, SessionOptions{})
+	if err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+	if dmaErrInside == nil {
+		t.Fatal("DMA into the extra-code region succeeded mid-session")
+	}
+	// After the session, the region is DMA-accessible again and wiped.
+	base := res.SLBBase + uint32(slb.ExtraCodeOffset)
+	got, err := nic.Read(base, 4096)
+	if err != nil {
+		t.Fatalf("post-session DMA still blocked: %v", err)
+	}
+	if !bytes.Equal(got, make([]byte, 4096)) {
+		t.Fatal("extra-code region not wiped after session")
+	}
+}
+
+func TestLargePALSandboxCoversExtraRegion(t *testing.T) {
+	p := newPlatform(t)
+	lp := largePAL(p, func(env *pal.Env) error {
+		// Inside the sandbox the PAL can reach its extra region...
+		if _, err := env.ReadMem(env.ExtraCodeAddr(), 16); err != nil {
+			return err
+		}
+		// ...but not beyond it.
+		end := env.SLBBase() + uint32(slb.ExtraCodeOffset) + 128*1024
+		if _, err := env.ReadMem(end+4096, 16); err == nil {
+			return errors.New("sandbox did not cover the region end")
+		}
+		return nil
+	})
+	res, err := p.RunSession(lp, SessionOptions{Sandbox: true})
+	if err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+}
+
+func TestLargePALTwoStage(t *testing.T) {
+	p := newPlatform(t)
+	lp := largePAL(p, nil)
+	res, err := p.RunSession(lp, SessionOptions{TwoStage: true})
+	if err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+	im, _ := BuildImage(lp, true)
+	im.Patch(res.SLBBase)
+	if res.PCR17Final != attest.ExpectedFinalPCR17(im, nil, res.Outputs, nil) {
+		t.Fatal("two-stage large-PAL chain mismatch")
+	}
+}
+
+func TestOversizedExtraRejected(t *testing.T) {
+	huge := &pal.Func{
+		PALName:     "huge",
+		Binary:      pal.DescriptorCode("huge", "1.0", nil, nil),
+		ExtraBinary: make([]byte, slb.MaxExtraCode+1),
+		Fn:          func(env *pal.Env, in []byte) ([]byte, error) { return nil, nil },
+	}
+	if _, err := BuildImage(huge, false); err == nil {
+		t.Fatal("oversized extra code accepted")
+	}
+}
+
+func TestLargePALSealsToItsFullIdentity(t *testing.T) {
+	// Sealing inside a large PAL binds to the post-extra-extend PCR-17
+	// value; the same SLB with different extra code cannot unseal.
+	p := newPlatform(t)
+	var blob []byte
+	sealerExtra := palcrypto.NewPRNG([]byte("sealer-extra")).Bytes(64 * 1024)
+	mk := func(extra []byte, fn func(env *pal.Env, in []byte) ([]byte, error)) pal.PAL {
+		return &pal.Func{
+			PALName:     "large-sealer",
+			Binary:      pal.DescriptorCode("large-sealer", "1.0", nil, nil),
+			ExtraBinary: extra,
+			Fn:          fn,
+		}
+	}
+	sealer := mk(sealerExtra, func(env *pal.Env, in []byte) ([]byte, error) {
+		if len(in) > 0 {
+			return env.Unseal(in)
+		}
+		var err error
+		blob, err = env.SealToSelf([]byte("large secret"))
+		return []byte("sealed"), err
+	})
+	if res, err := p.RunSession(sealer, SessionOptions{}); err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+	// Same SLB, different extra code: unseal must fail.
+	imposter := mk(bytes.Repeat([]byte{9}, 64*1024), func(env *pal.Env, in []byte) ([]byte, error) {
+		if _, err := env.Unseal(in); err == nil {
+			return nil, errors.New("imposter unsealed the secret")
+		}
+		return []byte("blocked"), nil
+	})
+	res, err := p.RunSession(imposter, SessionOptions{Input: blob})
+	if err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+	// The genuine PAL gets it back.
+	res, err = p.RunSession(sealer, SessionOptions{Input: blob})
+	if err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+	if !bytes.Equal(res.Outputs, []byte("large secret")) {
+		t.Fatalf("recovered %q", res.Outputs)
+	}
+}

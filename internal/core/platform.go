@@ -1,0 +1,182 @@
+// Package core orchestrates Flicker sessions end to end: it owns the
+// simulated platform (TPM, machine, untrusted kernel, flicker-module) and
+// implements the Figure 2 timeline — accept SLB and inputs, initialize,
+// suspend the OS, SKINIT, run the PAL under the SLB Core, clean up, extend
+// PCR 17, resume the OS, and return the outputs.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"flicker/internal/flickermod"
+	"flicker/internal/hw/cpu"
+	"flicker/internal/hw/tis"
+	"flicker/internal/kernel"
+	"flicker/internal/pal"
+	"flicker/internal/palcrypto"
+	"flicker/internal/simtime"
+	"flicker/internal/slb"
+	"flicker/internal/tpm"
+)
+
+// PlatformConfig describes a simulated Flicker platform.
+type PlatformConfig struct {
+	// Cores is the machine's core count (default 2, like the paper's
+	// Athlon64 X2 test machine).
+	Cores int
+	// MemSize is the physical memory size (default 32 MB).
+	MemSize int
+	// Profile is the latency profile (default ProfileBroadcom).
+	Profile *simtime.Profile
+	// Seed makes the whole platform deterministic (default "flicker").
+	Seed string
+	// TPMKeyBits sets the TPM key size (default 512 for speed; latency is
+	// simulated regardless).
+	TPMKeyBits int
+	// NoiseFraction, if > 0, adds deterministic latency jitter (e.g. 0.01).
+	NoiseFraction float64
+}
+
+// Platform is a fully assembled simulated machine running the untrusted OS
+// with the flicker-module loaded.
+type Platform struct {
+	Clock   *simtime.Clock
+	Profile *simtime.Profile
+	TPM     *tpm.TPM
+	Bus     *tis.Bus
+	Machine *cpu.Machine
+	Kernel  *kernel.Kernel
+	Mod     *flickermod.Module
+
+	mu       sync.Mutex
+	registry map[tpm.Digest]*registeredPAL
+	seq      int
+
+	// sessionMu serializes Flicker sessions: the flicker-module owns a
+	// single SLB buffer and the machine supports one late launch at a
+	// time, so concurrent RunSession callers queue here exactly as
+	// concurrent ioctls against the real module would.
+	sessionMu sync.Mutex
+}
+
+type registeredPAL struct {
+	p     pal.PAL
+	image *slb.Image
+	opts  SessionOptions
+}
+
+// NewPlatform boots a platform: TPM, machine, kernel, flicker-module.
+func NewPlatform(cfg PlatformConfig) (*Platform, error) {
+	if cfg.Cores == 0 {
+		cfg.Cores = 2
+	}
+	if cfg.MemSize == 0 {
+		cfg.MemSize = 32 << 20
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = simtime.ProfileBroadcom()
+	}
+	if cfg.Seed == "" {
+		cfg.Seed = "flicker"
+	}
+	var clock *simtime.Clock
+	if cfg.NoiseFraction > 0 {
+		clock = simtime.NewWithNoise(0xF11C4E2, cfg.NoiseFraction)
+	} else {
+		clock = simtime.New()
+	}
+	tp, err := tpm.New(clock, cfg.Profile, tpm.Options{
+		Seed:    []byte("tpm|" + cfg.Seed),
+		KeyBits: cfg.TPMKeyBits,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: TPM: %w", err)
+	}
+	bus := tis.NewBus(tp)
+	machine, err := cpu.NewMachine(clock, cfg.Profile, bus, cpu.Config{
+		Cores:   cfg.Cores,
+		MemSize: cfg.MemSize,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: machine: %w", err)
+	}
+	k, err := kernel.Boot(machine, clock, cfg.Profile, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: kernel: %w", err)
+	}
+	mod, err := flickermod.Load(k, machine)
+	if err != nil {
+		return nil, fmt.Errorf("core: flicker-module: %w", err)
+	}
+	p := &Platform{
+		Clock:    clock,
+		Profile:  cfg.Profile,
+		TPM:      tp,
+		Bus:      bus,
+		Machine:  machine,
+		Kernel:   k,
+		Mod:      mod,
+		registry: make(map[tpm.Digest]*registeredPAL),
+	}
+	mod.SetLauncher(p)
+	return p, nil
+}
+
+// OSTPM returns a TPM driver at locality 0 — the untrusted OS's TSS stack
+// (used by the tqd to generate quotes after a session).
+func (p *Platform) OSTPM() *tpm.Client {
+	p.mu.Lock()
+	p.seq++
+	seed := fmt.Sprintf("os-tpm-%d", p.seq)
+	p.mu.Unlock()
+	return tpm.NewClient(p.Bus, tis.Locality0, []byte(seed))
+}
+
+// BuildImage builds (and caches nothing) the SLB image for a PAL under the
+// given options, so verifiers can compute expected measurements.
+func BuildImage(pl pal.PAL, twoStage bool) (*slb.Image, error) {
+	code := slb.PALCode{Name: pl.Name(), Code: pl.Code()}
+	if lp, ok := pl.(pal.LargePAL); ok {
+		code.Extra = lp.ExtraCode()
+	}
+	if twoStage {
+		return slb.BuildTwoStage(code)
+	}
+	return slb.Build(code)
+}
+
+// RegisterPAL associates a PAL with its image bytes so the sysfs control
+// path can find the behavior for a staged SLB. It returns the image.
+func (p *Platform) RegisterPAL(pl pal.PAL, opts SessionOptions) (*slb.Image, error) {
+	im, err := BuildImage(pl, opts.TwoStage)
+	if err != nil {
+		return nil, err
+	}
+	key := palcrypto.SHA1Sum(im.Bytes())
+	p.mu.Lock()
+	p.registry[key] = &registeredPAL{p: pl, image: im, opts: opts}
+	p.mu.Unlock()
+	return im, nil
+}
+
+// LaunchByMeasurement implements flickermod.Launcher: it runs a session for
+// a registered SLB identified by the hash of its unpatched bytes.
+func (p *Platform) LaunchByMeasurement(key [20]byte, inputs []byte) ([]byte, error) {
+	p.mu.Lock()
+	reg, ok := p.registry[key]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no PAL registered for SLB hash %x", key[:8])
+	}
+	opts := reg.opts
+	opts.Input = inputs
+	res, err := p.RunSession(reg.p, opts)
+	if err != nil {
+		return nil, err
+	}
+	if res.PALError != nil {
+		return nil, fmt.Errorf("core: PAL failed: %w", res.PALError)
+	}
+	return res.Outputs, nil
+}

@@ -1,0 +1,163 @@
+package extract
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const appSrc = `package app
+
+import (
+	"fmt"
+	"os"
+)
+
+const blockSize = 64
+
+type digest struct {
+	state [4]uint32
+	buf   []byte
+}
+
+func (d *digest) reset() {
+	d.state = initState
+	d.buf = nil
+}
+
+func (d *digest) update(p []byte) {
+	d.buf = append(d.buf, p...)
+}
+
+var initState = [4]uint32{1, 2, 3, 4}
+
+func hashPassword(pw string, salt string) []byte {
+	d := &digest{}
+	d.reset()
+	d.update([]byte(salt))
+	d.update([]byte(pw))
+	return finalize(d)
+}
+
+func finalize(d *digest) []byte {
+	out := make([]byte, blockSize)
+	for i, s := range d.state {
+		out[i] = byte(s)
+	}
+	return out
+}
+
+func mainLoop() {
+	for {
+		pw := readLine()
+		fmt.Println(hashPassword(pw, "salt"))
+	}
+}
+
+func readLine() string {
+	buf := make([]byte, 128)
+	n, _ := os.Stdin.Read(buf)
+	return string(buf[:n])
+}
+
+func unrelatedHelper() int { return 42 }
+`
+
+func TestExtractClosure(t *testing.T) {
+	res, err := Extract(map[string]string{"app.go": appSrc}, "hashPassword")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(res.Source)
+	// The closure: hashPassword, finalize, digest (+methods), blockSize,
+	// initState.
+	for _, want := range []string{"func hashPassword", "func finalize", "type digest",
+		"const blockSize", "var initState", "func (d *digest) reset", "func (d *digest) update"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("extracted source missing %q", want)
+		}
+	}
+	// Unrelated code stays out.
+	for _, bad := range []string{"mainLoop", "readLine", "unrelatedHelper"} {
+		if strings.Contains(src, bad) {
+			t.Errorf("extracted source includes unrelated %q", bad)
+		}
+	}
+	// No external references for this target.
+	if len(res.External) != 0 {
+		t.Errorf("external = %v, want none", res.External)
+	}
+	// The output must be parseable Go.
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "out.go", res.Source, 0); err != nil {
+		t.Fatalf("extracted source does not parse: %v\n%s", err, src)
+	}
+}
+
+func TestExtractReportsExternalReferences(t *testing.T) {
+	// Extracting mainLoop drags in fmt.Println and os.Stdin — the Go
+	// analogue of the paper's "by default, a PAL cannot call printf or
+	// malloc".
+	res, err := Extract(map[string]string{"app.go": appSrc}, "mainLoop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(res.External, ",")
+	for _, want := range []string{"fmt.Println", "os.Stdin"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("external list %q missing %q", got, want)
+		}
+	}
+	if !strings.Contains(string(res.Source), "func readLine") {
+		t.Error("transitive callee readLine missing")
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	if _, err := Extract(map[string]string{"a.go": appSrc}, "nope"); err == nil {
+		t.Error("missing target accepted")
+	}
+	if _, err := Extract(map[string]string{"a.go": appSrc}, "blockSize"); err == nil {
+		t.Error("non-function target accepted")
+	}
+	if _, err := Extract(map[string]string{"a.go": "not go code {{{"}, "x"); err == nil {
+		t.Error("unparseable source accepted")
+	}
+	if _, err := Extract(map[string]string{
+		"a.go": "package a\nfunc f() {}",
+		"b.go": "package b\nfunc g() {}",
+	}, "f"); err == nil {
+		t.Error("mixed packages accepted")
+	}
+}
+
+func TestExtractMultiFile(t *testing.T) {
+	res, err := Extract(map[string]string{
+		"one.go": "package p\n\nfunc entry() int { return helper() + 1 }\n",
+		"two.go": "package p\n\nfunc helper() int { return shared }\n\nvar shared = 7\n",
+	}, "entry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(res.Source)
+	for _, want := range []string{"func entry", "func helper", "var shared"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if len(res.Included) != 3 {
+		t.Errorf("included = %v", res.Included)
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	a, err := Extract(map[string]string{"app.go": appSrc}, "hashPassword")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Extract(map[string]string{"app.go": appSrc}, "hashPassword")
+	if string(a.Source) != string(b.Source) {
+		t.Fatal("extraction not deterministic")
+	}
+}

@@ -1,0 +1,500 @@
+// Package cpu simulates the processor side of an AMD SVM platform: a
+// multi-core machine with privilege rings, segmentation and paging state,
+// an interrupt controller capable of INIT inter-processor interrupts, and
+// the SKINIT instruction with all of the preconditions and hardware effects
+// the paper relies on (Section 2.4):
+//
+//   - SKINIT is privileged (ring 0) and valid only on the Boot Strap
+//     Processor; all Application Processors must have accepted an INIT IPI.
+//   - It programs the Device Exclusion Vector to block DMA to the SLB's
+//     64 KB, disables interrupts, and disables debug access.
+//   - It streams the SLB to the TPM at locality 4, resetting the dynamic
+//     PCRs and extending the SLB measurement into PCR 17.
+//   - It enters flat 32-bit protected mode with paging disabled and jumps
+//     to the SLB entry point.
+package cpu
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"flicker/internal/hw/memory"
+	"flicker/internal/hw/tis"
+	"flicker/internal/palcrypto"
+	"flicker/internal/simtime"
+	"flicker/internal/tpm"
+)
+
+// Ring is an x86 protection ring (0 most privileged, 3 least).
+type Ring int
+
+// CoreState tracks what a core is doing, at the granularity the SKINIT
+// preconditions care about.
+type CoreState int
+
+// Core states.
+const (
+	CoreRunning    CoreState = iota // executing scheduled work
+	CoreIdle                        // descheduled (CPU hotplug offline)
+	CoreInitHalted                  // received INIT IPI; waiting for SIPI
+)
+
+// String renders the state for diagnostics.
+func (s CoreState) String() string {
+	switch s {
+	case CoreRunning:
+		return "running"
+	case CoreIdle:
+		return "idle"
+	case CoreInitHalted:
+		return "init-halted"
+	default:
+		return fmt.Sprintf("CoreState(%d)", int(s))
+	}
+}
+
+// Core is one logical processor.
+type Core struct {
+	ID    int
+	IsBSP bool
+
+	mu                sync.Mutex
+	state             CoreState
+	ring              Ring
+	interruptsEnabled bool
+	pagingEnabled     bool
+	cr3               uint32 // page-table base register
+	gdtBase           uint32
+	segBase           uint32 // flattened CS/DS/SS base
+	segLimit          uint32
+}
+
+// State returns the core's scheduling state.
+func (c *Core) State() CoreState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Ring returns the core's current privilege ring.
+func (c *Core) Ring() Ring {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring
+}
+
+// SetRing moves the core to a privilege ring (used by the kernel for user
+// processes and by the SLB Core's OS-protection module for ring-3 PALs).
+func (c *Core) SetRing(r Ring) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ring = r
+}
+
+// InterruptsEnabled reports the core's IF flag.
+func (c *Core) InterruptsEnabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.interruptsEnabled
+}
+
+// SetInterrupts sets the core's IF flag (STI/CLI).
+func (c *Core) SetInterrupts(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.interruptsEnabled = on
+}
+
+// PagingEnabled reports whether paged memory mode is active.
+func (c *Core) PagingEnabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pagingEnabled
+}
+
+// SetPaging toggles paged memory mode, as the SLB Core does when resuming
+// the OS ("we re-enable paged memory mode" after reloading segments).
+func (c *Core) SetPaging(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pagingEnabled = on
+}
+
+// CR3 returns the page-table base register.
+func (c *Core) CR3() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cr3
+}
+
+// SetCR3 rewrites the page-table base register (restoring the kernel's page
+// tables during Resume OS).
+func (c *Core) SetCR3(v uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cr3 = v
+}
+
+// Segments returns the flattened segment base and limit.
+func (c *Core) Segments() (base, limit uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.segBase, c.segLimit
+}
+
+// SetSegments loads the flattened CS/DS/SS descriptors. The SLB Core uses
+// segments based at slb_base so position-dependent PAL code works; Resume
+// OS reloads descriptors covering all of memory.
+func (c *Core) SetSegments(base, limit uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.segBase, c.segLimit = base, limit
+}
+
+// GDTBase returns the loaded GDT physical base.
+func (c *Core) GDTBase() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gdtBase
+}
+
+// SetGDTBase loads a new GDT.
+func (c *Core) SetGDTBase(v uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gdtBase = v
+}
+
+// setState transitions the scheduling state.
+func (c *Core) setState(s CoreState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.state = s
+}
+
+// Machine is the whole platform: cores, physical memory, the TPM bus, and
+// the security-relevant global state SKINIT manipulates.
+type Machine struct {
+	Mem    *memory.PhysMem
+	TPMBus *tis.Bus
+
+	clock   *simtime.Clock
+	profile *simtime.Profile
+
+	mu            sync.Mutex
+	cores         []*Core
+	debugDisabled bool
+	secureActive  bool
+	pendingIRQs   []int
+	secureStash   *SecureStash
+}
+
+// Config describes a machine to construct.
+type Config struct {
+	Cores   int // >= 1; core 0 is the BSP
+	MemSize int // bytes of physical memory
+}
+
+// NewMachine builds a machine wired to the given TPM bus.
+func NewMachine(clock *simtime.Clock, profile *simtime.Profile, bus *tis.Bus, cfg Config) (*Machine, error) {
+	if cfg.Cores < 1 {
+		return nil, errors.New("cpu: need at least one core")
+	}
+	if cfg.MemSize <= 0 {
+		cfg.MemSize = 16 << 20
+	}
+	m := &Machine{
+		Mem:     memory.New(cfg.MemSize),
+		TPMBus:  bus,
+		clock:   clock,
+		profile: profile,
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		m.cores = append(m.cores, &Core{
+			ID:                i,
+			IsBSP:             i == 0,
+			state:             CoreRunning,
+			ring:              0,
+			interruptsEnabled: true,
+			pagingEnabled:     true,
+			segLimit:          uint32(cfg.MemSize - 1),
+		})
+	}
+	return m, nil
+}
+
+// Cores returns the machine's cores; index 0 is the BSP.
+func (m *Machine) Cores() []*Core { return m.cores }
+
+// BSP returns the Boot Strap Processor.
+func (m *Machine) BSP() *Core { return m.cores[0] }
+
+// DebugDisabled reports whether hardware debug access is blocked (true
+// while a late launch is active).
+func (m *Machine) DebugDisabled() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.debugDisabled
+}
+
+// SecureSessionActive reports whether a late launch is in progress.
+func (m *Machine) SecureSessionActive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.secureActive
+}
+
+// SendINITIPI delivers an INIT inter-processor interrupt to an AP. The AP
+// must be idle (descheduled via CPU hotplug) — sending INIT to a core that
+// is executing processes is the bug the paper's flicker-module avoids by
+// using CPU hotplug first (Section 4.2, "Suspend OS").
+func (m *Machine) SendINITIPI(coreID int) error {
+	if coreID <= 0 || coreID >= len(m.cores) {
+		return fmt.Errorf("cpu: INIT IPI to invalid core %d", coreID)
+	}
+	c := m.cores[coreID]
+	switch c.State() {
+	case CoreIdle:
+		c.setState(CoreInitHalted)
+		return nil
+	case CoreInitHalted:
+		return nil // already halted
+	default:
+		return fmt.Errorf("cpu: core %d is running; deschedule it before INIT", coreID)
+	}
+}
+
+// StartupAP releases an AP from INIT back to the running state (the SIPI
+// the OS sends after the Flicker session when it re-onlines the core).
+func (m *Machine) StartupAP(coreID int) error {
+	if coreID <= 0 || coreID >= len(m.cores) {
+		return fmt.Errorf("cpu: SIPI to invalid core %d", coreID)
+	}
+	m.cores[coreID].setState(CoreRunning)
+	return nil
+}
+
+// SetCoreIdle marks an AP as descheduled (CPU hotplug offline).
+func (m *Machine) SetCoreIdle(coreID int, idle bool) error {
+	if coreID <= 0 || coreID >= len(m.cores) {
+		return fmt.Errorf("cpu: invalid core %d", coreID)
+	}
+	if idle {
+		m.cores[coreID].setState(CoreIdle)
+	} else {
+		m.cores[coreID].setState(CoreRunning)
+	}
+	return nil
+}
+
+// PendInterrupt queues an external interrupt. If the BSP has interrupts
+// disabled (during a Flicker session), the interrupt stays pending and is
+// observed only after the OS resumes — this is the mechanism behind the
+// paper's discussion of lost keyboard input and deferred I/O (Section 7.5).
+func (m *Machine) PendInterrupt(irq int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pendingIRQs = append(m.pendingIRQs, irq)
+}
+
+// DrainInterrupts returns and clears pending interrupts if any running core
+// can take them; it returns nil while every available core has interrupts
+// disabled. During a classic Flicker session the BSP is masked and the APs
+// are INIT-halted, so interrupts stay pending; during a partitioned launch
+// (the [19] multicore extension) the other cores keep taking them.
+func (m *Machine) DrainInterrupts() []int {
+	deliverable := false
+	for _, c := range m.cores {
+		if c.State() == CoreRunning && c.InterruptsEnabled() {
+			deliverable = true
+			break
+		}
+	}
+	if !deliverable {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.pendingIRQs
+	m.pendingIRQs = nil
+	return out
+}
+
+// PendingInterruptCount reports how many interrupts are queued.
+func (m *Machine) PendingInterruptCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pendingIRQs)
+}
+
+// SLBMaxLen is the architectural limit on the Secure Loader Block: the
+// first two 16-bit words (length, entry point) "must be between 0 and
+// 64 KB".
+const SLBMaxLen = 64 * 1024
+
+// LateLaunch is the hardware context created by a successful SKINIT. The
+// session layer keeps it until the SLB Core resumes the OS.
+type LateLaunch struct {
+	m       *Machine
+	core    *Core
+	ended   bool
+	savedIF bool
+
+	// SLBBase is the physical address passed to SKINIT.
+	SLBBase uint32
+	// SLBLen and Entry are the header words read from the SLB.
+	SLBLen uint16
+	Entry  uint16
+	// Measurement is the SHA-1 of the SLB contents, as extended into
+	// PCR 17 by the TPM.
+	Measurement tpm.Digest
+	// PCR17 is the PCR 17 value after the measurement extend.
+	PCR17 tpm.Digest
+	// Partitioned marks a multicore-isolation launch (SKINITPartitioned):
+	// only the launching core was isolated.
+	Partitioned bool
+}
+
+// SKINIT executes the late-launch instruction on the given core.
+func (m *Machine) SKINIT(coreID int, slbBase uint32) (*LateLaunch, error) {
+	if coreID < 0 || coreID >= len(m.cores) {
+		return nil, fmt.Errorf("cpu: invalid core %d", coreID)
+	}
+	core := m.cores[coreID]
+
+	// Precondition: privileged instruction.
+	if core.Ring() != 0 {
+		return nil, errors.New("cpu: SKINIT is privileged (#GP: not ring 0)")
+	}
+	// Precondition: BSP only.
+	if !core.IsBSP {
+		return nil, errors.New("cpu: SKINIT can only be run on the BSP")
+	}
+	// Precondition: every AP has accepted an INIT IPI.
+	for _, c := range m.cores[1:] {
+		if c.State() != CoreInitHalted {
+			return nil, fmt.Errorf("cpu: AP %d not in INIT state (is %s); SKINIT handshake would fail",
+				c.ID, c.State())
+		}
+	}
+	m.mu.Lock()
+	if m.secureActive {
+		m.mu.Unlock()
+		return nil, errors.New("cpu: late launch already active")
+	}
+	m.mu.Unlock()
+
+	// Read and validate the SLB header: length and entry point words.
+	hdr, err := m.Mem.Read(slbBase, 4)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: SLB header: %w", err)
+	}
+	length := binary.LittleEndian.Uint16(hdr[0:2])
+	entry := binary.LittleEndian.Uint16(hdr[2:4])
+	if length == 0 {
+		return nil, errors.New("cpu: SLB length is zero")
+	}
+	if entry >= length {
+		return nil, fmt.Errorf("cpu: SLB entry point %#x beyond length %#x", entry, length)
+	}
+
+	// Hardware protections: DEV over the full 64 KB window regardless of
+	// the SLB's declared length ("SKINIT enables the Device Exclusion
+	// Vector for the entire 64 KB of memory starting from the base of the
+	// SLB, even if the SLB's length is less than 64 KB").
+	devLen := SLBMaxLen
+	if int(slbBase)+devLen > m.Mem.Size() {
+		devLen = m.Mem.Size() - int(slbBase)
+	}
+	if err := m.Mem.DEVProtect(slbBase, devLen); err != nil {
+		return nil, fmt.Errorf("cpu: DEV setup: %w", err)
+	}
+
+	savedIF := core.InterruptsEnabled()
+	core.SetInterrupts(false)
+	m.mu.Lock()
+	m.debugDisabled = true
+	m.secureActive = true
+	m.mu.Unlock()
+
+	// CPU state change cost (mode switch, DEV programming): the sub-1ms
+	// component of Table 2's zero-size row.
+	m.clock.Advance(m.profile.CPUStateChange, "cpu.skinit")
+
+	// Measure the SLB: only the declared length is transmitted (this is
+	// what makes the Section 7.2 "SKINIT Optimization" possible).
+	slb, err := m.Mem.Read(slbBase, int(length))
+	if err != nil {
+		m.abortLaunch(core, slbBase, savedIF)
+		return nil, fmt.Errorf("cpu: SLB read: %w", err)
+	}
+	pcr17, err := tpm.RunHashSequence(m.TPMBus, slb)
+	if err != nil {
+		m.abortLaunch(core, slbBase, savedIF)
+		return nil, fmt.Errorf("cpu: SLB measurement: %w", err)
+	}
+
+	// Enter flat 32-bit protected mode, paging disabled, at the entry point.
+	core.SetPaging(false)
+	core.SetSegments(slbBase, uint32(SLBMaxLen-1))
+
+	var meas tpm.Digest
+	sum := palcrypto.SHA1Sum(slb)
+	copy(meas[:], sum[:])
+	return &LateLaunch{
+		m:           m,
+		core:        core,
+		savedIF:     savedIF,
+		SLBBase:     slbBase,
+		SLBLen:      length,
+		Entry:       entry,
+		Measurement: meas,
+		PCR17:       pcr17,
+	}, nil
+}
+
+// abortLaunch unwinds partial SKINIT state after a mid-flight failure.
+func (m *Machine) abortLaunch(core *Core, slbBase uint32, savedIF bool) {
+	m.Mem.DEVClear(slbBase, SLBMaxLen)
+	core.SetInterrupts(savedIF)
+	m.mu.Lock()
+	m.debugDisabled = false
+	m.secureActive = false
+	m.mu.Unlock()
+}
+
+// Core returns the core the launch is running on.
+func (l *LateLaunch) Core() *Core { return l.core }
+
+// ExtendProtection adds DEV protection beyond the initial 64 KB, the
+// mechanism the paper describes for PALs larger than the SLB window.
+func (l *LateLaunch) ExtendProtection(addr uint32, n int) error {
+	if l.ended {
+		return errors.New("cpu: late launch already ended")
+	}
+	return l.m.Mem.DEVProtect(addr, n)
+}
+
+// End tears down the hardware protections: the SLB Core calls this as the
+// final step of Resume OS, after secrets are erased. Interrupts return to
+// their pre-SKINIT state and debug access is restored.
+func (l *LateLaunch) End() error {
+	if l.ended {
+		return errors.New("cpu: late launch already ended")
+	}
+	l.ended = true
+	if err := l.m.Mem.DEVClear(l.SLBBase, SLBMaxLen); err != nil {
+		return err
+	}
+	l.core.SetInterrupts(l.savedIF)
+	l.m.mu.Lock()
+	l.m.debugDisabled = false
+	l.m.secureActive = false
+	l.m.mu.Unlock()
+	return nil
+}
+
+// Ended reports whether End has been called.
+func (l *LateLaunch) Ended() bool { return l.ended }

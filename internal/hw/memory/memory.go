@@ -1,0 +1,210 @@
+// Package memory simulates the platform's physical memory system: a flat
+// physical address space, the Device Exclusion Vector (DEV) that SKINIT
+// programs to block DMA into the Secure Loader Block, and DMA-capable
+// devices that issue bus transactions.
+//
+// The adversary model of the paper (Section 3.1) explicitly includes
+// malicious DMA-capable expansion cards; this package lets tests mount that
+// attack and observe that the DEV defeats it.
+package memory
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PageSize is the size of a physical page; the DEV protects memory at page
+// granularity, as on real SVM hardware.
+const PageSize = 4096
+
+// PhysMem is the machine's physical memory: a flat byte-addressable array
+// plus the DEV. All accesses go through accessor methods so protection can
+// be enforced uniformly for CPU-originated and device-originated traffic.
+type PhysMem struct {
+	mu   sync.RWMutex
+	data []byte
+	dev  []bool // one bit per page; true = DMA excluded
+}
+
+// New creates a physical memory of the given size (rounded up to a page).
+func New(size int) *PhysMem {
+	if size <= 0 {
+		panic("memory: non-positive size")
+	}
+	pages := (size + PageSize - 1) / PageSize
+	return &PhysMem{
+		data: make([]byte, pages*PageSize),
+		dev:  make([]bool, pages),
+	}
+}
+
+// Size returns the size of physical memory in bytes.
+func (m *PhysMem) Size() int {
+	return len(m.data)
+}
+
+// AccessError describes a rejected memory transaction.
+type AccessError struct {
+	Addr   uint32
+	Len    int
+	Reason string
+}
+
+// Error describes the rejected transaction.
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("memory: access [%#x,+%d) rejected: %s", e.Addr, e.Len, e.Reason)
+}
+
+func (m *PhysMem) checkRange(addr uint32, n int) error {
+	if n < 0 || int(addr) > len(m.data) || int(addr)+n > len(m.data) {
+		return &AccessError{Addr: addr, Len: n, Reason: "out of physical memory"}
+	}
+	return nil
+}
+
+// Read copies n bytes starting at addr. CPU-originated reads are never
+// blocked by the DEV (the DEV filters only device traffic).
+func (m *PhysMem) Read(addr uint32, n int) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if err := m.checkRange(addr, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, m.data[addr:int(addr)+n])
+	return out, nil
+}
+
+// Write stores b at addr (CPU-originated).
+func (m *PhysMem) Write(addr uint32, b []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkRange(addr, len(b)); err != nil {
+		return err
+	}
+	copy(m.data[addr:], b)
+	return nil
+}
+
+// Zero clears n bytes starting at addr; used by the SLB Core's cleanup phase
+// to erase PAL secrets before the OS resumes.
+func (m *PhysMem) Zero(addr uint32, n int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkRange(addr, n); err != nil {
+		return err
+	}
+	for i := int(addr); i < int(addr)+n; i++ {
+		m.data[i] = 0
+	}
+	return nil
+}
+
+// DEVProtect marks the pages covering [addr, addr+n) as DMA-excluded.
+// SKINIT calls this for the 64 KB starting at the SLB base; preparatory code
+// in the first 64 KB may call it again to extend protection upward.
+func (m *PhysMem) DEVProtect(addr uint32, n int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkRange(addr, n); err != nil {
+		return err
+	}
+	for p := int(addr) / PageSize; p <= (int(addr)+n-1)/PageSize; p++ {
+		m.dev[p] = true
+	}
+	return nil
+}
+
+// DEVClear removes DMA exclusion from the pages covering [addr, addr+n);
+// the SLB Core clears its protections just before resuming the OS.
+func (m *PhysMem) DEVClear(addr uint32, n int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkRange(addr, n); err != nil {
+		return err
+	}
+	for p := int(addr) / PageSize; p <= (int(addr)+n-1)/PageSize; p++ {
+		m.dev[p] = false
+	}
+	return nil
+}
+
+// DEVProtected reports whether every page of [addr, addr+n) is DMA-excluded.
+func (m *PhysMem) DEVProtected(addr uint32, n int) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.checkRange(addr, n) != nil || n == 0 {
+		return false
+	}
+	for p := int(addr) / PageSize; p <= (int(addr)+n-1)/PageSize; p++ {
+		if !m.dev[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// devBlocks reports whether any page of [addr, addr+n) is DMA-excluded.
+func (m *PhysMem) devBlocks(addr uint32, n int) bool {
+	for p := int(addr) / PageSize; p <= (int(addr)+n-1)/PageSize; p++ {
+		if m.dev[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// DMARead performs a device-originated read. It fails with an AccessError
+// if any touched page is DEV-protected.
+func (m *PhysMem) DMARead(device string, addr uint32, n int) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if err := m.checkRange(addr, n); err != nil {
+		return nil, err
+	}
+	if n > 0 && m.devBlocks(addr, n) {
+		return nil, &AccessError{Addr: addr, Len: n,
+			Reason: fmt.Sprintf("DEV blocks DMA read by %q", device)}
+	}
+	out := make([]byte, n)
+	copy(out, m.data[addr:int(addr)+n])
+	return out, nil
+}
+
+// DMAWrite performs a device-originated write, subject to the DEV.
+func (m *PhysMem) DMAWrite(device string, addr uint32, b []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkRange(addr, len(b)); err != nil {
+		return err
+	}
+	if len(b) > 0 && m.devBlocks(addr, len(b)) {
+		return &AccessError{Addr: addr, Len: len(b),
+			Reason: fmt.Sprintf("DEV blocks DMA write by %q", device)}
+	}
+	copy(m.data[addr:], b)
+	return nil
+}
+
+// Device is a DMA-capable peripheral (e.g. the paper's example of a
+// malicious Ethernet card on the PCI bus). It can only touch memory through
+// DMARead/DMAWrite and is therefore subject to the DEV.
+type Device struct {
+	Name string
+	mem  *PhysMem
+}
+
+// AttachDevice registers a named DMA-capable device on the bus.
+func (m *PhysMem) AttachDevice(name string) *Device {
+	return &Device{Name: name, mem: m}
+}
+
+// Read issues a DMA read transaction from the device.
+func (d *Device) Read(addr uint32, n int) ([]byte, error) {
+	return d.mem.DMARead(d.Name, addr, n)
+}
+
+// Write issues a DMA write transaction from the device.
+func (d *Device) Write(addr uint32, b []byte) error {
+	return d.mem.DMAWrite(d.Name, addr, b)
+}

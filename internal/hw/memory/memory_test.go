@@ -1,0 +1,194 @@
+package memory
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRoundsUpToPage(t *testing.T) {
+	m := New(1)
+	if m.Size() != PageSize {
+		t.Fatalf("Size = %d, want %d", m.Size(), PageSize)
+	}
+}
+
+func TestNewPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New(64 * 1024)
+	data := []byte("flicker session state")
+	if err := m.Write(1000, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(1000, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q, want %q", got, data)
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	m := New(PageSize)
+	if _, err := m.Read(uint32(PageSize), 1); err == nil {
+		t.Error("read past end accepted")
+	}
+	if err := m.Write(uint32(PageSize-1), []byte{1, 2}); err == nil {
+		t.Error("write past end accepted")
+	}
+	var ae *AccessError
+	_, err := m.Read(1<<30, 4)
+	if !errors.As(err, &ae) {
+		t.Errorf("expected AccessError, got %v", err)
+	}
+}
+
+func TestZeroErasesSecrets(t *testing.T) {
+	m := New(2 * PageSize)
+	secret := []byte("private signing key material")
+	m.Write(100, secret)
+	if err := m.Zero(100, len(secret)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Read(100, len(secret))
+	if !bytes.Equal(got, make([]byte, len(secret))) {
+		t.Fatal("Zero left residue")
+	}
+}
+
+func TestDEVBlocksDMAButNotCPU(t *testing.T) {
+	m := New(32 * PageSize) // 128 KB: room for a full 64 KB SLB region
+	nic := m.AttachDevice("malicious-nic")
+	// Stage a secret in what will become the SLB region.
+	slbBase := uint32(4 * PageSize)
+	m.Write(slbBase, []byte("PAL secret"))
+
+	// Before protection, the device can read it (the attack works).
+	if _, err := nic.Read(slbBase, 10); err != nil {
+		t.Fatalf("pre-protection DMA read should succeed: %v", err)
+	}
+
+	if err := m.DEVProtect(slbBase, 64*1024); err != nil {
+		t.Fatal(err)
+	}
+	if !m.DEVProtected(slbBase, 64*1024) {
+		t.Fatal("DEVProtected = false after protect")
+	}
+
+	// DMA read and write are now blocked...
+	if _, err := nic.Read(slbBase, 10); err == nil {
+		t.Error("DEV failed to block DMA read")
+	}
+	if err := nic.Write(slbBase+100, []byte{0xEE}); err == nil {
+		t.Error("DEV failed to block DMA write")
+	}
+	// ...but CPU accesses still work (the PAL runs on the CPU).
+	if _, err := m.Read(slbBase, 10); err != nil {
+		t.Errorf("CPU read blocked by DEV: %v", err)
+	}
+}
+
+func TestDEVPartialOverlapBlocks(t *testing.T) {
+	m := New(16 * PageSize)
+	dev := m.AttachDevice("disk")
+	m.DEVProtect(uint32(2*PageSize), PageSize)
+	// A transfer straddling the protected page must be rejected entirely.
+	if _, err := dev.Read(uint32(2*PageSize-8), 16); err == nil {
+		t.Error("straddling DMA read accepted")
+	}
+	// A transfer entirely outside is fine.
+	if _, err := dev.Read(uint32(4*PageSize), 16); err != nil {
+		t.Errorf("unrelated DMA read blocked: %v", err)
+	}
+}
+
+func TestDEVClearRestoresDMA(t *testing.T) {
+	m := New(8 * PageSize)
+	dev := m.AttachDevice("nic")
+	m.DEVProtect(0, 2*PageSize)
+	if err := m.DEVClear(0, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if m.DEVProtected(0, PageSize) {
+		t.Error("still protected after clear")
+	}
+	if _, err := dev.Read(0, 64); err != nil {
+		t.Errorf("DMA still blocked after clear: %v", err)
+	}
+}
+
+func TestDEVProtectedEdgeCases(t *testing.T) {
+	m := New(4 * PageSize)
+	if m.DEVProtected(0, 0) {
+		t.Error("zero-length range reported protected")
+	}
+	if m.DEVProtected(uint32(m.Size()), 1) {
+		t.Error("out-of-range reported protected")
+	}
+	m.DEVProtect(0, PageSize)
+	if m.DEVProtected(0, 2*PageSize) {
+		t.Error("partially protected range reported fully protected")
+	}
+}
+
+// Property: for any in-range write, a read of the same range returns the
+// written bytes, and DMA behaves identically to CPU access when no DEV
+// protection overlaps.
+func TestReadWriteProperty(t *testing.T) {
+	m := New(64 * PageSize)
+	dev := m.AttachDevice("prop")
+	f := func(addrRaw uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		addr := uint32(addrRaw)
+		if int(addr)+len(data) > m.Size() {
+			return true
+		}
+		if err := m.Write(addr, data); err != nil {
+			return false
+		}
+		cpu, err := m.Read(addr, len(data))
+		if err != nil || !bytes.Equal(cpu, data) {
+			return false
+		}
+		dma, err := dev.Read(addr, len(data))
+		return err == nil && bytes.Equal(dma, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: protect+clear over arbitrary ranges always leaves the DEV
+// consistent: after clearing everything we protected, no page blocks DMA.
+func TestDEVProtectClearProperty(t *testing.T) {
+	f := func(ranges [][2]uint16) bool {
+		m := New(32 * PageSize)
+		dev := m.AttachDevice("p")
+		for _, r := range ranges {
+			addr := uint32(r[0]) % uint32(m.Size())
+			n := int(r[1])%PageSize + 1
+			if int(addr)+n > m.Size() {
+				continue
+			}
+			m.DEVProtect(addr, n)
+		}
+		m.DEVClear(0, m.Size())
+		_, err := dev.Read(0, m.Size())
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

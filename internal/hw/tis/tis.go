@@ -1,0 +1,116 @@
+// Package tis simulates the TPM Interface Specification (TIS) transport:
+// the memory-mapped window through which software and the chipset talk to
+// the TPM. It models the parts Flicker depends on: localities (the CPU
+// issues SKINIT's PCR-17 reset at locality 4, which no software can claim),
+// access arbitration between the untrusted OS driver and the PAL's driver,
+// and byte-level command/response framing.
+package tis
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Locality identifies the privilege of the requester on the LPC bus.
+type Locality int
+
+// Localities defined by the TIS specification. Locality4 is asserted only
+// by the CPU microcode during SKINIT; software cannot claim it.
+const (
+	Locality0 Locality = iota // legacy software (the untrusted OS)
+	Locality1                 // trusted OS components
+	Locality2                 // the dynamically launched environment (the PAL)
+	Locality3                 // auxiliary trusted components
+	Locality4                 // CPU hardware (SKINIT) only
+)
+
+// Valid reports whether l is a defined locality.
+func (l Locality) Valid() bool { return l >= Locality0 && l <= Locality4 }
+
+// Handler processes one marshaled TPM command issued at a locality and
+// returns the marshaled response. The TPM core implements this.
+type Handler interface {
+	HandleCommand(loc Locality, cmd []byte) []byte
+}
+
+// Bus is the TIS access-control front end in front of a Handler.
+type Bus struct {
+	mu      sync.Mutex
+	tpm     Handler
+	active  Locality
+	claimed bool
+}
+
+// ErrLocalityBusy is returned when a different locality holds the interface.
+var ErrLocalityBusy = errors.New("tis: interface held by another locality")
+
+// ErrNotClaimed is returned when submitting a command without access.
+var ErrNotClaimed = errors.New("tis: locality has not requested use")
+
+// NewBus wraps a TPM command handler in TIS access arbitration.
+func NewBus(tpm Handler) *Bus {
+	return &Bus{tpm: tpm, active: -1}
+}
+
+// RequestUse claims the interface for a locality. A higher locality can
+// seize the interface from a lower one (the TIS priority rule that lets
+// SKINIT's locality-4 traffic preempt the OS driver); equal or lower
+// localities must wait for a release.
+func (b *Bus) RequestUse(l Locality) error {
+	if !l.Valid() {
+		return fmt.Errorf("tis: invalid locality %d", l)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.claimed && l <= b.active {
+		return ErrLocalityBusy
+	}
+	b.active = l
+	b.claimed = true
+	return nil
+}
+
+// Release relinquishes the interface if l currently holds it.
+func (b *Bus) Release(l Locality) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.claimed || b.active != l {
+		return fmt.Errorf("tis: locality %d does not hold the interface", l)
+	}
+	b.claimed = false
+	b.active = -1
+	return nil
+}
+
+// ActiveLocality returns the locality holding the interface, or -1.
+func (b *Bus) ActiveLocality() Locality {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.claimed {
+		return -1
+	}
+	return b.active
+}
+
+// Submit sends a marshaled command at locality l. The locality must hold
+// the interface.
+func (b *Bus) Submit(l Locality, cmd []byte) ([]byte, error) {
+	b.mu.Lock()
+	if !b.claimed || b.active != l {
+		b.mu.Unlock()
+		return nil, ErrNotClaimed
+	}
+	b.mu.Unlock()
+	return b.tpm.HandleCommand(l, cmd), nil
+}
+
+// SubmitAt is a convenience that claims, submits, and releases in one call;
+// hardware paths (SKINIT) use it since their access cannot be contended.
+func (b *Bus) SubmitAt(l Locality, cmd []byte) ([]byte, error) {
+	if err := b.RequestUse(l); err != nil {
+		return nil, err
+	}
+	defer b.Release(l)
+	return b.Submit(l, cmd)
+}

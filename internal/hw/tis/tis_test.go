@@ -1,0 +1,113 @@
+package tis
+
+import (
+	"bytes"
+	"testing"
+)
+
+// echoTPM is a trivial handler recording the locality of each command.
+type echoTPM struct {
+	lastLoc Locality
+}
+
+func (e *echoTPM) HandleCommand(loc Locality, cmd []byte) []byte {
+	e.lastLoc = loc
+	out := append([]byte{byte(loc)}, cmd...)
+	return out
+}
+
+func TestRequestSubmitRelease(t *testing.T) {
+	e := &echoTPM{}
+	b := NewBus(e)
+	if err := b.RequestUse(Locality0); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := b.Submit(Locality0, []byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte{0, 1, 2, 3}) {
+		t.Fatalf("resp = %v", resp)
+	}
+	if err := b.Release(Locality0); err != nil {
+		t.Fatal(err)
+	}
+	if b.ActiveLocality() != -1 {
+		t.Fatal("interface still active after release")
+	}
+}
+
+func TestSubmitWithoutClaimFails(t *testing.T) {
+	b := NewBus(&echoTPM{})
+	if _, err := b.Submit(Locality0, nil); err != ErrNotClaimed {
+		t.Fatalf("err = %v, want ErrNotClaimed", err)
+	}
+	// Claimed by someone else.
+	b.RequestUse(Locality1)
+	if _, err := b.Submit(Locality0, nil); err != ErrNotClaimed {
+		t.Fatalf("err = %v, want ErrNotClaimed", err)
+	}
+}
+
+func TestHigherLocalitySeizes(t *testing.T) {
+	b := NewBus(&echoTPM{})
+	if err := b.RequestUse(Locality0); err != nil {
+		t.Fatal(err)
+	}
+	// The OS (locality 0) holds the interface; SKINIT (locality 4) seizes it.
+	if err := b.RequestUse(Locality4); err != nil {
+		t.Fatalf("locality 4 could not seize: %v", err)
+	}
+	if got := b.ActiveLocality(); got != Locality4 {
+		t.Fatalf("active = %v, want Locality4", got)
+	}
+	// The OS can no longer submit.
+	if _, err := b.Submit(Locality0, nil); err == nil {
+		t.Fatal("seized locality could still submit")
+	}
+}
+
+func TestEqualOrLowerLocalityBlocked(t *testing.T) {
+	b := NewBus(&echoTPM{})
+	b.RequestUse(Locality2)
+	if err := b.RequestUse(Locality2); err != ErrLocalityBusy {
+		t.Fatalf("equal locality: err = %v, want busy", err)
+	}
+	if err := b.RequestUse(Locality1); err != ErrLocalityBusy {
+		t.Fatalf("lower locality: err = %v, want busy", err)
+	}
+}
+
+func TestReleaseWrongHolder(t *testing.T) {
+	b := NewBus(&echoTPM{})
+	b.RequestUse(Locality2)
+	if err := b.Release(Locality0); err == nil {
+		t.Fatal("released by non-holder")
+	}
+}
+
+func TestInvalidLocality(t *testing.T) {
+	b := NewBus(&echoTPM{})
+	if err := b.RequestUse(Locality(9)); err == nil {
+		t.Fatal("accepted invalid locality")
+	}
+	if Locality(-1).Valid() || Locality(5).Valid() {
+		t.Fatal("Valid() wrong for out-of-range localities")
+	}
+}
+
+func TestSubmitAt(t *testing.T) {
+	e := &echoTPM{}
+	b := NewBus(e)
+	resp, err := b.SubmitAt(Locality4, []byte{0xAB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.lastLoc != Locality4 || !bytes.Equal(resp, []byte{4, 0xAB}) {
+		t.Fatalf("lastLoc=%v resp=%v", e.lastLoc, resp)
+	}
+	// Interface must be free afterwards.
+	if b.ActiveLocality() != -1 {
+		t.Fatal("SubmitAt leaked the claim")
+	}
+}

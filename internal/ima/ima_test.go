@@ -1,0 +1,237 @@
+package ima
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"flicker/internal/attest"
+	"flicker/internal/core"
+	"flicker/internal/pal"
+	"flicker/internal/palcrypto"
+	"flicker/internal/tpm"
+)
+
+type rig struct {
+	p      *core.Platform
+	agent  *Agent
+	aik    uint32
+	aikPub *palcrypto.RSAPublicKey
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	p, err := core.NewPlatform(core.PlatformConfig{Seed: "ima-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	osTPM := p.OSTPM()
+	aik, aikPub, _, err := osTPM.MakeIdentity(tpm.Digest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{p: p, agent: NewAgent(p.OSTPM()), aik: aik, aikPub: aikPub}
+}
+
+// bootChain loads a plausible software stack through the agent and returns
+// the verifier's known-good database.
+func (r *rig) bootChain(t *testing.T, n int) map[tpm.Digest]bool {
+	t.Helper()
+	known := make(map[tpm.Digest]bool)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("/usr/bin/app-%03d", i)
+		content := []byte("binary:" + name)
+		if err := r.agent.Measure(name, content); err != nil {
+			t.Fatal(err)
+		}
+		known[palcrypto.SHA1Sum(content)] = true
+	}
+	return known
+}
+
+func TestTrustedBootVerifies(t *testing.T) {
+	r := newRig(t)
+	known := r.bootChain(t, 25)
+	nonce := palcrypto.SHA1Sum([]byte("n1"))
+	att, err := r.agent.Attest(r.aik, tpm.Digest{}, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assessed, err := Verify(r.aikPub, att, nonce, known)
+	if err != nil {
+		t.Fatalf("clean boot rejected: %v", err)
+	}
+	// The paper's point: the verifier had to assess EVERY entry.
+	if assessed != 25 {
+		t.Fatalf("assessed %d entries, want 25", assessed)
+	}
+}
+
+func TestTamperedLogRejected(t *testing.T) {
+	r := newRig(t)
+	known := r.bootChain(t, 5)
+	nonce := palcrypto.SHA1Sum([]byte("n2"))
+	att, err := r.agent.Attest(r.aik, tpm.Digest{}, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The OS rewrites a log entry to hide a load: aggregate mismatch.
+	att.Log[2].Hash = palcrypto.SHA1Sum([]byte("innocent-looking"))
+	if _, err := Verify(r.aikPub, att, nonce, known); err == nil ||
+		!strings.Contains(err.Error(), "tampered log") {
+		t.Fatalf("err = %v, want tampered-log rejection", err)
+	}
+}
+
+func TestUnknownSoftwareRejected(t *testing.T) {
+	r := newRig(t)
+	known := r.bootChain(t, 5)
+	if err := r.agent.Measure("/tmp/unknown-binary", []byte("who knows")); err != nil {
+		t.Fatal(err)
+	}
+	nonce := palcrypto.SHA1Sum([]byte("n3"))
+	att, _ := r.agent.Attest(r.aik, tpm.Digest{}, nonce)
+	if _, err := Verify(r.aikPub, att, nonce, known); err == nil {
+		t.Fatal("unknown software accepted")
+	}
+}
+
+func TestCompromiseGapVsFlicker(t *testing.T) {
+	// The paper's core criticism (Section 8): "a single compromised piece
+	// of code may compromise all subsequent code." A measured-but-
+	// vulnerable component is exploited at runtime; the kernel then loads
+	// malware WITHOUT measuring it. The trusted-boot attestation still
+	// verifies — the verifier is blind to the malware.
+	r := newRig(t)
+	known := r.bootChain(t, 10)
+	r.p.Kernel.Compromise()
+	// Malware loads unmeasured (the compromised kernel skips the agent).
+	if _, err := r.p.Kernel.LoadModule("stealth-rootkit", 4096); err != nil {
+		t.Fatal(err)
+	}
+	nonce := palcrypto.SHA1Sum([]byte("n4"))
+	att, _ := r.agent.Attest(r.aik, tpm.Digest{}, nonce)
+	if _, err := Verify(r.aikPub, att, nonce, known); err != nil {
+		t.Fatalf("expected the trusted-boot gap: verification failed with %v", err)
+	}
+	// Flicker closes the gap: a detector PAL hashes the ACTUAL kernel
+	// state, and the malicious module changes the measured regions.
+	regions := r.p.Kernel.MeasurableRegions()
+	if len(regions) != 3 { // text + syscall table + the rootkit module
+		t.Fatalf("regions = %d", len(regions))
+	}
+}
+
+func TestVerifierBurdenGrowsWithPlatform(t *testing.T) {
+	// Quantify "meaningful attestation": trusted-boot attestation size and
+	// assessment count grow linearly with loaded software; Flicker's stay
+	// constant.
+	sizes := map[int]int{}
+	for _, n := range []int{10, 100, 400} {
+		r := newRig(t)
+		known := r.bootChain(t, n)
+		nonce := palcrypto.SHA1Sum([]byte("n5"))
+		att, err := r.agent.Attest(r.aik, tpm.Digest{}, nonce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assessed, err := Verify(r.aikPub, att, nonce, known)
+		if err != nil || assessed != n {
+			t.Fatalf("n=%d: assessed=%d err=%v", n, assessed, err)
+		}
+		sizes[n] = att.AttestationSize()
+	}
+	if !(sizes[10] < sizes[100] && sizes[100] < sizes[400]) {
+		t.Fatalf("attestation size not growing: %v", sizes)
+	}
+	// Linear growth of the log payload (net of the constant quote part):
+	// 100→400 entries adds ~3.3x what 10→100 added.
+	if sizes[400]-sizes[100] < 3*(sizes[100]-sizes[10]) {
+		t.Fatalf("expected ~linear growth, got %v", sizes)
+	}
+}
+
+func TestNonceFreshness(t *testing.T) {
+	r := newRig(t)
+	known := r.bootChain(t, 3)
+	n1 := palcrypto.SHA1Sum([]byte("fresh"))
+	att, _ := r.agent.Attest(r.aik, tpm.Digest{}, n1)
+	n2 := palcrypto.SHA1Sum([]byte("other"))
+	if _, err := Verify(r.aikPub, att, n2, known); err == nil {
+		t.Fatal("stale attestation accepted")
+	}
+	if _, err := Verify(r.aikPub, nil, n1, known); err == nil {
+		t.Fatal("nil attestation accepted")
+	}
+}
+
+func TestStaticPCRNotResettable(t *testing.T) {
+	// The measurement PCR is static: only a reboot clears it, so the log
+	// cannot be "rewound" (contrast with the dynamic PCR 17).
+	r := newRig(t)
+	r.bootChain(t, 2)
+	osTPM := r.p.OSTPM()
+	if err := osTPM.PCRReset(tpm.SelectPCRs(MeasurementPCR)); err == nil {
+		t.Fatal("static PCR reset accepted")
+	}
+	before := r.p.TPM.PCRValue(MeasurementPCR)
+	r.p.TPM.Reboot()
+	if err := r.p.OSTPM().Startup(); err != nil {
+		t.Fatal(err)
+	}
+	if r.p.TPM.PCRValue(MeasurementPCR) == before {
+		t.Fatal("reboot did not clear the static PCR")
+	}
+	if r.p.TPM.PCRValue(MeasurementPCR) != (tpm.Digest{}) {
+		t.Fatal("static PCR not zero after reboot")
+	}
+}
+
+// TestFlickerAttestationConstantSize contrasts the two models directly.
+func TestFlickerAttestationConstantSize(t *testing.T) {
+	r := newRig(t)
+	r.bootChain(t, 200) // platform has run plenty of software
+	// The Flicker verifier needs: one quote signature + the PAL identity +
+	// inputs/outputs. Nothing about the 200 loaded binaries.
+	ca, err := attest.NewPrivacyCA([]byte("ima-ca"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tqd, err := attest.NewDaemon(r.p.OSTPM(), tpm.Digest{}, ca, "host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello := helloPAL()
+	nonce := palcrypto.SHA1Sum([]byte("flicker-n"))
+	res, err := r.p.RunSession(hello, core.SessionOptions{Nonce: &nonce})
+	if err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+	att, err := tqd.Quote(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, _ := core.BuildImage(hello, false)
+	im.Patch(res.SLBBase)
+	if err := attest.VerifySession(ca.PublicKey(), att, nonce, im, nil, res.Outputs); err != nil {
+		t.Fatalf("flicker attestation failed on a busy platform: %v", err)
+	}
+	// And it leaks nothing about the other software: the quote covers
+	// PCR 17 only.
+	flickerSize := len(att.Signature) + 2*tpm.DigestSize
+	imaAtt, _ := r.agent.Attest(r.aik, tpm.Digest{}, nonce)
+	if imaAtt.AttestationSize() < 10*flickerSize {
+		t.Fatalf("expected IMA attestation (%d B) >> Flicker attestation (%d B)",
+			imaAtt.AttestationSize(), flickerSize)
+	}
+}
+
+func helloPAL() pal.PAL {
+	return &pal.Func{
+		PALName: "ima-demo",
+		Binary:  pal.DescriptorCode("ima-demo", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			return []byte("ok"), nil
+		},
+	}
+}

@@ -1,0 +1,195 @@
+package kernel
+
+import (
+	"fmt"
+	"time"
+
+	"flicker/internal/hw/memory"
+	"flicker/internal/palcrypto"
+)
+
+// BlockDev is a DMA-capable block device (hard drive, CD-ROM, USB stick).
+// Its transfers go through the machine's DMA path and are therefore subject
+// to the DEV; the driver defers transfers while a Flicker session is active,
+// the mitigation Section 7.5 recommends ("these transfers should be
+// scheduled such that they do not occur during a Flicker session").
+type BlockDev struct {
+	Name    string
+	storage []byte
+	dma     *memory.Device
+	k       *Kernel
+	// perByte is the simulated transfer cost (bus + media).
+	perByte time.Duration
+}
+
+// AttachBlockDev creates a block device of the given capacity.
+func (k *Kernel) AttachBlockDev(name string, capacity int, perByte time.Duration) *BlockDev {
+	b := &BlockDev{
+		Name:    name,
+		storage: make([]byte, capacity),
+		dma:     k.M.Mem.AttachDevice(name),
+		k:       k,
+		perByte: perByte,
+	}
+	k.mu.Lock()
+	k.devs[name] = b
+	k.mu.Unlock()
+	return b
+}
+
+// BlockDevice returns an attached device by name.
+func (k *Kernel) BlockDevice(name string) (*BlockDev, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	b, ok := k.devs[name]
+	return b, ok
+}
+
+// Store writes media content directly (staging test data; not a DMA path).
+func (b *BlockDev) Store(off int, data []byte) error {
+	if off < 0 || off+len(data) > len(b.storage) {
+		return fmt.Errorf("kernel: %s: store out of range", b.Name)
+	}
+	copy(b.storage[off:], data)
+	return nil
+}
+
+// Media reads media content directly (for integrity checks).
+func (b *BlockDev) Media(off, n int) ([]byte, error) {
+	if off < 0 || off+n > len(b.storage) {
+		return nil, fmt.Errorf("kernel: %s: media read out of range", b.Name)
+	}
+	out := make([]byte, n)
+	copy(out, b.storage[off:])
+	return out, nil
+}
+
+// Checksum returns the MD5 of a media range — the paper verified copied
+// files with md5sum (Section 7.5).
+func (b *BlockDev) Checksum(off, n int) ([16]byte, error) {
+	data, err := b.Media(off, n)
+	if err != nil {
+		return [16]byte{}, err
+	}
+	return palcrypto.MD5Sum(data), nil
+}
+
+// Copy is an in-flight device-to-device file copy pumped through a DMA
+// bounce buffer in kernel memory.
+type Copy struct {
+	k          *Kernel
+	src, dst   *BlockDev
+	srcOff     int
+	dstOff     int
+	remaining  int
+	bounceAddr uint32
+	bounceLen  int
+	Deferred   int // chunks deferred because a Flicker session was active
+	IOErrors   int // DMA faults (should stay zero with a well-behaved driver)
+}
+
+// StartCopy begins copying n bytes between devices using a fresh bounce
+// buffer of the given chunk size.
+func (k *Kernel) StartCopy(src *BlockDev, srcOff int, dst *BlockDev, dstOff, n, chunk int) (*Copy, error) {
+	if chunk <= 0 {
+		chunk = 64 * 1024
+	}
+	addr, err := k.KAlloc(chunk, 4096)
+	if err != nil {
+		return nil, err
+	}
+	return &Copy{
+		k: k, src: src, dst: dst,
+		srcOff: srcOff, dstOff: dstOff, remaining: n,
+		bounceAddr: addr, bounceLen: chunk,
+	}, nil
+}
+
+// Done reports whether the copy has finished.
+func (c *Copy) Done() bool { return c.remaining <= 0 }
+
+// Pump transfers up to maxBytes. A well-behaved driver defers if a Flicker
+// session is active (counting Deferred); the transfer itself is two DMA
+// transactions per chunk (device→RAM, RAM→device) plus media time.
+func (c *Copy) Pump(maxBytes int) (int, error) {
+	if c.Done() {
+		return 0, nil
+	}
+	if c.k.M.SecureSessionActive() {
+		c.Deferred++
+		return 0, nil
+	}
+	moved := 0
+	for moved < maxBytes && c.remaining > 0 {
+		n := c.bounceLen
+		if n > c.remaining {
+			n = c.remaining
+		}
+		if n > maxBytes-moved {
+			n = maxBytes - moved
+		}
+		// Device reads media and DMA-writes into the bounce buffer.
+		data, err := c.src.Media(c.srcOff, n)
+		if err != nil {
+			return moved, err
+		}
+		if err := c.src.dma.Write(c.bounceAddr, data); err != nil {
+			c.IOErrors++
+			return moved, fmt.Errorf("kernel: DMA fault on %s: %w", c.src.Name, err)
+		}
+		// Destination DMA-reads the bounce buffer and writes media.
+		buf, err := c.dst.dma.Read(c.bounceAddr, n)
+		if err != nil {
+			c.IOErrors++
+			return moved, fmt.Errorf("kernel: DMA fault on %s: %w", c.dst.Name, err)
+		}
+		if err := c.dst.Store(c.dstOff, buf); err != nil {
+			return moved, err
+		}
+		cost := time.Duration(n) * (c.src.perByte + c.dst.perByte)
+		c.k.clock.Advance(cost, "io.copy")
+		c.srcOff += n
+		c.dstOff += n
+		c.remaining -= n
+		moved += n
+	}
+	return moved, nil
+}
+
+// PumpUnsafely transfers one chunk WITHOUT checking for an active Flicker
+// session — a driver that is not Flicker-aware. Its DMA will fault against
+// the DEV if it touches protected pages, which tests use to show why
+// Flicker-aware drivers matter.
+func (c *Copy) PumpUnsafely(maxBytes int) (int, error) {
+	if c.Done() {
+		return 0, nil
+	}
+	n := c.bounceLen
+	if n > c.remaining {
+		n = c.remaining
+	}
+	if n > maxBytes {
+		n = maxBytes
+	}
+	data, err := c.src.Media(c.srcOff, n)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.src.dma.Write(c.bounceAddr, data); err != nil {
+		c.IOErrors++
+		return 0, fmt.Errorf("kernel: DMA fault on %s: %w", c.src.Name, err)
+	}
+	buf, err := c.dst.dma.Read(c.bounceAddr, n)
+	if err != nil {
+		c.IOErrors++
+		return 0, err
+	}
+	if err := c.dst.Store(c.dstOff, buf); err != nil {
+		return 0, err
+	}
+	c.k.clock.Advance(time.Duration(n)*(c.src.perByte+c.dst.perByte), "io.copy")
+	c.srcOff += n
+	c.dstOff += n
+	c.remaining -= n
+	return n, nil
+}

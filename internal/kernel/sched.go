@@ -1,0 +1,225 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"flicker/internal/hw/cpu"
+)
+
+// Process is a schedulable unit of simulated CPU work.
+type Process struct {
+	PID       int
+	Name      string
+	Remaining time.Duration // simulated CPU time left
+}
+
+// Spawn creates a process with the given amount of CPU work to do.
+func (k *Kernel) Spawn(name string, work time.Duration) *Process {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p := &Process{PID: k.nextPID, Name: name, Remaining: work}
+	k.nextPID++
+	k.procs[p.PID] = p
+	return p
+}
+
+// Processes returns the live processes sorted by PID.
+func (k *Kernel) Processes() []*Process {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]*Process, 0, len(k.procs))
+	for _, p := range k.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+// onlineCores counts cores currently available for scheduling.
+func (k *Kernel) onlineCores() int {
+	n := 0
+	for _, c := range k.M.Cores() {
+		if c.State() == cpu.CoreRunning && !k.offline[c.ID] {
+			n++
+		}
+	}
+	return n
+}
+
+// OnlineCoreCount reports how many cores the scheduler can use.
+func (k *Kernel) OnlineCoreCount() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.onlineCores()
+}
+
+// OfflineCore deschedules an AP via CPU hotplug ("CPU Hotplug support
+// available in recent Linux kernels (starting with version 2.6.19)"): its
+// processes migrate to the remaining cores and the core goes idle.
+func (k *Kernel) OfflineCore(coreID int) error {
+	if coreID == 0 {
+		return fmt.Errorf("kernel: cannot offline the BSP")
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.offline[coreID] {
+		return nil
+	}
+	if err := k.M.SetCoreIdle(coreID, true); err != nil {
+		return err
+	}
+	k.offline[coreID] = true
+	// Migration is implicit: Run schedules over online cores only.
+	return nil
+}
+
+// OnlineCore brings a hotplugged core back (SIPI + scheduler visibility).
+func (k *Kernel) OnlineCore(coreID int) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if !k.offline[coreID] {
+		return nil
+	}
+	if err := k.M.StartupAP(coreID); err != nil {
+		return err
+	}
+	delete(k.offline, coreID)
+	return nil
+}
+
+// Run advances simulated time by at most d, distributing CPU time across
+// live processes on the online cores, and returns the simulated time
+// actually consumed (less than d if all work finished early). Interrupts
+// pending on the BSP are drained first, charging a small handling cost.
+func (k *Kernel) Run(d time.Duration) time.Duration {
+	for _, irq := range k.M.DrainInterrupts() {
+		_ = irq
+		k.clock.Advance(10*time.Microsecond, "os.irq")
+	}
+	k.mu.Lock()
+	cores := k.onlineCores()
+	var live []*Process
+	for _, p := range k.procs {
+		if p.Remaining > 0 {
+			live = append(live, p)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].PID < live[j].PID })
+	k.mu.Unlock()
+
+	if cores == 0 || len(live) == 0 {
+		return 0
+	}
+	// Work the cores can retire in d of wall time, spread evenly over
+	// runnable processes (an idealized CFS).
+	var consumed time.Duration
+	remainingWall := d
+	for remainingWall > 0 {
+		k.mu.Lock()
+		live = live[:0]
+		for _, p := range k.procs {
+			if p.Remaining > 0 {
+				live = append(live, p)
+			}
+		}
+		sort.Slice(live, func(i, j int) bool { return live[i].PID < live[j].PID })
+		if len(live) == 0 {
+			k.mu.Unlock()
+			break
+		}
+		// Time until the next process completes, if all cores divide evenly.
+		runnable := len(live)
+		if runnable > cores {
+			runnable = cores
+		}
+		// Shortest remaining first among the scheduled set for the slice
+		// calculation; everyone scheduled progresses at full core speed.
+		slice := remainingWall
+		for i := 0; i < runnable; i++ {
+			if live[i].Remaining < slice {
+				slice = live[i].Remaining
+			}
+		}
+		for i := 0; i < runnable; i++ {
+			live[i].Remaining -= slice
+		}
+		k.mu.Unlock()
+		k.clock.Advance(slice, "os.work")
+		consumed += slice
+		remainingWall -= slice
+	}
+	k.reap()
+	return consumed
+}
+
+// RunToCompletion runs until every process has exhausted its work,
+// returning the simulated time consumed.
+func (k *Kernel) RunToCompletion() time.Duration {
+	var total time.Duration
+	for {
+		c := k.Run(time.Second)
+		total += c
+		if c == 0 {
+			return total
+		}
+	}
+}
+
+// reap removes finished processes.
+func (k *Kernel) reap() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for pid, p := range k.procs {
+		if p.Remaining <= 0 {
+			delete(k.procs, pid)
+		}
+	}
+}
+
+// AbsorbParallelWork retires up to d of wall-clock work per core across the
+// given number of cores WITHOUT advancing the simulated clock. It models
+// work done concurrently with an activity that has already charged that
+// wall time — specifically, untrusted code continuing on other cores while
+// a partitioned Flicker session runs (the multicore recommendation of
+// [19]). Returns the total CPU time retired.
+func (k *Kernel) AbsorbParallelWork(cores int, d time.Duration) time.Duration {
+	if cores <= 0 || d <= 0 {
+		return 0
+	}
+	var retired time.Duration
+	remaining := d
+	for remaining > 0 {
+		k.mu.Lock()
+		var live []*Process
+		for _, p := range k.procs {
+			if p.Remaining > 0 {
+				live = append(live, p)
+			}
+		}
+		sort.Slice(live, func(i, j int) bool { return live[i].PID < live[j].PID })
+		if len(live) == 0 {
+			k.mu.Unlock()
+			break
+		}
+		runnable := len(live)
+		if runnable > cores {
+			runnable = cores
+		}
+		slice := remaining
+		for i := 0; i < runnable; i++ {
+			if live[i].Remaining < slice {
+				slice = live[i].Remaining
+			}
+		}
+		for i := 0; i < runnable; i++ {
+			live[i].Remaining -= slice
+			retired += slice
+		}
+		k.mu.Unlock()
+		remaining -= slice
+	}
+	k.reap()
+	return retired
+}

@@ -1,0 +1,81 @@
+package kernel
+
+import "fmt"
+
+// SysfsNode is one virtual file in the sysfs. The flicker-module exposes
+// four of these: control, inputs, outputs, and slb (Section 4.2, "Accept
+// Uninitialized SLB and Inputs").
+type SysfsNode interface {
+	Read() ([]byte, error)
+	Write(data []byte) error
+}
+
+// RegisterSysfs mounts a node at a path like
+// "/sys/kernel/flicker/control". Re-registering a path replaces the node.
+func (k *Kernel) RegisterSysfs(path string, node SysfsNode) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.sysfs[path] = node
+}
+
+// UnregisterSysfs removes a node.
+func (k *Kernel) UnregisterSysfs(path string) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	delete(k.sysfs, path)
+}
+
+// SysfsRead reads a sysfs file (what an application's open+read does).
+func (k *Kernel) SysfsRead(path string) ([]byte, error) {
+	k.mu.Lock()
+	node, ok := k.sysfs[path]
+	k.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("kernel: sysfs path %q does not exist", path)
+	}
+	return node.Read()
+}
+
+// SysfsWrite writes a sysfs file.
+func (k *Kernel) SysfsWrite(path string, data []byte) error {
+	k.mu.Lock()
+	node, ok := k.sysfs[path]
+	k.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("kernel: sysfs path %q does not exist", path)
+	}
+	return node.Write(data)
+}
+
+// SysfsPaths lists the mounted paths (for diagnostics).
+func (k *Kernel) SysfsPaths() []string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	var out []string
+	for p := range k.sysfs {
+		out = append(out, p)
+	}
+	return out
+}
+
+// FuncNode adapts read/write funcs to a SysfsNode.
+type FuncNode struct {
+	ReadFn  func() ([]byte, error)
+	WriteFn func([]byte) error
+}
+
+// Read calls ReadFn, or fails if the node is write-only.
+func (f *FuncNode) Read() ([]byte, error) {
+	if f.ReadFn == nil {
+		return nil, fmt.Errorf("kernel: sysfs node is write-only")
+	}
+	return f.ReadFn()
+}
+
+// Write calls WriteFn, or fails if the node is read-only.
+func (f *FuncNode) Write(data []byte) error {
+	if f.WriteFn == nil {
+		return fmt.Errorf("kernel: sysfs node is read-only")
+	}
+	return f.WriteFn(data)
+}

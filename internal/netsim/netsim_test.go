@@ -1,0 +1,67 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"flicker/internal/simtime"
+)
+
+func TestSendChargesHalfRTT(t *testing.T) {
+	clock := simtime.New()
+	l := NewLink(clock, 10*time.Millisecond, 0)
+	out := l.Send([]byte("ping"))
+	if !bytes.Equal(out, []byte("ping")) {
+		t.Fatal("payload mangled")
+	}
+	if clock.Now() != 5*time.Millisecond {
+		t.Fatalf("one-way send charged %v, want 5ms", clock.Now())
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	clock := simtime.New()
+	l := NewLink(clock, time.Millisecond, 0)
+	in := []byte("mutable")
+	out := l.Send(in)
+	in[0] = 'X'
+	if out[0] == 'X' {
+		t.Fatal("Send aliased the caller's buffer")
+	}
+}
+
+func TestPerByteCost(t *testing.T) {
+	clock := simtime.New()
+	l := NewLink(clock, 0, time.Microsecond)
+	l.Send(make([]byte, 1000))
+	if clock.Now() != time.Millisecond {
+		t.Fatalf("1000 bytes at 1us/B charged %v", clock.Now())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	clock := simtime.New()
+	l := NewLink(clock, 8*time.Millisecond, 0)
+	resp := l.RoundTrip([]byte("query"), func(req []byte) []byte {
+		clock.Advance(2*time.Millisecond, "server.work")
+		return append([]byte("re:"), req...)
+	})
+	if string(resp) != "re:query" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if clock.Now() != 10*time.Millisecond { // 4 out + 2 work + 4 back
+		t.Fatalf("round trip consumed %v, want 10ms", clock.Now())
+	}
+}
+
+func TestPaperLink(t *testing.T) {
+	clock := simtime.New()
+	l := PaperLink(clock)
+	l.Send(nil)
+	l.Send(nil)
+	// Full RTT after two one-way sends: the paper's 9.45 ms average ping.
+	if got := simtime.Millis(clock.Now()); got < 9.44 || got > 9.46 {
+		t.Fatalf("RTT = %.3f ms, want 9.45", got)
+	}
+}

@@ -1,0 +1,215 @@
+package pal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Heap is the Memory Management module: "a small version of
+// malloc/free/realloc for use by applications. The memory region used as
+// the heap is simply a large global buffer" (Section 5.1.2).
+//
+// It is a classic first-fit free-list allocator with block headers,
+// splitting on allocation and coalescing on free. Offsets into the buffer
+// play the role of pointers.
+type Heap struct {
+	buf  []byte
+	head int // offset of the first block header
+}
+
+// Block header layout: size (4 bytes, payload size) | free flag (1 byte) |
+// padding to 8. The payload follows the header.
+const (
+	hdrSize   = 8
+	minSplit  = 16 // do not split off blocks smaller than this payload
+	heapAlign = 8
+)
+
+// NewHeap creates a heap over a fresh global buffer of n bytes.
+func NewHeap(n int) *Heap {
+	if n < hdrSize+minSplit {
+		n = hdrSize + minSplit
+	}
+	h := &Heap{buf: make([]byte, n)}
+	h.setHdr(0, n-hdrSize, true)
+	return h
+}
+
+func (h *Heap) setHdr(off, payload int, free bool) {
+	b := h.buf[off:]
+	b[0] = byte(payload >> 24)
+	b[1] = byte(payload >> 16)
+	b[2] = byte(payload >> 8)
+	b[3] = byte(payload)
+	if free {
+		b[4] = 1
+	} else {
+		b[4] = 0
+	}
+}
+
+func (h *Heap) hdr(off int) (payload int, free bool) {
+	b := h.buf[off:]
+	payload = int(b[0])<<24 | int(b[1])<<16 | int(b[2])<<8 | int(b[3])
+	return payload, b[4] == 1
+}
+
+// ErrOutOfMemory is returned when no free block can satisfy a request.
+var ErrOutOfMemory = errors.New("pal: heap out of memory")
+
+// Malloc allocates n bytes and returns the payload offset.
+func (h *Heap) Malloc(n int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("pal: malloc(%d)", n)
+	}
+	n = (n + heapAlign - 1) &^ (heapAlign - 1)
+	off := h.head
+	for off < len(h.buf) {
+		payload, free := h.hdr(off)
+		if free && payload >= n {
+			// Split if the remainder is worth keeping.
+			if payload-n >= hdrSize+minSplit {
+				h.setHdr(off, n, false)
+				h.setHdr(off+hdrSize+n, payload-n-hdrSize, true)
+			} else {
+				h.setHdr(off, payload, false)
+			}
+			return off + hdrSize, nil
+		}
+		off += hdrSize + payload
+	}
+	return 0, ErrOutOfMemory
+}
+
+// Free releases an allocation by payload offset, coalescing with any free
+// successor blocks.
+func (h *Heap) Free(ptr int) error {
+	off, err := h.blockFor(ptr)
+	if err != nil {
+		return err
+	}
+	payload, free := h.hdr(off)
+	if free {
+		return fmt.Errorf("pal: double free at %#x", ptr)
+	}
+	h.setHdr(off, payload, true)
+	h.coalesce()
+	return nil
+}
+
+// Realloc resizes an allocation, moving it if needed; the old contents are
+// preserved up to min(old, new) bytes. Realloc(0, n) behaves like Malloc.
+func (h *Heap) Realloc(ptr, n int) (int, error) {
+	if ptr == 0 {
+		return h.Malloc(n)
+	}
+	off, err := h.blockFor(ptr)
+	if err != nil {
+		return 0, err
+	}
+	payload, free := h.hdr(off)
+	if free {
+		return 0, fmt.Errorf("pal: realloc of freed block at %#x", ptr)
+	}
+	need := (n + heapAlign - 1) &^ (heapAlign - 1)
+	if need <= payload {
+		return ptr, nil // shrink in place
+	}
+	newPtr, err := h.Malloc(n)
+	if err != nil {
+		return 0, err
+	}
+	copy(h.buf[newPtr:newPtr+payload], h.buf[ptr:ptr+payload])
+	if err := h.Free(ptr); err != nil {
+		return 0, err
+	}
+	return newPtr, nil
+}
+
+// blockFor validates a payload offset and returns its header offset.
+func (h *Heap) blockFor(ptr int) (int, error) {
+	off := h.head
+	for off < len(h.buf) {
+		payload, _ := h.hdr(off)
+		if off+hdrSize == ptr {
+			return off, nil
+		}
+		off += hdrSize + payload
+	}
+	return 0, fmt.Errorf("pal: invalid heap pointer %#x", ptr)
+}
+
+// coalesce merges adjacent free blocks.
+func (h *Heap) coalesce() {
+	off := h.head
+	for off < len(h.buf) {
+		payload, free := h.hdr(off)
+		next := off + hdrSize + payload
+		if free && next < len(h.buf) {
+			np, nf := h.hdr(next)
+			if nf {
+				h.setHdr(off, payload+hdrSize+np, true)
+				continue // try to absorb the block after that too
+			}
+		}
+		off = next
+	}
+}
+
+// Write stores data at a payload offset, bounds-checked against the block.
+func (h *Heap) Write(ptr int, data []byte) error {
+	off, err := h.blockFor(ptr)
+	if err != nil {
+		return err
+	}
+	payload, free := h.hdr(off)
+	if free {
+		return fmt.Errorf("pal: write to freed block at %#x", ptr)
+	}
+	if len(data) > payload {
+		return fmt.Errorf("pal: heap write of %d bytes into %d-byte block", len(data), payload)
+	}
+	copy(h.buf[ptr:], data)
+	return nil
+}
+
+// Read copies n bytes from a payload offset.
+func (h *Heap) Read(ptr, n int) ([]byte, error) {
+	off, err := h.blockFor(ptr)
+	if err != nil {
+		return nil, err
+	}
+	payload, free := h.hdr(off)
+	if free {
+		return nil, fmt.Errorf("pal: read from freed block at %#x", ptr)
+	}
+	if n > payload {
+		return nil, fmt.Errorf("pal: heap read of %d bytes from %d-byte block", n, payload)
+	}
+	out := make([]byte, n)
+	copy(out, h.buf[ptr:])
+	return out, nil
+}
+
+// FreeBytes returns the total free payload capacity (fragmentation aware).
+func (h *Heap) FreeBytes() int {
+	total := 0
+	off := h.head
+	for off < len(h.buf) {
+		payload, free := h.hdr(off)
+		if free {
+			total += payload
+		}
+		off += hdrSize + payload
+	}
+	return total
+}
+
+// Wipe zeroes the entire heap buffer: the SLB Core's cleanup phase erases
+// "any sensitive data left in memory by the PAL".
+func (h *Heap) Wipe() {
+	for i := range h.buf {
+		h.buf[i] = 0
+	}
+	h.setHdr(0, len(h.buf)-hdrSize, true)
+}

@@ -1,0 +1,238 @@
+package pal
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapMallocFree(t *testing.T) {
+	h := NewHeap(4096)
+	a, err := h.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Malloc(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("overlapping allocations")
+	}
+	if err := h.Write(a, bytes.Repeat([]byte{0xAA}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Write(b, bytes.Repeat([]byte{0xBB}, 200)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Read(a, 100)
+	if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{0xAA}, 100)) {
+		t.Fatal("allocation a corrupted")
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(a); err == nil {
+		t.Fatal("double free accepted")
+	}
+	// b still intact after freeing a.
+	got, _ = h.Read(b, 200)
+	if !bytes.Equal(got, bytes.Repeat([]byte{0xBB}, 200)) {
+		t.Fatal("allocation b corrupted by free of a")
+	}
+}
+
+func TestHeapExhaustionAndCoalesce(t *testing.T) {
+	h := NewHeap(1024)
+	var ptrs []int
+	for {
+		p, err := h.Malloc(64)
+		if err != nil {
+			break
+		}
+		ptrs = append(ptrs, p)
+	}
+	if len(ptrs) < 8 {
+		t.Fatalf("only %d allocations fit in 1 KB", len(ptrs))
+	}
+	// Free everything; coalescing must let a large allocation succeed.
+	for _, p := range ptrs {
+		if err := h.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.Malloc(900); err != nil {
+		t.Fatalf("large malloc after full free failed: %v", err)
+	}
+}
+
+func TestHeapRealloc(t *testing.T) {
+	h := NewHeap(4096)
+	p, _ := h.Malloc(40)
+	h.Write(p, []byte("hello, flicker heap!"))
+	// Grow: contents preserved.
+	q, err := h.Realloc(p, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := h.Read(q, 20)
+	if !bytes.Equal(got, []byte("hello, flicker heap!")) {
+		t.Fatal("realloc lost contents")
+	}
+	// Shrink in place.
+	r, err := h.Realloc(q, 10)
+	if err != nil || r != q {
+		t.Fatalf("shrink moved block: %v %v", r, err)
+	}
+	// Realloc(0, n) == Malloc.
+	s, err := h.Realloc(0, 16)
+	if err != nil || s == 0 {
+		t.Fatal("realloc(0) failed")
+	}
+	// Realloc of freed block rejected.
+	h.Free(r)
+	if _, err := h.Realloc(r, 100); err == nil {
+		t.Fatal("realloc of freed block accepted")
+	}
+}
+
+func TestHeapInvalidOps(t *testing.T) {
+	h := NewHeap(1024)
+	if _, err := h.Malloc(0); err == nil {
+		t.Error("malloc(0) accepted")
+	}
+	if _, err := h.Malloc(-5); err == nil {
+		t.Error("malloc(-5) accepted")
+	}
+	if err := h.Free(12345); err == nil {
+		t.Error("free of bogus pointer accepted")
+	}
+	p, _ := h.Malloc(16)
+	if err := h.Write(p, make([]byte, 64)); err == nil {
+		t.Error("overflowing write accepted")
+	}
+	if _, err := h.Read(p, 64); err == nil {
+		t.Error("overflowing read accepted")
+	}
+}
+
+func TestHeapWipe(t *testing.T) {
+	h := NewHeap(1024)
+	p, _ := h.Malloc(32)
+	h.Write(p, []byte("secret key material........"))
+	h.Wipe()
+	// Everything is free again and zeroed.
+	q, err := h.Malloc(900)
+	if err != nil {
+		t.Fatalf("post-wipe malloc: %v", err)
+	}
+	got, _ := h.Read(q, 900)
+	if !bytes.Equal(got, make([]byte, 900)) {
+		t.Fatal("wipe left residue")
+	}
+}
+
+// Property: a random sequence of mallocs and frees never corrupts data:
+// every live allocation reads back exactly what was written.
+func TestHeapFuzzProperty(t *testing.T) {
+	type op struct {
+		Alloc bool
+		Size  uint16
+		Which uint8
+	}
+	f := func(ops []op) bool {
+		h := NewHeap(64 * 1024)
+		type live struct {
+			ptr  int
+			data []byte
+		}
+		var lives []live
+		seed := byte(1)
+		for _, o := range ops {
+			if o.Alloc {
+				n := int(o.Size)%512 + 1
+				p, err := h.Malloc(n)
+				if err != nil {
+					continue
+				}
+				data := bytes.Repeat([]byte{seed}, n)
+				seed++
+				if h.Write(p, data) != nil {
+					return false
+				}
+				lives = append(lives, live{p, data})
+			} else if len(lives) > 0 {
+				i := int(o.Which) % len(lives)
+				if h.Free(lives[i].ptr) != nil {
+					return false
+				}
+				lives = append(lives[:i], lives[i+1:]...)
+			}
+			// Validate all live blocks.
+			for _, l := range lives {
+				got, err := h.Read(l.ptr, len(l.data))
+				if err != nil || !bytes.Equal(got, l.data) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCBSize(t *testing.T) {
+	// The paper's headline: Flicker adds "as few as 250 lines" — SLB Core
+	// alone is 94; with OS Protection it is 99; the mandatory core stays
+	// under 250.
+	loc, _, err := TCBSize(nil)
+	if err != nil || loc != 94 {
+		t.Fatalf("bare TCB = %d (%v), want 94", loc, err)
+	}
+	loc, _, err = TCBSize([]string{"OS Protection"})
+	if err != nil || loc != 99 {
+		t.Fatalf("TCB with OS protection = %d", loc)
+	}
+	if loc >= 250 {
+		t.Fatalf("minimal TCB %d lines exceeds the paper's 250-line bound", loc)
+	}
+	// Duplicate modules are counted once; SLB Core is implicit.
+	a, _, _ := TCBSize([]string{"Crypto", "Crypto", "SLB Core"})
+	b, _, _ := TCBSize([]string{"Crypto"})
+	if a != b {
+		t.Fatal("duplicate module counting")
+	}
+	if _, _, err := TCBSize([]string{"Nonexistent"}); err == nil {
+		t.Fatal("unknown module accepted")
+	}
+	// Full stack (the SSH PAL's footprint) is everything.
+	all := []string{"OS Protection", "TPM Driver", "TPM Utilities", "Crypto", "Memory Management", "Secure Channel"}
+	loc, kb, _ := TCBSize(all)
+	if loc != 94+5+216+889+2262+657+292 {
+		t.Fatalf("full TCB LoC = %d", loc)
+	}
+	if kb < 56 || kb > 57 {
+		t.Fatalf("full TCB size = %.3f KB", kb)
+	}
+}
+
+func TestDescriptorCode(t *testing.T) {
+	a := DescriptorCode("ssh", "1.0", []string{"Crypto"}, []byte("cfg"))
+	b := DescriptorCode("ssh", "1.0", []string{"Crypto"}, []byte("cfg"))
+	if !bytes.Equal(a, b) {
+		t.Fatal("descriptor not deterministic")
+	}
+	variants := [][]byte{
+		DescriptorCode("ssh2", "1.0", []string{"Crypto"}, []byte("cfg")),
+		DescriptorCode("ssh", "1.1", []string{"Crypto"}, []byte("cfg")),
+		DescriptorCode("ssh", "1.0", []string{"Crypto", "TPM Driver"}, []byte("cfg")),
+		DescriptorCode("ssh", "1.0", []string{"Crypto"}, []byte("cfg2")),
+	}
+	for i, v := range variants {
+		if bytes.Equal(a, v) {
+			t.Errorf("variant %d did not change the descriptor", i)
+		}
+	}
+}

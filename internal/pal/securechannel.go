@@ -1,0 +1,84 @@
+package pal
+
+import (
+	"errors"
+	"fmt"
+
+	"flicker/internal/palcrypto"
+	"flicker/internal/simtime"
+)
+
+// Secure Channel module (Section 4.4.2): "the PAL generates an asymmetric
+// keypair within the protection of the Flicker session and then transmits
+// the public key to the remote party. The private key is sealed for a
+// future invocation of the same PAL."
+//
+// The two halves of the protocol are GenerateChannelKeypair (run inside the
+// first Flicker session) and OpenChannel (run inside a later session of the
+// same PAL, to recover the private key and decrypt a message encrypted
+// under the public key).
+
+// ChannelKeypair is the output of the setup session.
+type ChannelKeypair struct {
+	// Public is the channel public key, returned as a PAL output and
+	// covered by the session's attestation.
+	Public *palcrypto.RSAPublicKey
+	// SealedPrivate is the private key sealed to this PAL's PCR-17 value;
+	// the untrusted OS stores it between sessions (sdata in Figure 7).
+	SealedPrivate []byte
+}
+
+// GenerateChannelKeypair creates an RSA keypair inside the session, seals
+// the private key to the current PAL identity, and returns both halves.
+// The key generation cost (Figure 9a: 185.7 ms for 1024 bits) is charged
+// to the platform clock.
+func GenerateChannelKeypair(env *Env, bits int) (*ChannelKeypair, error) {
+	env.ChargeCPU(simtime.Charge{Duration: env.Profile().RSAKeyGen1024, Label: "cpu.keygen"})
+	key, err := palcrypto.GenerateRSAKey(env.RNG(), bits)
+	if err != nil {
+		return nil, fmt.Errorf("pal: channel keygen: %w", err)
+	}
+	sealed, err := env.SealToSelf(palcrypto.MarshalPrivateKey(key))
+	if err != nil {
+		return nil, fmt.Errorf("pal: sealing channel key: %w", err)
+	}
+	return &ChannelKeypair{
+		Public:        &key.RSAPublicKey,
+		SealedPrivate: sealed,
+	}, nil
+}
+
+// OpenChannel recovers a sealed channel private key inside a later session
+// of the same PAL and decrypts one PKCS#1 message. The unseal only
+// succeeds when PCR 17 holds the sealing PAL's value, which is the entire
+// security argument of the SSH protocol's second session.
+func OpenChannel(env *Env, sealedPrivate, ciphertext []byte) ([]byte, error) {
+	raw, err := env.Unseal(sealedPrivate)
+	if err != nil {
+		return nil, fmt.Errorf("pal: unsealing channel key: %w", err)
+	}
+	key, err := palcrypto.UnmarshalPrivateKey(raw)
+	if err != nil {
+		return nil, fmt.Errorf("pal: corrupt channel key: %w", err)
+	}
+	env.ChargeCPU(simtime.Charge{Duration: env.Profile().RSADecrypt1024, Label: "cpu.rsadecrypt"})
+	pt, err := palcrypto.DecryptPKCS1(key, ciphertext)
+	if err != nil {
+		return nil, errors.New("pal: channel decryption failed")
+	}
+	return pt, nil
+}
+
+// RecoverChannelKey unseals and parses the channel private key without
+// decrypting anything (for PALs that need the key for signing, like the CA).
+func RecoverChannelKey(env *Env, sealedPrivate []byte) (*palcrypto.RSAPrivateKey, error) {
+	raw, err := env.Unseal(sealedPrivate)
+	if err != nil {
+		return nil, fmt.Errorf("pal: unsealing channel key: %w", err)
+	}
+	key, err := palcrypto.UnmarshalPrivateKey(raw)
+	if err != nil {
+		return nil, fmt.Errorf("pal: corrupt channel key: %w", err)
+	}
+	return key, nil
+}

@@ -1,0 +1,249 @@
+package palcrypto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AESBlockSize is the AES block size in bytes.
+const AESBlockSize = 16
+
+// aesSbox is computed at init from the AES field inverse and affine map, so
+// the table is derived rather than transcribed.
+var aesSbox, aesInvSbox = func() (s [256]byte, inv [256]byte) {
+	// Multiplicative inverse in GF(2^8) via exponentiation tables.
+	var exp [256]byte
+	var log [256]byte
+	x := byte(1)
+	for i := 0; i < 256; i++ {
+		exp[i%255] = x
+		log[x] = byte(i % 255)
+		x = gmul(x, 3)
+	}
+	invOf := func(b byte) byte {
+		if b == 0 {
+			return 0
+		}
+		return exp[(255-int(log[b]))%255]
+	}
+	for i := 0; i < 256; i++ {
+		v := invOf(byte(i))
+		// Affine transformation.
+		r := v ^ rotl8(v, 1) ^ rotl8(v, 2) ^ rotl8(v, 3) ^ rotl8(v, 4) ^ 0x63
+		s[i] = r
+		inv[r] = byte(i)
+	}
+	return
+}()
+
+func rotl8(b byte, n uint) byte { return b<<n | b>>(8-n) }
+
+// gmul multiplies two elements of GF(2^8) with the AES polynomial 0x11b.
+func gmul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// AES is an AES-128/192/256 block cipher (FIPS 197). Only the block
+// operation is exposed; modes (CTR, CBC-MAC style use) are built on top.
+type AES struct {
+	enc [][4]uint32 // round keys as columns
+	nr  int
+}
+
+// NewAES creates an AES cipher for a 16-, 24-, or 32-byte key.
+func NewAES(key []byte) (*AES, error) {
+	var nk, nr int
+	switch len(key) {
+	case 16:
+		nk, nr = 4, 10
+	case 24:
+		nk, nr = 6, 12
+	case 32:
+		nk, nr = 8, 14
+	default:
+		return nil, fmt.Errorf("palcrypto: invalid AES key size %d", len(key))
+	}
+	// Key expansion over words.
+	nw := 4 * (nr + 1)
+	w := make([]uint32, nw)
+	for i := 0; i < nk; i++ {
+		w[i] = binary.BigEndian.Uint32(key[4*i:])
+	}
+	rcon := uint32(1)
+	for i := nk; i < nw; i++ {
+		t := w[i-1]
+		if i%nk == 0 {
+			t = subWord(t<<8|t>>24) ^ rcon<<24
+			rcon = uint32(gmul(byte(rcon), 2))
+		} else if nk > 6 && i%nk == 4 {
+			t = subWord(t)
+		}
+		w[i] = w[i-nk] ^ t
+	}
+	a := &AES{nr: nr}
+	a.enc = make([][4]uint32, nr+1)
+	for r := 0; r <= nr; r++ {
+		for c := 0; c < 4; c++ {
+			a.enc[r][c] = w[4*r+c]
+		}
+	}
+	return a, nil
+}
+
+func subWord(x uint32) uint32 {
+	return uint32(aesSbox[x>>24])<<24 | uint32(aesSbox[x>>16&0xff])<<16 |
+		uint32(aesSbox[x>>8&0xff])<<8 | uint32(aesSbox[x&0xff])
+}
+
+// BlockSize returns AESBlockSize.
+func (a *AES) BlockSize() int { return AESBlockSize }
+
+// state is the AES 4x4 byte state, column-major as in FIPS 197.
+type aesState [16]byte
+
+func (a *AES) addRoundKey(s *aesState, r int) {
+	for c := 0; c < 4; c++ {
+		k := a.enc[r][c]
+		s[4*c+0] ^= byte(k >> 24)
+		s[4*c+1] ^= byte(k >> 16)
+		s[4*c+2] ^= byte(k >> 8)
+		s[4*c+3] ^= byte(k)
+	}
+}
+
+// Encrypt encrypts one 16-byte block from src into dst (may alias).
+func (a *AES) Encrypt(dst, src []byte) {
+	if len(src) < 16 || len(dst) < 16 {
+		panic("palcrypto: AES block too short")
+	}
+	var s aesState
+	copy(s[:], src[:16])
+	a.addRoundKey(&s, 0)
+	for r := 1; r < a.nr; r++ {
+		subBytes(&s)
+		shiftRows(&s)
+		mixColumns(&s)
+		a.addRoundKey(&s, r)
+	}
+	subBytes(&s)
+	shiftRows(&s)
+	a.addRoundKey(&s, a.nr)
+	copy(dst[:16], s[:])
+}
+
+// Decrypt decrypts one 16-byte block from src into dst (may alias).
+func (a *AES) Decrypt(dst, src []byte) {
+	if len(src) < 16 || len(dst) < 16 {
+		panic("palcrypto: AES block too short")
+	}
+	var s aesState
+	copy(s[:], src[:16])
+	a.addRoundKey(&s, a.nr)
+	invShiftRows(&s)
+	invSubBytes(&s)
+	for r := a.nr - 1; r >= 1; r-- {
+		a.addRoundKey(&s, r)
+		invMixColumns(&s)
+		invShiftRows(&s)
+		invSubBytes(&s)
+	}
+	a.addRoundKey(&s, 0)
+	copy(dst[:16], s[:])
+}
+
+func subBytes(s *aesState) {
+	for i := range s {
+		s[i] = aesSbox[s[i]]
+	}
+}
+
+func invSubBytes(s *aesState) {
+	for i := range s {
+		s[i] = aesInvSbox[s[i]]
+	}
+}
+
+// shiftRows operates on the column-major layout: byte (row r, col c) is at
+// index 4*c+r.
+func shiftRows(s *aesState) {
+	for r := 1; r < 4; r++ {
+		var row [4]byte
+		for c := 0; c < 4; c++ {
+			row[c] = s[4*((c+r)%4)+r]
+		}
+		for c := 0; c < 4; c++ {
+			s[4*c+r] = row[c]
+		}
+	}
+}
+
+func invShiftRows(s *aesState) {
+	for r := 1; r < 4; r++ {
+		var row [4]byte
+		for c := 0; c < 4; c++ {
+			row[c] = s[4*((c-r+4)%4)+r]
+		}
+		for c := 0; c < 4; c++ {
+			s[4*c+r] = row[c]
+		}
+	}
+}
+
+func mixColumns(s *aesState) {
+	for c := 0; c < 4; c++ {
+		col := s[4*c : 4*c+4]
+		a0, a1, a2, a3 := col[0], col[1], col[2], col[3]
+		col[0] = gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3
+		col[1] = a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3
+		col[2] = a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3)
+		col[3] = gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2)
+	}
+}
+
+func invMixColumns(s *aesState) {
+	for c := 0; c < 4; c++ {
+		col := s[4*c : 4*c+4]
+		a0, a1, a2, a3 := col[0], col[1], col[2], col[3]
+		col[0] = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9)
+		col[1] = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13)
+		col[2] = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11)
+		col[3] = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14)
+	}
+}
+
+// CTRKeystream XORs data with the AES-CTR keystream for the given 16-byte
+// IV, in place. CTR is used by the distributed-computing PAL to encrypt
+// checkpointed state under its sealed symmetric key.
+func (a *AES) CTRKeystream(iv [16]byte, data []byte) {
+	var ctr, ks [16]byte
+	ctr = iv
+	for off := 0; off < len(data); off += 16 {
+		a.Encrypt(ks[:], ctr[:])
+		n := len(data) - off
+		if n > 16 {
+			n = 16
+		}
+		for i := 0; i < n; i++ {
+			data[off+i] ^= ks[i]
+		}
+		// Increment the counter big-endian.
+		for i := 15; i >= 0; i-- {
+			ctr[i]++
+			if ctr[i] != 0 {
+				break
+			}
+		}
+	}
+}

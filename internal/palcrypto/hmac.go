@@ -1,0 +1,89 @@
+package palcrypto
+
+// Hash is the minimal hash interface the PAL crypto library exposes; it is
+// structurally compatible with hash.Hash but avoids importing it so the PAL
+// TCB surface stays self-contained.
+type Hash interface {
+	Write(p []byte) (int, error)
+	Sum(b []byte) []byte
+	Reset()
+	Size() int
+	BlockSize() int
+}
+
+// HMAC implements RFC 2104 over any Hash constructor.
+type HMAC struct {
+	outer, inner Hash
+	ipad, opad   []byte
+	size         int
+}
+
+// NewHMAC returns an HMAC keyed with key over the hash returned by newHash.
+// TPM 1.2 authorization sessions (OIAP/OSAP) use HMAC-SHA1, and the
+// distributed-computing PAL uses HMAC-SHA1 for state chaining.
+func NewHMAC(newHash func() Hash, key []byte) *HMAC {
+	inner, outer := newHash(), newHash()
+	bs := inner.BlockSize()
+	if len(key) > bs {
+		h := newHash()
+		h.Write(key)
+		key = h.Sum(nil)
+	}
+	ipad := make([]byte, bs)
+	opad := make([]byte, bs)
+	copy(ipad, key)
+	copy(opad, key)
+	for i := range ipad {
+		ipad[i] ^= 0x36
+		opad[i] ^= 0x5c
+	}
+	m := &HMAC{outer: outer, inner: inner, ipad: ipad, opad: opad, size: inner.Size()}
+	m.inner.Write(ipad)
+	return m
+}
+
+// Write absorbs p into the MAC state.
+func (m *HMAC) Write(p []byte) (int, error) { return m.inner.Write(p) }
+
+// Sum appends the current MAC to b.
+func (m *HMAC) Sum(b []byte) []byte {
+	innerSum := m.inner.Sum(nil)
+	m.outer.Reset()
+	m.outer.Write(m.opad)
+	m.outer.Write(innerSum)
+	return m.outer.Sum(b)
+}
+
+// Reset rewinds the MAC to its freshly-keyed state.
+func (m *HMAC) Reset() {
+	m.inner.Reset()
+	m.inner.Write(m.ipad)
+}
+
+// Size returns the MAC length in bytes.
+func (m *HMAC) Size() int { return m.size }
+
+// BlockSize returns the underlying hash block size.
+func (m *HMAC) BlockSize() int { return m.inner.BlockSize() }
+
+// HMACSHA1 computes an HMAC-SHA1 in one shot.
+func HMACSHA1(key, msg []byte) [SHA1Size]byte {
+	m := NewHMAC(func() Hash { return NewSHA1() }, key)
+	m.Write(msg)
+	var out [SHA1Size]byte
+	copy(out[:], m.Sum(nil))
+	return out
+}
+
+// ConstantTimeEqual compares two byte slices without early exit, so MAC and
+// password-hash comparisons inside a PAL do not leak timing.
+func ConstantTimeEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var v byte
+	for i := range a {
+		v |= a[i] ^ b[i]
+	}
+	return v == 0
+}

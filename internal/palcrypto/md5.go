@@ -1,0 +1,148 @@
+package palcrypto
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// MD5Size is the size of an MD5 digest in bytes.
+const MD5Size = 16
+
+// MD5BlockSize is the block size of MD5 in bytes.
+const MD5BlockSize = 64
+
+// MD5 is a streaming MD5 hash (RFC 1321). MD5 is present because the SSH
+// application's server-side password file uses md5crypt (see md5crypt.go),
+// exactly as in the paper's Figure 7 protocol; it is not intended for any
+// collision-resistant use.
+type MD5 struct {
+	h   [4]uint32
+	x   [MD5BlockSize]byte
+	nx  int
+	len uint64
+}
+
+// NewMD5 returns a new MD5 hash state.
+func NewMD5() *MD5 {
+	m := &MD5{}
+	m.Reset()
+	return m
+}
+
+// Reset returns the hash to its initial state.
+func (m *MD5) Reset() {
+	m.h = [4]uint32{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476}
+	m.nx = 0
+	m.len = 0
+}
+
+// Write absorbs p into the hash state. It never fails.
+func (m *MD5) Write(p []byte) (int, error) {
+	n := len(p)
+	m.len += uint64(n)
+	if m.nx > 0 {
+		c := copy(m.x[m.nx:], p)
+		m.nx += c
+		if m.nx == MD5BlockSize {
+			m.block(m.x[:])
+			m.nx = 0
+		}
+		p = p[c:]
+	}
+	for len(p) >= MD5BlockSize {
+		m.block(p[:MD5BlockSize])
+		p = p[MD5BlockSize:]
+	}
+	if len(p) > 0 {
+		m.nx = copy(m.x[:], p)
+	}
+	return n, nil
+}
+
+// Sum appends the current digest to b without disturbing the running state.
+func (m *MD5) Sum(b []byte) []byte {
+	d := *m
+	var pad [MD5BlockSize + 8]byte
+	pad[0] = 0x80
+	msgLen := d.len
+	var padLen int
+	if rem := int(msgLen % MD5BlockSize); rem < 56 {
+		padLen = 56 - rem
+	} else {
+		padLen = 64 + 56 - rem
+	}
+	d.Write(pad[:padLen])
+	var lenBytes [8]byte
+	binary.LittleEndian.PutUint64(lenBytes[:], msgLen<<3)
+	d.Write(lenBytes[:])
+	var out [MD5Size]byte
+	for i, v := range d.h {
+		binary.LittleEndian.PutUint32(out[i*4:], v)
+	}
+	return append(b, out[:]...)
+}
+
+// Size returns MD5Size.
+func (m *MD5) Size() int { return MD5Size }
+
+// BlockSize returns MD5BlockSize.
+func (m *MD5) BlockSize() int { return MD5BlockSize }
+
+// md5T is the RFC 1321 sine-derived constant table, built at init time so
+// the table itself is self-evidently correct.
+var md5T = func() [64]uint32 {
+	var t [64]uint32
+	for i := range t {
+		t[i] = uint32(math.Floor(4294967296 * math.Abs(math.Sin(float64(i+1)))))
+	}
+	return t
+}()
+
+var md5Shift = [4][4]uint{
+	{7, 12, 17, 22},
+	{5, 9, 14, 20},
+	{4, 11, 16, 23},
+	{6, 10, 15, 21},
+}
+
+func (m *MD5) block(p []byte) {
+	var x [16]uint32
+	for i := 0; i < 16; i++ {
+		x[i] = binary.LittleEndian.Uint32(p[i*4:])
+	}
+	a, b, c, d := m.h[0], m.h[1], m.h[2], m.h[3]
+	for i := 0; i < 64; i++ {
+		var f uint32
+		var g int
+		switch {
+		case i < 16:
+			f = (b & c) | (^b & d)
+			g = i
+		case i < 32:
+			f = (d & b) | (^d & c)
+			g = (5*i + 1) % 16
+		case i < 48:
+			f = b ^ c ^ d
+			g = (3*i + 5) % 16
+		default:
+			f = c ^ (b | ^d)
+			g = (7 * i) % 16
+		}
+		sh := md5Shift[i/16][i%4]
+		t := a + f + md5T[i] + x[g]
+		a, d, c, b = d, c, b, b+(t<<sh|t>>(32-sh))
+	}
+	m.h[0] += a
+	m.h[1] += b
+	m.h[2] += c
+	m.h[3] += d
+}
+
+// MD5Sum computes the MD5 digest of data in one shot.
+func MD5Sum(data []byte) [MD5Size]byte {
+	m := NewMD5()
+	m.Write(data)
+	var out [MD5Size]byte
+	copy(out[:], m.Sum(nil))
+	return out
+}

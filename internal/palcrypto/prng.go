@@ -1,0 +1,69 @@
+package palcrypto
+
+import "encoding/binary"
+
+// PRNG is a deterministic pseudo-random generator built from SHA-1 in
+// counter mode. The paper's PALs call TPM GetRandom once for 128 bytes and
+// use it "to seed a pseudorandom number generator" (Section 7.4.1); this is
+// that generator. Determinism given a seed keeps the whole simulation
+// reproducible.
+type PRNG struct {
+	seed [SHA1Size]byte
+	ctr  uint64
+	buf  []byte
+}
+
+// NewPRNG creates a generator seeded with the given entropy.
+func NewPRNG(seed []byte) *PRNG {
+	p := &PRNG{}
+	p.seed = SHA1Sum(seed)
+	return p
+}
+
+// Read fills b with pseudo-random bytes. It never fails.
+func (p *PRNG) Read(b []byte) (int, error) {
+	n := len(b)
+	for len(b) > 0 {
+		if len(p.buf) == 0 {
+			var block [SHA1Size + 8]byte
+			copy(block[:], p.seed[:])
+			binary.BigEndian.PutUint64(block[SHA1Size:], p.ctr)
+			p.ctr++
+			d := SHA1Sum(block[:])
+			p.buf = d[:]
+		}
+		c := copy(b, p.buf)
+		p.buf = p.buf[c:]
+		b = b[c:]
+	}
+	return n, nil
+}
+
+// Bytes returns n fresh pseudo-random bytes.
+func (p *PRNG) Bytes(n int) []byte {
+	out := make([]byte, n)
+	p.Read(out)
+	return out
+}
+
+// Uint64 returns a pseudo-random 64-bit value.
+func (p *PRNG) Uint64() uint64 {
+	var b [8]byte
+	p.Read(b[:])
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (p *PRNG) Intn(n int) int {
+	if n <= 0 {
+		panic("palcrypto: Intn with non-positive bound")
+	}
+	// Rejection sampling to avoid modulo bias.
+	max := ^uint64(0) - ^uint64(0)%uint64(n)
+	for {
+		v := p.Uint64()
+		if v < max {
+			return int(v % uint64(n))
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package palcrypto
+
+import "fmt"
+
+// RC4 is the RC4 stream cipher. It is included for parity with the paper's
+// crypto module inventory (Figure 6); new designs should prefer AES-CTR.
+type RC4 struct {
+	s    [256]byte
+	i, j byte
+}
+
+// NewRC4 creates an RC4 cipher from a 1..256 byte key.
+func NewRC4(key []byte) (*RC4, error) {
+	if len(key) < 1 || len(key) > 256 {
+		return nil, fmt.Errorf("palcrypto: invalid RC4 key size %d", len(key))
+	}
+	c := &RC4{}
+	for i := 0; i < 256; i++ {
+		c.s[i] = byte(i)
+	}
+	var j byte
+	for i := 0; i < 256; i++ {
+		j += c.s[i] + key[i%len(key)]
+		c.s[i], c.s[j] = c.s[j], c.s[i]
+	}
+	return c, nil
+}
+
+// XORKeyStream XORs src with the keystream into dst (may alias src).
+func (c *RC4) XORKeyStream(dst, src []byte) {
+	if len(dst) < len(src) {
+		panic("palcrypto: RC4 output shorter than input")
+	}
+	i, j := c.i, c.j
+	for k, b := range src {
+		i++
+		j += c.s[i]
+		c.s[i], c.s[j] = c.s[j], c.s[i]
+		dst[k] = b ^ c.s[c.s[i]+c.s[j]]
+	}
+	c.i, c.j = i, j
+}

@@ -1,0 +1,353 @@
+package palcrypto
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// RSAPublicKey is an RSA public key (n, e).
+type RSAPublicKey struct {
+	N *big.Int
+	E int
+}
+
+// RSAPrivateKey is an RSA private key with CRT parameters.
+type RSAPrivateKey struct {
+	RSAPublicKey
+	D    *big.Int
+	P, Q *big.Int
+	// CRT acceleration values.
+	Dp, Dq, Qinv *big.Int
+}
+
+// Size returns the modulus length in bytes.
+func (k *RSAPublicKey) Size() int { return (k.N.BitLen() + 7) / 8 }
+
+var bigOne = big.NewInt(1)
+
+// GenerateRSAKey generates an RSA keypair of the given modulus bit length
+// using entropy from rand. Primes are produced by rejection sampling with
+// Miller-Rabin testing (math/big's ProbablyPrime, which is a deterministic
+// BPSW + MR combination for our sizes). e is fixed at 65537.
+//
+// The paper's Secure Channel and CA PALs generate 1024-bit keys inside a
+// Flicker session seeded from TPM GetRandom; the key generation latency
+// (185.7 ms in Figure 9a) is charged by the timing model, not by this code.
+func GenerateRSAKey(rand io.Reader, bits int) (*RSAPrivateKey, error) {
+	if bits < 128 {
+		return nil, fmt.Errorf("palcrypto: RSA modulus %d too small", bits)
+	}
+	e := 65537
+	eBig := big.NewInt(int64(e))
+	for attempts := 0; attempts < 1000; attempts++ {
+		p, err := genPrime(rand, (bits+1)/2)
+		if err != nil {
+			return nil, err
+		}
+		q, err := genPrime(rand, bits/2)
+		if err != nil {
+			return nil, err
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		pm1 := new(big.Int).Sub(p, bigOne)
+		qm1 := new(big.Int).Sub(q, bigOne)
+		phi := new(big.Int).Mul(pm1, qm1)
+		d := new(big.Int)
+		if d.ModInverse(eBig, phi) == nil {
+			continue // gcd(e, phi) != 1; pick new primes
+		}
+		key := &RSAPrivateKey{
+			RSAPublicKey: RSAPublicKey{N: n, E: e},
+			D:            d,
+			P:            p,
+			Q:            q,
+			Dp:           new(big.Int).Mod(d, pm1),
+			Dq:           new(big.Int).Mod(d, qm1),
+			Qinv:         new(big.Int).ModInverse(q, p),
+		}
+		return key, nil
+	}
+	return nil, errors.New("palcrypto: RSA key generation failed to converge")
+}
+
+// genPrime returns a random prime of exactly the given bit length.
+func genPrime(rand io.Reader, bits int) (*big.Int, error) {
+	if bits < 16 {
+		return nil, errors.New("palcrypto: prime too small")
+	}
+	b := make([]byte, (bits+7)/8)
+	for {
+		if _, err := io.ReadFull(rand, b); err != nil {
+			return nil, err
+		}
+		// Force exact bit length and oddness.
+		excess := len(b)*8 - bits
+		b[0] &= 0xff >> uint(excess)
+		b[0] |= 0x80 >> uint(excess)
+		// Set the second-highest bit too, so products of two primes
+		// reach the full modulus length more often.
+		if bits > 17 {
+			if excess == 7 {
+				b[1] |= 0x80
+			} else {
+				b[0] |= 0x40 >> uint(excess)
+			}
+		}
+		b[len(b)-1] |= 1
+		p := new(big.Int).SetBytes(b)
+		if p.ProbablyPrime(20) {
+			return p, nil
+		}
+	}
+}
+
+// modPowCRT computes c^d mod n using the CRT parameters.
+func (k *RSAPrivateKey) modPowCRT(c *big.Int) *big.Int {
+	m1 := new(big.Int).Exp(c, k.Dp, k.P)
+	m2 := new(big.Int).Exp(c, k.Dq, k.Q)
+	h := new(big.Int).Sub(m1, m2)
+	h.Mod(h, k.P)
+	h.Mul(h, k.Qinv)
+	h.Mod(h, k.P)
+	h.Mul(h, k.Q)
+	h.Add(h, m2)
+	return h
+}
+
+// ErrRSADecryption is returned for any malformed or mis-keyed ciphertext.
+// A single error value avoids creating a padding oracle.
+var ErrRSADecryption = errors.New("palcrypto: RSA decryption error")
+
+// ErrRSAVerification is returned when a signature does not verify.
+var ErrRSAVerification = errors.New("palcrypto: RSA verification error")
+
+// EncryptPKCS1 encrypts msg under pub with PKCS#1 v1.5 (EME, block type 02).
+// The paper uses PKCS1 encryption for the password sent to the SSH PAL,
+// citing its chosen-ciphertext security and nonmalleability [15].
+func EncryptPKCS1(rand io.Reader, pub *RSAPublicKey, msg []byte) ([]byte, error) {
+	k := pub.Size()
+	if len(msg) > k-11 {
+		return nil, fmt.Errorf("palcrypto: message too long for RSA-%d PKCS1", pub.N.BitLen())
+	}
+	em := make([]byte, k)
+	em[0] = 0
+	em[1] = 2
+	ps := em[2 : k-len(msg)-1]
+	// Nonzero random padding bytes.
+	for i := range ps {
+		var b [1]byte
+		for {
+			if _, err := io.ReadFull(rand, b[:]); err != nil {
+				return nil, err
+			}
+			if b[0] != 0 {
+				break
+			}
+		}
+		ps[i] = b[0]
+	}
+	em[k-len(msg)-1] = 0
+	copy(em[k-len(msg):], msg)
+	m := new(big.Int).SetBytes(em)
+	c := new(big.Int).Exp(m, big.NewInt(int64(pub.E)), pub.N)
+	return leftPad(c.Bytes(), k), nil
+}
+
+// DecryptPKCS1 decrypts a PKCS#1 v1.5 ciphertext.
+func DecryptPKCS1(priv *RSAPrivateKey, ciphertext []byte) ([]byte, error) {
+	k := priv.Size()
+	if len(ciphertext) != k {
+		return nil, ErrRSADecryption
+	}
+	c := new(big.Int).SetBytes(ciphertext)
+	if c.Cmp(priv.N) >= 0 {
+		return nil, ErrRSADecryption
+	}
+	em := leftPad(priv.modPowCRT(c).Bytes(), k)
+	if em[0] != 0 || em[1] != 2 {
+		return nil, ErrRSADecryption
+	}
+	// Find the 0x00 separator after at least 8 padding bytes.
+	sep := -1
+	for i := 2; i < len(em); i++ {
+		if em[i] == 0 {
+			sep = i
+			break
+		}
+	}
+	if sep < 10 {
+		return nil, ErrRSADecryption
+	}
+	out := make([]byte, len(em)-sep-1)
+	copy(out, em[sep+1:])
+	return out, nil
+}
+
+// sha1DigestInfo is the DER prefix for a SHA-1 DigestInfo (RFC 3447 §9.2).
+var sha1DigestInfo = []byte{
+	0x30, 0x21, 0x30, 0x09, 0x06, 0x05, 0x2b, 0x0e,
+	0x03, 0x02, 0x1a, 0x05, 0x00, 0x04, 0x14,
+}
+
+// SignPKCS1SHA1 signs the SHA-1 digest of msg with PKCS#1 v1.5 (EMSA).
+func SignPKCS1SHA1(priv *RSAPrivateKey, msg []byte) ([]byte, error) {
+	digest := SHA1Sum(msg)
+	k := priv.Size()
+	tLen := len(sha1DigestInfo) + SHA1Size
+	if k < tLen+11 {
+		return nil, errors.New("palcrypto: RSA key too small for SHA-1 signature")
+	}
+	em := make([]byte, k)
+	em[0] = 0
+	em[1] = 1
+	for i := 2; i < k-tLen-1; i++ {
+		em[i] = 0xff
+	}
+	em[k-tLen-1] = 0
+	copy(em[k-tLen:], sha1DigestInfo)
+	copy(em[k-SHA1Size:], digest[:])
+	m := new(big.Int).SetBytes(em)
+	s := priv.modPowCRT(m)
+	return leftPad(s.Bytes(), k), nil
+}
+
+// VerifyPKCS1SHA1 verifies a PKCS#1 v1.5 SHA-1 signature over msg.
+func VerifyPKCS1SHA1(pub *RSAPublicKey, msg, sig []byte) error {
+	k := pub.Size()
+	if len(sig) != k {
+		return ErrRSAVerification
+	}
+	s := new(big.Int).SetBytes(sig)
+	if s.Cmp(pub.N) >= 0 {
+		return ErrRSAVerification
+	}
+	em := leftPad(new(big.Int).Exp(s, big.NewInt(int64(pub.E)), pub.N).Bytes(), k)
+	digest := SHA1Sum(msg)
+	tLen := len(sha1DigestInfo) + SHA1Size
+	if em[0] != 0 || em[1] != 1 || em[k-tLen-1] != 0 {
+		return ErrRSAVerification
+	}
+	for i := 2; i < k-tLen-1; i++ {
+		if em[i] != 0xff {
+			return ErrRSAVerification
+		}
+	}
+	if !ConstantTimeEqual(em[k-tLen:k-SHA1Size], sha1DigestInfo) ||
+		!ConstantTimeEqual(em[k-SHA1Size:], digest[:]) {
+		return ErrRSAVerification
+	}
+	return nil
+}
+
+// leftPad returns b left-padded with zeros to length k.
+func leftPad(b []byte, k int) []byte {
+	if len(b) > k {
+		panic("palcrypto: leftPad input longer than target")
+	}
+	out := make([]byte, k)
+	copy(out[k-len(b):], b)
+	return out
+}
+
+// MarshalPublicKey serializes a public key into a simple length-prefixed
+// wire format (4-byte big-endian lengths) used by the Secure Channel module.
+func MarshalPublicKey(pub *RSAPublicKey) []byte {
+	nb := pub.N.Bytes()
+	out := make([]byte, 0, 8+len(nb))
+	out = appendU32(out, uint32(pub.E))
+	out = appendU32(out, uint32(len(nb)))
+	out = append(out, nb...)
+	return out
+}
+
+// UnmarshalPublicKey parses the format produced by MarshalPublicKey.
+func UnmarshalPublicKey(b []byte) (*RSAPublicKey, error) {
+	if len(b) < 8 {
+		return nil, errors.New("palcrypto: truncated public key")
+	}
+	e := int(readU32(b))
+	nLen := int(readU32(b[4:]))
+	if nLen <= 0 || len(b) != 8+nLen {
+		return nil, errors.New("palcrypto: malformed public key")
+	}
+	if e < 3 || e%2 == 0 {
+		return nil, errors.New("palcrypto: invalid public exponent")
+	}
+	n := new(big.Int).SetBytes(b[8:])
+	if n.BitLen() < 128 {
+		return nil, errors.New("palcrypto: modulus too small")
+	}
+	return &RSAPublicKey{N: n, E: e}, nil
+}
+
+// MarshalPrivateKey serializes a private key (for sealed storage only —
+// never leaves a PAL unencrypted).
+func MarshalPrivateKey(priv *RSAPrivateKey) []byte {
+	var out []byte
+	out = appendU32(out, uint32(priv.E))
+	for _, v := range []*big.Int{priv.N, priv.D, priv.P, priv.Q} {
+		vb := v.Bytes()
+		out = appendU32(out, uint32(len(vb)))
+		out = append(out, vb...)
+	}
+	return out
+}
+
+// UnmarshalPrivateKey parses the format produced by MarshalPrivateKey and
+// recomputes the CRT parameters.
+func UnmarshalPrivateKey(b []byte) (*RSAPrivateKey, error) {
+	if len(b) < 4 {
+		return nil, errors.New("palcrypto: truncated private key")
+	}
+	e := int(readU32(b))
+	b = b[4:]
+	var vals [4]*big.Int
+	for i := range vals {
+		if len(b) < 4 {
+			return nil, errors.New("palcrypto: truncated private key")
+		}
+		l := int(readU32(b))
+		b = b[4:]
+		if l < 0 || len(b) < l {
+			return nil, errors.New("palcrypto: truncated private key")
+		}
+		vals[i] = new(big.Int).SetBytes(b[:l])
+		b = b[l:]
+	}
+	if len(b) != 0 {
+		return nil, errors.New("palcrypto: trailing bytes in private key")
+	}
+	n, d, p, q := vals[0], vals[1], vals[2], vals[3]
+	if new(big.Int).Mul(p, q).Cmp(n) != 0 {
+		return nil, errors.New("palcrypto: inconsistent private key")
+	}
+	pm1 := new(big.Int).Sub(p, bigOne)
+	qm1 := new(big.Int).Sub(q, bigOne)
+	qinv := new(big.Int).ModInverse(q, p)
+	if qinv == nil {
+		return nil, errors.New("palcrypto: inconsistent private key")
+	}
+	return &RSAPrivateKey{
+		RSAPublicKey: RSAPublicKey{N: n, E: e},
+		D:            d, P: p, Q: q,
+		Dp:   new(big.Int).Mod(d, pm1),
+		Dq:   new(big.Int).Mod(d, qm1),
+		Qinv: qinv,
+	}, nil
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func readU32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

@@ -1,0 +1,287 @@
+package palcrypto
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// testKey generates a deterministic small-but-real RSA key once for the
+// whole test file; 512-bit keys keep the suite fast while exercising every
+// code path.
+func testKey(t *testing.T) *RSAPrivateKey {
+	t.Helper()
+	key, err := GenerateRSAKey(NewPRNG([]byte("rsa-test-seed")), 512)
+	if err != nil {
+		t.Fatalf("GenerateRSAKey: %v", err)
+	}
+	return key
+}
+
+func TestGenerateRSAKeyProperties(t *testing.T) {
+	key := testKey(t)
+	if key.N.BitLen() != 512 {
+		t.Errorf("modulus bit length = %d, want 512", key.N.BitLen())
+	}
+	if new(big.Int).Mul(key.P, key.Q).Cmp(key.N) != 0 {
+		t.Error("N != P*Q")
+	}
+	// e*d == 1 mod lcm is implied by mod phi; check e*d mod (p-1) and (q-1).
+	ed := new(big.Int).Mul(big.NewInt(int64(key.E)), key.D)
+	for _, pm := range []*big.Int{new(big.Int).Sub(key.P, bigOne), new(big.Int).Sub(key.Q, bigOne)} {
+		if new(big.Int).Mod(ed, pm).Cmp(bigOne) != 0 {
+			t.Error("e*d != 1 mod (prime-1)")
+		}
+	}
+	if !key.P.ProbablyPrime(20) || !key.Q.ProbablyPrime(20) {
+		t.Error("factor not prime")
+	}
+}
+
+func TestGenerateRSAKeyDeterministic(t *testing.T) {
+	a, err := GenerateRSAKey(NewPRNG([]byte("same-seed")), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateRSAKey(NewPRNG([]byte("same-seed")), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N.Cmp(b.N) != 0 {
+		t.Error("same seed produced different keys")
+	}
+	c, err := GenerateRSAKey(NewPRNG([]byte("diff-seed")), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N.Cmp(c.N) == 0 {
+		t.Error("different seeds produced the same key")
+	}
+}
+
+func TestGenerateRSAKeyTooSmall(t *testing.T) {
+	if _, err := GenerateRSAKey(NewPRNG([]byte("x")), 64); err == nil {
+		t.Fatal("accepted 64-bit modulus")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	key := testKey(t)
+	rng := NewPRNG([]byte("enc"))
+	msgs := [][]byte{
+		{},
+		[]byte("x"),
+		[]byte("the user's password"),
+		bytes.Repeat([]byte{0x00}, 20), // leading zeros must survive
+		bytes.Repeat([]byte{0xff}, key.Size()-11),
+	}
+	for i, msg := range msgs {
+		ct, err := EncryptPKCS1(rng, &key.RSAPublicKey, msg)
+		if err != nil {
+			t.Fatalf("msg %d: encrypt: %v", i, err)
+		}
+		if len(ct) != key.Size() {
+			t.Errorf("msg %d: ciphertext length %d, want %d", i, len(ct), key.Size())
+		}
+		pt, err := DecryptPKCS1(key, ct)
+		if err != nil {
+			t.Fatalf("msg %d: decrypt: %v", i, err)
+		}
+		if !bytes.Equal(pt, msg) {
+			t.Errorf("msg %d: round trip got %x, want %x", i, pt, msg)
+		}
+	}
+}
+
+func TestEncryptTooLong(t *testing.T) {
+	key := testKey(t)
+	msg := make([]byte, key.Size()-10)
+	if _, err := EncryptPKCS1(NewPRNG([]byte("e")), &key.RSAPublicKey, msg); err == nil {
+		t.Fatal("accepted over-long message")
+	}
+}
+
+func TestDecryptRejectsGarbage(t *testing.T) {
+	key := testKey(t)
+	// Wrong length.
+	if _, err := DecryptPKCS1(key, make([]byte, 7)); err == nil {
+		t.Error("accepted short ciphertext")
+	}
+	// c >= N.
+	tooBig := key.N.Bytes()
+	if _, err := DecryptPKCS1(key, tooBig); err == nil {
+		t.Error("accepted c >= N")
+	}
+	// Random bytes should (overwhelmingly) fail padding checks.
+	rng := NewPRNG([]byte("garbage"))
+	fails := 0
+	for i := 0; i < 20; i++ {
+		ct := rng.Bytes(key.Size())
+		ct[0] = 0 // keep it < N
+		if _, err := DecryptPKCS1(key, ct); err != nil {
+			fails++
+		}
+	}
+	if fails < 19 {
+		t.Errorf("only %d/20 random ciphertexts rejected", fails)
+	}
+}
+
+func TestCiphertextNondeterministic(t *testing.T) {
+	key := testKey(t)
+	rng := NewPRNG([]byte("nd"))
+	a, _ := EncryptPKCS1(rng, &key.RSAPublicKey, []byte("same message"))
+	b, _ := EncryptPKCS1(rng, &key.RSAPublicKey, []byte("same message"))
+	if bytes.Equal(a, b) {
+		t.Fatal("PKCS1 encryption is deterministic (padding reuse)")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	key := testKey(t)
+	msg := []byte("certificate signing request")
+	sig, err := SignPKCS1SHA1(key, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyPKCS1SHA1(&key.RSAPublicKey, msg, sig); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+	// Tampered message.
+	if err := VerifyPKCS1SHA1(&key.RSAPublicKey, []byte("certificate signing requesT"), sig); err == nil {
+		t.Error("tampered message accepted")
+	}
+	// Tampered signature.
+	bad := append([]byte(nil), sig...)
+	bad[len(bad)/2] ^= 1
+	if err := VerifyPKCS1SHA1(&key.RSAPublicKey, msg, bad); err == nil {
+		t.Error("tampered signature accepted")
+	}
+	// Wrong key.
+	other, _ := GenerateRSAKey(NewPRNG([]byte("other")), 512)
+	if err := VerifyPKCS1SHA1(&other.RSAPublicKey, msg, sig); err == nil {
+		t.Error("signature accepted under wrong key")
+	}
+}
+
+func TestSignVerifyProperty(t *testing.T) {
+	key := testKey(t)
+	f := func(msg []byte) bool {
+		sig, err := SignPKCS1SHA1(key, msg)
+		if err != nil {
+			return false
+		}
+		return VerifyPKCS1SHA1(&key.RSAPublicKey, msg, sig) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicKeyMarshalRoundTrip(t *testing.T) {
+	key := testKey(t)
+	b := MarshalPublicKey(&key.RSAPublicKey)
+	got, err := UnmarshalPublicKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N.Cmp(key.N) != 0 || got.E != key.E {
+		t.Fatal("public key round trip mismatch")
+	}
+}
+
+func TestPublicKeyUnmarshalRejects(t *testing.T) {
+	key := testKey(t)
+	good := MarshalPublicKey(&key.RSAPublicKey)
+	cases := map[string][]byte{
+		"empty":        {},
+		"truncated":    good[:len(good)-1],
+		"trailing":     append(append([]byte(nil), good...), 0),
+		"even exp":     func() []byte { b := append([]byte(nil), good...); b[3] = 4; return b }(),
+		"tiny modulus": {0, 1, 0, 1, 0, 0, 0, 1, 7},
+	}
+	for name, b := range cases {
+		if _, err := UnmarshalPublicKey(b); err == nil {
+			t.Errorf("%s: accepted malformed public key", name)
+		}
+	}
+}
+
+func TestPrivateKeyMarshalRoundTrip(t *testing.T) {
+	key := testKey(t)
+	b := MarshalPrivateKey(key)
+	got, err := UnmarshalPrivateKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N.Cmp(key.N) != 0 || got.D.Cmp(key.D) != 0 {
+		t.Fatal("private key round trip mismatch")
+	}
+	// The recomputed CRT parameters must still decrypt.
+	ct, _ := EncryptPKCS1(NewPRNG([]byte("r")), &key.RSAPublicKey, []byte("sealed"))
+	pt, err := DecryptPKCS1(got, ct)
+	if err != nil || !bytes.Equal(pt, []byte("sealed")) {
+		t.Fatalf("round-tripped key failed to decrypt: %v", err)
+	}
+}
+
+func TestPrivateKeyUnmarshalRejectsInconsistent(t *testing.T) {
+	key := testKey(t)
+	b := MarshalPrivateKey(key)
+	// Corrupt a middle byte of the N field; P*Q check must fail.
+	b[10] ^= 0xff
+	if _, err := UnmarshalPrivateKey(b); err == nil {
+		t.Fatal("accepted inconsistent private key")
+	}
+	if _, err := UnmarshalPrivateKey(b[:5]); err == nil {
+		t.Fatal("accepted truncated private key")
+	}
+}
+
+func TestPRNGDeterministicAndDistinct(t *testing.T) {
+	a := NewPRNG([]byte("seed")).Bytes(64)
+	b := NewPRNG([]byte("seed")).Bytes(64)
+	c := NewPRNG([]byte("tree")).Bytes(64)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different streams")
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced the same stream")
+	}
+}
+
+func TestPRNGReadSplitsEqualOneShot(t *testing.T) {
+	one := NewPRNG([]byte("split")).Bytes(100)
+	p := NewPRNG([]byte("split"))
+	var parts []byte
+	for _, n := range []int{1, 7, 19, 73} {
+		parts = append(parts, p.Bytes(n)...)
+	}
+	if !bytes.Equal(one, parts) {
+		t.Fatal("split reads differ from one-shot read")
+	}
+}
+
+func TestPRNGIntn(t *testing.T) {
+	p := NewPRNG([]byte("intn"))
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := p.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	for d, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("digit %d count %d grossly non-uniform", d, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	p.Intn(0)
+}

@@ -1,0 +1,216 @@
+package sealed
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"flicker/internal/attest"
+	"flicker/internal/core"
+	"flicker/internal/pal"
+	"flicker/internal/tpm"
+)
+
+const nvIdx = 0x00011000
+
+// statePAL is a PAL that maintains replay-protected state: each run
+// unseals (if input carries a blob), appends a byte, reseals, and outputs
+// blob || state for the host to store.
+func statePAL(t *testing.T, collect *[][]byte) pal.PAL {
+	return &pal.Func{
+		PALName: "state-pal",
+		Binary:  pal.DescriptorCode("state-pal", "1.0", []string{"TPM Driver", "TPM Utilities"}, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			var state []byte
+			if len(input) > 0 {
+				var err error
+				state, err = Unseal(env, nvIdx, input)
+				if err != nil {
+					return nil, err
+				}
+			}
+			state = append(state, byte(len(state)+1))
+			blob, err := Seal(env, nvIdx, state)
+			if err != nil {
+				return nil, err
+			}
+			*collect = append(*collect, blob)
+			return state, nil
+		},
+	}
+}
+
+func setup(t *testing.T) (*core.Platform, pal.PAL, *[][]byte) {
+	t.Helper()
+	p, err := core.NewPlatform(core.PlatformConfig{Seed: "sealed-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs := &[][]byte{}
+	sp := statePAL(t, blobs)
+	// The counter space is gated to the PAL's launch identity.
+	im, err := core.BuildImage(sp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The NV gate must match the PCR-17 value during execution, which is
+	// the *patched* image's launch value. Pre-patch for the base the
+	// platform will use: allocation is deterministic, so run a probe.
+	probeBase := probeSLBBase(t, p)
+	im.Patch(probeBase)
+	if err := DefineCounter(p.OSTPM(), tpm.Digest{}, nvIdx, attest.ExpectedLaunchPCR17(im)); err != nil {
+		t.Fatal(err)
+	}
+	return p, sp, blobs
+}
+
+// probeSLBBase predicts the next SLB base by replicating the allocator on a
+// twin platform (allocation is deterministic in the seed).
+func probeSLBBase(t *testing.T, p *core.Platform) uint32 {
+	t.Helper()
+	twin, err := core.NewPlatform(core.PlatformConfig{Seed: "sealed-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := twin.Mod.AllocateSLB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+func TestSealUnsealAcrossSessions(t *testing.T) {
+	p, sp, blobs := setup(t)
+	// Session 1: create state.
+	res1, err := p.RunSession(sp, core.SessionOptions{})
+	if err != nil || res1.PALError != nil {
+		t.Fatalf("session 1: %v / %v", err, res1.PALError)
+	}
+	if !bytes.Equal(res1.Outputs, []byte{1}) {
+		t.Fatalf("state after 1 = %v", res1.Outputs)
+	}
+	// Session 2: pass the latest blob back in.
+	res2, err := p.RunSession(sp, core.SessionOptions{Input: (*blobs)[0]})
+	if err != nil || res2.PALError != nil {
+		t.Fatalf("session 2: %v / %v", err, res2.PALError)
+	}
+	if !bytes.Equal(res2.Outputs, []byte{1, 2}) {
+		t.Fatalf("state after 2 = %v", res2.Outputs)
+	}
+}
+
+func TestReplayOfStaleBlobRejected(t *testing.T) {
+	p, sp, blobs := setup(t)
+	if _, err := p.RunSession(sp, core.SessionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := p.RunSession(sp, core.SessionOptions{Input: (*blobs)[0]})
+	if err != nil || res2.PALError != nil {
+		t.Fatalf("session 2: %v / %v", err, res2.PALError)
+	}
+	// The malicious OS now replays blob #1 (version 1) although the
+	// counter is at 2 — the password-change attack of Section 4.3.2.
+	res3, err := p.RunSession(sp, core.SessionOptions{Input: (*blobs)[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.PALError == nil || !errors.Is(res3.PALError, ErrReplay) {
+		t.Fatalf("replay not detected: %v", res3.PALError)
+	}
+	// The fresh blob still works.
+	res4, err := p.RunSession(sp, core.SessionOptions{Input: (*blobs)[1]})
+	if err != nil || res4.PALError != nil {
+		t.Fatalf("fresh blob rejected: %v / %v", err, res4.PALError)
+	}
+}
+
+func TestOSCannotTouchCounter(t *testing.T) {
+	p, _, _ := setup(t)
+	osTPM := p.OSTPM()
+	if _, err := osTPM.NVRead(nvIdx, 0, 4); !tpm.IsCode(err, tpm.RCAreaLocked) {
+		t.Fatalf("OS NV read: %v, want area locked", err)
+	}
+	if err := osTPM.NVWrite(nvIdx, 0, []byte{0, 0, 0, 9}); !tpm.IsCode(err, tpm.RCAreaLocked) {
+		t.Fatalf("OS NV write: %v, want area locked", err)
+	}
+}
+
+func TestWrongPALCannotUseCounter(t *testing.T) {
+	p, sp, blobs := setup(t)
+	if _, err := p.RunSession(sp, core.SessionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	evil := &pal.Func{
+		PALName: "evil-pal",
+		Binary:  pal.DescriptorCode("evil-pal", "6.6", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			// Try to read the victim's counter and unseal its blob.
+			if _, err := env.TPM.NVRead(nvIdx, 0, 4); err == nil {
+				return nil, errors.New("counter readable by wrong PAL")
+			}
+			if _, err := env.Unseal(input); err == nil {
+				return nil, errors.New("blob unsealed by wrong PAL")
+			}
+			return []byte("blocked"), nil
+		},
+	}
+	res, err := p.RunSession(evil, core.SessionOptions{Input: (*blobs)[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PALError != nil {
+		t.Fatalf("isolation failed: %v", res.PALError)
+	}
+}
+
+func TestMonotonicCounterVariant(t *testing.T) {
+	p, err := core.NewPlatform(core.PlatformConfig{Seed: "mono-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := p.OSTPM().CreateCounter(tpm.Digest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blobs [][]byte
+	mp := &pal.Func{
+		PALName: "mono-pal",
+		Binary:  pal.DescriptorCode("mono-pal", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			if len(input) > 0 {
+				state, err := UnsealMonotonic(env, ctr, input)
+				if err != nil {
+					return nil, err
+				}
+				state = append(state, 'x')
+				blob, err := SealMonotonic(env, ctr, state)
+				if err != nil {
+					return nil, err
+				}
+				blobs = append(blobs, blob)
+				return state, nil
+			}
+			blob, err := SealMonotonic(env, ctr, []byte("v1"))
+			if err != nil {
+				return nil, err
+			}
+			blobs = append(blobs, blob)
+			return []byte("v1"), nil
+		},
+	}
+	if res, err := p.RunSession(mp, core.SessionOptions{}); err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+	res, err := p.RunSession(mp, core.SessionOptions{Input: blobs[0]})
+	if err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+	// Replay the stale blob.
+	res, err = p.RunSession(mp, core.SessionOptions{Input: blobs[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.PALError, ErrReplay) {
+		t.Fatalf("monotonic replay not detected: %v", res.PALError)
+	}
+}

@@ -1,0 +1,178 @@
+// Package simtime provides the deterministic simulated clock that underpins
+// every latency measurement in the Flicker platform simulation.
+//
+// The paper's evaluation (Section 7) is a set of latency tables measured with
+// RDTSC on real hardware. This package replaces the hardware with calibrated
+// latency profiles: every simulated hardware operation (an SKINIT, a TPM
+// command, a stretch of CPU work) charges time to a Clock, and the benchmark
+// harness reads session traces off the Clock to regenerate the paper's rows.
+// Because the clock is purely logical, runs are deterministic and fast
+// regardless of how many simulated seconds they cover.
+package simtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is a deterministic logical clock. Time only moves when a simulated
+// component explicitly advances it. The zero value is not usable; use New.
+type Clock struct {
+	mu      sync.Mutex
+	now     time.Duration
+	charges []Charge
+	noise   *noiseSource
+}
+
+// Charge records a single latency contribution, used by the benchmark
+// harness to break down session cost per operation (Tables 1, 4; Figure 9).
+type Charge struct {
+	At       time.Duration // simulated time at which the charge began
+	Duration time.Duration
+	Label    string
+}
+
+// New returns a clock starting at simulated time zero.
+func New() *Clock {
+	return &Clock{}
+}
+
+// NewWithNoise returns a clock whose Advance calls are perturbed by a small
+// deterministic pseudo-random jitter (fraction of each charge, e.g. 0.01 for
+// ±1%). The paper reports standard deviations on its measurements; noise lets
+// Table 3 style experiments show realistic spread while staying reproducible.
+func NewWithNoise(seed uint64, fraction float64) *Clock {
+	return &Clock{noise: newNoiseSource(seed, fraction)}
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d, recording a labeled charge.
+// It returns the charged duration (after noise, if enabled).
+func (c *Clock) Advance(d time.Duration, label string) time.Duration {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative advance %v (%s)", d, label))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.noise != nil {
+		d = c.noise.perturb(d)
+	}
+	c.charges = append(c.charges, Charge{At: c.now, Duration: d, Label: label})
+	c.now += d
+	return d
+}
+
+// Charges returns a copy of all recorded charges in order.
+func (c *Clock) Charges() []Charge {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Charge, len(c.charges))
+	copy(out, c.charges)
+	return out
+}
+
+// ChargesSince returns a copy of the charges that began at or after t.
+func (c *Clock) ChargesSince(t time.Duration) []Charge {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Charge
+	for _, ch := range c.charges {
+		if ch.At >= t {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+// Reset rewinds the clock to zero and discards all charges.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = 0
+	c.charges = nil
+}
+
+// TotalByLabel aggregates charge durations by label.
+func (c *Clock) TotalByLabel() map[string]time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]time.Duration)
+	for _, ch := range c.charges {
+		out[ch.Label] += ch.Duration
+	}
+	return out
+}
+
+// Breakdown renders a sorted per-label cost table, for session traces.
+func (c *Clock) Breakdown() string {
+	totals := c.TotalByLabel()
+	labels := make([]string, 0, len(totals))
+	for l := range totals {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	s := ""
+	for _, l := range labels {
+		s += fmt.Sprintf("%-28s %10.3f ms\n", l, Millis(totals[l]))
+	}
+	return s
+}
+
+// Millis converts a duration to floating-point milliseconds, the unit the
+// paper reports in.
+func Millis(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+// FromMillis builds a duration from floating-point milliseconds.
+func FromMillis(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// noiseSource is a small deterministic PRNG (xorshift64*) used only for
+// latency jitter. It is not cryptographic.
+type noiseSource struct {
+	state    uint64
+	fraction float64
+}
+
+func newNoiseSource(seed uint64, fraction float64) *noiseSource {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	if fraction < 0 {
+		fraction = 0
+	}
+	return &noiseSource{state: seed, fraction: fraction}
+}
+
+func (n *noiseSource) next() uint64 {
+	x := n.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	n.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// perturb returns d scaled by a factor uniform in [1-fraction, 1+fraction].
+func (n *noiseSource) perturb(d time.Duration) time.Duration {
+	if n.fraction == 0 || d == 0 {
+		return d
+	}
+	// Map next() to [-1, 1).
+	u := float64(int64(n.next()>>11))/float64(1<<52) - 1
+	scaled := float64(d) * (1 + u*n.fraction)
+	if scaled < 0 {
+		scaled = 0
+	}
+	return time.Duration(scaled)
+}

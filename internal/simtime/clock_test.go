@@ -1,0 +1,231 @@
+package simtime
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := New()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("new clock Now() = %v, want 0", got)
+	}
+	if n := len(c.Charges()); n != 0 {
+		t.Fatalf("new clock has %d charges, want 0", n)
+	}
+}
+
+func TestClockAdvanceAccumulates(t *testing.T) {
+	c := New()
+	c.Advance(5*time.Millisecond, "a")
+	c.Advance(7*time.Millisecond, "b")
+	if got, want := c.Now(), 12*time.Millisecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+	ch := c.Charges()
+	if len(ch) != 2 {
+		t.Fatalf("got %d charges, want 2", len(ch))
+	}
+	if ch[0].At != 0 || ch[0].Duration != 5*time.Millisecond || ch[0].Label != "a" {
+		t.Errorf("charge[0] = %+v", ch[0])
+	}
+	if ch[1].At != 5*time.Millisecond {
+		t.Errorf("charge[1].At = %v, want 5ms", ch[1].At)
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative advance")
+		}
+	}()
+	New().Advance(-time.Millisecond, "bad")
+}
+
+func TestClockTotalByLabel(t *testing.T) {
+	c := New()
+	c.Advance(time.Millisecond, "tpm")
+	c.Advance(2*time.Millisecond, "cpu")
+	c.Advance(3*time.Millisecond, "tpm")
+	totals := c.TotalByLabel()
+	if totals["tpm"] != 4*time.Millisecond {
+		t.Errorf("tpm total = %v, want 4ms", totals["tpm"])
+	}
+	if totals["cpu"] != 2*time.Millisecond {
+		t.Errorf("cpu total = %v, want 2ms", totals["cpu"])
+	}
+}
+
+func TestClockChargesSince(t *testing.T) {
+	c := New()
+	c.Advance(time.Millisecond, "a")
+	mark := c.Now()
+	c.Advance(time.Millisecond, "b")
+	since := c.ChargesSince(mark)
+	if len(since) != 1 || since[0].Label != "b" {
+		t.Fatalf("ChargesSince = %+v, want single 'b'", since)
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	c := New()
+	c.Advance(time.Second, "x")
+	c.Reset()
+	if c.Now() != 0 || len(c.Charges()) != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Advance(time.Microsecond, "w")
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Now(), 5000*time.Microsecond; got != want {
+		t.Fatalf("concurrent total = %v, want %v", got, want)
+	}
+}
+
+func TestNoiseDeterministic(t *testing.T) {
+	a := NewWithNoise(42, 0.05)
+	b := NewWithNoise(42, 0.05)
+	for i := 0; i < 100; i++ {
+		da := a.Advance(time.Millisecond, "n")
+		db := b.Advance(time.Millisecond, "n")
+		if da != db {
+			t.Fatalf("iteration %d: same seed diverged: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestNoiseBounded(t *testing.T) {
+	c := NewWithNoise(7, 0.05)
+	for i := 0; i < 1000; i++ {
+		d := c.Advance(100*time.Millisecond, "n")
+		lo := 94 * time.Millisecond
+		hi := 106 * time.Millisecond
+		if d < lo || d > hi {
+			t.Fatalf("noise out of +/-5%% + slack bounds: %v", d)
+		}
+	}
+}
+
+func TestNoiseZeroFraction(t *testing.T) {
+	c := NewWithNoise(1, 0)
+	if d := c.Advance(time.Second, "n"); d != time.Second {
+		t.Fatalf("zero-fraction noise changed duration: %v", d)
+	}
+}
+
+func TestMillisRoundTrip(t *testing.T) {
+	f := func(msx1000 uint32) bool {
+		ms := float64(msx1000) / 1000.0
+		got := Millis(FromMillis(ms))
+		return math.Abs(got-ms) <= 1e-6*(1+math.Abs(ms))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the clock's Now always equals the sum of its charges.
+func TestClockSumInvariant(t *testing.T) {
+	f := func(durs []uint16) bool {
+		c := New()
+		var want time.Duration
+		for _, d := range durs {
+			dd := time.Duration(d) * time.Microsecond
+			c.Advance(dd, "p")
+			want += dd
+		}
+		if c.Now() != want {
+			return false
+		}
+		var sum time.Duration
+		for _, ch := range c.Charges() {
+			sum += ch.Duration
+		}
+		return sum == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileSkinitMatchesTable2(t *testing.T) {
+	p := ProfileBroadcom()
+	// Table 2 of the paper: SLB size (KB) -> SKINIT latency (ms).
+	cases := []struct {
+		kb   int
+		want float64
+		tol  float64
+	}{
+		{0, 0.9, 1.0}, // paper reports "0.0" (i.e., <1 ms)
+		{4, 11.9, 1.0},
+		{16, 45.0, 2.0},
+		{32, 89.2, 2.5},
+		{64, 177.5, 2.5},
+	}
+	for _, tc := range cases {
+		got := Millis(p.SkinitCost(tc.kb * 1024))
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("SKINIT(%d KB) = %.1f ms, want %.1f +/- %.1f", tc.kb, got, tc.want, tc.tol)
+		}
+	}
+}
+
+func TestProfileMonotoneInSLBSize(t *testing.T) {
+	for _, p := range []*Profile{ProfileBroadcom(), ProfileInfineon(), ProfileFuture()} {
+		prev := time.Duration(-1)
+		for kb := 0; kb <= 64; kb += 4 {
+			c := p.SkinitCost(kb * 1024)
+			if c <= prev {
+				t.Errorf("%s: SkinitCost not strictly increasing at %d KB", p.Name, kb)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestProfileOrdering(t *testing.T) {
+	b, i, f := ProfileBroadcom(), ProfileInfineon(), ProfileFuture()
+	if !(f.TPMQuote < i.TPMQuote && i.TPMQuote < b.TPMQuote) {
+		t.Error("expected future < infineon < broadcom quote latency")
+	}
+	if !(f.TPMUnseal < i.TPMUnseal && i.TPMUnseal < b.TPMUnseal) {
+		t.Error("expected future < infineon < broadcom unseal latency")
+	}
+}
+
+func TestBreakdownContainsLabels(t *testing.T) {
+	c := New()
+	c.Advance(time.Millisecond, "skinit")
+	c.Advance(2*time.Millisecond, "quote")
+	s := c.Breakdown()
+	for _, want := range []string{"skinit", "quote"} {
+		if !contains(s, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,193 @@
+package slb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"flicker/internal/palcrypto"
+	"flicker/internal/tpm"
+)
+
+func TestBuildLayout(t *testing.T) {
+	code := []byte("hello world PAL code")
+	im, err := Build(PALCode{Name: "hello", Code: code})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := im.Bytes()
+	if got := binary.LittleEndian.Uint16(data[0:2]); int(got) != len(data) {
+		t.Errorf("length field = %d, want %d", got, len(data))
+	}
+	entry := binary.LittleEndian.Uint16(data[2:4])
+	if int(entry) >= len(data) {
+		t.Error("entry point outside SLB")
+	}
+	if !bytes.Equal(data[CoreRegionLen:], code) {
+		t.Error("PAL code not at PALOffset")
+	}
+	if im.PALOffset() != CoreRegionLen {
+		t.Error("PALOffset mismatch")
+	}
+	if im.TwoStage() {
+		t.Error("plain build marked two-stage")
+	}
+}
+
+func TestBuildRejectsEmptyAndOversized(t *testing.T) {
+	if _, err := Build(PALCode{Name: "empty"}); err == nil {
+		t.Error("empty PAL accepted")
+	}
+	big := make([]byte, MaxPALEnd) // plus core region, exceeds 60 KB
+	if _, err := Build(PALCode{Name: "big", Code: big}); err == nil {
+		t.Error("oversized PAL accepted")
+	}
+	// Largest that fits.
+	just := make([]byte, MaxPALEnd-CoreRegionLen)
+	if _, err := Build(PALCode{Name: "just", Code: just}); err != nil {
+		t.Errorf("max-size PAL rejected: %v", err)
+	}
+}
+
+func TestMeasurementDependsOnCode(t *testing.T) {
+	a, _ := Build(PALCode{Name: "a", Code: []byte("pal A")})
+	b, _ := Build(PALCode{Name: "b", Code: []byte("pal B")})
+	if a.Measurement() == b.Measurement() {
+		t.Fatal("different PALs share a measurement")
+	}
+	// The name must NOT affect the measurement (identity is code).
+	a2, _ := Build(PALCode{Name: "renamed", Code: []byte("pal A")})
+	if a.Measurement() != a2.Measurement() {
+		t.Fatal("PAL name leaked into measurement")
+	}
+}
+
+func TestPatchChangesMeasurementDeterministically(t *testing.T) {
+	mk := func() *Image {
+		im, _ := Build(PALCode{Name: "p", Code: []byte("some pal")})
+		return im
+	}
+	unpatched := mk().Measurement()
+	one := mk()
+	if err := one.Patch(0x100000); err != nil {
+		t.Fatal(err)
+	}
+	if one.Measurement() == unpatched {
+		t.Fatal("patching did not change the measurement")
+	}
+	two := mk()
+	two.Patch(0x100000)
+	if one.Measurement() != two.Measurement() {
+		t.Fatal("same base produced different measurements")
+	}
+	three := mk()
+	three.Patch(0x200000)
+	if one.Measurement() == three.Measurement() {
+		t.Fatal("different bases produced the same measurement")
+	}
+	// Re-patching for the same base is fine; a different base is not.
+	if err := one.Patch(0x100000); err != nil {
+		t.Fatal(err)
+	}
+	if err := one.Patch(0x300000); err == nil {
+		t.Fatal("re-patch to a new base accepted")
+	}
+	if !one.Patched() || one.Base() != 0x100000 {
+		t.Fatal("patch bookkeeping wrong")
+	}
+}
+
+func TestExpectedPCR17Formula(t *testing.T) {
+	im, _ := Build(PALCode{Name: "f", Code: []byte("formula pal")})
+	im.Patch(0x10000)
+	want := tpm.ExtendDigest(tpm.Digest{}, palcrypto.SHA1Sum(im.Bytes()))
+	if im.ExpectedPCR17() != want {
+		t.Fatal("ExpectedPCR17 != H(0 || H(P))")
+	}
+}
+
+func TestTwoStageBuild(t *testing.T) {
+	code := bytes.Repeat([]byte{0xEE}, 30*1024)
+	im, err := BuildTwoStage(PALCode{Name: "big", Code: code})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !im.TwoStage() {
+		t.Fatal("not marked two-stage")
+	}
+	if im.MeasuredLen() != 4736 {
+		t.Fatalf("measured length = %d, want 4736", im.MeasuredLen())
+	}
+	// Header length field governs the SKINIT transfer.
+	if got := binary.LittleEndian.Uint16(im.Bytes()[0:2]); got != 4736 {
+		t.Fatalf("header length = %d", got)
+	}
+	// Stage-1 measurement covers only the stub; stage-2 covers everything.
+	if im.Measurement() != palcrypto.SHA1Sum(im.Bytes()[:4736]) {
+		t.Fatal("stub measurement wrong")
+	}
+	if im.WindowMeasurement() != palcrypto.SHA1Sum(im.Bytes()) {
+		t.Fatal("window measurement wrong")
+	}
+	want := tpm.ExtendDigest(im.ExpectedPCR17(), im.WindowMeasurement())
+	if im.ExpectedPCR17TwoStage() != want {
+		t.Fatal("two-stage PCR 17 formula wrong")
+	}
+}
+
+func TestTwoStagePadsTinyPAL(t *testing.T) {
+	im, err := BuildTwoStage(PALCode{Name: "tiny", Code: []byte{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Len() < 4736 {
+		t.Fatalf("tiny two-stage image is %d bytes", im.Len())
+	}
+}
+
+func TestStubMeasurementIgnoresPALChanges(t *testing.T) {
+	// The point of the optimization: SKINIT's direct measurement covers
+	// only the stub, so two different PALs have the same *stage-1*
+	// measurement but different *stage-2* (window) measurements.
+	a, _ := BuildTwoStage(PALCode{Name: "a", Code: bytes.Repeat([]byte{1}, 20000)})
+	b, _ := BuildTwoStage(PALCode{Name: "b", Code: bytes.Repeat([]byte{2}, 20000)})
+	if a.Measurement() != b.Measurement() {
+		t.Fatal("stub measurements differ; stub should be PAL-independent")
+	}
+	if a.WindowMeasurement() == b.WindowMeasurement() {
+		t.Fatal("window measurements identical for different PALs")
+	}
+	if a.ExpectedPCR17TwoStage() == b.ExpectedPCR17TwoStage() {
+		t.Fatal("final PCR 17 identical for different PALs")
+	}
+}
+
+// Property: building the same PAL twice yields byte-identical images, and
+// the length header always matches the byte count.
+func TestBuildDeterministicProperty(t *testing.T) {
+	f := func(code []byte) bool {
+		if len(code) == 0 || len(code) > 8192 {
+			return true
+		}
+		a, err := Build(PALCode{Name: "p", Code: code})
+		if err != nil {
+			return false
+		}
+		b, _ := Build(PALCode{Name: "p", Code: code})
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			return false
+		}
+		return int(binary.LittleEndian.Uint16(a.Bytes()[0:2])) == a.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionTerminatorStable(t *testing.T) {
+	want := palcrypto.SHA1Sum([]byte("flicker-session-terminator-v1"))
+	if SessionTerminator != want {
+		t.Fatal("session terminator constant drifted")
+	}
+}

@@ -1,0 +1,454 @@
+package tpm
+
+import (
+	"fmt"
+
+	"flicker/internal/hw/tis"
+	"flicker/internal/palcrypto"
+)
+
+// Client is a TPM driver: it marshals commands, runs authorization
+// sessions, and verifies response MACs. Two instances exist in a Flicker
+// platform: the untrusted OS's TPM software stack (locality 0) and the
+// PAL's in-SLB TPM driver (locality 2) — the paper's "TPM Driver" and "TPM
+// Utilities" modules.
+type Client struct {
+	bus *tis.Bus
+	loc tis.Locality
+	rng *palcrypto.PRNG
+}
+
+// NewClient creates a driver bound to a locality on the given bus.
+func NewClient(bus *tis.Bus, loc tis.Locality, nonceSeed []byte) *Client {
+	return &Client{bus: bus, loc: loc, rng: palcrypto.NewPRNG(nonceSeed)}
+}
+
+// Locality returns the locality this driver issues commands at.
+func (c *Client) Locality() tis.Locality { return c.loc }
+
+// CommandError is a non-zero TPM return code surfaced as a Go error.
+type CommandError struct {
+	Ordinal uint32
+	Code    uint32
+}
+
+// Error includes the ordinal and the TPM return code.
+func (e *CommandError) Error() string {
+	return fmt.Sprintf("tpm: ordinal %#x failed with return code %#x", e.Ordinal, e.Code)
+}
+
+// IsCode reports whether err is a CommandError with the given return code.
+func IsCode(err error, code uint32) bool {
+	ce, ok := err.(*CommandError)
+	return ok && ce.Code == code
+}
+
+// run frames, submits, and unframes one unauthorized command.
+func (c *Client) run(ordinal uint32, body []byte) ([]byte, error) {
+	resp, err := c.bus.SubmitAt(c.loc, marshalCommand(tagRQUCommand, ordinal, body))
+	if err != nil {
+		return nil, err
+	}
+	_, rc, out, err := parseFrame(resp)
+	if err != nil {
+		return nil, err
+	}
+	if rc != RCSuccess {
+		return nil, &CommandError{Ordinal: ordinal, Code: rc}
+	}
+	return out, nil
+}
+
+// runAuth1 executes an authorized command: it opens an OIAP session, MACs
+// the parameters under secret, submits, and verifies the response MAC.
+func (c *Client) runAuth1(ordinal uint32, params []byte, secret Digest) ([]byte, error) {
+	if err := c.bus.RequestUse(c.loc); err != nil {
+		return nil, err
+	}
+	defer c.bus.Release(c.loc)
+
+	// OIAP.
+	oiapResp, err := c.bus.Submit(c.loc, marshalCommand(tagRQUCommand, OrdOIAP, nil))
+	if err != nil {
+		return nil, err
+	}
+	_, rc, out, err := parseFrame(oiapResp)
+	if err != nil {
+		return nil, err
+	}
+	if rc != RCSuccess {
+		return nil, &CommandError{Ordinal: OrdOIAP, Code: rc}
+	}
+	r := &rdr{b: out}
+	handle, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	neb, err := r.raw(DigestSize)
+	if err != nil {
+		return nil, err
+	}
+	var nonceEven, nonceOdd Digest
+	copy(nonceEven[:], neb)
+	copy(nonceOdd[:], c.rng.Bytes(DigestSize))
+
+	tr := authTrailer{handle: handle, nonceOdd: nonceOdd, cont: false}
+	tr.auth = authMAC(secret, ordinal, params, nonceEven, nonceOdd, false)
+	cmd := marshalCommand(tagRQUAuth1, ordinal, appendAuth1(append([]byte(nil), params...), tr))
+
+	resp, err := c.bus.Submit(c.loc, cmd)
+	if err != nil {
+		return nil, err
+	}
+	_, rc, body, err := parseFrame(resp)
+	if err != nil {
+		return nil, err
+	}
+	if rc != RCSuccess {
+		return nil, &CommandError{Ordinal: ordinal, Code: rc}
+	}
+	// Response body = outParams || nonceEven'(20) || cont(1) || mac(20).
+	trailerLen := DigestSize + 1 + DigestSize
+	if len(body) < trailerLen {
+		return nil, errTruncated
+	}
+	outParams := body[:len(body)-trailerLen]
+	tb := body[len(body)-trailerLen:]
+	var ne2 Digest
+	copy(ne2[:], tb[:DigestSize])
+	cont := tb[DigestSize] != 0
+	var mac Digest
+	copy(mac[:], tb[DigestSize+1:])
+	want := responseMAC(secret, rc, ordinal, outParams, ne2, nonceOdd, cont)
+	if !palcrypto.ConstantTimeEqual(want[:], mac[:]) {
+		return nil, fmt.Errorf("tpm: response MAC verification failed for ordinal %#x", ordinal)
+	}
+	return append([]byte(nil), outParams...), nil
+}
+
+// Extend extends PCR idx with digest m and returns the new PCR value.
+func (c *Client) Extend(idx int, m Digest) (Digest, error) {
+	w := &buf{}
+	w.u32(uint32(idx))
+	w.raw(m[:])
+	out, err := c.run(OrdExtend, w.b)
+	if err != nil {
+		return Digest{}, err
+	}
+	var v Digest
+	copy(v[:], out)
+	return v, nil
+}
+
+// PCRRead returns the current value of PCR idx.
+func (c *Client) PCRRead(idx int) (Digest, error) {
+	w := &buf{}
+	w.u32(uint32(idx))
+	out, err := c.run(OrdPCRRead, w.b)
+	if err != nil {
+		return Digest{}, err
+	}
+	var v Digest
+	copy(v[:], out)
+	return v, nil
+}
+
+// PCRReset issues a software reset of the selected PCRs (only 20-22 may
+// succeed, and only from locality >= 2).
+func (c *Client) PCRReset(sel PCRSelection) error {
+	w := &buf{}
+	sel.marshal(w)
+	_, err := c.run(OrdPCRReset, w.b)
+	return err
+}
+
+// GetRandom returns n bytes from the TPM RNG.
+func (c *Client) GetRandom(n int) ([]byte, error) {
+	w := &buf{}
+	w.u32(uint32(n))
+	out, err := c.run(OrdGetRandom, w.b)
+	if err != nil {
+		return nil, err
+	}
+	r := &rdr{b: out}
+	return r.bytes32()
+}
+
+// GetVersion returns the TPM family version string and PCR count.
+func (c *Client) GetVersion() (string, int, error) {
+	w := &buf{}
+	w.u32(0)
+	out, err := c.run(OrdGetCapability, w.b)
+	if err != nil {
+		return "", 0, err
+	}
+	r := &rdr{b: out}
+	vb, err := r.raw(4)
+	if err != nil {
+		return "", 0, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return "", 0, err
+	}
+	return fmt.Sprintf("%d.%d", vb[0], vb[1]), int(n), nil
+}
+
+// BootCount returns the TPM's platform reset count.
+func (c *Client) BootCount() (int, error) {
+	w := &buf{}
+	w.u32(1)
+	out, err := c.run(OrdGetCapability, w.b)
+	if err != nil {
+		return 0, err
+	}
+	r := &rdr{b: out}
+	n, err := r.u32()
+	return int(n), err
+}
+
+// QuoteResult is a successful TPM_Quote: the composite over the selected
+// PCRs and the AIK signature over TPM_QUOTE_INFO(composite, nonce).
+type QuoteResult struct {
+	Composite Digest
+	Signature []byte
+}
+
+// Quote asks the TPM to sign (nonce, selected PCRs) with the AIK at handle.
+func (c *Client) Quote(aikHandle uint32, aikAuth Digest, nonce Digest, sel PCRSelection) (*QuoteResult, error) {
+	w := &buf{}
+	w.u32(aikHandle)
+	w.raw(nonce[:])
+	sel.marshal(w)
+	out, err := c.runAuth1(OrdQuote, w.b, aikAuth)
+	if err != nil {
+		return nil, err
+	}
+	r := &rdr{b: out}
+	cb, err := r.raw(DigestSize)
+	if err != nil {
+		return nil, err
+	}
+	sig, err := r.bytes32()
+	if err != nil {
+		return nil, err
+	}
+	q := &QuoteResult{Signature: sig}
+	copy(q.Composite[:], cb)
+	return q, nil
+}
+
+// Seal binds data to (sel, digestAtRelease) under the SRK. srkAuth is the
+// SRK usage secret (the TCG well-known all-zero value by default).
+func (c *Client) Seal(srkAuth Digest, sel PCRSelection, digestAtRelease Digest, data []byte) ([]byte, error) {
+	w := &buf{}
+	w.u32(KHSRK)
+	w.raw(digestAtRelease[:])
+	sel.marshal(w)
+	w.bytes32(data)
+	out, err := c.runAuth1(OrdSeal, w.b, srkAuth)
+	if err != nil {
+		return nil, err
+	}
+	r := &rdr{b: out}
+	return r.bytes32()
+}
+
+// Unseal opens a sealed blob; it fails with RCWrongPCRVal if the PCR
+// binding is not currently satisfied.
+func (c *Client) Unseal(srkAuth Digest, blob []byte) ([]byte, error) {
+	w := &buf{}
+	w.u32(KHSRK)
+	w.bytes32(blob)
+	out, err := c.runAuth1(OrdUnseal, w.b, srkAuth)
+	if err != nil {
+		return nil, err
+	}
+	r := &rdr{b: out}
+	return r.bytes32()
+}
+
+// MakeIdentity creates a fresh AIK (owner-authorized) and returns its
+// volatile handle, its public key, and the wrapped key blob the software
+// stack stores on disk and reloads after reboots.
+func (c *Client) MakeIdentity(ownerAuth Digest) (uint32, *palcrypto.RSAPublicKey, []byte, error) {
+	out, err := c.runAuth1(OrdMakeIdentity, nil, ownerAuth)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	r := &rdr{b: out}
+	h, err := r.u32()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	pkb, err := r.bytes32()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	pk, err := palcrypto.UnmarshalPublicKey(pkb)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	blob, err := r.bytes32()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return h, pk, blob, nil
+}
+
+// CreateWrapKey generates a keypair of the given usage, wrapped under the
+// SRK. It returns the blob (stored by untrusted software) and the public
+// key; the private half exists outside the TPM only in encrypted form.
+func (c *Client) CreateWrapKey(srkAuth Digest, usage uint16, usageAuth Digest) ([]byte, *palcrypto.RSAPublicKey, error) {
+	w := &buf{}
+	w.u32(KHSRK)
+	w.u16(usage)
+	w.raw(usageAuth[:])
+	out, err := c.runAuth1(OrdCreateWrapKey, w.b, srkAuth)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := &rdr{b: out}
+	blob, err := r.bytes32()
+	if err != nil {
+		return nil, nil, err
+	}
+	pkb, err := r.bytes32()
+	if err != nil {
+		return nil, nil, err
+	}
+	pk, err := palcrypto.UnmarshalPublicKey(pkb)
+	if err != nil {
+		return nil, nil, err
+	}
+	return blob, pk, nil
+}
+
+// LoadKey2 loads a wrapped key blob into a volatile handle.
+func (c *Client) LoadKey2(blob []byte) (uint32, error) {
+	w := &buf{}
+	w.u32(KHSRK)
+	w.bytes32(blob)
+	out, err := c.run(OrdLoadKey2, w.b)
+	if err != nil {
+		return 0, err
+	}
+	r := &rdr{b: out}
+	return r.u32()
+}
+
+// FlushSpecific evicts a loaded key handle.
+func (c *Client) FlushSpecific(handle uint32) error {
+	w := &buf{}
+	w.u32(handle)
+	_, err := c.run(OrdFlushSpecific, w.b)
+	return err
+}
+
+// Sign signs data with a loaded signing key (PKCS#1 v1.5 over SHA-1).
+func (c *Client) Sign(handle uint32, usageAuth Digest, data []byte) ([]byte, error) {
+	w := &buf{}
+	w.u32(handle)
+	w.bytes32(data)
+	out, err := c.runAuth1(OrdSign, w.b, usageAuth)
+	if err != nil {
+		return nil, err
+	}
+	r := &rdr{b: out}
+	return r.bytes32()
+}
+
+// NVDefineSpace defines an NV index of the given size. If pcrGated is
+// non-nil, read and write access both require the selected PCRs to hold
+// the composite digest given.
+type NVPCRRequirement struct {
+	Read        PCRSelection
+	ReadDigest  Digest
+	Write       PCRSelection
+	WriteDigest Digest
+}
+
+// NVDefineSpace defines a non-volatile storage index (owner-authorized).
+func (c *Client) NVDefineSpace(ownerAuth Digest, index uint32, size int, req *NVPCRRequirement) error {
+	w := &buf{}
+	w.u32(index)
+	w.u32(uint32(size))
+	if req == nil {
+		w.u8(0)
+	} else {
+		w.u8(1)
+		req.Read.marshal(w)
+		w.raw(req.ReadDigest[:])
+		req.Write.marshal(w)
+		w.raw(req.WriteDigest[:])
+	}
+	_, err := c.runAuth1(OrdNVDefineSpace, w.b, ownerAuth)
+	return err
+}
+
+// NVWrite writes data at an offset within an NV index.
+func (c *Client) NVWrite(index uint32, offset int, data []byte) error {
+	w := &buf{}
+	w.u32(index)
+	w.u32(uint32(offset))
+	w.bytes32(data)
+	_, err := c.run(OrdNVWriteValue, w.b)
+	return err
+}
+
+// NVRead reads n bytes at an offset within an NV index.
+func (c *Client) NVRead(index uint32, offset, n int) ([]byte, error) {
+	w := &buf{}
+	w.u32(index)
+	w.u32(uint32(offset))
+	w.u32(uint32(n))
+	out, err := c.run(OrdNVReadValue, w.b)
+	if err != nil {
+		return nil, err
+	}
+	r := &rdr{b: out}
+	return r.bytes32()
+}
+
+// CreateCounter creates a monotonic counter (owner-authorized) and returns
+// its id.
+func (c *Client) CreateCounter(ownerAuth Digest) (uint32, error) {
+	out, err := c.runAuth1(OrdCreateCounter, nil, ownerAuth)
+	if err != nil {
+		return 0, err
+	}
+	r := &rdr{b: out}
+	id, err := r.u32()
+	return id, err
+}
+
+// IncrementCounter bumps a monotonic counter and returns the new value.
+func (c *Client) IncrementCounter(id uint32) (uint32, error) {
+	w := &buf{}
+	w.u32(id)
+	out, err := c.run(OrdIncrementCounter, w.b)
+	if err != nil {
+		return 0, err
+	}
+	r := &rdr{b: out}
+	return r.u32()
+}
+
+// ReadCounter returns a monotonic counter's current value.
+func (c *Client) ReadCounter(id uint32) (uint32, error) {
+	w := &buf{}
+	w.u32(id)
+	out, err := c.run(OrdReadCounter, w.b)
+	if err != nil {
+		return 0, err
+	}
+	r := &rdr{b: out}
+	return r.u32()
+}
+
+// Startup issues TPM_Startup(ST_CLEAR), the BIOS's first command after a
+// platform reset.
+func (c *Client) Startup() error {
+	_, err := c.run(OrdStartup, nil)
+	return err
+}

@@ -1,0 +1,469 @@
+package tpm
+
+import (
+	"flicker/internal/hw/tis"
+	"flicker/internal/palcrypto"
+	"flicker/internal/simtime"
+)
+
+// dispatch executes one parsed command. Callers hold t.mu.
+func (t *TPM) dispatch(loc tis.Locality, tag uint16, ord uint32, body []byte) ([]byte, uint32) {
+	if t.needStartup && ord != OrdStartup {
+		return nil, RCInvalidPostInit
+	}
+	switch ord {
+	case OrdStartup:
+		return t.cmdStartup()
+	case OrdOIAP:
+		return t.cmdOIAP()
+	case OrdOSAP:
+		return t.cmdOSAP(body)
+	case OrdExtend:
+		return t.cmdExtend(body)
+	case OrdPCRRead:
+		return t.cmdPCRRead(body)
+	case OrdPCRReset:
+		return t.cmdPCRReset(loc, body)
+	case OrdGetRandom:
+		return t.cmdGetRandom(body)
+	case OrdGetCapability:
+		return t.cmdGetCapability(body)
+	case OrdQuote:
+		return t.cmdQuote(tag, body)
+	case OrdSeal:
+		return t.cmdSeal(tag, body)
+	case OrdUnseal:
+		return t.cmdUnseal(tag, body)
+	case OrdMakeIdentity:
+		return t.cmdMakeIdentity(tag, body)
+	case OrdLoadKey2:
+		return t.cmdLoadKey2Blob(body)
+	case OrdCreateWrapKey:
+		return t.cmdCreateWrapKey(tag, body)
+	case OrdSign:
+		return t.cmdSign(tag, body)
+	case OrdFlushSpecific:
+		return t.cmdFlushSpecific(body)
+	case OrdNVDefineSpace:
+		return t.cmdNVDefineSpace(tag, body)
+	case OrdNVWriteValue:
+		return t.cmdNVWriteValue(body)
+	case OrdNVReadValue:
+		return t.cmdNVReadValue(body)
+	case OrdCreateCounter:
+		return t.cmdCreateCounter(tag, body)
+	case OrdIncrementCounter:
+		return t.cmdIncrementCounter(body)
+	case OrdReadCounter:
+		return t.cmdReadCounter(body)
+	case OrdHashStart:
+		return t.cmdHashStart(loc)
+	case OrdHashData:
+		return t.cmdHashData(loc, body)
+	case OrdHashEnd:
+		return t.cmdHashEnd(loc)
+	default:
+		return nil, RCBadOrdinal
+	}
+}
+
+func (t *TPM) cmdOIAP() ([]byte, uint32) {
+	t.charge(simtime.Charge{Duration: t.profile.TPMOIAPSession, Label: "tpm.oiap"})
+	h, ne := t.oiapLocked()
+	w := &buf{}
+	w.u32(h)
+	w.raw(ne[:])
+	return w.b, RCSuccess
+}
+
+func (t *TPM) cmdOSAP(body []byte) ([]byte, uint32) {
+	t.charge(simtime.Charge{Duration: t.profile.TPMOIAPSession, Label: "tpm.osap"})
+	r := &rdr{b: body}
+	et, err := r.u16()
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	ev, err := r.u32()
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	no, err := r.raw(DigestSize)
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	var nonceOddOSAP Digest
+	copy(nonceOddOSAP[:], no)
+	h, ne, neOSAP, rc := t.osapLocked(et, ev, nonceOddOSAP)
+	if rc != RCSuccess {
+		return nil, rc
+	}
+	w := &buf{}
+	w.u32(h)
+	w.raw(ne[:])
+	w.raw(neOSAP[:])
+	return w.b, RCSuccess
+}
+
+func (t *TPM) cmdExtend(body []byte) ([]byte, uint32) {
+	t.charge(simtime.Charge{Duration: t.profile.TPMExtend, Label: "tpm.extend"})
+	r := &rdr{b: body}
+	idx, err := r.u32()
+	if err != nil || idx >= NumPCRs {
+		return nil, RCBadIndex
+	}
+	db, err := r.raw(DigestSize)
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	var m Digest
+	copy(m[:], db)
+	t.extendLocked(int(idx), m)
+	v := t.pcrs[idx]
+	return v[:], RCSuccess
+}
+
+func (t *TPM) cmdPCRRead(body []byte) ([]byte, uint32) {
+	t.charge(simtime.Charge{Duration: t.profile.TPMPCRRead, Label: "tpm.pcrread"})
+	r := &rdr{b: body}
+	idx, err := r.u32()
+	if err != nil || idx >= NumPCRs {
+		return nil, RCBadIndex
+	}
+	v := t.pcrs[idx]
+	return v[:], RCSuccess
+}
+
+// cmdPCRReset implements the software TPM_PCR_Reset. Per the v1.2 locality
+// matrix, software may reset PCRs 20-22 from locality 2 or higher. PCR 17
+// is *never* software-resettable: "Only a hardware command from the CPU can
+// reset PCR 17" (paper Section 2.3). That restriction is the root of
+// Flicker's attestation guarantee.
+func (t *TPM) cmdPCRReset(loc tis.Locality, body []byte) ([]byte, uint32) {
+	t.charge(simtime.Charge{Duration: t.profile.TPMExtend, Label: "tpm.pcrreset"})
+	r := &rdr{b: body}
+	sel, err := parsePCRSelection(r)
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	idxs := sel.Indices()
+	if len(idxs) == 0 {
+		return nil, RCBadParameter
+	}
+	for _, i := range idxs {
+		if i < 20 || i > 22 {
+			return nil, RCBadIndex
+		}
+	}
+	if loc < tis.Locality2 {
+		return nil, RCBadLocality
+	}
+	for _, i := range idxs {
+		t.pcrs[i] = Digest{}
+	}
+	return nil, RCSuccess
+}
+
+func (t *TPM) cmdGetRandom(body []byte) ([]byte, uint32) {
+	t.charge(simtime.Charge{Duration: t.profile.TPMGetRandom, Label: "tpm.getrandom"})
+	r := &rdr{b: body}
+	n, err := r.u32()
+	if err != nil || n > 4096 {
+		return nil, RCBadParameter
+	}
+	w := &buf{}
+	w.bytes32(t.rng.Bytes(int(n)))
+	return w.b, RCSuccess
+}
+
+func (t *TPM) cmdGetCapability(body []byte) ([]byte, uint32) {
+	t.charge(simtime.Charge{Duration: t.profile.TPMPCRRead, Label: "tpm.getcapability"})
+	r := &rdr{b: body}
+	area, err := r.u32()
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	w := &buf{}
+	switch area {
+	case 0: // version + PCR count
+		w.raw([]byte{1, 2, 0, 0})
+		w.u32(NumPCRs)
+	case 1: // boot count
+		w.u32(uint32(t.bootCount))
+	default:
+		return nil, RCBadParameter
+	}
+	return w.b, RCSuccess
+}
+
+// cmdQuote signs (nonce, selected PCRs) with a loaded AIK.
+// Params: keyHandle(4) || externalData(20) || pcrSelection. Auth targets
+// the key handle.
+func (t *TPM) cmdQuote(tag uint16, body []byte) ([]byte, uint32) {
+	t.charge(simtime.Charge{Duration: t.profile.TPMQuote, Label: "tpm.quote"})
+	if tag != tagRQUAuth1 {
+		return nil, RCAuthFail
+	}
+	params, tr, err := splitAuth1(body)
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	r := &rdr{b: params}
+	kh, err := r.u32()
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	ed, err := r.raw(DigestSize)
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	sel, err := parsePCRSelection(r)
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	key, ok := t.keys[kh]
+	if !ok || !key.isAIK {
+		return nil, RCBadIndex
+	}
+	authKey, nonceEven, rc := t.verifyAuthLocked(OrdQuote, params, tr, ETKeyHandle, kh)
+	if rc != RCSuccess {
+		return nil, rc
+	}
+	composite := t.compositeLocked(sel)
+	var nonce Digest
+	copy(nonce[:], ed)
+	qi := QuoteInfo(composite, nonce)
+	sig, err := palcrypto.SignPKCS1SHA1(key.priv, qi)
+	if err != nil {
+		return nil, RCFail
+	}
+	w := &buf{}
+	w.raw(composite[:])
+	w.bytes32(sig)
+	return appendResponseAuth(w.b, authKey, RCSuccess, OrdQuote, nonceEven, tr.nonceOdd, tr.cont), RCSuccess
+}
+
+// cmdSeal binds data to a future PCR state.
+// Params: keyHandle(4) || digestAtRelease(20) || pcrSelection || bytes32(data).
+func (t *TPM) cmdSeal(tag uint16, body []byte) ([]byte, uint32) {
+	t.charge(simtime.Charge{Duration: t.profile.TPMSeal, Label: "tpm.seal"})
+	if tag != tagRQUAuth1 {
+		return nil, RCAuthFail
+	}
+	params, tr, err := splitAuth1(body)
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	r := &rdr{b: params}
+	kh, err := r.u32()
+	if err != nil || kh != KHSRK {
+		return nil, RCBadIndex
+	}
+	darb, err := r.raw(DigestSize)
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	sel, err := parsePCRSelection(r)
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	data, err := r.bytes32()
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	authKey, nonceEven, rc := t.verifyAuthLocked(OrdSeal, params, tr, ETKeyHandle, kh)
+	if rc != RCSuccess {
+		return nil, rc
+	}
+	var dar Digest
+	copy(dar[:], darb)
+	blob, rc := t.sealLocked(sel, dar, data)
+	if rc != RCSuccess {
+		return nil, rc
+	}
+	w := &buf{}
+	w.bytes32(blob)
+	return appendResponseAuth(w.b, authKey, RCSuccess, OrdSeal, nonceEven, tr.nonceOdd, tr.cont), RCSuccess
+}
+
+// cmdUnseal releases sealed data if the PCR binding is satisfied.
+// Params: keyHandle(4) || bytes32(blob).
+func (t *TPM) cmdUnseal(tag uint16, body []byte) ([]byte, uint32) {
+	t.charge(simtime.Charge{Duration: t.profile.TPMUnseal, Label: "tpm.unseal"})
+	if tag != tagRQUAuth1 {
+		return nil, RCAuthFail
+	}
+	params, tr, err := splitAuth1(body)
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	r := &rdr{b: params}
+	kh, err := r.u32()
+	if err != nil || kh != KHSRK {
+		return nil, RCBadIndex
+	}
+	blob, err := r.bytes32()
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	authKey, nonceEven, rc := t.verifyAuthLocked(OrdUnseal, params, tr, ETKeyHandle, kh)
+	if rc != RCSuccess {
+		return nil, rc
+	}
+	data, rc := t.unsealLocked(blob)
+	if rc != RCSuccess {
+		return nil, rc
+	}
+	w := &buf{}
+	w.bytes32(data)
+	return appendResponseAuth(w.b, authKey, RCSuccess, OrdUnseal, nonceEven, tr.nonceOdd, tr.cont), RCSuccess
+}
+
+// cmdMakeIdentity generates a fresh AIK (owner-authorized) and returns its
+// handle and public key. In the real protocol the AIK public key is then
+// certified by a Privacy CA; internal/attest implements that step.
+func (t *TPM) cmdMakeIdentity(tag uint16, body []byte) ([]byte, uint32) {
+	t.charge(simtime.Charge{Duration: t.profile.TPMMakeIdentity, Label: "tpm.makeidentity"})
+	if tag != tagRQUAuth1 {
+		return nil, RCAuthFail
+	}
+	params, tr, err := splitAuth1(body)
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	authKey, nonceEven, rc := t.verifyAuthLocked(OrdMakeIdentity, params, tr, ETOwner, KHOwner)
+	if rc != RCSuccess {
+		return nil, rc
+	}
+	priv, err := palcrypto.GenerateRSAKey(t.rng, t.keyBits)
+	if err != nil {
+		return nil, RCFail
+	}
+	blob, rc := t.wrapKeyLocked(priv, KeyUsageIdentity, Digest{})
+	if rc != RCSuccess {
+		return nil, rc
+	}
+	h := t.nextHandle
+	t.nextHandle++
+	t.keys[h] = &loadedKey{priv: priv, isAIK: true}
+	w := &buf{}
+	w.u32(h)
+	w.bytes32(palcrypto.MarshalPublicKey(&priv.RSAPublicKey))
+	w.bytes32(blob)
+	return appendResponseAuth(w.b, authKey, RCSuccess, OrdMakeIdentity, nonceEven, tr.nonceOdd, tr.cont), RCSuccess
+}
+
+func (t *TPM) cmdCreateCounter(tag uint16, body []byte) ([]byte, uint32) {
+	t.charge(simtime.Charge{Duration: t.profile.TPMCounter, Label: "tpm.createcounter"})
+	if tag != tagRQUAuth1 {
+		return nil, RCAuthFail
+	}
+	params, tr, err := splitAuth1(body)
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	authKey, nonceEven, rc := t.verifyAuthLocked(OrdCreateCounter, params, tr, ETOwner, KHOwner)
+	if rc != RCSuccess {
+		return nil, rc
+	}
+	id := t.nextCounter
+	t.nextCounter++
+	t.counters[id] = &counter{}
+	w := &buf{}
+	w.u32(id)
+	w.u32(0)
+	return appendResponseAuth(w.b, authKey, RCSuccess, OrdCreateCounter, nonceEven, tr.nonceOdd, tr.cont), RCSuccess
+}
+
+func (t *TPM) cmdIncrementCounter(body []byte) ([]byte, uint32) {
+	t.charge(simtime.Charge{Duration: t.profile.TPMCounter, Label: "tpm.inccounter"})
+	r := &rdr{b: body}
+	id, err := r.u32()
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	c, ok := t.counters[id]
+	if !ok {
+		return nil, RCBadIndex
+	}
+	c.value++
+	w := &buf{}
+	w.u32(c.value)
+	return w.b, RCSuccess
+}
+
+func (t *TPM) cmdReadCounter(body []byte) ([]byte, uint32) {
+	t.charge(simtime.Charge{Duration: t.profile.TPMCounter, Label: "tpm.readcounter"})
+	r := &rdr{b: body}
+	id, err := r.u32()
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	c, ok := t.counters[id]
+	if !ok {
+		return nil, RCBadIndex
+	}
+	w := &buf{}
+	w.u32(c.value)
+	return w.b, RCSuccess
+}
+
+// Locality-4 hash sequence: the CPU's SKINIT microcode resets the dynamic
+// PCRs, streams the SLB through HashData, and HashEnd extends the final
+// digest into PCR 17. No software locality may issue these.
+
+func (t *TPM) cmdHashStart(loc tis.Locality) ([]byte, uint32) {
+	if loc != tis.Locality4 {
+		return nil, RCBadLocality
+	}
+	for i := FirstDynamicPCR; i <= LastDynamicPCR; i++ {
+		t.pcrs[i] = Digest{}
+	}
+	t.hashActive = true
+	t.hash = palcrypto.NewSHA1()
+	return nil, RCSuccess
+}
+
+func (t *TPM) cmdHashData(loc tis.Locality, body []byte) ([]byte, uint32) {
+	if loc != tis.Locality4 {
+		return nil, RCBadLocality
+	}
+	if !t.hashActive {
+		return nil, RCFail
+	}
+	// The dominant SKINIT cost: transferring the SLB over the LPC bus and
+	// hashing it inside the TPM (Table 2's linear growth).
+	t.charge(simtime.Charge{
+		Duration: time64(len(body)) * t.profile.TPMTransferPerByte,
+		Label:    "tpm.hashdata",
+	})
+	t.hash.Write(body)
+	return nil, RCSuccess
+}
+
+func (t *TPM) cmdHashEnd(loc tis.Locality) ([]byte, uint32) {
+	if loc != tis.Locality4 {
+		return nil, RCBadLocality
+	}
+	if !t.hashActive {
+		return nil, RCFail
+	}
+	var m Digest
+	copy(m[:], t.hash.Sum(nil))
+	t.extendLocked(17, m)
+	t.hashActive = false
+	t.hash = nil
+	v := t.pcrs[17]
+	return v[:], RCSuccess
+}
+
+// cmdStartup is TPM_Startup(ST_CLEAR): the BIOS's first command after a
+// platform reset, which unlocks the rest of the command set.
+func (t *TPM) cmdStartup() ([]byte, uint32) {
+	t.charge(simtime.Charge{Duration: t.profile.TPMPCRRead, Label: "tpm.startup"})
+	if !t.needStartup {
+		// A second Startup without an intervening reset is an error.
+		return nil, RCBadOrdinal
+	}
+	t.needStartup = false
+	return nil, RCSuccess
+}

@@ -1,0 +1,55 @@
+package tpm
+
+import (
+	"fmt"
+
+	"flicker/internal/hw/tis"
+)
+
+// RunHashSequence performs the locality-4 HASH_START / HASH_DATA / HASH_END
+// sequence by which SKINIT transmits the SLB to the TPM. This is the CPU
+// microcode path: it is the ONLY way PCR 17 can be reset without a reboot,
+// and it submits at tis.Locality4, which no simulated software component
+// holds. It returns the resulting PCR 17 value.
+//
+// The SLB is streamed in LPC-sized chunks; the per-byte transfer cost
+// charged by the TPM is what produces Table 2's linear SKINIT latency.
+func RunHashSequence(bus *tis.Bus, slb []byte) (Digest, error) {
+	submit := func(ord uint32, body []byte) ([]byte, error) {
+		resp, err := bus.SubmitAt(tis.Locality4, marshalCommand(tagRQUCommand, ord, body))
+		if err != nil {
+			return nil, err
+		}
+		_, rc, out, err := parseFrame(resp)
+		if err != nil {
+			return nil, err
+		}
+		if rc != RCSuccess {
+			return nil, &CommandError{Ordinal: ord, Code: rc}
+		}
+		return out, nil
+	}
+	if _, err := submit(OrdHashStart, nil); err != nil {
+		return Digest{}, fmt.Errorf("tpm: hash start: %w", err)
+	}
+	const chunk = 4096
+	for off := 0; off < len(slb); off += chunk {
+		end := off + chunk
+		if end > len(slb) {
+			end = len(slb)
+		}
+		if _, err := submit(OrdHashData, slb[off:end]); err != nil {
+			return Digest{}, fmt.Errorf("tpm: hash data: %w", err)
+		}
+	}
+	out, err := submit(OrdHashEnd, nil)
+	if err != nil {
+		return Digest{}, fmt.Errorf("tpm: hash end: %w", err)
+	}
+	var v Digest
+	if len(out) != DigestSize {
+		return Digest{}, errTruncated
+	}
+	copy(v[:], out)
+	return v, nil
+}

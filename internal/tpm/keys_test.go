@@ -1,0 +1,204 @@
+package tpm
+
+import (
+	"bytes"
+	"testing"
+
+	"flicker/internal/hw/tis"
+	"flicker/internal/palcrypto"
+	"flicker/internal/simtime"
+)
+
+func TestCreateWrapKeyAndSign(t *testing.T) {
+	r := newRig(t)
+	var usageAuth Digest
+	copy(usageAuth[:], bytes.Repeat([]byte{0x11}, DigestSize))
+	blob, pub, err := r.os.CreateWrapKey(Digest{}, KeyUsageSigning, usageAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.os.LoadKey2(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := r.os.Sign(h, usageAuth, []byte("message"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := palcrypto.VerifyPKCS1SHA1(pub, []byte("message"), sig); err != nil {
+		t.Fatalf("signature invalid: %v", err)
+	}
+	// Wrong usage auth: rejected.
+	if _, err := r.os.Sign(h, Digest{}, []byte("m")); !IsCode(err, RCAuthFail) {
+		t.Fatalf("wrong usage auth: %v", err)
+	}
+}
+
+func TestWrapKeyValidation(t *testing.T) {
+	r := newRig(t)
+	// Bad usage value.
+	w := &buf{}
+	w.u32(KHSRK)
+	w.u16(0x9999)
+	w.raw(make([]byte, DigestSize))
+	if _, err := r.os.runAuth1(OrdCreateWrapKey, w.b, Digest{}); !IsCode(err, RCBadParameter) {
+		t.Fatalf("bogus usage: %v", err)
+	}
+	// Non-SRK parent.
+	w2 := &buf{}
+	w2.u32(0x12345)
+	w2.u16(KeyUsageSigning)
+	w2.raw(make([]byte, DigestSize))
+	if _, err := r.os.runAuth1(OrdCreateWrapKey, w2.b, Digest{}); !IsCode(err, RCBadIndex) {
+		t.Fatalf("non-SRK parent: %v", err)
+	}
+}
+
+func TestLoadKey2RejectsTamperedBlob(t *testing.T) {
+	r := newRig(t)
+	blob, _, err := r.os.CreateWrapKey(Digest{}, KeyUsageSigning, Digest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range []int{0, len(blob) / 2, len(blob) - 1} {
+		bad := append([]byte(nil), blob...)
+		bad[pos] ^= 1
+		if _, err := r.os.LoadKey2(bad); err == nil {
+			t.Errorf("tampered blob (byte %d) loaded", pos)
+		}
+	}
+	if _, err := r.os.LoadKey2([]byte("junk")); err == nil {
+		t.Error("garbage blob loaded")
+	}
+}
+
+func TestLoadKey2RejectsForeignBlob(t *testing.T) {
+	// A blob wrapped by a different TPM (different SRK + tpmProof) must
+	// not load.
+	r := newRig(t)
+	clock := simtime.New()
+	tp2, err := New(clock, simtime.ProfileBroadcom(), Options{Seed: []byte("other-tpm-2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	os2 := NewClient(tis.NewBus(tp2), tis.Locality0, []byte("n"))
+	blob, _, err := os2.CreateWrapKey(Digest{}, KeyUsageSigning, Digest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.os.LoadKey2(blob); err == nil {
+		t.Fatal("foreign key blob loaded")
+	}
+}
+
+func TestFlushSpecific(t *testing.T) {
+	r := newRig(t)
+	blob, _, _ := r.os.CreateWrapKey(Digest{}, KeyUsageSigning, Digest{})
+	h, err := r.os.LoadKey2(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.os.FlushSpecific(h); err != nil {
+		t.Fatal(err)
+	}
+	// The handle is gone.
+	if _, err := r.os.Sign(h, Digest{}, []byte("m")); !IsCode(err, RCBadIndex) {
+		t.Fatalf("sign with flushed handle: %v", err)
+	}
+	if err := r.os.FlushSpecific(h); !IsCode(err, RCBadIndex) {
+		t.Fatalf("double flush: %v", err)
+	}
+	if err := r.os.FlushSpecific(KHSRK); !IsCode(err, RCBadIndex) {
+		t.Fatalf("SRK flush: %v", err)
+	}
+	// The blob reloads fine afterwards.
+	if _, err := r.os.LoadKey2(blob); err != nil {
+		t.Fatalf("reload after flush: %v", err)
+	}
+}
+
+func TestKeySlotExhaustion(t *testing.T) {
+	r := newRig(t)
+	blob, _, _ := r.os.CreateWrapKey(Digest{}, KeyUsageSigning, Digest{})
+	var handles []uint32
+	for {
+		h, err := r.os.LoadKey2(blob)
+		if err != nil {
+			if !IsCode(err, RCResources) {
+				t.Fatalf("unexpected load failure: %v", err)
+			}
+			break
+		}
+		handles = append(handles, h)
+		if len(handles) > 64 {
+			t.Fatal("no slot limit enforced")
+		}
+	}
+	// Freeing one slot lets a load succeed again.
+	if err := r.os.FlushSpecific(handles[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.os.LoadKey2(blob); err != nil {
+		t.Fatalf("load after flush: %v", err)
+	}
+}
+
+func TestAIKCannotSignRawData(t *testing.T) {
+	r := newRig(t)
+	aik, _, _, err := r.os.MakeIdentity(Digest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AIKs sign quotes only; TPM_Sign with an AIK is rejected so an
+	// attacker cannot fabricate a "quote" by signing a crafted
+	// TPM_QUOTE_INFO as raw data.
+	if _, err := r.os.Sign(aik, Digest{}, []byte("01010000QUOT...")); !IsCode(err, RCBadParameter) {
+		t.Fatalf("AIK signed raw data: %v", err)
+	}
+}
+
+func TestRebootEvictsKeysAndReloadWorks(t *testing.T) {
+	r := newRig(t)
+	aik, aikPub, blob, err := r.os.MakeIdentity(Digest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runHashSequence(t, r, []byte("pal before reboot"))
+	if _, err := r.os.Quote(aik, Digest{}, Digest{}, SelectPCRs(17)); err != nil {
+		t.Fatalf("pre-reboot quote: %v", err)
+	}
+	r.tpm.Reboot()
+	if err := r.os.Startup(); err != nil {
+		t.Fatalf("startup after reboot: %v", err)
+	}
+	// The volatile handle is gone...
+	if _, err := r.os.Quote(aik, Digest{}, Digest{}, SelectPCRs(17)); !IsCode(err, RCBadIndex) {
+		t.Fatalf("quote with evicted handle: %v", err)
+	}
+	// ...but the wrapped blob reloads and quotes with the same key.
+	h2, err := r.os.LoadKey2(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := palcrypto.SHA1Sum([]byte("post-reboot"))
+	q, err := r.os.Quote(h2, Digest{}, nonce, SelectPCRs(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qi := QuoteInfo(q.Composite, nonce)
+	if err := palcrypto.VerifyPKCS1SHA1(aikPub, qi, q.Signature); err != nil {
+		t.Fatal("reloaded AIK is a different key")
+	}
+}
+
+func TestWrapKeyBlobsAreUnique(t *testing.T) {
+	r := newRig(t)
+	a, apub, _ := r.os.CreateWrapKey(Digest{}, KeyUsageSigning, Digest{})
+	b, bpub, _ := r.os.CreateWrapKey(Digest{}, KeyUsageSigning, Digest{})
+	if bytes.Equal(a, b) {
+		t.Fatal("two CreateWrapKey calls produced identical blobs")
+	}
+	if apub.N.Cmp(bpub.N) == 0 {
+		t.Fatal("two CreateWrapKey calls produced the same key")
+	}
+}

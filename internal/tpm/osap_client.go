@@ -1,0 +1,128 @@
+package tpm
+
+import (
+	"fmt"
+
+	"flicker/internal/palcrypto"
+)
+
+// OSAP client support. The paper's TPM Utilities module implements "the
+// OIAP and OSAP sessions necessary to authorize Seal and Unseal" (Section
+// 5.1.2). OSAP derives a per-session shared secret from the entity's usage
+// secret, so the secret itself is never used directly as a MAC key — the
+// preferred mode for Seal in the TPM 1.2 specification.
+
+// runAuth1OSAP executes an authorized command under an OSAP session bound
+// to the given entity.
+func (c *Client) runAuth1OSAP(ordinal uint32, params []byte, entityType uint16, entityValue uint32, secret Digest) ([]byte, error) {
+	if err := c.bus.RequestUse(c.loc); err != nil {
+		return nil, err
+	}
+	defer c.bus.Release(c.loc)
+
+	// OSAP: send entity + nonceOddOSAP, derive the shared secret.
+	var nonceOddOSAP Digest
+	copy(nonceOddOSAP[:], c.rng.Bytes(DigestSize))
+	w := &buf{}
+	w.u16(entityType)
+	w.u32(entityValue)
+	w.raw(nonceOddOSAP[:])
+	resp, err := c.bus.Submit(c.loc, marshalCommand(tagRQUCommand, OrdOSAP, w.b))
+	if err != nil {
+		return nil, err
+	}
+	_, rc, out, err := parseFrame(resp)
+	if err != nil {
+		return nil, err
+	}
+	if rc != RCSuccess {
+		return nil, &CommandError{Ordinal: OrdOSAP, Code: rc}
+	}
+	r := &rdr{b: out}
+	handle, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	neb, err := r.raw(DigestSize)
+	if err != nil {
+		return nil, err
+	}
+	neOSAPb, err := r.raw(DigestSize)
+	if err != nil {
+		return nil, err
+	}
+	var nonceEven, nonceEvenOSAP Digest
+	copy(nonceEven[:], neb)
+	copy(nonceEvenOSAP[:], neOSAPb)
+
+	// sharedSecret = HMAC(entityAuth, nonceEvenOSAP || nonceOddOSAP).
+	var msg []byte
+	msg = append(msg, nonceEvenOSAP[:]...)
+	msg = append(msg, nonceOddOSAP[:]...)
+	sharedRaw := palcrypto.HMACSHA1(secret[:], msg)
+	var shared Digest
+	copy(shared[:], sharedRaw[:])
+
+	var nonceOdd Digest
+	copy(nonceOdd[:], c.rng.Bytes(DigestSize))
+	tr := authTrailer{handle: handle, nonceOdd: nonceOdd, cont: false}
+	tr.auth = authMAC(shared, ordinal, params, nonceEven, nonceOdd, false)
+	cmd := marshalCommand(tagRQUAuth1, ordinal, appendAuth1(append([]byte(nil), params...), tr))
+
+	resp, err = c.bus.Submit(c.loc, cmd)
+	if err != nil {
+		return nil, err
+	}
+	_, rc, body, err := parseFrame(resp)
+	if err != nil {
+		return nil, err
+	}
+	if rc != RCSuccess {
+		return nil, &CommandError{Ordinal: ordinal, Code: rc}
+	}
+	trailerLen := DigestSize + 1 + DigestSize
+	if len(body) < trailerLen {
+		return nil, errTruncated
+	}
+	outParams := body[:len(body)-trailerLen]
+	tb := body[len(body)-trailerLen:]
+	var ne2 Digest
+	copy(ne2[:], tb[:DigestSize])
+	cont := tb[DigestSize] != 0
+	var mac Digest
+	copy(mac[:], tb[DigestSize+1:])
+	want := responseMAC(shared, rc, ordinal, outParams, ne2, nonceOdd, cont)
+	if !palcrypto.ConstantTimeEqual(want[:], mac[:]) {
+		return nil, fmt.Errorf("tpm: OSAP response MAC verification failed for ordinal %#x", ordinal)
+	}
+	return append([]byte(nil), outParams...), nil
+}
+
+// SealOSAP is Seal authorized via an OSAP session on the SRK, the mode the
+// TPM 1.2 specification prescribes for Seal.
+func (c *Client) SealOSAP(srkAuth Digest, sel PCRSelection, digestAtRelease Digest, data []byte) ([]byte, error) {
+	w := &buf{}
+	w.u32(KHSRK)
+	w.raw(digestAtRelease[:])
+	sel.marshal(w)
+	w.bytes32(data)
+	out, err := c.runAuth1OSAP(OrdSeal, w.b, ETKeyHandle, KHSRK, srkAuth)
+	if err != nil {
+		return nil, err
+	}
+	r := &rdr{b: out}
+	return r.bytes32()
+}
+
+// UnsealOSAP is Unseal authorized via an OSAP session on the SRK.
+func (c *Client) UnsealOSAP(srkAuth Digest, blob []byte) ([]byte, error) {
+	w := &buf{}
+	w.u32(KHSRK)
+	w.bytes32(blob)
+	out, err := c.runAuth1OSAP(OrdUnseal, w.b, ETKeyHandle, KHSRK, srkAuth)
+	if err != nil {
+		return nil, err
+	}
+	r := &rdr{b: out}
+	return r.bytes32()
+}

@@ -1,0 +1,128 @@
+package tpm
+
+import (
+	"flicker/internal/palcrypto"
+)
+
+// Sealed-storage blob handling. TPM_Seal produces a ciphertext that only
+// this TPM can open, and only when the PCRs named at seal time hold the
+// values named at seal time (Section 2.2 of the paper). The blob travels
+// through untrusted hands (the OS stores it on disk), so it is encrypted
+// and authenticated, and it embeds tpmProof — a secret known only to this
+// TPM — so that forged blobs are rejected.
+//
+// Blob layout:
+//
+//	magic "FLKRSEAL"
+//	pcrSelection (TPM_PCR_SELECTION wire form)
+//	digestAtRelease (20 bytes; all-zero if no PCR binding)
+//	encSeed   (bytes32: PKCS#1 under the SRK public key)
+//	ct        (bytes32: AES-128-CTR of tpmProof || data under K_enc(seed))
+//	mac       (20 bytes: HMAC-SHA1 under K_mac(seed) of everything above)
+const sealMagic = "FLKRSEAL"
+
+func deriveSealKeys(seed []byte) (encKey []byte, macKey []byte) {
+	e := palcrypto.SHA1Sum(append([]byte("seal-enc|"), seed...))
+	m := palcrypto.SHA1Sum(append([]byte("seal-mac|"), seed...))
+	return e[:16], m[:]
+}
+
+// sealLocked produces a sealed blob binding data to (sel, digestAtRelease).
+// An empty selection (Count()==0) means no PCR binding.
+func (t *TPM) sealLocked(sel PCRSelection, digestAtRelease Digest, data []byte) ([]byte, uint32) {
+	seed := t.rng.Bytes(16)
+	encKey, macKey := deriveSealKeys(seed)
+
+	plain := &buf{}
+	plain.raw(t.tpmProof[:])
+	plain.bytes32(data)
+
+	aes, err := palcrypto.NewAES(encKey)
+	if err != nil {
+		return nil, RCFail
+	}
+	ct := append([]byte(nil), plain.b...)
+	var iv [16]byte // fresh seed per blob makes a zero IV safe
+	aes.CTRKeystream(iv, ct)
+
+	encSeed, err := palcrypto.EncryptPKCS1(t.rng, &t.srk.RSAPublicKey, seed)
+	if err != nil {
+		return nil, RCFail
+	}
+
+	w := &buf{}
+	w.raw([]byte(sealMagic))
+	sel.marshal(w)
+	w.raw(digestAtRelease[:])
+	w.bytes32(encSeed)
+	w.bytes32(ct)
+	mac := palcrypto.HMACSHA1(macKey, w.b)
+	w.raw(mac[:])
+	return w.b, RCSuccess
+}
+
+// unsealLocked opens a sealed blob, enforcing tpmProof and the PCR binding
+// against the TPM's current PCR values.
+func (t *TPM) unsealLocked(blob []byte) ([]byte, uint32) {
+	r := &rdr{b: blob}
+	magic, err := r.raw(len(sealMagic))
+	if err != nil || string(magic) != sealMagic {
+		return nil, RCNotSealedBlob
+	}
+	sel, err := parsePCRSelection(r)
+	if err != nil {
+		return nil, RCNotSealedBlob
+	}
+	dar, err := r.raw(DigestSize)
+	if err != nil {
+		return nil, RCNotSealedBlob
+	}
+	encSeed, err := r.bytes32()
+	if err != nil {
+		return nil, RCNotSealedBlob
+	}
+	ct, err := r.bytes32()
+	if err != nil {
+		return nil, RCNotSealedBlob
+	}
+	macGot, err := r.raw(DigestSize)
+	if err != nil || !r.empty() {
+		return nil, RCNotSealedBlob
+	}
+
+	seed, err := palcrypto.DecryptPKCS1(t.srk, encSeed)
+	if err != nil {
+		return nil, RCNotSealedBlob
+	}
+	encKey, macKey := deriveSealKeys(seed)
+	macWant := palcrypto.HMACSHA1(macKey, blob[:len(blob)-DigestSize])
+	if !palcrypto.ConstantTimeEqual(macGot, macWant[:]) {
+		return nil, RCNotSealedBlob
+	}
+
+	aes, err := palcrypto.NewAES(encKey)
+	if err != nil {
+		return nil, RCFail
+	}
+	pt := append([]byte(nil), ct...)
+	var iv [16]byte
+	aes.CTRKeystream(iv, pt)
+	pr := &rdr{b: pt}
+	proof, err := pr.raw(DigestSize)
+	if err != nil || !palcrypto.ConstantTimeEqual(proof, t.tpmProof[:]) {
+		return nil, RCNotSealedBlob
+	}
+	data, err := pr.bytes32()
+	if err != nil {
+		return nil, RCNotSealedBlob
+	}
+
+	if sel.Count() > 0 {
+		var want Digest
+		copy(want[:], dar)
+		if t.compositeLocked(sel) != want {
+			return nil, RCWrongPCRVal
+		}
+	}
+	return data, RCSuccess
+}

@@ -1,0 +1,88 @@
+// Package trace renders Flicker session timelines and clock charge
+// breakdowns as text, for the CLI and for debugging latency questions. The
+// timeline view corresponds to the paper's Figure 2.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"flicker/internal/core"
+	"flicker/internal/simtime"
+)
+
+// RenderTimeline draws the session's phases as a proportional bar chart.
+// Phases shorter than the resolution still get one cell so every step of
+// the Figure 2 timeline is visible.
+func RenderTimeline(res *core.SessionResult, width int) string {
+	if width < 20 {
+		width = 60
+	}
+	total := res.Duration()
+	if total <= 0 {
+		return "(empty session)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "session timeline (%.3f ms total)\n", simtime.Millis(total))
+	longest := 0
+	for _, ph := range res.Phases {
+		if len(ph.Name) > longest {
+			longest = len(ph.Name)
+		}
+	}
+	for _, ph := range res.Phases {
+		cells := int(int64(width) * int64(ph.Duration) / int64(total))
+		if cells < 1 {
+			cells = 1
+		}
+		pct := 100 * float64(ph.Duration) / float64(total)
+		fmt.Fprintf(&b, "  %-*s |%s%s| %9.3f ms %5.1f%%\n",
+			longest, ph.Name,
+			strings.Repeat("#", cells), strings.Repeat(" ", width-min(cells, width)),
+			simtime.Millis(ph.Duration), pct)
+	}
+	return b.String()
+}
+
+// RenderCharges aggregates a charge list by label and renders the cost
+// ranking, most expensive first.
+func RenderCharges(charges []simtime.Charge) string {
+	totals := make(map[string]time.Duration)
+	counts := make(map[string]int)
+	var sum time.Duration
+	for _, c := range charges {
+		totals[c.Label] += c.Duration
+		counts[c.Label]++
+		sum += c.Duration
+	}
+	labels := make([]string, 0, len(totals))
+	for l := range totals {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		if totals[labels[i]] != totals[labels[j]] {
+			return totals[labels[i]] > totals[labels[j]]
+		}
+		return labels[i] < labels[j]
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "charge breakdown (%.3f ms total)\n", simtime.Millis(sum))
+	for _, l := range labels {
+		pct := 0.0
+		if sum > 0 {
+			pct = 100 * float64(totals[l]) / float64(sum)
+		}
+		fmt.Fprintf(&b, "  %-24s %10.3f ms %5.1f%%  (%d ops)\n",
+			l, simtime.Millis(totals[l]), pct, counts[l])
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

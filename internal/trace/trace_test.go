@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flicker/internal/core"
+	"flicker/internal/pal"
+	"flicker/internal/simtime"
+)
+
+func TestRenderTimeline(t *testing.T) {
+	p, err := core.NewPlatform(core.PlatformConfig{Seed: "trace-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello := &pal.Func{
+		PALName: "hello",
+		Binary:  pal.DescriptorCode("hello", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			return []byte("hi"), nil
+		},
+	}
+	res, err := p.RunSession(hello, core.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTimeline(res, 50)
+	for _, want := range []string{"session timeline", "skinit", "pal-exec", "resume-os", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Tiny width is clamped, not broken.
+	if out := RenderTimeline(res, 5); !strings.Contains(out, "skinit") {
+		t.Error("clamped width broke rendering")
+	}
+	// Empty session handled.
+	if out := RenderTimeline(&core.SessionResult{}, 50); !strings.Contains(out, "empty") {
+		t.Error("empty session not handled")
+	}
+}
+
+func TestRenderCharges(t *testing.T) {
+	charges := []simtime.Charge{
+		{Label: "tpm.unseal", Duration: 900 * time.Millisecond},
+		{Label: "cpu.skinit", Duration: 14 * time.Millisecond},
+		{Label: "cpu.skinit", Duration: 14 * time.Millisecond},
+	}
+	out := RenderCharges(charges)
+	if !strings.Contains(out, "tpm.unseal") || !strings.Contains(out, "cpu.skinit") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	// Most expensive first.
+	if strings.Index(out, "tpm.unseal") > strings.Index(out, "cpu.skinit") {
+		t.Error("charges not sorted by cost")
+	}
+	if !strings.Contains(out, "(2 ops)") {
+		t.Error("op counts missing")
+	}
+	if out := RenderCharges(nil); !strings.Contains(out, "0.000 ms total") {
+		t.Errorf("empty charges: %s", out)
+	}
+}
