@@ -17,6 +17,7 @@ package flicker
 
 import (
 	"testing"
+	"time"
 
 	"flicker/internal/bench"
 )
@@ -265,3 +266,56 @@ func BenchmarkSessionRoundTrip(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSessionThroughput measures back-to-back session throughput of the
+// pipeline engine on cached SLB images — classic vs partitioned — in real
+// sessions/second, and confirms the image cache keeps the hot path free of
+// relinking.
+func BenchmarkSessionThroughput(b *testing.B) {
+	hello := &PALFunc{
+		PALName: "hello",
+		Binary:  DescriptorCode("hello", "1.0", nil, nil),
+		Fn: func(env *Env, input []byte) ([]byte, error) {
+			return []byte("Hello, world"), nil
+		},
+	}
+	run := func(b *testing.B, f func(p *Platform) (*SessionResult, error)) {
+		p, err := NewPlatform(Config{Seed: "bench-tp", Profile: ProfileFuture()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the image cache so the measured loop is the steady state.
+		if _, err := f(p); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		start := nowSeconds()
+		for i := 0; i < b.N; i++ {
+			res, err := f(p)
+			if err != nil || res.PALError != nil {
+				b.Fatalf("%v %v", err, res.PALError)
+			}
+		}
+		b.StopTimer()
+		if dt := nowSeconds() - start; dt > 0 {
+			b.ReportMetric(float64(b.N)/dt, "sessions/s")
+		}
+		st := p.Stats()
+		b.ReportMetric(float64(st.ImageBuilds), "image_builds")
+		if st.ImageBuilds != 1 {
+			b.Fatalf("hot path relinked the SLB image (%d builds)", st.ImageBuilds)
+		}
+	}
+	b.Run("classic", func(b *testing.B) {
+		run(b, func(p *Platform) (*SessionResult, error) {
+			return p.RunSession(hello, SessionOptions{})
+		})
+	})
+	b.Run("partitioned", func(b *testing.B) {
+		run(b, func(p *Platform) (*SessionResult, error) {
+			return p.RunSessionConcurrent(hello, SessionOptions{})
+		})
+	})
+}
+
+func nowSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }

@@ -51,6 +51,7 @@ func cmdRun(args []string) {
 	profile := fs.String("profile", "broadcom", "latency profile: broadcom, infineon, future")
 	sandbox := fs.Bool("sandbox", false, "link the OS Protection module (ring-3 PAL)")
 	twoStage := fs.Bool("two-stage", false, "use the Section 7.2 optimized two-stage SLB")
+	traceJSON := fs.String("trace-json", "", "write session spans as JSON to this file (\"-\" for stdout)")
 	fs.Parse(args)
 
 	var prof *flicker.Profile
@@ -67,6 +68,11 @@ func cmdRun(args []string) {
 	p, err := flicker.NewPlatform(flicker.Config{Seed: "cli", Profile: prof})
 	if err != nil {
 		log.Fatal(err)
+	}
+	var rec *trace.Recorder
+	if *traceJSON != "" {
+		rec = trace.NewRecorder()
+		p.AddObserver(rec)
 	}
 
 	var target flicker.PAL
@@ -120,15 +126,40 @@ func cmdRun(args []string) {
 	if res.PALError != nil {
 		log.Fatalf("PAL error: %v", res.PALError)
 	}
-	fmt.Printf("profile:  %s\n", prof.Name)
-	fmt.Printf("output:   %q\n", res.Outputs)
-	fmt.Printf("H(P):     %x\n", res.Measurement)
-	fmt.Printf("PCR17@0:  %x\n", res.PCR17AtLaunch)
-	fmt.Printf("PCR17@f:  %x\n", res.PCR17Final)
-	fmt.Println()
-	fmt.Print(trace.RenderTimeline(res, 48))
-	fmt.Println()
-	fmt.Print(trace.RenderCharges(p.Clock.ChargesSince(res.Start)))
+	// With -trace-json - the JSON owns stdout so it can be piped; the human
+	// report moves to stderr.
+	report := os.Stdout
+	if *traceJSON == "-" {
+		report = os.Stderr
+	}
+	fmt.Fprintf(report, "profile:  %s\n", prof.Name)
+	fmt.Fprintf(report, "output:   %q\n", res.Outputs)
+	fmt.Fprintf(report, "H(P):     %x\n", res.Measurement)
+	fmt.Fprintf(report, "PCR17@0:  %x\n", res.PCR17AtLaunch)
+	fmt.Fprintf(report, "PCR17@f:  %x\n", res.PCR17Final)
+	fmt.Fprintln(report)
+	fmt.Fprint(report, trace.RenderTimeline(res, 48))
+	fmt.Fprintln(report)
+	fmt.Fprint(report, trace.RenderCharges(p.Clock.ChargesSince(res.Start)))
+	if rec != nil {
+		if *traceJSON == "-" {
+			if err := rec.WriteJSON(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			f, err := os.Create(*traceJSON)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := rec.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nwrote JSON spans to %s\n", *traceJSON)
+		}
+	}
 }
 
 func cmdModules() {

@@ -67,6 +67,23 @@ type SessionOptions = core.SessionOptions
 // PCR-17 values, and the Figure 2 timeline.
 type SessionResult = core.SessionResult
 
+// Observer receives structured session lifecycle events (session and phase
+// boundaries, clock charges attributed to the open phase). Attach with
+// Platform.AddObserver; internal/trace.Recorder is a ready-made JSON
+// exporter.
+type Observer = core.Observer
+
+// SessionMeta identifies a session to observers.
+type SessionMeta = core.SessionMeta
+
+// SessionStats aggregates sessions run on a platform: counts, per-phase
+// totals, and p50/max latency. Read with Platform.Stats().
+type SessionStats = core.SessionStats
+
+// ErrFaultInjected is returned by sessions aborted via
+// SessionOptions.FailPhase fault injection.
+var ErrFaultInjected = core.ErrFaultInjected
+
 // DescriptorCode builds a deterministic PAL code identity from a name,
 // version, module list, and embedded configuration.
 func DescriptorCode(name, version string, modules []string, config []byte) []byte {

@@ -1,13 +1,7 @@
 package core
 
 import (
-	"fmt"
-
-	"flicker/internal/hw/tis"
 	"flicker/internal/pal"
-	"flicker/internal/palcrypto"
-	"flicker/internal/slb"
-	"flicker/internal/tpm"
 )
 
 // RunSessionConcurrent executes a Flicker session on the BSP while the
@@ -24,216 +18,12 @@ import (
 // cleanup, cap extend — but the OS is never suspended: work scheduled on
 // the other cores is retired concurrently with the session, and pending
 // interrupts are delivered to them throughout.
+//
+// The session itself is the partitioned phase list over the shared
+// pipeline engine (see pipeline.go), and is serialized against classic
+// sessions: the flicker-module owns a single SLB buffer and the machine
+// supports one late launch at a time, so a partitioned launch queues
+// behind any in-flight session exactly as a concurrent ioctl would.
 func (p *Platform) RunSessionConcurrent(pl pal.PAL, opts SessionOptions) (*SessionResult, error) {
-	res := &SessionResult{Start: p.Clock.Now(), Nonce: opts.Nonce}
-	phase := func(name string, f func() error) error {
-		st := p.Clock.Now()
-		err := f()
-		res.Phases = append(res.Phases, Phase{Name: name, Start: st, Duration: p.Clock.Now() - st})
-		return err
-	}
-
-	var im *slb.Image
-	var slbBase uint32
-	if err := phase("accept", func() error {
-		var err error
-		im = opts.image
-		if im == nil {
-			im, err = BuildImage(pl, opts.TwoStage)
-			if err != nil {
-				return err
-			}
-		}
-		slbBase, err = p.Mod.AllocateSLB()
-		return err
-	}); err != nil {
-		return nil, err
-	}
-	res.Image = im
-	res.SLBBase = slbBase
-
-	if err := phase("init-slb", func() error {
-		return p.Mod.PlaceSLB(im, slbBase, opts.Input)
-	}); err != nil {
-		return nil, err
-	}
-
-	// Save only the launching core's context — no hotplug, no INIT IPIs.
-	var saved *flickerSaved
-	if err := phase("save-context", func() error {
-		st, err := p.Mod.SaveContextOnly(slbBase)
-		if err != nil {
-			return err
-		}
-		saved = &flickerSaved{st: st}
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-
-	var launch launchState
-	if err := phase("skinit-partitioned", func() error {
-		ll, err := p.Machine.SKINITPartitioned(0, slbBase)
-		if err != nil {
-			return err
-		}
-		launch.ll = ll
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	res.Measurement = launch.ll.Measurement
-
-	var env *pal.Env
-	var palOut []byte
-	var palErr error
-	if err := phase("pal-exec", func() error {
-		p.mu.Lock()
-		p.seq++
-		seed := fmt.Sprintf("pal-tpm-%d", p.seq)
-		p.mu.Unlock()
-		palTPM := tpm.NewClient(p.Bus, tis.Locality2, []byte(seed))
-		if im.TwoStage() {
-			p.Clock.Advance(p.Profile.CPUHashCost(slb.MaxLen), "cpu.hash")
-			if _, err := palTPM.Extend(17, im.WindowMeasurement()); err != nil {
-				return fmt.Errorf("core: stage-2 extend: %w", err)
-			}
-		}
-		// Additional PAL code above the 64 KB window: the preparatory code
-		// adds it to the DEV and extends its measurement into PCR 17 before
-		// any of it runs (Section 2.4).
-		if im.HasExtra() {
-			if err := launch.ll.ExtendProtection(slbBase+uint32(slb.ExtraCodeOffset), len(im.Extra())); err != nil {
-				return fmt.Errorf("core: extending DEV over extra PAL code: %w", err)
-			}
-			p.Clock.Advance(p.Profile.CPUHashCost(len(im.Extra())), "cpu.hash")
-			if _, err := palTPM.Extend(17, im.ExtraMeasurement()); err != nil {
-				return fmt.Errorf("core: extra-code extend: %w", err)
-			}
-		}
-		identity := launch.ll.PCR17
-		if im.TwoStage() {
-			identity = im.ExpectedPCR17TwoStage()
-		}
-		if im.HasExtra() {
-			identity = tpm.ExtendDigest(identity, im.ExtraMeasurement())
-		}
-		var err error
-		env, err = pal.NewEnv(pal.EnvConfig{
-			Clock:      p.Clock,
-			Profile:    p.Profile,
-			Mem:        p.Machine.Mem,
-			Core:       p.Machine.BSP(),
-			TPM:        palTPM,
-			SLBBase:    slbBase,
-			SLBLen:     im.Len(),
-			Sandbox:    opts.Sandbox,
-			HeapSize:   opts.HeapSize,
-			Machine:    p.Machine,
-			MaxPALTime: opts.MaxPALTime,
-			Identity:   identity,
-			ExtraLen:   len(im.Extra()),
-		})
-		if err != nil {
-			return err
-		}
-		input, err := p.Mod.ReadInputs(slbBase)
-		if err != nil {
-			return err
-		}
-		palOut, palErr = pl.Run(env, input)
-		if palErr == nil && env.TimedOut() {
-			palErr = pal.ErrPALTimeout
-		}
-		if palErr == nil && palOut == nil {
-			palOut = env.Output()
-		}
-		env.ExitSandbox()
-		if palErr == nil && len(palOut) > slb.PageSize-4 {
-			palErr = fmt.Errorf("core: PAL output of %d bytes exceeds the 4 KB output page", len(palOut))
-		}
-		return nil
-	}); err != nil {
-		launch.ll.End()
-		return nil, err
-	}
-	if v, err := env.PCR17(); err == nil {
-		res.PCR17AtLaunch = v
-	}
-
-	if err := phase("cleanup", func() error {
-		if env.Heap != nil {
-			env.Heap.Wipe()
-		}
-		wipe := slb.MaxLen
-		if int(slbBase)+wipe > p.Machine.Mem.Size() {
-			wipe = p.Machine.Mem.Size() - int(slbBase)
-		}
-		if err := p.Machine.Mem.Zero(slbBase, wipe); err != nil {
-			return err
-		}
-		if im.HasExtra() {
-			if err := p.Machine.Mem.Zero(slbBase+uint32(slb.ExtraCodeOffset), len(im.Extra())); err != nil {
-				return err
-			}
-			// The preparatory code's DEV extension is cleared here; End()
-			// only covers the primary 64 KB window.
-			if err := p.Machine.Mem.DEVClear(slbBase+uint32(slb.ExtraCodeOffset), len(im.Extra())); err != nil {
-				return err
-			}
-		}
-		return nil
-	}); err != nil {
-		launch.ll.End()
-		return nil, err
-	}
-
-	if err := phase("extend-pcr", func() error {
-		palTPM := tpm.NewClient(p.Bus, tis.Locality2, []byte("slbcore-extend"))
-		res.InputDigest = palcrypto.SHA1Sum(opts.Input)
-		if _, err := palTPM.Extend(17, res.InputDigest); err != nil {
-			return err
-		}
-		res.OutputDigest = palcrypto.SHA1Sum(palOut)
-		if _, err := palTPM.Extend(17, res.OutputDigest); err != nil {
-			return err
-		}
-		if opts.Nonce != nil {
-			if _, err := palTPM.Extend(17, *opts.Nonce); err != nil {
-				return err
-			}
-		}
-		if _, err := palTPM.Extend(17, slb.SessionTerminator); err != nil {
-			return err
-		}
-		v, err := palTPM.PCRRead(17)
-		if err != nil {
-			return err
-		}
-		res.PCR17Final = v
-		return nil
-	}); err != nil {
-		launch.ll.End()
-		return nil, err
-	}
-
-	if err := phase("resume-core", func() error {
-		p.Mod.RestoreKernelContext(p.Machine.BSP(), saved.st)
-		return launch.ll.End()
-	}); err != nil {
-		return nil, err
-	}
-
-	if palErr == nil {
-		res.Outputs = palOut
-		p.Mod.PublishOutputs(palOut)
-	}
-	res.PALError = palErr
-	res.End = p.Clock.Now()
-
-	// The other cores executed untrusted work for the whole session
-	// duration: retire that work without advancing the clock again.
-	otherCores := len(p.Machine.Cores()) - 1
-	p.Kernel.AbsorbParallelWork(otherCores, res.Duration())
-	return res, nil
+	return p.runPipeline(&partitionedPipeline, pl, opts)
 }

@@ -1,0 +1,139 @@
+package core
+
+// Structured observability for the session pipeline: an Observer receives
+// the Figure 2 timeline as it unfolds (session and phase boundaries, plus
+// every simulated-clock charge attributed to the phase that incurred it).
+// internal/trace builds its JSON span exporter on top of this; the same
+// callbacks support the simTPM-style TPM performance analyses in PAPERS.md.
+
+import (
+	"sort"
+	"time"
+
+	"flicker/internal/simtime"
+)
+
+// SessionMeta identifies one session run to observers.
+type SessionMeta struct {
+	// ID is the platform-unique session id (monotonic, starting at 1).
+	ID uint64
+	// Pipeline names the phase-engine variant: "classic" (Figure 2,
+	// OS-suspending) or "partitioned" (multicore, [19]).
+	Pipeline string
+	// PAL is the PAL's name.
+	PAL string
+	// Start is the simulated time at which the session began.
+	Start time.Duration
+}
+
+// Observer receives session pipeline events. Callbacks are invoked
+// synchronously from the session goroutine, in order: SessionStart, then
+// for each phase PhaseStart / zero-or-more Charge / PhaseEnd, then
+// SessionEnd. A non-nil err on PhaseEnd/SessionEnd is the infrastructure
+// failure that aborted the session (PAL-level errors are not pipeline
+// failures; they appear in SessionResult.PALError).
+type Observer interface {
+	SessionStart(m SessionMeta)
+	PhaseStart(sid uint64, phase string, at time.Duration)
+	// Charge reports a simulated-clock charge that occurred while the named
+	// phase was open (phase is "" for charges outside any phase, e.g.
+	// teardown after an abort).
+	Charge(sid uint64, phase string, c simtime.Charge)
+	PhaseEnd(sid uint64, phase string, at time.Duration, err error)
+	SessionEnd(sid uint64, at time.Duration, err error)
+}
+
+// AddObserver registers an observer for every subsequent session on the
+// platform (both pipelines).
+func (p *Platform) AddObserver(o Observer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.observers = append(p.observers, o)
+}
+
+// RemoveObserver unregisters a previously added observer.
+func (p *Platform) RemoveObserver(o Observer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, x := range p.observers {
+		if x == o {
+			p.observers = append(p.observers[:i], p.observers[i+1:]...)
+			return
+		}
+	}
+}
+
+// observerList snapshots the registered observers for one session.
+func (p *Platform) observerList() []Observer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.observers) == 0 {
+		return nil
+	}
+	out := make([]Observer, len(p.observers))
+	copy(out, p.observers)
+	return out
+}
+
+// SessionStats aggregates all sessions run on a platform.
+type SessionStats struct {
+	// Sessions counts sessions that completed their full pipeline
+	// (including those whose PAL returned an application-level error).
+	Sessions int
+	// Aborted counts sessions torn down by an infrastructure failure.
+	Aborted int
+	// ImageBuilds and ImageCacheHits account for the SLB image cache:
+	// builds is how many times an image was actually linked, hits how many
+	// sessions reused a cached one.
+	ImageBuilds    int
+	ImageCacheHits int
+	// PhaseTotal sums simulated time per phase name across all completed
+	// sessions.
+	PhaseTotal map[string]time.Duration
+	// Total is the summed simulated duration of all completed sessions;
+	// P50 and Max describe the per-session distribution.
+	Total time.Duration
+	P50   time.Duration
+	Max   time.Duration
+}
+
+// Stats returns a snapshot of the platform's aggregate session statistics.
+func (p *Platform) Stats() SessionStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := SessionStats{
+		Sessions:       len(p.sessionDurations),
+		Aborted:        p.sessionsAborted,
+		ImageBuilds:    p.imageBuilds,
+		ImageCacheHits: p.imageCacheHits,
+		PhaseTotal:     make(map[string]time.Duration, len(p.phaseTotal)),
+	}
+	for k, v := range p.phaseTotal {
+		st.PhaseTotal[k] = v
+	}
+	if n := len(p.sessionDurations); n > 0 {
+		sorted := make([]time.Duration, n)
+		copy(sorted, p.sessionDurations)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		st.P50 = sorted[n/2]
+		st.Max = sorted[n-1]
+		for _, d := range sorted {
+			st.Total += d
+		}
+	}
+	return st
+}
+
+// recordSession folds one finished session into the aggregate statistics.
+func (p *Platform) recordSession(res *SessionResult, failure error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if failure != nil {
+		p.sessionsAborted++
+		return
+	}
+	p.sessionDurations = append(p.sessionDurations, res.Duration())
+	for _, ph := range res.Phases {
+		p.phaseTotal[ph.Name] += ph.Duration
+	}
+}

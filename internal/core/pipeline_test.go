@@ -1,0 +1,564 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"flicker/internal/attest"
+	"flicker/internal/flickermod"
+	"flicker/internal/hw/cpu"
+	"flicker/internal/pal"
+	"flicker/internal/simtime"
+	"flicker/internal/slb"
+	"flicker/internal/tpm"
+)
+
+// checkPlatformHealthy asserts the invariants the guaranteed-teardown sweep
+// must restore on every exit path: interrupts, paging, ring, the
+// secure-session flags, the DEV, and the APs.
+func checkPlatformHealthy(t *testing.T, p *Platform, where string) {
+	t.Helper()
+	bsp := p.Machine.BSP()
+	if !bsp.InterruptsEnabled() {
+		t.Errorf("%s: interrupts disabled", where)
+	}
+	if !bsp.PagingEnabled() {
+		t.Errorf("%s: paging off", where)
+	}
+	if bsp.Ring() != 0 {
+		t.Errorf("%s: BSP in ring %d", where, bsp.Ring())
+	}
+	if p.Machine.SecureSessionActive() {
+		t.Errorf("%s: secure session still active", where)
+	}
+	if p.Machine.DebugDisabled() {
+		t.Errorf("%s: debug access still disabled", where)
+	}
+	for _, c := range p.Machine.Cores()[1:] {
+		if c.State() != cpu.CoreRunning {
+			t.Errorf("%s: AP %d state = %v", where, c.ID, c.State())
+		}
+	}
+	if p.Kernel.OnlineCoreCount() != len(p.Machine.Cores()) {
+		t.Errorf("%s: cores offline", where)
+	}
+}
+
+// phaseIndex maps a pipeline's phase names to their position, so the fault
+// matrix can reason about which phases completed before the injected fault.
+func phaseIndex(names []string, phase string) int {
+	for i, n := range names {
+		if n == phase {
+			return i
+		}
+	}
+	return -1
+}
+
+// faultMatrix injects ErrFaultInjected at every phase of a pipeline and
+// checks the teardown invariants after each abort. run starts one session
+// on a fresh platform; names is the pipeline's phase order.
+func faultMatrix(t *testing.T, names []string, mkPlatform func(t *testing.T) *Platform,
+	run func(p *Platform, opts SessionOptions) (*SessionResult, error)) {
+	launchIdx := phaseIndex(names, "skinit")
+	if launchIdx < 0 {
+		launchIdx = phaseIndex(names, "skinit-partitioned")
+	}
+	initIdx := phaseIndex(names, "init-slb")
+	extendIdx := phaseIndex(names, "extend-pcr")
+
+	for _, phase := range names {
+		t.Run(phase, func(t *testing.T) {
+			p := mkPlatform(t)
+			base, err := p.Mod.AllocateSLB()
+			if err != nil {
+				t.Fatal(err)
+			}
+			vimg, err := BuildImage(helloPAL(), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vimg.Patch(base)
+			pcrBefore := p.TPM.PCRValue(17)
+
+			res, err := run(p, SessionOptions{FailPhase: phase})
+			if !errors.Is(err, ErrFaultInjected) {
+				t.Fatalf("err = %v, want ErrFaultInjected", err)
+			}
+			if res != nil {
+				t.Fatal("aborted session returned a result")
+			}
+			checkPlatformHealthy(t, p, "after fault at "+phase)
+
+			idx := phaseIndex(names, phase)
+			// Faults inject before the phase body, so the SLB was placed iff
+			// the fault landed after init-slb. The window proper must then be
+			// zeroed — by cleanup on late faults, by the abort teardown
+			// otherwise.
+			if idx > initIdx {
+				win, err := p.Machine.Mem.Read(base, slb.MaxLen)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(win, make([]byte, slb.MaxLen)) {
+					t.Error("SLB window not zeroed after abort")
+				}
+			}
+			// PCR 17 state: untouched before the launch; capped with the
+			// session terminator when the fault hit between the launch and the
+			// closing extends; the full chain when only the resume was lost.
+			pcr := p.TPM.PCRValue(17)
+			switch {
+			case idx <= launchIdx:
+				if pcr != pcrBefore {
+					t.Errorf("PCR 17 changed by pre-launch abort: %x", pcr)
+				}
+			case idx <= extendIdx:
+				want := tpm.ExtendDigest(vimg.ExpectedPCR17(), slb.SessionTerminator)
+				if pcr != want {
+					t.Errorf("PCR 17 not capped after abort: %x, want %x", pcr, want)
+				}
+			default:
+				want := attest.ExpectedFinalPCR17(vimg, nil, []byte("Hello, world"), nil)
+				if pcr != want {
+					t.Errorf("PCR 17 = %x after post-extend abort, want final chain %x", pcr, want)
+				}
+			}
+
+			// The platform must be fully usable afterwards, with the PCR
+			// algebra intact (SKINIT resets PCR 17, so a capped value cannot
+			// leak into the next session).
+			nonce := sha1Of("post-fault")
+			res2, err := run(p, SessionOptions{Input: []byte("in"), Nonce: &nonce})
+			if err != nil || res2.PALError != nil {
+				t.Fatalf("follow-up session: %v %v", err, res2.PALError)
+			}
+			want := attest.ExpectedFinalPCR17(res2.Image, []byte("in"), res2.Outputs, &nonce)
+			if res2.PCR17Final != want {
+				t.Error("follow-up session PCR-17 chain mismatch")
+			}
+		})
+	}
+}
+
+func TestFaultMatrixClassic(t *testing.T) {
+	names := []string{"accept", "init-slb", "suspend-os", "skinit", "pal-exec", "cleanup", "extend-pcr", "resume-os"}
+	faultMatrix(t, names, newPlatform, func(p *Platform, opts SessionOptions) (*SessionResult, error) {
+		return p.RunSession(helloPAL(), opts)
+	})
+}
+
+func TestFaultMatrixPartitioned(t *testing.T) {
+	names := []string{"accept", "init-slb", "save-context", "skinit-partitioned", "pal-exec", "cleanup", "extend-pcr", "resume-core"}
+	faultMatrix(t, names, futurePlatform, func(p *Platform, opts SessionOptions) (*SessionResult, error) {
+		return p.RunSessionConcurrent(helloPAL(), opts)
+	})
+}
+
+func TestInjectorHook(t *testing.T) {
+	p := newPlatform(t)
+	// A nil-returning injector sees every phase, in timeline order.
+	var seen []string
+	res, err := p.RunSession(helloPAL(), SessionOptions{
+		Injector: func(phase string) error {
+			seen = append(seen, phase)
+			return nil
+		},
+	})
+	if err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+	want := []string{"accept", "init-slb", "suspend-os", "skinit", "pal-exec", "cleanup", "extend-pcr", "resume-os"}
+	if len(seen) != len(want) {
+		t.Fatalf("injector saw %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("injector order %v, want %v", seen, want)
+		}
+	}
+
+	// A failing injector aborts the session with its error.
+	boom := errors.New("injected boom")
+	_, err = p.RunSession(helloPAL(), SessionOptions{
+		Injector: func(phase string) error {
+			if phase == "pal-exec" {
+				return boom
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	checkPlatformHealthy(t, p, "after injector abort")
+}
+
+func TestImageCacheAcrossSessions(t *testing.T) {
+	p := newPlatform(t)
+	for i := 0; i < 5; i++ {
+		res, err := p.RunSession(helloPAL(), SessionOptions{})
+		if err != nil || res.PALError != nil {
+			t.Fatalf("session %d: %v %v", i, err, res.PALError)
+		}
+	}
+	st := p.Stats()
+	if st.ImageBuilds != 1 {
+		t.Errorf("5 sessions linked %d images, want 1", st.ImageBuilds)
+	}
+	if st.ImageCacheHits != 4 {
+		t.Errorf("cache hits = %d, want 4", st.ImageCacheHits)
+	}
+	// Link options are part of the key: a two-stage session needs its own
+	// build, as does a different PAL.
+	if _, err := p.RunSession(helloPAL(), SessionOptions{TwoStage: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().ImageBuilds; got != 2 {
+		t.Errorf("two-stage session reused the classic image (builds = %d)", got)
+	}
+	other := &pal.Func{
+		PALName: "other",
+		Binary:  pal.DescriptorCode("other", "1.0", nil, nil),
+		Fn:      func(env *pal.Env, in []byte) ([]byte, error) { return []byte("x"), nil },
+	}
+	if _, err := p.RunSession(other, SessionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().ImageBuilds; got != 3 {
+		t.Errorf("distinct PAL did not get its own build (builds = %d)", got)
+	}
+	// The cached image is measurement-identical to a fresh link.
+	res, err := p.RunSession(helloPAL(), SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := BuildImage(helloPAL(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.Patch(res.SLBBase)
+	if res.PCR17AtLaunch != fresh.ExpectedPCR17() {
+		t.Error("cached image measurement differs from a fresh link")
+	}
+}
+
+func TestRegistryPathNeverRelinks(t *testing.T) {
+	p := newPlatform(t)
+	im, err := p.RegisterPAL(helloPAL(), SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := p.Kernel
+	// Launch through sysfs twice; the second staging presents the image's
+	// post-patch bytes, which must still resolve to the registration.
+	for i := 0; i < 2; i++ {
+		if err := k.SysfsWrite(flickermod.SysfsSLB, im.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.SysfsWrite(flickermod.SysfsControl, []byte{1}); err != nil {
+			t.Fatalf("launch %d: %v", i, err)
+		}
+		out, err := k.SysfsRead(flickermod.SysfsOutputs)
+		if err != nil || string(out) != "Hello, world" {
+			t.Fatalf("launch %d outputs = %q, %v", i, out, err)
+		}
+	}
+	if got := p.Stats().ImageBuilds; got != 1 {
+		t.Errorf("registry path linked %d images across 2 launches, want 1", got)
+	}
+}
+
+func TestSessionStatsAggregation(t *testing.T) {
+	p := newPlatform(t)
+	var ids []uint64
+	for i := 0; i < 3; i++ {
+		res, err := p.RunSession(helloPAL(), SessionOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, res.SessionID)
+	}
+	if _, err := p.RunSession(helloPAL(), SessionOptions{FailPhase: "skinit"}); !errors.Is(err, ErrFaultInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	st := p.Stats()
+	if st.Sessions != 3 || st.Aborted != 1 {
+		t.Fatalf("sessions = %d, aborted = %d", st.Sessions, st.Aborted)
+	}
+	if st.P50 <= 0 || st.Max < st.P50 || st.Total < st.Max {
+		t.Errorf("latency stats inconsistent: p50=%v max=%v total=%v", st.P50, st.Max, st.Total)
+	}
+	var phaseSum time.Duration
+	for _, name := range []string{"accept", "init-slb", "suspend-os", "skinit", "pal-exec", "cleanup", "extend-pcr", "resume-os"} {
+		if _, ok := st.PhaseTotal[name]; !ok {
+			t.Errorf("PhaseTotal missing %q", name)
+		}
+		phaseSum += st.PhaseTotal[name]
+	}
+	if phaseSum != st.Total {
+		t.Errorf("phase totals sum to %v, sessions total %v", phaseSum, st.Total)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[i-1]+1 {
+			t.Errorf("session ids not monotonic: %v", ids)
+		}
+	}
+	// Pipeline names are reported on the result.
+	res, err := p.RunSession(helloPAL(), SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pipeline != "classic" {
+		t.Errorf("pipeline = %q", res.Pipeline)
+	}
+}
+
+// orderObserver records the callback stream and checks charge attribution:
+// every charge must name the phase that was open when it was incurred.
+type orderObserver struct {
+	mu      sync.Mutex
+	events  []string
+	open    string
+	charges map[string]int // phase -> charge count
+	badAttr int
+}
+
+func (o *orderObserver) SessionStart(m SessionMeta) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.events = append(o.events, "session-start:"+m.Pipeline+":"+m.PAL)
+}
+
+func (o *orderObserver) PhaseStart(sid uint64, phase string, at time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.events = append(o.events, "start:"+phase)
+	o.open = phase
+}
+
+func (o *orderObserver) Charge(sid uint64, phase string, c simtime.Charge) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if phase != o.open {
+		o.badAttr++
+	}
+	o.charges[phase]++
+}
+
+func (o *orderObserver) PhaseEnd(sid uint64, phase string, at time.Duration, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.events = append(o.events, "end:"+phase)
+	o.open = ""
+}
+
+func (o *orderObserver) SessionEnd(sid uint64, at time.Duration, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.events = append(o.events, "session-end")
+}
+
+func TestObserverCallbackOrderAndChargeAttribution(t *testing.T) {
+	p := newPlatform(t)
+	o := &orderObserver{charges: make(map[string]int)}
+	p.AddObserver(o)
+	res, err := p.RunSession(helloPAL(), SessionOptions{})
+	if err != nil || res.PALError != nil {
+		t.Fatalf("%v %v", err, res.PALError)
+	}
+	want := []string{"session-start:classic:hello"}
+	for _, ph := range []string{"accept", "init-slb", "suspend-os", "skinit", "pal-exec", "cleanup", "extend-pcr", "resume-os"} {
+		want = append(want, "start:"+ph, "end:"+ph)
+	}
+	want = append(want, "session-end")
+	if len(o.events) != len(want) {
+		t.Fatalf("events = %v", o.events)
+	}
+	for i := range want {
+		if o.events[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q", i, o.events[i], want[i])
+		}
+	}
+	if o.badAttr != 0 {
+		t.Errorf("%d charges attributed to a phase that was not open", o.badAttr)
+	}
+	// The expensive phases charged the clock under their own names.
+	for _, ph := range []string{"skinit", "extend-pcr"} {
+		if o.charges[ph] == 0 {
+			t.Errorf("no charges attributed to %q", ph)
+		}
+	}
+	// A removed observer sees nothing further.
+	before := len(o.events)
+	p.RemoveObserver(o)
+	if _, err := p.RunSession(helloPAL(), SessionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.events) != before {
+		t.Error("removed observer still receiving events")
+	}
+}
+
+func TestObserverSeesAbortedSessions(t *testing.T) {
+	p := newPlatform(t)
+	o := &orderObserver{charges: make(map[string]int)}
+	p.AddObserver(o)
+	if _, err := p.RunSession(helloPAL(), SessionOptions{FailPhase: "skinit"}); !errors.Is(err, ErrFaultInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(o.events) == 0 || o.events[len(o.events)-1] != "session-end" {
+		t.Fatalf("aborted session did not close its observer stream: %v", o.events)
+	}
+	// The aborted phase still gets its end event.
+	found := false
+	for _, e := range o.events {
+		if e == "end:skinit" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no PhaseEnd for the faulted phase")
+	}
+}
+
+func TestOutputPageZeroedBetweenSessions(t *testing.T) {
+	p := newPlatform(t)
+	secret := &pal.Func{
+		PALName: "secret-out",
+		Binary:  pal.DescriptorCode("secret-out", "1.0", nil, nil),
+		Fn: func(env *pal.Env, in []byte) ([]byte, error) {
+			return []byte("SESSION-A-SECRET-OUTPUT"), nil
+		},
+	}
+	resA, err := p.RunSession(secret, SessionOptions{})
+	if err != nil || resA.PALError != nil {
+		t.Fatalf("%v %v", err, resA.PALError)
+	}
+	// The output page genuinely holds session A's output after the session
+	// (that is how the flicker-module hands it to the application)...
+	outAddr := resA.SLBBase + uint32(slb.OutputsOffset)
+	page, err := p.Machine.Mem.Read(outAddr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(page, []byte("SESSION-A-SECRET-OUTPUT")) {
+		t.Fatal("output page does not hold session A's output")
+	}
+	// ...so session B's PAL must not be able to read it: init-slb zeroes the
+	// page before the next launch.
+	var leaked []byte
+	spy := &pal.Func{
+		PALName: "output-spy",
+		Binary:  pal.DescriptorCode("output-spy", "1.0", nil, nil),
+		Fn: func(env *pal.Env, in []byte) ([]byte, error) {
+			b, err := env.ReadMem(env.OutputAddr(), 64)
+			leaked = b
+			return []byte("ok"), err
+		},
+	}
+	resB, err := p.RunSession(spy, SessionOptions{})
+	if err != nil || resB.PALError != nil {
+		t.Fatalf("%v %v", err, resB.PALError)
+	}
+	if !bytes.Equal(leaked, make([]byte, 64)) {
+		t.Fatalf("session B read stale output page: %q", leaked)
+	}
+}
+
+func TestMixedPipelineRace(t *testing.T) {
+	// Classic and partitioned sessions racing from many goroutines must all
+	// serialize on the platform's session lock (run under -race; the old
+	// RunSessionConcurrent skipped the lock entirely).
+	p := futurePlatform(t)
+	const n = 6
+	errs := make(chan error, 2*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			res, err := p.RunSession(helloPAL(), SessionOptions{})
+			if err == nil && res.PALError != nil {
+				err = res.PALError
+			}
+			errs <- err
+		}()
+		go func() {
+			res, err := p.RunSessionConcurrent(helloPAL(), SessionOptions{})
+			if err == nil && res.PALError != nil {
+				err = res.PALError
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < 2*n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("racing session failed: %v", err)
+		}
+	}
+	st := p.Stats()
+	if st.Sessions != 2*n || st.Aborted != 0 {
+		t.Fatalf("sessions = %d, aborted = %d", st.Sessions, st.Aborted)
+	}
+	checkPlatformHealthy(t, p, "after mixed race")
+}
+
+func TestFaultDuringLargePALSession(t *testing.T) {
+	// Faults after the preparatory code extended the DEV over extra PAL code
+	// must clear that extension too.
+	p := newPlatform(t)
+	extra := bytes.Repeat([]byte{0xEE}, 3*slb.PageSize)
+	lp := &largeTestPAL{
+		Func: pal.Func{
+			PALName: "big",
+			Binary:  pal.DescriptorCode("big", "1.0", nil, nil),
+			Fn:      func(env *pal.Env, in []byte) ([]byte, error) { return []byte("ok"), nil },
+		},
+		extra: extra,
+	}
+	_, err := p.RunSession(lp, SessionOptions{FailPhase: "cleanup"})
+	if !errors.Is(err, ErrFaultInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	base, _ := p.Mod.AllocateSLB()
+	if p.Machine.Mem.DEVProtected(base+uint32(slb.ExtraCodeOffset), len(extra)) {
+		t.Error("DEV still covers extra PAL code after abort")
+	}
+	got, err := p.Machine.Mem.Read(base+uint32(slb.ExtraCodeOffset), len(extra))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, len(extra))) {
+		t.Error("extra PAL code survived the abort")
+	}
+	checkPlatformHealthy(t, p, "after large-PAL abort")
+	if res, err := p.RunSession(lp, SessionOptions{}); err != nil || res.PALError != nil {
+		t.Fatalf("follow-up large session: %v %v", err, res.PALError)
+	}
+}
+
+// largeTestPAL implements pal.LargePAL for the abort test.
+type largeTestPAL struct {
+	pal.Func
+	extra []byte
+}
+
+func (l *largeTestPAL) ExtraCode() []byte { return l.extra }
+
+func TestNoResumeDuplication(t *testing.T) {
+	// The engine is the single place that resumes the OS: a session that
+	// aborts at every later phase in sequence on one platform must leave it
+	// healthy each time (double-resume would trip the flicker-module).
+	p := newPlatform(t)
+	for _, phase := range []string{"skinit", "pal-exec", "extend-pcr", "resume-os"} {
+		if _, err := p.RunSession(helloPAL(), SessionOptions{FailPhase: phase}); !errors.Is(err, ErrFaultInjected) {
+			t.Fatalf("fault at %s: %v", phase, err)
+		}
+		checkPlatformHealthy(t, p, fmt.Sprintf("repeated abort at %s", phase))
+	}
+	if res, err := p.RunSession(helloPAL(), SessionOptions{}); err != nil || res.PALError != nil {
+		t.Fatalf("platform dead after abort sequence: %v %v", err, res.PALError)
+	}
+}

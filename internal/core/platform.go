@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"flicker/internal/flickermod"
 	"flicker/internal/hw/cpu"
@@ -53,10 +54,24 @@ type Platform struct {
 	registry map[tpm.Digest]*registeredPAL
 	seq      int
 
-	// sessionMu serializes Flicker sessions: the flicker-module owns a
-	// single SLB buffer and the machine supports one late launch at a
-	// time, so concurrent RunSession callers queue here exactly as
-	// concurrent ioctls against the real module would.
+	// imageCache memoizes built SLB images by PAL identity and link
+	// options, so repeated sessions for the same PAL do not relink the
+	// image on the hot path.
+	imageCache     map[imageKey]*slb.Image
+	imageBuilds    int
+	imageCacheHits int
+
+	// observability and aggregate statistics (see observer.go).
+	observers        []Observer
+	sessionSeq       uint64
+	sessionDurations []time.Duration
+	phaseTotal       map[string]time.Duration
+	sessionsAborted  int
+
+	// sessionMu serializes Flicker sessions — classic and partitioned
+	// alike: the flicker-module owns a single SLB buffer and the machine
+	// supports one late launch at a time, so concurrent callers queue here
+	// exactly as concurrent ioctls against the real module would.
 	sessionMu sync.Mutex
 }
 
@@ -64,6 +79,16 @@ type registeredPAL struct {
 	p     pal.PAL
 	image *slb.Image
 	opts  SessionOptions
+}
+
+// imageKey identifies a built SLB image: the PAL's measured identity (name,
+// code, extra code) plus the link options that change the image bytes.
+type imageKey struct {
+	name     string
+	code     tpm.Digest
+	extra    tpm.Digest
+	hasExtra bool
+	twoStage bool
 }
 
 // NewPlatform boots a platform: TPM, machine, kernel, flicker-module.
@@ -110,14 +135,16 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		return nil, fmt.Errorf("core: flicker-module: %w", err)
 	}
 	p := &Platform{
-		Clock:    clock,
-		Profile:  cfg.Profile,
-		TPM:      tp,
-		Bus:      bus,
-		Machine:  machine,
-		Kernel:   k,
-		Mod:      mod,
-		registry: make(map[tpm.Digest]*registeredPAL),
+		Clock:      clock,
+		Profile:    cfg.Profile,
+		TPM:        tp,
+		Bus:        bus,
+		Machine:    machine,
+		Kernel:     k,
+		Mod:        mod,
+		registry:   make(map[tpm.Digest]*registeredPAL),
+		imageCache: make(map[imageKey]*slb.Image),
+		phaseTotal: make(map[string]time.Duration),
 	}
 	mod.SetLauncher(p)
 	return p, nil
@@ -146,13 +173,65 @@ func BuildImage(pl pal.PAL, twoStage bool) (*slb.Image, error) {
 	return slb.Build(code)
 }
 
-// RegisterPAL associates a PAL with its image bytes so the sysfs control
-// path can find the behavior for a staged SLB. It returns the image.
-func (p *Platform) RegisterPAL(pl pal.PAL, opts SessionOptions) (*slb.Image, error) {
-	im, err := BuildImage(pl, opts.TwoStage)
+// imageFor returns the SLB image for a PAL, reusing a cached build when the
+// PAL's identity and link options match a previous session. The image bytes
+// are a pure function of (name, code, extra, twoStage), so a cache hit is
+// measurement-identical to a fresh link.
+func (p *Platform) imageFor(pl pal.PAL, twoStage bool) (*slb.Image, error) {
+	key := imageKey{
+		name:     pl.Name(),
+		code:     palcrypto.SHA1Sum(pl.Code()),
+		twoStage: twoStage,
+	}
+	if lp, ok := pl.(pal.LargePAL); ok {
+		key.extra = palcrypto.SHA1Sum(lp.ExtraCode())
+		key.hasExtra = true
+	}
+	p.mu.Lock()
+	im, ok := p.imageCache[key]
+	if ok {
+		p.imageCacheHits++
+	}
+	p.mu.Unlock()
+	if ok {
+		return im, nil
+	}
+	im, err := BuildImage(pl, twoStage)
 	if err != nil {
 		return nil, err
 	}
+	p.mu.Lock()
+	p.imageBuilds++
+	p.imageCache[key] = im
+	p.mu.Unlock()
+	return im, nil
+}
+
+// nextSessionID allocates a platform-unique session id.
+func (p *Platform) nextSessionID() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sessionSeq++
+	return p.sessionSeq
+}
+
+// nextSeq allocates a deterministic per-platform sequence number (TPM
+// client seeds).
+func (p *Platform) nextSeq() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	return p.seq
+}
+
+// RegisterPAL associates a PAL with its image bytes so the sysfs control
+// path can find the behavior for a staged SLB. It returns the image.
+func (p *Platform) RegisterPAL(pl pal.PAL, opts SessionOptions) (*slb.Image, error) {
+	im, err := p.imageFor(pl, opts.TwoStage)
+	if err != nil {
+		return nil, err
+	}
+	opts.image = im
 	key := palcrypto.SHA1Sum(im.Bytes())
 	p.mu.Lock()
 	p.registry[key] = &registeredPAL{p: pl, image: im, opts: opts}
@@ -161,10 +240,22 @@ func (p *Platform) RegisterPAL(pl pal.PAL, opts SessionOptions) (*slb.Image, err
 }
 
 // LaunchByMeasurement implements flickermod.Launcher: it runs a session for
-// a registered SLB identified by the hash of its unpatched bytes.
+// a registered SLB identified by the hash of its unpatched bytes. The
+// registered prebuilt image is reused — the hot path never relinks.
 func (p *Platform) LaunchByMeasurement(key [20]byte, inputs []byte) ([]byte, error) {
 	p.mu.Lock()
 	reg, ok := p.registry[key]
+	if !ok {
+		// The staged bytes may be a registered image that was patched in
+		// place after registration (slb_base is stable): match on the
+		// image's current bytes.
+		for _, r := range p.registry {
+			if palcrypto.SHA1Sum(r.image.Bytes()) == key {
+				reg, ok = r, true
+				break
+			}
+		}
+	}
 	p.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("core: no PAL registered for SLB hash %x", key[:8])

@@ -1,14 +1,9 @@
 package core
 
 import (
-	"fmt"
 	"time"
 
-	"flicker/internal/flickermod"
-	"flicker/internal/hw/cpu"
-	"flicker/internal/hw/tis"
 	"flicker/internal/pal"
-	"flicker/internal/palcrypto"
 	"flicker/internal/slb"
 	"flicker/internal/tpm"
 )
@@ -34,6 +29,15 @@ type SessionOptions struct {
 	// and the session reports the timeout as the PAL's error. Zero
 	// disables the timer.
 	MaxPALTime time.Duration
+
+	// FailPhase, if non-empty, injects ErrFaultInjected at the start of the
+	// named phase — the test hook for exercising every teardown path of the
+	// pipeline (the resume bugs the paper's §7.5 experiment exists to catch).
+	FailPhase string
+	// Injector, if non-nil, is called with each phase name before the phase
+	// body runs; a non-nil return aborts the session with that error.
+	Injector func(phase string) error
+
 	// image, when set (by the registry path), reuses a prebuilt image.
 	image *slb.Image
 }
@@ -47,6 +51,12 @@ type Phase struct {
 
 // SessionResult describes a completed Flicker session.
 type SessionResult struct {
+	// SessionID is the platform-unique id assigned to this session.
+	SessionID uint64
+	// Pipeline names the phase engine that ran it: "classic" or
+	// "partitioned".
+	Pipeline string
+
 	// Outputs is what the PAL wrote to the output page (nil on PAL error).
 	Outputs []byte
 	// PALError is the application-level failure, if any. The session
@@ -90,259 +100,12 @@ func (r *SessionResult) PhaseDuration(name string) time.Duration {
 	return d
 }
 
-// RunSession executes one complete Flicker session for the PAL.
-// An error return means the infrastructure failed (bad SLB, SKINIT
-// precondition, TPM failure); PAL-level failures land in
+// RunSession executes one complete Flicker session for the PAL: the paper's
+// Figure 2 timeline, expressed as the classic phase list over the shared
+// pipeline engine (see pipeline.go). An error return means the
+// infrastructure failed (bad SLB, SKINIT precondition, TPM failure) and the
+// engine's guaranteed teardown ran; PAL-level failures land in
 // SessionResult.PALError with the session still torn down cleanly.
 func (p *Platform) RunSession(pl pal.PAL, opts SessionOptions) (*SessionResult, error) {
-	p.sessionMu.Lock()
-	defer p.sessionMu.Unlock()
-	res := &SessionResult{Start: p.Clock.Now(), Nonce: opts.Nonce}
-	phase := func(name string, f func() error) error {
-		st := p.Clock.Now()
-		err := f()
-		res.Phases = append(res.Phases, Phase{Name: name, Start: st, Duration: p.Clock.Now() - st})
-		return err
-	}
-
-	// --- Accept uninitialized SLB and inputs ---------------------------
-	var im *slb.Image
-	var slbBase uint32
-	if err := phase("accept", func() error {
-		var err error
-		im = opts.image
-		if im == nil {
-			im, err = BuildImage(pl, opts.TwoStage)
-			if err != nil {
-				return err
-			}
-		}
-		slbBase, err = p.Mod.AllocateSLB()
-		return err
-	}); err != nil {
-		return nil, err
-	}
-	res.Image = im
-	res.SLBBase = slbBase
-
-	// --- Initialize the SLB (patch GDT/TSS, place image and inputs) ----
-	if err := phase("init-slb", func() error {
-		return p.Mod.PlaceSLB(im, slbBase, opts.Input)
-	}); err != nil {
-		return nil, err
-	}
-
-	// --- Suspend OS (hotplug APs, INIT IPIs, save kernel state) --------
-	var saved *flickerSaved
-	if err := phase("suspend-os", func() error {
-		st, err := p.Mod.SuspendOS(slbBase)
-		if err != nil {
-			return err
-		}
-		saved = &flickerSaved{st: st}
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-
-	// --- SKINIT ---------------------------------------------------------
-	var launch launchState
-	if err := phase("skinit", func() error {
-		ll, err := p.Machine.SKINIT(0, slbBase)
-		if err != nil {
-			return err
-		}
-		launch.ll = ll
-		return nil
-	}); err != nil {
-		// The OS was suspended; restore it before reporting failure.
-		p.Mod.ResumeOS(saved.st)
-		return nil, err
-	}
-	res.Measurement = launch.ll.Measurement
-
-	// --- SLB Core init + PAL execution ----------------------------------
-	var env *pal.Env
-	var palOut []byte
-	var palErr error
-	if err := phase("pal-exec", func() error {
-		// The SLB Core's TPM driver takes over the TPM at locality 2.
-		p.mu.Lock()
-		p.seq++
-		seed := fmt.Sprintf("pal-tpm-%d", p.seq)
-		p.mu.Unlock()
-		palTPM := tpm.NewClient(p.Bus, tis.Locality2, []byte(seed))
-
-		// Two-stage measurement: the stub hashes the full window on the
-		// main CPU and extends it into PCR 17 before the PAL runs.
-		if im.TwoStage() {
-			p.Clock.Advance(p.Profile.CPUHashCost(slb.MaxLen), "cpu.hash")
-			if _, err := palTPM.Extend(17, im.WindowMeasurement()); err != nil {
-				return fmt.Errorf("core: stage-2 extend: %w", err)
-			}
-		}
-		// Additional PAL code above the 64 KB window: the preparatory code
-		// adds it to the DEV and extends its measurement into PCR 17 before
-		// any of it runs (Section 2.4).
-		if im.HasExtra() {
-			if err := launch.ll.ExtendProtection(slbBase+uint32(slb.ExtraCodeOffset), len(im.Extra())); err != nil {
-				return fmt.Errorf("core: extending DEV over extra PAL code: %w", err)
-			}
-			p.Clock.Advance(p.Profile.CPUHashCost(len(im.Extra())), "cpu.hash")
-			if _, err := palTPM.Extend(17, im.ExtraMeasurement()); err != nil {
-				return fmt.Errorf("core: extra-code extend: %w", err)
-			}
-		}
-		identity := launch.ll.PCR17
-		if im.TwoStage() {
-			identity = im.ExpectedPCR17TwoStage()
-		}
-		if im.HasExtra() {
-			identity = tpm.ExtendDigest(identity, im.ExtraMeasurement())
-		}
-		var err error
-		env, err = pal.NewEnv(pal.EnvConfig{
-			Clock:      p.Clock,
-			Profile:    p.Profile,
-			Mem:        p.Machine.Mem,
-			Core:       p.Machine.BSP(),
-			TPM:        palTPM,
-			SLBBase:    slbBase,
-			SLBLen:     im.Len(),
-			Sandbox:    opts.Sandbox,
-			HeapSize:   opts.HeapSize,
-			Machine:    p.Machine,
-			MaxPALTime: opts.MaxPALTime,
-			Identity:   identity,
-			ExtraLen:   len(im.Extra()),
-		})
-		if err != nil {
-			return err
-		}
-		// Read inputs back from the input page — the PAL sees what is in
-		// memory, not what the application intended to write.
-		input, err := p.Mod.ReadInputs(slbBase)
-		if err != nil {
-			return err
-		}
-		palOut, palErr = pl.Run(env, input)
-		if palErr == nil && env.TimedOut() {
-			// The SLB Core's timer fired during execution.
-			palErr = pal.ErrPALTimeout
-		}
-		if palErr == nil && palOut == nil {
-			palOut = env.Output()
-		}
-		env.ExitSandbox()
-		// Outputs are written to the well-known page beyond the SLB.
-		if palErr == nil {
-			if len(palOut) > slb.PageSize-4 {
-				palErr = fmt.Errorf("core: PAL output of %d bytes exceeds the 4 KB output page", len(palOut))
-			} else {
-				page := make([]byte, 4+len(palOut))
-				page[0] = byte(len(palOut) >> 24)
-				page[1] = byte(len(palOut) >> 16)
-				page[2] = byte(len(palOut) >> 8)
-				page[3] = byte(len(palOut))
-				copy(page[4:], palOut)
-				if err := p.Machine.Mem.Write(env.OutputAddr(), page); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}); err != nil {
-		launch.ll.End()
-		p.Mod.ResumeOS(saved.st)
-		return nil, err
-	}
-	if v, err := env.PCR17(); err == nil {
-		res.PCR17AtLaunch = v
-	}
-
-	// --- Cleanup: erase all PAL secrets from the SLB window -------------
-	if err := phase("cleanup", func() error {
-		if env.Heap != nil {
-			env.Heap.Wipe()
-		}
-		wipe := slb.MaxLen
-		if int(slbBase)+wipe > p.Machine.Mem.Size() {
-			wipe = p.Machine.Mem.Size() - int(slbBase)
-		}
-		if err := p.Machine.Mem.Zero(slbBase, wipe); err != nil {
-			return err
-		}
-		if im.HasExtra() {
-			if err := p.Machine.Mem.Zero(slbBase+uint32(slb.ExtraCodeOffset), len(im.Extra())); err != nil {
-				return err
-			}
-			// The preparatory code's DEV extension is cleared here; End()
-			// only covers the primary 64 KB window.
-			if err := p.Machine.Mem.DEVClear(slbBase+uint32(slb.ExtraCodeOffset), len(im.Extra())); err != nil {
-				return err
-			}
-		}
-		return nil
-	}); err != nil {
-		launch.ll.End()
-		p.Mod.ResumeOS(saved.st)
-		return nil, err
-	}
-
-	// --- Extend PCR 17: inputs, outputs, nonce, terminator --------------
-	if err := phase("extend-pcr", func() error {
-		palTPM := tpm.NewClient(p.Bus, tis.Locality2, []byte("slbcore-extend"))
-		res.InputDigest = palcrypto.SHA1Sum(opts.Input)
-		if _, err := palTPM.Extend(17, res.InputDigest); err != nil {
-			return err
-		}
-		res.OutputDigest = palcrypto.SHA1Sum(palOut)
-		if _, err := palTPM.Extend(17, res.OutputDigest); err != nil {
-			return err
-		}
-		if opts.Nonce != nil {
-			if _, err := palTPM.Extend(17, *opts.Nonce); err != nil {
-				return err
-			}
-		}
-		if _, err := palTPM.Extend(17, slb.SessionTerminator); err != nil {
-			return err
-		}
-		v, err := palTPM.PCRRead(17)
-		if err != nil {
-			return err
-		}
-		res.PCR17Final = v
-		return nil
-	}); err != nil {
-		launch.ll.End()
-		p.Mod.ResumeOS(saved.st)
-		return nil, err
-	}
-
-	// --- Resume OS -------------------------------------------------------
-	if err := phase("resume-os", func() error {
-		p.Mod.RestoreKernelContext(p.Machine.BSP(), saved.st)
-		if err := launch.ll.End(); err != nil {
-			return err
-		}
-		return p.Mod.ResumeOS(saved.st)
-	}); err != nil {
-		return nil, err
-	}
-
-	// --- Return outputs through the sysfs entry --------------------------
-	if palErr == nil {
-		res.Outputs = palOut
-		p.Mod.PublishOutputs(palOut)
-	}
-	res.PALError = palErr
-	res.End = p.Clock.Now()
-	return res, nil
+	return p.runPipeline(&classicPipeline, pl, opts)
 }
-
-// flickerSaved and launchState are small holders so the phase closures can
-// populate state declared before them.
-type flickerSaved struct{ st *flickermod.SavedState }
-
-type launchState struct{ ll *cpu.LateLaunch }

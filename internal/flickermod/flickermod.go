@@ -204,6 +204,10 @@ type SavedState struct {
 	wasSuspended bool
 }
 
+// Suspended reports whether the state is still pending a ResumeOS — the
+// session pipeline's teardown guard, so resume runs exactly once.
+func (st *SavedState) Suspended() bool { return st.wasSuspended }
+
 // SuspendOS prepares the machine for SKINIT: it hotplugs every AP offline,
 // sends the INIT IPIs, and saves the BSP's kernel state into the
 // saved-state page above the SLB (Section 4.2, "Suspend OS").

@@ -20,10 +20,11 @@ import (
 // Clock is a deterministic logical clock. Time only moves when a simulated
 // component explicitly advances it. The zero value is not usable; use New.
 type Clock struct {
-	mu      sync.Mutex
-	now     time.Duration
-	charges []Charge
-	noise   *noiseSource
+	mu       sync.Mutex
+	now      time.Duration
+	charges  []Charge
+	noise    *noiseSource
+	onCharge func(Charge)
 }
 
 // Charge records a single latency contribution, used by the benchmark
@@ -61,13 +62,28 @@ func (c *Clock) Advance(d time.Duration, label string) time.Duration {
 		panic(fmt.Sprintf("simtime: negative advance %v (%s)", d, label))
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.noise != nil {
 		d = c.noise.perturb(d)
 	}
-	c.charges = append(c.charges, Charge{At: c.now, Duration: d, Label: label})
+	ch := Charge{At: c.now, Duration: d, Label: label}
+	c.charges = append(c.charges, ch)
 	c.now += d
+	hook := c.onCharge
+	c.mu.Unlock()
+	if hook != nil {
+		hook(ch)
+	}
 	return d
+}
+
+// SetOnCharge installs fn as the clock's charge hook: every Advance invokes
+// it with the recorded charge, outside the clock's lock (the hook may call
+// Now or Charges). The session layer uses this to attribute charges to the
+// currently-open timeline phase. Passing nil removes the hook.
+func (c *Clock) SetOnCharge(fn func(Charge)) {
+	c.mu.Lock()
+	c.onCharge = fn
+	c.mu.Unlock()
 }
 
 // Charges returns a copy of all recorded charges in order.

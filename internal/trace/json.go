@@ -1,0 +1,200 @@
+// JSON span export for session timelines. Two entry points:
+//
+//   - SessionSpans converts a finished SessionResult into a span tree
+//     (one session span, one child span per phase) — the offline path;
+//   - Recorder implements core.Observer and captures sessions live,
+//     including every simulated-clock charge attributed to the phase that
+//     incurred it — the substrate for simTPM-style TPM cost analyses.
+//
+// All times are in simulated milliseconds, the unit the paper reports in.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"flicker/internal/core"
+	"flicker/internal/simtime"
+)
+
+// PhaseSpan is one Figure 2 phase as a JSON span.
+type PhaseSpan struct {
+	Name       string  `json:"name"`
+	StartMs    float64 `json:"start_ms"`
+	DurationMs float64 `json:"duration_ms"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// ChargeSpan is one simulated-clock charge, attributed to the phase that
+// was open when it was incurred ("" for charges outside any phase, e.g.
+// abort teardown).
+type ChargeSpan struct {
+	Label      string  `json:"label"`
+	Phase      string  `json:"phase,omitempty"`
+	AtMs       float64 `json:"at_ms"`
+	DurationMs float64 `json:"duration_ms"`
+}
+
+// SessionSpan is a whole session as a JSON span tree.
+type SessionSpan struct {
+	SessionID  uint64       `json:"session_id"`
+	Pipeline   string       `json:"pipeline,omitempty"`
+	PAL        string       `json:"pal,omitempty"`
+	StartMs    float64      `json:"start_ms"`
+	EndMs      float64      `json:"end_ms"`
+	DurationMs float64      `json:"duration_ms"`
+	Error      string       `json:"error,omitempty"`
+	Phases     []PhaseSpan  `json:"phases"`
+	Charges    []ChargeSpan `json:"charges,omitempty"`
+}
+
+// SessionSpans converts a finished session into its span tree. Charges are
+// not available on this path (the result does not carry them); use a
+// Recorder observer to capture them live.
+func SessionSpans(res *core.SessionResult) SessionSpan {
+	s := SessionSpan{
+		SessionID:  res.SessionID,
+		Pipeline:   res.Pipeline,
+		StartMs:    simtime.Millis(res.Start),
+		EndMs:      simtime.Millis(res.End),
+		DurationMs: simtime.Millis(res.Duration()),
+		Phases:     make([]PhaseSpan, 0, len(res.Phases)),
+	}
+	if res.PALError != nil {
+		s.Error = res.PALError.Error()
+	}
+	for _, ph := range res.Phases {
+		s.Phases = append(s.Phases, PhaseSpan{
+			Name:       ph.Name,
+			StartMs:    simtime.Millis(ph.Start),
+			DurationMs: simtime.Millis(ph.Duration),
+		})
+	}
+	return s
+}
+
+// ExportJSON renders a session as indented JSON spans.
+func ExportJSON(res *core.SessionResult) ([]byte, error) {
+	return json.MarshalIndent(SessionSpans(res), "", "  ")
+}
+
+// Recorder captures sessions live as a core.Observer. It is safe for
+// concurrent use and records every session run while attached, aborted
+// ones included.
+type Recorder struct {
+	mu       sync.Mutex
+	done     []SessionSpan
+	open     map[uint64]*SessionSpan
+	phaseAt  map[uint64]time.Duration
+	phaseTop map[uint64]int // index of the open phase span, -1 if none
+}
+
+// NewRecorder returns an empty Recorder; attach it with
+// Platform.AddObserver.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		open:     make(map[uint64]*SessionSpan),
+		phaseAt:  make(map[uint64]time.Duration),
+		phaseTop: make(map[uint64]int),
+	}
+}
+
+// SessionStart implements core.Observer.
+func (r *Recorder) SessionStart(m core.SessionMeta) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.open[m.ID] = &SessionSpan{
+		SessionID: m.ID,
+		Pipeline:  m.Pipeline,
+		PAL:       m.PAL,
+		StartMs:   simtime.Millis(m.Start),
+		Phases:    []PhaseSpan{},
+	}
+	r.phaseTop[m.ID] = -1
+}
+
+// PhaseStart implements core.Observer.
+func (r *Recorder) PhaseStart(sid uint64, phase string, at time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.open[sid]
+	if s == nil {
+		return
+	}
+	s.Phases = append(s.Phases, PhaseSpan{Name: phase, StartMs: simtime.Millis(at)})
+	r.phaseAt[sid] = at
+	r.phaseTop[sid] = len(s.Phases) - 1
+}
+
+// Charge implements core.Observer.
+func (r *Recorder) Charge(sid uint64, phase string, c simtime.Charge) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.open[sid]
+	if s == nil {
+		return
+	}
+	s.Charges = append(s.Charges, ChargeSpan{
+		Label:      c.Label,
+		Phase:      phase,
+		AtMs:       simtime.Millis(c.At),
+		DurationMs: simtime.Millis(c.Duration),
+	})
+}
+
+// PhaseEnd implements core.Observer.
+func (r *Recorder) PhaseEnd(sid uint64, phase string, at time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.open[sid]
+	if s == nil {
+		return
+	}
+	if i := r.phaseTop[sid]; i >= 0 && i < len(s.Phases) && s.Phases[i].Name == phase {
+		s.Phases[i].DurationMs = simtime.Millis(at - r.phaseAt[sid])
+		if err != nil {
+			s.Phases[i].Error = err.Error()
+		}
+	}
+	r.phaseTop[sid] = -1
+}
+
+// SessionEnd implements core.Observer.
+func (r *Recorder) SessionEnd(sid uint64, at time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.open[sid]
+	if s == nil {
+		return
+	}
+	s.EndMs = simtime.Millis(at)
+	s.DurationMs = s.EndMs - s.StartMs
+	if err != nil {
+		s.Error = err.Error()
+	}
+	r.done = append(r.done, *s)
+	delete(r.open, sid)
+	delete(r.phaseAt, sid)
+	delete(r.phaseTop, sid)
+}
+
+// Sessions returns the recorded sessions, in completion order.
+func (r *Recorder) Sessions() []SessionSpan {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SessionSpan, len(r.done))
+	copy(out, r.done)
+	return out
+}
+
+// WriteJSON writes every recorded session as one indented JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r.Sessions(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}

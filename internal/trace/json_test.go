@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"flicker/internal/core"
+	"flicker/internal/pal"
+	"flicker/internal/simtime"
+)
+
+func tracePlatform(t *testing.T) *core.Platform {
+	t.Helper()
+	p, err := core.NewPlatform(core.PlatformConfig{Seed: "trace-json-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func tracePAL(name string) pal.PAL {
+	return &pal.Func{
+		PALName: name,
+		Binary:  pal.DescriptorCode(name, "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			return []byte("hi"), nil
+		},
+	}
+}
+
+func TestSessionSpansConversion(t *testing.T) {
+	p := tracePlatform(t)
+	res, err := p.RunSession(tracePAL("hello"), core.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SessionSpans(res)
+	if s.SessionID != res.SessionID || s.Pipeline != "classic" {
+		t.Errorf("span identity = %d/%q", s.SessionID, s.Pipeline)
+	}
+	if len(s.Phases) != len(res.Phases) {
+		t.Fatalf("phases = %d, want %d", len(s.Phases), len(res.Phases))
+	}
+	for i, ph := range res.Phases {
+		if s.Phases[i].Name != ph.Name {
+			t.Errorf("phase %d = %q, want %q", i, s.Phases[i].Name, ph.Name)
+		}
+		if s.Phases[i].DurationMs != simtime.Millis(ph.Duration) {
+			t.Errorf("phase %d duration mismatch", i)
+		}
+	}
+	if s.DurationMs != simtime.Millis(res.Duration()) {
+		t.Error("session duration mismatch")
+	}
+	// Phases tile the session: starts are monotone, last phase ends at EndMs.
+	for i := 1; i < len(s.Phases); i++ {
+		if s.Phases[i].StartMs < s.Phases[i-1].StartMs {
+			t.Error("phase starts not monotone")
+		}
+	}
+	last := s.Phases[len(s.Phases)-1]
+	if got := last.StartMs + last.DurationMs; got != s.EndMs {
+		t.Errorf("last phase ends at %v, session at %v", got, s.EndMs)
+	}
+}
+
+func TestExportJSONRoundTrip(t *testing.T) {
+	p := tracePlatform(t)
+	res, err := p.RunSession(tracePAL("hello"), core.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExportJSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SessionSpan
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, SessionSpans(res)) {
+		t.Errorf("round trip changed the span:\n%s", b)
+	}
+}
+
+func TestRecorderCapturesSessionsLive(t *testing.T) {
+	p := tracePlatform(t)
+	rec := NewRecorder()
+	p.AddObserver(rec)
+	res1, err := p.RunSession(tracePAL("one"), core.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunSession(tracePAL("two"), core.SessionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got := rec.Sessions()
+	if len(got) != 2 {
+		t.Fatalf("recorded %d sessions, want 2", len(got))
+	}
+	if got[0].SessionID != res1.SessionID || got[0].PAL != "one" || got[1].PAL != "two" {
+		t.Errorf("session identities wrong: %+v", got)
+	}
+	// Live-recorded phase durations match the result's timeline.
+	if len(got[0].Phases) != len(res1.Phases) {
+		t.Fatalf("phases = %d, want %d", len(got[0].Phases), len(res1.Phases))
+	}
+	for i, ph := range res1.Phases {
+		if got[0].Phases[i].Name != ph.Name || got[0].Phases[i].DurationMs != simtime.Millis(ph.Duration) {
+			t.Errorf("phase %d: recorded %+v, result %+v", i, got[0].Phases[i], ph)
+		}
+	}
+	// Charges were captured with phase attribution; the sum of charges in a
+	// phase never exceeds the phase's duration.
+	if len(got[0].Charges) == 0 {
+		t.Fatal("no charges recorded")
+	}
+	perPhase := make(map[string]float64)
+	for _, c := range got[0].Charges {
+		if c.Phase == "" {
+			t.Errorf("charge %q not attributed to a phase", c.Label)
+		}
+		perPhase[c.Phase] += c.DurationMs
+	}
+	for _, ph := range got[0].Phases {
+		if perPhase[ph.Name] > ph.DurationMs+1e-9 {
+			t.Errorf("phase %q charges %.6f ms exceed phase %.6f ms", ph.Name, perPhase[ph.Name], ph.DurationMs)
+		}
+	}
+}
+
+func TestRecorderRecordsAbortedSessions(t *testing.T) {
+	p := tracePlatform(t)
+	rec := NewRecorder()
+	p.AddObserver(rec)
+	if _, err := p.RunSession(tracePAL("doomed"), core.SessionOptions{FailPhase: "skinit"}); !errors.Is(err, core.ErrFaultInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	got := rec.Sessions()
+	if len(got) != 1 {
+		t.Fatalf("recorded %d sessions, want 1", len(got))
+	}
+	if !strings.Contains(got[0].Error, "injected fault") {
+		t.Errorf("session error = %q", got[0].Error)
+	}
+	lastPhase := got[0].Phases[len(got[0].Phases)-1]
+	if lastPhase.Name != "skinit" || !strings.Contains(lastPhase.Error, "injected fault") {
+		t.Errorf("faulted phase not marked: %+v", lastPhase)
+	}
+}
+
+func TestRecorderWriteJSON(t *testing.T) {
+	p := tracePlatform(t)
+	rec := NewRecorder()
+	p.AddObserver(rec)
+	if _, err := p.RunSession(tracePAL("hello"), core.SessionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back []SessionSpan
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(back, rec.Sessions()) {
+		t.Error("WriteJSON round trip changed the spans")
+	}
+	// An empty recorder writes a valid empty array.
+	buf.Reset()
+	if err := NewRecorder().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty recorder wrote %q", buf.String())
+	}
+}
+
+func TestRenderTimelineZeroDurationPhase(t *testing.T) {
+	// A phase shorter than one cell still renders a visible bar.
+	res := &core.SessionResult{
+		Start: 0,
+		End:   100 * time.Millisecond,
+		Phases: []core.Phase{
+			{Name: "big", Start: 0, Duration: 100 * time.Millisecond},
+			{Name: "tiny", Start: 100 * time.Millisecond, Duration: 0},
+		},
+	}
+	out := RenderTimeline(res, 40)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "tiny") && !strings.Contains(line, "#") {
+			t.Errorf("zero-duration phase has no bar: %q", line)
+		}
+	}
+}
+
+func TestRenderChargesTieBreak(t *testing.T) {
+	// Equal-cost labels sort alphabetically, so output is deterministic.
+	charges := []simtime.Charge{
+		{Label: "b.op", Duration: time.Millisecond},
+		{Label: "a.op", Duration: time.Millisecond},
+	}
+	out := RenderCharges(charges)
+	if strings.Index(out, "a.op") > strings.Index(out, "b.op") {
+		t.Errorf("tie not broken alphabetically:\n%s", out)
+	}
+}

@@ -79,10 +79,3 @@ func RenderCharges(charges []simtime.Charge) string {
 	}
 	return b.String()
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
