@@ -4,6 +4,8 @@
 //
 //	flicker run      — run a demo PAL in a Flicker session and print the
 //	                   Figure 2 timeline and attestation values
+//	flicker serve    — run sessions while exposing /metrics (Prometheus),
+//	                   /stats (JSON), /events, and /healthz over HTTP
 //	flicker modules  — print the PAL module inventory (Figure 6) and TCB sizes
 //	flicker extract  — extract a function and its dependency closure from Go
 //	                   source into a standalone PAL file (Section 5.2 tool)
@@ -30,6 +32,8 @@ func main() {
 	switch os.Args[1] {
 	case "run":
 		cmdRun(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
 	case "modules":
 		cmdModules()
 	case "extract":
@@ -40,61 +44,45 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flicker <run|modules|extract> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: flicker <run|serve|modules|extract> [flags]")
 	os.Exit(2)
 }
 
-func cmdRun(args []string) {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	palName := fs.String("pal", "hello", "demo PAL: hello, echo, seal")
-	input := fs.String("input", "", "PAL input string")
-	profile := fs.String("profile", "broadcom", "latency profile: broadcom, infineon, future")
-	sandbox := fs.Bool("sandbox", false, "link the OS Protection module (ring-3 PAL)")
-	twoStage := fs.Bool("two-stage", false, "use the Section 7.2 optimized two-stage SLB")
-	traceJSON := fs.String("trace-json", "", "write session spans as JSON to this file (\"-\" for stdout)")
-	fs.Parse(args)
-
-	var prof *flicker.Profile
-	switch *profile {
+// profileByName resolves a latency-profile flag value.
+func profileByName(name string) (*flicker.Profile, error) {
+	switch name {
 	case "broadcom":
-		prof = flicker.ProfileBroadcom()
+		return flicker.ProfileBroadcom(), nil
 	case "infineon":
-		prof = flicker.ProfileInfineon()
+		return flicker.ProfileInfineon(), nil
 	case "future":
-		prof = flicker.ProfileFuture()
+		return flicker.ProfileFuture(), nil
 	default:
-		log.Fatalf("unknown profile %q", *profile)
+		return nil, fmt.Errorf("unknown profile %q", name)
 	}
-	p, err := flicker.NewPlatform(flicker.Config{Seed: "cli", Profile: prof})
-	if err != nil {
-		log.Fatal(err)
-	}
-	var rec *trace.Recorder
-	if *traceJSON != "" {
-		rec = trace.NewRecorder()
-		p.AddObserver(rec)
-	}
+}
 
-	var target flicker.PAL
-	switch *palName {
+// demoPAL builds one of the CLI's demo PALs by name.
+func demoPAL(name string) (flicker.PAL, error) {
+	switch name {
 	case "hello":
-		target = &flicker.PALFunc{
+		return &flicker.PALFunc{
 			PALName: "hello",
 			Binary:  flicker.DescriptorCode("hello", "1.0", nil, nil),
 			Fn: func(env *flicker.Env, in []byte) ([]byte, error) {
 				return []byte("Hello, world"), nil
 			},
-		}
+		}, nil
 	case "echo":
-		target = &flicker.PALFunc{
+		return &flicker.PALFunc{
 			PALName: "echo",
 			Binary:  flicker.DescriptorCode("echo", "1.0", nil, nil),
 			Fn: func(env *flicker.Env, in []byte) ([]byte, error) {
 				return append([]byte("echo: "), in...), nil
 			},
-		}
+		}, nil
 	case "seal":
-		target = &flicker.PALFunc{
+		return &flicker.PALFunc{
 			PALName: "seal",
 			Binary:  flicker.DescriptorCode("seal", "1.0", []string{"TPM Driver", "TPM Utilities"}, nil),
 			Fn: func(env *flicker.Env, in []byte) ([]byte, error) {
@@ -108,9 +96,39 @@ func cmdRun(args []string) {
 				}
 				return append([]byte("sealed+unsealed: "), back...), nil
 			},
-		}
+		}, nil
 	default:
-		log.Fatalf("unknown PAL %q (want hello, echo, seal)", *palName)
+		return nil, fmt.Errorf("unknown PAL %q (want hello, echo, seal)", name)
+	}
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	palName := fs.String("pal", "hello", "demo PAL: hello, echo, seal")
+	input := fs.String("input", "", "PAL input string")
+	profile := fs.String("profile", "broadcom", "latency profile: broadcom, infineon, future")
+	sandbox := fs.Bool("sandbox", false, "link the OS Protection module (ring-3 PAL)")
+	twoStage := fs.Bool("two-stage", false, "use the Section 7.2 optimized two-stage SLB")
+	traceJSON := fs.String("trace-json", "", "write session spans as JSON to this file (\"-\" for stdout)")
+	fs.Parse(args)
+
+	prof, err := profileByName(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := flicker.NewPlatform(flicker.Config{Seed: "cli", Profile: prof})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rec *trace.Recorder
+	if *traceJSON != "" {
+		rec = trace.NewRecorder()
+		p.AddObserver(rec)
+	}
+
+	target, err := demoPAL(*palName)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	nonce := flicker.SHA1Sum([]byte("cli-nonce"))

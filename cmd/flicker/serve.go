@@ -1,0 +1,149 @@
+// flicker serve: run Flicker sessions while exposing the platform's
+// observability surface over HTTP — Prometheus text exposition on /metrics,
+// a JSON view of Platform.Stats() plus the full registry on /stats, the
+// security event log on /events, and a liveness probe on /healthz.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"flicker"
+)
+
+// statsResponse is the /stats payload: session aggregates plus every metric
+// family in the registry.
+type statsResponse struct {
+	Sessions flicker.SessionStats    `json:"sessions"`
+	Metrics  flicker.MetricsSnapshot `json:"metrics"`
+}
+
+// healthResponse is the /healthz payload.
+type healthResponse struct {
+	Status   string `json:"status"`
+	Sessions int    `json:"sessions"`
+	Aborted  int    `json:"aborted"`
+}
+
+// newServeMux builds the exposition handler for a platform. Split out from
+// cmdServe so tests can drive it through httptest without binding a port.
+func newServeMux(p *flicker.Platform) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := p.Metrics.WritePrometheus(w); err != nil {
+			log.Printf("serve: /metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		writeJSON(w, statsResponse{Sessions: p.Stats(), Metrics: p.Metrics.Snapshot()})
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		events := p.Events.Events()
+		if events == nil {
+			events = []flicker.SecurityEvent{}
+		}
+		writeJSON(w, events)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		st := p.Stats()
+		writeJSON(w, healthResponse{Status: "ok", Sessions: st.Sessions, Aborted: st.Aborted})
+	})
+	return mux
+}
+
+// allowGet rejects non-read methods with 405.
+func allowGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return true
+	}
+	w.Header().Set("Allow", "GET, HEAD")
+	http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	return false
+}
+
+// writeJSON renders v as indented JSON.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("serve: encode: %v", err)
+	}
+}
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9464", "listen address (use :0 for an ephemeral port)")
+	palName := fs.String("pal", "hello", "demo PAL to run: hello, echo, seal")
+	input := fs.String("input", "serve", "PAL input string")
+	profile := fs.String("profile", "broadcom", "latency profile: broadcom, infineon, future")
+	warm := fs.Int("sessions", 3, "sessions to run before serving (populates the metrics)")
+	interval := fs.Duration("interval", 0, "keep running a session this often while serving (0 = only the warm-up sessions)")
+	fs.Parse(args)
+
+	prof, err := profileByName(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := flicker.NewPlatform(flicker.Config{Seed: "serve", Profile: prof})
+	if err != nil {
+		log.Fatal(err)
+	}
+	target, err := demoPAL(*palName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	runOnce := func() error {
+		nonce := flicker.SHA1Sum([]byte("serve-nonce"))
+		res, err := p.RunSession(target, flicker.SessionOptions{
+			Input: []byte(*input),
+			Nonce: &nonce,
+		})
+		if err != nil {
+			return err
+		}
+		return res.PALError
+	}
+	for i := 0; i < *warm; i++ {
+		if err := runOnce(); err != nil {
+			log.Fatalf("serve: warm-up session %d: %v", i+1, err)
+		}
+	}
+	if *interval > 0 {
+		go func() {
+			for range time.Tick(*interval) {
+				if err := runOnce(); err != nil {
+					log.Printf("serve: background session: %v", err)
+				}
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flicker serve: %d warm-up session(s) done; listening on http://%s\n",
+		*warm, ln.Addr())
+	fmt.Println("endpoints: /metrics (Prometheus), /stats (JSON), /events (JSON), /healthz")
+	log.Fatal(http.Serve(ln, newServeMux(p)))
+}

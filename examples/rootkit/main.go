@@ -57,6 +57,7 @@ func main() {
 	admin := rootkit.NewAdmin(ca.PublicKey(), []byte("admin"))
 	admin.AddKnownGood(known)
 	link := netsim.PaperLink(p.Clock) // 9.45 ms RTT, 12 hops away
+	link.Instrument(p.Metrics, "admin")
 
 	query := func(label string) *rootkit.Outcome {
 		t0 := p.Clock.Now()

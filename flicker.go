@@ -33,6 +33,7 @@ package flicker
 import (
 	"flicker/internal/attest"
 	"flicker/internal/core"
+	"flicker/internal/metrics"
 	"flicker/internal/pal"
 	"flicker/internal/palcrypto"
 	"flicker/internal/simtime"
@@ -79,6 +80,22 @@ type SessionMeta = core.SessionMeta
 // SessionStats aggregates sessions run on a platform: counts, per-phase
 // totals, and p50/max latency. Read with Platform.Stats().
 type SessionStats = core.SessionStats
+
+// MetricsRegistry is the platform-wide metrics registry (counters, gauges,
+// latency histograms) every simulated layer reports into. Access it via
+// Platform.Metrics; scrape with WritePrometheus or Snapshot.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is a point-in-time JSON-friendly view of a registry.
+type MetricsSnapshot = metrics.Snapshot
+
+// SecurityEventLog is the platform's bounded ring buffer of security-
+// relevant events (DEV violations, PCR-17 resets, locality faults, session
+// aborts). Access it via Platform.Events.
+type SecurityEventLog = metrics.EventLog
+
+// SecurityEvent is one entry in the security event log.
+type SecurityEvent = metrics.Event
 
 // ErrFaultInjected is returned by sessions aborted via
 // SessionOptions.FailPhase fault injection.

@@ -122,15 +122,22 @@ func (a *Admin) freshNonce() tpm.Digest {
 // report back, verify, compare against known-good hashes.
 func (a *Admin) Query(link *netsim.Link, host *Host, regions [][2]uint32) *Outcome {
 	nonce := a.freshNonce()
-	// Request: nonce + region list travel to the host.
-	link.Send(append(nonce[:], EncodeRegions(regions)...))
-	report, err := host.HandleQuery(regions, nonce)
-	if err != nil {
-		return &Outcome{Err: err}
+	var report *Report
+	var hostErr error
+	// Request: nonce + region list travel to the host; the response carries
+	// digest + attestation (signature + cert) back, sized like the real
+	// protocol messages. The link accounts both directions.
+	link.RoundTrip(append(nonce[:], EncodeRegions(regions)...), func([]byte) []byte {
+		report, hostErr = host.HandleQuery(regions, nonce)
+		if hostErr != nil {
+			return nil // error indication: an empty response frame
+		}
+		respSize := len(report.Digest) + len(report.Attestation.Signature) + len(report.Attestation.Cert.AIKPub)
+		return make([]byte, respSize)
+	})
+	if hostErr != nil {
+		return &Outcome{Err: hostErr}
 	}
-	// Response: digest + attestation (signature + cert) travel back.
-	respSize := len(report.Digest) + len(report.Attestation.Signature) + len(report.Attestation.Cert.AIKPub)
-	link.Send(make([]byte, respSize))
 	return a.VerifyReport(report, nonce, regions)
 }
 

@@ -61,10 +61,12 @@ func newFixture(t *testing.T) *fixture {
 		t.Fatal(err)
 	}
 	admin.AddKnownGood(known)
+	link := netsim.PaperLink(p.Clock)
+	link.Instrument(p.Metrics, "admin")
 	return &fixture{
 		host:  NewHost(p, tqd),
 		admin: admin,
-		link:  netsim.PaperLink(p.Clock),
+		link:  link,
 		p:     p,
 	}
 }
@@ -80,6 +82,14 @@ func TestCleanKernelPasses(t *testing.T) {
 	}
 	if !out.Clean {
 		t.Fatal("clean kernel reported dirty")
+	}
+	// The admin link's traffic landed in the platform's registry.
+	if st := f.link.Stats(); st.RoundTrips < 1 || st.BytesSent == 0 || st.BytesReceived == 0 {
+		t.Errorf("link stats not accounted: %+v", st)
+	}
+	rts := f.p.Metrics.Counter("flicker_net_roundtrips_total", "", "link")
+	if got := rts.With("admin").Value(); got < 1 {
+		t.Errorf("registry roundtrips = %v, want >= 1", got)
 	}
 }
 

@@ -134,8 +134,13 @@ func sumLabel(charges []simtime.Charge, label string) time.Duration {
 	return d
 }
 
-// paperRTTLink builds the 9.45 ms evaluation link.
-func paperRTTLink(p *core.Platform) *netsim.Link { return netsim.PaperLink(p.Clock) }
+// paperRTTLink builds the 9.45 ms evaluation link, accounted in the
+// platform's metrics registry as "verifier".
+func paperRTTLink(p *core.Platform) *netsim.Link {
+	l := netsim.PaperLink(p.Clock)
+	l.Instrument(p.Metrics, "verifier")
+	return l
+}
 
 // detectorPAL and detectionInput are shared by the multicore ablation.
 func detectorPAL() pal.PAL { return rootkit.NewDetectorPAL() }

@@ -1,0 +1,99 @@
+package core
+
+// The metrics bridge folds the session pipeline's observer events into the
+// platform's metrics registry, so session-level observability lands in the
+// same scrape as the hardware layers': session counts by pipeline and
+// outcome, per-phase simulated-duration histograms, per-phase abort counts,
+// and a live in-flight gauge. NewPlatform attaches one automatically.
+
+import (
+	"sync"
+	"time"
+
+	"flicker/internal/metrics"
+	"flicker/internal/simtime"
+)
+
+// metricsBridge implements Observer over a metrics.Registry and EventLog.
+type metricsBridge struct {
+	sessions   *metrics.CounterVec   // pipeline, result
+	phaseSecs  *metrics.HistogramVec // phase
+	aborts     *metrics.CounterVec   // phase
+	inFlight   *metrics.Gauge
+	events     *metrics.EventLog
+
+	mu    sync.Mutex
+	start map[uint64]sessionTrack // by session id
+}
+
+// sessionTrack carries per-session state between observer callbacks.
+type sessionTrack struct {
+	pipeline   string
+	phaseStart time.Duration
+	lastPhase  string // most recent phase to start (the abort site on failure)
+}
+
+// newMetricsBridge registers the session families on reg.
+func newMetricsBridge(reg *metrics.Registry, events *metrics.EventLog) *metricsBridge {
+	return &metricsBridge{
+		sessions: reg.Counter("flicker_sessions_total",
+			"Flicker sessions, by pipeline and outcome.", "pipeline", "result"),
+		phaseSecs: reg.Histogram("flicker_session_phase_seconds",
+			"Simulated duration of session pipeline phases.", nil, "phase"),
+		aborts: reg.Counter("flicker_session_aborts_total",
+			"Sessions aborted by an infrastructure failure, by the phase that failed.", "phase"),
+		inFlight: reg.Gauge("flicker_sessions_in_flight",
+			"Sessions currently between SessionStart and SessionEnd.").With(),
+		events: events,
+		start:  make(map[uint64]sessionTrack),
+	}
+}
+
+func (b *metricsBridge) SessionStart(m SessionMeta) {
+	b.mu.Lock()
+	b.start[m.ID] = sessionTrack{pipeline: m.Pipeline}
+	b.mu.Unlock()
+	b.inFlight.Inc()
+}
+
+func (b *metricsBridge) PhaseStart(sid uint64, phase string, at time.Duration) {
+	b.mu.Lock()
+	if tr, ok := b.start[sid]; ok {
+		tr.phaseStart = at
+		tr.lastPhase = phase
+		b.start[sid] = tr
+	}
+	b.mu.Unlock()
+}
+
+func (b *metricsBridge) Charge(sid uint64, phase string, c simtime.Charge) {}
+
+func (b *metricsBridge) PhaseEnd(sid uint64, phase string, at time.Duration, err error) {
+	b.mu.Lock()
+	tr, ok := b.start[sid]
+	b.mu.Unlock()
+	if ok {
+		b.phaseSecs.With(phase).ObserveDuration(at - tr.phaseStart)
+	}
+	if err != nil {
+		b.aborts.With(phase).Inc()
+	}
+}
+
+func (b *metricsBridge) SessionEnd(sid uint64, at time.Duration, err error) {
+	b.mu.Lock()
+	tr, ok := b.start[sid]
+	delete(b.start, sid)
+	b.mu.Unlock()
+	b.inFlight.Dec()
+	if !ok {
+		return
+	}
+	result := "ok"
+	if err != nil {
+		result = "aborted"
+		b.events.Record(metrics.EventSessionAbort,
+			"core: session aborted in phase "+tr.lastPhase+": "+err.Error())
+	}
+	b.sessions.With(tr.pipeline, result).Inc()
+}

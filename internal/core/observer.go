@@ -82,13 +82,18 @@ type SessionStats struct {
 	Sessions int
 	// Aborted counts sessions torn down by an infrastructure failure.
 	Aborted int
+	// AbortedByPhase breaks Aborted down by the phase that failed, so
+	// fault-matrix runs show where sessions die.
+	AbortedByPhase map[string]int
 	// ImageBuilds and ImageCacheHits account for the SLB image cache:
 	// builds is how many times an image was actually linked, hits how many
 	// sessions reused a cached one.
 	ImageBuilds    int
 	ImageCacheHits int
-	// PhaseTotal sums simulated time per phase name across all completed
-	// sessions.
+	// PhaseTotal sums simulated time per phase name across all sessions,
+	// including the partial phases of aborted ones (an aborted session's
+	// spent time is real platform time; dropping it would hide where
+	// fault-matrix runs burn their cycles).
 	PhaseTotal map[string]time.Duration
 	// Total is the summed simulated duration of all completed sessions;
 	// P50 and Max describe the per-session distribution.
@@ -104,9 +109,13 @@ func (p *Platform) Stats() SessionStats {
 	st := SessionStats{
 		Sessions:       len(p.sessionDurations),
 		Aborted:        p.sessionsAborted,
+		AbortedByPhase: make(map[string]int, len(p.abortsByPhase)),
 		ImageBuilds:    p.imageBuilds,
 		ImageCacheHits: p.imageCacheHits,
 		PhaseTotal:     make(map[string]time.Duration, len(p.phaseTotal)),
+	}
+	for k, v := range p.abortsByPhase {
+		st.AbortedByPhase[k] = v
 	}
 	for k, v := range p.phaseTotal {
 		st.PhaseTotal[k] = v
@@ -125,15 +134,23 @@ func (p *Platform) Stats() SessionStats {
 }
 
 // recordSession folds one finished session into the aggregate statistics.
+// Aborted sessions keep their phase attribution: the partial phases they ran
+// (including the failed one) count toward PhaseTotal, and the failing phase
+// is tallied in AbortedByPhase.
 func (p *Platform) recordSession(res *SessionResult, failure error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if failure != nil {
-		p.sessionsAborted++
-		return
-	}
-	p.sessionDurations = append(p.sessionDurations, res.Duration())
 	for _, ph := range res.Phases {
 		p.phaseTotal[ph.Name] += ph.Duration
 	}
+	if failure != nil {
+		p.sessionsAborted++
+		if n := len(res.Phases); n > 0 {
+			// runPhase records the failing phase before unwinding, so the
+			// last recorded phase is where the session died.
+			p.abortsByPhase[res.Phases[n-1].Name]++
+		}
+		return
+	}
+	p.sessionDurations = append(p.sessionDurations, res.Duration())
 }

@@ -300,8 +300,14 @@ func TestSessionStatsAggregation(t *testing.T) {
 		}
 		phaseSum += st.PhaseTotal[name]
 	}
-	if phaseSum != st.Total {
-		t.Errorf("phase totals sum to %v, sessions total %v", phaseSum, st.Total)
+	// PhaseTotal includes the aborted session's partial phases (accept
+	// through the failed skinit), so it exceeds the completed-sessions total
+	// by exactly that partial time.
+	if phaseSum <= st.Total {
+		t.Errorf("phase totals sum to %v, want > completed-sessions total %v (aborted partials must count)", phaseSum, st.Total)
+	}
+	if got := st.AbortedByPhase["skinit"]; got != 1 {
+		t.Errorf("AbortedByPhase[skinit] = %d, want 1 (have %v)", got, st.AbortedByPhase)
 	}
 	for i := 1; i < len(ids); i++ {
 		if ids[i] != ids[i-1]+1 {

@@ -14,6 +14,7 @@ import (
 	"flicker/internal/hw/cpu"
 	"flicker/internal/hw/tis"
 	"flicker/internal/kernel"
+	"flicker/internal/metrics"
 	"flicker/internal/pal"
 	"flicker/internal/palcrypto"
 	"flicker/internal/simtime"
@@ -50,6 +51,13 @@ type Platform struct {
 	Kernel  *kernel.Kernel
 	Mod     *flickermod.Module
 
+	// Metrics is the platform-wide registry every simulated layer reports
+	// into (TPM dispatch, TIS arbitration, DMA/DEV, SKINIT, sessions);
+	// `flicker serve` exposes it. Events is the bounded security event log
+	// (DEV violations, PCR-17 resets, locality faults, session aborts).
+	Metrics *metrics.Registry
+	Events  *metrics.EventLog
+
 	mu       sync.Mutex
 	registry map[tpm.Digest]*registeredPAL
 	seq      int
@@ -67,6 +75,7 @@ type Platform struct {
 	sessionDurations []time.Duration
 	phaseTotal       map[string]time.Duration
 	sessionsAborted  int
+	abortsByPhase    map[string]int
 
 	// sessionMu serializes Flicker sessions — classic and partitioned
 	// alike: the flicker-module owns a single SLB buffer and the machine
@@ -111,6 +120,8 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 	} else {
 		clock = simtime.New()
 	}
+	reg := metrics.NewRegistry()
+	events := metrics.NewEventLog(0).WithNow(clock.Now)
 	tp, err := tpm.New(clock, cfg.Profile, tpm.Options{
 		Seed:    []byte("tpm|" + cfg.Seed),
 		KeyBits: cfg.TPMKeyBits,
@@ -118,7 +129,9 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: TPM: %w", err)
 	}
+	tp.Instrument(reg, events)
 	bus := tis.NewBus(tp)
+	bus.Instrument(reg, events)
 	machine, err := cpu.NewMachine(clock, cfg.Profile, bus, cpu.Config{
 		Cores:   cfg.Cores,
 		MemSize: cfg.MemSize,
@@ -126,6 +139,8 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: machine: %w", err)
 	}
+	machine.Instrument(reg, events)
+	machine.Mem.Instrument(reg, events)
 	k, err := kernel.Boot(machine, clock, cfg.Profile, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("core: kernel: %w", err)
@@ -135,17 +150,21 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		return nil, fmt.Errorf("core: flicker-module: %w", err)
 	}
 	p := &Platform{
-		Clock:      clock,
-		Profile:    cfg.Profile,
-		TPM:        tp,
-		Bus:        bus,
-		Machine:    machine,
-		Kernel:     k,
-		Mod:        mod,
-		registry:   make(map[tpm.Digest]*registeredPAL),
-		imageCache: make(map[imageKey]*slb.Image),
-		phaseTotal: make(map[string]time.Duration),
+		Clock:         clock,
+		Profile:       cfg.Profile,
+		TPM:           tp,
+		Bus:           bus,
+		Machine:       machine,
+		Kernel:        k,
+		Mod:           mod,
+		Metrics:       reg,
+		Events:        events,
+		registry:      make(map[tpm.Digest]*registeredPAL),
+		imageCache:    make(map[imageKey]*slb.Image),
+		phaseTotal:    make(map[string]time.Duration),
+		abortsByPhase: make(map[string]int),
 	}
+	p.AddObserver(newMetricsBridge(reg, events))
 	mod.SetLauncher(p)
 	return p, nil
 }

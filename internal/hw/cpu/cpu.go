@@ -22,6 +22,7 @@ import (
 
 	"flicker/internal/hw/memory"
 	"flicker/internal/hw/tis"
+	"flicker/internal/metrics"
 	"flicker/internal/palcrypto"
 	"flicker/internal/simtime"
 	"flicker/internal/tpm"
@@ -189,6 +190,11 @@ type Machine struct {
 	secureActive  bool
 	pendingIRQs   []int
 	secureStash   *SecureStash
+
+	// Late-launch instrumentation (see Instrument); always non-nil,
+	// detached until Instrument is called.
+	metSKINIT *metrics.CounterVec // variant, result
+	events    *metrics.EventLog
 }
 
 // Config describes a machine to construct.
@@ -222,7 +228,33 @@ func NewMachine(clock *simtime.Clock, profile *simtime.Profile, bus *tis.Bus, cf
 			segLimit:          uint32(cfg.MemSize - 1),
 		})
 	}
+	m.Instrument(nil, nil)
 	return m, nil
+}
+
+// Instrument points the machine's late-launch metrics at a registry and its
+// precondition violations at an event log. The metric family is:
+//
+//	flicker_skinit_attempts_total{variant,result} — variant classic|partitioned;
+//	result ok or the violated precondition (not-ring0, not-bsp, ap-not-init,
+//	active, bad-slb, dev-fault, measure-fault, no-multicore).
+func (m *Machine) Instrument(reg *metrics.Registry, events *metrics.EventLog) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.metSKINIT = reg.Counter("flicker_skinit_attempts_total",
+		"SKINIT attempts, by launch variant and outcome.", "variant", "result")
+	m.events = events
+}
+
+// recordSKINIT folds one late-launch attempt into the instruments.
+func (m *Machine) recordSKINIT(variant, result, detail string) {
+	m.mu.Lock()
+	met, ev := m.metSKINIT, m.events
+	m.mu.Unlock()
+	met.With(variant, result).Inc()
+	if result != "ok" {
+		ev.Record(metrics.EventSKINITFault, detail)
+	}
 }
 
 // Cores returns the machine's cores; index 0 is the BSP.
@@ -366,15 +398,19 @@ func (m *Machine) SKINIT(coreID int, slbBase uint32) (*LateLaunch, error) {
 
 	// Precondition: privileged instruction.
 	if core.Ring() != 0 {
+		m.recordSKINIT("classic", "not-ring0", "cpu: SKINIT from ring != 0")
 		return nil, errors.New("cpu: SKINIT is privileged (#GP: not ring 0)")
 	}
 	// Precondition: BSP only.
 	if !core.IsBSP {
+		m.recordSKINIT("classic", "not-bsp", fmt.Sprintf("cpu: SKINIT on AP %d", core.ID))
 		return nil, errors.New("cpu: SKINIT can only be run on the BSP")
 	}
 	// Precondition: every AP has accepted an INIT IPI.
 	for _, c := range m.cores[1:] {
 		if c.State() != CoreInitHalted {
+			m.recordSKINIT("classic", "ap-not-init",
+				fmt.Sprintf("cpu: SKINIT with AP %d %s", c.ID, c.State()))
 			return nil, fmt.Errorf("cpu: AP %d not in INIT state (is %s); SKINIT handshake would fail",
 				c.ID, c.State())
 		}
@@ -382,6 +418,7 @@ func (m *Machine) SKINIT(coreID int, slbBase uint32) (*LateLaunch, error) {
 	m.mu.Lock()
 	if m.secureActive {
 		m.mu.Unlock()
+		m.recordSKINIT("classic", "active", "cpu: SKINIT while a late launch is active")
 		return nil, errors.New("cpu: late launch already active")
 	}
 	m.mu.Unlock()
@@ -389,14 +426,17 @@ func (m *Machine) SKINIT(coreID int, slbBase uint32) (*LateLaunch, error) {
 	// Read and validate the SLB header: length and entry point words.
 	hdr, err := m.Mem.Read(slbBase, 4)
 	if err != nil {
+		m.recordSKINIT("classic", "bad-slb", "cpu: SLB header unreadable")
 		return nil, fmt.Errorf("cpu: SLB header: %w", err)
 	}
 	length := binary.LittleEndian.Uint16(hdr[0:2])
 	entry := binary.LittleEndian.Uint16(hdr[2:4])
 	if length == 0 {
+		m.recordSKINIT("classic", "bad-slb", "cpu: SLB length is zero")
 		return nil, errors.New("cpu: SLB length is zero")
 	}
 	if entry >= length {
+		m.recordSKINIT("classic", "bad-slb", "cpu: SLB entry point beyond length")
 		return nil, fmt.Errorf("cpu: SLB entry point %#x beyond length %#x", entry, length)
 	}
 
@@ -409,6 +449,7 @@ func (m *Machine) SKINIT(coreID int, slbBase uint32) (*LateLaunch, error) {
 		devLen = m.Mem.Size() - int(slbBase)
 	}
 	if err := m.Mem.DEVProtect(slbBase, devLen); err != nil {
+		m.recordSKINIT("classic", "dev-fault", "cpu: DEV setup failed")
 		return nil, fmt.Errorf("cpu: DEV setup: %w", err)
 	}
 
@@ -428,11 +469,13 @@ func (m *Machine) SKINIT(coreID int, slbBase uint32) (*LateLaunch, error) {
 	slb, err := m.Mem.Read(slbBase, int(length))
 	if err != nil {
 		m.abortLaunch(core, slbBase, savedIF)
+		m.recordSKINIT("classic", "bad-slb", "cpu: SLB body unreadable")
 		return nil, fmt.Errorf("cpu: SLB read: %w", err)
 	}
 	pcr17, err := tpm.RunHashSequence(m.TPMBus, slb)
 	if err != nil {
 		m.abortLaunch(core, slbBase, savedIF)
+		m.recordSKINIT("classic", "measure-fault", "cpu: locality-4 SLB measurement failed")
 		return nil, fmt.Errorf("cpu: SLB measurement: %w", err)
 	}
 
@@ -440,6 +483,7 @@ func (m *Machine) SKINIT(coreID int, slbBase uint32) (*LateLaunch, error) {
 	core.SetPaging(false)
 	core.SetSegments(slbBase, uint32(SLBMaxLen-1))
 
+	m.recordSKINIT("classic", "ok", "")
 	var meas tpm.Digest
 	sum := palcrypto.SHA1Sum(slb)
 	copy(meas[:], sum[:])

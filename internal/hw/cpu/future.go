@@ -32,6 +32,7 @@ var ErrNoHWContext = errors.New("cpu: this hardware has no protected PAL context
 // profiles it fails and callers must use SKINIT with full OS suspension.
 func (m *Machine) SKINITPartitioned(coreID int, slbBase uint32) (*LateLaunch, error) {
 	if !m.profile.MulticoreIsolation {
+		m.recordSKINIT("partitioned", "no-multicore", "cpu: partitioned launch without hardware support")
 		return nil, ErrNoMulticoreIsolation
 	}
 	if coreID < 0 || coreID >= len(m.cores) {
@@ -39,25 +40,30 @@ func (m *Machine) SKINITPartitioned(coreID int, slbBase uint32) (*LateLaunch, er
 	}
 	core := m.cores[coreID]
 	if core.Ring() != 0 {
+		m.recordSKINIT("partitioned", "not-ring0", "cpu: SKINIT from ring != 0")
 		return nil, errors.New("cpu: SKINIT is privileged (#GP: not ring 0)")
 	}
 	m.mu.Lock()
 	if m.secureActive {
 		m.mu.Unlock()
+		m.recordSKINIT("partitioned", "active", "cpu: SKINIT while a late launch is active")
 		return nil, errors.New("cpu: late launch already active")
 	}
 	m.mu.Unlock()
 
 	hdr, err := m.Mem.Read(slbBase, 4)
 	if err != nil {
+		m.recordSKINIT("partitioned", "bad-slb", "cpu: SLB header unreadable")
 		return nil, fmt.Errorf("cpu: SLB header: %w", err)
 	}
 	length := binary.LittleEndian.Uint16(hdr[0:2])
 	entry := binary.LittleEndian.Uint16(hdr[2:4])
 	if length == 0 {
+		m.recordSKINIT("partitioned", "bad-slb", "cpu: SLB length is zero")
 		return nil, errors.New("cpu: SLB length is zero")
 	}
 	if entry >= length {
+		m.recordSKINIT("partitioned", "bad-slb", "cpu: SLB entry point beyond length")
 		return nil, fmt.Errorf("cpu: SLB entry point %#x beyond length %#x", entry, length)
 	}
 	devLen := SLBMaxLen
@@ -65,6 +71,7 @@ func (m *Machine) SKINITPartitioned(coreID int, slbBase uint32) (*LateLaunch, er
 		devLen = m.Mem.Size() - int(slbBase)
 	}
 	if err := m.Mem.DEVProtect(slbBase, devLen); err != nil {
+		m.recordSKINIT("partitioned", "dev-fault", "cpu: DEV setup failed")
 		return nil, fmt.Errorf("cpu: DEV setup: %w", err)
 	}
 	savedIF := core.InterruptsEnabled()
@@ -78,15 +85,18 @@ func (m *Machine) SKINITPartitioned(coreID int, slbBase uint32) (*LateLaunch, er
 	slbBytes, err := m.Mem.Read(slbBase, int(length))
 	if err != nil {
 		m.abortLaunch(core, slbBase, savedIF)
+		m.recordSKINIT("partitioned", "bad-slb", "cpu: SLB body unreadable")
 		return nil, fmt.Errorf("cpu: SLB read: %w", err)
 	}
 	pcr17, err := tpm.RunHashSequence(m.TPMBus, slbBytes)
 	if err != nil {
 		m.abortLaunch(core, slbBase, savedIF)
+		m.recordSKINIT("partitioned", "measure-fault", "cpu: locality-4 SLB measurement failed")
 		return nil, fmt.Errorf("cpu: SLB measurement: %w", err)
 	}
 	core.SetPaging(false)
 	core.SetSegments(slbBase, uint32(SLBMaxLen-1))
+	m.recordSKINIT("partitioned", "ok", "")
 	var meas tpm.Digest
 	sum := palcrypto.SHA1Sum(slbBytes)
 	copy(meas[:], sum[:])

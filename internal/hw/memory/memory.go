@@ -11,6 +11,8 @@ package memory
 import (
 	"fmt"
 	"sync"
+
+	"flicker/internal/metrics"
 )
 
 // PageSize is the size of a physical page; the DEV protects memory at page
@@ -24,6 +26,15 @@ type PhysMem struct {
 	mu   sync.RWMutex
 	data []byte
 	dev  []bool // one bit per page; true = DMA excluded
+
+	// DMA instrumentation (see Instrument); always non-nil, detached until
+	// Instrument is called. imu guards the pointers so Instrument does not
+	// race with in-flight transactions.
+	imu          sync.Mutex
+	metDMA       *metrics.CounterVec // device, op, result
+	metDMABytes  *metrics.CounterVec // device, op
+	metDEVBlocks *metrics.CounterVec // device, op
+	events       *metrics.EventLog
 }
 
 // New creates a physical memory of the given size (rounded up to a page).
@@ -32,9 +43,46 @@ func New(size int) *PhysMem {
 		panic("memory: non-positive size")
 	}
 	pages := (size + PageSize - 1) / PageSize
-	return &PhysMem{
+	m := &PhysMem{
 		data: make([]byte, pages*PageSize),
 		dev:  make([]bool, pages),
+	}
+	m.Instrument(nil, nil)
+	return m
+}
+
+// Instrument points the memory system's DMA metrics at a registry and its
+// DEV violations at an event log. The metric families are:
+//
+//	flicker_dma_transactions_total{device,op,result} — ok|dev-blocked|bad-range
+//	flicker_dma_bytes_total{device,op}               — bytes moved by completed DMA
+//	flicker_dev_violations_total{device,op}          — transactions the DEV rejected
+func (m *PhysMem) Instrument(reg *metrics.Registry, events *metrics.EventLog) {
+	m.imu.Lock()
+	defer m.imu.Unlock()
+	m.metDMA = reg.Counter("flicker_dma_transactions_total",
+		"Device DMA transactions, by device, direction, and outcome.", "device", "op", "result")
+	m.metDMABytes = reg.Counter("flicker_dma_bytes_total",
+		"Bytes moved by completed device DMA transactions.", "device", "op")
+	m.metDEVBlocks = reg.Counter("flicker_dev_violations_total",
+		"Device DMA transactions rejected by the Device Exclusion Vector.", "device", "op")
+	m.events = events
+}
+
+// recordDMA folds one device transaction into the instruments; result is
+// "ok", "dev-blocked", or "bad-range".
+func (m *PhysMem) recordDMA(device, op, result string, n int) {
+	m.imu.Lock()
+	dma, bytes, blocks, events := m.metDMA, m.metDMABytes, m.metDEVBlocks, m.events
+	m.imu.Unlock()
+	dma.With(device, op, result).Inc()
+	switch result {
+	case "ok":
+		bytes.With(device, op).Add(float64(n))
+	case "dev-blocked":
+		blocks.With(device, op).Inc()
+		events.Record(metrics.EventDEVViolation,
+			fmt.Sprintf("memory: DEV blocked DMA %s by %q (%d bytes)", op, device, n))
 	}
 }
 
@@ -160,12 +208,15 @@ func (m *PhysMem) DMARead(device string, addr uint32, n int) ([]byte, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if err := m.checkRange(addr, n); err != nil {
+		m.recordDMA(device, "read", "bad-range", n)
 		return nil, err
 	}
 	if n > 0 && m.devBlocks(addr, n) {
+		m.recordDMA(device, "read", "dev-blocked", n)
 		return nil, &AccessError{Addr: addr, Len: n,
 			Reason: fmt.Sprintf("DEV blocks DMA read by %q", device)}
 	}
+	m.recordDMA(device, "read", "ok", n)
 	out := make([]byte, n)
 	copy(out, m.data[addr:int(addr)+n])
 	return out, nil
@@ -176,12 +227,15 @@ func (m *PhysMem) DMAWrite(device string, addr uint32, b []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if err := m.checkRange(addr, len(b)); err != nil {
+		m.recordDMA(device, "write", "bad-range", len(b))
 		return err
 	}
 	if len(b) > 0 && m.devBlocks(addr, len(b)) {
+		m.recordDMA(device, "write", "dev-blocked", len(b))
 		return &AccessError{Addr: addr, Len: len(b),
 			Reason: fmt.Sprintf("DEV blocks DMA write by %q", device)}
 	}
+	m.recordDMA(device, "write", "ok", len(b))
 	copy(m.data[addr:], b)
 	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"testing"
 	"testing/quick"
+
+	"flicker/internal/metrics"
 )
 
 func TestNewRoundsUpToPage(t *testing.T) {
@@ -138,6 +140,48 @@ func TestDEVProtectedEdgeCases(t *testing.T) {
 	m.DEVProtect(0, PageSize)
 	if m.DEVProtected(0, 2*PageSize) {
 		t.Error("partially protected range reported fully protected")
+	}
+}
+
+func TestDEVBlockedDMAWriteCountsMetricOnce(t *testing.T) {
+	m := New(8 * PageSize)
+	reg := metrics.NewRegistry()
+	log := metrics.NewEventLog(0)
+	m.Instrument(reg, log)
+	nic := m.AttachDevice("nic")
+	if err := m.DEVProtect(0, PageSize); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := nic.Write(64, []byte{1, 2, 3}); err == nil {
+		t.Fatal("DEV failed to block the DMA write")
+	}
+	violations := reg.Counter("flicker_dev_violations_total", "", "device", "op")
+	if got := violations.With("nic", "write").Value(); got != 1 {
+		t.Errorf("dev-violation counter = %v, want exactly 1", got)
+	}
+	tx := reg.Counter("flicker_dma_transactions_total", "", "device", "op", "result")
+	if got := tx.With("nic", "write", "dev-blocked").Value(); got != 1 {
+		t.Errorf("dev-blocked transaction counter = %v, want exactly 1", got)
+	}
+	if got := tx.With("nic", "write", "ok").Value(); got != 0 {
+		t.Errorf("ok transaction counter = %v, want 0", got)
+	}
+	events := log.EventsByKind(metrics.EventDEVViolation)
+	if len(events) != 1 {
+		t.Fatalf("DEV-violation events = %d, want 1: %+v", len(events), events)
+	}
+
+	// A permitted DMA transaction counts bytes but no violation.
+	if err := nic.Write(uint32(4*PageSize), []byte{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	bytesMoved := reg.Counter("flicker_dma_bytes_total", "", "device", "op")
+	if got := bytesMoved.With("nic", "write").Value(); got != 2 {
+		t.Errorf("dma bytes = %v, want 2", got)
+	}
+	if got := violations.With("nic", "write").Value(); got != 1 {
+		t.Errorf("violation counter moved on permitted DMA: %v", got)
 	}
 }
 

@@ -9,7 +9,10 @@ package tis
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+
+	"flicker/internal/metrics"
 )
 
 // Locality identifies the privilege of the requester on the LPC bus.
@@ -40,6 +43,13 @@ type Bus struct {
 	tpm     Handler
 	active  Locality
 	claimed bool
+
+	// Locality-arbitration instrumentation (see Instrument); the vecs are
+	// always non-nil, detached until Instrument is called.
+	metRequests *metrics.CounterVec // locality, result
+	metReleases *metrics.CounterVec // locality, result
+	metSubmits  *metrics.CounterVec // locality, result
+	events      *metrics.EventLog
 }
 
 // ErrLocalityBusy is returned when a different locality holds the interface.
@@ -50,22 +60,52 @@ var ErrNotClaimed = errors.New("tis: locality has not requested use")
 
 // NewBus wraps a TPM command handler in TIS access arbitration.
 func NewBus(tpm Handler) *Bus {
-	return &Bus{tpm: tpm, active: -1}
+	b := &Bus{tpm: tpm, active: -1}
+	b.Instrument(nil, nil)
+	return b
 }
+
+// Instrument points the bus's locality-traffic metrics at a registry and its
+// locality faults at an event log. The metric families are:
+//
+//	flicker_tis_requests_total{locality,result}  — grabs: granted|busy|invalid
+//	flicker_tis_releases_total{locality,result}  — releases: ok|fault
+//	flicker_tis_submits_total{locality,result}   — submissions: ok|not-claimed
+func (b *Bus) Instrument(reg *metrics.Registry, events *metrics.EventLog) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.metRequests = reg.Counter("flicker_tis_requests_total",
+		"TIS locality grab attempts, by locality and arbitration result.", "locality", "result")
+	b.metReleases = reg.Counter("flicker_tis_releases_total",
+		"TIS locality releases, by locality and result.", "locality", "result")
+	b.metSubmits = reg.Counter("flicker_tis_submits_total",
+		"TPM command submissions through the TIS window, by locality and result.", "locality", "result")
+	b.events = events
+}
+
+// locLabel renders a locality (possibly invalid) as a metric label.
+func locLabel(l Locality) string { return strconv.Itoa(int(l)) }
 
 // RequestUse claims the interface for a locality. A higher locality can
 // seize the interface from a lower one (the TIS priority rule that lets
 // SKINIT's locality-4 traffic preempt the OS driver); equal or lower
 // localities must wait for a release.
 func (b *Bus) RequestUse(l Locality) error {
-	if !l.Valid() {
-		return fmt.Errorf("tis: invalid locality %d", l)
-	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if !l.Valid() {
+		b.metRequests.With(locLabel(l), "invalid").Inc()
+		b.events.Record(metrics.EventLocalityFault,
+			fmt.Sprintf("tis: grab with invalid locality %d", l))
+		return fmt.Errorf("tis: invalid locality %d", l)
+	}
 	if b.claimed && l <= b.active {
+		b.metRequests.With(locLabel(l), "busy").Inc()
+		b.events.Record(metrics.EventLocalityFault,
+			fmt.Sprintf("tis: locality %d grab rejected; locality %d holds the interface", l, b.active))
 		return ErrLocalityBusy
 	}
+	b.metRequests.With(locLabel(l), "granted").Inc()
 	b.active = l
 	b.claimed = true
 	return nil
@@ -76,8 +116,10 @@ func (b *Bus) Release(l Locality) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if !b.claimed || b.active != l {
+		b.metReleases.With(locLabel(l), "fault").Inc()
 		return fmt.Errorf("tis: locality %d does not hold the interface", l)
 	}
+	b.metReleases.With(locLabel(l), "ok").Inc()
 	b.claimed = false
 	b.active = -1
 	return nil
@@ -98,9 +140,13 @@ func (b *Bus) ActiveLocality() Locality {
 func (b *Bus) Submit(l Locality, cmd []byte) ([]byte, error) {
 	b.mu.Lock()
 	if !b.claimed || b.active != l {
+		b.metSubmits.With(locLabel(l), "not-claimed").Inc()
+		b.events.Record(metrics.EventLocalityFault,
+			fmt.Sprintf("tis: submit at locality %d without holding the interface", l))
 		b.mu.Unlock()
 		return nil, ErrNotClaimed
 	}
+	b.metSubmits.With(locLabel(l), "ok").Inc()
 	b.mu.Unlock()
 	return b.tpm.HandleCommand(l, cmd), nil
 }

@@ -3,6 +3,8 @@ package tis
 import (
 	"bytes"
 	"testing"
+
+	"flicker/internal/metrics"
 )
 
 // echoTPM is a trivial handler recording the locality of each command.
@@ -93,6 +95,59 @@ func TestInvalidLocality(t *testing.T) {
 	}
 	if Locality(-1).Valid() || Locality(5).Valid() {
 		t.Fatal("Valid() wrong for out-of-range localities")
+	}
+}
+
+func TestSubmitWithoutClaimCountsMetricOnce(t *testing.T) {
+	b := NewBus(&echoTPM{})
+	reg := metrics.NewRegistry()
+	log := metrics.NewEventLog(0)
+	b.Instrument(reg, log)
+
+	if _, err := b.Submit(Locality2, nil); err != ErrNotClaimed {
+		t.Fatalf("err = %v, want ErrNotClaimed", err)
+	}
+	submits := reg.Counter("flicker_tis_submits_total",
+		"", "locality", "result")
+	if got := submits.With("2", "not-claimed").Value(); got != 1 {
+		t.Errorf("not-claimed counter = %v, want exactly 1", got)
+	}
+	if got := submits.With("2", "ok").Value(); got != 0 {
+		t.Errorf("ok counter = %v, want 0", got)
+	}
+	faults := log.EventsByKind(metrics.EventLocalityFault)
+	if len(faults) != 1 {
+		t.Errorf("locality-fault events = %d, want 1: %+v", len(faults), faults)
+	}
+}
+
+func TestArbitrationMetrics(t *testing.T) {
+	b := NewBus(&echoTPM{})
+	reg := metrics.NewRegistry()
+	b.Instrument(reg, metrics.NewEventLog(0))
+
+	b.RequestUse(Locality0) // granted
+	b.RequestUse(Locality0) // busy (equal locality)
+	b.RequestUse(Locality4) // granted (seize)
+	b.Release(Locality0)    // fault (not the holder)
+	b.Release(Locality4)    // ok
+
+	requests := reg.Counter("flicker_tis_requests_total", "", "locality", "result")
+	releases := reg.Counter("flicker_tis_releases_total", "", "locality", "result")
+	for _, c := range []struct {
+		vec      *metrics.CounterVec
+		loc, res string
+		want     float64
+	}{
+		{requests, "0", "granted", 1},
+		{requests, "0", "busy", 1},
+		{requests, "4", "granted", 1},
+		{releases, "0", "fault", 1},
+		{releases, "4", "ok", 1},
+	} {
+		if got := c.vec.With(c.loc, c.res).Value(); got != c.want {
+			t.Errorf("locality %s result %s = %v, want %v", c.loc, c.res, got, c.want)
+		}
 	}
 }
 

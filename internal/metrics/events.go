@@ -1,0 +1,142 @@
+package metrics
+
+// The security event log: a bounded ring buffer of security-relevant
+// occurrences (DEV-blocked DMA, PCR-17 resets, locality faults, session
+// aborts, SKINIT precondition violations). The paper's adversary model
+// (Section 3.1) makes these the events a deployment must be able to audit;
+// tests and `flicker serve` query the log, and the hardware layers record
+// into it through the same nil-safe discipline as the registry.
+
+import (
+	"sync"
+	"time"
+)
+
+// Event kinds recorded by the platform layers.
+const (
+	// EventDEVViolation is a device DMA transaction rejected by the DEV.
+	EventDEVViolation = "dev-violation"
+	// EventPCR17Reset is a locality-4 hash-sequence start resetting the
+	// dynamic PCRs (the SKINIT measurement path).
+	EventPCR17Reset = "pcr17-reset"
+	// EventLocalityFault is a TIS access-arbitration rejection or a TPM
+	// command refused with a bad-locality result code.
+	EventLocalityFault = "locality-fault"
+	// EventSessionAbort is a session torn down by an infrastructure failure.
+	EventSessionAbort = "session-abort"
+	// EventSKINITFault is a rejected SKINIT (precondition violation).
+	EventSKINITFault = "skinit-fault"
+)
+
+// Event is one security-relevant occurrence.
+type Event struct {
+	// Seq is the monotonically increasing sequence number (1-based over the
+	// log's lifetime, so gaps at the front reveal ring-buffer eviction).
+	Seq uint64 `json:"seq"`
+	// At is the simulated time of the event (zero when the recording layer
+	// has no clock).
+	At time.Duration `json:"at_ns"`
+	// Kind is one of the Event* constants.
+	Kind string `json:"kind"`
+	// Detail is a human-readable description.
+	Detail string `json:"detail"`
+}
+
+// EventLog is a bounded ring buffer of Events, safe for concurrent use.
+// A nil *EventLog ignores records and reports no events.
+type EventLog struct {
+	mu    sync.Mutex
+	buf   []Event
+	start int // index of the oldest event
+	n     int // number of valid events
+	seq   uint64
+	now   func() time.Duration
+}
+
+// NewEventLog creates a log retaining the most recent cap events (cap <= 0
+// defaults to 256).
+func NewEventLog(cap int) *EventLog {
+	if cap <= 0 {
+		cap = 256
+	}
+	return &EventLog{buf: make([]Event, cap)}
+}
+
+// WithNow installs a simulated-time source used to stamp Event.At (the
+// platform passes its Clock.Now). Returns the log for chaining.
+func (l *EventLog) WithNow(now func() time.Duration) *EventLog {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	l.now = now
+	l.mu.Unlock()
+	return l
+}
+
+// Record appends an event, evicting the oldest when full.
+func (l *EventLog) Record(kind, detail string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	ev := Event{Seq: l.seq, Kind: kind, Detail: detail}
+	if l.now != nil {
+		ev.At = l.now()
+	}
+	if l.n < len(l.buf) {
+		l.buf[(l.start+l.n)%len(l.buf)] = ev
+		l.n++
+	} else {
+		l.buf[l.start] = ev
+		l.start = (l.start + 1) % len(l.buf)
+	}
+}
+
+// Events returns the retained events, oldest first.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.buf[(l.start+i)%len(l.buf)])
+	}
+	return out
+}
+
+// EventsByKind returns the retained events of one kind, oldest first.
+func (l *EventLog) EventsByKind(kind string) []Event {
+	var out []Event
+	for _, ev := range l.Events() {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// TotalRecorded returns how many events were ever recorded, including those
+// evicted by the ring buffer.
+func (l *EventLog) TotalRecorded() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}

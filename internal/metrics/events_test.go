@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventLogRing(t *testing.T) {
+	l := NewEventLog(3)
+	for i := 0; i < 5; i++ {
+		l.Record(EventDEVViolation, "v")
+	}
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d, want 3", len(evs))
+	}
+	// Oldest two were evicted: sequence numbers 3, 4, 5 remain in order.
+	for i, want := range []uint64{3, 4, 5} {
+		if evs[i].Seq != want {
+			t.Fatalf("evs[%d].Seq = %d, want %d", i, evs[i].Seq, want)
+		}
+	}
+	if got := l.TotalRecorded(); got != 5 {
+		t.Fatalf("TotalRecorded = %d, want 5", got)
+	}
+	if got := l.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+}
+
+func TestEventLogKindsAndNow(t *testing.T) {
+	now := 42 * time.Millisecond
+	l := NewEventLog(0).WithNow(func() time.Duration { return now })
+	l.Record(EventPCR17Reset, "skinit")
+	l.Record(EventLocalityFault, "busy")
+	l.Record(EventPCR17Reset, "skinit again")
+	resets := l.EventsByKind(EventPCR17Reset)
+	if len(resets) != 2 {
+		t.Fatalf("resets = %d, want 2", len(resets))
+	}
+	if resets[0].At != now {
+		t.Fatalf("At = %v, want %v", resets[0].At, now)
+	}
+}
+
+func TestNilEventLog(t *testing.T) {
+	var l *EventLog
+	l.Record(EventSessionAbort, "x") // must not panic
+	if l.Events() != nil || l.Len() != 0 || l.TotalRecorded() != 0 {
+		t.Fatal("nil log should report nothing")
+	}
+	if l.WithNow(func() time.Duration { return 0 }) != nil {
+		t.Fatal("nil WithNow should stay nil")
+	}
+}
+
+func TestEventLogConcurrency(t *testing.T) {
+	l := NewEventLog(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Record(EventDEVViolation, "hammer")
+				if i%50 == 0 {
+					l.Events()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.TotalRecorded(); got != 1600 {
+		t.Fatalf("TotalRecorded = %d, want 1600", got)
+	}
+	if got := l.Len(); got != 64 {
+		t.Fatalf("Len = %d, want 64", got)
+	}
+}

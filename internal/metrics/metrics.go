@@ -1,0 +1,329 @@
+// Package metrics is a dependency-free, concurrency-safe metrics registry
+// for the Flicker platform simulation: counters, gauges, and fixed-bucket
+// histograms, all supporting label pairs (TPM ordinal, device name, phase).
+//
+// The paper's evaluation (Section 7) is built on per-operation measurement —
+// TPM command latencies, SKINIT cost, session overhead. The registry is how
+// every layer of the simulation reports those measurements in a form an
+// external monitor can scrape: expose.go renders the Prometheus text format
+// and a JSON snapshot, and `flicker serve` puts both on an HTTP endpoint.
+//
+// All instruments are nil-safe: methods on a nil *Registry return detached
+// instruments that record into themselves but appear in no exposition, so
+// uninstrumented components cost one pointer and no branches at call sites.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind discriminates the metric families a registry holds.
+type Kind int
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String renders the kind as the Prometheus TYPE keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// DefaultLatencyBuckets are the fixed histogram bounds (in seconds) used for
+// every latency histogram in the simulation. They span the paper's measured
+// range: sub-millisecond SKINIT state changes up to the ~900 ms Unseal on
+// the Broadcom TPM (Table 4).
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Seconds converts a simulated duration to the float seconds histograms
+// observe (the Prometheus base unit).
+func Seconds(d time.Duration) float64 { return d.Seconds() }
+
+// Registry holds named metric families. The zero value is not usable; use
+// NewRegistry. A nil *Registry is usable everywhere and registers nothing.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// family is one named metric with its labeled series.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]*series
+	sorder []string
+}
+
+// series is one label-value combination of a family.
+type series struct {
+	labelValues []string
+
+	mu    sync.Mutex
+	value float64   // counter / gauge
+	count uint64    // histogram observations
+	sum   float64   // histogram sum
+	binds []uint64  // histogram cumulative-from-zero per-bound counts
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup returns the named family, creating it on first use. Re-registering
+// a name with a different kind or label arity panics: that is a programming
+// error, not a runtime condition.
+func (r *Registry) lookup(name, help string, kind Kind, buckets []float64, labels []string) *family {
+	if r == nil {
+		return &family{name: name, help: help, kind: kind, labels: labels,
+			buckets: buckets, series: make(map[string]*series)}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("metrics: %q re-registered as %v/%d labels (was %v/%d)",
+				name, kind, len(labels), f.kind, len(f.labels)))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels,
+		buckets: buckets, series: make(map[string]*series)}
+	r.families[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+// with returns the series for one label-value combination, creating it on
+// first use.
+func (f *family) with(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %q wants %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelValues: append([]string(nil), values...)}
+		if f.kind == KindHistogram {
+			s.binds = make([]uint64, len(f.buckets))
+		}
+		f.series[key] = s
+		f.sorder = append(f.sorder, key)
+	}
+	return s
+}
+
+// --- Counters ---------------------------------------------------------------
+
+// CounterVec is a counter family; With selects a labeled series.
+type CounterVec struct{ f *family }
+
+// Counter registers (or fetches) a counter family.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.lookup(name, help, KindCounter, nil, labels)}
+}
+
+// With returns the counter for the given label values (in declaration order).
+func (v *CounterVec) With(values ...string) *Counter {
+	return &Counter{s: v.f.with(values)}
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta (must be >= 0).
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		panic("metrics: counter decrease")
+	}
+	c.s.mu.Lock()
+	c.s.value += delta
+	c.s.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.s.value
+}
+
+// --- Gauges -----------------------------------------------------------------
+
+// GaugeVec is a gauge family; With selects a labeled series.
+type GaugeVec struct{ f *family }
+
+// Gauge registers (or fetches) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.lookup(name, help, KindGauge, nil, labels)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return &Gauge{s: v.f.with(values)}
+}
+
+// Gauge is a value that can move in both directions.
+type Gauge struct{ s *series }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	g.s.mu.Lock()
+	g.s.value = v
+	g.s.mu.Unlock()
+}
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta float64) {
+	g.s.mu.Lock()
+	g.s.value += delta
+	g.s.mu.Unlock()
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.s.mu.Lock()
+	defer g.s.mu.Unlock()
+	return g.s.value
+}
+
+// --- Histograms -------------------------------------------------------------
+
+// HistogramVec is a histogram family; With selects a labeled series.
+type HistogramVec struct{ f *family }
+
+// Histogram registers (or fetches) a histogram family with the given bucket
+// upper bounds (nil means DefaultLatencyBuckets). Bounds must be sorted
+// ascending; a terminal +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefaultLatencyBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: %q buckets not ascending", name))
+		}
+	}
+	return &HistogramVec{f: r.lookup(name, help, KindHistogram, buckets, labels)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return &Histogram{s: v.f.with(values), buckets: v.f.buckets}
+}
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct {
+	s       *series
+	buckets []float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.s.mu.Lock()
+	h.s.count++
+	h.s.sum += v
+	for i, b := range h.buckets {
+		if v <= b {
+			h.s.binds[i]++
+		}
+	}
+	h.s.mu.Unlock()
+}
+
+// ObserveDuration records a simulated duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(Seconds(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	return h.s.count
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	return h.s.sum
+}
+
+// snapshotFamilies returns the registry's families in registration order.
+func (r *Registry) snapshotFamilies() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.order))
+	for _, n := range r.order {
+		out = append(out, r.families[n])
+	}
+	return out
+}
+
+// snapshotSeries returns a family's series in first-use order.
+func (f *family) snapshotSeries() []*series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*series, 0, len(f.sorder))
+	for _, k := range f.sorder {
+		out = append(out, f.series[k])
+	}
+	return out
+}
+
+// labelPairs renders sorted name="value" pairs for exposition. %q escapes
+// quotes, backslashes, and newlines exactly as the Prometheus text format
+// requires.
+func labelPairs(names, values []string, extra ...string) string {
+	var parts []string
+	for i, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%q", n, values[i]))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		parts = append(parts, fmt.Sprintf("%s=%q", extra[i], extra[i+1]))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ",") + "}"
+}

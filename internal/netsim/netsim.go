@@ -6,13 +6,18 @@
 package netsim
 
 import (
+	"sync"
 	"time"
 
+	"flicker/internal/metrics"
 	"flicker/internal/simtime"
 )
 
 // Link is a bidirectional network path with fixed RTT and optional
-// per-byte serialization cost.
+// per-byte serialization cost. It accounts all traffic it carries
+// (round-trips, bytes in each direction, simulated wire time), so the
+// network cost of the distcomp/sshauth/ca application protocols is
+// measurable; Instrument folds the accounting into a metrics registry.
 type Link struct {
 	clock *simtime.Clock
 	// RTT is the round-trip time; one-way sends charge RTT/2.
@@ -20,11 +25,36 @@ type Link struct {
 	// PerByte charges serialization/transfer per payload byte (zero for a
 	// pure-latency link).
 	PerByte time.Duration
+
+	mu    sync.Mutex
+	stats LinkStats
+
+	// Traffic instrumentation (see Instrument); always non-nil, detached
+	// until Instrument is called.
+	metRoundTrips *metrics.Counter
+	metBytes      map[string]*metrics.Counter // direction -> counter
+	metWire       *metrics.Counter
+}
+
+// LinkStats is the cumulative traffic the link has carried.
+type LinkStats struct {
+	// RoundTrips counts completed RoundTrip exchanges.
+	RoundTrips int
+	// BytesSent and BytesReceived account payload bytes from the local
+	// platform's perspective (RoundTrip requests are sent, responses
+	// received; a bare Send counts as sent).
+	BytesSent     int64
+	BytesReceived int64
+	// WireTime is the summed simulated time the link charged for
+	// serialization and propagation.
+	WireTime time.Duration
 }
 
 // NewLink creates a link on the given clock.
 func NewLink(clock *simtime.Clock, rtt time.Duration, perByte time.Duration) *Link {
-	return &Link{clock: clock, RTT: rtt, PerByte: perByte}
+	l := &Link{clock: clock, RTT: rtt, PerByte: perByte}
+	l.Instrument(nil, "")
+	return l
 }
 
 // PaperLink returns the evaluation-section link: 9.45 ms average RTT.
@@ -32,19 +62,73 @@ func PaperLink(clock *simtime.Clock) *Link {
 	return NewLink(clock, simtime.FromMillis(9.45), 0)
 }
 
-// Send delivers a payload one way, charging half the RTT plus transfer
-// time, and returns a copy of the payload (as the remote end receives it).
-func (l *Link) Send(payload []byte) []byte {
-	l.clock.Advance(l.RTT/2+time.Duration(len(payload))*l.PerByte, "net.send")
+// Instrument folds the link's traffic accounting into a registry under the
+// given link name. The metric families are:
+//
+//	flicker_net_roundtrips_total{link}        — completed request/response pairs
+//	flicker_net_bytes_total{link,direction}   — payload bytes, sent|received
+//	flicker_net_wire_seconds_total{link}      — simulated serialization+propagation
+func (l *Link) Instrument(reg *metrics.Registry, name string) {
+	if name == "" {
+		name = "link"
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.metRoundTrips = reg.Counter("flicker_net_roundtrips_total",
+		"Completed request/response exchanges per link.", "link").With(name)
+	bytes := reg.Counter("flicker_net_bytes_total",
+		"Payload bytes carried per link and direction.", "link", "direction")
+	l.metBytes = map[string]*metrics.Counter{
+		"sent":     bytes.With(name, "sent"),
+		"received": bytes.With(name, "received"),
+	}
+	l.metWire = reg.Counter("flicker_net_wire_seconds_total",
+		"Simulated wire time charged per link.", "link").With(name)
+}
+
+// Stats returns a snapshot of the link's cumulative traffic.
+func (l *Link) Stats() LinkStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// transfer moves a payload one way, charging wire time and accounting the
+// traffic in the given direction ("sent" or "received").
+func (l *Link) transfer(payload []byte, direction string) []byte {
+	charged := l.clock.Advance(l.RTT/2+time.Duration(len(payload))*l.PerByte, "net.send")
+	l.mu.Lock()
+	if direction == "sent" {
+		l.stats.BytesSent += int64(len(payload))
+	} else {
+		l.stats.BytesReceived += int64(len(payload))
+	}
+	l.stats.WireTime += charged
+	bytes, wire := l.metBytes[direction], l.metWire
+	l.mu.Unlock()
+	bytes.Add(float64(len(payload)))
+	wire.Add(metrics.Seconds(charged))
 	out := make([]byte, len(payload))
 	copy(out, payload)
 	return out
 }
 
+// Send delivers a payload one way, charging half the RTT plus transfer
+// time, and returns a copy of the payload (as the remote end receives it).
+func (l *Link) Send(payload []byte) []byte {
+	return l.transfer(payload, "sent")
+}
+
 // RoundTrip models a request/response exchange: request out, handler runs,
 // response back. It returns the handler's response bytes.
 func (l *Link) RoundTrip(request []byte, handle func(req []byte) []byte) []byte {
-	req := l.Send(request)
+	req := l.transfer(request, "sent")
 	resp := handle(req)
-	return l.Send(resp)
+	out := l.transfer(resp, "received")
+	l.mu.Lock()
+	l.stats.RoundTrips++
+	rt := l.metRoundTrips
+	l.mu.Unlock()
+	rt.Inc()
+	return out
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"flicker/internal/metrics"
 	"flicker/internal/simtime"
 )
 
@@ -52,6 +53,50 @@ func TestRoundTrip(t *testing.T) {
 	}
 	if clock.Now() != 10*time.Millisecond { // 4 out + 2 work + 4 back
 		t.Fatalf("round trip consumed %v, want 10ms", clock.Now())
+	}
+}
+
+func TestLinkStatsAccounting(t *testing.T) {
+	clock := simtime.New()
+	l := NewLink(clock, 10*time.Millisecond, 0)
+	l.RoundTrip([]byte("1234"), func(req []byte) []byte {
+		return []byte("response!") // 9 bytes back
+	})
+	l.Send([]byte("xy"))
+	st := l.Stats()
+	if st.RoundTrips != 1 {
+		t.Errorf("RoundTrips = %d, want 1", st.RoundTrips)
+	}
+	if st.BytesSent != 4+2 || st.BytesReceived != 9 {
+		t.Errorf("bytes = %d sent / %d received, want 6 / 9", st.BytesSent, st.BytesReceived)
+	}
+	// Three one-way transfers at RTT/2 each.
+	if st.WireTime != 15*time.Millisecond {
+		t.Errorf("WireTime = %v, want 15ms", st.WireTime)
+	}
+}
+
+func TestLinkMetricsRegistration(t *testing.T) {
+	clock := simtime.New()
+	l := NewLink(clock, 4*time.Millisecond, 0)
+	reg := metrics.NewRegistry()
+	l.Instrument(reg, "verifier")
+	l.RoundTrip([]byte("abc"), func(req []byte) []byte { return req })
+
+	rts := reg.Counter("flicker_net_roundtrips_total", "", "link")
+	if got := rts.With("verifier").Value(); got != 1 {
+		t.Errorf("roundtrips counter = %v, want 1", got)
+	}
+	bytesC := reg.Counter("flicker_net_bytes_total", "", "link", "direction")
+	if got := bytesC.With("verifier", "sent").Value(); got != 3 {
+		t.Errorf("sent bytes counter = %v, want 3", got)
+	}
+	if got := bytesC.With("verifier", "received").Value(); got != 3 {
+		t.Errorf("received bytes counter = %v, want 3", got)
+	}
+	wire := reg.Counter("flicker_net_wire_seconds_total", "", "link")
+	if got := wire.With("verifier").Value(); got != 0.004 {
+		t.Errorf("wire seconds = %v, want 0.004", got)
 	}
 }
 

@@ -1,13 +1,33 @@
 package tpm
 
 import (
+	"strconv"
+
 	"flicker/internal/hw/tis"
+	"flicker/internal/metrics"
 	"flicker/internal/palcrypto"
 	"flicker/internal/simtime"
 )
 
-// dispatch executes one parsed command. Callers hold t.mu.
+// dispatch executes one parsed command and records its per-ordinal metrics:
+// a count labeled by result code, and the command's simulated latency (the
+// clock time its charges advanced — the quantity Section 7's tables report).
+// Callers hold t.mu.
 func (t *TPM) dispatch(loc tis.Locality, tag uint16, ord uint32, body []byte) ([]byte, uint32) {
+	start := t.clock.Now()
+	rbody, rc := t.dispatchOrdinal(loc, tag, ord, body)
+	name := OrdinalName(ord)
+	t.metCommands.With(name, strconv.FormatUint(uint64(rc), 10)).Inc()
+	t.metLatency.With(name).ObserveDuration(t.clock.Now() - start)
+	if rc == RCBadLocality {
+		t.events.Record(metrics.EventLocalityFault,
+			"tpm: "+name+" refused at locality "+strconv.Itoa(int(loc)))
+	}
+	return rbody, rc
+}
+
+// dispatchOrdinal is the ordinal switch behind dispatch.
+func (t *TPM) dispatchOrdinal(loc tis.Locality, tag uint16, ord uint32, body []byte) ([]byte, uint32) {
 	if t.needStartup && ord != OrdStartup {
 		return nil, RCInvalidPostInit
 	}
@@ -418,6 +438,8 @@ func (t *TPM) cmdHashStart(loc tis.Locality) ([]byte, uint32) {
 	for i := FirstDynamicPCR; i <= LastDynamicPCR; i++ {
 		t.pcrs[i] = Digest{}
 	}
+	t.events.Record(metrics.EventPCR17Reset,
+		"tpm: locality-4 hash sequence reset PCRs 17-23")
 	t.hashActive = true
 	t.hash = palcrypto.NewSHA1()
 	return nil, RCSuccess

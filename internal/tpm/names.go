@@ -1,0 +1,63 @@
+package tpm
+
+import "fmt"
+
+// OrdinalName returns the canonical short name of a TPM command ordinal, as
+// used for metric labels and diagnostics ("extend", "quote", "seal", ...).
+// Unknown ordinals render as their hex value so they stay distinguishable.
+func OrdinalName(ord uint32) string {
+	switch ord {
+	case OrdStartup:
+		return "startup"
+	case OrdOIAP:
+		return "oiap"
+	case OrdOSAP:
+		return "osap"
+	case OrdExtend:
+		return "extend"
+	case OrdPCRRead:
+		return "pcrread"
+	case OrdPCRReset:
+		return "pcrreset"
+	case OrdGetRandom:
+		return "getrandom"
+	case OrdGetCapability:
+		return "getcapability"
+	case OrdQuote:
+		return "quote"
+	case OrdSeal:
+		return "seal"
+	case OrdUnseal:
+		return "unseal"
+	case OrdMakeIdentity:
+		return "makeidentity"
+	case OrdLoadKey2:
+		return "loadkey2"
+	case OrdCreateWrapKey:
+		return "createwrapkey"
+	case OrdSign:
+		return "sign"
+	case OrdFlushSpecific:
+		return "flushspecific"
+	case OrdNVDefineSpace:
+		return "nvdefinespace"
+	case OrdNVWriteValue:
+		return "nvwritevalue"
+	case OrdNVReadValue:
+		return "nvreadvalue"
+	case OrdCreateCounter:
+		return "createcounter"
+	case OrdIncrementCounter:
+		return "incrementcounter"
+	case OrdReadCounter:
+		return "readcounter"
+	case OrdHashStart:
+		return "hashstart"
+	case OrdHashData:
+		return "hashdata"
+	case OrdHashEnd:
+		return "hashend"
+	default:
+		return fmt.Sprintf("0x%08X", ord)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"flicker/internal/hw/tis"
+	"flicker/internal/metrics"
 	"flicker/internal/palcrypto"
 	"flicker/internal/simtime"
 )
@@ -78,6 +79,13 @@ type TPM struct {
 	// command except TPM_Startup until the BIOS issues one (the v1.2
 	// post-init discipline).
 	needStartup bool
+
+	// Per-command instrumentation (see Instrument). The vecs are always
+	// non-nil — an uninstrumented TPM records into detached instruments.
+	metCommands  *metrics.CounterVec   // ordinal, code
+	metLatency   *metrics.HistogramVec // ordinal
+	metMalformed *metrics.Counter
+	events       *metrics.EventLog
 }
 
 type loadedKey struct {
@@ -132,7 +140,27 @@ func New(clock *simtime.Clock, profile *simtime.Profile, opts Options) (*TPM, er
 	t.nextCounter = 1
 	t.rebootLocked()
 	t.needStartup = false // New() plays the BIOS's TPM_Startup(ST_CLEAR)
+	t.Instrument(nil, nil)
 	return t, nil
+}
+
+// Instrument points the TPM's per-command metrics at a registry and its
+// security events at a log. Passing nil for either detaches that side (the
+// construction default). The metric families are:
+//
+//	flicker_tpm_commands_total{ordinal,code}  — dispatches by result code
+//	flicker_tpm_command_seconds{ordinal}      — simulated latency histogram
+//	flicker_tpm_malformed_total               — unparseable request frames
+func (t *TPM) Instrument(reg *metrics.Registry, events *metrics.EventLog) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.metCommands = reg.Counter("flicker_tpm_commands_total",
+		"TPM commands dispatched, by ordinal and result code.", "ordinal", "code")
+	t.metLatency = reg.Histogram("flicker_tpm_command_seconds",
+		"Simulated TPM command latency by ordinal.", nil, "ordinal")
+	t.metMalformed = reg.Counter("flicker_tpm_malformed_total",
+		"TPM request frames rejected before dispatch.").With()
+	t.events = events
 }
 
 // rebootLocked resets volatile state as a platform reset does.
@@ -213,15 +241,19 @@ func (t *TPM) compositeLocked(sel PCRSelection) Digest {
 // dispatches on the ordinal, and returns a response frame. Malformed input
 // never panics; it produces an error return code.
 func (t *TPM) HandleCommand(loc tis.Locality, cmd []byte) []byte {
+	// The real part is single-threaded: serialize the whole command, which
+	// also makes the instrument pointers safe against Instrument.
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	tag, ord, body, err := parseFrame(cmd)
 	if err != nil {
+		t.metMalformed.Inc()
 		return marshalResponse(tagRSPCommand, RCBadParameter, nil)
 	}
 	if tag != tagRQUCommand && tag != tagRQUAuth1 {
+		t.metMalformed.Inc()
 		return marshalResponse(tagRSPCommand, RCBadParameter, nil)
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	rbody, rc := t.dispatch(loc, tag, ord, body)
 	rtag := tagRSPCommand
 	if tag == tagRQUAuth1 && rc == RCSuccess {

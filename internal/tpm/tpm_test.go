@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"flicker/internal/hw/tis"
+	"flicker/internal/metrics"
 	"flicker/internal/palcrypto"
 	"flicker/internal/simtime"
 )
@@ -120,6 +121,52 @@ func TestSoftwareResetPCR20Locality(t *testing.T) {
 	}
 	if r.tpm.PCRValue(20) != (Digest{}) {
 		t.Fatal("PCR 20 not zero after reset")
+	}
+}
+
+func TestDispatchErrorCountsMetricOnce(t *testing.T) {
+	r := newRig(t)
+	reg := metrics.NewRegistry()
+	log := metrics.NewEventLog(0)
+	r.tpm.Instrument(reg, log)
+
+	// Locality 0 may not reset PCR 20: dispatch returns RCBadLocality (0x29).
+	if err := r.os.PCRReset(SelectPCRs(20)); !IsCode(err, RCBadLocality) {
+		t.Fatalf("err = %v, want bad locality", err)
+	}
+	commands := reg.Counter("flicker_tpm_commands_total", "", "ordinal", "code")
+	if got := commands.With("pcrreset", "41").Value(); got != 1 {
+		t.Errorf("pcrreset/41 counter = %v, want exactly 1", got)
+	}
+	if got := commands.With("pcrreset", "0").Value(); got != 0 {
+		t.Errorf("pcrreset/0 counter = %v, want 0", got)
+	}
+	// The failed dispatch still consumed simulated time: one latency sample.
+	latency := reg.Histogram("flicker_tpm_command_seconds", "", nil, "ordinal")
+	if got := latency.With("pcrreset").Count(); got != 1 {
+		t.Errorf("pcrreset latency samples = %d, want 1", got)
+	}
+	if faults := log.EventsByKind(metrics.EventLocalityFault); len(faults) != 1 {
+		t.Errorf("locality-fault events = %d, want 1", len(faults))
+	}
+
+	// A successful command lands in the rc=0 series of its own ordinal.
+	if _, err := r.os.Extend(10, palcrypto.SHA1Sum([]byte("m"))); err != nil {
+		t.Fatal(err)
+	}
+	if got := commands.With("extend", "0").Value(); got != 1 {
+		t.Errorf("extend/0 counter = %v, want 1", got)
+	}
+}
+
+func TestHashStartRecordsPCR17ResetEvent(t *testing.T) {
+	r := newRig(t)
+	reg := metrics.NewRegistry()
+	log := metrics.NewEventLog(0)
+	r.tpm.Instrument(reg, log)
+	runHashSequence(t, r, []byte("slb bytes"))
+	if resets := log.EventsByKind(metrics.EventPCR17Reset); len(resets) != 1 {
+		t.Fatalf("pcr17-reset events = %d, want 1", len(resets))
 	}
 }
 
