@@ -16,6 +16,8 @@ package flicker
 //	go run ./cmd/benchtables
 
 import (
+	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -316,6 +318,94 @@ func BenchmarkSessionThroughput(b *testing.B) {
 			return p.RunSessionConcurrent(hello, SessionOptions{})
 		})
 	})
+}
+
+// BenchmarkPoolThroughput measures aggregate sessions/second through the
+// sharded pool at 1 and 4 shards. Each platform serializes its sessions, so
+// the pool's speedup comes from running independent platforms side by side;
+// distinct PAL names exercise the affinity router so every shard stays warm
+// for its own PALs.
+//
+// Two variants: "cpu" runs pure-simulation sessions (scales with physical
+// cores — on a single-core host the shards time-slice and aggregate
+// throughput stays flat), and "paced" emulates device-paced sessions where
+// each PAL blocks on real hardware latency for ~200µs, the regime the pool
+// exists for: independent platforms overlap their devices' wait time, so
+// 4 shards sustain ~4× the sessions/s of 1 on any core count.
+func BenchmarkPoolThroughput(b *testing.B) {
+	makePALs := func(fn func(env *Env, input []byte) ([]byte, error)) []PAL {
+		pals := make([]PAL, 8)
+		for i := range pals {
+			name := "pal-" + string(rune('a'+i))
+			pals[i] = &PALFunc{
+				PALName: name,
+				Binary:  DescriptorCode(name, "1.0", nil, nil),
+				Fn:      fn,
+			}
+		}
+		return pals
+	}
+	run := func(b *testing.B, shards int, pals []PAL) {
+		pool, err := NewPool(PoolConfig{
+			Shards:   shards,
+			QueueLen: 4,
+			Platform: Config{Seed: "bench-pool", Profile: ProfileFuture()},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pool.Close()
+		// Warm every PAL's home shard so the measured loop runs with hot
+		// image and measurement caches, as the classic benchmark does.
+		for _, pl := range pals {
+			if _, err := pool.Run(pl, SessionOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Enough concurrent submitters to keep 4 shards fed even when
+		// GOMAXPROCS is low (RunParallel spawns GOMAXPROCS×parallelism
+		// goroutines; parallelism does not inherit across b.Run).
+		b.SetParallelism(8)
+		b.ResetTimer()
+		start := nowSeconds()
+		var n atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			i := int(n.Add(1))
+			for pb.Next() {
+				res, err := pool.Run(pals[i%len(pals)], SessionOptions{})
+				if err != nil || res.PALError != nil {
+					b.Errorf("%v %v", err, res.PALError)
+					return
+				}
+				i++
+			}
+		})
+		b.StopTimer()
+		if dt := nowSeconds() - start; dt > 0 {
+			b.ReportMetric(float64(b.N)/dt, "sessions/s")
+		}
+	}
+	quick := func(env *Env, input []byte) ([]byte, error) {
+		return []byte("ok"), nil
+	}
+	// paced emulates a PAL whose session is dominated by real device latency
+	// (a hardware TPM takes hundreds of ms per SKINIT; scaled down here to
+	// keep the benchmark quick). The sleep happens inside the session, so a
+	// shard's worker is occupied but its CPU is free for other shards.
+	paced := func(env *Env, input []byte) ([]byte, error) {
+		time.Sleep(200 * time.Microsecond)
+		return []byte("ok"), nil
+	}
+	for _, bc := range []struct {
+		name string
+		fn   func(env *Env, input []byte) ([]byte, error)
+	}{{"cpu", quick}, {"paced", paced}} {
+		for _, shards := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/shards=%d", bc.name, shards), func(b *testing.B) {
+				run(b, shards, makePALs(bc.fn))
+			})
+		}
+	}
 }
 
 func nowSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }

@@ -1,0 +1,201 @@
+// benchsessions measures session-hot-path throughput — classic, partitioned,
+// and the sharded pool — and writes a machine-readable BENCH_sessions.json so
+// CI can track the perf trajectory PR-over-PR.
+//
+// Unlike the go-test benchmarks (which report to the console), this tool is
+// the artifact emitter: fixed iteration counts, wall-clock sessions/s, and
+// allocations per session measured from runtime.MemStats.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"flicker"
+)
+
+// modeResult is one benchmark mode's measurements.
+type modeResult struct {
+	Sessions       int     `json:"sessions"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	BytesPerOp     float64 `json:"bytes_per_op"`
+}
+
+// reportFile is the BENCH_sessions.json schema.
+type reportFile struct {
+	GeneratedUnix int64                 `json:"generated_unix"`
+	GoVersion     string                `json:"go_version"`
+	GOMAXPROCS    int                   `json:"gomaxprocs"`
+	Modes         map[string]modeResult `json:"modes"`
+}
+
+func demoPAL(name string) flicker.PAL {
+	return &flicker.PALFunc{
+		PALName: name,
+		Binary:  flicker.DescriptorCode(name, "1.0", nil, nil),
+		Fn: func(env *flicker.Env, input []byte) ([]byte, error) {
+			return []byte("ok"), nil
+		},
+	}
+}
+
+// measure runs fn n times and returns wall time plus per-op allocation stats.
+func measure(n int, fn func() error) (modeResult, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := fn(); err != nil {
+			return modeResult{}, err
+		}
+	}
+	dt := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return modeResult{
+		Sessions:       n,
+		NsPerOp:        float64(dt.Nanoseconds()) / float64(n),
+		SessionsPerSec: float64(n) / dt.Seconds(),
+		AllocsPerOp:    float64(after.Mallocs-before.Mallocs) / float64(n),
+		BytesPerOp:     float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+	}, nil
+}
+
+// runPlatform benchmarks one session flavour on a fresh platform, warming the
+// image and measurement caches first so the steady state is what's measured.
+func runPlatform(n int, run func(p *flicker.Platform) error) (modeResult, error) {
+	p, err := flicker.NewPlatform(flicker.Config{Seed: "benchsessions", Profile: flicker.ProfileFuture()})
+	if err != nil {
+		return modeResult{}, err
+	}
+	if err := run(p); err != nil {
+		return modeResult{}, err
+	}
+	return measure(n, func() error { return run(p) })
+}
+
+// runPool benchmarks aggregate pool throughput with 8 concurrent submitters
+// spreading 8 PAL names over the shards.
+func runPool(n, shards int) (modeResult, error) {
+	pool, err := flicker.NewPool(flicker.PoolConfig{
+		Shards:   shards,
+		QueueLen: 4,
+		Platform: flicker.Config{Seed: "benchsessions-pool", Profile: flicker.ProfileFuture()},
+	})
+	if err != nil {
+		return modeResult{}, err
+	}
+	defer pool.Close()
+	pals := make([]flicker.PAL, 8)
+	for i := range pals {
+		pals[i] = demoPAL(fmt.Sprintf("pal-%c", 'a'+i))
+	}
+	for _, pl := range pals {
+		if _, err := pool.Run(pl, flicker.SessionOptions{}); err != nil {
+			return modeResult{}, err
+		}
+	}
+	const submitters = 8
+	return measure(1, func() error {
+		var wg sync.WaitGroup
+		errs := make(chan error, submitters)
+		for w := 0; w < submitters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < n; i += submitters {
+					res, err := pool.Run(pals[i%len(pals)], flicker.SessionOptions{})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if res.PALError != nil {
+						errs <- res.PALError
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		return <-errs
+	})
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sessions.json", "output path")
+	n := flag.Int("n", 2000, "sessions per mode")
+	flag.Parse()
+
+	hello := demoPAL("hello")
+	report := reportFile{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Modes:         map[string]modeResult{},
+	}
+
+	classic, err := runPlatform(*n, func(p *flicker.Platform) error {
+		res, err := p.RunSession(hello, flicker.SessionOptions{})
+		if err != nil {
+			return err
+		}
+		return res.PALError
+	})
+	if err != nil {
+		log.Fatalf("classic: %v", err)
+	}
+	report.Modes["classic"] = classic
+
+	partitioned, err := runPlatform(*n, func(p *flicker.Platform) error {
+		res, err := p.RunSessionConcurrent(hello, flicker.SessionOptions{})
+		if err != nil {
+			return err
+		}
+		return res.PALError
+	})
+	if err != nil {
+		log.Fatalf("partitioned: %v", err)
+	}
+	report.Modes["partitioned"] = partitioned
+
+	for _, shards := range []int{1, 4} {
+		r, err := runPool(*n, shards)
+		if err != nil {
+			log.Fatalf("pool shards=%d: %v", shards, err)
+		}
+		// measure ran the whole batch as one op; rescale to per-session.
+		r.Sessions = *n
+		r.NsPerOp /= float64(*n)
+		r.SessionsPerSec = float64(*n) * r.SessionsPerSec
+		r.AllocsPerOp /= float64(*n)
+		r.BytesPerOp /= float64(*n)
+		report.Modes[fmt.Sprintf("pool_shards%d", shards)] = r
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	for name, m := range report.Modes {
+		fmt.Printf("%-14s %10.0f sessions/s  %7.1f allocs/op  %9.0f B/op\n",
+			name, m.SessionsPerSec, m.AllocsPerOp, m.BytesPerOp)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -28,6 +28,56 @@ type healthResponse struct {
 	Status   string `json:"status"`
 	Sessions int    `json:"sessions"`
 	Aborted  int    `json:"aborted"`
+	Shards   int    `json:"shards,omitempty"`
+}
+
+// poolStatsResponse is the /stats payload in sharded mode: fleet-level
+// aggregates plus the shared registry.
+type poolStatsResponse struct {
+	Pool    flicker.PoolStats       `json:"pool"`
+	Metrics flicker.MetricsSnapshot `json:"metrics"`
+}
+
+// newPoolServeMux is newServeMux for a sharded pool: the same endpoint
+// surface, backed by the shared registry and event log all shards fold
+// into.
+func newPoolServeMux(p *flicker.Pool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := p.Metrics().WritePrometheus(w); err != nil {
+			log.Printf("serve: /metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		writeJSON(w, poolStatsResponse{Pool: p.Stats(), Metrics: p.Metrics().Snapshot()})
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		events := p.Events().Events()
+		if events == nil {
+			events = []flicker.SecurityEvent{}
+		}
+		writeJSON(w, events)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		st := p.Stats()
+		writeJSON(w, healthResponse{
+			Status: "ok", Sessions: st.Sessions, Aborted: st.Aborted, Shards: st.Shards,
+		})
+	})
+	return mux
 }
 
 // newServeMux builds the exposition handler for a platform. Split out from
@@ -97,13 +147,10 @@ func cmdServe(args []string) {
 	profile := fs.String("profile", "broadcom", "latency profile: broadcom, infineon, future")
 	warm := fs.Int("sessions", 3, "sessions to run before serving (populates the metrics)")
 	interval := fs.Duration("interval", 0, "keep running a session this often while serving (0 = only the warm-up sessions)")
+	shards := fs.Int("shards", 1, "number of independent platforms behind a session pool (1 = single platform)")
 	fs.Parse(args)
 
 	prof, err := profileByName(*profile)
-	if err != nil {
-		log.Fatal(err)
-	}
-	p, err := flicker.NewPlatform(flicker.Config{Seed: "serve", Profile: prof})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -111,18 +158,46 @@ func cmdServe(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	nonce := flicker.SHA1Sum([]byte("serve-nonce"))
+	opts := flicker.SessionOptions{Input: []byte(*input), Nonce: &nonce}
 
-	runOnce := func() error {
-		nonce := flicker.SHA1Sum([]byte("serve-nonce"))
-		res, err := p.RunSession(target, flicker.SessionOptions{
-			Input: []byte(*input),
-			Nonce: &nonce,
+	// Single-platform and sharded-pool modes expose the same endpoints;
+	// sharded mode serves the shared registry all platforms fold into.
+	var (
+		runOnce func() error
+		mux     *http.ServeMux
+	)
+	if *shards > 1 {
+		pool, err := flicker.NewPool(flicker.PoolConfig{
+			Shards:   *shards,
+			Platform: flicker.Config{Seed: "serve", Profile: prof},
 		})
 		if err != nil {
-			return err
+			log.Fatal(err)
 		}
-		return res.PALError
+		runOnce = func() error {
+			res, err := pool.Run(target, opts)
+			if err != nil {
+				return err
+			}
+			return res.PALError
+		}
+		mux = newPoolServeMux(pool)
+	} else {
+		p, err := flicker.NewPlatform(flicker.Config{Seed: "serve", Profile: prof})
+		if err != nil {
+			log.Fatal(err)
+		}
+		runOnce = func() error {
+			res, err := p.RunSession(target, opts)
+			if err != nil {
+				return err
+			}
+			return res.PALError
+		}
+		mux = newServeMux(p)
 	}
+
 	for i := 0; i < *warm; i++ {
 		if err := runOnce(); err != nil {
 			log.Fatalf("serve: warm-up session %d: %v", i+1, err)
@@ -142,8 +217,8 @@ func cmdServe(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("flicker serve: %d warm-up session(s) done; listening on http://%s\n",
-		*warm, ln.Addr())
+	fmt.Printf("flicker serve: %d warm-up session(s) done on %d shard(s); listening on http://%s\n",
+		*warm, *shards, ln.Addr())
 	fmt.Println("endpoints: /metrics (Prometheus), /stats (JSON), /events (JSON), /healthz")
-	log.Fatal(http.Serve(ln, newServeMux(p)))
+	log.Fatal(http.Serve(ln, mux))
 }

@@ -129,3 +129,87 @@ func TestServeRejectsWrites(t *testing.T) {
 		t.Fatalf("POST /metrics = %d, want 405", rec.Code)
 	}
 }
+
+// servePool boots a sharded pool and runs a few demo sessions through it.
+func servePool(t *testing.T, shards, sessions int) *flicker.Pool {
+	t.Helper()
+	pool, err := flicker.NewPool(flicker.PoolConfig{
+		Shards:   shards,
+		Platform: flicker.Config{Seed: "serve-pool-test"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pool.Close() })
+	target, err := demoPAL("hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sessions; i++ {
+		res, err := pool.Run(target, flicker.SessionOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PALError != nil {
+			t.Fatal(res.PALError)
+		}
+	}
+	return pool
+}
+
+func TestServePoolEndpoints(t *testing.T) {
+	mux := newPoolServeMux(servePool(t, 3, 4))
+
+	rec := get(t, mux, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, family := range []string{
+		"flicker_pool_submissions_total",
+		"flicker_sessions_total",
+		"flicker_tpm_commands_total",
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("pool /metrics missing family %q", family)
+		}
+	}
+
+	rec = get(t, mux, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /stats = %d, want 200", rec.Code)
+	}
+	var stats poolStatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("decode pool /stats: %v", err)
+	}
+	if stats.Pool.Shards != 3 || stats.Pool.Sessions != 4 {
+		t.Errorf("pool stats = %+v, want 3 shards / 4 sessions", stats.Pool)
+	}
+	if len(stats.Pool.PerShard) != 3 {
+		t.Errorf("per-shard stats = %d entries, want 3", len(stats.Pool.PerShard))
+	}
+
+	rec = get(t, mux, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200", rec.Code)
+	}
+	var health healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatalf("decode pool /healthz: %v", err)
+	}
+	if health.Status != "ok" || health.Sessions != 4 || health.Shards != 3 {
+		t.Errorf("pool healthz = %+v, want ok/4 sessions/3 shards", health)
+	}
+
+	rec = get(t, mux, "/events")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /events = %d, want 200", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/stats", strings.NewReader("x")))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST pool /stats = %d, want 405", rec.Code)
+	}
+}

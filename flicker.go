@@ -36,6 +36,7 @@ import (
 	"flicker/internal/metrics"
 	"flicker/internal/pal"
 	"flicker/internal/palcrypto"
+	"flicker/internal/pool"
 	"flicker/internal/simtime"
 	"flicker/internal/slb"
 	"flicker/internal/tpm"
@@ -100,6 +101,28 @@ type SecurityEvent = metrics.Event
 // ErrFaultInjected is returned by sessions aborted via
 // SessionOptions.FailPhase fault injection.
 var ErrFaultInjected = core.ErrFaultInjected
+
+// Pool is a sharded session pool: N independent platforms behind one Run
+// API with PAL-affinity routing, bounded queues with backpressure, and
+// graceful drain on Close. All shards share one metrics registry and
+// security event log.
+type Pool = pool.Pool
+
+// PoolConfig describes a session pool.
+type PoolConfig = pool.Config
+
+// PoolStats aggregates sessions across a pool's shards.
+type PoolStats = pool.Stats
+
+// NewPool boots a pool of cfg.Shards platforms.
+func NewPool(cfg PoolConfig) (*Pool, error) { return pool.New(cfg) }
+
+// ErrPoolClosed is returned by Pool.Run/TryRun after Close has begun.
+var ErrPoolClosed = pool.ErrClosed
+
+// ErrPoolSaturated is returned by Pool.TryRun when every shard queue is
+// full.
+var ErrPoolSaturated = pool.ErrSaturated
 
 // DescriptorCode builds a deterministic PAL code identity from a name,
 // version, module list, and embedded configuration.

@@ -1,0 +1,194 @@
+package core
+
+// Security tests for the SKINIT measurement cache: the write-generation
+// invalidation must guarantee the cache never masks tampering. A staged SLB
+// corrupted through a CPU store or a DMA transaction after warm (cached)
+// sessions must produce a different PCR 17 — attestation fails exactly as
+// it would on the uncached path — and an undisturbed warm session must
+// produce bit-identical measurements to the cold one.
+
+import (
+	"testing"
+
+	"flicker/internal/metrics"
+)
+
+// counterValue sums a labeled counter family's series matching the given
+// label value (any label position).
+func counterValue(reg *metrics.Registry, family, labelValue string) float64 {
+	var total float64
+	for _, f := range reg.Snapshot().Families {
+		if f.Name != family {
+			continue
+		}
+		for _, s := range f.Series {
+			for _, v := range s.Labels {
+				if v == labelValue {
+					total += s.Value
+					break
+				}
+			}
+		}
+	}
+	return total
+}
+
+// TestMeasureCacheHitBitIdentical runs the same PAL twice: the first launch
+// misses the cache and streams the SLB, the second hits and uses the
+// precomputed digest. Every attestation-visible value must match exactly.
+func TestMeasureCacheHitBitIdentical(t *testing.T) {
+	p := newPlatform(t)
+	nonce := palcrypto20(t, "cache-nonce")
+	opts := SessionOptions{Input: []byte("in"), Nonce: &nonce}
+
+	cold, err := p.RunSession(helloPAL(), opts)
+	if err != nil || cold.PALError != nil {
+		t.Fatalf("cold session: %v %v", err, cold.PALError)
+	}
+	misses := counterValue(p.Metrics, "flicker_skinit_measure_cache_total", "miss")
+	if misses == 0 {
+		t.Fatal("cold launch did not record a measurement cache miss")
+	}
+
+	warm, err := p.RunSession(helloPAL(), opts)
+	if err != nil || warm.PALError != nil {
+		t.Fatalf("warm session: %v %v", err, warm.PALError)
+	}
+	hits := counterValue(p.Metrics, "flicker_skinit_measure_cache_total", "hit")
+	if hits == 0 {
+		t.Fatal("second launch of an unchanged image did not hit the measurement cache")
+	}
+
+	if warm.Measurement != cold.Measurement {
+		t.Errorf("cached Measurement %x != streamed %x", warm.Measurement, cold.Measurement)
+	}
+	if warm.PCR17AtLaunch != cold.PCR17AtLaunch {
+		t.Errorf("cached PCR17AtLaunch %x != streamed %x", warm.PCR17AtLaunch, cold.PCR17AtLaunch)
+	}
+	if warm.PCR17Final != cold.PCR17Final {
+		t.Errorf("cached PCR17Final %x != streamed %x", warm.PCR17Final, cold.PCR17Final)
+	}
+	// And both match the verifier's independent computation.
+	if want := cold.Image.ExpectedPCR17(); warm.PCR17AtLaunch != want {
+		t.Errorf("PCR17AtLaunch %x != verifier's expected %x", warm.PCR17AtLaunch, want)
+	}
+}
+
+func palcrypto20(t *testing.T, s string) [20]byte {
+	t.Helper()
+	var d [20]byte
+	copy(d[:], s)
+	return d
+}
+
+// tamperOffset is where the tamper tests flip bytes: inside the measured
+// SLB (the stack space region), where a corruption cannot derail header
+// parsing or PAL execution — only the measurement.
+const tamperOffset = 2048
+
+// runTamperedSession runs one session that corrupts the staged SLB between
+// init-slb and SKINIT (the window where a malicious flicker-module or
+// device would strike a warm image) using the given corrupt func.
+func runTamperedSession(t *testing.T, p *Platform, corrupt func(base uint32) error) *SessionResult {
+	t.Helper()
+	res, err := p.RunSession(helloPAL(), SessionOptions{
+		Injector: func(phase string) error {
+			if phase != "skinit" {
+				return nil
+			}
+			base, err := p.Mod.AllocateSLB()
+			if err != nil {
+				return err
+			}
+			return corrupt(base)
+		},
+	})
+	if err != nil {
+		t.Fatalf("tampered session aborted: %v", err)
+	}
+	return res
+}
+
+// TestTamperAfterWarmSessionChangesPCR17 corrupts the staged SLB via a
+// direct CPU write and, separately, via DMA — both after warm sessions have
+// populated the measurement cache — and asserts SKINIT measures the
+// corruption (different PCR 17) instead of replaying the cached digest.
+func TestTamperAfterWarmSessionChangesPCR17(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		corrupt func(p *Platform) func(base uint32) error
+	}{
+		{"cpu-write", func(p *Platform) func(base uint32) error {
+			return func(base uint32) error {
+				return p.Machine.Mem.Write(base+tamperOffset, []byte("rootkit"))
+			}
+		}},
+		{"dma-write", func(p *Platform) func(base uint32) error {
+			nic := p.Machine.Mem.AttachDevice("evil-nic")
+			return func(base uint32) error {
+				// SKINIT has not yet raised the DEV for this launch, so the
+				// malicious device's store lands — and bumps the region's
+				// write generation.
+				return nic.Write(base+tamperOffset, []byte("rootkit"))
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := newPlatform(t)
+			// Two clean sessions: the second one runs from the cache.
+			clean, err := p.RunSession(helloPAL(), SessionOptions{})
+			if err != nil || clean.PALError != nil {
+				t.Fatalf("clean session: %v %v", err, clean.PALError)
+			}
+			if _, err := p.RunSession(helloPAL(), SessionOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			if counterValue(p.Metrics, "flicker_skinit_measure_cache_total", "hit") == 0 {
+				t.Fatal("warm-up did not populate the measurement cache")
+			}
+
+			tampered := runTamperedSession(t, p, tc.corrupt(p))
+			if tampered.Measurement == clean.Measurement {
+				t.Error("tampered SLB produced the clean measurement — cache masked the corruption")
+			}
+			if tampered.PCR17AtLaunch == clean.PCR17AtLaunch {
+				t.Error("tampered SLB produced the clean PCR 17 — attestation would succeed")
+			}
+
+			// The cleanup scrub restores the pristine image, so the next
+			// clean session measures correctly again (and re-warms the cache).
+			recovered, err := p.RunSession(helloPAL(), SessionOptions{})
+			if err != nil || recovered.PALError != nil {
+				t.Fatalf("recovery session: %v %v", err, recovered.PALError)
+			}
+			if recovered.PCR17AtLaunch != clean.PCR17AtLaunch {
+				t.Errorf("post-tamper session PCR 17 %x, want clean %x",
+					recovered.PCR17AtLaunch, clean.PCR17AtLaunch)
+			}
+		})
+	}
+}
+
+// TestSessionAllocsRegression guards the allocation budget of the cached
+// hot path: a warm classic session must stay within budget so the per-
+// session garbage stays off the scale-out path.
+func TestSessionAllocsRegression(t *testing.T) {
+	p := newPlatform(t)
+	hello := helloPAL()
+	if _, err := p.RunSession(hello, SessionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		res, err := p.RunSession(hello, SessionOptions{})
+		if err != nil || res.PALError != nil {
+			t.Fatalf("%v %v", err, res.PALError)
+		}
+	})
+	// The seed ran ~167 allocs/op; the cached path runs well under 160.
+	// Budget with headroom so incidental churn does not flake, while a
+	// regression back to per-session image hashing or window copies trips.
+	const budget = 160
+	if avg > budget {
+		t.Errorf("warm session costs %.0f allocs, budget %d", avg, budget)
+	}
+}

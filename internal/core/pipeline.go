@@ -76,8 +76,14 @@ type sessionState struct {
 	// (and possibly PAL secrets); pcrOpen marks that PCR 17 holds an
 	// uncapped launch measurement. Both are cleared by the orderly cleanup
 	// and extend phases, or by the abort teardowns — whichever runs first.
+	// aborted is set just before the teardown sweep when the session failed:
+	// an aborted session blanket-zeroes the window even if the orderly
+	// cleanup already scrubbed it. windowWiped makes that zero idempotent
+	// across the launch and init-slb teardowns.
 	windowDirty bool
 	pcrOpen     bool
+	aborted     bool
+	windowWiped bool
 
 	teardowns []func(*sessionState)
 
@@ -150,6 +156,7 @@ func (p *Platform) runPipeline(pipe *sessionPipeline, pl pal.PAL, opts SessionOp
 
 	var failure error
 	defer func() {
+		st.aborted = failure != nil
 		st.runTeardowns()
 		for _, o := range obs {
 			o.SessionEnd(st.res.SessionID, p.Clock.Now(), failure)
@@ -384,7 +391,17 @@ func palExecBody(st *sessionState) error {
 }
 
 // cleanupBody erases all PAL secrets from the SLB window while the launch
-// protections are still in place.
+// protections are still in place. The erase is a scrub, not a blanket zero:
+// the image region is restored to the pristine patched image bytes and the
+// rest of the window is zeroed, both through the compare-based memory ops.
+// That leaves the window in a fixed public state — pristine measured image
+// followed by zeros — so no PAL-written byte survives (a "secret" identical
+// to the public image bytes is not a secret), while an undisturbed session
+// leaves the region's write generation untouched and the next SKINIT hits
+// the measurement cache. Any PAL write into the window differs from that
+// fixed state, gets scrubbed, and bumps the generation, forcing the next
+// launch to re-hash. The abort path (zeroWindowTeardown) keeps the blanket
+// zero: a failed session should not optimize for the next launch.
 func cleanupBody(st *sessionState) error {
 	if st.env != nil && st.env.Heap != nil {
 		st.env.Heap.Wipe()
@@ -393,9 +410,22 @@ func cleanupBody(st *sessionState) error {
 	if int(st.slbBase)+wipe > st.p.Machine.Mem.Size() {
 		wipe = st.p.Machine.Mem.Size() - int(st.slbBase)
 	}
-	if err := st.p.Machine.Mem.Zero(st.slbBase, wipe); err != nil {
+	img := st.im.Bytes()
+	scrub := len(img)
+	if scrub > wipe {
+		scrub = wipe
+	}
+	if _, err := st.p.Machine.Mem.WriteIfChanged(st.slbBase, img[:scrub]); err != nil {
 		return err
 	}
+	if wipe > scrub {
+		if _, err := st.p.Machine.Mem.ZeroIfDirty(st.slbBase+uint32(scrub), wipe-scrub); err != nil {
+			return err
+		}
+	}
+	// The extra-code region lies outside the 64 KB measured window, so
+	// zeroing it cannot disturb the measurement cache; it stays blanket-
+	// zeroed (the post-session contract is an empty, DMA-accessible region).
 	if st.im.HasExtra() {
 		if err := st.p.Machine.Mem.Zero(st.slbBase+uint32(slb.ExtraCodeOffset), len(st.im.Extra())); err != nil {
 			return err
@@ -462,12 +492,16 @@ func resumeCoreBody(st *sessionState) error {
 // zeroWindowTeardown erases the SLB region (window, parameter pages, extra
 // code) after an abort, so neither inputs nor PAL state survive a failed
 // session. Registered by init-slb; also invoked from launchTeardown so the
-// erase happens before the launch protections drop.
+// erase happens before the launch protections drop. On an abort it runs
+// even when the orderly cleanup already scrubbed the window: a failed
+// session leaves a fully zeroed region, not the pristine image the scrub
+// restores for the next launch's cache hit.
 func zeroWindowTeardown(st *sessionState) {
-	if !st.windowDirty {
+	if st.windowWiped || (!st.windowDirty && !st.aborted) {
 		return
 	}
 	st.windowDirty = false
+	st.windowWiped = true
 	wipe := slb.ParamAreaLen
 	if int(st.slbBase)+wipe > st.p.Machine.Mem.Size() {
 		wipe = st.p.Machine.Mem.Size() - int(st.slbBase)

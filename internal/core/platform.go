@@ -38,6 +38,12 @@ type PlatformConfig struct {
 	TPMKeyBits int
 	// NoiseFraction, if > 0, adds deterministic latency jitter (e.g. 0.01).
 	NoiseFraction float64
+	// Metrics and Events, if non-nil, are used instead of freshly created
+	// instances — the sharded session pool passes one shared pair so N
+	// platforms fold into a single registry and event log (Registry
+	// instruments are fetch-or-register, so shards share counters).
+	Metrics *metrics.Registry
+	Events  *metrics.EventLog
 }
 
 // Platform is a fully assembled simulated machine running the untrusted OS
@@ -88,6 +94,23 @@ type registeredPAL struct {
 	p     pal.PAL
 	image *slb.Image
 	opts  SessionOptions
+	// bytesKey caches SHA-1 over the image's current bytes, valid while the
+	// image's patch generation still equals bytesGen. LaunchByMeasurement's
+	// fallback consults it instead of rehashing every registered image's
+	// full bytes on each lookup miss.
+	bytesKey tpm.Digest
+	bytesGen uint64
+}
+
+// currentBytesKey returns the digest of the image's current bytes,
+// recomputing it only when the image was patched since the last call.
+// Callers hold p.mu.
+func (r *registeredPAL) currentBytesKey() tpm.Digest {
+	if g := r.image.PatchGen(); r.bytesGen != g {
+		r.bytesKey = palcrypto.SHA1Sum(r.image.Bytes())
+		r.bytesGen = g
+	}
+	return r.bytesKey
 }
 
 // imageKey identifies a built SLB image: the PAL's measured identity (name,
@@ -120,8 +143,16 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 	} else {
 		clock = simtime.New()
 	}
-	reg := metrics.NewRegistry()
-	events := metrics.NewEventLog(0).WithNow(clock.Now)
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	events := cfg.Events
+	if events == nil {
+		// A platform-private log is stamped with this platform's simulated
+		// clock; a shared log keeps whatever time source it was built with.
+		events = metrics.NewEventLog(0).WithNow(clock.Now)
+	}
 	tp, err := tpm.New(clock, cfg.Profile, tpm.Options{
 		Seed:    []byte("tpm|" + cfg.Seed),
 		KeyBits: cfg.TPMKeyBits,
@@ -253,7 +284,10 @@ func (p *Platform) RegisterPAL(pl pal.PAL, opts SessionOptions) (*slb.Image, err
 	opts.image = im
 	key := palcrypto.SHA1Sum(im.Bytes())
 	p.mu.Lock()
-	p.registry[key] = &registeredPAL{p: pl, image: im, opts: opts}
+	p.registry[key] = &registeredPAL{
+		p: pl, image: im, opts: opts,
+		bytesKey: key, bytesGen: im.PatchGen(),
+	}
 	p.mu.Unlock()
 	return im, nil
 }
@@ -267,9 +301,10 @@ func (p *Platform) LaunchByMeasurement(key [20]byte, inputs []byte) ([]byte, err
 	if !ok {
 		// The staged bytes may be a registered image that was patched in
 		// place after registration (slb_base is stable): match on the
-		// image's current bytes.
+		// image's current bytes via the per-entry digest cache, which only
+		// rehashes an image whose patch generation moved.
 		for _, r := range p.registry {
-			if palcrypto.SHA1Sum(r.image.Bytes()) == key {
+			if r.currentBytesKey() == key {
 				reg, ok = r, true
 				break
 			}

@@ -52,6 +52,9 @@ type Module struct {
 	outputs  []byte
 	launcher Launcher
 	loaded   bool
+	// inputScratch stages the length-prefixed input page so PlaceSLB does
+	// not allocate a fresh page buffer per session.
+	inputScratch [slb.PageSize]byte
 }
 
 // Load inserts the module into the kernel: it registers the four sysfs
@@ -154,7 +157,10 @@ func (mod *Module) AllocateSLB() (uint32, error) {
 }
 
 // PlaceSLB patches an image for slbBase and writes it into kernel memory,
-// along with the inputs at the well-known input page.
+// along with the inputs at the well-known input page. All stores go through
+// WriteIfChanged: re-staging the identical image leaves the region's write
+// generation untouched, which is what lets SKINIT's measurement cache
+// recognize an unchanged SLB across back-to-back sessions.
 func (mod *Module) PlaceSLB(im *slb.Image, slbBase uint32, inputs []byte) error {
 	if len(inputs) > slb.PageSize-4 {
 		return fmt.Errorf("flickermod: inputs of %d bytes exceed the 4 KB parameter page", len(inputs))
@@ -162,21 +168,24 @@ func (mod *Module) PlaceSLB(im *slb.Image, slbBase uint32, inputs []byte) error 
 	if err := im.Patch(slbBase); err != nil {
 		return err
 	}
-	if err := mod.M.Mem.Write(slbBase, im.Bytes()); err != nil {
+	if _, err := mod.M.Mem.WriteIfChanged(slbBase, im.Bytes()); err != nil {
 		return err
 	}
 	// Additional PAL code lands above the parameter pages; the measured
 	// SLB's preparatory code protects and measures it after SKINIT.
 	if im.HasExtra() {
-		if err := mod.M.Mem.Write(slbBase+uint32(slb.ExtraCodeOffset), im.Extra()); err != nil {
+		if _, err := mod.M.Mem.WriteIfChanged(slbBase+uint32(slb.ExtraCodeOffset), im.Extra()); err != nil {
 			return err
 		}
 	}
 	// Inputs are length-prefixed in the input page.
-	page := make([]byte, 4+len(inputs))
+	mod.mu.Lock()
+	page := mod.inputScratch[:4+len(inputs)]
 	binary.LittleEndian.PutUint32(page[0:4], uint32(len(inputs)))
 	copy(page[4:], inputs)
-	return mod.M.Mem.Write(slbBase+uint32(slb.InputsOffset), page)
+	_, err := mod.M.Mem.WriteIfChanged(slbBase+uint32(slb.InputsOffset), page)
+	mod.mu.Unlock()
+	return err
 }
 
 // ReadInputs reads the length-prefixed inputs from the input page (what the

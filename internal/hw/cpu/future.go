@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"sync"
 
-	"flicker/internal/palcrypto"
 	"flicker/internal/tpm"
 )
 
@@ -82,24 +81,19 @@ func (m *Machine) SKINITPartitioned(coreID int, slbBase uint32) (*LateLaunch, er
 	m.mu.Unlock()
 	m.clock.Advance(m.profile.CPUStateChange, "cpu.skinit")
 
-	slbBytes, err := m.Mem.Read(slbBase, int(length))
+	meas, pcr17, fault, err := m.measureSLB(slbBase, length)
 	if err != nil {
 		m.abortLaunch(core, slbBase, savedIF)
-		m.recordSKINIT("partitioned", "bad-slb", "cpu: SLB body unreadable")
-		return nil, fmt.Errorf("cpu: SLB read: %w", err)
-	}
-	pcr17, err := tpm.RunHashSequence(m.TPMBus, slbBytes)
-	if err != nil {
-		m.abortLaunch(core, slbBase, savedIF)
+		if fault == "bad-slb" {
+			m.recordSKINIT("partitioned", "bad-slb", "cpu: SLB body unreadable")
+			return nil, fmt.Errorf("cpu: SLB read: %w", err)
+		}
 		m.recordSKINIT("partitioned", "measure-fault", "cpu: locality-4 SLB measurement failed")
 		return nil, fmt.Errorf("cpu: SLB measurement: %w", err)
 	}
 	core.SetPaging(false)
 	core.SetSegments(slbBase, uint32(SLBMaxLen-1))
 	m.recordSKINIT("partitioned", "ok", "")
-	var meas tpm.Digest
-	sum := palcrypto.SHA1Sum(slbBytes)
-	copy(meas[:], sum[:])
 	return &LateLaunch{
 		m: m, core: core, savedIF: savedIF,
 		SLBBase: slbBase, SLBLen: length, Entry: entry,

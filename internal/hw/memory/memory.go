@@ -9,6 +9,7 @@
 package memory
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 
@@ -27,6 +28,15 @@ type PhysMem struct {
 	data []byte
 	dev  []bool // one bit per page; true = DMA excluded
 
+	// Write-generation tracking: writeSeq is a monotonic mutation counter
+	// and pageGen[p] records the writeSeq of the last mutation touching
+	// page p. Generation(addr, n) folds these into a cheap fingerprint of
+	// "has anything in this range been written since?", which is what lets
+	// SKINIT memoize the measurement of an unchanged staged SLB while any
+	// CPU write, DMA write, or zeroing into the range forces a re-hash.
+	writeSeq uint64
+	pageGen  []uint64
+
 	// DMA instrumentation (see Instrument); always non-nil, detached until
 	// Instrument is called. imu guards the pointers so Instrument does not
 	// race with in-flight transactions.
@@ -44,8 +54,9 @@ func New(size int) *PhysMem {
 	}
 	pages := (size + PageSize - 1) / PageSize
 	m := &PhysMem{
-		data: make([]byte, pages*PageSize),
-		dev:  make([]bool, pages),
+		data:    make([]byte, pages*PageSize),
+		dev:     make([]bool, pages),
+		pageGen: make([]uint64, pages),
 	}
 	m.Instrument(nil, nil)
 	return m
@@ -123,6 +134,39 @@ func (m *PhysMem) Read(addr uint32, n int) ([]byte, error) {
 	return out, nil
 }
 
+// bumpLocked marks the pages covering [addr, addr+n) as mutated. Callers
+// hold m.mu and have validated the range.
+func (m *PhysMem) bumpLocked(addr uint32, n int) {
+	if n <= 0 {
+		return
+	}
+	m.writeSeq++
+	for p := int(addr) / PageSize; p <= (int(addr)+n-1)/PageSize; p++ {
+		m.pageGen[p] = m.writeSeq
+	}
+}
+
+// Generation returns a fingerprint of the write history of [addr, addr+n):
+// the highest mutation sequence number recorded for any page the range
+// touches. Two calls return the same value iff no Write, Zero, or DMA write
+// has landed on any covered page in between (writeSeq is monotonic, so the
+// maximum can never repeat across an intervening mutation). An invalid or
+// empty range returns 0.
+func (m *PhysMem) Generation(addr uint32, n int) uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if n <= 0 || m.checkRange(addr, n) != nil {
+		return 0
+	}
+	var g uint64
+	for p := int(addr) / PageSize; p <= (int(addr)+n-1)/PageSize; p++ {
+		if m.pageGen[p] > g {
+			g = m.pageGen[p]
+		}
+	}
+	return g
+}
+
 // Write stores b at addr (CPU-originated).
 func (m *PhysMem) Write(addr uint32, b []byte) error {
 	m.mu.Lock()
@@ -131,7 +175,34 @@ func (m *PhysMem) Write(addr uint32, b []byte) error {
 		return err
 	}
 	copy(m.data[addr:], b)
+	m.bumpLocked(addr, len(b))
 	return nil
+}
+
+// WriteIfChanged stores b at addr like Write, but compares page by page
+// first and only copies (and bumps the write generation of) pages whose
+// content actually differs. Placing an identical staged image is therefore
+// generation-neutral, which is what keeps SKINIT's measurement cache warm
+// across back-to-back sessions of the same PAL.
+func (m *PhysMem) WriteIfChanged(addr uint32, b []byte) (changed bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkRange(addr, len(b)); err != nil {
+		return false, err
+	}
+	for off := 0; off < len(b); {
+		end := (int(addr)+off)/PageSize*PageSize + PageSize - int(addr)
+		if end > len(b) {
+			end = len(b)
+		}
+		if !bytes.Equal(m.data[int(addr)+off:int(addr)+end], b[off:end]) {
+			copy(m.data[int(addr)+off:], b[off:end])
+			m.bumpLocked(addr+uint32(off), end-off)
+			changed = true
+		}
+		off = end
+	}
+	return changed, nil
 }
 
 // Zero clears n bytes starting at addr; used by the SLB Core's cleanup phase
@@ -142,10 +213,42 @@ func (m *PhysMem) Zero(addr uint32, n int) error {
 	if err := m.checkRange(addr, n); err != nil {
 		return err
 	}
-	for i := int(addr); i < int(addr)+n; i++ {
-		m.data[i] = 0
-	}
+	clear(m.data[addr : int(addr)+n])
+	m.bumpLocked(addr, n)
 	return nil
+}
+
+// ZeroIfDirty clears n bytes starting at addr like Zero, but only touches
+// (and bumps the write generation of) pages holding a nonzero byte. Erasing
+// an already-clean range is generation-neutral.
+func (m *PhysMem) ZeroIfDirty(addr uint32, n int) (changed bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkRange(addr, n); err != nil {
+		return false, err
+	}
+	for off := 0; off < n; {
+		end := (int(addr)+off)/PageSize*PageSize + PageSize - int(addr)
+		if end > n {
+			end = n
+		}
+		chunk := m.data[int(addr)+off : int(addr)+end]
+		if !allZero(chunk) {
+			clear(chunk)
+			m.bumpLocked(addr+uint32(off), end-off)
+			changed = true
+		}
+		off = end
+	}
+	return changed, nil
+}
+
+// zeroPage is the comparison reference for allZero's memcmp fast path.
+var zeroPage [PageSize]byte
+
+// allZero reports whether every byte of b (at most one page) is zero.
+func allZero(b []byte) bool {
+	return bytes.Equal(b, zeroPage[:len(b)])
 }
 
 // DEVProtect marks the pages covering [addr, addr+n) as DMA-excluded.
@@ -237,6 +340,7 @@ func (m *PhysMem) DMAWrite(device string, addr uint32, b []byte) error {
 	}
 	m.recordDMA(device, "write", "ok", len(b))
 	copy(m.data[addr:], b)
+	m.bumpLocked(addr, len(b))
 	return nil
 }
 

@@ -236,3 +236,165 @@ func TestDEVProtectClearProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- Write-generation tracking -------------------------------------------
+
+// Generation must change after any mutation (CPU write, zero, DMA write)
+// that lands inside the observed range, and must be stable across reads and
+// mutations elsewhere. This is the invariant SKINIT's measurement cache
+// depends on for tamper soundness.
+func TestGenerationBumpsOnEveryMutationKind(t *testing.T) {
+	m := New(8 * PageSize)
+	region := uint32(PageSize)
+	n := 2 * PageSize
+
+	g0 := m.Generation(region, n)
+	if _, err := m.Read(region, n); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.Generation(region, n); g != g0 {
+		t.Fatalf("generation moved on read: %d -> %d", g0, g)
+	}
+
+	if err := m.Write(region+10, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	g1 := m.Generation(region, n)
+	if g1 == g0 {
+		t.Fatal("generation unchanged after CPU write into region")
+	}
+
+	if err := m.Zero(region, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	g2 := m.Generation(region, n)
+	if g2 == g1 {
+		t.Fatal("generation unchanged after Zero into region")
+	}
+
+	dev := m.AttachDevice("nic")
+	if err := dev.Write(region+PageSize+5, []byte{0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	g3 := m.Generation(region, n)
+	if g3 == g2 {
+		t.Fatal("generation unchanged after DMA write into region")
+	}
+
+	// Mutation outside the observed range must not disturb it.
+	if err := m.Write(4*PageSize, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.Generation(region, n); g != g3 {
+		t.Fatalf("generation moved on out-of-range write: %d -> %d", g3, g)
+	}
+}
+
+// WriteIfChanged of identical bytes must be generation-neutral; a single
+// differing byte must bump only that page.
+func TestWriteIfChangedGenerationNeutralWhenIdentical(t *testing.T) {
+	m := New(8 * PageSize)
+	img := make([]byte, 3*PageSize)
+	for i := range img {
+		img[i] = byte(i)
+	}
+	if err := m.Write(0, img); err != nil {
+		t.Fatal(err)
+	}
+	g0 := m.Generation(0, len(img))
+
+	changed, err := m.WriteIfChanged(0, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("WriteIfChanged reported a change for identical bytes")
+	}
+	if g := m.Generation(0, len(img)); g != g0 {
+		t.Fatalf("generation moved on no-op WriteIfChanged: %d -> %d", g0, g)
+	}
+
+	img[2*PageSize+7] ^= 0xFF
+	changed, err = m.WriteIfChanged(0, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("WriteIfChanged missed a real change")
+	}
+	if g := m.Generation(0, 2*PageSize); g != g0 {
+		t.Fatalf("untouched pages bumped: %d -> %d", g0, m.Generation(0, 2*PageSize))
+	}
+	if g := m.Generation(2*PageSize, PageSize); g == g0 {
+		t.Fatal("changed page not bumped")
+	}
+	got, err := m.Read(0, len(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, img) {
+		t.Fatal("WriteIfChanged left wrong contents")
+	}
+}
+
+// ZeroIfDirty over an already-clean range is generation-neutral; over a
+// dirty range it erases and bumps.
+func TestZeroIfDirtyGenerationNeutralWhenClean(t *testing.T) {
+	m := New(4 * PageSize)
+	g0 := m.Generation(0, 2*PageSize)
+	changed, err := m.ZeroIfDirty(0, 2*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("ZeroIfDirty reported a change on clean memory")
+	}
+	if g := m.Generation(0, 2*PageSize); g != g0 {
+		t.Fatal("generation moved on no-op ZeroIfDirty")
+	}
+
+	if err := m.Write(PageSize+3, []byte{0x55}); err != nil {
+		t.Fatal(err)
+	}
+	g1 := m.Generation(0, 2*PageSize)
+	changed, err = m.ZeroIfDirty(0, 2*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("ZeroIfDirty missed dirty bytes")
+	}
+	if g := m.Generation(0, 2*PageSize); g == g1 {
+		t.Fatal("changed page not bumped")
+	}
+	got, err := m.Read(0, 2*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d not erased: %#x", i, b)
+		}
+	}
+}
+
+// Generation is collision-free across an intervening mutation: observe,
+// mutate, restore the original bytes — the generation must still differ,
+// because writeSeq is monotonic. (A checksum-based scheme would collide.)
+func TestGenerationMonotonicNoABA(t *testing.T) {
+	m := New(4 * PageSize)
+	orig := []byte("slb image bytes")
+	if err := m.Write(0, orig); err != nil {
+		t.Fatal(err)
+	}
+	g0 := m.Generation(0, len(orig))
+	if err := m.Write(0, []byte("tampered bytes!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(0, orig); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.Generation(0, len(orig)); g == g0 {
+		t.Fatal("generation repeated after tamper-and-restore (ABA)")
+	}
+}

@@ -53,9 +53,9 @@ func (s *SHA1) Write(p []byte) (int, error) {
 		}
 		p = p[c:]
 	}
-	for len(p) >= SHA1BlockSize {
-		s.block(p[:SHA1BlockSize])
-		p = p[SHA1BlockSize:]
+	if full := len(p) &^ (SHA1BlockSize - 1); full > 0 {
+		s.block(p[:full])
+		p = p[full:]
 	}
 	if len(p) > 0 {
 		s.nx = copy(s.x[:], p)
@@ -95,40 +95,59 @@ func (s *SHA1) Size() int { return SHA1Size }
 // BlockSize returns SHA1BlockSize.
 func (s *SHA1) BlockSize() int { return SHA1BlockSize }
 
+// Round constants, one per 20-round group (FIPS 180-4 §4.2.1).
+const (
+	sha1K0 = 0x5A827999
+	sha1K1 = 0x6ED9EBA1
+	sha1K2 = 0x8F1BBCDC
+	sha1K3 = 0xCA62C1D6
+)
+
+// block compresses one or more full 64-byte blocks of p into the state. The
+// message schedule is precomputed per 20-round group and the round switch is
+// split into four straight-line loops so the round function and constant are
+// compile-time known in each — this function dominates SKINIT measurement
+// cost, so it is the hottest code in the whole simulator.
 func (s *SHA1) block(p []byte) {
 	var w [80]uint32
-	for i := 0; i < 16; i++ {
-		w[i] = binary.BigEndian.Uint32(p[i*4:])
-	}
-	for i := 16; i < 80; i++ {
-		t := w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]
-		w[i] = t<<1 | t>>31
-	}
-	a, b, c, d, e := s.h[0], s.h[1], s.h[2], s.h[3], s.h[4]
-	for i := 0; i < 80; i++ {
-		var f, k uint32
-		switch {
-		case i < 20:
-			f = (b & c) | (^b & d)
-			k = 0x5A827999
-		case i < 40:
-			f = b ^ c ^ d
-			k = 0x6ED9EBA1
-		case i < 60:
-			f = (b & c) | (b & d) | (c & d)
-			k = 0x8F1BBCDC
-		default:
-			f = b ^ c ^ d
-			k = 0xCA62C1D6
+	h0, h1, h2, h3, h4 := s.h[0], s.h[1], s.h[2], s.h[3], s.h[4]
+	for len(p) >= SHA1BlockSize {
+		for i := 0; i < 16; i++ {
+			w[i] = binary.BigEndian.Uint32(p[i*4:])
 		}
-		t := (a<<5 | a>>27) + f + e + k + w[i]
-		e, d, c, b, a = d, c, (b<<30 | b>>2), a, t
+		for i := 16; i < 80; i++ {
+			t := w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]
+			w[i] = t<<1 | t>>31
+		}
+		a, b, c, d, e := h0, h1, h2, h3, h4
+		for i := 0; i < 20; i++ {
+			f := (b & c) | (^b & d)
+			t := (a<<5 | a>>27) + f + e + sha1K0 + w[i]
+			e, d, c, b, a = d, c, (b<<30 | b>>2), a, t
+		}
+		for i := 20; i < 40; i++ {
+			f := b ^ c ^ d
+			t := (a<<5 | a>>27) + f + e + sha1K1 + w[i]
+			e, d, c, b, a = d, c, (b<<30 | b>>2), a, t
+		}
+		for i := 40; i < 60; i++ {
+			f := (b & c) | (b & d) | (c & d)
+			t := (a<<5 | a>>27) + f + e + sha1K2 + w[i]
+			e, d, c, b, a = d, c, (b<<30 | b>>2), a, t
+		}
+		for i := 60; i < 80; i++ {
+			f := b ^ c ^ d
+			t := (a<<5 | a>>27) + f + e + sha1K3 + w[i]
+			e, d, c, b, a = d, c, (b<<30 | b>>2), a, t
+		}
+		h0 += a
+		h1 += b
+		h2 += c
+		h3 += d
+		h4 += e
+		p = p[SHA1BlockSize:]
 	}
-	s.h[0] += a
-	s.h[1] += b
-	s.h[2] += c
-	s.h[3] += d
-	s.h[4] += e
+	s.h[0], s.h[1], s.h[2], s.h[3], s.h[4] = h0, h1, h2, h3, h4
 }
 
 // SHA1Sum computes the SHA-1 digest of data in one shot.

@@ -1,0 +1,297 @@
+// Package pool scales Flicker session throughput beyond a single platform.
+// A core.Platform faithfully serializes its sessions — the flicker-module
+// owns one SLB buffer and the machine supports one late launch at a time —
+// so a process is capped at one machine's session rate. The paper's own
+// Section 7.5 points at the way out: secure execution confined to a subset
+// of resources while the rest of the system does other work. The pool is
+// the fleet-scale analogue — N independent simulated platforms behind one
+// Run API.
+//
+// Sessions are routed by PAL affinity: a PAL's name hashes to a home shard,
+// so repeat sessions land on the platform whose SLB image cache and SKINIT
+// measurement cache are already warm for it. When the home shard's bounded
+// queue is full, Run overflows to the least-loaded shard and, if every
+// queue is full, blocks (backpressure); TryRun returns ErrSaturated
+// instead. Close drains: queued sessions still execute, then the workers
+// exit.
+//
+// All shards share one metrics.Registry and one event log, so the existing
+// observability surface (flicker serve, Prometheus exposition) aggregates
+// the fleet without per-shard plumbing.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"flicker/internal/core"
+	"flicker/internal/metrics"
+	"flicker/internal/pal"
+)
+
+// ErrClosed is returned by Run/TryRun after Close has begun.
+var ErrClosed = errors.New("pool: closed")
+
+// ErrSaturated is returned by TryRun when every shard's queue is full.
+var ErrSaturated = errors.New("pool: all shard queues full")
+
+// Config describes a pool.
+type Config struct {
+	// Shards is the number of independent platforms (default 1).
+	Shards int
+	// QueueLen bounds each shard's submission queue (default 16).
+	QueueLen int
+	// Platform is the template configuration for every shard. Seed is
+	// suffixed per shard so the platforms are distinct but deterministic;
+	// Metrics/Events are overridden with the pool's shared pair.
+	Platform core.PlatformConfig
+}
+
+// job is one queued session.
+type job struct {
+	pl   pal.PAL
+	opts core.SessionOptions
+	done chan result
+}
+
+type result struct {
+	res *core.SessionResult
+	err error
+}
+
+// shard is one platform plus its submission queue.
+type shard struct {
+	platform *core.Platform
+	jobs     chan job
+	// pending counts queued plus in-flight sessions, for least-loaded
+	// overflow routing.
+	pending atomic.Int64
+}
+
+// Pool is a sharded session pool.
+type Pool struct {
+	shards  []*shard
+	metrics *metrics.Registry
+	events  *metrics.EventLog
+	wg      sync.WaitGroup
+
+	// closeMu guards the submit/close handshake: submissions hold the read
+	// side while enqueueing, Close takes the write side to flip closed and
+	// close the queues, so no send can race a channel close.
+	closeMu sync.RWMutex
+	closed  bool
+
+	metSubmit   *metrics.CounterVec // route: home|overflow
+	metRejected *metrics.CounterVec
+}
+
+// New builds and boots a pool of cfg.Shards platforms.
+func New(cfg Config) (*Pool, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 16
+	}
+	reg := cfg.Platform.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	events := cfg.Platform.Events
+	if events == nil {
+		events = metrics.NewEventLog(0)
+	}
+	seed := cfg.Platform.Seed
+	if seed == "" {
+		seed = "flicker"
+	}
+	p := &Pool{
+		metrics: reg,
+		events:  events,
+		metSubmit: reg.Counter("flicker_pool_submissions_total",
+			"Sessions submitted to the pool, by route (home = PAL-affinity shard).", "route"),
+		metRejected: reg.Counter("flicker_pool_rejected_total",
+			"TryRun submissions rejected because every shard queue was full."),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		scfg := cfg.Platform
+		scfg.Seed = fmt.Sprintf("%s-shard%d", seed, i)
+		scfg.Metrics = reg
+		scfg.Events = events
+		plat, err := core.NewPlatform(scfg)
+		if err != nil {
+			return nil, fmt.Errorf("pool: shard %d: %w", i, err)
+		}
+		p.shards = append(p.shards, &shard{
+			platform: plat,
+			jobs:     make(chan job, cfg.QueueLen),
+		})
+	}
+	for _, s := range p.shards {
+		p.wg.Add(1)
+		go p.worker(s)
+	}
+	return p, nil
+}
+
+// worker drains one shard's queue until it is closed.
+func (p *Pool) worker(s *shard) {
+	defer p.wg.Done()
+	for j := range s.jobs {
+		res, err := s.platform.RunSession(j.pl, j.opts)
+		s.pending.Add(-1)
+		j.done <- result{res: res, err: err}
+	}
+}
+
+// homeShard returns the PAL's affinity shard: FNV-1a over the PAL name.
+// Affinity keeps a PAL's sessions on the platform whose image and
+// measurement caches are warm for it.
+func (p *Pool) homeShard(name string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return p.shards[h%uint64(len(p.shards))]
+}
+
+// leastLoaded returns the shard with the fewest queued + in-flight
+// sessions.
+func (p *Pool) leastLoaded() *shard {
+	best := p.shards[0]
+	bestLoad := best.pending.Load()
+	for _, s := range p.shards[1:] {
+		if l := s.pending.Load(); l < bestLoad {
+			best, bestLoad = s, l
+		}
+	}
+	return best
+}
+
+// submit routes one job: non-blocking try on the home shard, then the
+// least-loaded shard; if both queues are full, either block on the home
+// shard (wait=true, backpressure) or fail with ErrSaturated.
+func (p *Pool) submit(pl pal.PAL, opts core.SessionOptions, wait bool) (chan result, error) {
+	j := job{pl: pl, opts: opts, done: make(chan result, 1)}
+
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	home := p.homeShard(pl.Name())
+	home.pending.Add(1)
+	select {
+	case home.jobs <- j:
+		p.metSubmit.With("home").Inc()
+		return j.done, nil
+	default:
+		home.pending.Add(-1)
+	}
+	if alt := p.leastLoaded(); alt != home {
+		alt.pending.Add(1)
+		select {
+		case alt.jobs <- j:
+			p.metSubmit.With("overflow").Inc()
+			return j.done, nil
+		default:
+			alt.pending.Add(-1)
+		}
+	}
+	if !wait {
+		p.metRejected.With().Inc()
+		return nil, ErrSaturated
+	}
+	// Backpressure: block until the home shard's queue has room. Workers
+	// never take closeMu, so they keep draining while we hold the read
+	// side, and Close cannot close the channel out from under the send.
+	home.pending.Add(1)
+	home.jobs <- j
+	p.metSubmit.With("home").Inc()
+	return j.done, nil
+}
+
+// Run executes one session on the PAL's affinity shard (or, under load, the
+// least-loaded shard), blocking for queue space when the pool is saturated.
+func (p *Pool) Run(pl pal.PAL, opts core.SessionOptions) (*core.SessionResult, error) {
+	done, err := p.submit(pl, opts, true)
+	if err != nil {
+		return nil, err
+	}
+	r := <-done
+	return r.res, r.err
+}
+
+// TryRun is Run without backpressure: it returns ErrSaturated instead of
+// blocking when every shard queue is full.
+func (p *Pool) TryRun(pl pal.PAL, opts core.SessionOptions) (*core.SessionResult, error) {
+	done, err := p.submit(pl, opts, false)
+	if err != nil {
+		return nil, err
+	}
+	r := <-done
+	return r.res, r.err
+}
+
+// Close drains the pool: no new submissions are accepted, queued sessions
+// still execute, and Close returns once every worker has exited. Closing
+// twice is a no-op.
+func (p *Pool) Close() error {
+	p.closeMu.Lock()
+	if p.closed {
+		p.closeMu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for _, s := range p.shards {
+		close(s.jobs)
+	}
+	p.closeMu.Unlock()
+	p.wg.Wait()
+	return nil
+}
+
+// Shards returns the number of platforms in the pool.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// Shard returns shard i's platform, for tests and direct inspection.
+func (p *Pool) Shard(i int) *core.Platform { return p.shards[i].platform }
+
+// Metrics returns the shared registry every shard reports into.
+func (p *Pool) Metrics() *metrics.Registry { return p.metrics }
+
+// Events returns the shared security event log.
+func (p *Pool) Events() *metrics.EventLog { return p.events }
+
+// Stats aggregates the fleet.
+type Stats struct {
+	// Shards is the pool width.
+	Shards int `json:"shards"`
+	// Sessions and Aborted sum core.SessionStats over all shards.
+	Sessions int `json:"sessions"`
+	Aborted  int `json:"aborted"`
+	// Pending is the current queued + in-flight session count.
+	Pending int `json:"pending"`
+	// PerShard holds each platform's own aggregates, indexed by shard.
+	PerShard []core.SessionStats `json:"per_shard"`
+}
+
+// Stats snapshots the pool's aggregate session statistics.
+func (p *Pool) Stats() Stats {
+	st := Stats{Shards: len(p.shards)}
+	for _, s := range p.shards {
+		ps := s.platform.Stats()
+		st.Sessions += ps.Sessions
+		st.Aborted += ps.Aborted
+		st.Pending += int(s.pending.Load())
+		st.PerShard = append(st.PerShard, ps)
+	}
+	return st
+}

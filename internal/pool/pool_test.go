@@ -1,0 +1,249 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"flicker/internal/core"
+	"flicker/internal/pal"
+)
+
+func testPAL(name string) pal.PAL {
+	return &pal.Func{
+		PALName: name,
+		Binary:  pal.DescriptorCode(name, "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			return append([]byte(name+":"), input...), nil
+		},
+	}
+}
+
+func newPool(t *testing.T, shards, queueLen int) *Pool {
+	t.Helper()
+	p, err := New(Config{
+		Shards:   shards,
+		QueueLen: queueLen,
+		Platform: core.PlatformConfig{Seed: "pool-test"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestPoolRunsSessions(t *testing.T) {
+	p := newPool(t, 4, 4)
+	for i := 0; i < 8; i++ {
+		res, err := p.Run(testPAL("hello"), core.SessionOptions{Input: []byte("x")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PALError != nil {
+			t.Fatal(res.PALError)
+		}
+		if string(res.Outputs) != "hello:x" {
+			t.Fatalf("outputs = %q", res.Outputs)
+		}
+	}
+	st := p.Stats()
+	if st.Sessions != 8 {
+		t.Fatalf("Stats().Sessions = %d, want 8", st.Sessions)
+	}
+	if st.Shards != 4 {
+		t.Fatalf("Stats().Shards = %d, want 4", st.Shards)
+	}
+}
+
+// Affinity: under no load, every session for one PAL lands on the same
+// shard, keeping that platform's image and measurement caches warm.
+func TestPoolAffinityRouting(t *testing.T) {
+	p := newPool(t, 4, 4)
+	hello := testPAL("hello")
+	for i := 0; i < 6; i++ {
+		if _, err := p.Run(hello, core.SessionOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	busy := 0
+	for i := 0; i < p.Shards(); i++ {
+		st := p.Shard(i).Stats()
+		if st.Sessions > 0 {
+			busy++
+			if st.Sessions != 6 {
+				t.Errorf("home shard ran %d sessions, want all 6", st.Sessions)
+			}
+			if st.ImageBuilds != 1 {
+				t.Errorf("home shard linked the image %d times, want 1", st.ImageBuilds)
+			}
+		}
+	}
+	if busy != 1 {
+		t.Fatalf("sessions spread over %d shards under no load, want 1 (affinity)", busy)
+	}
+	// Different PAL names spread across shards rather than piling onto one.
+	homes := make(map[*shard]bool)
+	for i := 0; i < 32; i++ {
+		homes[p.homeShard(fmt.Sprintf("pal-%d", i))] = true
+	}
+	if len(homes) < 2 {
+		t.Fatalf("32 PAL names all hash to one shard; affinity hash is degenerate")
+	}
+}
+
+// Backpressure: with one shard and a tiny queue, TryRun must reject once
+// the queue is full, and Run must block-then-complete rather than reject.
+func TestPoolBackpressure(t *testing.T) {
+	p := newPool(t, 1, 1)
+	slow := &pal.Func{
+		PALName: "slow",
+		Binary:  pal.DescriptorCode("slow", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			return []byte("done"), nil
+		},
+	}
+	// Saturate: fire enough concurrent Runs that the single queue slot and
+	// worker are both busy, then check TryRun sees ErrSaturated at least
+	// once while the storm is in flight.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Run(slow, core.SessionOptions{}); err != nil {
+				t.Errorf("Run under saturation: %v", err)
+			}
+		}()
+	}
+	sawSaturated := false
+	for i := 0; i < 200 && !sawSaturated; i++ {
+		_, err := p.TryRun(slow, core.SessionOptions{})
+		if errors.Is(err, ErrSaturated) {
+			sawSaturated = true
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if !sawSaturated {
+		t.Log("TryRun never saw saturation (scheduler drained too fast); rejection path untested this run")
+	}
+	if st := p.Stats(); st.Sessions < 8 {
+		t.Fatalf("only %d sessions completed", st.Sessions)
+	}
+}
+
+// Drain-on-close: sessions queued before Close still execute; submissions
+// after Close fail with ErrClosed.
+func TestPoolDrainOnClose(t *testing.T) {
+	p := newPool(t, 2, 8)
+	hello := testPAL("hello")
+	type out struct {
+		res *core.SessionResult
+		err error
+	}
+	results := make(chan out, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := p.Run(hello, core.SessionOptions{})
+			results <- out{res, err}
+		}()
+	}
+	wg.Wait() // all 8 completed (Run is synchronous), now close
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(results)
+	for r := range results {
+		if r.err != nil {
+			t.Fatalf("pre-close session failed: %v", r.err)
+		}
+	}
+	if _, err := p.Run(hello, core.SessionOptions{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run after Close = %v, want ErrClosed", err)
+	}
+	if _, err := p.TryRun(hello, core.SessionOptions{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TryRun after Close = %v, want ErrClosed", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// The -race hammer: sessions for several PALs racing with Stats() and
+// metrics scrapes across all shards.
+func TestPoolConcurrentHammer(t *testing.T) {
+	p := newPool(t, 4, 4)
+	pals := []pal.PAL{testPAL("a"), testPAL("b"), testPAL("c"), testPAL("d")}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				res, err := p.Run(pals[(w+i)%len(pals)], core.SessionOptions{Input: []byte{byte(i)}})
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if res.PALError != nil {
+					t.Errorf("worker %d: %v", w, res.PALError)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent observers: Stats and full metric scrapes while sessions run.
+	stop := make(chan struct{})
+	var obs sync.WaitGroup
+	obs.Add(1)
+	go func() {
+		defer obs.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p.Stats()
+				p.Metrics().Snapshot()
+				p.Events().Events()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	obs.Wait()
+	if st := p.Stats(); st.Sessions != 80 {
+		t.Fatalf("Sessions = %d, want 80", st.Sessions)
+	}
+}
+
+// Shared observability: all shards report into one registry, so the pool's
+// session counter equals the per-shard sum.
+func TestPoolSharedMetricsRegistry(t *testing.T) {
+	p := newPool(t, 3, 4)
+	for i := 0; i < 9; i++ {
+		if _, err := p.Run(testPAL(fmt.Sprintf("pal-%d", i%3)), core.SessionOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var submitted float64
+	for _, f := range p.Metrics().Snapshot().Families {
+		if f.Name == "flicker_pool_submissions_total" {
+			for _, s := range f.Series {
+				submitted += s.Value
+			}
+		}
+	}
+	if int(submitted) != 9 {
+		t.Fatalf("flicker_pool_submissions_total = %v, want 9", submitted)
+	}
+	if st := p.Stats(); st.Sessions != 9 {
+		t.Fatalf("Stats().Sessions = %d, want 9", st.Sessions)
+	}
+}

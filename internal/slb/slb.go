@@ -106,7 +106,31 @@ type Image struct {
 	stubLen int
 	// extra is the additional PAL code above the 64 KB window.
 	extra []byte
+	// Cached digests, computed at link time and recomputed whenever Patch
+	// actually rewrites bytes. Measurement/WindowMeasurement/ExtraMeasurement
+	// are on the per-session hot path, so they must not rehash an image whose
+	// bytes have not changed.
+	meas       tpm.Digest
+	windowMeas tpm.Digest
+	extraMeas  tpm.Digest
+	// patchGen counts byte-rewriting Patch calls; external indexes keyed on
+	// image contents (Platform.LaunchByMeasurement's digest index) use it to
+	// notice staleness.
+	patchGen uint64
 }
+
+// refreshDigests recomputes the cached measurements from the current bytes.
+func (im *Image) refreshDigests() {
+	im.meas = palcrypto.SHA1Sum(im.data[:im.MeasuredLen()])
+	im.windowMeas = palcrypto.SHA1Sum(im.data)
+	im.extraMeas = palcrypto.SHA1Sum(im.extra)
+	im.patchGen++
+}
+
+// PatchGen returns a counter that changes whenever the image bytes change
+// (at link time and on each byte-rewriting Patch). Callers caching derived
+// values can compare it to detect staleness.
+func (im *Image) PatchGen() uint64 { return im.patchGen }
 
 // Build links a PAL against the SLB Core, producing an unpatched image.
 func Build(p PALCode) (*Image, error) {
@@ -128,7 +152,9 @@ func Build(p PALCode) (*Image, error) {
 	binary.LittleEndian.PutUint16(data[2:4], uint16(tssOff+tssLen))
 	copy(data[tssOff+tssLen:], slbCoreCode)
 	copy(data[CoreRegionLen:], p.Code)
-	return &Image{name: p.Name, data: data, extra: append([]byte(nil), p.Extra...)}, nil
+	im := &Image{name: p.Name, data: data, extra: append([]byte(nil), p.Extra...)}
+	im.refreshDigests()
+	return im, nil
 }
 
 // Name returns the PAL label.
@@ -156,8 +182,14 @@ func (im *Image) TwoStage() bool { return im.stubLen > 0 }
 // for a second, different base (the image bytes would no longer match what
 // a verifier expects).
 func (im *Image) Patch(slbBase uint32) error {
-	if im.patched && im.base != slbBase {
-		return fmt.Errorf("slb: image already patched for base %#x", im.base)
+	if im.patched {
+		if im.base != slbBase {
+			return fmt.Errorf("slb: image already patched for base %#x", im.base)
+		}
+		// Idempotent re-patch for the same base: the descriptors already
+		// hold exactly these bytes, so skip the rewrite and keep the cached
+		// digests (and any external index keyed on PatchGen) valid.
+		return nil
 	}
 	// Each GDT descriptor gets the base address; the simulated descriptor
 	// layout stores base in bytes 2-5 and a flat 64 KB limit in bytes 0-1.
@@ -170,6 +202,7 @@ func (im *Image) Patch(slbBase uint32) error {
 	binary.LittleEndian.PutUint32(im.data[tssOff+4:], slbBase+uint32(CoreRegionLen-4))
 	im.patched = true
 	im.base = slbBase
+	im.refreshDigests()
 	return nil
 }
 
@@ -183,9 +216,10 @@ func (im *Image) Base() uint32 { return im.base }
 func (im *Image) Bytes() []byte { return im.data }
 
 // Measurement returns SHA-1 over the bytes SKINIT transfers (the full image,
-// or the stub prefix of a two-stage image), i.e. H(P).
+// or the stub prefix of a two-stage image), i.e. H(P). The digest is
+// precomputed at link/patch time, so this is O(1).
 func (im *Image) Measurement() tpm.Digest {
-	return palcrypto.SHA1Sum(im.data[:im.MeasuredLen()])
+	return im.meas
 }
 
 // ExpectedPCR17 returns the PCR 17 value right after SKINIT:
@@ -236,8 +270,10 @@ func BuildTwoStage(p PALCode) (*Image, error) {
 	copy(data[tssOff+tssLen:], slbCoreCode)
 	copy(data[tssOff+tssLen+coreLen:], stubHashCode)
 	copy(data[stubPrefixLen:], p.Code)
-	return &Image{name: p.Name, data: data, stubLen: stubPrefixLen,
-		extra: append([]byte(nil), p.Extra...)}, nil
+	im := &Image{name: p.Name, data: data, stubLen: stubPrefixLen,
+		extra: append([]byte(nil), p.Extra...)}
+	im.refreshDigests()
+	return im, nil
 }
 
 // stubHashCode is the deterministic stand-in for the stub's hash-and-extend
@@ -250,7 +286,7 @@ var stubHashCode = palcrypto.NewPRNG([]byte("flicker-measurement-stub-v1.0")).
 // measurement). For a one-stage image it is not meaningful and returns the
 // plain image hash.
 func (im *Image) WindowMeasurement() tpm.Digest {
-	return palcrypto.SHA1Sum(im.data)
+	return im.windowMeas
 }
 
 // ExpectedPCR17TwoStage returns the PCR 17 value after both measurement
@@ -269,5 +305,5 @@ func (im *Image) HasExtra() bool { return len(im.extra) > 0 }
 // ExtraMeasurement returns H(extra), the digest the preparatory code
 // extends into PCR 17 after adding the upper region to the DEV.
 func (im *Image) ExtraMeasurement() tpm.Digest {
-	return palcrypto.SHA1Sum(im.extra)
+	return im.extraMeas
 }

@@ -46,6 +46,12 @@ const (
 	OrdHashStart uint32 = 0x000000F0
 	OrdHashData  uint32 = 0x000000F1
 	OrdHashEnd   uint32 = 0x000000F2
+	// OrdHashDigest is the locality-4 fast path for a re-measurement whose
+	// digest the CPU already knows (write-generation measurement cache): it
+	// carries the precomputed SLB digest plus the original transfer length,
+	// charges the full per-byte LPC transfer cost, extends PCR 17 and closes
+	// the sequence — HASH_DATA chunks and HASH_END folded into one command.
+	OrdHashDigest uint32 = 0x000000F3
 )
 
 // Return codes (TPM 1.2 Part 2 §16).

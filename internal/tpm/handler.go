@@ -1,6 +1,7 @@
 package tpm
 
 import (
+	"encoding/binary"
 	"strconv"
 
 	"flicker/internal/hw/tis"
@@ -82,6 +83,8 @@ func (t *TPM) dispatchOrdinal(loc tis.Locality, tag uint16, ord uint32, body []b
 		return t.cmdHashData(loc, body)
 	case OrdHashEnd:
 		return t.cmdHashEnd(loc)
+	case OrdHashDigest:
+		return t.cmdHashDigest(loc, body)
 	default:
 		return nil, RCBadOrdinal
 	}
@@ -471,6 +474,38 @@ func (t *TPM) cmdHashEnd(loc tis.Locality) ([]byte, uint32) {
 	}
 	var m Digest
 	copy(m[:], t.hash.Sum(nil))
+	t.extendLocked(17, m)
+	t.hashActive = false
+	t.hash = nil
+	v := t.pcrs[17]
+	return v[:], RCSuccess
+}
+
+// cmdHashDigest is the single-command fast path of the locality-4 hash
+// sequence, used when the CPU's measurement cache already holds the digest
+// of an unchanged SLB. The body is a big-endian u32 transfer length followed
+// by the 20-byte digest. It charges exactly what the equivalent HASH_DATA
+// chunk stream would have (len × per-byte transfer, in one charge — the sums
+// are identical, so Table 2's simulated latencies are unchanged), extends
+// the digest into PCR 17 and closes the sequence. Only reachable after a
+// HASH_START, so the fast path can never skip the PCR 17-23 reset.
+func (t *TPM) cmdHashDigest(loc tis.Locality, body []byte) ([]byte, uint32) {
+	if loc != tis.Locality4 {
+		return nil, RCBadLocality
+	}
+	if !t.hashActive {
+		return nil, RCFail
+	}
+	if len(body) != 4+DigestSize {
+		return nil, RCBadParameter
+	}
+	totalLen := binary.BigEndian.Uint32(body)
+	t.charge(simtime.Charge{
+		Duration: time64(int(totalLen)) * t.profile.TPMTransferPerByte,
+		Label:    "tpm.hashdata",
+	})
+	var m Digest
+	copy(m[:], body[4:])
 	t.extendLocked(17, m)
 	t.hashActive = false
 	t.hash = nil

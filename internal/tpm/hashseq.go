@@ -1,6 +1,7 @@
 package tpm
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"flicker/internal/hw/tis"
@@ -15,20 +16,7 @@ import (
 // The SLB is streamed in LPC-sized chunks; the per-byte transfer cost
 // charged by the TPM is what produces Table 2's linear SKINIT latency.
 func RunHashSequence(bus *tis.Bus, slb []byte) (Digest, error) {
-	submit := func(ord uint32, body []byte) ([]byte, error) {
-		resp, err := bus.SubmitAt(tis.Locality4, marshalCommand(tagRQUCommand, ord, body))
-		if err != nil {
-			return nil, err
-		}
-		_, rc, out, err := parseFrame(resp)
-		if err != nil {
-			return nil, err
-		}
-		if rc != RCSuccess {
-			return nil, &CommandError{Ordinal: ord, Code: rc}
-		}
-		return out, nil
-	}
+	submit := submitLocality4(bus)
 	if _, err := submit(OrdHashStart, nil); err != nil {
 		return Digest{}, fmt.Errorf("tpm: hash start: %w", err)
 	}
@@ -52,4 +40,50 @@ func RunHashSequence(bus *tis.Bus, slb []byte) (Digest, error) {
 	}
 	copy(v[:], out)
 	return v, nil
+}
+
+// RunHashSequencePrecomputed performs the same locality-4 sequence when the
+// CPU already knows the SLB's digest from its write-generation measurement
+// cache: HASH_START (resetting PCRs 17-23 exactly as the streaming path
+// does) followed by HASH_DIGEST, which charges the full per-byte transfer
+// cost for totalLen bytes and extends digest into PCR 17. The PCR 17 value
+// and the simulated time charged are bit-identical to streaming the same
+// bytes through RunHashSequence; only the host-side hashing work is skipped.
+func RunHashSequencePrecomputed(bus *tis.Bus, digest Digest, totalLen int) (Digest, error) {
+	submit := submitLocality4(bus)
+	if _, err := submit(OrdHashStart, nil); err != nil {
+		return Digest{}, fmt.Errorf("tpm: hash start: %w", err)
+	}
+	body := make([]byte, 4+DigestSize)
+	binary.BigEndian.PutUint32(body, uint32(totalLen))
+	copy(body[4:], digest[:])
+	out, err := submit(OrdHashDigest, body)
+	if err != nil {
+		return Digest{}, fmt.Errorf("tpm: hash digest: %w", err)
+	}
+	var v Digest
+	if len(out) != DigestSize {
+		return Digest{}, errTruncated
+	}
+	copy(v[:], out)
+	return v, nil
+}
+
+// submitLocality4 returns a closure submitting one command at the hardware
+// locality and unwrapping the response frame.
+func submitLocality4(bus *tis.Bus) func(ord uint32, body []byte) ([]byte, error) {
+	return func(ord uint32, body []byte) ([]byte, error) {
+		resp, err := bus.SubmitAt(tis.Locality4, marshalCommand(tagRQUCommand, ord, body))
+		if err != nil {
+			return nil, err
+		}
+		_, rc, out, err := parseFrame(resp)
+		if err != nil {
+			return nil, err
+		}
+		if rc != RCSuccess {
+			return nil, &CommandError{Ordinal: ord, Code: rc}
+		}
+		return out, nil
+	}
 }

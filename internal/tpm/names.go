@@ -57,6 +57,8 @@ func OrdinalName(ord uint32) string {
 		return "hashdata"
 	case OrdHashEnd:
 		return "hashend"
+	case OrdHashDigest:
+		return "hashdigest"
 	default:
 		return fmt.Sprintf("0x%08X", ord)
 	}
