@@ -408,4 +408,104 @@ func BenchmarkPoolThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchThroughput measures the Section 7 amortization on the real
+// engine: requests/second through one pool shard when every request pays
+// its own session (batch=1) versus when the coalescer groups 8 requests
+// behind one SKINIT (batch=8). The PAL is device-paced — its fixed
+// per-session work (the stand-in for SKINIT + Seal/Unseal on a hardware
+// TPM, scaled down to keep the benchmark quick) dwarfs per-request work,
+// the regime batching exists for — so batch=8 must sustain at least 3×
+// the requests/s of singletons on the same shard count.
+func BenchmarkBatchThroughput(b *testing.B) {
+	paced := &PALFunc{
+		PALName: "paced",
+		Binary:  DescriptorCode("paced", "1.0", nil, nil),
+		Fn: func(env *Env, input []byte) ([]byte, error) {
+			// Per-request application work: a short CPU-bound hash chain
+			// (a timer sleep here would overshoot under load and swamp the
+			// measurement on slow hosts).
+			d := SHA1Sum(input)
+			for i := 0; i < 32; i++ {
+				d = SHA1Sum(d[:])
+			}
+			return append([]byte("ok:"), d[:4]...), nil
+		},
+	}
+	run := func(b *testing.B, maxBatch int) float64 {
+		pool, err := NewPool(PoolConfig{
+			Shards:   1,
+			QueueLen: 64,
+			MaxBatch: maxBatch,
+			MaxWait:  2 * time.Millisecond,
+			Platform: Config{Seed: "bench-batch", Profile: ProfileFuture()},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pool.Close()
+		// Session entry/exit overhead: a BatchPAL whose OpenBatch sleeps
+		// once per session (SKINIT + Unseal stand-in) regardless of how
+		// many requests ride behind it.
+		entry := &sessionOverheadPAL{inner: paced, overhead: 2 * time.Millisecond}
+		if _, err := pool.Run(entry, SessionOptions{Input: []byte("warm")}); err != nil {
+			b.Fatal(err)
+		}
+		b.SetParallelism(16)
+		b.ResetTimer()
+		start := nowSeconds()
+		var n atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := n.Add(1)
+				res, err := pool.Run(entry, SessionOptions{Input: []byte(fmt.Sprintf("req-%d", i))})
+				if err != nil || res.PALError != nil {
+					b.Errorf("%v %v", err, res.PALError)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		dt := nowSeconds() - start
+		if dt <= 0 {
+			return 0
+		}
+		rps := float64(b.N) / dt
+		b.ReportMetric(rps, "requests/s")
+		return rps
+	}
+	var single, batched float64
+	b.Run("singleton", func(b *testing.B) { single = run(b, 1) })
+	b.Run("batch=8", func(b *testing.B) { batched = run(b, 8) })
+	if single > 0 && batched > 0 {
+		speedup := batched / single
+		b.Logf("amortization: %.0f req/s singleton, %.0f req/s batched (%.1fx)", single, batched, speedup)
+		if speedup < 3 {
+			b.Fatalf("batch=8 speedup %.2fx < 3x acceptance bar", speedup)
+		}
+	}
+}
+
+// sessionOverheadPAL wraps a PAL with a fixed real-time cost paid once per
+// SESSION (at OpenBatch), modeling SKINIT + Unseal on hardware: singletons
+// pay it per request, batches amortize it across the group.
+type sessionOverheadPAL struct {
+	inner    PAL
+	overhead time.Duration
+}
+
+func (s *sessionOverheadPAL) Name() string { return s.inner.Name() }
+func (s *sessionOverheadPAL) Code() []byte { return s.inner.Code() }
+func (s *sessionOverheadPAL) Run(env *Env, input []byte) ([]byte, error) {
+	time.Sleep(s.overhead)
+	return s.inner.Run(env, input)
+}
+func (s *sessionOverheadPAL) OpenBatch(env *Env, header []byte, n int) (any, error) {
+	time.Sleep(s.overhead)
+	return nil, nil
+}
+func (s *sessionOverheadPAL) RunRequest(env *Env, bctx any, i int, input []byte) ([]byte, error) {
+	return s.inner.Run(env, input)
+}
+func (s *sessionOverheadPAL) CloseBatch(env *Env, bctx any) ([]byte, error) { return nil, nil }
+
 func nowSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }

@@ -20,9 +20,13 @@ import (
 	"flicker"
 )
 
-// modeResult is one benchmark mode's measurements.
+// modeResult is one benchmark mode's measurements. For batched modes an
+// "op" is one request, not one session (Batch reports how many requests
+// shared each session), so sessions_per_sec columns stay comparable as
+// requests-served-per-second across singleton and batched trajectories.
 type modeResult struct {
 	Sessions       int     `json:"sessions"`
+	Batch          int     `json:"batch,omitempty"`
 	NsPerOp        float64 `json:"ns_per_op"`
 	SessionsPerSec float64 `json:"sessions_per_sec"`
 	AllocsPerOp    float64 `json:"allocs_per_op"`
@@ -130,6 +134,107 @@ func runPool(n, shards int) (modeResult, error) {
 	})
 }
 
+// runBatchDirect benchmarks RunSessionBatch on one platform: n requests in
+// groups of batch behind single SKINIT/Seal cycles. Per-op numbers are per
+// REQUEST so the mode compares directly against classic (batch=1 sessions).
+func runBatchDirect(n, batch int) (modeResult, error) {
+	p, err := flicker.NewPlatform(flicker.Config{Seed: "benchsessions", Profile: flicker.ProfileFuture()})
+	if err != nil {
+		return modeResult{}, err
+	}
+	hello := demoPAL("hello")
+	reqs := make([][]byte, batch)
+	for i := range reqs {
+		reqs[i] = []byte(fmt.Sprintf("req-%d", i))
+	}
+	run := func() error {
+		br, err := p.RunSessionBatch(hello, flicker.Batch{Requests: reqs}, flicker.SessionOptions{})
+		if err != nil {
+			return err
+		}
+		if br.Session.PALError != nil {
+			return br.Session.PALError
+		}
+		for i, r := range br.Replies {
+			if r.Err != nil {
+				return fmt.Errorf("request %d: %w", i, r.Err)
+			}
+		}
+		return nil
+	}
+	if err := run(); err != nil {
+		return modeResult{}, err
+	}
+	r, err := measure(n/batch, run)
+	if err != nil {
+		return modeResult{}, err
+	}
+	// Rescale from per-session to per-request ops.
+	r.Sessions = n / batch
+	r.Batch = batch
+	r.NsPerOp /= float64(batch)
+	r.SessionsPerSec *= float64(batch)
+	r.AllocsPerOp /= float64(batch)
+	r.BytesPerOp /= float64(batch)
+	return r, nil
+}
+
+// runPoolBatched benchmarks the pool's adaptive coalescer: concurrent
+// submitters of the SAME PAL, so the shard queue groups them behind shared
+// sessions. Per-op numbers are per request.
+func runPoolBatched(n, shards, maxBatch int) (modeResult, error) {
+	pool, err := flicker.NewPool(flicker.PoolConfig{
+		Shards:   shards,
+		QueueLen: 64,
+		MaxBatch: maxBatch,
+		MaxWait:  2 * time.Millisecond,
+		Platform: flicker.Config{Seed: "benchsessions-pool", Profile: flicker.ProfileFuture()},
+	})
+	if err != nil {
+		return modeResult{}, err
+	}
+	defer pool.Close()
+	hello := demoPAL("hello")
+	if _, err := pool.Run(hello, flicker.SessionOptions{}); err != nil {
+		return modeResult{}, err
+	}
+	const submitters = 16
+	r, err := measure(1, func() error {
+		var wg sync.WaitGroup
+		errs := make(chan error, submitters)
+		for w := 0; w < submitters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < n; i += submitters {
+					res, err := pool.Run(hello, flicker.SessionOptions{Input: []byte(fmt.Sprintf("req-%d", i))})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if res.PALError != nil {
+						errs <- res.PALError
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		return <-errs
+	})
+	if err != nil {
+		return modeResult{}, err
+	}
+	r.Sessions = int(pool.Stats().Sessions)
+	r.Batch = maxBatch
+	r.NsPerOp /= float64(n)
+	r.SessionsPerSec = float64(n) * r.SessionsPerSec
+	r.AllocsPerOp /= float64(n)
+	r.BytesPerOp /= float64(n)
+	return r, nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_sessions.json", "output path")
 	n := flag.Int("n", 2000, "sessions per mode")
@@ -180,6 +285,22 @@ func main() {
 		r.BytesPerOp /= float64(*n)
 		report.Modes[fmt.Sprintf("pool_shards%d", shards)] = r
 	}
+
+	// Batched trajectories: requests/s through shared sessions, directly
+	// comparable against classic (=batch 1) and pool_shards1 (singleton
+	// coalescer-off pool) above.
+	for _, batch := range []int{8, 32} {
+		r, err := runBatchDirect(*n, batch)
+		if err != nil {
+			log.Fatalf("batch_direct%d: %v", batch, err)
+		}
+		report.Modes[fmt.Sprintf("batch_direct%d", batch)] = r
+	}
+	rb, err := runPoolBatched(*n, 1, 8)
+	if err != nil {
+		log.Fatalf("pool_batch8: %v", err)
+	}
+	report.Modes["pool_batch8"] = rb
 
 	f, err := os.Create(*out)
 	if err != nil {

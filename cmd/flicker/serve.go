@@ -148,6 +148,8 @@ func cmdServe(args []string) {
 	warm := fs.Int("sessions", 3, "sessions to run before serving (populates the metrics)")
 	interval := fs.Duration("interval", 0, "keep running a session this often while serving (0 = only the warm-up sessions)")
 	shards := fs.Int("shards", 1, "number of independent platforms behind a session pool (1 = single platform)")
+	batch := fs.Int("batch", 1, "max requests coalesced into one session per shard (requires -shards mode; >1 enables the coalescer)")
+	batchWait := fs.Duration("batch-wait", 2*time.Millisecond, "how long a shard holds a lone request hoping to form a batch")
 	fs.Parse(args)
 
 	prof, err := profileByName(*profile)
@@ -160,6 +162,11 @@ func cmdServe(args []string) {
 	}
 	nonce := flicker.SHA1Sum([]byte("serve-nonce"))
 	opts := flicker.SessionOptions{Input: []byte(*input), Nonce: &nonce}
+	if *batch > 1 {
+		// A verifier nonce binds one attestation to one session, so nonce-
+		// carrying requests are never coalesced; drop it in batch mode.
+		opts.Nonce = nil
+	}
 
 	// Single-platform and sharded-pool modes expose the same endpoints;
 	// sharded mode serves the shared registry all platforms fold into.
@@ -167,9 +174,11 @@ func cmdServe(args []string) {
 		runOnce func() error
 		mux     *http.ServeMux
 	)
-	if *shards > 1 {
+	if *shards > 1 || *batch > 1 {
 		pool, err := flicker.NewPool(flicker.PoolConfig{
 			Shards:   *shards,
+			MaxBatch: *batch,
+			MaxWait:  *batchWait,
 			Platform: flicker.Config{Seed: "serve", Profile: prof},
 		})
 		if err != nil {
@@ -204,8 +213,25 @@ func cmdServe(args []string) {
 		}
 	}
 	if *interval > 0 {
+		// In batch mode the coalescer can only form groups from requests
+		// that are in flight together, so submit concurrently (bounded)
+		// instead of one blocking session per tick.
+		inflight := make(chan struct{}, 2*(*batch))
 		go func() {
 			for range time.Tick(*interval) {
+				if *batch > 1 {
+					select {
+					case inflight <- struct{}{}:
+						go func() {
+							defer func() { <-inflight }()
+							if err := runOnce(); err != nil {
+								log.Printf("serve: background session: %v", err)
+							}
+						}()
+					default: // saturated: skip the tick rather than queue unboundedly
+					}
+					continue
+				}
 				if err := runOnce(); err != nil {
 					log.Printf("serve: background session: %v", err)
 				}

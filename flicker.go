@@ -69,6 +69,33 @@ type SessionOptions = core.SessionOptions
 // PCR-17 values, and the Figure 2 timeline.
 type SessionResult = core.SessionResult
 
+// BatchPAL is a PAL that can serve several requests inside ONE session:
+// one SKINIT measurement, one Unseal at entry (OpenBatch), N request
+// executions, one Seal at exit (CloseBatch). Plain PALs batch too via the
+// per-request adapter — see AsBatchPAL.
+type BatchPAL = pal.BatchPAL
+
+// AsBatchPAL returns p itself if it implements BatchPAL, or a per-request
+// adapter that runs p.Run once per batched request.
+func AsBatchPAL(p PAL) BatchPAL { return pal.AsBatch(p) }
+
+// Batch is a group of requests executed in one session.
+type Batch = core.Batch
+
+// BatchResult is the outcome of a batched session: the underlying session
+// result plus one reply per completed request and the PAL's trailer.
+type BatchResult = core.BatchResult
+
+// BatchReply is one request's isolated outcome within a batch.
+type BatchReply = pal.BatchReply
+
+// DecodeBatchOutput splits a batched session's framed output page back into
+// per-request replies and the trailer (for verifiers recomputing PCR-17
+// over the session output).
+func DecodeBatchOutput(b []byte) ([]BatchReply, []byte, error) {
+	return core.DecodeBatchOutput(b)
+}
+
 // Observer receives structured session lifecycle events (session and phase
 // boundaries, clock charges attributed to the open phase). Attach with
 // Platform.AddObserver; internal/trace.Recorder is a ready-made JSON

@@ -208,18 +208,89 @@ const IssuerName = "flicker-ca"
 
 // NewCAPAL builds the CA PAL for a given policy. The policy bytes are part
 // of the measured identity: changing the policy changes the PAL, and hence
-// the PCR-17 value every sealed blob is bound to.
+// the PCR-17 value every sealed blob is bound to. The PAL also implements
+// the batch entry convention (pal.BatchPAL): a group of CSRs shares one
+// session, the database is unsealed once at entry and resealed ONCE after
+// the last signature (the batch trailer), preserving sealed-state
+// monotonicity while paying the Seal/Unseal cost once per group.
 func NewCAPAL(policy *Policy) pal.PAL {
 	pol := *policy
-	return &pal.Func{
-		PALName: "flicker-ca",
-		Binary: pal.DescriptorCode("flicker-ca", "1.0",
-			[]string{"TPM Driver", "TPM Utilities", "Crypto", "Memory Management", "Secure Channel"},
-			policy.Encode()),
-		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
-			return runCA(env, &pol, input)
-		},
+	return &caPAL{policy: &pol}
+}
+
+// caPAL is the CA PAL: keygen/sign singleton sessions via Run, grouped
+// signing via the BatchPAL methods.
+type caPAL struct{ policy *Policy }
+
+func (c *caPAL) Name() string { return "flicker-ca" }
+
+func (c *caPAL) Code() []byte {
+	return pal.DescriptorCode("flicker-ca", "1.0",
+		[]string{"TPM Driver", "TPM Utilities", "Crypto", "Memory Management", "Secure Channel"},
+		c.policy.Encode())
+}
+
+func (c *caPAL) Run(env *pal.Env, input []byte) ([]byte, error) {
+	return runCA(env, c.policy, input)
+}
+
+// caBatch is the in-session state of a signing group: the database decoded
+// from the single unseal, mutated in place by each request.
+type caBatch struct {
+	db  *database
+	key *palcrypto.RSAPrivateKey
+}
+
+// OpenBatch unseals and decodes the certificate database once for the whole
+// group (the batch header is the sealed DB). An empty header means the
+// group carries full singleton-format inputs (the pool coalescer's path);
+// each request then pays its own unseal/reseal in RunRequest, identical to
+// individual sessions.
+func (c *caPAL) OpenBatch(env *pal.Env, header []byte, n int) (any, error) {
+	if len(header) == 0 {
+		return nil, nil
 	}
+	raw, err := unsealDB(env, c.policy, header)
+	if err != nil {
+		return nil, fmt.Errorf("ca: unsealing database: %w", err)
+	}
+	db, err := decodeDatabase(raw)
+	if err != nil {
+		return nil, err
+	}
+	key, err := palcrypto.UnmarshalPrivateKey(db.priv)
+	if err != nil {
+		return nil, err
+	}
+	return &caBatch{db: db, key: key}, nil
+}
+
+// RunRequest signs one CSR against the open database. A policy rejection is
+// a request-level error: the remaining CSRs still execute and the database
+// still reseals. The certificate bytes are the reply; the updated database
+// leaves the session only once, as the batch trailer.
+func (c *caPAL) RunRequest(env *pal.Env, bctx any, _ int, input []byte) ([]byte, error) {
+	if bctx == nil {
+		return runCA(env, c.policy, input)
+	}
+	b := bctx.(*caBatch)
+	csr, err := DecodeBatchCSR(input)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := signCSR(env, c.policy, b.db, b.key, csr)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeCertificate(cert), nil
+}
+
+// CloseBatch reseals the database — once, after the last request.
+func (c *caPAL) CloseBatch(env *pal.Env, bctx any) ([]byte, error) {
+	if bctx == nil {
+		return nil, nil
+	}
+	return sealDB(env, c.policy, bctx.(*caBatch).db.encode())
 }
 
 // EncodeKeygen builds the keygen-mode input.
@@ -294,27 +365,14 @@ func runCA(env *pal.Env, policy *Policy, input []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		if !policy.Allows(string(subject), len(db.entries)) {
-			return nil, fmt.Errorf("ca: policy rejects subject %q", subject)
-		}
 		key, err := palcrypto.UnmarshalPrivateKey(db.priv)
 		if err != nil {
 			return nil, err
 		}
-		cert := &Certificate{
-			Serial:    db.serial,
-			Subject:   string(subject),
-			PublicKey: append([]byte(nil), csrPub...),
-			Issuer:    IssuerName,
-		}
-		env.ChargeCPU(simtime.Charge{Duration: env.Profile().RSASign1024, Label: "cpu.rsasign"})
-		sig, err := palcrypto.SignPKCS1SHA1(key, tbs(cert.Serial, cert.Subject, cert.PublicKey, cert.Issuer))
+		cert, err := signCSR(env, policy, db, key, &CSR{Subject: string(subject), PublicKey: csrPub})
 		if err != nil {
 			return nil, err
 		}
-		cert.Signature = sig
-		db.serial++
-		db.entries = append(db.entries, dbEntry{serial: cert.Serial, subject: cert.Subject})
 		newSealed, err := sealDB(env, policy, db.encode())
 		if err != nil {
 			return nil, err
@@ -329,6 +387,68 @@ func runCA(env *pal.Env, policy *Policy, input []byte) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("ca: unknown mode %d", input[0])
 	}
+}
+
+// signCSR applies the policy and, if allowed, issues the next certificate
+// from the database, advancing the serial and the issuance log in place.
+// Shared by the singleton path (one CSR between unseal and reseal) and the
+// batch path (N CSRs between ONE unseal and ONE reseal).
+func signCSR(env *pal.Env, policy *Policy, db *database, key *palcrypto.RSAPrivateKey, csr *CSR) (*Certificate, error) {
+	if !policy.Allows(csr.Subject, len(db.entries)) {
+		return nil, fmt.Errorf("ca: policy rejects subject %q", csr.Subject)
+	}
+	cert := &Certificate{
+		Serial:    db.serial,
+		Subject:   csr.Subject,
+		PublicKey: append([]byte(nil), csr.PublicKey...),
+		Issuer:    IssuerName,
+	}
+	env.ChargeCPU(simtime.Charge{Duration: env.Profile().RSASign1024, Label: "cpu.rsasign"})
+	sig, err := palcrypto.SignPKCS1SHA1(key, tbs(cert.Serial, cert.Subject, cert.PublicKey, cert.Issuer))
+	if err != nil {
+		return nil, err
+	}
+	cert.Signature = sig
+	db.serial++
+	db.entries = append(db.entries, dbEntry{serial: cert.Serial, subject: cert.Subject})
+	return cert, nil
+}
+
+// EncodeBatchCSR frames one CSR of a batched signing group (the sealed
+// database travels once as the batch header).
+func EncodeBatchCSR(csr *CSR) []byte {
+	out := binary.BigEndian.AppendUint32(nil, uint32(len(csr.Subject)))
+	out = append(out, csr.Subject...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(csr.PublicKey)))
+	return append(out, csr.PublicKey...)
+}
+
+// DecodeBatchCSR parses EncodeBatchCSR output.
+func DecodeBatchCSR(b []byte) (*CSR, error) {
+	take := func() ([]byte, error) {
+		if len(b) < 4 {
+			return nil, errors.New("ca: truncated batch CSR")
+		}
+		n := binary.BigEndian.Uint32(b)
+		if int(n) > len(b)-4 {
+			return nil, errors.New("ca: batch CSR field overflow")
+		}
+		f := b[4 : 4+n]
+		b = b[4+n:]
+		return f, nil
+	}
+	subject, err := take()
+	if err != nil {
+		return nil, err
+	}
+	pub, err := take()
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != 0 {
+		return nil, errors.New("ca: trailing bytes after batch CSR")
+	}
+	return &CSR{Subject: string(subject), PublicKey: append([]byte(nil), pub...)}, nil
 }
 
 // DecodeKeygenOutput splits the keygen output into (public key, sealed DB).

@@ -40,20 +40,58 @@ var sharedModules = []string{"TPM Driver", "TPM Utilities", "Crypto", "Memory Ma
 // KeyBits is the channel keypair size (1024 in the paper's evaluation).
 const KeyBits = 1024
 
-// NewSetupPAL builds the first-session PAL.
+// NewSSHPAL builds the SSH PAL.
 //
 // IMPORTANT: the login PAL must be the SAME PAL for sealed storage to flow
 // (the private key is sealed to the PAL's measurement). The paper uses one
 // SSH PAL with two entry modes; we do the same — the "setup" and "login"
-// behaviors live in one PAL whose input selects the mode.
-func NewSSHPAL() pal.PAL {
-	return &pal.Func{
-		PALName: "ssh-auth",
-		Binary: pal.DescriptorCode("ssh-auth", setupVersion+"+"+loginVersion,
-			sharedModules, nil),
-		Fn: runSSH,
-	}
+// behaviors live in one PAL whose input selects the mode. The same PAL also
+// implements the batch entry convention (pal.BatchPAL), so a group of login
+// requests shares one session and one Unseal of the private key — the
+// Section 7.3 amortization — without changing the measured identity the key
+// is sealed to.
+func NewSSHPAL() pal.PAL { return sshPAL{} }
+
+// sshPAL is the SSH PAL: plain sessions via Run, batched logins via the
+// BatchPAL methods.
+type sshPAL struct{}
+
+func (sshPAL) Name() string { return "ssh-auth" }
+
+func (sshPAL) Code() []byte {
+	return pal.DescriptorCode("ssh-auth", setupVersion+"+"+loginVersion, sharedModules, nil)
 }
+
+func (sshPAL) Run(env *pal.Env, input []byte) ([]byte, error) { return runSSH(env, input) }
+
+// OpenBatch unseals the channel private key ONCE for the whole login group
+// (the batch header is sdata). An empty header means the group carries
+// full singleton-format requests (the pool coalescer's path); each then
+// pays its own unseal inside RunRequest, which keeps semantics identical
+// to individual sessions.
+func (sshPAL) OpenBatch(env *pal.Env, header []byte, n int) (any, error) {
+	if len(header) == 0 {
+		return nil, nil
+	}
+	return pal.RecoverChannelKey(env, header)
+}
+
+// RunRequest performs one password check. With an open key (batched login
+// mode) the input is the slim EncodeBatchLogin form; otherwise it is a full
+// singleton input and runSSH handles it unchanged.
+func (sshPAL) RunRequest(env *pal.Env, bctx any, _ int, input []byte) ([]byte, error) {
+	if bctx == nil {
+		return runSSH(env, input)
+	}
+	req, err := decodeBatchLogin(input)
+	if err != nil {
+		return nil, err
+	}
+	return loginWithKey(env, bctx.(*palcrypto.RSAPrivateKey), req.Ciphertext, req.Salt, req.Nonce)
+}
+
+// CloseBatch has nothing to reseal: the channel key is immutable state.
+func (sshPAL) CloseBatch(*pal.Env, any) ([]byte, error) { return nil, nil }
 
 // Request modes.
 const (
@@ -119,6 +157,47 @@ func decodeLogin(b []byte) (*LoginRequest, error) {
 	return r, nil
 }
 
+// EncodeBatchLogin builds one slim request of a batched login group: the
+// sealed key travels once as the batch header, so each request carries only
+// its own ciphertext, salt, and nonce.
+func EncodeBatchLogin(ciphertext []byte, salt string, nonce tpm.Digest) []byte {
+	out := binary.BigEndian.AppendUint32(nil, uint32(len(ciphertext)))
+	out = append(out, ciphertext...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(salt)))
+	out = append(out, salt...)
+	return append(out, nonce[:]...)
+}
+
+func decodeBatchLogin(b []byte) (*LoginRequest, error) {
+	r := &LoginRequest{}
+	take := func() ([]byte, error) {
+		if len(b) < 4 {
+			return nil, errors.New("sshauth: truncated batch login request")
+		}
+		n := binary.BigEndian.Uint32(b)
+		if int(n) > len(b)-4 {
+			return nil, errors.New("sshauth: batch login request field overflow")
+		}
+		f := b[4 : 4+n]
+		b = b[4+n:]
+		return f, nil
+	}
+	var err error
+	if r.Ciphertext, err = take(); err != nil {
+		return nil, err
+	}
+	salt, err := take()
+	if err != nil {
+		return nil, err
+	}
+	r.Salt = string(salt)
+	if len(b) != tpm.DigestSize {
+		return nil, errors.New("sshauth: missing batch login nonce")
+	}
+	copy(r.Nonce[:], b)
+	return r, nil
+}
+
 // EncryptPassword is the client-side step: c = encrypt_KPAL({password,
 // nonce}) with PKCS#1 v1.5 ("We use PKCS1 encryption which is
 // chosen-ciphertext-secure and nonmalleable").
@@ -151,30 +230,44 @@ func runSSH(env *pal.Env, input []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		// K_PAL^-1 <- unseal(sdata); {password, nonce'} <- decrypt(c).
-		plain, err := pal.OpenChannel(env, req.SData, req.Ciphertext)
+		// K_PAL^-1 <- unseal(sdata).
+		key, err := pal.RecoverChannelKey(env, req.SData)
 		if err != nil {
 			return nil, err
 		}
-		if len(plain) < tpm.DigestSize {
-			return nil, errors.New("sshauth: malformed decrypted payload")
-		}
-		password := string(plain[:len(plain)-tpm.DigestSize])
-		var nonce tpm.Digest
-		copy(nonce[:], plain[len(plain)-tpm.DigestSize:])
-		// "if (nonce' != nonce) then abort" — replay protection for the
-		// well-behaved server.
-		if nonce != req.Nonce {
-			return nil, errors.New("sshauth: nonce mismatch (replayed ciphertext)")
-		}
-		// hash <- md5crypt(salt, password); only the hash leaves the PAL.
-		env.ChargeCPU(simtime.Charge{Duration: env.Profile().MD5CryptCost, Label: "cpu.md5crypt"})
-		hash := palcrypto.MD5Crypt(password, req.Salt)
-		return []byte(hash), nil
+		return loginWithKey(env, key, req.Ciphertext, req.Salt, req.Nonce)
 
 	default:
 		return nil, fmt.Errorf("sshauth: unknown mode %d", input[0])
 	}
+}
+
+// loginWithKey is the post-unseal half of a login: decrypt the ciphertext,
+// check the nonce, and compute the md5crypt hash — the only bytes that
+// leave the PAL. Shared by the singleton path (which unseals per session)
+// and the batch path (which unseals once per group).
+func loginWithKey(env *pal.Env, key *palcrypto.RSAPrivateKey, ciphertext []byte, salt string, wantNonce tpm.Digest) ([]byte, error) {
+	// {password, nonce'} <- decrypt(c).
+	env.ChargeCPU(simtime.Charge{Duration: env.Profile().RSADecrypt1024, Label: "cpu.rsadecrypt"})
+	plain, err := palcrypto.DecryptPKCS1(key, ciphertext)
+	if err != nil {
+		return nil, errors.New("sshauth: channel decryption failed")
+	}
+	if len(plain) < tpm.DigestSize {
+		return nil, errors.New("sshauth: malformed decrypted payload")
+	}
+	password := string(plain[:len(plain)-tpm.DigestSize])
+	var nonce tpm.Digest
+	copy(nonce[:], plain[len(plain)-tpm.DigestSize:])
+	// "if (nonce' != nonce) then abort" — replay protection for the
+	// well-behaved server.
+	if nonce != wantNonce {
+		return nil, errors.New("sshauth: nonce mismatch (replayed ciphertext)")
+	}
+	// hash <- md5crypt(salt, password); only the hash leaves the PAL.
+	env.ChargeCPU(simtime.Charge{Duration: env.Profile().MD5CryptCost, Label: "cpu.md5crypt"})
+	hash := palcrypto.MD5Crypt(password, salt)
+	return []byte(hash), nil
 }
 
 // DecodeSetupOutput splits the setup PAL's output into (K_PAL, sdata).

@@ -1,0 +1,381 @@
+package core
+
+// Batched session execution: the paper's Section 7.3-7.4 amortization. A
+// batch runs the classic Figure 2 timeline once — one SKINIT, one set of
+// closing extends, one suspend/resume — and loops the PAL over N requests
+// inside the single pal-exec phase. Carried state crosses the boundary once
+// in each direction: the batch header (e.g. a sealed database) is handed to
+// the PAL's OpenBatch, and the trailer (the state resealed after the LAST
+// request) comes back with the replies, preserving sealed-state
+// monotonicity.
+//
+// Framing: the request group travels through the same 4 KB parameter pages
+// a singleton session uses. The input page holds
+//
+//	u32 header_len | header | u32 count | count x (u32 len | bytes)
+//
+// and the output page holds
+//
+//	u32 count | count x (u8 status | u32 len | bytes) | u32 trailer_len | trailer
+//
+// where status 0 is a reply payload and status 1 an error string. The
+// session's InputDigest/OutputDigest — and therefore the PCR-17 extends —
+// cover the full frames, so every request's reply is attributable from the
+// one attestation.
+//
+// Security: PCR17AtLaunch is a pure function of the launched image, so a
+// batch session's launch identity — the value sealed storage is bound to —
+// is bit-identical to a singleton session of the same image. Only the
+// closing extends (input/output digests) differ, exactly as they differ
+// between any two singleton sessions with different parameters.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"flicker/internal/pal"
+	"flicker/internal/slb"
+)
+
+// phaseRequest is the observer/trace span name for one batched request. The
+// name is constant (not "request[i]") so per-phase metric label cardinality
+// stays bounded; the i-th span in a session's timeline is request i.
+const phaseRequest = "request"
+
+// ErrBatchTooLarge is returned when a framed batch does not fit the 4 KB
+// input page.
+var ErrBatchTooLarge = errors.New("core: batch exceeds the 4 KB input page")
+
+// Batch is a group of requests to run in one session.
+type Batch struct {
+	// Header is state shared by the whole group, delivered to the PAL's
+	// OpenBatch (e.g. a sealed database, unsealed once per batch). Plain
+	// (non-BatchPAL) PALs accept only an empty header.
+	Header []byte
+	// Requests are the per-request inputs, in execution order.
+	Requests [][]byte
+}
+
+// BatchResult is the outcome of a batched session.
+type BatchResult struct {
+	// Session is the one session that carried the batch (nil if the
+	// session aborted).
+	Session *SessionResult
+	// Replies holds one entry per executed request, in order. After an
+	// abort at request k, it holds exactly the completed prefix (k
+	// entries).
+	Replies []pal.BatchReply
+	// Trailer is the PAL's CloseBatch output (e.g. the resealed state).
+	Trailer []byte
+	// Completed is len(Replies): how many requests executed before the
+	// session finished or aborted.
+	Completed int
+}
+
+// batchRun threads the decoded request group through the pipeline and
+// collects what the request loop produced, surviving even when the session
+// itself aborts (the completed-prefix contract).
+type batchRun struct {
+	bp      pal.BatchPAL
+	replies []pal.BatchReply
+	trailer []byte
+}
+
+// RunSessionBatch executes the request group in one classic session. The
+// returned BatchResult is non-nil even on session abort, reporting the
+// completed prefix; the error mirrors RunSession's (infrastructure
+// failures only — request-level failures land in the replies, and
+// batch-level PAL failures in Session.PALError).
+func (p *Platform) RunSessionBatch(pl pal.PAL, batch Batch, opts SessionOptions) (*BatchResult, error) {
+	if len(batch.Requests) == 0 {
+		return nil, errors.New("core: empty batch")
+	}
+	framed, err := encodeBatchInput(batch.Header, batch.Requests)
+	if err != nil {
+		return nil, err
+	}
+	br := &batchRun{bp: pal.AsBatch(pl)}
+	opts.Input = framed
+	opts.batch = br
+	res, err := p.runPipeline(&classicBatchPipeline, pl, opts)
+	out := &BatchResult{Session: res, Replies: br.replies, Trailer: br.trailer, Completed: len(br.replies)}
+	return out, err
+}
+
+// classicBatchPipeline is the classic Figure 2 timeline with the request
+// loop in place of the single PAL call. Every other phase — and therefore
+// the launch measurement chain and the teardown matrix — is shared with
+// RunSession.
+var classicBatchPipeline = sessionPipeline{
+	name: "classic-batch",
+	phases: []phaseSpec{
+		{name: "accept", body: acceptBody},
+		{name: "init-slb", body: initSLBBody, teardown: zeroWindowTeardown},
+		{name: "suspend-os", body: suspendOSBody, teardown: resumeOSTeardown},
+		{name: "skinit", body: skinitBody, teardown: launchTeardown},
+		{name: "pal-exec", body: palExecBatchBody},
+		{name: "cleanup", body: cleanupBody},
+		{name: "extend-pcr", body: extendPCRBody},
+		{name: "resume-os", body: resumeOSBody},
+	},
+}
+
+// palExecBatchBody is the batch variant of palExecBody: same environment
+// setup, then OpenBatch, the request loop, CloseBatch, and the framed
+// output write. Request-level errors go into the replies; OpenBatch /
+// CloseBatch / timeout failures become the session's PALError; only
+// injected faults and memory faults abort the session.
+func palExecBatchBody(st *sessionState) error {
+	framed, err := setupPALEnv(st)
+	if err != nil {
+		return err
+	}
+	env := st.env
+	br := st.opts.batch
+	header, reqs, err := decodeBatchInput(framed)
+	if err != nil {
+		// The input page no longer holds a well-formed frame: abort.
+		env.ExitSandbox()
+		return err
+	}
+	bctx, oerr := br.bp.OpenBatch(env, header, len(reqs))
+	if oerr != nil {
+		st.palErr = fmt.Errorf("core: batch open: %w", oerr)
+	} else {
+		for i, req := range reqs {
+			// The injector sees each request boundary, so tests can kill
+			// the session mid-batch and exercise the prefix contract.
+			if st.opts.Injector != nil {
+				if ierr := st.opts.Injector(fmt.Sprintf("request[%d]", i)); ierr != nil {
+					env.ExitSandbox()
+					return ierr
+				}
+			}
+			out, rerr := st.runBatchRequest(bctx, i, req)
+			if rerr == nil && out == nil {
+				out = env.Output()
+			}
+			br.replies = append(br.replies, pal.BatchReply{Output: out, Err: rerr})
+			if env.TimedOut() {
+				// The SLB Core's session timer fired: stop executing, as
+				// a singleton would. Completed requests keep their
+				// replies; the interrupted one reports the timeout.
+				if rerr == nil {
+					br.replies[i].Err = pal.ErrPALTimeout
+					br.replies[i].Output = nil
+				}
+				st.palErr = pal.ErrPALTimeout
+				break
+			}
+		}
+		if st.palErr == nil {
+			br.trailer, err = br.bp.CloseBatch(env, bctx)
+			if err != nil {
+				st.palErr = fmt.Errorf("core: batch close: %w", err)
+			}
+		}
+	}
+	env.ExitSandbox()
+	if st.palErr == nil {
+		st.palOut, err = encodeBatchOutput(br.replies, br.trailer)
+		if err != nil {
+			st.palErr = err
+		} else if err := st.writeOutputPage(st.palOut); err != nil {
+			return err
+		}
+	}
+	if v, err := env.PCR17(); err == nil {
+		st.res.PCR17AtLaunch = v
+	}
+	return nil
+}
+
+// runBatchRequest executes one request as an observer-visible span. Charges
+// the PAL incurs during the request attribute to the "request" phase, and
+// the span lands in the session timeline, so a trace of a batched session
+// shows N request spans inside pal-exec. Request errors are reply-level,
+// not session aborts, so PhaseEnd sees nil.
+func (st *sessionState) runBatchRequest(bctx any, i int, req []byte) ([]byte, error) {
+	start := st.p.Clock.Now()
+	st.setPhase(phaseRequest)
+	for _, o := range st.obs {
+		o.PhaseStart(st.res.SessionID, phaseRequest, start)
+	}
+	out, err := st.opts.batch.bp.RunRequest(st.env, bctx, i, req)
+	end := st.p.Clock.Now()
+	st.res.Phases = append(st.res.Phases, Phase{Name: phaseRequest, Start: start, Duration: end - start})
+	for _, o := range st.obs {
+		o.PhaseEnd(st.res.SessionID, phaseRequest, end, nil)
+	}
+	st.setPhase("pal-exec")
+	return out, err
+}
+
+// --- Wire framing -----------------------------------------------------------
+
+// batchInputOverhead is the fixed frame cost: header length + count words.
+const batchInputOverhead = 8
+
+// BatchInputFits reports whether a header plus requests of the given sizes
+// fit the input page once framed. The pool's coalescer uses it to bound
+// group growth before paying for a session.
+func BatchInputFits(headerLen int, reqLens ...int) bool {
+	total := batchInputOverhead + headerLen
+	for _, n := range reqLens {
+		total += 4 + n
+	}
+	return total <= slb.PageSize-4
+}
+
+func encodeBatchInput(header []byte, reqs [][]byte) ([]byte, error) {
+	total := batchInputOverhead + len(header)
+	for _, r := range reqs {
+		total += 4 + len(r)
+	}
+	if total > slb.PageSize-4 {
+		return nil, fmt.Errorf("%w: %d requests frame to %d bytes", ErrBatchTooLarge, len(reqs), total)
+	}
+	out := make([]byte, 0, total)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(header)))
+	out = append(out, header...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(reqs)))
+	for _, r := range reqs {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(r)))
+		out = append(out, r...)
+	}
+	return out, nil
+}
+
+func decodeBatchInput(b []byte) (header []byte, reqs [][]byte, err error) {
+	take := func() ([]byte, error) {
+		if len(b) < 4 {
+			return nil, errors.New("core: truncated batch input frame")
+		}
+		n := binary.BigEndian.Uint32(b)
+		if int(n) > len(b)-4 {
+			return nil, errors.New("core: batch input field overflow")
+		}
+		f := b[4 : 4+n]
+		b = b[4+n:]
+		return f, nil
+	}
+	if header, err = take(); err != nil {
+		return nil, nil, err
+	}
+	if len(b) < 4 {
+		return nil, nil, errors.New("core: truncated batch input count")
+	}
+	count := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	reqs = make([][]byte, 0, count)
+	for i := uint32(0); i < count; i++ {
+		r, err := take()
+		if err != nil {
+			return nil, nil, err
+		}
+		reqs = append(reqs, r)
+	}
+	if len(b) != 0 {
+		return nil, nil, errors.New("core: trailing bytes after batch input frame")
+	}
+	return header, reqs, nil
+}
+
+// Reply status bytes in the output frame.
+const (
+	batchReplyOK  byte = 0
+	batchReplyErr byte = 1
+)
+
+// encodeBatchOutput frames the replies and trailer for the output page. A
+// successful reply whose payload would overflow the shared page is
+// downgraded in place to a reply-level error — the other replies and,
+// critically, the trailer (carried state) still make it out. Only a frame
+// that cannot fit even its error strings fails the batch.
+func encodeBatchOutput(replies []pal.BatchReply, trailer []byte) ([]byte, error) {
+	const capacity = slb.PageSize - 4
+	size := func() int {
+		total := 4 + 4 + len(trailer)
+		for _, r := range replies {
+			total += 5
+			if r.Err != nil {
+				total += len(r.Err.Error())
+			} else {
+				total += len(r.Output)
+			}
+		}
+		return total
+	}
+	if size() > capacity {
+		// Downgrade the largest successful replies until the frame fits.
+		for size() > capacity {
+			worst, worstLen := -1, 0
+			for i, r := range replies {
+				if r.Err == nil && len(r.Output) > worstLen {
+					worst, worstLen = i, len(r.Output)
+				}
+			}
+			if worst < 0 {
+				return nil, fmt.Errorf("core: batch output frame of %d bytes exceeds the 4 KB output page", size())
+			}
+			replies[worst] = pal.BatchReply{Err: fmt.Errorf("core: reply of %d bytes overflows the shared output page", worstLen)}
+		}
+	}
+	out := make([]byte, 0, size())
+	out = binary.BigEndian.AppendUint32(out, uint32(len(replies)))
+	for _, r := range replies {
+		payload := r.Output
+		status := batchReplyOK
+		if r.Err != nil {
+			status = batchReplyErr
+			payload = []byte(r.Err.Error())
+		}
+		out = append(out, status)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(payload)))
+		out = append(out, payload...)
+	}
+	out = binary.BigEndian.AppendUint32(out, uint32(len(trailer)))
+	out = append(out, trailer...)
+	return out, nil
+}
+
+// DecodeBatchOutput parses a batched session's Outputs frame back into
+// per-request replies and the trailer — the verifier-side complement of the
+// framing the attestation's output digest covers.
+func DecodeBatchOutput(b []byte) ([]pal.BatchReply, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, errors.New("core: truncated batch output frame")
+	}
+	count := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	replies := make([]pal.BatchReply, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(b) < 5 {
+			return nil, nil, errors.New("core: truncated batch reply")
+		}
+		status := b[0]
+		n := binary.BigEndian.Uint32(b[1:])
+		if int(n) > len(b)-5 {
+			return nil, nil, errors.New("core: batch reply overflow")
+		}
+		payload := append([]byte(nil), b[5:5+n]...)
+		b = b[5+n:]
+		switch status {
+		case batchReplyOK:
+			replies = append(replies, pal.BatchReply{Output: payload})
+		case batchReplyErr:
+			replies = append(replies, pal.BatchReply{Err: errors.New(string(payload))})
+		default:
+			return nil, nil, fmt.Errorf("core: unknown batch reply status %d", status)
+		}
+	}
+	if len(b) < 4 {
+		return nil, nil, errors.New("core: truncated batch trailer")
+	}
+	n := binary.BigEndian.Uint32(b)
+	if int(n) != len(b)-4 {
+		return nil, nil, errors.New("core: batch trailer length mismatch")
+	}
+	return replies, append([]byte(nil), b[4:4+n]...), nil
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"flicker/internal/pal"
+	"flicker/internal/simtime"
+	"flicker/internal/slb"
+)
+
+// echoPAL is deterministic per input, so batch replies can be compared
+// byte-for-byte against singleton outputs.
+func echoPAL() pal.PAL {
+	return &pal.Func{
+		PALName: "echo",
+		Binary:  pal.DescriptorCode("echo", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			return append([]byte("echo:"), input...), nil
+		},
+	}
+}
+
+// The acceptance check: a batched session's launch identity (PCR-17 after
+// SKINIT) and its per-request outputs are bit-identical to running the same
+// requests as individual sessions.
+func TestBatchMatchesSingletonSessions(t *testing.T) {
+	reqs := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc"), []byte("dddd")}
+
+	single := newPlatform(t)
+	var wantOut [][]byte
+	var wantPCR []string
+	for _, r := range reqs {
+		res, err := single.RunSession(echoPAL(), SessionOptions{Input: r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PALError != nil {
+			t.Fatal(res.PALError)
+		}
+		wantOut = append(wantOut, res.Outputs)
+		wantPCR = append(wantPCR, fmt.Sprintf("%x", res.PCR17AtLaunch))
+	}
+
+	batched := newPlatform(t)
+	br, err := batched.RunSessionBatch(echoPAL(), Batch{Requests: reqs}, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Session.PALError != nil {
+		t.Fatal(br.Session.PALError)
+	}
+	if br.Completed != len(reqs) {
+		t.Fatalf("Completed = %d, want %d", br.Completed, len(reqs))
+	}
+	// One measurement for the whole group, identical to every singleton's.
+	if got := fmt.Sprintf("%x", br.Session.PCR17AtLaunch); got != wantPCR[0] {
+		t.Errorf("batch PCR17AtLaunch = %s, singleton = %s", got, wantPCR[0])
+	}
+	for i, p := range wantPCR {
+		if p != wantPCR[0] {
+			t.Fatalf("singleton %d PCR17AtLaunch differs — test assumption broken", i)
+		}
+	}
+	// Per-request outputs bit-identical to the singleton sessions'.
+	for i := range reqs {
+		if br.Replies[i].Err != nil {
+			t.Fatalf("reply %d: %v", i, br.Replies[i].Err)
+		}
+		if string(br.Replies[i].Output) != string(wantOut[i]) {
+			t.Errorf("reply %d = %q, singleton output = %q", i, br.Replies[i].Output, wantOut[i])
+		}
+	}
+	// The framed output page round-trips to the same replies (the bytes the
+	// attestation's output digest covers are per-request attributable).
+	replies, trailer, err := DecodeBatchOutput(br.Session.Outputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trailer) != 0 {
+		t.Errorf("trailer = %d bytes, want none", len(trailer))
+	}
+	for i := range reqs {
+		if string(replies[i].Output) != string(wantOut[i]) {
+			t.Errorf("decoded reply %d = %q, want %q", i, replies[i].Output, wantOut[i])
+		}
+	}
+}
+
+// The amortization claim itself, in simulated time: one batch of 8 must
+// beat 8 singleton sessions by at least 3x (it is nearer 8x — the whole
+// fixed cost is paid once).
+func TestBatchAmortization(t *testing.T) {
+	const n = 8
+	reqs := make([][]byte, n)
+	for i := range reqs {
+		reqs[i] = []byte{byte(i)}
+	}
+
+	single := newPlatform(t)
+	var singletonTotal time.Duration
+	for _, r := range reqs {
+		res, err := single.RunSession(echoPAL(), SessionOptions{Input: r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		singletonTotal += res.Duration()
+	}
+
+	batched := newPlatform(t)
+	br, err := batched.RunSessionBatch(echoPAL(), Batch{Requests: reqs}, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchTotal := br.Session.Duration()
+	if batchTotal <= 0 {
+		t.Fatalf("batch duration = %v", batchTotal)
+	}
+	ratio := float64(singletonTotal) / float64(batchTotal)
+	t.Logf("8 singletons: %v, 1 batch of 8: %v (%.1fx)", singletonTotal, batchTotal, ratio)
+	if ratio < 3 {
+		t.Fatalf("amortization ratio = %.2fx, want >= 3x", ratio)
+	}
+}
+
+// An abort at request k must scrub the window, cap PCR 17, and report
+// exactly the completed prefix.
+func TestBatchAbortMidBatchPrefix(t *testing.T) {
+	p := newPlatform(t)
+	// Learn the (stable) SLB base from a clean session first.
+	warm, err := p.RunSession(echoPAL(), SessionOptions{Input: []byte("warm")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := warm.SLBBase
+	boom := errors.New("killed at request 2")
+	reqs := [][]byte{[]byte("0"), []byte("1"), []byte("2"), []byte("3"), []byte("4")}
+	br, err := p.RunSessionBatch(echoPAL(), Batch{Requests: reqs}, SessionOptions{
+		Injector: func(phase string) error {
+			if phase == "request[2]" {
+				return boom
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected abort", err)
+	}
+	if br == nil {
+		t.Fatal("BatchResult is nil on abort; want the completed prefix")
+	}
+	if br.Completed != 2 || len(br.Replies) != 2 {
+		t.Fatalf("Completed = %d (%d replies), want exactly the 2-request prefix", br.Completed, len(br.Replies))
+	}
+	for i, r := range br.Replies {
+		if r.Err != nil || string(r.Output) != "echo:"+string(reqs[i]) {
+			t.Errorf("prefix reply %d = (%q, %v)", i, r.Output, r.Err)
+		}
+	}
+	// The abort teardown blanket-zeroed the SLB window and parameter pages.
+	win, err := p.Machine.Mem.Read(base, slb.ParamAreaLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range win {
+		if b != 0 {
+			t.Fatalf("window byte %d = %#x after abort; want fully zeroed", i, b)
+		}
+	}
+	// PCR 17 was capped: the platform still runs clean sessions afterwards,
+	// with the same launch identity as ever.
+	res, err := p.RunSession(echoPAL(), SessionOptions{Input: []byte("after")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PALError != nil || string(res.Outputs) != "echo:after" {
+		t.Fatalf("post-abort session = (%q, %v)", res.Outputs, res.PALError)
+	}
+	st := p.Stats()
+	if st.Aborted != 1 {
+		t.Fatalf("Aborted = %d, want 1", st.Aborted)
+	}
+}
+
+// A request-level PAL failure must not leak into its neighbors or abort
+// the session.
+func TestBatchRequestErrorsIsolated(t *testing.T) {
+	p := newPlatform(t)
+	picky := &pal.Func{
+		PALName: "picky",
+		Binary:  pal.DescriptorCode("picky", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			if string(input) == "bad" {
+				return nil, errors.New("picky: refused")
+			}
+			return append([]byte("ok:"), input...), nil
+		},
+	}
+	br, err := p.RunSessionBatch(picky, Batch{Requests: [][]byte{[]byte("x"), []byte("bad"), []byte("y")}}, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Session.PALError != nil {
+		t.Fatalf("session PALError = %v; a request failure must stay request-level", br.Session.PALError)
+	}
+	if br.Replies[0].Err != nil || string(br.Replies[0].Output) != "ok:x" {
+		t.Errorf("reply 0 = (%q, %v)", br.Replies[0].Output, br.Replies[0].Err)
+	}
+	if br.Replies[1].Err == nil || !strings.Contains(br.Replies[1].Err.Error(), "refused") {
+		t.Errorf("reply 1 err = %v, want the PAL refusal", br.Replies[1].Err)
+	}
+	if br.Replies[2].Err != nil || string(br.Replies[2].Output) != "ok:y" {
+		t.Errorf("reply 2 = (%q, %v)", br.Replies[2].Output, br.Replies[2].Err)
+	}
+}
+
+// Observers see one span per request, and charges the PAL incurs during a
+// request attribute to it.
+func TestBatchPerRequestSpans(t *testing.T) {
+	p := newPlatform(t)
+	var spans int
+	var charged time.Duration
+	p.AddObserver(&funcObserver{
+		phaseStart: func(phase string) {
+			if phase == phaseRequest {
+				spans++
+			}
+		},
+		charge: func(phase string, c simtime.Charge) {
+			if phase == phaseRequest {
+				charged += c.Duration
+			}
+		},
+	})
+	worker := &pal.Func{
+		PALName: "worker",
+		Binary:  pal.DescriptorCode("worker", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			env.ChargeCPU(simtime.Charge{Duration: time.Millisecond, Label: "cpu.work"})
+			return []byte("done"), nil
+		},
+	}
+	reqs := [][]byte{{1}, {2}, {3}}
+	br, err := p.RunSessionBatch(worker, Batch{Requests: reqs}, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spans != len(reqs) {
+		t.Errorf("request spans = %d, want %d", spans, len(reqs))
+	}
+	if charged < 3*time.Millisecond {
+		t.Errorf("charges attributed to request spans = %v, want >= 3ms", charged)
+	}
+	// The session timeline records the same spans.
+	var inTimeline int
+	for _, ph := range br.Session.Phases {
+		if ph.Name == phaseRequest {
+			inTimeline++
+		}
+	}
+	if inTimeline != len(reqs) {
+		t.Errorf("timeline request phases = %d, want %d", inTimeline, len(reqs))
+	}
+}
+
+// funcObserver adapts closures to the Observer interface for tests.
+type funcObserver struct {
+	phaseStart func(phase string)
+	charge     func(phase string, c simtime.Charge)
+}
+
+func (f *funcObserver) SessionStart(SessionMeta) {}
+func (f *funcObserver) PhaseStart(_ uint64, phase string, _ time.Duration) {
+	if f.phaseStart != nil {
+		f.phaseStart(phase)
+	}
+}
+func (f *funcObserver) Charge(_ uint64, phase string, c simtime.Charge) {
+	if f.charge != nil {
+		f.charge(phase, c)
+	}
+}
+func (f *funcObserver) PhaseEnd(uint64, string, time.Duration, error) {}
+func (f *funcObserver) SessionEnd(uint64, time.Duration, error)       {}
+
+// The SLB Core's session timer fires mid-batch: the interrupted request
+// reports the timeout, later requests never run, completed replies survive.
+func TestBatchTimeoutStopsLoop(t *testing.T) {
+	p := newPlatform(t)
+	slow := &pal.Func{
+		PALName: "slow",
+		Binary:  pal.DescriptorCode("slow", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			env.ChargeCPU(simtime.Charge{Duration: 10 * time.Millisecond, Label: "cpu.slow"})
+			return []byte("done"), nil
+		},
+	}
+	reqs := [][]byte{{0}, {1}, {2}, {3}}
+	br, err := p.RunSessionBatch(slow, Batch{Requests: reqs}, SessionOptions{MaxPALTime: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(br.Session.PALError, pal.ErrPALTimeout) {
+		t.Fatalf("session PALError = %v, want ErrPALTimeout", br.Session.PALError)
+	}
+	if br.Completed >= len(reqs) || br.Completed == 0 {
+		t.Fatalf("Completed = %d, want a strict prefix", br.Completed)
+	}
+	last := br.Replies[br.Completed-1]
+	if !errors.Is(last.Err, pal.ErrPALTimeout) {
+		t.Errorf("interrupted reply err = %v, want ErrPALTimeout", last.Err)
+	}
+	for _, r := range br.Replies[:br.Completed-1] {
+		if r.Err != nil || string(r.Output) != "done" {
+			t.Errorf("completed reply = (%q, %v)", r.Output, r.Err)
+		}
+	}
+}
+
+// Input validation: empty batches and groups that overflow the input page
+// are rejected before any session cost is paid.
+func TestBatchInputValidation(t *testing.T) {
+	p := newPlatform(t)
+	if _, err := p.RunSessionBatch(echoPAL(), Batch{}, SessionOptions{}); err == nil {
+		t.Error("empty batch accepted")
+	}
+	big := make([]byte, slb.PageSize/2)
+	_, err := p.RunSessionBatch(echoPAL(), Batch{Requests: [][]byte{big, big, big}}, SessionOptions{})
+	if !errors.Is(err, ErrBatchTooLarge) {
+		t.Errorf("oversized batch err = %v, want ErrBatchTooLarge", err)
+	}
+	if n := p.Stats().Sessions; n != 0 {
+		t.Errorf("rejected batches ran %d sessions", n)
+	}
+	// BatchInputFits agrees with the encoder.
+	if !BatchInputFits(0, 10, 10) {
+		t.Error("BatchInputFits rejects a tiny batch")
+	}
+	if BatchInputFits(0, len(big), len(big), len(big)) {
+		t.Error("BatchInputFits accepts an overflowing batch")
+	}
+}
+
+// A plain (non-BatchPAL) PAL must reject a batch header: it has no way to
+// consume shared carried state, and silently dropping it would break the
+// caller's sealed-state expectations.
+func TestBatchHeaderRejectedForPlainPAL(t *testing.T) {
+	p := newPlatform(t)
+	br, err := p.RunSessionBatch(echoPAL(), Batch{Header: []byte("sealed"), Requests: [][]byte{{1}}}, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Session.PALError == nil || !strings.Contains(br.Session.PALError.Error(), "header") {
+		t.Fatalf("PALError = %v, want a header rejection", br.Session.PALError)
+	}
+	if br.Completed != 0 {
+		t.Fatalf("Completed = %d, want 0 (no request ran)", br.Completed)
+	}
+}

@@ -85,6 +85,10 @@ type sessionState struct {
 	aborted     bool
 	windowWiped bool
 
+	// obs is the observer list for this session, captured once by
+	// runPipeline; the batch body uses it to emit per-request spans.
+	obs []Observer
+
 	teardowns []func(*sessionState)
 
 	// phaseMu guards curPhase, which the clock's charge hook reads to
@@ -136,6 +140,7 @@ func (p *Platform) runPipeline(pipe *sessionPipeline, pl pal.PAL, opts SessionOp
 		},
 	}
 	obs := p.observerList()
+	st.obs = obs
 	for _, o := range obs {
 		o.SessionStart(SessionMeta{
 			ID:       st.res.SessionID,
@@ -300,10 +305,11 @@ func (st *sessionState) launched(ll *cpu.LateLaunch) {
 	st.res.Measurement = ll.Measurement
 }
 
-// palExecBody initializes the SLB Core environment (stage-2/extra-code
-// measurement, TPM driver at locality 2), runs the PAL, and writes its
-// outputs to the well-known output page.
-func palExecBody(st *sessionState) error {
+// setupPALEnv is the pal-exec prologue shared by the singleton and batch
+// bodies: stage-2/extra-code measurement, identity computation, Env
+// construction, and the input read-back from the input page. It sets st.env
+// and returns the input bytes the PAL will see.
+func setupPALEnv(st *sessionState) ([]byte, error) {
 	p := st.p
 	palTPM := tpm.NewClient(p.Bus, tis.Locality2, []byte(fmt.Sprintf("pal-tpm-%d", p.nextSeq())))
 
@@ -312,7 +318,7 @@ func palExecBody(st *sessionState) error {
 	if st.im.TwoStage() {
 		p.Clock.Advance(p.Profile.CPUHashCost(slb.MaxLen), "cpu.hash")
 		if _, err := palTPM.Extend(17, st.im.WindowMeasurement()); err != nil {
-			return fmt.Errorf("core: stage-2 extend: %w", err)
+			return nil, fmt.Errorf("core: stage-2 extend: %w", err)
 		}
 	}
 	// Additional PAL code above the 64 KB window: the preparatory code adds
@@ -320,11 +326,11 @@ func palExecBody(st *sessionState) error {
 	// it runs (Section 2.4).
 	if st.im.HasExtra() {
 		if err := st.ll.ExtendProtection(st.slbBase+uint32(slb.ExtraCodeOffset), len(st.im.Extra())); err != nil {
-			return fmt.Errorf("core: extending DEV over extra PAL code: %w", err)
+			return nil, fmt.Errorf("core: extending DEV over extra PAL code: %w", err)
 		}
 		p.Clock.Advance(p.Profile.CPUHashCost(len(st.im.Extra())), "cpu.hash")
 		if _, err := palTPM.Extend(17, st.im.ExtraMeasurement()); err != nil {
-			return fmt.Errorf("core: extra-code extend: %w", err)
+			return nil, fmt.Errorf("core: extra-code extend: %w", err)
 		}
 	}
 	identity := st.ll.PCR17
@@ -350,15 +356,40 @@ func palExecBody(st *sessionState) error {
 		ExtraLen:   len(st.im.Extra()),
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	st.env = env
 	// Read inputs back from the input page — the PAL sees what is in
 	// memory, not what the application intended to write.
-	input, err := p.Mod.ReadInputs(st.slbBase)
+	return p.Mod.ReadInputs(st.slbBase)
+}
+
+// writeOutputPage frames out with a 4-byte big-endian length prefix into the
+// well-known output page. An oversized output is a PAL-level error (recorded
+// in st.palErr); a memory fault is a session error.
+func (st *sessionState) writeOutputPage(out []byte) error {
+	if len(out) > slb.PageSize-4 {
+		st.palErr = fmt.Errorf("core: PAL output of %d bytes exceeds the 4 KB output page", len(out))
+		return nil
+	}
+	page := make([]byte, 4+len(out))
+	page[0] = byte(len(out) >> 24)
+	page[1] = byte(len(out) >> 16)
+	page[2] = byte(len(out) >> 8)
+	page[3] = byte(len(out))
+	copy(page[4:], out)
+	return st.p.Machine.Mem.Write(st.env.OutputAddr(), page)
+}
+
+// palExecBody initializes the SLB Core environment (stage-2/extra-code
+// measurement, TPM driver at locality 2), runs the PAL, and writes its
+// outputs to the well-known output page.
+func palExecBody(st *sessionState) error {
+	input, err := setupPALEnv(st)
 	if err != nil {
 		return err
 	}
+	env := st.env
 	st.palOut, st.palErr = st.pl.Run(env, input)
 	if st.palErr == nil && env.TimedOut() {
 		// The SLB Core's timer fired during execution.
@@ -370,18 +401,8 @@ func palExecBody(st *sessionState) error {
 	env.ExitSandbox()
 	// Outputs are written to the well-known page beyond the SLB.
 	if st.palErr == nil {
-		if len(st.palOut) > slb.PageSize-4 {
-			st.palErr = fmt.Errorf("core: PAL output of %d bytes exceeds the 4 KB output page", len(st.palOut))
-		} else {
-			page := make([]byte, 4+len(st.palOut))
-			page[0] = byte(len(st.palOut) >> 24)
-			page[1] = byte(len(st.palOut) >> 16)
-			page[2] = byte(len(st.palOut) >> 8)
-			page[3] = byte(len(st.palOut))
-			copy(page[4:], st.palOut)
-			if err := p.Machine.Mem.Write(env.OutputAddr(), page); err != nil {
-				return err
-			}
+		if err := st.writeOutputPage(st.palOut); err != nil {
+			return err
 		}
 	}
 	if v, err := env.PCR17(); err == nil {

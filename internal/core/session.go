@@ -40,6 +40,10 @@ type SessionOptions struct {
 
 	// image, when set (by the registry path), reuses a prebuilt image.
 	image *slb.Image
+	// batch, when set (by RunSessionBatch), carries the decoded request
+	// group and collects per-request replies; the classic-batch pipeline's
+	// pal-exec body drives the request loop from it.
+	batch *batchRun
 }
 
 // Phase is one step of the Figure 2 timeline with its simulated cost.

@@ -49,7 +49,13 @@ type Bus struct {
 	metRequests *metrics.CounterVec // locality, result
 	metReleases *metrics.CounterVec // locality, result
 	metSubmits  *metrics.CounterVec // locality, result
-	events      *metrics.EventLog
+	// Happy-path series resolved once per locality so the per-command grab/
+	// submit/release cycle does not re-join label keys (fault paths take the
+	// slow With lookup). Indexed by locality; reset by Instrument.
+	okRequests [Locality4 + 1]*metrics.Counter
+	okReleases [Locality4 + 1]*metrics.Counter
+	okSubmits  [Locality4 + 1]*metrics.Counter
+	events     *metrics.EventLog
 }
 
 // ErrLocalityBusy is returned when a different locality holds the interface.
@@ -80,7 +86,20 @@ func (b *Bus) Instrument(reg *metrics.Registry, events *metrics.EventLog) {
 		"TIS locality releases, by locality and result.", "locality", "result")
 	b.metSubmits = reg.Counter("flicker_tis_submits_total",
 		"TPM command submissions through the TIS window, by locality and result.", "locality", "result")
+	b.okRequests = [Locality4 + 1]*metrics.Counter{}
+	b.okReleases = [Locality4 + 1]*metrics.Counter{}
+	b.okSubmits = [Locality4 + 1]*metrics.Counter{}
 	b.events = events
+}
+
+// cachedOK returns (lazily resolving) the happy-path series for a valid
+// locality from cache, so series only appear in the exposition once used.
+// Callers hold b.mu.
+func cachedOK(cache *[Locality4 + 1]*metrics.Counter, vec *metrics.CounterVec, l Locality, result string) *metrics.Counter {
+	if cache[l] == nil {
+		cache[l] = vec.With(locLabel(l), result)
+	}
+	return cache[l]
 }
 
 // locLabel renders a locality (possibly invalid) as a metric label.
@@ -105,7 +124,7 @@ func (b *Bus) RequestUse(l Locality) error {
 			fmt.Sprintf("tis: locality %d grab rejected; locality %d holds the interface", l, b.active))
 		return ErrLocalityBusy
 	}
-	b.metRequests.With(locLabel(l), "granted").Inc()
+	cachedOK(&b.okRequests, b.metRequests, l, "granted").Inc()
 	b.active = l
 	b.claimed = true
 	return nil
@@ -119,7 +138,7 @@ func (b *Bus) Release(l Locality) error {
 		b.metReleases.With(locLabel(l), "fault").Inc()
 		return fmt.Errorf("tis: locality %d does not hold the interface", l)
 	}
-	b.metReleases.With(locLabel(l), "ok").Inc()
+	cachedOK(&b.okReleases, b.metReleases, l, "ok").Inc()
 	b.claimed = false
 	b.active = -1
 	return nil
@@ -146,7 +165,7 @@ func (b *Bus) Submit(l Locality, cmd []byte) ([]byte, error) {
 		b.mu.Unlock()
 		return nil, ErrNotClaimed
 	}
-	b.metSubmits.With(locLabel(l), "ok").Inc()
+	cachedOK(&b.okSubmits, b.metSubmits, l, "ok").Inc()
 	b.mu.Unlock()
 	return b.tpm.HandleCommand(l, cmd), nil
 }

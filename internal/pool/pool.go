@@ -21,10 +21,12 @@
 package pool
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"flicker/internal/core"
 	"flicker/internal/metrics"
@@ -47,12 +49,26 @@ type Config struct {
 	// suffixed per shard so the platforms are distinct but deterministic;
 	// Metrics/Events are overridden with the pool's shared pair.
 	Platform core.PlatformConfig
+	// MaxBatch enables the adaptive coalescer: a shard worker gathers up
+	// to MaxBatch queued jobs for the same PAL and runs them as ONE
+	// batched session (group-commit style), amortizing the per-session
+	// fixed costs. 0 or 1 disables coalescing (every job is a singleton
+	// session). Jobs that cannot share a session — different PAL code,
+	// incompatible options, a verifier nonce, fault injection, or a group
+	// that would overflow the input page — fall back to singleton
+	// sessions.
+	MaxBatch int
+	// MaxWait bounds how long a worker holds the first job of a group
+	// open waiting for companions before flushing what it has (default
+	// 1ms; only meaningful when MaxBatch > 1).
+	MaxWait time.Duration
 }
 
 // job is one queued session.
 type job struct {
 	pl   pal.PAL
 	opts core.SessionOptions
+	enq  time.Time
 	done chan result
 }
 
@@ -72,10 +88,12 @@ type shard struct {
 
 // Pool is a sharded session pool.
 type Pool struct {
-	shards  []*shard
-	metrics *metrics.Registry
-	events  *metrics.EventLog
-	wg      sync.WaitGroup
+	shards   []*shard
+	metrics  *metrics.Registry
+	events   *metrics.EventLog
+	wg       sync.WaitGroup
+	maxBatch int
+	maxWait  time.Duration
 
 	// closeMu guards the submit/close handshake: submissions hold the read
 	// side while enqueueing, Close takes the write side to flip closed and
@@ -83,8 +101,11 @@ type Pool struct {
 	closeMu sync.RWMutex
 	closed  bool
 
-	metSubmit   *metrics.CounterVec // route: home|overflow
-	metRejected *metrics.CounterVec
+	metSubmit     *metrics.CounterVec // route: home|overflow
+	metRejected   *metrics.CounterVec
+	metBatchSize  *metrics.Histogram
+	metBatchFlush *metrics.CounterVec // reason: full|timeout|drain
+	metQueueDelay *metrics.Histogram
 }
 
 // New builds and boots a pool of cfg.Shards platforms.
@@ -107,13 +128,26 @@ func New(cfg Config) (*Pool, error) {
 	if seed == "" {
 		seed = "flicker"
 	}
+	if cfg.MaxBatch > 1 && cfg.MaxWait <= 0 {
+		cfg.MaxWait = time.Millisecond
+	}
 	p := &Pool{
-		metrics: reg,
-		events:  events,
+		metrics:  reg,
+		events:   events,
+		maxBatch: cfg.MaxBatch,
+		maxWait:  cfg.MaxWait,
 		metSubmit: reg.Counter("flicker_pool_submissions_total",
 			"Sessions submitted to the pool, by route (home = PAL-affinity shard).", "route"),
 		metRejected: reg.Counter("flicker_pool_rejected_total",
 			"TryRun submissions rejected because every shard queue was full."),
+		metBatchSize: reg.Histogram("flicker_pool_batch_size",
+			"Jobs coalesced per flushed group (1 = singleton fallback).",
+			[]float64{1, 2, 4, 8, 16, 32}).With(),
+		metBatchFlush: reg.Counter("flicker_pool_batch_flush_total",
+			"Coalescer group flushes, by reason.", "reason"),
+		metQueueDelay: reg.Histogram("flicker_pool_queue_delay_seconds",
+			"Wall-clock time a job spent queued before its session started.",
+			[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}).With(),
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		scfg := cfg.Platform
@@ -136,13 +170,158 @@ func New(cfg Config) (*Pool, error) {
 	return p, nil
 }
 
-// worker drains one shard's queue until it is closed.
+// worker drains one shard's queue until it is closed. With coalescing
+// enabled it gathers a group per iteration; otherwise each job is one
+// singleton session.
 func (p *Pool) worker(s *shard) {
 	defer p.wg.Done()
 	for j := range s.jobs {
-		res, err := s.platform.RunSession(j.pl, j.opts)
+		if p.maxBatch <= 1 {
+			p.runSingleton(s, j)
+			continue
+		}
+		group, reason := p.gather(s, j)
+		p.flush(s, group, reason)
+	}
+}
+
+// runSingleton executes one job as its own session.
+func (p *Pool) runSingleton(s *shard, j job) {
+	p.metQueueDelay.ObserveDuration(time.Since(j.enq))
+	res, err := s.platform.RunSession(j.pl, j.opts)
+	s.pending.Add(-1)
+	j.done <- result{res: res, err: err}
+}
+
+// gather collects up to MaxBatch jobs, holding the first for at most
+// MaxWait (group commit): a burst flushes immediately at MaxBatch, a lone
+// request waits one MaxWait and runs alone, and a closing queue flushes
+// whatever is in hand.
+func (p *Pool) gather(s *shard, first job) ([]job, string) {
+	group := []job{first}
+	timer := time.NewTimer(p.maxWait)
+	defer timer.Stop()
+	for len(group) < p.maxBatch {
+		select {
+		case j, ok := <-s.jobs:
+			if !ok {
+				// Queue closed: flush in-hand jobs; the worker loop's
+				// range then terminates.
+				return group, "drain"
+			}
+			group = append(group, j)
+		case <-timer.C:
+			return group, "timeout"
+		}
+	}
+	return group, "full"
+}
+
+// batchable reports whether a job may share a session with others at all:
+// a verifier nonce, fault injection, or an injector pins a job to its own
+// singleton session.
+func batchable(j job) bool {
+	return j.opts.Nonce == nil && j.opts.FailPhase == "" && j.opts.Injector == nil
+}
+
+// coalescable reports whether b can join a group keyed by a: same measured
+// identity (name + code + extra code) and identical session options.
+func coalescable(a, b job) bool {
+	if !batchable(a) || !batchable(b) {
+		return false
+	}
+	if a.pl.Name() != b.pl.Name() || !bytes.Equal(a.pl.Code(), b.pl.Code()) {
+		return false
+	}
+	ae, aok := a.pl.(pal.LargePAL)
+	be, bok := b.pl.(pal.LargePAL)
+	if aok != bok || (aok && !bytes.Equal(ae.ExtraCode(), be.ExtraCode())) {
+		return false
+	}
+	return a.opts.Sandbox == b.opts.Sandbox &&
+		a.opts.HeapSize == b.opts.HeapSize &&
+		a.opts.TwoStage == b.opts.TwoStage &&
+		a.opts.MaxPALTime == b.opts.MaxPALTime
+}
+
+// flush partitions a gathered group by PAL affinity and option
+// compatibility (bounded by what fits the input page) and runs each
+// partition: one batched session for 2+ jobs, a singleton session for a
+// lone job.
+func (p *Pool) flush(s *shard, group []job, reason string) {
+	now := time.Now()
+	for _, j := range group {
+		p.metQueueDelay.ObserveDuration(now.Sub(j.enq))
+	}
+	used := make([]bool, len(group))
+	for i := range group {
+		if used[i] {
+			continue
+		}
+		used[i] = true
+		part := []job{group[i]}
+		sizes := []int{len(group[i].opts.Input)}
+		if batchable(group[i]) {
+			for k := i + 1; k < len(group) && len(part) < p.maxBatch; k++ {
+				if used[k] || !coalescable(group[i], group[k]) {
+					continue
+				}
+				if !core.BatchInputFits(0, append(sizes, len(group[k].opts.Input))...) {
+					continue
+				}
+				used[k] = true
+				part = append(part, group[k])
+				sizes = append(sizes, len(group[k].opts.Input))
+			}
+		}
+		p.metBatchSize.Observe(float64(len(part)))
+		if len(part) == 1 {
+			p.runSingletonNoDelay(s, part[0])
+			continue
+		}
+		p.metBatchFlush.With(reason).Inc()
+		p.runBatch(s, part)
+	}
+}
+
+// runSingletonNoDelay is runSingleton minus the queue-delay observation
+// (flush already recorded it for the whole group).
+func (p *Pool) runSingletonNoDelay(s *shard, j job) {
+	res, err := s.platform.RunSession(j.pl, j.opts)
+	s.pending.Add(-1)
+	j.done <- result{res: res, err: err}
+}
+
+// runBatch executes a partition as one batched session and fans the
+// per-request replies back out to the waiting submitters. Each job's
+// SessionResult is the shared session's, narrowed to its own reply, so a
+// caller cannot observe another request's output. On session abort, every
+// member of the group sees the abort error — the batch engine's
+// completed-prefix contract is exercised directly via RunSessionBatch.
+func (p *Pool) runBatch(s *shard, part []job) {
+	reqs := make([][]byte, len(part))
+	for i, j := range part {
+		reqs[i] = j.opts.Input
+	}
+	opts := part[0].opts
+	opts.Input = nil
+	br, err := s.platform.RunSessionBatch(part[0].pl, core.Batch{Requests: reqs}, opts)
+	for i, j := range part {
 		s.pending.Add(-1)
-		j.done <- result{res: res, err: err}
+		if err != nil {
+			j.done <- result{err: err}
+			continue
+		}
+		r := *br.Session
+		if br.Session.PALError != nil {
+			// A batch-level PAL failure (OpenBatch/CloseBatch/timeout)
+			// reaches every member as its PALError.
+			r.Outputs = nil
+		} else {
+			r.Outputs = br.Replies[i].Output
+			r.PALError = br.Replies[i].Err
+		}
+		j.done <- result{res: &r}
 	}
 }
 
@@ -179,7 +358,7 @@ func (p *Pool) leastLoaded() *shard {
 // least-loaded shard; if both queues are full, either block on the home
 // shard (wait=true, backpressure) or fail with ErrSaturated.
 func (p *Pool) submit(pl pal.PAL, opts core.SessionOptions, wait bool) (chan result, error) {
-	j := job{pl: pl, opts: opts, done: make(chan result, 1)}
+	j := job{pl: pl, opts: opts, enq: time.Now(), done: make(chan result, 1)}
 
 	p.closeMu.RLock()
 	defer p.closeMu.RUnlock()

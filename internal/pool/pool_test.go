@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"flicker/internal/core"
 	"flicker/internal/pal"
+	"flicker/internal/tpm"
 )
 
 func testPAL(name string) pal.PAL {
@@ -246,4 +248,240 @@ func TestPoolSharedMetricsRegistry(t *testing.T) {
 	if st := p.Stats(); st.Sessions != 9 {
 		t.Fatalf("Stats().Sessions = %d, want 9", st.Sessions)
 	}
+}
+
+// --- Coalescer --------------------------------------------------------------
+
+// snapshotCounter sums a counter family's series, optionally filtered to one
+// label value.
+func snapshotCounter(p *Pool, family, labelValue string) float64 {
+	var total float64
+	for _, f := range p.Metrics().Snapshot().Families {
+		if f.Name != family {
+			continue
+		}
+		for _, s := range f.Series {
+			if labelValue != "" {
+				match := false
+				for _, v := range s.Labels {
+					if v == labelValue {
+						match = true
+					}
+				}
+				if !match {
+					continue
+				}
+			}
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// waitPending polls until the pool reports n queued + in-flight jobs.
+func waitPending(t *testing.T, p *Pool, n int) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if p.Stats().Pending == n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("Pending never reached %d (now %d)", n, p.Stats().Pending)
+}
+
+// The coalescer: jobs queued behind a busy worker flush as ONE batched
+// session, incompatible jobs (here: one with a verifier nonce) fall back to
+// singletons, and the batch metrics record the flush.
+func TestPoolCoalescesQueuedJobs(t *testing.T) {
+	p, err := New(Config{
+		Shards:   1,
+		QueueLen: 16,
+		MaxBatch: 8,
+		MaxWait:  20 * time.Millisecond,
+		Platform: core.PlatformConfig{Seed: "pool-batch-test"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocker := &pal.Func{
+		PALName: "blocker",
+		Binary:  pal.DescriptorCode("blocker", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			close(started)
+			<-release
+			return []byte("unblocked"), nil
+		},
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := p.Run(blocker, core.SessionOptions{}); err != nil {
+			t.Errorf("blocker: %v", err)
+		}
+	}()
+	<-started // the worker is now pinned inside the blocker session
+
+	// Queue 4 coalescable jobs plus one pinned to a singleton by its nonce.
+	batched := testPAL("batched")
+	nonce := tpm.Digest{1, 2, 3}
+	results := make([]*core.SessionResult, 5)
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opts := core.SessionOptions{Input: []byte{byte('a' + i)}}
+			if i == 4 {
+				opts.Nonce = &nonce
+			}
+			res, err := p.Run(batched, opts)
+			if err != nil {
+				t.Errorf("job %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	waitPending(t, p, 6) // blocker in flight + 5 queued
+	close(release)
+	wg.Wait()
+
+	for i := 0; i < 5; i++ {
+		if results[i] == nil {
+			t.Fatalf("job %d: no result", i)
+		}
+		if results[i].PALError != nil {
+			t.Fatalf("job %d: %v", i, results[i].PALError)
+		}
+		want := "batched:" + string([]byte{byte('a' + i)})
+		if string(results[i].Outputs) != want {
+			t.Errorf("job %d outputs = %q, want %q (reply isolation)", i, results[i].Outputs, want)
+		}
+	}
+	// 3 sessions total: the blocker, ONE batch of 4, and the nonce singleton.
+	if n := p.Shard(0).Stats().Sessions; n != 3 {
+		t.Errorf("shard ran %d sessions for 6 jobs, want 3 (coalesced)", n)
+	}
+	if v := snapshotCounter(p, "flicker_pool_batch_flush_total", ""); v != 1 {
+		t.Errorf("flicker_pool_batch_flush_total = %v, want 1", v)
+	}
+	if results[4].Pipeline != "classic" {
+		t.Errorf("nonce job ran on %q, want a singleton classic session", results[4].Pipeline)
+	}
+	if results[0].Pipeline != "classic-batch" {
+		t.Errorf("coalesced job ran on %q, want classic-batch", results[0].Pipeline)
+	}
+}
+
+// MaxBatch=1 (the default) must keep exact singleton behavior.
+func TestPoolDefaultIsSingleton(t *testing.T) {
+	p := newPool(t, 1, 4)
+	for i := 0; i < 4; i++ {
+		if _, err := p.Run(testPAL("solo"), core.SessionOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := p.Shard(0).Stats().Sessions; n != 4 {
+		t.Fatalf("sessions = %d, want 4", n)
+	}
+	if v := snapshotCounter(p, "flicker_pool_batch_flush_total", ""); v != 0 {
+		t.Fatalf("batch flushes = %v with MaxBatch unset", v)
+	}
+}
+
+// leastLoaded picks the shard with the fewest queued + in-flight sessions,
+// first-wins on ties.
+func TestPoolLeastLoaded(t *testing.T) {
+	p := newPool(t, 3, 4)
+	p.shards[0].pending.Store(5)
+	p.shards[1].pending.Store(2)
+	p.shards[2].pending.Store(7)
+	if got := p.leastLoaded(); got != p.shards[1] {
+		t.Fatalf("leastLoaded picked pending=%d, want shard 1 (pending=2)", got.pending.Load())
+	}
+	p.shards[1].pending.Store(5)
+	p.shards[2].pending.Store(5)
+	if got := p.leastLoaded(); got != p.shards[0] {
+		t.Fatal("leastLoaded tie must resolve to the first shard")
+	}
+	for _, s := range p.shards {
+		s.pending.Store(0)
+	}
+}
+
+// Overflow spill: when a PAL's home queue is full, submission overflows to
+// the least-loaded shard instead of blocking.
+func TestPoolOverflowSpill(t *testing.T) {
+	p, err := New(Config{
+		Shards:   2,
+		QueueLen: 1,
+		Platform: core.PlatformConfig{Seed: "pool-spill-test"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Find names homed on shard 0.
+	nameOn := func(idx int, prefix string) string {
+		for i := 0; ; i++ {
+			n := fmt.Sprintf("%s-%d", prefix, i)
+			if p.homeShard(n) == p.shards[idx] {
+				return n
+			}
+		}
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocker := &pal.Func{
+		PALName: nameOn(0, "blocker"),
+		Binary:  pal.DescriptorCode("blocker", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			close(started)
+			<-release
+			return []byte("unblocked"), nil
+		},
+	}
+	spillName := nameOn(0, "spill")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := p.Run(blocker, core.SessionOptions{}); err != nil {
+			t.Errorf("blocker: %v", err)
+		}
+	}()
+	<-started
+
+	// Fill shard 0's single queue slot...
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := p.Run(testPAL(spillName), core.SessionOptions{}); err != nil {
+			t.Errorf("queued job: %v", err)
+		}
+	}()
+	waitPending(t, p, 2)
+	// ...so this submission must spill to shard 1 and complete while the
+	// home worker is still pinned.
+	res, err := p.Run(testPAL(spillName), core.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Outputs) != spillName+":" {
+		t.Fatalf("spilled outputs = %q", res.Outputs)
+	}
+	if v := snapshotCounter(p, "flicker_pool_submissions_total", "overflow"); v < 1 {
+		t.Errorf("overflow submissions = %v, want >= 1", v)
+	}
+	if n := p.Shard(1).Stats().Sessions; n != 1 {
+		t.Errorf("overflow shard ran %d sessions, want 1", n)
+	}
+	close(release)
+	wg.Wait()
 }

@@ -12,10 +12,22 @@ import (
 // platform: the untrusted OS's TPM software stack (locality 0) and the
 // PAL's in-SLB TPM driver (locality 2) — the paper's "TPM Driver" and "TPM
 // Utilities" modules.
+//
+// A Client is not safe for concurrent use (the nonce rng is stateful);
+// that existing contract is what makes the per-client scratch buffers
+// below safe. Response frames are never pooled: callers retain subslices
+// of them (blobs, random bytes, signatures).
 type Client struct {
 	bus *tis.Bus
 	loc tis.Locality
 	rng *palcrypto.PRNG
+
+	// Scratch reused across commands on the session hot path. pbuf holds
+	// command parameters while they are built; cmd holds the framed
+	// command handed to the bus. Both may be overwritten by the next
+	// command: submits are synchronous and the TPM copies what it keeps.
+	pbuf buf
+	cmd  []byte
 }
 
 // NewClient creates a driver bound to a locality on the given bus.
@@ -25,6 +37,15 @@ func NewClient(bus *tis.Bus, loc tis.Locality, nonceSeed []byte) *Client {
 
 // Locality returns the locality this driver issues commands at.
 func (c *Client) Locality() tis.Locality { return c.loc }
+
+// params resets and returns the client's parameter scratch buffer. The
+// returned buffer is valid until the next params call — long enough to
+// build one command's body and hand it to run/runAuth1, which copy it
+// into the frame scratch.
+func (c *Client) params() *buf {
+	c.pbuf.b = c.pbuf.b[:0]
+	return &c.pbuf
+}
 
 // CommandError is a non-zero TPM return code surfaced as a Go error.
 type CommandError struct {
@@ -45,7 +66,8 @@ func IsCode(err error, code uint32) bool {
 
 // run frames, submits, and unframes one unauthorized command.
 func (c *Client) run(ordinal uint32, body []byte) ([]byte, error) {
-	resp, err := c.bus.SubmitAt(c.loc, marshalCommand(tagRQUCommand, ordinal, body))
+	c.cmd = appendCommand(c.cmd, tagRQUCommand, ordinal, body)
+	resp, err := c.bus.SubmitAt(c.loc, c.cmd)
 	if err != nil {
 		return nil, err
 	}
@@ -68,7 +90,8 @@ func (c *Client) runAuth1(ordinal uint32, params []byte, secret Digest) ([]byte,
 	defer c.bus.Release(c.loc)
 
 	// OIAP.
-	oiapResp, err := c.bus.Submit(c.loc, marshalCommand(tagRQUCommand, OrdOIAP, nil))
+	c.cmd = appendCommand(c.cmd, tagRQUCommand, OrdOIAP, nil)
+	oiapResp, err := c.bus.Submit(c.loc, c.cmd)
 	if err != nil {
 		return nil, err
 	}
@@ -94,9 +117,16 @@ func (c *Client) runAuth1(ordinal uint32, params []byte, secret Digest) ([]byte,
 
 	tr := authTrailer{handle: handle, nonceOdd: nonceOdd, cont: false}
 	tr.auth = authMAC(secret, ordinal, params, nonceEven, nonceOdd, false)
-	cmd := marshalCommand(tagRQUAuth1, ordinal, appendAuth1(append([]byte(nil), params...), tr))
+	// Frame body = params || auth trailer, built directly in the frame
+	// scratch so the hot path marshals without allocating.
+	w := &buf{b: c.cmd[:0]}
+	w.u16(tagRQUAuth1)
+	w.u32(uint32(10 + len(params) + authTrailerLen))
+	w.u32(ordinal)
+	w.raw(params)
+	c.cmd = appendAuth1(w.b, tr)
 
-	resp, err := c.bus.Submit(c.loc, cmd)
+	resp, err := c.bus.Submit(c.loc, c.cmd)
 	if err != nil {
 		return nil, err
 	}
@@ -123,12 +153,14 @@ func (c *Client) runAuth1(ordinal uint32, params []byte, secret Digest) ([]byte,
 	if !palcrypto.ConstantTimeEqual(want[:], mac[:]) {
 		return nil, fmt.Errorf("tpm: response MAC verification failed for ordinal %#x", ordinal)
 	}
-	return append([]byte(nil), outParams...), nil
+	// The response frame is freshly allocated per command, so the
+	// subslice is safe to hand to callers without copying.
+	return outParams, nil
 }
 
 // Extend extends PCR idx with digest m and returns the new PCR value.
 func (c *Client) Extend(idx int, m Digest) (Digest, error) {
-	w := &buf{}
+	w := c.params()
 	w.u32(uint32(idx))
 	w.raw(m[:])
 	out, err := c.run(OrdExtend, w.b)
@@ -142,7 +174,7 @@ func (c *Client) Extend(idx int, m Digest) (Digest, error) {
 
 // PCRRead returns the current value of PCR idx.
 func (c *Client) PCRRead(idx int) (Digest, error) {
-	w := &buf{}
+	w := c.params()
 	w.u32(uint32(idx))
 	out, err := c.run(OrdPCRRead, w.b)
 	if err != nil {
@@ -156,7 +188,7 @@ func (c *Client) PCRRead(idx int) (Digest, error) {
 // PCRReset issues a software reset of the selected PCRs (only 20-22 may
 // succeed, and only from locality >= 2).
 func (c *Client) PCRReset(sel PCRSelection) error {
-	w := &buf{}
+	w := c.params()
 	sel.marshal(w)
 	_, err := c.run(OrdPCRReset, w.b)
 	return err
@@ -164,7 +196,7 @@ func (c *Client) PCRReset(sel PCRSelection) error {
 
 // GetRandom returns n bytes from the TPM RNG.
 func (c *Client) GetRandom(n int) ([]byte, error) {
-	w := &buf{}
+	w := c.params()
 	w.u32(uint32(n))
 	out, err := c.run(OrdGetRandom, w.b)
 	if err != nil {
@@ -176,7 +208,7 @@ func (c *Client) GetRandom(n int) ([]byte, error) {
 
 // GetVersion returns the TPM family version string and PCR count.
 func (c *Client) GetVersion() (string, int, error) {
-	w := &buf{}
+	w := c.params()
 	w.u32(0)
 	out, err := c.run(OrdGetCapability, w.b)
 	if err != nil {
@@ -196,7 +228,7 @@ func (c *Client) GetVersion() (string, int, error) {
 
 // BootCount returns the TPM's platform reset count.
 func (c *Client) BootCount() (int, error) {
-	w := &buf{}
+	w := c.params()
 	w.u32(1)
 	out, err := c.run(OrdGetCapability, w.b)
 	if err != nil {
@@ -216,7 +248,7 @@ type QuoteResult struct {
 
 // Quote asks the TPM to sign (nonce, selected PCRs) with the AIK at handle.
 func (c *Client) Quote(aikHandle uint32, aikAuth Digest, nonce Digest, sel PCRSelection) (*QuoteResult, error) {
-	w := &buf{}
+	w := c.params()
 	w.u32(aikHandle)
 	w.raw(nonce[:])
 	sel.marshal(w)
@@ -241,7 +273,7 @@ func (c *Client) Quote(aikHandle uint32, aikAuth Digest, nonce Digest, sel PCRSe
 // Seal binds data to (sel, digestAtRelease) under the SRK. srkAuth is the
 // SRK usage secret (the TCG well-known all-zero value by default).
 func (c *Client) Seal(srkAuth Digest, sel PCRSelection, digestAtRelease Digest, data []byte) ([]byte, error) {
-	w := &buf{}
+	w := c.params()
 	w.u32(KHSRK)
 	w.raw(digestAtRelease[:])
 	sel.marshal(w)
@@ -257,7 +289,7 @@ func (c *Client) Seal(srkAuth Digest, sel PCRSelection, digestAtRelease Digest, 
 // Unseal opens a sealed blob; it fails with RCWrongPCRVal if the PCR
 // binding is not currently satisfied.
 func (c *Client) Unseal(srkAuth Digest, blob []byte) ([]byte, error) {
-	w := &buf{}
+	w := c.params()
 	w.u32(KHSRK)
 	w.bytes32(blob)
 	out, err := c.runAuth1(OrdUnseal, w.b, srkAuth)
@@ -300,7 +332,7 @@ func (c *Client) MakeIdentity(ownerAuth Digest) (uint32, *palcrypto.RSAPublicKey
 // SRK. It returns the blob (stored by untrusted software) and the public
 // key; the private half exists outside the TPM only in encrypted form.
 func (c *Client) CreateWrapKey(srkAuth Digest, usage uint16, usageAuth Digest) ([]byte, *palcrypto.RSAPublicKey, error) {
-	w := &buf{}
+	w := c.params()
 	w.u32(KHSRK)
 	w.u16(usage)
 	w.raw(usageAuth[:])
@@ -326,7 +358,7 @@ func (c *Client) CreateWrapKey(srkAuth Digest, usage uint16, usageAuth Digest) (
 
 // LoadKey2 loads a wrapped key blob into a volatile handle.
 func (c *Client) LoadKey2(blob []byte) (uint32, error) {
-	w := &buf{}
+	w := c.params()
 	w.u32(KHSRK)
 	w.bytes32(blob)
 	out, err := c.run(OrdLoadKey2, w.b)
@@ -339,7 +371,7 @@ func (c *Client) LoadKey2(blob []byte) (uint32, error) {
 
 // FlushSpecific evicts a loaded key handle.
 func (c *Client) FlushSpecific(handle uint32) error {
-	w := &buf{}
+	w := c.params()
 	w.u32(handle)
 	_, err := c.run(OrdFlushSpecific, w.b)
 	return err
@@ -347,7 +379,7 @@ func (c *Client) FlushSpecific(handle uint32) error {
 
 // Sign signs data with a loaded signing key (PKCS#1 v1.5 over SHA-1).
 func (c *Client) Sign(handle uint32, usageAuth Digest, data []byte) ([]byte, error) {
-	w := &buf{}
+	w := c.params()
 	w.u32(handle)
 	w.bytes32(data)
 	out, err := c.runAuth1(OrdSign, w.b, usageAuth)
@@ -370,7 +402,7 @@ type NVPCRRequirement struct {
 
 // NVDefineSpace defines a non-volatile storage index (owner-authorized).
 func (c *Client) NVDefineSpace(ownerAuth Digest, index uint32, size int, req *NVPCRRequirement) error {
-	w := &buf{}
+	w := c.params()
 	w.u32(index)
 	w.u32(uint32(size))
 	if req == nil {
@@ -388,7 +420,7 @@ func (c *Client) NVDefineSpace(ownerAuth Digest, index uint32, size int, req *NV
 
 // NVWrite writes data at an offset within an NV index.
 func (c *Client) NVWrite(index uint32, offset int, data []byte) error {
-	w := &buf{}
+	w := c.params()
 	w.u32(index)
 	w.u32(uint32(offset))
 	w.bytes32(data)
@@ -398,7 +430,7 @@ func (c *Client) NVWrite(index uint32, offset int, data []byte) error {
 
 // NVRead reads n bytes at an offset within an NV index.
 func (c *Client) NVRead(index uint32, offset, n int) ([]byte, error) {
-	w := &buf{}
+	w := c.params()
 	w.u32(index)
 	w.u32(uint32(offset))
 	w.u32(uint32(n))
@@ -424,7 +456,7 @@ func (c *Client) CreateCounter(ownerAuth Digest) (uint32, error) {
 
 // IncrementCounter bumps a monotonic counter and returns the new value.
 func (c *Client) IncrementCounter(id uint32) (uint32, error) {
-	w := &buf{}
+	w := c.params()
 	w.u32(id)
 	out, err := c.run(OrdIncrementCounter, w.b)
 	if err != nil {
@@ -436,7 +468,7 @@ func (c *Client) IncrementCounter(id uint32) (uint32, error) {
 
 // ReadCounter returns a monotonic counter's current value.
 func (c *Client) ReadCounter(id uint32) (uint32, error) {
-	w := &buf{}
+	w := c.params()
 	w.u32(id)
 	out, err := c.run(OrdReadCounter, w.b)
 	if err != nil {

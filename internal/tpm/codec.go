@@ -145,7 +145,15 @@ func (r *rdr) empty() bool { return len(r.b) == 0 }
 
 // marshalCommand frames a request.
 func marshalCommand(tag uint16, ordinal uint32, body []byte) []byte {
-	w := &buf{}
+	return appendCommand(nil, tag, ordinal, body)
+}
+
+// appendCommand frames a request into dst's capacity (dst may be nil) and
+// returns the frame. The buffer may be reused for the next command as soon
+// as the synchronous submit returns: command handling copies anything the
+// TPM retains from the request frame.
+func appendCommand(dst []byte, tag uint16, ordinal uint32, body []byte) []byte {
+	w := &buf{b: dst[:0]}
 	w.u16(tag)
 	w.u32(uint32(10 + len(body)))
 	w.u32(ordinal)

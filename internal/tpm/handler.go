@@ -18,8 +18,22 @@ func (t *TPM) dispatch(loc tis.Locality, tag uint16, ord uint32, body []byte) ([
 	start := t.clock.Now()
 	rbody, rc := t.dispatchOrdinal(loc, tag, ord, body)
 	name := OrdinalName(ord)
-	t.metCommands.With(name, strconv.FormatUint(uint64(rc), 10)).Inc()
-	t.metLatency.With(name).ObserveDuration(t.clock.Now() - start)
+	if rc == RCSuccess {
+		c, ok := t.okCounters[ord]
+		if !ok {
+			c = t.metCommands.With(name, "0")
+			t.okCounters[ord] = c
+		}
+		c.Inc()
+	} else {
+		t.metCommands.With(name, strconv.FormatUint(uint64(rc), 10)).Inc()
+	}
+	h, ok := t.latHists[ord]
+	if !ok {
+		h = t.metLatency.With(name)
+		t.latHists[ord] = h
+	}
+	h.ObserveDuration(t.clock.Now() - start)
 	if rc == RCBadLocality {
 		t.events.Record(metrics.EventLocalityFault,
 			"tpm: "+name+" refused at locality "+strconv.Itoa(int(loc)))

@@ -70,10 +70,15 @@ func RunHashSequencePrecomputed(bus *tis.Bus, digest Digest, totalLen int) (Dige
 }
 
 // submitLocality4 returns a closure submitting one command at the hardware
-// locality and unwrapping the response frame.
+// locality and unwrapping the response frame. The closure reuses one frame
+// buffer across the sequence's commands (submits are synchronous and the
+// TPM copies what it retains), so streaming a 64KB SLB in 4KB chunks frames
+// without re-allocating.
 func submitLocality4(bus *tis.Bus) func(ord uint32, body []byte) ([]byte, error) {
+	var frame []byte
 	return func(ord uint32, body []byte) ([]byte, error) {
-		resp, err := bus.SubmitAt(tis.Locality4, marshalCommand(tagRQUCommand, ord, body))
+		frame = appendCommand(frame, tagRQUCommand, ord, body)
+		resp, err := bus.SubmitAt(tis.Locality4, frame)
 		if err != nil {
 			return nil, err
 		}

@@ -86,6 +86,12 @@ type TPM struct {
 	metLatency   *metrics.HistogramVec // ordinal
 	metMalformed *metrics.Counter
 	events       *metrics.EventLog
+	// Per-ordinal handles resolved once, so the dispatch hot path does not
+	// re-join label keys on every command. okCounters holds the rc=0 series
+	// (failures take the slow With path); latHists the latency series.
+	// Guarded by t.mu like the rest of dispatch; reset by Instrument.
+	okCounters map[uint32]*metrics.Counter
+	latHists   map[uint32]*metrics.Histogram
 }
 
 type loadedKey struct {
@@ -160,6 +166,8 @@ func (t *TPM) Instrument(reg *metrics.Registry, events *metrics.EventLog) {
 		"Simulated TPM command latency by ordinal.", nil, "ordinal")
 	t.metMalformed = reg.Counter("flicker_tpm_malformed_total",
 		"TPM request frames rejected before dispatch.").With()
+	t.okCounters = make(map[uint32]*metrics.Counter)
+	t.latHists = make(map[uint32]*metrics.Histogram)
 	t.events = events
 }
 
