@@ -152,6 +152,10 @@ func palExecBatchBody(st *sessionState) error {
 					return ierr
 				}
 			}
+			// Each request starts with a clean output register, as a
+			// singleton session's fresh Env would: the fallback below must
+			// never hand one request a reply staged by an earlier one.
+			env.ResetOutput()
 			out, rerr := st.runBatchRequest(bctx, i, req)
 			if rerr == nil && out == nil {
 				out = env.Output()
@@ -268,7 +272,11 @@ func decodeBatchInput(b []byte) (header []byte, reqs [][]byte, err error) {
 	}
 	count := binary.BigEndian.Uint32(b)
 	b = b[4:]
-	reqs = make([][]byte, 0, count)
+	// The count word is untrusted: cap the preallocation by what the
+	// remaining bytes could possibly frame (>= 4 bytes per request), so a
+	// forged count cannot force a huge allocation before the per-entry
+	// truncation checks reject the frame.
+	reqs = make([][]byte, 0, min(int(count), len(b)/4))
 	for i := uint32(0); i < count; i++ {
 		r, err := take()
 		if err != nil {
@@ -349,7 +357,10 @@ func DecodeBatchOutput(b []byte) ([]pal.BatchReply, []byte, error) {
 	}
 	count := binary.BigEndian.Uint32(b)
 	b = b[4:]
-	replies := make([]pal.BatchReply, 0, count)
+	// Verifier-side parse of untrusted bytes: cap the preallocation by what
+	// the remaining bytes could possibly frame (>= 5 bytes per reply), so a
+	// forged count cannot force a huge allocation.
+	replies := make([]pal.BatchReply, 0, min(int(count), len(b)/5))
 	for i := uint32(0); i < count; i++ {
 		if len(b) < 5 {
 			return nil, nil, errors.New("core: truncated batch reply")

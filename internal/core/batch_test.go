@@ -320,6 +320,53 @@ func TestBatchTimeoutStopsLoop(t *testing.T) {
 	}
 }
 
+// A request that stages no output must produce an empty reply: the staged
+// output register is cleared at each request boundary, so one request can
+// never inherit (leak) the reply a previous request staged via SetOutput.
+func TestBatchNoStaleStagedOutput(t *testing.T) {
+	p := newPlatform(t)
+	stager := &pal.Func{
+		PALName: "stager",
+		Binary:  pal.DescriptorCode("stager", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			if string(input) == "stage" {
+				env.SetOutput([]byte("request-0-secret"))
+			}
+			return nil, nil // no direct return: the engine falls back to env.Output()
+		},
+	}
+	br, err := p.RunSessionBatch(stager, Batch{Requests: [][]byte{[]byte("stage"), []byte("noop")}}, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Session.PALError != nil {
+		t.Fatal(br.Session.PALError)
+	}
+	if string(br.Replies[0].Output) != "request-0-secret" {
+		t.Errorf("reply 0 = %q, want the staged output", br.Replies[0].Output)
+	}
+	if br.Replies[1].Err != nil || len(br.Replies[1].Output) != 0 {
+		t.Errorf("reply 1 = (%q, %v); request 0's staged output leaked across the request boundary",
+			br.Replies[1].Output, br.Replies[1].Err)
+	}
+}
+
+// Forged count words in the wire frames must be rejected by the truncation
+// checks without the count driving a huge preallocation: both decoders see
+// untrusted bytes (DecodeBatchOutput is the verifier side).
+func TestBatchDecodeForgedCount(t *testing.T) {
+	// Input frame: empty header, then a count claiming 2^32-1 requests.
+	in := []byte{0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, err := decodeBatchInput(in); err == nil {
+		t.Error("forged input count accepted")
+	}
+	// Output frame: a count claiming 2^32-1 replies and no payload.
+	out := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, err := DecodeBatchOutput(out); err == nil {
+		t.Error("forged output count accepted")
+	}
+}
+
 // Input validation: empty batches and groups that overflow the input page
 // are rejected before any session cost is paid.
 func TestBatchInputValidation(t *testing.T) {

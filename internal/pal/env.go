@@ -280,6 +280,12 @@ func (e *Env) SetOutput(out []byte) {
 // Output returns the staged output.
 func (e *Env) Output() []byte { return e.outputs }
 
+// ResetOutput clears any staged output. The batched request loop calls it
+// at each request boundary so a request that stages nothing is observed as
+// such — exactly what a singleton session's fresh Env would show — rather
+// than inheriting the previous request's staged reply.
+func (e *Env) ResetOutput() { e.outputs = nil }
+
 // OutputAddr returns the physical address of the well-known output page
 // ("the second 4-KB page above the 64-KB SLB").
 func (e *Env) OutputAddr() uint32 { return e.slbBase + uint32(slb.OutputsOffset) }

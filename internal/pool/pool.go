@@ -305,6 +305,13 @@ func (p *Pool) runBatch(s *shard, part []job) {
 	}
 	opts := part[0].opts
 	opts.Input = nil
+	if opts.MaxPALTime > 0 {
+		// Each member was promised MaxPALTime as its own session; the batch
+		// arms ONE shared SLB Core timer for the whole group, so scale the
+		// budget by the group size. A job that would finish as a singleton
+		// must not time out merely because it was coalesced.
+		opts.MaxPALTime *= time.Duration(len(part))
+	}
 	br, err := s.platform.RunSessionBatch(part[0].pl, core.Batch{Requests: reqs}, opts)
 	for i, j := range part {
 		s.pending.Add(-1)
@@ -313,13 +320,22 @@ func (p *Pool) runBatch(s *shard, part []job) {
 			continue
 		}
 		r := *br.Session
-		if br.Session.PALError != nil {
-			// A batch-level PAL failure (OpenBatch/CloseBatch/timeout)
-			// reaches every member as its PALError.
-			r.Outputs = nil
-		} else {
+		switch {
+		case br.Session.PALError == nil:
 			r.Outputs = br.Replies[i].Output
 			r.PALError = br.Replies[i].Err
+		case errors.Is(br.Session.PALError, pal.ErrPALTimeout) && i < br.Completed && br.Replies[i].Err == nil:
+			// The shared timer fired mid-batch, but this member's request
+			// had already completed — it keeps its reply, exactly as its
+			// own singleton session would have succeeded. Members at or
+			// past the interruption point see the timeout below.
+			r.Outputs = br.Replies[i].Output
+			r.PALError = nil
+		default:
+			// A batch-level PAL failure (OpenBatch/CloseBatch, or the
+			// timeout for requests it actually interrupted) reaches every
+			// remaining member as its PALError.
+			r.Outputs = nil
 		}
 		j.done <- result{res: &r}
 	}

@@ -9,6 +9,7 @@ import (
 
 	"flicker/internal/core"
 	"flicker/internal/pal"
+	"flicker/internal/simtime"
 	"flicker/internal/tpm"
 )
 
@@ -375,6 +376,182 @@ func TestPoolCoalescesQueuedJobs(t *testing.T) {
 	}
 	if results[0].Pipeline != "classic-batch" {
 		t.Errorf("coalesced job ran on %q, want classic-batch", results[0].Pipeline)
+	}
+}
+
+// pinShardWorker occupies a single-shard pool's worker with a blocker
+// session until the returned release func is called, so jobs queued in the
+// meantime gather into one coalesced group when the worker comes back.
+func pinShardWorker(t *testing.T, p *Pool, wg *sync.WaitGroup) func() {
+	t.Helper()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocker := &pal.Func{
+		PALName: "blocker",
+		Binary:  pal.DescriptorCode("blocker", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			close(started)
+			<-release
+			return []byte("unblocked"), nil
+		},
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := p.Run(blocker, core.SessionOptions{}); err != nil {
+			t.Errorf("blocker: %v", err)
+		}
+	}()
+	<-started
+	return func() { close(release) }
+}
+
+// Coalescing must not make jobs time out that would succeed as singletons:
+// the batch session arms ONE shared SLB Core timer for the whole group, so
+// its budget scales with the group size.
+func TestPoolBatchScalesTimerBudget(t *testing.T) {
+	p, err := New(Config{
+		Shards:   1,
+		QueueLen: 16,
+		MaxBatch: 4,
+		MaxWait:  20 * time.Millisecond,
+		Platform: core.PlatformConfig{Seed: "pool-batch-budget"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	release := pinShardWorker(t, p, &wg)
+
+	// Each job burns 10ms of simulated CPU against a 15ms budget: fine
+	// alone, but an unscaled shared timer would kill every member of a
+	// 4-job batch after the first request.
+	steady := &pal.Func{
+		PALName: "steady",
+		Binary:  pal.DescriptorCode("steady", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			env.ChargeCPU(simtime.Charge{Duration: 10 * time.Millisecond, Label: "cpu.steady"})
+			return append([]byte("ok:"), input...), nil
+		},
+	}
+	results := make([]*core.SessionResult, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := p.Run(steady, core.SessionOptions{
+				Input:      []byte{byte('a' + i)},
+				MaxPALTime: 15 * time.Millisecond,
+			})
+			if err != nil {
+				t.Errorf("job %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+		waitPending(t, p, 2+i) // blocker in flight + i+1 queued, in order
+	}
+	release()
+	wg.Wait()
+
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("job %d: no result", i)
+		}
+		if res.PALError != nil {
+			t.Errorf("job %d: %v (coalescing must not introduce timeouts)", i, res.PALError)
+		} else if want := "ok:" + string([]byte{byte('a' + i)}); string(res.Outputs) != want {
+			t.Errorf("job %d outputs = %q, want %q", i, res.Outputs, want)
+		}
+	}
+	// The 4 jobs shared ONE batched session (plus the blocker's singleton).
+	if n := p.Shard(0).Stats().Sessions; n != 2 {
+		t.Errorf("shard ran %d sessions, want 2 (blocker + one batch)", n)
+	}
+}
+
+// A batch-level timeout must not clobber members whose requests completed
+// before the shared timer fired: they keep their replies, exactly as their
+// own singleton sessions would have succeeded; the interrupted request and
+// the ones that never ran see the timeout.
+func TestPoolBatchTimeoutPreservesCompletedPrefix(t *testing.T) {
+	p, err := New(Config{
+		Shards:   1,
+		QueueLen: 16,
+		MaxBatch: 4,
+		MaxWait:  20 * time.Millisecond,
+		Platform: core.PlatformConfig{Seed: "pool-batch-timeout"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	release := pinShardWorker(t, p, &wg)
+
+	// 'S' burns far past the whole scaled budget (4 x 50ms); the rest 10ms.
+	mixed := &pal.Func{
+		PALName: "mixed",
+		Binary:  pal.DescriptorCode("mixed", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			d := 10 * time.Millisecond
+			if input[0] == 'S' {
+				d = time.Second
+			}
+			env.ChargeCPU(simtime.Charge{Duration: d, Label: "cpu.mixed"})
+			return append([]byte("ok:"), input...), nil
+		},
+	}
+	inputs := []byte{'a', 'b', 'S', 'c'}
+	results := make([]*core.SessionResult, len(inputs))
+	for i := range inputs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := p.Run(mixed, core.SessionOptions{
+				Input:      []byte{inputs[i]},
+				MaxPALTime: 50 * time.Millisecond,
+			})
+			if err != nil {
+				t.Errorf("job %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+		waitPending(t, p, 2+i) // pin the queue (and therefore batch) order
+	}
+	release()
+	wg.Wait()
+
+	// a and b completed before the timer fired: their replies survive.
+	for i := 0; i < 2; i++ {
+		if results[i] == nil {
+			t.Fatalf("job %d: no result", i)
+		}
+		if results[i].PALError != nil {
+			t.Fatalf("job %d PALError = %v; completed-prefix reply clobbered by the batch timeout", i, results[i].PALError)
+		}
+		if want := "ok:" + string(inputs[i]); string(results[i].Outputs) != want {
+			t.Errorf("job %d outputs = %q, want %q", i, results[i].Outputs, want)
+		}
+	}
+	// S (interrupted) and c (never ran) both report the timeout, no output.
+	for i := 2; i < 4; i++ {
+		if results[i] == nil {
+			t.Fatalf("job %d: no result", i)
+		}
+		if !errors.Is(results[i].PALError, pal.ErrPALTimeout) {
+			t.Errorf("job %d PALError = %v, want ErrPALTimeout", i, results[i].PALError)
+		}
+		if len(results[i].Outputs) != 0 {
+			t.Errorf("job %d outputs = %q, want none", i, results[i].Outputs)
+		}
+	}
+	if n := p.Shard(0).Stats().Sessions; n != 2 {
+		t.Errorf("shard ran %d sessions, want 2 (blocker + one batch)", n)
 	}
 }
 
