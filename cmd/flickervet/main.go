@@ -1,0 +1,164 @@
+// Command flickervet runs the module's security-invariant analyzers and the
+// static TCB accountant (internal/analysis).
+//
+// Modes:
+//
+//	flickervet ./...                      run all analyzers, print findings
+//	flickervet -list                      print the analyzer catalog
+//	flickervet -run walltime ./...        run a subset (comma-separated)
+//	flickervet -tcbreport -o TCB_report.json -budget tcb_budget.json ./...
+//	                                      emit the per-PAL TCB report and
+//	                                      enforce the tracked line budgets
+//
+// Exit status: 0 clean, 1 findings or budget violations, 2 usage or load
+// errors. CI runs both modes; a PAL whose reachable line count grows past
+// its tcb_budget.json entry fails the build until the budget is changed in
+// a reviewed diff.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flicker/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		list      = flag.Bool("list", false, "print the analyzer catalog and exit")
+		runNames  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		tcbreport = flag.Bool("tcbreport", false, "emit the per-PAL static TCB report instead of analyzing")
+		out       = flag.String("o", "", "with -tcbreport: write the JSON report to this file (default stdout)")
+		budget    = flag.String("budget", "", "with -tcbreport: enforce per-PAL line budgets from this JSON file")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: flickervet [-list] [-run names] [-tcbreport [-o file] [-budget file]] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flickervet:", err)
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flickervet:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flickervet:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flickervet:", err)
+		return 2
+	}
+
+	// Type errors anywhere are load failures: analyzers and the call graph
+	// are only trustworthy over fully checked code.
+	broken := 0
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "flickervet: %s: %v\n", p.Path, te)
+			broken++
+		}
+	}
+	if broken > 0 {
+		return 2
+	}
+
+	if *tcbreport {
+		return runTCBReport(loader, pkgs, *out, *budget)
+	}
+
+	analyzers := analysis.All()
+	if *runNames != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, n := range strings.Split(*runNames, ",") {
+			n = strings.TrimSpace(n)
+			a, ok := byName[n]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "flickervet: unknown analyzer %q (see -list)\n", n)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	diags := analysis.Run(loader, pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "flickervet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func runTCBReport(loader *analysis.Loader, pkgs []*analysis.Package, out, budgetPath string) int {
+	rep, err := analysis.BuildTCBReport(loader, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flickervet:", err)
+		return 2
+	}
+
+	status := 0
+	if budgetPath != "" {
+		b, err := analysis.LoadTCBBudget(budgetPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flickervet:", err)
+			return 2
+		}
+		for _, verr := range analysis.CheckTCBBudget(rep, b) {
+			fmt.Fprintln(os.Stderr, "flickervet:", verr)
+			status = 1
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flickervet:", err)
+		return 2
+	}
+	data = append(data, '\n')
+	if out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "flickervet:", err)
+		return 2
+	}
+
+	for _, e := range rep.Entries {
+		over := ""
+		if e.BudgetLines > 0 && e.Lines > e.BudgetLines {
+			over = "  OVER BUDGET"
+		}
+		fmt.Fprintf(os.Stderr, "flickervet: tcb %-18s %4d funcs %6d lines (budget %d)%s\n",
+			e.PAL, e.Functions, e.Lines, e.BudgetLines, over)
+	}
+	return status
+}

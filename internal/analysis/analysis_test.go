@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden diagnostic files")
+
+// fixtureCases pairs each analyzer with its seeded fixture package. The
+// synthetic import path places the fixture inside the analyzer's scope;
+// each fixture holds at least one violation and one near-miss, and the
+// golden file is the analyzer's exact expected output.
+var fixtureCases = []struct {
+	analyzer *Analyzer
+	dir      string
+	as       string
+}{
+	{UntrustedLen, "untrustedlen", "flicker/internal/apps/ulfixture"},
+	{WallTime, "walltime", "flicker/internal/hw/wtfixture"},
+	{ScrubPair, "scrubpair", "flicker/internal/core/spfixture"},
+	{LocalityCheck, "localitycheck", "flicker/internal/apps/lcfixture"},
+	{MetricHandle, "metrichandle", "flicker/internal/pool/mhfixture"},
+}
+
+func TestAnalyzerFixturesGolden(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range fixtureCases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			pkg, err := l.LoadDirAs(filepath.Join("testdata", "src", tc.dir), tc.as)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, te := range pkg.TypeErrors {
+				t.Fatalf("fixture does not type-check: %v", te)
+			}
+			if !tc.analyzer.Scope(tc.as) {
+				t.Fatalf("synthetic path %q is outside %s's scope", tc.as, tc.analyzer.Name)
+			}
+			diags := Run(l, []*Package{pkg}, []*Analyzer{tc.analyzer})
+			if len(diags) == 0 {
+				t.Fatalf("%s missed its seeded violation", tc.analyzer.Name)
+			}
+			var b strings.Builder
+			for _, d := range diags {
+				fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n",
+					filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			}
+			got := b.String()
+			golden := filepath.Join("testdata", "golden", tc.analyzer.Name+".txt")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestAnalyzersCleanOnModule is the acceptance gate CI also enforces: the
+// module's own code must carry no findings (violations are either fixed or
+// carry a justified //flickervet:allow).
+func TestAnalyzersCleanOnModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrors {
+			t.Fatalf("%s: %v", p.Path, te)
+		}
+	}
+	for _, d := range Run(l, pkgs, All()) {
+		t.Errorf("unexpected finding: %s", d.String())
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		in       string
+		ok       bool
+		analyzer string
+	}{
+		{"//flickervet:allow walltime(queue delay is wall time)", true, "walltime"},
+		{"//flickervet:allow metrichandle(cold path)", true, "metrichandle"},
+		{"//flickervet:allow walltime()", false, ""},   // reason mandatory
+		{"//flickervet:allow walltime", false, ""},     // no reason at all
+		{"// flickervet:allow walltime(x)", false, ""}, // not a directive (space)
+		{"//flickervet:allow (x)", false, ""},          // no analyzer name
+	}
+	for _, tc := range cases {
+		d, ok := parseAllow(tc.in)
+		if ok != tc.ok {
+			t.Errorf("parseAllow(%q) ok = %v, want %v", tc.in, ok, tc.ok)
+			continue
+		}
+		if ok && d.analyzer != tc.analyzer {
+			t.Errorf("parseAllow(%q) analyzer = %q, want %q", tc.in, d.analyzer, tc.analyzer)
+		}
+	}
+}

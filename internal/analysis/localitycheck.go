@@ -1,0 +1,75 @@
+package analysis
+
+// localitycheck: the locality-4 TPM hash sequence (HASH_START / HASH_DATA /
+// HASH_END, and the HASH_DIGEST fast path) is the CPU microcode's channel —
+// it is the ONLY way PCR 17 can be reset without a reboot, and no simulated
+// software component holds locality 4. If app, kernel, or pool code could
+// drive those ordinals, it could re-measure PCR 17 to an arbitrary value
+// and forge a launch identity, which is exactly the class of trusted-path
+// rot the "Insecure Despite Proven Updated" VCEK extraction exploited: a
+// privileged primitive reachable from code that was never supposed to hold
+// it.
+//
+// The primitives may only be referenced from the SKINIT measurement path
+// (internal/hw/cpu, internal/core) and the defining packages themselves
+// (internal/tpm, internal/hw/tis).
+
+import (
+	"go/ast"
+)
+
+// locality4Allowed are the packages that may reference the locality-4
+// measurement primitives.
+var locality4Allowed = prefixScope(
+	"flicker/internal/tpm",
+	"flicker/internal/hw/tis",
+	"flicker/internal/hw/cpu",
+	"flicker/internal/core",
+)
+
+// locality4TPMObjects are the restricted names in flicker/internal/tpm.
+var locality4TPMObjects = map[string]bool{
+	"OrdHashStart": true, "OrdHashData": true, "OrdHashEnd": true,
+	"OrdHashDigest": true, "RunHashSequence": true,
+	"RunHashSequencePrecomputed": true,
+}
+
+// LocalityCheck reports locality-4 measurement primitives referenced
+// outside the SKINIT path.
+var LocalityCheck = &Analyzer{
+	Name: "localitycheck",
+	Doc: "locality-4 TPM hash-sequence primitives (PCR 17 reset path) may " +
+		"only be issued from the SKINIT measurement path",
+	Scope: func(pkg string) bool { return !locality4Allowed(pkg) },
+	Run:   runLocalityCheck,
+}
+
+func runLocalityCheck(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "flicker/internal/tpm":
+				if locality4TPMObjects[obj.Name()] {
+					pass.Reportf(sel.Pos(),
+						"tpm.%s is a locality-4 measurement primitive (PCR 17 reset path); "+
+							"only the SKINIT path (internal/hw/cpu, internal/core) may issue it", obj.Name())
+				}
+			case "flicker/internal/hw/tis":
+				if obj.Name() == "Locality4" {
+					pass.Reportf(sel.Pos(),
+						"tis.Locality4 is the CPU microcode's hardware locality; "+
+							"software outside the SKINIT path must not address it")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,550 @@
+package analysis
+
+// Static TCB accounting — the repo's analogue of the paper's Section 7.1
+// measurement ("the TCB of an application using Flicker can be as few as
+// 250 lines, plus the application's own logic"). For every PAL entry point
+// in the module, flickervet -tcbreport computes the statically reachable
+// function set and its line count, so "how much code runs inside the
+// isolated session" is a number CI checks against a reviewed budget file
+// instead of a claim that silently rots as hot-path optimizations pile
+// code into internal/pal and internal/palcrypto.
+//
+// The call graph is conservative: every referenced function counts as
+// reachable (function values included), and interface method calls expand
+// to every module type implementing the interface (class-hierarchy
+// analysis). One deliberate exception: the session-engine pseudo-entry
+// does not expand the pal.PAL/BatchPAL interfaces — the PAL is the
+// engine's *parameter*, exactly as the paper separates the Flicker
+// infrastructure from each application's PAL.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TCBReport is the serialized output of flickervet -tcbreport.
+type TCBReport struct {
+	// Module is the module path the report covers.
+	Module string `json:"module"`
+	// Entries holds one accounting per PAL entry point, sorted by name.
+	Entries []TCBEntry `json:"entries"`
+}
+
+// TCBEntry is one PAL's (or the engine's) reachable-code accounting.
+type TCBEntry struct {
+	// PAL is the entry's name: the PAL's wire name where extractable
+	// (ssh-auth, flicker-ca, rootkit-detector, boinc-factor), otherwise
+	// pkg.Type. The session engine reports as "session-engine".
+	PAL string `json:"pal"`
+	// EntryPoints are the functions reachability starts from.
+	EntryPoints []string `json:"entry_points"`
+	// Functions is the size of the reachable module-function set.
+	Functions int `json:"functions"`
+	// Lines sums the source lines of every reachable function declaration
+	// — the Section 7.1 quantity.
+	Lines int `json:"lines"`
+	// Packages breaks Lines down by package, the analogue of the paper's
+	// Figure 6 module inventory.
+	Packages map[string]TCBPackage `json:"packages"`
+	// BudgetLines is the tracked budget, 0 when no budget file was given.
+	BudgetLines int `json:"budget_lines,omitempty"`
+}
+
+// TCBPackage is one package's share of an entry's TCB.
+type TCBPackage struct {
+	Functions int `json:"functions"`
+	Lines     int `json:"lines"`
+}
+
+// sessionEngineEntry names the infrastructure pseudo-entry.
+const sessionEngineEntry = "session-engine"
+
+// tcbGraph is the module-wide call graph.
+type tcbGraph struct {
+	l     *Loader
+	pkgs  []*Package
+	decls map[*types.Func]*ast.FuncDecl
+	pkgOf map[*types.Func]*Package
+	edges map[*types.Func][]*types.Func
+	// named collects every named type in the module, for CHA.
+	named []*types.Named
+}
+
+// BuildTCBReport computes the per-PAL reachable-code accounting over the
+// loaded module packages.
+func BuildTCBReport(l *Loader, pkgs []*Package) (*TCBReport, error) {
+	g := &tcbGraph{
+		l:     l,
+		pkgs:  pkgs,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		pkgOf: make(map[*types.Func]*Package),
+		edges: make(map[*types.Func][]*types.Func),
+	}
+	g.collect()
+	g.buildEdges()
+
+	palIface, batchIface, err := g.palInterfaces()
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &TCBReport{Module: l.Module}
+	for _, e := range g.findEntries(palIface, batchIface) {
+		rep.Entries = append(rep.Entries, g.account(e, palIface, batchIface))
+	}
+	sort.Slice(rep.Entries, func(i, j int) bool { return rep.Entries[i].PAL < rep.Entries[j].PAL })
+	return rep, nil
+}
+
+// collect indexes every function declaration and named type in the module.
+func (g *tcbGraph) collect() {
+	for _, pkg := range g.pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					g.decls[obj] = fd
+					g.pkgOf[obj] = pkg
+				}
+			}
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+				if named, ok := tn.Type().(*types.Named); ok {
+					g.named = append(g.named, named)
+				}
+			}
+		}
+	}
+}
+
+// buildEdges records, for each declared function, every module function it
+// references plus the CHA expansion of every interface method it calls.
+func (g *tcbGraph) buildEdges() {
+	for obj, fd := range g.decls {
+		pkg := g.pkgOf[obj]
+		var out []*types.Func
+		seen := make(map[*types.Func]bool)
+		add := func(f *types.Func) {
+			if f != nil && !seen[f] && g.decls[f] != nil {
+				seen[f] = true
+				out = append(out, f)
+			}
+		}
+		ast.Inspect(fd, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if f, ok := pkg.Info.Uses[n].(*types.Func); ok {
+					if recv := f.Type().(*types.Signature).Recv(); recv != nil {
+						if _, isIface := recv.Type().Underlying().(*types.Interface); isIface {
+							for _, impl := range g.implementors(f) {
+								add(impl)
+							}
+							return true
+						}
+					}
+					add(f)
+				}
+			}
+			return true
+		})
+		sort.Slice(out, func(i, j int) bool { return funcID(out[i]) < funcID(out[j]) })
+		g.edges[obj] = out
+	}
+}
+
+// implementors returns, for an interface method, the corresponding concrete
+// method of every module type implementing the interface (CHA).
+func (g *tcbGraph) implementors(m *types.Func) []*types.Func {
+	iface, ok := m.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	for _, named := range g.named {
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		recv := types.Type(named)
+		if !types.Implements(recv, iface) {
+			recv = types.NewPointer(named)
+			if !types.Implements(recv, iface) {
+				continue
+			}
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, m.Pkg(), m.Name())
+		if f, ok := obj.(*types.Func); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// palInterfaces resolves the pal.PAL and pal.BatchPAL interface types.
+func (g *tcbGraph) palInterfaces() (palIface, batchIface *types.Interface, err error) {
+	palPkg := g.l.Package(g.l.Module + "/internal/pal")
+	if palPkg == nil || palPkg.Types == nil {
+		return nil, nil, fmt.Errorf("analysis: %s/internal/pal not loaded", g.l.Module)
+	}
+	lookup := func(name string) (*types.Interface, error) {
+		obj := palPkg.Types.Scope().Lookup(name)
+		if obj == nil {
+			return nil, fmt.Errorf("analysis: pal.%s not found", name)
+		}
+		iface, ok := obj.Type().Underlying().(*types.Interface)
+		if !ok {
+			return nil, fmt.Errorf("analysis: pal.%s is not an interface", name)
+		}
+		return iface, nil
+	}
+	if palIface, err = lookup("PAL"); err != nil {
+		return nil, nil, err
+	}
+	if batchIface, err = lookup("BatchPAL"); err != nil {
+		return nil, nil, err
+	}
+	return palIface, batchIface, nil
+}
+
+// tcbEntrySpec is one discovered entry before accounting.
+type tcbEntrySpec struct {
+	name    string
+	entries []*types.Func
+	// engine marks the session-engine pseudo-entry, which does not expand
+	// the PAL interfaces.
+	engine bool
+}
+
+// findEntries discovers PAL entry points: named app types implementing
+// pal.PAL, pal.Func composite literals, and the session-engine pseudo-entry.
+func (g *tcbGraph) findEntries(palIface, batchIface *types.Interface) []tcbEntrySpec {
+	var specs []tcbEntrySpec
+	appsPrefix := g.l.Module + "/internal/apps/"
+
+	// Named PAL implementations in app packages.
+	for _, named := range g.named {
+		tn := named.Obj()
+		if tn.Pkg() == nil || !strings.HasPrefix(tn.Pkg().Path(), appsPrefix) {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		recv := types.Type(named)
+		if !types.Implements(recv, palIface) {
+			recv = types.NewPointer(named)
+			if !types.Implements(recv, palIface) {
+				continue
+			}
+		}
+		methods := []string{"Run"}
+		if types.Implements(recv, batchIface) {
+			methods = append(methods, "OpenBatch", "RunRequest", "CloseBatch")
+		}
+		var entries []*types.Func
+		for _, m := range methods {
+			obj, _, _ := types.LookupFieldOrMethod(recv, true, tn.Pkg(), m)
+			if f, ok := obj.(*types.Func); ok && g.decls[f] != nil {
+				entries = append(entries, f)
+			}
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		name := g.palNameOf(recv, tn)
+		specs = append(specs, tcbEntrySpec{name: name, entries: entries})
+	}
+
+	// pal.Func composite literals (adapter PALs) in app packages.
+	for _, pkg := range g.pkgs {
+		if pkg.Types == nil || !strings.HasPrefix(pkg.Path, appsPrefix) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			var enclosing *types.Func
+			ast.Inspect(f, func(n ast.Node) bool {
+				if fd, ok := n.(*ast.FuncDecl); ok {
+					enclosing, _ = pkg.Info.Defs[fd.Name].(*types.Func)
+					return true
+				}
+				cl, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				tv, ok := pkg.Info.Types[cl]
+				if !ok {
+					return true
+				}
+				t := tv.Type
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				named, ok := t.(*types.Named)
+				if !ok || named.Obj().Name() != "Func" || named.Obj().Pkg() == nil ||
+					named.Obj().Pkg().Path() != g.l.Module+"/internal/pal" {
+					return true
+				}
+				name := ""
+				var entry *types.Func
+				for _, elt := range cl.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					switch key.Name {
+					case "PALName":
+						if lit, ok := kv.Value.(*ast.BasicLit); ok {
+							if s, err := strconv.Unquote(lit.Value); err == nil {
+								name = s
+							}
+						}
+					case "Fn":
+						switch fe := ast.Unparen(kv.Value).(type) {
+						case *ast.Ident:
+							entry, _ = pkg.Info.Uses[fe].(*types.Func)
+						case *ast.SelectorExpr:
+							entry, _ = pkg.Info.Uses[fe.Sel].(*types.Func)
+						case *ast.FuncLit:
+							// A literal body belongs to its enclosing
+							// constructor; account from there.
+							entry = enclosing
+						}
+					}
+				}
+				if entry == nil || g.decls[entry] == nil {
+					return true
+				}
+				if name == "" {
+					name = entry.Name()
+				}
+				specs = append(specs, tcbEntrySpec{name: name, entries: []*types.Func{entry}})
+				return true
+			})
+		}
+	}
+
+	// The session engine: what the platform itself executes around a PAL.
+	corePkg := g.l.Package(g.l.Module + "/internal/core")
+	if corePkg != nil && corePkg.Types != nil {
+		var entries []*types.Func
+		if obj := corePkg.Types.Scope().Lookup("Platform"); obj != nil {
+			recv := types.NewPointer(obj.Type())
+			for _, m := range []string{"RunSession", "RunSessionConcurrent", "RunSessionBatch"} {
+				o, _, _ := types.LookupFieldOrMethod(recv, true, corePkg.Types, m)
+				if f, ok := o.(*types.Func); ok && g.decls[f] != nil {
+					entries = append(entries, f)
+				}
+			}
+		}
+		if len(entries) > 0 {
+			specs = append(specs, tcbEntrySpec{name: sessionEngineEntry, entries: entries, engine: true})
+		}
+	}
+
+	// Deduplicate by name (two pal.Func literals may share a PALName).
+	byName := make(map[string]*tcbEntrySpec)
+	var order []string
+	for _, s := range specs {
+		if cur, ok := byName[s.name]; ok {
+			cur.entries = append(cur.entries, s.entries...)
+			continue
+		}
+		s := s
+		byName[s.name] = &s
+		order = append(order, s.name)
+	}
+	out := make([]tcbEntrySpec, 0, len(order))
+	for _, n := range order {
+		out = append(out, *byName[n])
+	}
+	return out
+}
+
+// palNameOf extracts the PAL's wire name from a trivial Name() method
+// (single return of a string literal), falling back to pkg.Type.
+func (g *tcbGraph) palNameOf(recv types.Type, tn *types.TypeName) string {
+	fallback := tn.Pkg().Name() + "." + tn.Name()
+	obj, _, _ := types.LookupFieldOrMethod(recv, true, tn.Pkg(), "Name")
+	f, ok := obj.(*types.Func)
+	if !ok {
+		return fallback
+	}
+	decl := g.decls[f]
+	if decl == nil || decl.Body == nil || len(decl.Body.List) != 1 {
+		return fallback
+	}
+	ret, ok := decl.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return fallback
+	}
+	lit, ok := ret.Results[0].(*ast.BasicLit)
+	if !ok {
+		return fallback
+	}
+	if s, err := strconv.Unquote(lit.Value); err == nil {
+		return s
+	}
+	return fallback
+}
+
+// account computes one entry's reachable set and line totals.
+func (g *tcbGraph) account(spec tcbEntrySpec, palIface, batchIface *types.Interface) TCBEntry {
+	reach := make(map[*types.Func]bool)
+	queue := append([]*types.Func(nil), spec.entries...)
+	for _, f := range queue {
+		reach[f] = true
+	}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, callee := range g.edges[f] {
+			if reach[callee] {
+				continue
+			}
+			if spec.engine && g.isPALMethod(callee, palIface, batchIface) {
+				// The PAL is the engine's parameter, not its TCB.
+				continue
+			}
+			reach[callee] = true
+			queue = append(queue, callee)
+		}
+	}
+
+	entry := TCBEntry{PAL: spec.name, Packages: make(map[string]TCBPackage)}
+	for _, f := range spec.entries {
+		entry.EntryPoints = append(entry.EntryPoints, funcID(f))
+	}
+	sort.Strings(entry.EntryPoints)
+	for f := range reach {
+		decl := g.decls[f]
+		pkg := g.pkgOf[f]
+		start := g.l.Fset.Position(decl.Pos()).Line
+		end := g.l.Fset.Position(decl.End()).Line
+		lines := end - start + 1
+		entry.Functions++
+		entry.Lines += lines
+		pp := entry.Packages[pkg.Path]
+		pp.Functions++
+		pp.Lines += lines
+		entry.Packages[pkg.Path] = pp
+	}
+	return entry
+}
+
+// isPALMethod reports whether f is a concrete implementation of a
+// pal.PAL/pal.BatchPAL interface method (Run, OpenBatch, RunRequest,
+// CloseBatch, Name, Code, ExtraCode) on a type implementing pal.PAL.
+func (g *tcbGraph) isPALMethod(f *types.Func, palIface, batchIface *types.Interface) bool {
+	sig := f.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return false
+	}
+	switch f.Name() {
+	case "Run", "OpenBatch", "RunRequest", "CloseBatch", "Name", "Code", "ExtraCode":
+	default:
+		return false
+	}
+	return types.Implements(sig.Recv().Type(), palIface)
+}
+
+// funcID renders a stable human-readable function identifier:
+// pkgpath.Func or pkgpath.(Recv).Method.
+func funcID(f *types.Func) string {
+	sig := f.Type().(*types.Signature)
+	pkg := ""
+	if f.Pkg() != nil {
+		pkg = f.Pkg().Path()
+	}
+	if recv := sig.Recv(); recv != nil {
+		rt := recv.Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			return fmt.Sprintf("%s.(%s).%s", pkg, named.Obj().Name(), f.Name())
+		}
+	}
+	return pkg + "." + f.Name()
+}
+
+// --- Budgets ----------------------------------------------------------------
+
+// TCBBudget is the tracked per-PAL line budget (tcb_budget.json).
+type TCBBudget struct {
+	// Comment documents the workflow for humans editing the file.
+	Comment string `json:"comment,omitempty"`
+	// Budgets maps entry name -> maximum reachable lines.
+	Budgets map[string]int `json:"budgets"`
+}
+
+// LoadTCBBudget reads a budget file.
+func LoadTCBBudget(path string) (*TCBBudget, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b TCBBudget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing %s: %w", filepath.Base(path), err)
+	}
+	if b.Budgets == nil {
+		return nil, fmt.Errorf("analysis: %s has no budgets object", filepath.Base(path))
+	}
+	return &b, nil
+}
+
+// CheckTCBBudget annotates the report with budgets and returns one error
+// per violation: an entry over its budget, an entry with no budget (TCB
+// growth must be a reviewed, deliberate act — new PALs get a budget line
+// in the same PR), or a stale budget naming no current entry.
+func CheckTCBBudget(rep *TCBReport, budget *TCBBudget) []error {
+	var errs []error
+	seen := make(map[string]bool)
+	for i := range rep.Entries {
+		e := &rep.Entries[i]
+		seen[e.PAL] = true
+		max, ok := budget.Budgets[e.PAL]
+		if !ok {
+			errs = append(errs, fmt.Errorf(
+				"tcb: %q has no budget in tcb_budget.json; add one deliberately (currently %d lines)",
+				e.PAL, e.Lines))
+			continue
+		}
+		e.BudgetLines = max
+		if e.Lines > max {
+			errs = append(errs, fmt.Errorf(
+				"tcb: %q reachable TCB is %d lines, over its %d-line budget; "+
+					"shrink the closure or raise the budget in a reviewed change",
+				e.PAL, e.Lines, max))
+		}
+	}
+	var stale []string
+	for name := range budget.Budgets {
+		if !seen[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		errs = append(errs, fmt.Errorf("tcb: budget entry %q matches no PAL in the module; remove it", name))
+	}
+	return errs
+}

@@ -1,0 +1,17 @@
+// Package lcfixture seeds one localitycheck violation and one near-miss.
+// It is loaded under a package path outside the SKINIT measurement path.
+package lcfixture
+
+import "flicker/internal/tpm"
+
+// ForgeMeasurement references a locality-4 ordinal from outside the SKINIT
+// path: the seeded violation (this is the PCR 17 forgery primitive).
+func ForgeMeasurement() uint32 {
+	return tpm.OrdHashStart // want: restricted
+}
+
+// DescribeOrdinal uses the tpm package's unrestricted surface — the
+// near-miss.
+func DescribeOrdinal(ord uint32) string {
+	return tpm.OrdinalName(ord)
+}

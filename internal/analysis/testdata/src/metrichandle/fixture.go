@@ -1,0 +1,25 @@
+// Package mhfixture seeds one metrichandle violation and one near-miss.
+// It is loaded under a hot-path package prefix.
+package mhfixture
+
+import "flicker/internal/metrics"
+
+type server struct {
+	reqs   *metrics.CounterVec
+	okReqs *metrics.Counter
+}
+
+func newServer(reg *metrics.Registry) *server {
+	vec := reg.Counter("fixture_requests_total", "Requests.", "result")
+	return &server{reqs: vec, okReqs: vec.With("ok")}
+}
+
+// handleSlow resolves the series on every event: the seeded violation.
+func (s *server) handleSlow() {
+	s.reqs.With("ok").Inc() // want: per-event lookup
+}
+
+// handleFast uses the handle cached at construction — the near-miss.
+func (s *server) handleFast() {
+	s.okReqs.Inc()
+}

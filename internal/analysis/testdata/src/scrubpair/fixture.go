@@ -1,0 +1,44 @@
+// Package spfixture seeds one scrubpair violation and one near-miss, using
+// a local phase-shaped struct so the analyzer's structural matching is what
+// is under test.
+package spfixture
+
+type phase struct {
+	name     string
+	body     func() error
+	teardown func()
+}
+
+type window struct{ buf []byte }
+
+// Write stages bytes into the window (a staging op by name).
+func (w *window) Write(p []byte) { copy(w.buf, p) }
+
+// Zero scrubs the window (a scrub op by name).
+func (w *window) Zero() {
+	for i := range w.buf {
+		w.buf[i] = 0
+	}
+}
+
+// BadPipeline stages secrets in its first phase with no scrub teardown
+// registered anywhere before it: the seeded violation.
+func BadPipeline(w *window, secret []byte) []phase {
+	return []phase{
+		{name: "stage-secret", body: func() error { w.Write(secret); return nil }},
+		{name: "compute", body: func() error { return nil }},
+	}
+}
+
+// GoodPipeline is the near-miss: the staging phase registers its own scrub
+// teardown, so the LIFO unwind erases the window on every exit path.
+func GoodPipeline(w *window, secret []byte) []phase {
+	return []phase{
+		{
+			name:     "stage-secret",
+			body:     func() error { w.Write(secret); return nil },
+			teardown: func() { w.Zero() },
+		},
+		{name: "compute", body: func() error { return nil }},
+	}
+}

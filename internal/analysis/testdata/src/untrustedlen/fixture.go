@@ -1,0 +1,30 @@
+// Package ulfixture seeds one untrustedlen violation and one near-miss.
+package ulfixture
+
+import "encoding/binary"
+
+// DecodeBad sizes an allocation straight from a wire-decoded count: the
+// seeded violation.
+func DecodeBad(b []byte) [][]byte {
+	count := binary.BigEndian.Uint32(b)
+	out := make([][]byte, 0, count) // want: unclamped
+	return out
+}
+
+// DecodeClamped is the near-miss: the same decode, but the allocation is
+// clamped against what the frame can actually hold.
+func DecodeClamped(b []byte) [][]byte {
+	count := binary.BigEndian.Uint32(b)
+	out := make([][]byte, 0, min(int(count), len(b)/4))
+	return out
+}
+
+// DecodeGuarded is a second near-miss: a comparison guard between the
+// decode and the allocation sanitizes the count.
+func DecodeGuarded(b []byte) []byte {
+	n := binary.BigEndian.Uint16(b)
+	if int(n) > len(b)-2 {
+		return nil
+	}
+	return make([]byte, n)
+}

@@ -1,0 +1,25 @@
+// Package wtfixture seeds one walltime violation and near-misses.
+package wtfixture
+
+import "time"
+
+// Stamp reads the host wall clock: the seeded violation.
+func Stamp() time.Duration {
+	start := time.Now() // want: banned
+	return time.Since(start)
+}
+
+// Hold uses time only for durations and timers, which is allowed — the
+// near-miss.
+func Hold(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	<-t.C
+}
+
+// Justified documents a deliberate wall-clock read; the directive
+// suppresses the finding.
+func Justified() time.Time {
+	//flickervet:allow walltime(fixture exercises the suppression directive)
+	return time.Now()
+}

@@ -1,0 +1,69 @@
+package analysis
+
+// walltime: cycle-accounted simulation packages must not read the host's
+// wall clock or use math/rand. Every latency the simulation reports is a
+// simtime.Clock charge — the paper's Section 7 tables are regenerated from
+// those charges, and determinism is what makes the regression benches and
+// the measurement-cache bit-identity tests meaningful. A stray time.Now in
+// internal/hw or internal/core silently turns a reproducible table into a
+// machine-dependent one (PR 4 shipped a mis-scaled shared timer that only
+// hand review caught; this class is mechanically checkable).
+//
+// Genuinely wall-clock code (e.g. the pool's group-commit wait, or a
+// queue-delay metric measuring real scheduling latency) documents itself
+// with //flickervet:allow walltime(reason) at the offending line and
+// routes the reading through an injectable clock so tests stay
+// deterministic.
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// WallTime reports wall-clock and math/rand use inside cycle-accounted
+// simulation packages.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc: "no time.Now/time.Since/math/rand inside cycle-accounted " +
+		"simulation packages (use simtime.Clock or an injectable clock)",
+	Scope: prefixScope(
+		"flicker/internal/hw",
+		"flicker/internal/tpm",
+		"flicker/internal/core",
+		"flicker/internal/pool",
+	),
+	Run: runWallTime,
+}
+
+// bannedTimeFuncs are the wall-clock readers the simulation must not call.
+var bannedTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWallTime(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s in a cycle-accounted package; use simtime's deterministic noise source or palcrypto.PRNG", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if bannedTimeFuncs[obj.Name()] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the host wall clock inside a cycle-accounted package; charge a simtime.Clock or inject the clock", obj.Name())
+			}
+			return true
+		})
+	}
+}

@@ -132,8 +132,14 @@ func (a *Admin) Query(link *netsim.Link, host *Host, regions [][2]uint32) *Outco
 		if hostErr != nil {
 			return nil // error indication: an empty response frame
 		}
+		// The response frame is sized from host-supplied report fields; a
+		// hostile or corrupted host could claim an enormous signature or AIK
+		// and make the admin allocate it. Clamp to the largest frame the
+		// protocol can legitimately produce (20-byte digest + RSA signature
+		// + AIK public key, with slack for encoding overhead).
+		const maxRespFrame = 4096
 		respSize := len(report.Digest) + len(report.Attestation.Signature) + len(report.Attestation.Cert.AIKPub)
-		return make([]byte, respSize)
+		return make([]byte, min(respSize, maxRespFrame))
 	})
 	if hostErr != nil {
 		return &Outcome{Err: hostErr}

@@ -16,14 +16,19 @@ import (
 
 // metricsBridge implements Observer over a metrics.Registry and EventLog.
 type metricsBridge struct {
-	sessions   *metrics.CounterVec   // pipeline, result
-	phaseSecs  *metrics.HistogramVec // phase
-	aborts     *metrics.CounterVec   // phase
-	inFlight   *metrics.Gauge
-	events     *metrics.EventLog
+	sessions  *metrics.CounterVec   // pipeline, result
+	phaseSecs *metrics.HistogramVec // phase
+	aborts    *metrics.CounterVec   // phase
+	inFlight  *metrics.Gauge
+	events    *metrics.EventLog
 
 	mu    sync.Mutex
 	start map[uint64]sessionTrack // by session id
+	// Per-phase and per-pipeline ok-path handles, resolved lazily under mu:
+	// every session crosses PhaseEnd five-plus times, and the phase and
+	// pipeline vocabularies are tiny and fixed.
+	phaseObs   map[string]*metrics.Histogram
+	sessionsOK map[string]*metrics.Counter
 }
 
 // sessionTrack carries per-session state between observer callbacks.
@@ -44,9 +49,23 @@ func newMetricsBridge(reg *metrics.Registry, events *metrics.EventLog) *metricsB
 			"Sessions aborted by an infrastructure failure, by the phase that failed.", "phase"),
 		inFlight: reg.Gauge("flicker_sessions_in_flight",
 			"Sessions currently between SessionStart and SessionEnd.").With(),
-		events: events,
-		start:  make(map[uint64]sessionTrack),
+		events:     events,
+		start:      make(map[uint64]sessionTrack),
+		phaseObs:   make(map[string]*metrics.Histogram),
+		sessionsOK: make(map[string]*metrics.Counter),
 	}
+}
+
+// phaseHist returns the cached histogram handle for a phase.
+func (b *metricsBridge) phaseHist(phase string) *metrics.Histogram {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h, ok := b.phaseObs[phase]
+	if !ok {
+		h = b.phaseSecs.With(phase)
+		b.phaseObs[phase] = h
+	}
+	return h
 }
 
 func (b *metricsBridge) SessionStart(m SessionMeta) {
@@ -73,9 +92,10 @@ func (b *metricsBridge) PhaseEnd(sid uint64, phase string, at time.Duration, err
 	tr, ok := b.start[sid]
 	b.mu.Unlock()
 	if ok {
-		b.phaseSecs.With(phase).ObserveDuration(at - tr.phaseStart)
+		b.phaseHist(phase).ObserveDuration(at - tr.phaseStart)
 	}
 	if err != nil {
+		//flickervet:allow metrichandle(aborts are once-per-incident infrastructure failures)
 		b.aborts.With(phase).Inc()
 	}
 }
@@ -89,11 +109,19 @@ func (b *metricsBridge) SessionEnd(sid uint64, at time.Duration, err error) {
 	if !ok {
 		return
 	}
-	result := "ok"
 	if err != nil {
-		result = "aborted"
 		b.events.Record(metrics.EventSessionAbort,
 			"core: session aborted in phase "+tr.lastPhase+": "+err.Error())
+		//flickervet:allow metrichandle(aborted sessions are once-per-incident)
+		b.sessions.With(tr.pipeline, "aborted").Inc()
+		return
 	}
-	b.sessions.With(tr.pipeline, result).Inc()
+	b.mu.Lock()
+	c, cached := b.sessionsOK[tr.pipeline]
+	if !cached {
+		c = b.sessions.With(tr.pipeline, "ok")
+		b.sessionsOK[tr.pipeline] = c
+	}
+	b.mu.Unlock()
+	c.Inc()
 }

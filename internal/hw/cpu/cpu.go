@@ -199,9 +199,13 @@ type Machine struct {
 
 	// Late-launch instrumentation (see Instrument); always non-nil,
 	// detached until Instrument is called.
-	metSKINIT       *metrics.CounterVec // variant, result
-	metMeasureCache *metrics.CounterVec // result: hit|miss
-	events          *metrics.EventLog
+	metSKINIT *metrics.CounterVec // variant, result (ok handles cached below)
+	// Hot-path series handles, resolved once in Instrument: every SKINIT
+	// touches the measurement cache, and successful launches dominate.
+	metSKINITOK    map[string]*metrics.Counter // by variant
+	metMeasureHit  *metrics.Counter
+	metMeasureMiss *metrics.Counter
+	events         *metrics.EventLog
 }
 
 // measureKey identifies one staged SLB by location and declared length.
@@ -263,9 +267,15 @@ func (m *Machine) Instrument(reg *metrics.Registry, events *metrics.EventLog) {
 	defer m.mu.Unlock()
 	m.metSKINIT = reg.Counter("flicker_skinit_attempts_total",
 		"SKINIT attempts, by launch variant and outcome.", "variant", "result")
-	m.metMeasureCache = reg.Counter("flicker_skinit_measure_cache_total",
+	m.metSKINITOK = map[string]*metrics.Counter{
+		"classic":     m.metSKINIT.With("classic", "ok"),
+		"partitioned": m.metSKINIT.With("partitioned", "ok"),
+	}
+	cache := reg.Counter("flicker_skinit_measure_cache_total",
 		"SKINIT measurement cache lookups, by result (hit = unchanged image re-measured in O(1)).",
 		"result")
+	m.metMeasureHit = cache.With("hit")
+	m.metMeasureMiss = cache.With("miss")
 	m.events = events
 }
 
@@ -288,17 +298,17 @@ func (m *Machine) measureSLB(slbBase uint32, length uint16) (digest, pcr17 tpm.D
 	gen := m.Mem.Generation(slbBase, int(length))
 	m.mu.Lock()
 	ent, ok := m.measureCache[key]
-	met := m.metMeasureCache
+	hit, miss := m.metMeasureHit, m.metMeasureMiss
 	m.mu.Unlock()
 	if ok && gen != 0 && ent.gen == gen {
-		met.With("hit").Inc()
+		hit.Inc()
 		pcr17, err = tpm.RunHashSequencePrecomputed(m.TPMBus, ent.digest, int(length))
 		if err != nil {
 			return tpm.Digest{}, tpm.Digest{}, "measure-fault", err
 		}
 		return ent.digest, pcr17, "", nil
 	}
-	met.With("miss").Inc()
+	miss.Inc()
 	slb, err := m.Mem.Read(slbBase, int(length))
 	if err != nil {
 		return tpm.Digest{}, tpm.Digest{}, "bad-slb", err
@@ -328,11 +338,18 @@ func (m *Machine) measureSLB(slbBase uint32, length uint16) (digest, pcr17 tpm.D
 	return digest, pcr17, "", nil
 }
 
-// recordSKINIT folds one late-launch attempt into the instruments.
+// recordSKINIT folds one late-launch attempt into the instruments. The ok
+// outcome (every healthy launch) uses the cached per-variant handle; fault
+// outcomes are once-per-incident and may look their series up directly.
 func (m *Machine) recordSKINIT(variant, result, detail string) {
 	m.mu.Lock()
-	met, ev := m.metSKINIT, m.events
+	met, ok, ev := m.metSKINIT, m.metSKINITOK[variant], m.events
 	m.mu.Unlock()
+	if result == "ok" && ok != nil {
+		ok.Inc()
+		return
+	}
+	//flickervet:allow metrichandle(fault outcomes fire at most once per failed launch)
 	met.With(variant, result).Inc()
 	if result != "ok" {
 		ev.Record(metrics.EventSKINITFault, detail)

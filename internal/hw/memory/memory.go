@@ -44,7 +44,17 @@ type PhysMem struct {
 	metDMA       *metrics.CounterVec // device, op, result
 	metDMABytes  *metrics.CounterVec // device, op
 	metDEVBlocks *metrics.CounterVec // device, op
-	events       *metrics.EventLog
+	// dmaOK caches the ok-path series handles per (device, op): DMA streams
+	// thousands of transactions per session, and the device/op vocabulary is
+	// a handful of names, so the hot path must not re-join label keys.
+	dmaOK  map[[2]string]dmaOKHandles
+	events *metrics.EventLog
+}
+
+// dmaOKHandles are one (device, op) pair's resolved completed-DMA series.
+type dmaOKHandles struct {
+	txn   *metrics.Counter
+	bytes *metrics.Counter
 }
 
 // New creates a physical memory of the given size (rounded up to a page).
@@ -77,20 +87,37 @@ func (m *PhysMem) Instrument(reg *metrics.Registry, events *metrics.EventLog) {
 		"Bytes moved by completed device DMA transactions.", "device", "op")
 	m.metDEVBlocks = reg.Counter("flicker_dev_violations_total",
 		"Device DMA transactions rejected by the Device Exclusion Vector.", "device", "op")
+	m.dmaOK = make(map[[2]string]dmaOKHandles)
 	m.events = events
 }
 
 // recordDMA folds one device transaction into the instruments; result is
-// "ok", "dev-blocked", or "bad-range".
+// "ok", "dev-blocked", or "bad-range". Completed transactions (the hot
+// path) go through handles cached per (device, op); rejections are
+// once-per-incident fault paths.
 func (m *PhysMem) recordDMA(device, op, result string, n int) {
 	m.imu.Lock()
-	dma, bytes, blocks, events := m.metDMA, m.metDMABytes, m.metDEVBlocks, m.events
+	if result == "ok" {
+		key := [2]string{device, op}
+		h, ok := m.dmaOK[key]
+		if !ok {
+			h = dmaOKHandles{
+				txn:   m.metDMA.With(device, op, "ok"),
+				bytes: m.metDMABytes.With(device, op),
+			}
+			m.dmaOK[key] = h
+		}
+		m.imu.Unlock()
+		h.txn.Inc()
+		h.bytes.Add(float64(n))
+		return
+	}
+	dma, blocks, events := m.metDMA, m.metDEVBlocks, m.events
 	m.imu.Unlock()
+	//flickervet:allow metrichandle(DEV rejections and bad ranges are once-per-incident fault paths)
 	dma.With(device, op, result).Inc()
-	switch result {
-	case "ok":
-		bytes.With(device, op).Add(float64(n))
-	case "dev-blocked":
+	if result == "dev-blocked" {
+		//flickervet:allow metrichandle(same fault path as above)
 		blocks.With(device, op).Inc()
 		events.Record(metrics.EventDEVViolation,
 			fmt.Sprintf("memory: DEV blocked DMA %s by %q (%d bytes)", op, device, n))

@@ -113,12 +113,14 @@ func (b *Bus) RequestUse(l Locality) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if !l.Valid() {
+		//flickervet:allow metrichandle(invalid-locality grabs are once-per-incident faults)
 		b.metRequests.With(locLabel(l), "invalid").Inc()
 		b.events.Record(metrics.EventLocalityFault,
 			fmt.Sprintf("tis: grab with invalid locality %d", l))
 		return fmt.Errorf("tis: invalid locality %d", l)
 	}
 	if b.claimed && l <= b.active {
+		//flickervet:allow metrichandle(contended grabs are the exceptional path)
 		b.metRequests.With(locLabel(l), "busy").Inc()
 		b.events.Record(metrics.EventLocalityFault,
 			fmt.Sprintf("tis: locality %d grab rejected; locality %d holds the interface", l, b.active))
@@ -135,6 +137,7 @@ func (b *Bus) Release(l Locality) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if !b.claimed || b.active != l {
+		//flickervet:allow metrichandle(mismatched releases are once-per-incident faults)
 		b.metReleases.With(locLabel(l), "fault").Inc()
 		return fmt.Errorf("tis: locality %d does not hold the interface", l)
 	}
@@ -159,6 +162,7 @@ func (b *Bus) ActiveLocality() Locality {
 func (b *Bus) Submit(l Locality, cmd []byte) ([]byte, error) {
 	b.mu.Lock()
 	if !b.claimed || b.active != l {
+		//flickervet:allow metrichandle(unclaimed submits are once-per-incident faults)
 		b.metSubmits.With(locLabel(l), "not-claimed").Inc()
 		b.events.Record(metrics.EventLocalityFault,
 			fmt.Sprintf("tis: submit at locality %d without holding the interface", l))

@@ -56,7 +56,9 @@ func (b *BlockDev) Store(off int, data []byte) error {
 
 // Media reads media content directly (for integrity checks).
 func (b *BlockDev) Media(off, n int) ([]byte, error) {
-	if off < 0 || off+n > len(b.storage) {
+	// n < 0 must be rejected explicitly: off+n would pass the range check
+	// and make(..., n) panics on negative sizes.
+	if off < 0 || n < 0 || off+n > len(b.storage) {
 		return nil, fmt.Errorf("kernel: %s: media read out of range", b.Name)
 	}
 	out := make([]byte, n)

@@ -62,6 +62,11 @@ type Config struct {
 	// open waiting for companions before flushing what it has (default
 	// 1ms; only meaningful when MaxBatch > 1).
 	MaxWait time.Duration
+	// WallClock supplies the wall-clock reading used for the queue-delay
+	// metric (default time.Now). Queue delay is real scheduling latency, not
+	// simulated time, so it cannot come from simtime.Clock — but tests
+	// inject a fake here to make the histogram deterministic.
+	WallClock func() time.Time
 }
 
 // job is one queued session.
@@ -101,11 +106,19 @@ type Pool struct {
 	closeMu sync.RWMutex
 	closed  bool
 
-	metSubmit     *metrics.CounterVec // route: home|overflow
-	metRejected   *metrics.CounterVec
-	metBatchSize  *metrics.Histogram
-	metBatchFlush *metrics.CounterVec // reason: full|timeout|drain
-	metQueueDelay *metrics.Histogram
+	// now is Config.WallClock (default time.Now), used only for the
+	// queue-delay metric.
+	now func() time.Time
+
+	// Submission and flush counters are resolved to series handles once at
+	// construction — the label sets are closed (route: home|overflow,
+	// reason: full|timeout|drain), and submit/flush are the pool's hot path.
+	metSubmitHome     *metrics.Counter
+	metSubmitOverflow *metrics.Counter
+	metRejected       *metrics.Counter
+	metBatchSize      *metrics.Histogram
+	metBatchFlush     map[string]*metrics.Counter
+	metQueueDelay     *metrics.Histogram
 }
 
 // New builds and boots a pool of cfg.Shards platforms.
@@ -131,20 +144,33 @@ func New(cfg Config) (*Pool, error) {
 	if cfg.MaxBatch > 1 && cfg.MaxWait <= 0 {
 		cfg.MaxWait = time.Millisecond
 	}
+	now := cfg.WallClock
+	if now == nil {
+		//flickervet:allow walltime(queue delay is real scheduling latency; tests inject Config.WallClock)
+		now = time.Now
+	}
+	submit := reg.Counter("flicker_pool_submissions_total",
+		"Sessions submitted to the pool, by route (home = PAL-affinity shard).", "route")
+	flush := reg.Counter("flicker_pool_batch_flush_total",
+		"Coalescer group flushes, by reason.", "reason")
 	p := &Pool{
-		metrics:  reg,
-		events:   events,
-		maxBatch: cfg.MaxBatch,
-		maxWait:  cfg.MaxWait,
-		metSubmit: reg.Counter("flicker_pool_submissions_total",
-			"Sessions submitted to the pool, by route (home = PAL-affinity shard).", "route"),
+		metrics:           reg,
+		events:            events,
+		maxBatch:          cfg.MaxBatch,
+		maxWait:           cfg.MaxWait,
+		now:               now,
+		metSubmitHome:     submit.With("home"),
+		metSubmitOverflow: submit.With("overflow"),
 		metRejected: reg.Counter("flicker_pool_rejected_total",
-			"TryRun submissions rejected because every shard queue was full."),
+			"TryRun submissions rejected because every shard queue was full.").With(),
 		metBatchSize: reg.Histogram("flicker_pool_batch_size",
 			"Jobs coalesced per flushed group (1 = singleton fallback).",
 			[]float64{1, 2, 4, 8, 16, 32}).With(),
-		metBatchFlush: reg.Counter("flicker_pool_batch_flush_total",
-			"Coalescer group flushes, by reason.", "reason"),
+		metBatchFlush: map[string]*metrics.Counter{
+			"full":    flush.With("full"),
+			"timeout": flush.With("timeout"),
+			"drain":   flush.With("drain"),
+		},
 		metQueueDelay: reg.Histogram("flicker_pool_queue_delay_seconds",
 			"Wall-clock time a job spent queued before its session started.",
 			[]float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}).With(),
@@ -187,7 +213,7 @@ func (p *Pool) worker(s *shard) {
 
 // runSingleton executes one job as its own session.
 func (p *Pool) runSingleton(s *shard, j job) {
-	p.metQueueDelay.ObserveDuration(time.Since(j.enq))
+	p.metQueueDelay.ObserveDuration(p.now().Sub(j.enq))
 	res, err := s.platform.RunSession(j.pl, j.opts)
 	s.pending.Add(-1)
 	j.done <- result{res: res, err: err}
@@ -249,7 +275,7 @@ func coalescable(a, b job) bool {
 // partition: one batched session for 2+ jobs, a singleton session for a
 // lone job.
 func (p *Pool) flush(s *shard, group []job, reason string) {
-	now := time.Now()
+	now := p.now()
 	for _, j := range group {
 		p.metQueueDelay.ObserveDuration(now.Sub(j.enq))
 	}
@@ -279,7 +305,7 @@ func (p *Pool) flush(s *shard, group []job, reason string) {
 			p.runSingletonNoDelay(s, part[0])
 			continue
 		}
-		p.metBatchFlush.With(reason).Inc()
+		p.metBatchFlush[reason].Inc()
 		p.runBatch(s, part)
 	}
 }
@@ -374,7 +400,7 @@ func (p *Pool) leastLoaded() *shard {
 // least-loaded shard; if both queues are full, either block on the home
 // shard (wait=true, backpressure) or fail with ErrSaturated.
 func (p *Pool) submit(pl pal.PAL, opts core.SessionOptions, wait bool) (chan result, error) {
-	j := job{pl: pl, opts: opts, enq: time.Now(), done: make(chan result, 1)}
+	j := job{pl: pl, opts: opts, enq: p.now(), done: make(chan result, 1)}
 
 	p.closeMu.RLock()
 	defer p.closeMu.RUnlock()
@@ -385,7 +411,7 @@ func (p *Pool) submit(pl pal.PAL, opts core.SessionOptions, wait bool) (chan res
 	home.pending.Add(1)
 	select {
 	case home.jobs <- j:
-		p.metSubmit.With("home").Inc()
+		p.metSubmitHome.Inc()
 		return j.done, nil
 	default:
 		home.pending.Add(-1)
@@ -394,14 +420,14 @@ func (p *Pool) submit(pl pal.PAL, opts core.SessionOptions, wait bool) (chan res
 		alt.pending.Add(1)
 		select {
 		case alt.jobs <- j:
-			p.metSubmit.With("overflow").Inc()
+			p.metSubmitOverflow.Inc()
 			return j.done, nil
 		default:
 			alt.pending.Add(-1)
 		}
 	}
 	if !wait {
-		p.metRejected.With().Inc()
+		p.metRejected.Inc()
 		return nil, ErrSaturated
 	}
 	// Backpressure: block until the home shard's queue has room. Workers
@@ -409,7 +435,7 @@ func (p *Pool) submit(pl pal.PAL, opts core.SessionOptions, wait bool) (chan res
 	// side, and Close cannot close the channel out from under the send.
 	home.pending.Add(1)
 	home.jobs <- j
-	p.metSubmit.With("home").Inc()
+	p.metSubmitHome.Inc()
 	return j.done, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"flicker/internal/core"
+	"flicker/internal/metrics"
 	"flicker/internal/pal"
 	"flicker/internal/simtime"
 	"flicker/internal/tpm"
@@ -661,4 +662,45 @@ func TestPoolOverflowSpill(t *testing.T) {
 	}
 	close(release)
 	wg.Wait()
+}
+
+// The queue-delay metric reads Config.WallClock, so a test-injected clock
+// makes the histogram exactly reproducible: with a clock that steps 1ms per
+// reading and strictly alternating enqueue/observe calls (sequential Run on
+// one shard), every job's recorded delay is exactly one step.
+func TestPoolQueueDelayDeterministic(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	step := time.Millisecond
+	p, err := New(Config{
+		Shards:   1,
+		QueueLen: 4,
+		Platform: core.PlatformConfig{Seed: "pool-test"},
+		WallClock: func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			now = now.Add(step)
+			return now
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const jobs = 5
+	for i := 0; i < jobs; i++ {
+		if _, err := p.Run(testPAL("clocked"), core.SessionOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.metQueueDelay.Count(); got != jobs {
+		t.Fatalf("queue-delay observations = %d, want %d", got, jobs)
+	}
+	// Each job: one reading at enqueue, the next at dequeue — exactly one
+	// 1ms step of delay, every run, on every machine.
+	want := metrics.Seconds(step) * jobs
+	if got := p.metQueueDelay.Sum(); got != want {
+		t.Fatalf("queue-delay sum = %v, want exactly %v", got, want)
+	}
 }

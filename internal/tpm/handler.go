@@ -26,6 +26,7 @@ func (t *TPM) dispatch(loc tis.Locality, tag uint16, ord uint32, body []byte) ([
 		}
 		c.Inc()
 	} else {
+		//flickervet:allow metrichandle(non-success result codes are once-per-incident fault paths)
 		t.metCommands.With(name, strconv.FormatUint(uint64(rc), 10)).Inc()
 	}
 	h, ok := t.latHists[ord]
