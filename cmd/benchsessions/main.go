@@ -27,18 +27,26 @@ import (
 type modeResult struct {
 	Sessions       int     `json:"sessions"`
 	Batch          int     `json:"batch,omitempty"`
+	Hosts          int     `json:"hosts,omitempty"`
+	GOMAXPROCS     int     `json:"gomaxprocs,omitempty"`
 	NsPerOp        float64 `json:"ns_per_op"`
 	SessionsPerSec float64 `json:"sessions_per_sec"`
 	AllocsPerOp    float64 `json:"allocs_per_op"`
 	BytesPerOp     float64 `json:"bytes_per_op"`
 }
 
-// reportFile is the BENCH_sessions.json schema.
+// reportFile is the BENCH_sessions.json schema. Every core mode runs
+// twice: pinned to one P (legacy mode names — scheduler-neutral numbers
+// that stay comparable across CI machines) and at the machine's real
+// parallelism ("_mp" suffix). The fabric modes are paced by simulated
+// device time rather than CPU, so they run once.
 type reportFile struct {
-	GeneratedUnix int64                 `json:"generated_unix"`
-	GoVersion     string                `json:"go_version"`
-	GOMAXPROCS    int                   `json:"gomaxprocs"`
-	Modes         map[string]modeResult `json:"modes"`
+	GeneratedUnix      int64                 `json:"generated_unix"`
+	GoVersion          string                `json:"go_version"`
+	GOMAXPROCS         int                   `json:"gomaxprocs"`
+	GOMAXPROCSPinned   int                   `json:"gomaxprocs_pinned"`
+	GOMAXPROCSParallel int                   `json:"gomaxprocs_parallel"`
+	Modes              map[string]modeResult `json:"modes"`
 }
 
 func demoPAL(name string) flicker.PAL {
@@ -235,20 +243,111 @@ func runPoolBatched(n, shards, maxBatch int) (modeResult, error) {
 	return r, nil
 }
 
-func main() {
-	out := flag.String("o", "BENCH_sessions.json", "output path")
-	n := flag.Int("n", 2000, "sessions per mode")
-	flag.Parse()
+// pacedPAL returns a PAL whose body sleeps for the given wall time,
+// emulating a device-paced session (TPM waits, I/O). Sleeps release the P,
+// so paced sessions on different hosts overlap regardless of core count —
+// which is exactly the workload the fabric's horizontal scaling targets.
+func pacedPAL(name string, pace time.Duration) flicker.PAL {
+	return &flicker.PALFunc{
+		PALName: name,
+		Binary:  flicker.DescriptorCode(name, "1.0", nil, nil),
+		Fn: func(env *flicker.Env, input []byte) ([]byte, error) {
+			time.Sleep(pace)
+			return []byte("ok"), nil
+		},
+	}
+}
 
+// runFabric benchmarks end-to-end controller throughput over an in-process
+// attestation fabric of `hosts` quote-verified members, 8 paced PALs, 32
+// concurrent submitters. Per-op numbers are per session.
+func runFabric(n, hosts int) (modeResult, error) {
+	sw := flicker.NewNetSwitch(0, 0)
+	ca, err := flicker.NewPrivacyCA([]byte("benchsessions-fabric"), 0)
+	if err != nil {
+		return modeResult{}, err
+	}
+	ctrl, err := flicker.NewFabricController(sw, ca, flicker.FabricControllerConfig{
+		Seed: "benchsessions", HostInFlight: 1,
+	})
+	if err != nil {
+		return modeResult{}, err
+	}
+	pals := make([]flicker.PAL, 8)
+	for i := range pals {
+		pals[i] = pacedPAL(fmt.Sprintf("paced-%c", 'a'+i), 500*time.Microsecond)
+		if err := ctrl.RegisterPAL(pals[i]); err != nil {
+			return modeResult{}, err
+		}
+	}
+	for i := 0; i < hosts; i++ {
+		name := fmt.Sprintf("host%d", i)
+		h, err := flicker.NewFabricHost(sw, ca, flicker.FabricHostConfig{
+			Name:     name,
+			Platform: flicker.Config{Seed: "benchsessions|" + name, Profile: flicker.ProfileFuture()},
+		})
+		if err != nil {
+			return modeResult{}, err
+		}
+		defer h.Close()
+		for _, pl := range pals {
+			if err := h.RegisterPAL(pl); err != nil {
+				return modeResult{}, err
+			}
+		}
+		if err := ctrl.Admit(name); err != nil {
+			return modeResult{}, err
+		}
+	}
+	// Warm every PAL's image cache fleet-wide.
+	for _, pl := range pals {
+		if _, err := ctrl.Run(pl.Name(), nil); err != nil {
+			return modeResult{}, err
+		}
+	}
+	const submitters = 32
+	r, err := measure(1, func() error {
+		var wg sync.WaitGroup
+		errs := make(chan error, submitters)
+		for w := 0; w < submitters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < n; i += submitters {
+					if _, err := ctrl.Run(pals[i%len(pals)].Name(), nil); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		return <-errs
+	})
+	if err != nil {
+		return modeResult{}, err
+	}
+	r.Sessions = n
+	r.Hosts = hosts
+	r.NsPerOp /= float64(n)
+	r.SessionsPerSec = float64(n) * r.SessionsPerSec
+	r.AllocsPerOp /= float64(n)
+	r.BytesPerOp /= float64(n)
+	return r, nil
+}
+
+// runCoreModes runs the single-machine trajectories (classic, partitioned,
+// pools, batching) at the current GOMAXPROCS, tagging each result with it.
+func runCoreModes(n int, modes map[string]modeResult, suffix string) error {
 	hello := demoPAL("hello")
-	report := reportFile{
-		GeneratedUnix: time.Now().Unix(),
-		GoVersion:     runtime.Version(),
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		Modes:         map[string]modeResult{},
+	procs := runtime.GOMAXPROCS(0)
+	add := func(name string, r modeResult) {
+		r.GOMAXPROCS = procs
+		modes[name+suffix] = r
 	}
 
-	classic, err := runPlatform(*n, func(p *flicker.Platform) error {
+	classic, err := runPlatform(n, func(p *flicker.Platform) error {
 		res, err := p.RunSession(hello, flicker.SessionOptions{})
 		if err != nil {
 			return err
@@ -256,11 +355,11 @@ func main() {
 		return res.PALError
 	})
 	if err != nil {
-		log.Fatalf("classic: %v", err)
+		return fmt.Errorf("classic: %w", err)
 	}
-	report.Modes["classic"] = classic
+	add("classic", classic)
 
-	partitioned, err := runPlatform(*n, func(p *flicker.Platform) error {
+	partitioned, err := runPlatform(n, func(p *flicker.Platform) error {
 		res, err := p.RunSessionConcurrent(hello, flicker.SessionOptions{})
 		if err != nil {
 			return err
@@ -268,39 +367,83 @@ func main() {
 		return res.PALError
 	})
 	if err != nil {
-		log.Fatalf("partitioned: %v", err)
+		return fmt.Errorf("partitioned: %w", err)
 	}
-	report.Modes["partitioned"] = partitioned
+	add("partitioned", partitioned)
 
 	for _, shards := range []int{1, 4} {
-		r, err := runPool(*n, shards)
+		r, err := runPool(n, shards)
 		if err != nil {
-			log.Fatalf("pool shards=%d: %v", shards, err)
+			return fmt.Errorf("pool shards=%d: %w", shards, err)
 		}
 		// measure ran the whole batch as one op; rescale to per-session.
-		r.Sessions = *n
-		r.NsPerOp /= float64(*n)
-		r.SessionsPerSec = float64(*n) * r.SessionsPerSec
-		r.AllocsPerOp /= float64(*n)
-		r.BytesPerOp /= float64(*n)
-		report.Modes[fmt.Sprintf("pool_shards%d", shards)] = r
+		r.Sessions = n
+		r.NsPerOp /= float64(n)
+		r.SessionsPerSec = float64(n) * r.SessionsPerSec
+		r.AllocsPerOp /= float64(n)
+		r.BytesPerOp /= float64(n)
+		add(fmt.Sprintf("pool_shards%d", shards), r)
 	}
 
 	// Batched trajectories: requests/s through shared sessions, directly
 	// comparable against classic (=batch 1) and pool_shards1 (singleton
 	// coalescer-off pool) above.
 	for _, batch := range []int{8, 32} {
-		r, err := runBatchDirect(*n, batch)
+		r, err := runBatchDirect(n, batch)
 		if err != nil {
-			log.Fatalf("batch_direct%d: %v", batch, err)
+			return fmt.Errorf("batch_direct%d: %w", batch, err)
 		}
-		report.Modes[fmt.Sprintf("batch_direct%d", batch)] = r
+		add(fmt.Sprintf("batch_direct%d", batch), r)
 	}
-	rb, err := runPoolBatched(*n, 1, 8)
+	rb, err := runPoolBatched(n, 1, 8)
 	if err != nil {
-		log.Fatalf("pool_batch8: %v", err)
+		return fmt.Errorf("pool_batch8: %w", err)
 	}
-	report.Modes["pool_batch8"] = rb
+	add("pool_batch8", rb)
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sessions.json", "output path")
+	n := flag.Int("n", 2000, "sessions per mode")
+	flag.Parse()
+
+	parallel := runtime.NumCPU()
+	report := reportFile{
+		GeneratedUnix:      time.Now().Unix(),
+		GoVersion:          runtime.Version(),
+		GOMAXPROCS:         parallel,
+		GOMAXPROCSPinned:   1,
+		GOMAXPROCSParallel: parallel,
+		Modes:              map[string]modeResult{},
+	}
+
+	// Pass 1 — pinned: legacy mode names, scheduler-neutral.
+	prev := runtime.GOMAXPROCS(1)
+	if err := runCoreModes(*n, report.Modes, ""); err != nil {
+		log.Fatal(err)
+	}
+	// Pass 2 — real parallelism: same modes, "_mp" suffix.
+	runtime.GOMAXPROCS(parallel)
+	if err := runCoreModes(*n, report.Modes, "_mp"); err != nil {
+		log.Fatal(err)
+	}
+	runtime.GOMAXPROCS(prev)
+
+	// Fabric trajectories: device-paced sessions scheduled across a
+	// quote-verified cluster. fabric4 vs fabric1 is the horizontal-scaling
+	// gate (target: >= 3x).
+	for _, hosts := range []int{1, 4} {
+		r, err := runFabric(*n, hosts)
+		if err != nil {
+			log.Fatalf("fabric%d: %v", hosts, err)
+		}
+		r.GOMAXPROCS = parallel
+		report.Modes[fmt.Sprintf("fabric%d", hosts)] = r
+	}
+	fmt.Printf("fabric scaling: %0.2fx (fabric4 %0.0f/s over fabric1 %0.0f/s)\n",
+		report.Modes["fabric4"].SessionsPerSec/report.Modes["fabric1"].SessionsPerSec,
+		report.Modes["fabric4"].SessionsPerSec, report.Modes["fabric1"].SessionsPerSec)
 
 	f, err := os.Create(*out)
 	if err != nil {

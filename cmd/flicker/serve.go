@@ -80,6 +80,82 @@ func newPoolServeMux(p *flicker.Pool) *http.ServeMux {
 	return mux
 }
 
+// fabricStatsResponse is the /stats payload in fabric mode: controller
+// fleet accounting plus the shared registry.
+type fabricStatsResponse struct {
+	Fabric  flicker.FabricStats     `json:"fabric"`
+	Metrics flicker.MetricsSnapshot `json:"metrics"`
+}
+
+// fabricHealthResponse is the fleet-aware /healthz payload: a fabric is
+// healthy while at least one admitted host can take work, degraded while
+// some members are lost/draining, down when none remain.
+type fabricHealthResponse struct {
+	Status   string `json:"status"`
+	Hosts    int    `json:"hosts"`
+	Live     int    `json:"live"`
+	Sessions int64  `json:"sessions"`
+}
+
+// newFabricServeMux is the exposition surface for an in-process fabric
+// cluster: the usual /metrics, /stats, /events, /healthz (all fleet-aware)
+// plus /hosts, which lists every member with its attestation status.
+func newFabricServeMux(ctrl *flicker.FabricController, reg *flicker.MetricsRegistry, events *flicker.SecurityEventLog) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			log.Printf("serve: /metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		writeJSON(w, fabricStatsResponse{Fabric: ctrl.Stats(), Metrics: reg.Snapshot()})
+	})
+	mux.HandleFunc("/hosts", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		hosts := ctrl.Hosts()
+		if hosts == nil {
+			hosts = []flicker.FabricHostStatus{}
+		}
+		writeJSON(w, hosts)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		evs := events.Events()
+		if evs == nil {
+			evs = []flicker.SecurityEvent{}
+		}
+		writeJSON(w, evs)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		st := ctrl.Stats()
+		status := "ok"
+		switch {
+		case st.Live == 0:
+			status = "down"
+		case st.Live < st.Hosts:
+			status = "degraded"
+		}
+		writeJSON(w, fabricHealthResponse{
+			Status: status, Hosts: st.Hosts, Live: st.Live, Sessions: st.Sessions,
+		})
+	})
+	return mux
+}
+
 // newServeMux builds the exposition handler for a platform. Split out from
 // cmdServe so tests can drive it through httptest without binding a port.
 func newServeMux(p *flicker.Platform) *http.ServeMux {
@@ -139,6 +215,58 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// buildFabric stands up an in-process attestation fabric: a controller and
+// n host agents on one simulated switch, every host quote-verified at
+// admission, all folding into one metrics registry. A background ticker
+// drives heartbeats and periodic re-attestation.
+func buildFabric(n int, palName string, target flicker.PAL, prof *flicker.Profile) (*flicker.FabricController, *http.ServeMux, error) {
+	reg := flicker.NewMetricsRegistry()
+	events := flicker.NewSecurityEventLog(0)
+	sw := flicker.NewNetSwitch(2*time.Millisecond, 0)
+	sw.Instrument(reg, "fabric")
+	ca, err := flicker.NewPrivacyCA([]byte("serve-fabric-ca"), 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctrl, err := flicker.NewFabricController(sw, ca, flicker.FabricControllerConfig{
+		Seed:          "serve-fabric",
+		ReattestEvery: 30,
+		Metrics:       reg,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctrl.RegisterPAL(target); err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("host%d", i)
+		h, err := flicker.NewFabricHost(sw, ca, flicker.FabricHostConfig{
+			Name: name,
+			Platform: flicker.Config{
+				Seed: "serve-fabric|" + name, Profile: prof,
+				Metrics: reg, Events: events,
+			},
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := h.RegisterPAL(target); err != nil {
+			return nil, nil, err
+		}
+		if err := ctrl.Admit(name); err != nil {
+			return nil, nil, fmt.Errorf("admitting %s: %w", name, err)
+		}
+	}
+	log.Printf("serve: fabric up: %d/%d hosts admitted for PAL %q", ctrl.Live(), n, palName)
+	go func() {
+		for range time.Tick(time.Second) {
+			ctrl.Tick()
+		}
+	}()
+	return ctrl, newFabricServeMux(ctrl, reg, events), nil
+}
+
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:9464", "listen address (use :0 for an ephemeral port)")
@@ -148,6 +276,7 @@ func cmdServe(args []string) {
 	warm := fs.Int("sessions", 3, "sessions to run before serving (populates the metrics)")
 	interval := fs.Duration("interval", 0, "keep running a session this often while serving (0 = only the warm-up sessions)")
 	shards := fs.Int("shards", 1, "number of independent platforms behind a session pool (1 = single platform)")
+	hosts := fs.Int("hosts", 0, "run an in-process attestation fabric of N quote-verified hosts (0 = no fabric; overrides -shards)")
 	batch := fs.Int("batch", 1, "max requests coalesced into one session per shard (requires -shards mode; >1 enables the coalescer)")
 	batchWait := fs.Duration("batch-wait", 2*time.Millisecond, "how long a shard holds a lone request hoping to form a batch")
 	fs.Parse(args)
@@ -174,7 +303,17 @@ func cmdServe(args []string) {
 		runOnce func() error
 		mux     *http.ServeMux
 	)
-	if *shards > 1 || *batch > 1 {
+	if *hosts > 0 {
+		ctrl, mux2, err := buildFabric(*hosts, *palName, target, prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runOnce = func() error {
+			_, err := ctrl.Run(*palName, []byte(*input))
+			return err
+		}
+		mux = mux2
+	} else if *shards > 1 || *batch > 1 {
 		pool, err := flicker.NewPool(flicker.PoolConfig{
 			Shards:   *shards,
 			MaxBatch: *batch,
@@ -243,8 +382,14 @@ func cmdServe(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("flicker serve: %d warm-up session(s) done on %d shard(s); listening on http://%s\n",
-		*warm, *shards, ln.Addr())
-	fmt.Println("endpoints: /metrics (Prometheus), /stats (JSON), /events (JSON), /healthz")
+	if *hosts > 0 {
+		fmt.Printf("flicker serve: %d warm-up session(s) done on a %d-host fabric; listening on http://%s\n",
+			*warm, *hosts, ln.Addr())
+		fmt.Println("endpoints: /metrics (Prometheus), /stats (JSON), /events (JSON), /healthz, /hosts (attestation status)")
+	} else {
+		fmt.Printf("flicker serve: %d warm-up session(s) done on %d shard(s); listening on http://%s\n",
+			*warm, *shards, ln.Addr())
+		fmt.Println("endpoints: /metrics (Prometheus), /stats (JSON), /events (JSON), /healthz")
+	}
 	log.Fatal(http.Serve(ln, mux))
 }

@@ -213,3 +213,118 @@ func TestServePoolEndpoints(t *testing.T) {
 		t.Fatalf("POST pool /stats = %d, want 405", rec.Code)
 	}
 }
+
+// serveFabric stands up a small in-process fabric and pushes a few
+// sessions through it.
+func serveFabric(t *testing.T, hosts, sessions int) (*flicker.FabricController, *http.ServeMux) {
+	t.Helper()
+	target, err := demoPAL("hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, mux, err := buildFabric(hosts, "hello", target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sessions; i++ {
+		if _, err := ctrl.Run("hello", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ctrl, mux
+}
+
+func TestServeFabricEndpoints(t *testing.T) {
+	_, mux := serveFabric(t, 2, 3)
+
+	rec := get(t, mux, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, family := range []string{
+		"flicker_fabric_admissions_total",
+		"flicker_fabric_runs_total",
+		"flicker_net_roundtrips_total",
+		"flicker_sessions_total",
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("fabric /metrics missing family %q", family)
+		}
+	}
+
+	rec = get(t, mux, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /stats = %d, want 200", rec.Code)
+	}
+	var stats fabricStatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("decode fabric /stats: %v", err)
+	}
+	if stats.Fabric.Hosts != 2 || stats.Fabric.Live != 2 {
+		t.Errorf("fabric stats = %+v, want 2 hosts / 2 live", stats.Fabric)
+	}
+	if stats.Fabric.Sessions != 3 || stats.Fabric.AdmissionsOK != 2 {
+		t.Errorf("fabric stats = %+v, want 3 sessions / 2 admissions", stats.Fabric)
+	}
+
+	rec = get(t, mux, "/hosts")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /hosts = %d, want 200", rec.Code)
+	}
+	var members []flicker.FabricHostStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &members); err != nil {
+		t.Fatalf("decode /hosts: %v", err)
+	}
+	if len(members) != 2 {
+		t.Fatalf("/hosts lists %d members, want 2", len(members))
+	}
+	for _, m := range members {
+		if m.State != "admitted" {
+			t.Errorf("host %s state = %q, want admitted", m.Name, m.State)
+		}
+		if len(m.PALs) == 0 {
+			t.Errorf("host %s advertises no PALs", m.Name)
+		}
+	}
+
+	rec = get(t, mux, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200", rec.Code)
+	}
+	var health fabricHealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatalf("decode fabric /healthz: %v", err)
+	}
+	if health.Status != "ok" || health.Hosts != 2 || health.Live != 2 {
+		t.Errorf("fabric healthz = %+v, want ok/2/2", health)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/hosts", strings.NewReader("x")))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /hosts = %d, want 405", rec.Code)
+	}
+}
+
+// The fleet-aware health endpoint degrades when a member is lost and goes
+// down when none remain.
+func TestServeFabricHealthDegrades(t *testing.T) {
+	ctrl, mux := serveFabric(t, 1, 1)
+	var health fabricHealthResponse
+	if err := json.Unmarshal(get(t, mux, "/healthz").Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" {
+		t.Fatalf("healthz before drain = %+v", health)
+	}
+	if err := ctrl.Drain("host0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(get(t, mux, "/healthz").Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "down" || health.Live != 0 {
+		t.Fatalf("healthz after draining the only host = %+v, want down/0 live", health)
+	}
+}

@@ -31,9 +31,13 @@
 package flicker
 
 import (
+	"time"
+
 	"flicker/internal/attest"
 	"flicker/internal/core"
+	"flicker/internal/fabric"
 	"flicker/internal/metrics"
+	"flicker/internal/netsim"
 	"flicker/internal/pal"
 	"flicker/internal/palcrypto"
 	"flicker/internal/pool"
@@ -234,3 +238,62 @@ func ModuleInventory() []pal.ModuleInfo { return pal.ModuleInventory() }
 func TCBSize(modules []string) (loc int, sizeKB float64, err error) {
 	return pal.TCBSize(modules)
 }
+
+// --- attestation fabric ----------------------------------------------------
+
+// NetSwitch is a simulated multi-endpoint network segment on its own
+// deterministic clock: the medium a fabric controller and its host agents
+// exchange framed RPC over.
+type NetSwitch = netsim.Switch
+
+// NewNetSwitch creates a switch with a uniform port-to-port RTT and
+// optional per-byte serialization cost, on a fresh simulated clock.
+func NewNetSwitch(rtt, perByte time.Duration) *NetSwitch {
+	return netsim.NewSwitch(simtime.New(), rtt, perByte)
+}
+
+// FabricController admits host agents into a serving fleet via
+// quote-verified attestation (a host joins only after a TPM Quote over the
+// admission PAL's PCR-17 value verifies against the controller's own build
+// of that PAL) and schedules sessions across the admitted members with
+// PAL-affinity routing, failover, drain, and periodic re-attestation.
+type FabricController = fabric.Controller
+
+// FabricControllerConfig configures a fabric controller.
+type FabricControllerConfig = fabric.ControllerConfig
+
+// NewFabricController attaches a controller to a switch with the given
+// Privacy CA as the attestation trust root.
+func NewFabricController(sw *NetSwitch, ca *PrivacyCA, cfg FabricControllerConfig) (*FabricController, error) {
+	return fabric.NewController(sw, ca, cfg)
+}
+
+// FabricHost is one fabric member: a platform pool plus a quote daemon,
+// serving sessions over its switch port once admitted.
+type FabricHost = fabric.Host
+
+// FabricHostConfig configures a fabric host agent.
+type FabricHostConfig = fabric.HostConfig
+
+// NewFabricHost attaches a host agent to a switch.
+func NewFabricHost(sw *NetSwitch, ca *PrivacyCA, cfg FabricHostConfig) (*FabricHost, error) {
+	return fabric.NewHost(sw, ca, cfg)
+}
+
+// FabricStats is the controller's fleet-wide accounting snapshot.
+type FabricStats = fabric.Stats
+
+// FabricHostStatus is one member's externally visible admission state.
+type FabricHostStatus = fabric.HostStatus
+
+// ErrFabricNoHosts is returned by FabricController.Run when no admitted
+// host can serve the requested PAL.
+var ErrFabricNoHosts = fabric.ErrNoHosts
+
+// NewMetricsRegistry creates an empty metrics registry, for wiring several
+// components (fabric hosts, switches, controllers) into one scrape surface.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewSecurityEventLog creates a bounded security event log (n <= 0 uses
+// the default capacity).
+func NewSecurityEventLog(n int) *SecurityEventLog { return metrics.NewEventLog(n) }

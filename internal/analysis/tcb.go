@@ -12,15 +12,22 @@ package analysis
 // The call graph is conservative: every referenced function counts as
 // reachable (function values included), and interface method calls expand
 // to every module type implementing the interface (class-hierarchy
-// analysis). One deliberate exception: the session-engine pseudo-entry
+// analysis). Two deliberate refinements: the session-engine pseudo-entry
 // does not expand the pal.PAL/BatchPAL interfaces — the PAL is the
 // engine's *parameter*, exactly as the paper separates the Flicker
-// infrastructure from each application's PAL.
+// infrastructure from each application's PAL — and CHA only admits
+// implementing types the caller's package can name (its transitive import
+// closure). A package cannot construct values of types it cannot import,
+// and this module's layering never injects higher-layer values downward,
+// so e.g. an error type defined in untrusted serving code does not
+// inflate the measured closure of internal/core just because both
+// satisfy the universe error interface.
 
 import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/constant"
 	"go/types"
 	"os"
 	"path/filepath"
@@ -75,6 +82,37 @@ type tcbGraph struct {
 	edges map[*types.Func][]*types.Func
 	// named collects every named type in the module, for CHA.
 	named []*types.Named
+	// visible memoizes each package's transitive import closure (itself
+	// included), the set of packages whose types it can name.
+	visible map[*types.Package]map[*types.Package]bool
+}
+
+// visibleFrom reports whether def's types are nameable from pkg: def is
+// pkg itself or in pkg's transitive imports.
+func (g *tcbGraph) visibleFrom(pkg, def *types.Package) bool {
+	if pkg == nil || def == nil || pkg == def {
+		return true
+	}
+	if g.visible == nil {
+		g.visible = make(map[*types.Package]map[*types.Package]bool)
+	}
+	closure := g.visible[pkg]
+	if closure == nil {
+		closure = map[*types.Package]bool{pkg: true}
+		queue := []*types.Package{pkg}
+		for len(queue) > 0 {
+			p := queue[0]
+			queue = queue[1:]
+			for _, imp := range p.Imports() {
+				if !closure[imp] {
+					closure[imp] = true
+					queue = append(queue, imp)
+				}
+			}
+		}
+		g.visible[pkg] = closure
+	}
+	return closure[def]
 }
 
 // BuildTCBReport computes the per-PAL reachable-code accounting over the
@@ -152,7 +190,13 @@ func (g *tcbGraph) buildEdges() {
 					if recv := f.Type().(*types.Signature).Recv(); recv != nil {
 						if _, isIface := recv.Type().Underlying().(*types.Interface); isIface {
 							for _, impl := range g.implementors(f) {
-								add(impl)
+								// CHA restricted to the caller's import
+								// closure: a package cannot hold values of
+								// types it cannot name (see the package
+								// comment).
+								if g.visibleFrom(pkg.Types, impl.Pkg()) {
+									add(impl)
+								}
 							}
 							return true
 						}
@@ -311,10 +355,11 @@ func (g *tcbGraph) findEntries(palIface, batchIface *types.Interface) []tcbEntry
 					}
 					switch key.Name {
 					case "PALName":
-						if lit, ok := kv.Value.(*ast.BasicLit); ok {
-							if s, err := strconv.Unquote(lit.Value); err == nil {
-								name = s
-							}
+						// The value may be a literal or a named constant;
+						// the type-checker folded both.
+						if tv, ok := pkg.Info.Types[kv.Value]; ok && tv.Value != nil &&
+							tv.Value.Kind() == constant.String {
+							name = constant.StringVal(tv.Value)
 						}
 					case "Fn":
 						switch fe := ast.Unparen(kv.Value).(type) {
@@ -493,6 +538,11 @@ type TCBBudget struct {
 	Comment string `json:"comment,omitempty"`
 	// Budgets maps entry name -> maximum reachable lines.
 	Budgets map[string]int `json:"budgets"`
+	// ForbiddenPackages lists package path prefixes that must never appear
+	// in any PAL's reachable closure. Untrusted serving infrastructure
+	// (the attestation fabric, HTTP surfaces) lives here: if a PAL can
+	// reach it, the measured TCB silently absorbed the control plane.
+	ForbiddenPackages []string `json:"forbidden_packages,omitempty"`
 }
 
 // LoadTCBBudget reads a budget file.
@@ -534,6 +584,16 @@ func CheckTCBBudget(rep *TCBReport, budget *TCBBudget) []error {
 				"tcb: %q reachable TCB is %d lines, over its %d-line budget; "+
 					"shrink the closure or raise the budget in a reviewed change",
 				e.PAL, e.Lines, max))
+		}
+		for pkg := range e.Packages {
+			for _, forbidden := range budget.ForbiddenPackages {
+				if pkg == forbidden || strings.HasPrefix(pkg, forbidden+"/") {
+					errs = append(errs, fmt.Errorf(
+						"tcb: %q reaches forbidden package %s (%d lines); "+
+							"PAL-measured code must not depend on untrusted serving infrastructure",
+						e.PAL, pkg, e.Packages[pkg].Lines))
+				}
+			}
 		}
 	}
 	var stale []string

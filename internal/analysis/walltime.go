@@ -30,6 +30,7 @@ var WallTime = &Analyzer{
 		"flicker/internal/hw",
 		"flicker/internal/tpm",
 		"flicker/internal/core",
+		"flicker/internal/fabric",
 		"flicker/internal/pool",
 	),
 	Run: runWallTime,

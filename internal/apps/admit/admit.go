@@ -1,0 +1,35 @@
+// Package admit is the attestation fabric's admission PAL. It lives
+// outside internal/fabric deliberately: the PAL's body is *measured* code
+// — its hash is what a controller's quote check pins — while the fabric
+// package is untrusted serving infrastructure that tcb_budget.json
+// forbids from any PAL's reachable closure. Keeping the two in separate
+// packages lets flickervet enforce that boundary mechanically.
+package admit
+
+import "flicker/internal/pal"
+
+// PALName is the wire name of the admission PAL.
+const PALName = "fabric-admit"
+
+// Reply is the admission PAL's deterministic output for a challenge
+// nonce. Both sides compute it: the PAL produces it inside the session
+// (so it is hashed into PCR 17), and the verifier folds it into the
+// expected composite.
+func Reply(nonce []byte) []byte {
+	return append([]byte("fabric-admitted:"), nonce...)
+}
+
+// PAL returns the canonical admission PAL. A host built with different
+// admission code produces a different PCR-17 launch measurement, and its
+// quote fails verification.
+func PAL() pal.PAL {
+	return &pal.Func{
+		PALName: PALName,
+		Binary:  pal.DescriptorCode(PALName, "1.0", nil, nil),
+		Fn:      run,
+	}
+}
+
+func run(_ *pal.Env, input []byte) ([]byte, error) {
+	return Reply(input), nil
+}

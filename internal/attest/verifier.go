@@ -1,0 +1,107 @@
+package attest
+
+// Verifier-side nonce lifecycle. attest.Verify already binds a quote to
+// the verifier's nonce, but that check alone assumes the verifier holds
+// exactly one outstanding challenge forever. A controller admitting a
+// fleet has many challenges in flight and must also bound how long any of
+// them stays redeemable: a quote produced for a week-old nonce proves what
+// the platform ran a week ago, not what it runs now. NonceAuthority issues
+// challenge nonces, remembers them for a freshness window on the
+// verifier's clock, and consumes each exactly once — a response outside
+// the window is stale, a second response to the same challenge (or a
+// response to a challenge never issued) is a replay/forgery.
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"time"
+
+	"flicker/internal/palcrypto"
+	"flicker/internal/tpm"
+)
+
+// ErrStaleNonce is returned by Redeem when the challenge aged out of the
+// freshness window before the response arrived.
+var ErrStaleNonce = errors.New("attest: nonce outside the freshness window (stale attestation)")
+
+// ErrReplayedNonce is returned by Redeem for a nonce the authority never
+// issued or has already consumed: a replayed or forged attestation.
+var ErrReplayedNonce = errors.New("attest: nonce never issued or already redeemed (replayed attestation)")
+
+// NonceAuthority issues fresh challenge nonces and redeems each at most
+// once within a freshness window. It is safe for concurrent use.
+type NonceAuthority struct {
+	now    func() time.Duration
+	window time.Duration
+
+	mu          sync.Mutex
+	prng        *palcrypto.PRNG
+	seq         uint64
+	outstanding map[tpm.Digest]time.Duration // nonce -> issue time
+}
+
+// NewNonceAuthority creates an authority on the given clock reading (a
+// simtime.Clock's Now, so freshness is deterministic in tests) with the
+// given redemption window. A zero window defaults to one minute of
+// verifier time; seed makes the nonce stream deterministic per verifier.
+func NewNonceAuthority(now func() time.Duration, window time.Duration, seed []byte) *NonceAuthority {
+	if window <= 0 {
+		window = time.Minute
+	}
+	return &NonceAuthority{
+		now:         now,
+		window:      window,
+		prng:        palcrypto.NewPRNG(append([]byte("nonce-authority|"), seed...)),
+		outstanding: make(map[tpm.Digest]time.Duration),
+	}
+}
+
+// Issue mints a fresh challenge nonce and records its issue time. Expired
+// entries are swept opportunistically so the outstanding set stays bounded
+// by the window, not by fleet history.
+func (a *NonceAuthority) Issue() tpm.Digest {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	for n, at := range a.outstanding {
+		if now-at > a.window {
+			delete(a.outstanding, n)
+		}
+	}
+	a.seq++
+	var material [16]byte
+	binary.BigEndian.PutUint64(material[:8], a.seq)
+	a.prng.Read(material[8:])
+	nonce := palcrypto.SHA1Sum(material[:])
+	a.outstanding[nonce] = now
+	return nonce
+}
+
+// Redeem consumes an issued nonce. It fails with ErrReplayedNonce when the
+// nonce was never issued or was already redeemed, and with ErrStaleNonce
+// when the response arrived after the freshness window; in both cases the
+// attestation carrying it must be rejected. A successful redemption
+// removes the nonce, so verifying the same response twice is itself a
+// replay.
+func (a *NonceAuthority) Redeem(nonce tpm.Digest) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	at, ok := a.outstanding[nonce]
+	if !ok {
+		return ErrReplayedNonce
+	}
+	delete(a.outstanding, nonce)
+	if a.now()-at > a.window {
+		return ErrStaleNonce
+	}
+	return nil
+}
+
+// Outstanding reports how many issued nonces await redemption (stale
+// entries included until the next Issue sweeps them).
+func (a *NonceAuthority) Outstanding() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.outstanding)
+}

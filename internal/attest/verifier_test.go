@@ -1,0 +1,106 @@
+package attest
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"flicker/internal/simtime"
+	"flicker/internal/tpm"
+)
+
+func TestNonceAuthorityIssueRedeem(t *testing.T) {
+	clock := simtime.New()
+	a := NewNonceAuthority(clock.Now, time.Second, []byte("t"))
+	n1 := a.Issue()
+	n2 := a.Issue()
+	if n1 == n2 {
+		t.Fatal("two issued nonces collide")
+	}
+	if err := a.Redeem(n1); err != nil {
+		t.Fatalf("fresh redeem: %v", err)
+	}
+	// Second redemption of the same nonce is a replay.
+	if err := a.Redeem(n1); !errors.Is(err, ErrReplayedNonce) {
+		t.Fatalf("double redeem = %v, want ErrReplayedNonce", err)
+	}
+	// A nonce the authority never issued is a forgery/replay.
+	var forged tpm.Digest
+	forged[0] = 0xAB
+	if err := a.Redeem(forged); !errors.Is(err, ErrReplayedNonce) {
+		t.Fatalf("unissued redeem = %v, want ErrReplayedNonce", err)
+	}
+	if err := a.Redeem(n2); err != nil {
+		t.Fatalf("second challenge redeem: %v", err)
+	}
+}
+
+func TestNonceAuthorityFreshnessWindow(t *testing.T) {
+	clock := simtime.New()
+	a := NewNonceAuthority(clock.Now, time.Second, []byte("t"))
+	n := a.Issue()
+	clock.Advance(1500*time.Millisecond, "attacker.delay")
+	if err := a.Redeem(n); !errors.Is(err, ErrStaleNonce) {
+		t.Fatalf("late redeem = %v, want ErrStaleNonce", err)
+	}
+	// Stale entries are consumed: retrying after the rejection is a replay,
+	// not a second stale error.
+	if err := a.Redeem(n); !errors.Is(err, ErrReplayedNonce) {
+		t.Fatalf("retry after stale = %v, want ErrReplayedNonce", err)
+	}
+	// Within the window everything redeems.
+	n2 := a.Issue()
+	clock.Advance(900*time.Millisecond, "net")
+	if err := a.Redeem(n2); err != nil {
+		t.Fatalf("in-window redeem: %v", err)
+	}
+}
+
+func TestNonceAuthoritySweepsExpired(t *testing.T) {
+	clock := simtime.New()
+	a := NewNonceAuthority(clock.Now, time.Second, []byte("t"))
+	for i := 0; i < 10; i++ {
+		a.Issue()
+	}
+	clock.Advance(2*time.Second, "idle")
+	a.Issue() // triggers the sweep
+	if got := a.Outstanding(); got != 1 {
+		t.Fatalf("outstanding after sweep = %d, want 1", got)
+	}
+}
+
+func TestNonceAuthorityDeterministicPerSeed(t *testing.T) {
+	c1, c2 := simtime.New(), simtime.New()
+	a1 := NewNonceAuthority(c1.Now, time.Second, []byte("same"))
+	a2 := NewNonceAuthority(c2.Now, time.Second, []byte("same"))
+	if a1.Issue() != a2.Issue() {
+		t.Fatal("same-seed authorities diverge")
+	}
+	b := NewNonceAuthority(simtime.New().Now, time.Second, []byte("other"))
+	if a1.Issue() == b.Issue() {
+		t.Fatal("different-seed authorities collide")
+	}
+}
+
+func TestNonceAuthorityConcurrentRace(t *testing.T) {
+	clock := simtime.New()
+	a := NewNonceAuthority(clock.Now, time.Minute, []byte("race"))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := a.Redeem(a.Issue()); err != nil {
+					t.Errorf("redeem: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Outstanding(); got != 0 {
+		t.Fatalf("outstanding = %d, want 0", got)
+	}
+}

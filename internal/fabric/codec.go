@@ -1,0 +1,431 @@
+// Package fabric is the two-tier serving cluster: a controller admits host
+// agents into a fleet, schedules sessions across them with the same
+// PAL-affinity policy the in-process pool uses (internal/sched), and
+// survives host loss by resubmitting work to survivors. Admission is
+// Flicker's twist on cluster membership: a host receives traffic only
+// after a TPM Quote over PCR 17 — produced by actually running the
+// admission PAL under SKINIT — matches the value the controller computes
+// from its own copy of the PAL images, so "the host runs the code we
+// registered" is verified, not configured (Section 4.4's protocol made
+// load-bearing).
+//
+// This file is the wire format: small framed request/response messages
+// exchanged over internal/netsim. Frames cross a trust boundary — a host
+// is untrusted until (and honestly, after) admission — so every decoded
+// count and length is clamped against the remaining frame bytes before it
+// sizes an allocation, the discipline `flickervet untrustedlen` enforces.
+package fabric
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"flicker/internal/attest"
+	"flicker/internal/tpm"
+)
+
+// Frame kinds. Requests flow controller → host; each has one response
+// kind. kindError is the generic failure response to any request.
+const (
+	kindChallenge byte = iota + 1
+	kindChallengeResp
+	kindRun
+	kindRunResp
+	kindHeartbeat
+	kindHeartbeatResp
+	kindDrain
+	kindDrainResp
+	kindStats
+	kindStatsResp
+	kindError
+)
+
+// Run response statuses.
+const (
+	runOK byte = iota
+	runPALError
+	runDraining
+	runUnknownPAL
+	runLost
+)
+
+// ErrBadFrame is wrapped by every decode failure.
+var ErrBadFrame = errors.New("fabric: malformed frame")
+
+// hostPAL is one entry of a host's PAL inventory: the wire name and the
+// expected PCR-17 launch value of the image the host built for it.
+type hostPAL struct {
+	Name   string
+	Launch tpm.Digest
+}
+
+// challengeResp is the host's answer to an admission challenge.
+type challengeResp struct {
+	PALs    []hostPAL
+	Output  []byte // admission session output (bound into PCR 17)
+	SLBBase uint32 // where the admission SLB was loaded (the image's
+	// launch measurement covers the patched load address, so the verifier
+	// patches its own build with this before recomputing PCR 17)
+	Att attest.Attestation
+}
+
+// runReq asks a host to execute one session.
+type runReq struct {
+	PAL   string
+	Input []byte
+}
+
+// runResp reports one session's outcome.
+type runResp struct {
+	Status byte
+	Output []byte
+	Err    string
+}
+
+// heartbeatResp is a host's liveness/load report.
+type heartbeatResp struct {
+	InFlight uint32
+	Sessions uint64
+	Draining bool
+}
+
+// hostStats is a host's cumulative accounting for /stats.
+type hostStats struct {
+	Sessions uint64
+	Aborted  uint64
+	InFlight uint32
+	PALs     []string
+}
+
+// --- primitive append/read helpers -----------------------------------------
+
+func appendU16(b []byte, v int) []byte {
+	return binary.BigEndian.AppendUint16(b, uint16(v))
+}
+
+func appendU32(b []byte, v int) []byte {
+	return binary.BigEndian.AppendUint32(b, uint32(v))
+}
+
+func appendBytes16(b, p []byte) []byte {
+	return append(appendU16(b, len(p)), p...)
+}
+
+func appendBytes32(b, p []byte) []byte {
+	return append(appendU32(b, len(p)), p...)
+}
+
+func readU16(b []byte) (int, []byte, error) {
+	if len(b) < 2 {
+		return 0, nil, fmt.Errorf("%w: truncated u16", ErrBadFrame)
+	}
+	return int(binary.BigEndian.Uint16(b)), b[2:], nil
+}
+
+func readU32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, fmt.Errorf("%w: truncated u32", ErrBadFrame)
+	}
+	return binary.BigEndian.Uint32(b), b[4:], nil
+}
+
+func readU64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("%w: truncated u64", ErrBadFrame)
+	}
+	return binary.BigEndian.Uint64(b), b[8:], nil
+}
+
+// readBytes16 reads a u16-length-prefixed field. The length is clamped by
+// the remaining frame before any slicing: a forged length cannot reach
+// past the frame.
+func readBytes16(b []byte) ([]byte, []byte, error) {
+	n, rest, err := readU16(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > len(rest) {
+		return nil, nil, fmt.Errorf("%w: field length %d exceeds remaining %d bytes", ErrBadFrame, n, len(rest))
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// readBytes32 is readBytes16 with a u32 length word, same clamp.
+func readBytes32(b []byte) ([]byte, []byte, error) {
+	v, rest, err := readU32(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := int(v)
+	if n < 0 || n > len(rest) {
+		return nil, nil, fmt.Errorf("%w: field length %d exceeds remaining %d bytes", ErrBadFrame, v, len(rest))
+	}
+	return rest[:n], rest[n:], nil
+}
+
+func readDigest(b []byte) (tpm.Digest, []byte, error) {
+	var d tpm.Digest
+	if len(b) < len(d) {
+		return d, nil, fmt.Errorf("%w: truncated digest", ErrBadFrame)
+	}
+	copy(d[:], b)
+	return d, b[len(d):], nil
+}
+
+// --- challenge --------------------------------------------------------------
+
+func encodeChallenge(nonce tpm.Digest) []byte {
+	return append([]byte{kindChallenge}, nonce[:]...)
+}
+
+func decodeChallenge(b []byte) (tpm.Digest, error) {
+	nonce, rest, err := readDigest(b)
+	if err != nil {
+		return nonce, err
+	}
+	if len(rest) != 0 {
+		return nonce, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
+	}
+	return nonce, nil
+}
+
+func encodeChallengeResp(r *challengeResp) []byte {
+	b := []byte{kindChallengeResp}
+	b = appendU32(b, len(r.PALs))
+	for _, p := range r.PALs {
+		b = appendBytes16(b, []byte(p.Name))
+		b = append(b, p.Launch[:]...)
+	}
+	b = appendBytes16(b, r.Output)
+	b = binary.BigEndian.AppendUint32(b, r.SLBBase)
+	b = append(b, r.Att.Nonce[:]...)
+	b = append(b, r.Att.Composite[:]...)
+	b = appendBytes16(b, r.Att.Signature)
+	cert := r.Att.Cert
+	if cert == nil {
+		cert = &attest.AIKCert{}
+	}
+	b = appendBytes16(b, []byte(cert.PlatformID))
+	b = appendBytes16(b, cert.AIKPub)
+	b = appendBytes16(b, cert.Signature)
+	return b
+}
+
+// palEntryMin is the smallest possible inventory entry: empty name (2-byte
+// length) plus a 20-byte digest. It bounds how many entries a frame of a
+// given size could possibly carry.
+const palEntryMin = 2 + 20
+
+func decodeChallengeResp(b []byte) (*challengeResp, error) {
+	count, rest, err := readU32(b)
+	if err != nil {
+		return nil, err
+	}
+	// Clamp the forged-count hazard: a 32-bit count word may not demand
+	// more entries than the remaining bytes could frame.
+	n := int(count)
+	if n > len(rest)/palEntryMin {
+		return nil, fmt.Errorf("%w: PAL count %d exceeds what %d bytes can frame", ErrBadFrame, count, len(rest))
+	}
+	r := &challengeResp{PALs: make([]hostPAL, 0, n)}
+	for i := 0; i < n; i++ {
+		var name []byte
+		if name, rest, err = readBytes16(rest); err != nil {
+			return nil, err
+		}
+		var launch tpm.Digest
+		if launch, rest, err = readDigest(rest); err != nil {
+			return nil, err
+		}
+		r.PALs = append(r.PALs, hostPAL{Name: string(name), Launch: launch})
+	}
+	if r.Output, rest, err = readBytes16(rest); err != nil {
+		return nil, err
+	}
+	if r.SLBBase, rest, err = readU32(rest); err != nil {
+		return nil, err
+	}
+	if r.Att.Nonce, rest, err = readDigest(rest); err != nil {
+		return nil, err
+	}
+	if r.Att.Composite, rest, err = readDigest(rest); err != nil {
+		return nil, err
+	}
+	if r.Att.Signature, rest, err = readBytes16(rest); err != nil {
+		return nil, err
+	}
+	cert := &attest.AIKCert{}
+	var id []byte
+	if id, rest, err = readBytes16(rest); err != nil {
+		return nil, err
+	}
+	cert.PlatformID = string(id)
+	if cert.AIKPub, rest, err = readBytes16(rest); err != nil {
+		return nil, err
+	}
+	if cert.Signature, rest, err = readBytes16(rest); err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
+	}
+	r.Att.Cert = cert
+	return r, nil
+}
+
+// --- run --------------------------------------------------------------------
+
+func encodeRun(r *runReq) []byte {
+	b := []byte{kindRun}
+	b = appendBytes16(b, []byte(r.PAL))
+	b = appendBytes32(b, r.Input)
+	return b
+}
+
+func decodeRun(b []byte) (*runReq, error) {
+	name, rest, err := readBytes16(b)
+	if err != nil {
+		return nil, err
+	}
+	input, rest, err := readBytes32(rest)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
+	}
+	return &runReq{PAL: string(name), Input: input}, nil
+}
+
+func encodeRunResp(r *runResp) []byte {
+	b := []byte{kindRunResp, r.Status}
+	b = appendBytes32(b, r.Output)
+	b = appendBytes16(b, []byte(r.Err))
+	return b
+}
+
+func decodeRunResp(b []byte) (*runResp, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("%w: missing run status", ErrBadFrame)
+	}
+	r := &runResp{Status: b[0]}
+	out, rest, err := readBytes32(b[1:])
+	if err != nil {
+		return nil, err
+	}
+	r.Output = out
+	msg, rest, err := readBytes16(rest)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
+	}
+	r.Err = string(msg)
+	return r, nil
+}
+
+// --- heartbeat / drain / stats ---------------------------------------------
+
+func encodeEmpty(kind byte) []byte { return []byte{kind} }
+
+func encodeHeartbeatResp(r *heartbeatResp) []byte {
+	b := []byte{kindHeartbeatResp}
+	b = binary.BigEndian.AppendUint32(b, r.InFlight)
+	b = binary.BigEndian.AppendUint64(b, r.Sessions)
+	flags := byte(0)
+	if r.Draining {
+		flags = 1
+	}
+	return append(b, flags)
+}
+
+func decodeHeartbeatResp(b []byte) (*heartbeatResp, error) {
+	r := &heartbeatResp{}
+	var err error
+	if r.InFlight, b, err = readU32(b); err != nil {
+		return nil, err
+	}
+	if r.Sessions, b, err = readU64(b); err != nil {
+		return nil, err
+	}
+	if len(b) != 1 {
+		return nil, fmt.Errorf("%w: bad heartbeat flags", ErrBadFrame)
+	}
+	r.Draining = b[0]&1 != 0
+	return r, nil
+}
+
+func encodeStatsResp(r *hostStats) []byte {
+	b := []byte{kindStatsResp}
+	b = binary.BigEndian.AppendUint64(b, r.Sessions)
+	b = binary.BigEndian.AppendUint64(b, r.Aborted)
+	b = binary.BigEndian.AppendUint32(b, r.InFlight)
+	b = appendU32(b, len(r.PALs))
+	for _, name := range r.PALs {
+		b = appendBytes16(b, []byte(name))
+	}
+	return b
+}
+
+func decodeStatsResp(b []byte) (*hostStats, error) {
+	r := &hostStats{}
+	var err error
+	if r.Sessions, b, err = readU64(b); err != nil {
+		return nil, err
+	}
+	if r.Aborted, b, err = readU64(b); err != nil {
+		return nil, err
+	}
+	if r.InFlight, b, err = readU32(b); err != nil {
+		return nil, err
+	}
+	count, rest, err := readU32(b)
+	if err != nil {
+		return nil, err
+	}
+	// Same forged-count clamp as the inventory: each name costs at least
+	// its 2-byte length word.
+	n := int(count)
+	if n > len(rest)/2 {
+		return nil, fmt.Errorf("%w: PAL count %d exceeds what %d bytes can frame", ErrBadFrame, count, len(rest))
+	}
+	r.PALs = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		var name []byte
+		if name, rest, err = readBytes16(rest); err != nil {
+			return nil, err
+		}
+		r.PALs = append(r.PALs, string(name))
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
+	}
+	return r, nil
+}
+
+// --- error frames -----------------------------------------------------------
+
+func encodeErrorResp(msg string) []byte {
+	return appendBytes16([]byte{kindError}, []byte(msg))
+}
+
+// decodeResp strips and validates the response kind byte, converting
+// kindError frames into Go errors.
+func decodeResp(b []byte, want byte) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("%w: empty response", ErrBadFrame)
+	}
+	if b[0] == kindError {
+		msg, _, err := readBytes16(b[1:])
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("fabric: remote error: %s", msg)
+	}
+	if b[0] != want {
+		return nil, fmt.Errorf("%w: response kind %d, want %d", ErrBadFrame, b[0], want)
+	}
+	return b[1:], nil
+}

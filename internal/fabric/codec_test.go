@@ -1,0 +1,150 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"flicker/internal/attest"
+	"flicker/internal/tpm"
+)
+
+func TestCodecChallengeRoundTrip(t *testing.T) {
+	var nonce tpm.Digest
+	for i := range nonce {
+		nonce[i] = byte(i)
+	}
+	got, err := decodeChallenge(encodeChallenge(nonce)[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nonce {
+		t.Fatalf("nonce round trip = %x", got)
+	}
+	if _, err := decodeChallenge(nonce[:10]); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("truncated challenge = %v", err)
+	}
+}
+
+func sampleChallengeResp() *challengeResp {
+	r := &challengeResp{
+		PALs: []hostPAL{
+			{Name: "echo", Launch: tpm.Digest{1, 2, 3}},
+			{Name: AdmissionPALName, Launch: tpm.Digest{4, 5}},
+		},
+		Output: []byte("fabric-admitted:xyz"),
+		Att: attest.Attestation{
+			Nonce:     tpm.Digest{9},
+			Composite: tpm.Digest{8},
+			Signature: []byte("sig-bytes"),
+			Cert: &attest.AIKCert{
+				PlatformID: "host0",
+				AIKPub:     []byte("pub-bytes"),
+				Signature:  []byte("ca-sig"),
+			},
+		},
+	}
+	return r
+}
+
+func TestCodecChallengeRespRoundTrip(t *testing.T) {
+	want := sampleChallengeResp()
+	raw := encodeChallengeResp(want)
+	body, err := decodeResp(raw, kindChallengeResp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeChallengeResp(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.PALs) != 2 || got.PALs[0] != want.PALs[0] || got.PALs[1] != want.PALs[1] {
+		t.Fatalf("inventory round trip = %+v", got.PALs)
+	}
+	if string(got.Output) != string(want.Output) {
+		t.Fatalf("output = %q", got.Output)
+	}
+	if got.Att.Nonce != want.Att.Nonce || got.Att.Composite != want.Att.Composite {
+		t.Fatal("attestation digests mangled")
+	}
+	if got.Att.Cert.PlatformID != "host0" || string(got.Att.Cert.AIKPub) != "pub-bytes" {
+		t.Fatalf("cert round trip = %+v", got.Att.Cert)
+	}
+}
+
+// A forged 32-bit PAL count may not drive the inventory allocation: the
+// count is clamped against what the remaining bytes could possibly frame.
+func TestCodecForgedPALCountRejected(t *testing.T) {
+	raw := encodeChallengeResp(sampleChallengeResp())
+	body := append([]byte(nil), raw[1:]...)
+	binary.BigEndian.PutUint32(body[:4], 0xFFFFFFFF)
+	_, err := decodeChallengeResp(body)
+	if !errors.Is(err, ErrBadFrame) || !strings.Contains(err.Error(), "PAL count") {
+		t.Fatalf("forged count decode = %v, want clamp rejection", err)
+	}
+}
+
+func TestCodecForgedStatsCountRejected(t *testing.T) {
+	raw := encodeStatsResp(&hostStats{Sessions: 7, PALs: []string{"echo"}})
+	body := append([]byte(nil), raw[1:]...)
+	// The count word sits after sessions(8) + aborted(8) + inflight(4).
+	binary.BigEndian.PutUint32(body[20:24], 1<<30)
+	_, err := decodeStatsResp(body)
+	if !errors.Is(err, ErrBadFrame) || !strings.Contains(err.Error(), "PAL count") {
+		t.Fatalf("forged stats count decode = %v, want clamp rejection", err)
+	}
+}
+
+// A forged field length may not slice past the frame.
+func TestCodecForgedFieldLengthRejected(t *testing.T) {
+	raw := encodeRun(&runReq{PAL: "echo", Input: []byte("abc")})
+	body := append([]byte(nil), raw[1:]...)
+	binary.BigEndian.PutUint16(body[:2], 0xFFFF) // PAL-name length
+	if _, err := decodeRun(body); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("forged name length = %v", err)
+	}
+	body = append([]byte(nil), raw[1:]...)
+	binary.BigEndian.PutUint32(body[6:10], 0xFFFFFFF0) // input length
+	if _, err := decodeRun(body); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("forged input length = %v", err)
+	}
+}
+
+func TestCodecRunRoundTripAndTrailing(t *testing.T) {
+	rr, err := decodeRun(encodeRun(&runReq{PAL: "p", Input: []byte("in")})[1:])
+	if err != nil || rr.PAL != "p" || string(rr.Input) != "in" {
+		t.Fatalf("run round trip = %+v, %v", rr, err)
+	}
+	raw := append(encodeRun(&runReq{PAL: "p"})[1:], 0xEE)
+	if _, err := decodeRun(raw); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("trailing bytes = %v", err)
+	}
+	resp, err := decodeRunResp(encodeRunResp(&runResp{Status: runOK, Output: []byte("o"), Err: "e"})[1:])
+	if err != nil || resp.Status != runOK || string(resp.Output) != "o" || resp.Err != "e" {
+		t.Fatalf("run resp round trip = %+v, %v", resp, err)
+	}
+}
+
+func TestCodecHeartbeatAndStatsRoundTrip(t *testing.T) {
+	hb, err := decodeHeartbeatResp(encodeHeartbeatResp(&heartbeatResp{InFlight: 3, Sessions: 99, Draining: true})[1:])
+	if err != nil || hb.InFlight != 3 || hb.Sessions != 99 || !hb.Draining {
+		t.Fatalf("heartbeat round trip = %+v, %v", hb, err)
+	}
+	st, err := decodeStatsResp(encodeStatsResp(&hostStats{Sessions: 5, Aborted: 1, InFlight: 2, PALs: []string{"a", "b"}})[1:])
+	if err != nil || st.Sessions != 5 || st.Aborted != 1 || st.InFlight != 2 || len(st.PALs) != 2 {
+		t.Fatalf("stats round trip = %+v, %v", st, err)
+	}
+}
+
+func TestCodecErrorFrames(t *testing.T) {
+	if _, err := decodeResp(encodeErrorResp("boom"), kindRunResp); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error frame = %v", err)
+	}
+	if _, err := decodeResp([]byte{kindStatsResp}, kindRunResp); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("wrong kind = %v", err)
+	}
+	if _, err := decodeResp(nil, kindRunResp); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("empty resp = %v", err)
+	}
+}

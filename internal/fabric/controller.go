@@ -1,0 +1,613 @@
+package fabric
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"flicker/internal/attest"
+	"flicker/internal/core"
+	"flicker/internal/metrics"
+	"flicker/internal/netsim"
+	"flicker/internal/pal"
+	"flicker/internal/palcrypto"
+	"flicker/internal/sched"
+	"flicker/internal/slb"
+	"flicker/internal/tpm"
+)
+
+// ControllerAddr is the controller's port name on the switch.
+const ControllerAddr = "controller"
+
+// ErrNoHosts is returned by Run when no admitted, non-draining host can
+// serve the requested PAL (including after failover exhausted the fleet).
+var ErrNoHosts = errors.New("fabric: no admitted host can serve this PAL")
+
+// PALError reports a session that a host executed but whose PAL failed.
+// It is an application outcome, not a fabric failure, so the controller
+// does not resubmit it.
+type PALError struct {
+	Host string
+	Msg  string
+}
+
+func (e *PALError) Error() string {
+	return fmt.Sprintf("fabric: PAL error on %s: %s", e.Host, e.Msg)
+}
+
+// ControllerConfig configures the fabric controller.
+type ControllerConfig struct {
+	// Seed makes the controller's challenge nonce stream deterministic.
+	Seed string
+	// NonceWindow bounds how long an admission challenge stays redeemable
+	// on the switch clock (attest.NonceAuthority semantics; zero = 1 min).
+	NonceWindow time.Duration
+	// MissThreshold is how many consecutive missed heartbeats mark a host
+	// lost (default 3).
+	MissThreshold int
+	// ReattestEvery re-attests every admitted host each N Ticks (0 = only
+	// at admission).
+	ReattestEvery int
+	// HostInFlight is the per-host in-flight level above which PAL-affinity
+	// routing spills to the least-loaded eligible host (default 8).
+	HostInFlight int
+	// MaxResubmits bounds failover attempts per accepted job (default 8).
+	MaxResubmits int
+	// Metrics receives the fabric counters (nil = unregistered).
+	Metrics *metrics.Registry
+}
+
+// memberState is a host's position in the admission state machine:
+//
+//	         Admit ok                       Drain
+//	(new) ─────────────► admitted ────────────────────► draining ──► drained
+//	  │                   │     ▲                            │
+//	  │ Admit fails       │     │ re-Admit after restart     │ heartbeat miss /
+//	  ▼                   ▼     │                            ▼ died mid-call
+//	rejected ◄── reattest │   (any non-admitted state)      lost
+//	             fails    └────────────────────────────────►
+type memberState int
+
+const (
+	stateAdmitted memberState = iota
+	stateDraining
+	stateDrained
+	stateLost
+	stateRejected
+)
+
+func (s memberState) String() string {
+	switch s {
+	case stateAdmitted:
+		return "admitted"
+	case stateDraining:
+		return "draining"
+	case stateDrained:
+		return "drained"
+	case stateLost:
+		return "lost"
+	case stateRejected:
+		return "rejected"
+	}
+	return "unknown"
+}
+
+// member is the controller's view of one host.
+type member struct {
+	name       string
+	state      memberState
+	pals       map[string]bool
+	inflight   int64
+	sessions   int64
+	misses     int
+	reattests  int
+	attestedAt time.Duration // switch-clock time of last verified quote
+	lastErr    string
+	gauge      *metrics.Gauge
+}
+
+// expectedPAL is the controller's own build of a registered PAL: the image
+// whose measurements admission quotes must reproduce.
+type expectedPAL struct {
+	pal    pal.PAL
+	im     *slb.Image
+	launch tpm.Digest
+}
+
+// HostStatus is one member's externally visible state (the /hosts
+// endpoint's row).
+type HostStatus struct {
+	Name       string   `json:"name"`
+	State      string   `json:"state"`
+	AttestedMS float64  `json:"attested_at_ms"`
+	Reattests  int      `json:"reattests"`
+	Misses     int      `json:"missed_heartbeats"`
+	InFlight   int64    `json:"in_flight"`
+	Sessions   int64    `json:"sessions"`
+	PALs       []string `json:"pals"`
+	LastError  string   `json:"last_error,omitempty"`
+}
+
+// Stats is the controller's fleet-wide accounting snapshot.
+type Stats struct {
+	Hosts              int          `json:"hosts"`
+	Live               int          `json:"live"`
+	AdmissionsOK       int64        `json:"admissions_ok"`
+	AdmissionsRejected int64        `json:"admissions_rejected"`
+	Resubmits          int64        `json:"resubmits"`
+	Sessions           int64        `json:"sessions"`
+	PerHost            []HostStatus `json:"per_host"`
+}
+
+// Controller admits hosts into the fabric via quote-verified attestation
+// and schedules sessions across the admitted fleet.
+type Controller struct {
+	sw   *netsim.Switch
+	port *netsim.Port
+	ca   *palcrypto.RSAPublicKey
+	auth *attest.NonceAuthority
+	cfg  ControllerConfig
+	met  *fabricMetrics
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	members  map[string]*member
+	expected map[string]expectedPAL
+	ticks    int
+
+	admissionsOK       int64
+	admissionsRejected int64
+	resubmits          int64
+	sessions           int64
+}
+
+// NewController attaches a controller to the switch. The privacy CA's
+// public key is the attestation trust root; registered PAL images are the
+// code-identity expectations.
+func NewController(sw *netsim.Switch, ca *attest.PrivacyCA, cfg ControllerConfig) (*Controller, error) {
+	if cfg.MissThreshold <= 0 {
+		cfg.MissThreshold = 3
+	}
+	if cfg.HostInFlight <= 0 {
+		cfg.HostInFlight = 8
+	}
+	if cfg.MaxResubmits <= 0 {
+		cfg.MaxResubmits = 8
+	}
+	c := &Controller{
+		sw:       sw,
+		ca:       ca.PublicKey(),
+		auth:     attest.NewNonceAuthority(sw.Clock().Now, cfg.NonceWindow, []byte(cfg.Seed)),
+		cfg:      cfg,
+		met:      newFabricMetrics(cfg.Metrics),
+		members:  make(map[string]*member),
+		expected: make(map[string]expectedPAL),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	port, err := sw.Attach(ControllerAddr, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.port = port
+	if err := c.RegisterPAL(AdmissionPAL()); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// RegisterPAL records the controller's own build of a PAL. Hosts may only
+// advertise PALs whose launch measurements match a registered build; the
+// admission PAL is registered implicitly at construction.
+func (c *Controller) RegisterPAL(p pal.PAL) error {
+	im, err := core.BuildImage(p, false)
+	if err != nil {
+		return fmt.Errorf("fabric: building expected image for %s: %w", p.Name(), err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expected[p.Name()] = expectedPAL{pal: p, im: im, launch: attest.ExpectedLaunchPCR17(im)}
+	return nil
+}
+
+// Admit challenges a host and, if its quote verifies, makes it schedulable.
+// A previously drained, lost, or rejected member may be re-admitted (a
+// restarted host rejoining); its attestation starts over from scratch.
+func (c *Controller) Admit(host string) error {
+	resp, err := c.attestHost(host)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.members[host]
+	if m == nil {
+		m = &member{name: host, gauge: c.met.inflight.With(host)}
+		c.members[host] = m
+	}
+	if err != nil {
+		m.state = stateRejected
+		m.lastErr = err.Error()
+		m.pals = nil
+		c.admissionsRejected++
+		c.met.admissionRejected.Inc()
+		return fmt.Errorf("fabric: admission of %s rejected: %w", host, err)
+	}
+	m.state = stateAdmitted
+	m.pals = make(map[string]bool, len(resp.PALs))
+	for _, p := range resp.PALs {
+		m.pals[p.Name] = true
+	}
+	m.misses = 0
+	m.inflight = 0
+	m.lastErr = ""
+	m.attestedAt = c.sw.Clock().Now()
+	m.gauge.Set(0)
+	c.admissionsOK++
+	c.met.admissionOK.Inc()
+	c.met.hostUp.Inc()
+	return nil
+}
+
+// attestHost runs one challenge round trip and verifies everything about
+// the response: nonce freshness and single-use, certificate chain, quote
+// signature, PCR-17 composite against the controller's own admission-PAL
+// build, platform identity, and the advertised inventory's launch
+// measurements.
+func (c *Controller) attestHost(host string) (*challengeResp, error) {
+	nonce := c.auth.Issue()
+	raw, err := c.port.Call(host, encodeChallenge(nonce))
+	if err != nil {
+		return nil, err
+	}
+	body, err := decodeResp(raw, kindChallengeResp)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := decodeChallengeResp(body)
+	if err != nil {
+		return nil, err
+	}
+	// Freshness first: a response to an expired or already-redeemed
+	// challenge is rejected before any cryptography runs.
+	if err := c.auth.Redeem(resp.Att.Nonce); err != nil {
+		return nil, err
+	}
+	if resp.Att.Nonce != nonce {
+		// The host answered with a *different* outstanding nonce — possibly
+		// replaying another exchange. It burned that nonce; reject.
+		return nil, fmt.Errorf("%w: quote answers a different challenge", attest.ErrReplayedNonce)
+	}
+	adm, ok := c.lookupExpected(AdmissionPALName)
+	if !ok {
+		return nil, errors.New("fabric: admission PAL not registered")
+	}
+	if !bytes.Equal(resp.Output, AdmissionReply(nonce[:])) {
+		return nil, errors.New("fabric: admission session output mismatch")
+	}
+	// The launch measurement covers the SLB as loaded, load address
+	// patched in — rebuild our own copy of the admission image and patch
+	// it with the base the host claims. A lie about the base just makes
+	// the quote fail.
+	im, err := core.BuildImage(adm.pal, false)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: rebuilding admission image: %w", err)
+	}
+	if err := im.Patch(resp.SLBBase); err != nil {
+		return nil, fmt.Errorf("fabric: patching admission image: %w", err)
+	}
+	expected := attest.ExpectedFinalPCR17(im, nonce[:], resp.Output, &nonce)
+	if err := attest.Verify(c.ca, &resp.Att, nonce, expected); err != nil {
+		return nil, err
+	}
+	if resp.Att.Cert == nil || resp.Att.Cert.PlatformID != host {
+		return nil, fmt.Errorf("fabric: quote certified for %q, want %q",
+			certID(resp.Att.Cert), host)
+	}
+	sawAdmission := false
+	for _, p := range resp.PALs {
+		exp, ok := c.lookupExpected(p.Name)
+		if !ok {
+			return nil, fmt.Errorf("fabric: host advertises unregistered PAL %q", p.Name)
+		}
+		if exp.launch != p.Launch {
+			return nil, fmt.Errorf("fabric: host's %q launch measurement diverges from registered build", p.Name)
+		}
+		if p.Name == AdmissionPALName {
+			sawAdmission = true
+		}
+	}
+	if !sawAdmission {
+		return nil, errors.New("fabric: inventory omits the admission PAL")
+	}
+	return resp, nil
+}
+
+func certID(cert *attest.AIKCert) string {
+	if cert == nil {
+		return "<no certificate>"
+	}
+	return cert.PlatformID
+}
+
+func (c *Controller) lookupExpected(name string) (expectedPAL, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	exp, ok := c.expected[name]
+	return exp, ok
+}
+
+// Run executes one session somewhere in the fleet. Routing is PAL-affinity
+// first (sched.Home over the eligible members), spilling to the
+// least-loaded eligible host when the home member is saturated. A member
+// that fails mid-job — unreachable, died mid-call, draining, or talking
+// protocol garbage — is excluded and the job is resubmitted to a survivor,
+// so an accepted job is lost only when the whole eligible fleet is gone.
+func (c *Controller) Run(palName string, input []byte) ([]byte, error) {
+	tried := make(map[string]bool)
+	for attempt := 0; attempt <= c.cfg.MaxResubmits; attempt++ {
+		m := c.pick(palName, tried)
+		if m == nil {
+			return nil, fmt.Errorf("%w: %s", ErrNoHosts, palName)
+		}
+		raw, err := c.port.Call(m.name, encodeRun(&runReq{PAL: palName, Input: input}))
+		c.finishCall(m)
+		if err != nil {
+			c.hostLost(m, err)
+			tried[m.name] = true
+			c.noteResubmit()
+			continue
+		}
+		body, derr := decodeResp(raw, kindRunResp)
+		if derr == nil {
+			var rr *runResp
+			if rr, derr = decodeRunResp(body); derr == nil {
+				switch rr.Status {
+				case runOK:
+					c.mu.Lock()
+					m.sessions++
+					c.sessions++
+					c.mu.Unlock()
+					c.met.runsOK.Inc()
+					return rr.Output, nil
+				case runPALError:
+					c.met.runsErr.Inc()
+					return nil, &PALError{Host: m.name, Msg: rr.Err}
+				default:
+					// Draining, lost, or unknown PAL: this member cannot take
+					// the job right now; try a survivor.
+					tried[m.name] = true
+					c.noteResubmit()
+					continue
+				}
+			}
+		}
+		// Protocol garbage from an admitted member: treat like a crash.
+		c.hostLost(m, derr)
+		tried[m.name] = true
+		c.noteResubmit()
+	}
+	return nil, fmt.Errorf("%w: %s (failover budget exhausted)", ErrNoHosts, palName)
+}
+
+func (c *Controller) noteResubmit() {
+	c.mu.Lock()
+	c.resubmits++
+	c.mu.Unlock()
+	c.met.resubmits.Inc()
+}
+
+// pick selects and reserves (inflight++) an eligible member for a PAL.
+func (c *Controller) pick(palName string, tried map[string]bool) *member {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var eligible []*member
+	names := make([]string, 0, len(c.members))
+	for name := range c.members {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := c.members[name]
+		if m.state == stateAdmitted && m.pals[palName] && !tried[name] {
+			eligible = append(eligible, m)
+		}
+	}
+	if len(eligible) == 0 {
+		return nil
+	}
+	// Same routing core as the in-process pool: hash affinity keeps a PAL's
+	// image cache hot on its home member; saturation spills least-loaded.
+	i := sched.Home(palName, len(eligible))
+	if eligible[i].inflight >= int64(c.cfg.HostInFlight) {
+		i = sched.LeastLoaded(len(eligible), func(j int) int64 { return eligible[j].inflight })
+	}
+	m := eligible[i]
+	m.inflight++
+	m.gauge.Set(float64(m.inflight))
+	return m
+}
+
+// finishCall releases a member reservation and wakes drain waiters.
+func (c *Controller) finishCall(m *member) {
+	c.mu.Lock()
+	m.inflight--
+	m.gauge.Set(float64(m.inflight))
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// hostLost transitions a member out of service after a failure.
+func (c *Controller) hostLost(m *member, cause error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m.state != stateAdmitted && m.state != stateDraining {
+		return
+	}
+	m.state = stateLost
+	if cause != nil {
+		m.lastErr = cause.Error()
+	}
+	m.gauge.Set(0)
+	c.met.hostDown.Inc()
+	c.cond.Broadcast()
+}
+
+// Tick drives the controller's periodic work: one heartbeat round, and —
+// every cfg.ReattestEvery ticks — a re-attestation sweep. Hosts that miss
+// cfg.MissThreshold consecutive heartbeats are marked lost; hosts whose
+// re-attestation quote no longer verifies are evicted.
+func (c *Controller) Tick() {
+	c.mu.Lock()
+	c.ticks++
+	reattest := c.cfg.ReattestEvery > 0 && c.ticks%c.cfg.ReattestEvery == 0
+	var live []*member
+	for _, m := range c.members {
+		if m.state == stateAdmitted || m.state == stateDraining {
+			live = append(live, m)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].name < live[j].name })
+	c.mu.Unlock()
+
+	for _, m := range live {
+		raw, err := c.port.Call(m.name, encodeEmpty(kindHeartbeat))
+		if err == nil {
+			if _, err = decodeResp(raw, kindHeartbeatResp); err == nil {
+				c.mu.Lock()
+				m.misses = 0
+				c.mu.Unlock()
+				continue
+			}
+		}
+		c.mu.Lock()
+		m.misses++
+		missed := m.misses >= c.cfg.MissThreshold
+		c.mu.Unlock()
+		if missed {
+			c.hostLost(m, fmt.Errorf("missed %d heartbeats: %w", c.cfg.MissThreshold, err))
+		}
+	}
+
+	if !reattest {
+		return
+	}
+	for _, m := range live {
+		c.mu.Lock()
+		skip := m.state != stateAdmitted
+		c.mu.Unlock()
+		if skip {
+			continue
+		}
+		if _, err := c.attestHost(m.name); err != nil {
+			c.met.reattestFail.Inc()
+			c.hostLost(m, fmt.Errorf("re-attestation failed: %w", err))
+			continue
+		}
+		c.mu.Lock()
+		m.reattests++
+		m.attestedAt = c.sw.Clock().Now()
+		c.mu.Unlock()
+		c.met.reattestOK.Inc()
+	}
+}
+
+// Drain gracefully removes a host: stop routing new work to it, tell it to
+// refuse direct submissions, wait for its controller-tracked in-flight
+// jobs to finish, and mark it drained. The host may later rejoin via Admit.
+func (c *Controller) Drain(host string) error {
+	c.mu.Lock()
+	m := c.members[host]
+	if m == nil || m.state != stateAdmitted {
+		state := "unknown"
+		if m != nil {
+			state = m.state.String()
+		}
+		c.mu.Unlock()
+		return fmt.Errorf("fabric: cannot drain %s (state %s)", host, state)
+	}
+	m.state = stateDraining
+	c.mu.Unlock()
+
+	if _, err := c.port.Call(host, encodeEmpty(kindDrain)); err != nil {
+		c.hostLost(m, err)
+		return fmt.Errorf("fabric: drain of %s: host lost: %w", host, err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for m.inflight > 0 && m.state == stateDraining {
+		c.cond.Wait()
+	}
+	if m.state != stateDraining {
+		return fmt.Errorf("fabric: %s failed while draining (state %s)", host, m.state)
+	}
+	m.state = stateDrained
+	c.met.hostDrained.Inc()
+	return nil
+}
+
+// Hosts lists every member the controller has ever challenged, sorted by
+// name, with its current admission state.
+func (c *Controller) Hosts() []HostStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]HostStatus, 0, len(c.members))
+	names := make([]string, 0, len(c.members))
+	for name := range c.members {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := c.members[name]
+		hs := HostStatus{
+			Name:       m.name,
+			State:      m.state.String(),
+			AttestedMS: float64(m.attestedAt) / float64(time.Millisecond),
+			Reattests:  m.reattests,
+			Misses:     m.misses,
+			InFlight:   m.inflight,
+			Sessions:   m.sessions,
+			LastError:  m.lastErr,
+		}
+		for p := range m.pals {
+			hs.PALs = append(hs.PALs, p)
+		}
+		sort.Strings(hs.PALs)
+		out = append(out, hs)
+	}
+	return out
+}
+
+// Live reports how many members are currently schedulable.
+func (c *Controller) Live() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, m := range c.members {
+		if m.state == stateAdmitted {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats snapshots the controller's fleet-wide accounting.
+func (c *Controller) Stats() Stats {
+	per := c.Hosts()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Hosts:              len(c.members),
+		AdmissionsOK:       c.admissionsOK,
+		AdmissionsRejected: c.admissionsRejected,
+		Resubmits:          c.resubmits,
+		Sessions:           c.sessions,
+		PerHost:            per,
+	}
+	for _, m := range c.members {
+		if m.state == stateAdmitted {
+			st.Live++
+		}
+	}
+	return st
+}

@@ -1,0 +1,291 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flicker/internal/apps/admit"
+	"flicker/internal/attest"
+	"flicker/internal/core"
+	"flicker/internal/netsim"
+	"flicker/internal/pal"
+	"flicker/internal/pool"
+	"flicker/internal/tpm"
+)
+
+// AdmissionPALName is the wire name of the PAL every host must run,
+// freshly, to join the fabric. Its post-session PCR-17 value is what the
+// controller's quote check pins.
+const AdmissionPALName = admit.PALName
+
+// AdmissionReply is the admission PAL's deterministic output for a
+// challenge nonce (see internal/apps/admit — the PAL body is measured
+// code and lives outside this untrusted package).
+func AdmissionReply(nonce []byte) []byte { return admit.Reply(nonce) }
+
+// AdmissionPAL returns the canonical admission PAL. A host built with a
+// different admission binary — a tampered SLB — produces a different
+// PCR-17 launch measurement and its Quote fails verification.
+func AdmissionPAL() pal.PAL { return admit.PAL() }
+
+// HostConfig configures one host agent.
+type HostConfig struct {
+	// Name is the host's port address on the switch and its platform
+	// identity in the AIK certificate.
+	Name string
+	// Platform is the template for the host's shard platforms (as
+	// pool.Config.Platform).
+	Platform core.PlatformConfig
+	// Shards, QueueLen, MaxBatch, MaxWait configure the host's local pool
+	// (pool.Config semantics and defaults).
+	Shards   int
+	QueueLen int
+	MaxBatch int
+	MaxWait  time.Duration
+	// WallClock passes through to the pool's queue-delay metric.
+	WallClock func() time.Time
+	// AdmissionPAL overrides the canonical admission PAL. Only tests use
+	// this, to model a host whose measured launch code differs from what
+	// the controller registered.
+	AdmissionPAL pal.PAL
+}
+
+// Host is one fabric member: a platform pool plus an attestation daemon,
+// serving the framed RPC protocol on a switch port. A host accepts
+// sessions only between a successful admission and a drain or crash;
+// whether it is *assigned* sessions is the controller's decision, gated on
+// the host's Quote.
+type Host struct {
+	name      string
+	pool      *pool.Pool
+	platform  *core.Platform // shard 0; admission sessions and quotes run here
+	daemon    *attest.Daemon
+	port      *netsim.Port
+	admission pal.PAL
+
+	// attestMu serializes attestation (write side) against session traffic
+	// (read side): a Quote must cover the admission session's PCR-17 value
+	// with no interleaved session mutating it.
+	attestMu sync.RWMutex
+
+	palMu  sync.Mutex
+	pals   map[string]pal.PAL
+	launch map[string]tpm.Digest
+
+	inflight atomic.Int64
+	sessions atomic.Uint64
+	draining atomic.Bool
+}
+
+// NewHost builds a host agent and attaches it to the switch under
+// cfg.Name. The returned host serves requests immediately but will not
+// receive work from a controller until admitted.
+func NewHost(sw *netsim.Switch, ca *attest.PrivacyCA, cfg HostConfig) (*Host, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("fabric: host needs a name")
+	}
+	pcfg := cfg.Platform
+	if pcfg.Seed == "" {
+		pcfg.Seed = "fabric-host|" + cfg.Name
+	}
+	p, err := pool.New(pool.Config{
+		Shards:    cfg.Shards,
+		QueueLen:  cfg.QueueLen,
+		Platform:  pcfg,
+		MaxBatch:  cfg.MaxBatch,
+		MaxWait:   cfg.MaxWait,
+		WallClock: cfg.WallClock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := &Host{
+		name:     cfg.Name,
+		pool:     p,
+		platform: p.Shard(0),
+		pals:     make(map[string]pal.PAL),
+		launch:   make(map[string]tpm.Digest),
+	}
+	h.daemon, err = attest.NewDaemon(h.platform.OSTPM(), tpm.Digest{}, ca, cfg.Name)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	h.admission = cfg.AdmissionPAL
+	if h.admission == nil {
+		h.admission = AdmissionPAL()
+	}
+	if err := h.RegisterPAL(h.admission); err != nil {
+		p.Close()
+		return nil, err
+	}
+	port, err := sw.Attach(cfg.Name, h.handle)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	h.port = port
+	return h, nil
+}
+
+// RegisterPAL makes a PAL servable by this host and records its expected
+// PCR-17 launch measurement for the join inventory.
+func (h *Host) RegisterPAL(p pal.PAL) error {
+	im, err := core.BuildImage(p, false)
+	if err != nil {
+		return fmt.Errorf("fabric: building image for %s: %w", p.Name(), err)
+	}
+	h.palMu.Lock()
+	defer h.palMu.Unlock()
+	h.pals[p.Name()] = p
+	h.launch[p.Name()] = attest.ExpectedLaunchPCR17(im)
+	return nil
+}
+
+// Name returns the host's switch address / platform identity.
+func (h *Host) Name() string { return h.name }
+
+// Pool returns the host's session pool (for fleet-wide stats handlers).
+func (h *Host) Pool() *pool.Pool { return h.pool }
+
+// InFlight returns the host's currently executing session count.
+func (h *Host) InFlight() int64 { return h.inflight.Load() }
+
+// Kill models a crash: the port closes immediately, so in-flight calls
+// lose their replies (the switch reports died-mid-call) and nothing new
+// reaches the host. The pool is left running — a crashed machine does not
+// get to run shutdown hooks.
+func (h *Host) Kill() { h.port.Close() }
+
+// Close shuts the host down gracefully: detach from the network, then
+// drain and stop the pool.
+func (h *Host) Close() error {
+	h.port.Close()
+	return h.pool.Close()
+}
+
+// handle serves one RPC frame. It runs on the caller's goroutine (netsim's
+// synchronous call model); concurrency comes from concurrent callers.
+func (h *Host) handle(req []byte) []byte {
+	if len(req) == 0 {
+		return encodeErrorResp("empty frame")
+	}
+	switch req[0] {
+	case kindChallenge:
+		return h.handleChallenge(req[1:])
+	case kindRun:
+		return h.handleRun(req[1:])
+	case kindHeartbeat:
+		resp := &heartbeatResp{
+			InFlight: uint32(h.inflight.Load()),
+			Sessions: h.sessions.Load(),
+			Draining: h.draining.Load(),
+		}
+		return encodeHeartbeatResp(resp)
+	case kindDrain:
+		h.draining.Store(true)
+		return encodeEmpty(kindDrainResp)
+	case kindStats:
+		return encodeStatsResp(h.stats())
+	default:
+		return encodeErrorResp(fmt.Sprintf("unknown frame kind %d", req[0]))
+	}
+}
+
+// handleChallenge answers an admission (or re-attestation) challenge: run
+// the admission PAL with the verifier's nonce bound into the session, then
+// Quote the resulting PCR-17 under the same nonce. The write lock excludes
+// session traffic for the duration so no other session's measurements leak
+// into (or race) the quoted value.
+func (h *Host) handleChallenge(body []byte) []byte {
+	nonce, err := decodeChallenge(body)
+	if err != nil {
+		return encodeErrorResp(err.Error())
+	}
+	h.attestMu.Lock()
+	defer h.attestMu.Unlock()
+	res, err := h.platform.RunSession(h.admission, core.SessionOptions{
+		Input: nonce[:],
+		Nonce: &nonce,
+	})
+	if err != nil {
+		return encodeErrorResp(fmt.Sprintf("admission session: %v", err))
+	}
+	att, err := h.daemon.Quote(nonce)
+	if err != nil {
+		return encodeErrorResp(fmt.Sprintf("quote: %v", err))
+	}
+	return encodeChallengeResp(&challengeResp{
+		PALs:    h.inventory(),
+		Output:  res.Outputs,
+		SLBBase: res.SLBBase,
+		Att:     *att,
+	})
+}
+
+// handleRun executes one session through the host's pool.
+func (h *Host) handleRun(body []byte) []byte {
+	r, err := decodeRun(body)
+	if err != nil {
+		return encodeErrorResp(err.Error())
+	}
+	if h.draining.Load() {
+		return encodeRunResp(&runResp{Status: runDraining, Err: "host draining"})
+	}
+	h.palMu.Lock()
+	p := h.pals[r.PAL]
+	h.palMu.Unlock()
+	if p == nil {
+		return encodeRunResp(&runResp{Status: runUnknownPAL, Err: "PAL not registered: " + r.PAL})
+	}
+	h.attestMu.RLock()
+	defer h.attestMu.RUnlock()
+	h.inflight.Add(1)
+	defer h.inflight.Add(-1)
+	res, err := h.pool.Run(p, core.SessionOptions{Input: r.Input})
+	switch {
+	case errors.Is(err, pool.ErrClosed):
+		return encodeRunResp(&runResp{Status: runLost, Err: err.Error()})
+	case err != nil:
+		return encodeRunResp(&runResp{Status: runPALError, Err: err.Error()})
+	case res.PALError != nil:
+		return encodeRunResp(&runResp{Status: runPALError, Err: res.PALError.Error()})
+	}
+	h.sessions.Add(1)
+	return encodeRunResp(&runResp{Status: runOK, Output: res.Outputs})
+}
+
+// inventory snapshots the host's registered PALs, sorted by name.
+func (h *Host) inventory() []hostPAL {
+	h.palMu.Lock()
+	defer h.palMu.Unlock()
+	names := make([]string, 0, len(h.pals))
+	for name := range h.pals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	inv := make([]hostPAL, 0, len(names))
+	for _, name := range names {
+		inv = append(inv, hostPAL{Name: name, Launch: h.launch[name]})
+	}
+	return inv
+}
+
+// stats sums the host's per-shard platform accounting.
+func (h *Host) stats() *hostStats {
+	st := &hostStats{InFlight: uint32(h.inflight.Load()), Sessions: h.sessions.Load()}
+	for i := 0; i < h.pool.Shards(); i++ {
+		st.Aborted += uint64(h.pool.Shard(i).Stats().Aborted)
+	}
+	h.palMu.Lock()
+	for name := range h.pals {
+		st.PALs = append(st.PALs, name)
+	}
+	h.palMu.Unlock()
+	sort.Strings(st.PALs)
+	return st
+}

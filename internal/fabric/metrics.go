@@ -1,0 +1,51 @@
+package fabric
+
+import "flicker/internal/metrics"
+
+// fabricMetrics holds the controller's pre-resolved series handles. Label
+// sets are closed, so every handle is resolved once at construction (the
+// metrichandle discipline); the per-host in-flight gauge is resolved per
+// member at admission, the only time a new label value appears.
+type fabricMetrics struct {
+	reg *metrics.Registry
+
+	admissionOK       *metrics.Counter
+	admissionRejected *metrics.Counter
+
+	hostUp          *metrics.Counter
+	hostDown        *metrics.Counter
+	hostDrained     *metrics.Counter
+	reattestOK      *metrics.Counter
+	reattestFail    *metrics.Counter
+
+	resubmits *metrics.Counter
+	runsOK    *metrics.Counter
+	runsErr   *metrics.Counter
+
+	inflight *metrics.GaugeVec
+}
+
+func newFabricMetrics(reg *metrics.Registry) *fabricMetrics {
+	adm := reg.Counter("flicker_fabric_admissions_total",
+		"Host admission attempts by quote-verification result.", "result")
+	ev := reg.Counter("flicker_fabric_host_events_total",
+		"Fleet membership events.", "event")
+	runs := reg.Counter("flicker_fabric_runs_total",
+		"Sessions dispatched through the controller by outcome.", "result")
+	return &fabricMetrics{
+		reg:               reg,
+		admissionOK:       adm.With("ok"),
+		admissionRejected: adm.With("rejected"),
+		hostUp:            ev.With("up"),
+		hostDown:          ev.With("down"),
+		hostDrained:       ev.With("drained"),
+		reattestOK:        ev.With("reattest_ok"),
+		reattestFail:      ev.With("reattest_fail"),
+		resubmits: reg.Counter("flicker_fabric_resubmits_total",
+			"Accepted jobs resubmitted to a surviving host after a member failed.").With(),
+		runsOK:  runs.With("ok"),
+		runsErr: runs.With("pal_error"),
+		inflight: reg.Gauge("flicker_fabric_inflight",
+			"Controller-observed in-flight sessions per host.", "host"),
+	}
+}

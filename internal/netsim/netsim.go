@@ -18,6 +18,13 @@ import (
 // (round-trips, bytes in each direction, simulated wire time), so the
 // network cost of the distcomp/sshauth/ca application protocols is
 // measurable; Instrument folds the accounting into a metrics registry.
+//
+// A Link is safe for concurrent round-trips: the attestation fabric drives
+// one shared network from many goroutines, so Send/RoundTrip/Stats may be
+// called from any number of callers. The RTT and PerByte fields are part
+// of the link's construction; set them before the link is shared (writes
+// that race in-flight transfers are the caller's bug, as with any Go
+// struct field).
 type Link struct {
 	clock *simtime.Clock
 	// RTT is the round-trip time; one-way sends charge RTT/2.
@@ -94,9 +101,15 @@ func (l *Link) Stats() LinkStats {
 }
 
 // transfer moves a payload one way, charging wire time and accounting the
-// traffic in the given direction ("sent" or "received").
+// traffic in the given direction ("sent" or "received"). The latency
+// parameters are snapshotted under the link's lock so concurrent callers
+// never observe a torn read against Instrument or a late configuration
+// write.
 func (l *Link) transfer(payload []byte, direction string) []byte {
-	charged := l.clock.Advance(l.RTT/2+time.Duration(len(payload))*l.PerByte, "net.send")
+	l.mu.Lock()
+	rtt, perByte := l.RTT, l.PerByte
+	l.mu.Unlock()
+	charged := l.clock.Advance(rtt/2+time.Duration(len(payload))*perByte, "net.send")
 	l.mu.Lock()
 	if direction == "sent" {
 		l.stats.BytesSent += int64(len(payload))

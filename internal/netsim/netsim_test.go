@@ -2,6 +2,9 @@ package netsim
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -108,5 +111,169 @@ func TestPaperLink(t *testing.T) {
 	// Full RTT after two one-way sends: the paper's 9.45 ms average ping.
 	if got := simtime.Millis(clock.Now()); got < 9.44 || got > 9.46 {
 		t.Fatalf("RTT = %.3f ms, want 9.45", got)
+	}
+}
+
+// TestLinkConcurrentRoundTripsRace is the -race hammer for the fabric's
+// usage pattern: many goroutines sharing one link. Counts must come out
+// exact — the link serializes its accounting, not just avoids corruption.
+func TestLinkConcurrentRoundTripsRace(t *testing.T) {
+	clock := simtime.New()
+	l := NewLink(clock, time.Millisecond, time.Microsecond)
+	reg := metrics.NewRegistry()
+	l.Instrument(reg, "hammer")
+	const (
+		workers = 8
+		perW    = 100
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				resp := l.RoundTrip([]byte("rq"), func(req []byte) []byte {
+					return append(req, []byte("-ok")...)
+				})
+				if string(resp) != "rq-ok" {
+					t.Errorf("resp = %q", resp)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.RoundTrips != workers*perW {
+		t.Fatalf("RoundTrips = %d, want %d", st.RoundTrips, workers*perW)
+	}
+	if st.BytesSent != workers*perW*2 || st.BytesReceived != workers*perW*5 {
+		t.Fatalf("bytes = %d/%d, want %d/%d",
+			st.BytesSent, st.BytesReceived, workers*perW*2, workers*perW*5)
+	}
+}
+
+func TestSwitchCallChargesBothLegs(t *testing.T) {
+	clock := simtime.New()
+	sw := NewSwitch(clock, 8*time.Millisecond, 0)
+	a, err := sw.Attach("ctrl", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Attach("host-0", func(req []byte) []byte {
+		clock.Advance(2*time.Millisecond, "host.work")
+		return append([]byte("re:"), req...)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := a.Call("host-0", []byte("query"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "re:query" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if clock.Now() != 10*time.Millisecond { // 4 out + 2 work + 4 back
+		t.Fatalf("call consumed %v, want 10ms", clock.Now())
+	}
+	st := sw.Stats()
+	if st.RoundTrips != 1 || st.BytesSent != 5 || st.BytesReceived != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSwitchUnreachableAndReuse(t *testing.T) {
+	sw := NewSwitch(simtime.New(), time.Millisecond, 0)
+	a, err := sw.Attach("ctrl", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Call("ghost", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("call to unattached port = %v, want ErrUnreachable", err)
+	}
+	h, err := sw.Attach("host-0", func(req []byte) []byte { return req })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Attach("host-0", nil); err == nil {
+		t.Fatal("duplicate attach of an open port succeeded")
+	}
+	if _, err := a.Call("host-0", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// A crashed (closed) host is unreachable, and its name can be reused by
+	// a restarted instance.
+	h.Close()
+	if _, err := a.Call("host-0", []byte("x")); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("call to closed port = %v, want ErrUnreachable", err)
+	}
+	if _, err := sw.Attach("host-0", func(req []byte) []byte { return []byte("v2") }); err != nil {
+		t.Fatalf("reattach after close: %v", err)
+	}
+	resp, err := a.Call("host-0", nil)
+	if err != nil || string(resp) != "v2" {
+		t.Fatalf("restarted port call = %q, %v", resp, err)
+	}
+	// No handler installed: distinct error.
+	if _, err := sw.Attach("mute", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Call("mute", nil); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("call to handlerless port = %v, want ErrNoHandler", err)
+	}
+}
+
+func TestSwitchDiedMidCall(t *testing.T) {
+	sw := NewSwitch(simtime.New(), time.Millisecond, 0)
+	a, _ := sw.Attach("ctrl", nil)
+	var victim *Port
+	victim, err := sw.Attach("host-0", func(req []byte) []byte {
+		victim.Close() // the host dies while serving
+		return []byte("lost reply")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Call("host-0", []byte("rq")); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("mid-call death = %v, want ErrUnreachable", err)
+	}
+}
+
+// TestSwitchConcurrentCallsRace hammers one switch from many ports at once.
+func TestSwitchConcurrentCallsRace(t *testing.T) {
+	sw := NewSwitch(simtime.New(), time.Millisecond, 0)
+	const hosts = 4
+	for i := 0; i < hosts; i++ {
+		if _, err := sw.Attach(fmt.Sprintf("host-%d", i), func(req []byte) []byte {
+			return append([]byte("ok:"), req...)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const (
+		workers = 8
+		perW    = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		port, err := sw.Attach(fmt.Sprintf("caller-%d", w), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(p *Port, w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				resp, err := p.Call(fmt.Sprintf("host-%d", (w+i)%hosts), []byte("x"))
+				if err != nil || string(resp) != "ok:x" {
+					t.Errorf("call: %q, %v", resp, err)
+					return
+				}
+			}
+		}(port, w)
+	}
+	wg.Wait()
+	if st := sw.Stats(); st.RoundTrips != workers*perW {
+		t.Fatalf("RoundTrips = %d, want %d", st.RoundTrips, workers*perW)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"flicker/internal/core"
 	"flicker/internal/metrics"
 	"flicker/internal/pal"
+	"flicker/internal/sched"
 )
 
 // ErrClosed is returned by Run/TryRun after Close has begun.
@@ -367,34 +368,23 @@ func (p *Pool) runBatch(s *shard, part []job) {
 	}
 }
 
-// homeShard returns the PAL's affinity shard: FNV-1a over the PAL name.
-// Affinity keeps a PAL's sessions on the platform whose image and
-// measurement caches are warm for it.
+// homeShard returns the PAL's affinity shard via the shared scheduling
+// core (sched.Home: FNV-1a over the PAL name). Affinity keeps a PAL's
+// sessions on the platform whose image and measurement caches are warm for
+// it, and the fabric controller applies the same function across hosts, so
+// placement policy has exactly one definition.
 func (p *Pool) homeShard(name string) *shard {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(name); i++ {
-		h ^= uint64(name[i])
-		h *= prime64
-	}
-	return p.shards[h%uint64(len(p.shards))]
+	return p.shards[sched.Home(name, len(p.shards))]
 }
 
 // leastLoaded returns the shard with the fewest queued + in-flight
 // sessions.
 func (p *Pool) leastLoaded() *shard {
-	best := p.shards[0]
-	bestLoad := best.pending.Load()
-	for _, s := range p.shards[1:] {
-		if l := s.pending.Load(); l < bestLoad {
-			best, bestLoad = s, l
-		}
-	}
-	return best
+	return p.shards[sched.LeastLoaded(len(p.shards), p.shardLoad)]
 }
+
+// shardLoad is the sched load callback: shard i's queued + in-flight count.
+func (p *Pool) shardLoad(i int) int64 { return p.shards[i].pending.Load() }
 
 // submit routes one job: non-blocking try on the home shard, then the
 // least-loaded shard; if both queues are full, either block on the home

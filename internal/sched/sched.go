@@ -1,0 +1,70 @@
+// Package sched is the routing core shared by the single-process session
+// pool (internal/pool) and the controller of the attestation fabric
+// (internal/fabric): key-affinity placement with least-loaded spill.
+//
+// The policy is the one the pool grew for PAL routing — a PAL's name hashes
+// to a home target, so repeat sessions land where the SLB image cache and
+// SKINIT measurement cache are already warm for it, and an overloaded home
+// spills to the least-loaded target. Extracting it lets the fabric
+// controller apply the identical policy across hosts instead of shards,
+// so a PAL keeps one warm home whether the fleet is in-process or
+// distributed.
+//
+// The package is deliberately allocation-free: Home is a pure hash and
+// LeastLoaded walks loads through a callback, so the pool's submit path
+// and the controller's dispatch path can call them without feeding the GC.
+package sched
+
+// Home returns the affinity index for key among n targets: FNV-1a over the
+// key, modulo n. It is deterministic across processes and runs, so a
+// controller and its hosts agree on placement without coordination.
+// n must be > 0.
+func Home(key string, n int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// LeastLoaded returns the index in [0, n) with the smallest load, asking
+// load(i) for each candidate. Ties resolve to the lowest index, so the
+// choice is deterministic. n must be > 0.
+func LeastLoaded(n int, load func(i int) int64) int {
+	best, bestLoad := 0, load(0)
+	for i := 1; i < n; i++ {
+		if l := load(i); l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
+// Pick routes one unit of work: the home target for key if it has room,
+// otherwise the least-loaded target with room, otherwise -1. full(i)
+// reports that target i cannot accept more work (queue full, draining,
+// lost); load(i) is its current queued+in-flight count.
+func Pick(key string, n int, load func(i int) int64, full func(i int) bool) int {
+	if n <= 0 {
+		return -1
+	}
+	home := Home(key, n)
+	if !full(home) {
+		return home
+	}
+	best, bestLoad := -1, int64(0)
+	for i := 0; i < n; i++ {
+		if full(i) {
+			continue
+		}
+		if l := load(i); best < 0 || l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}

@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Home must match the FNV-1a routing the pool has always used, so the
+// extraction cannot silently re-home every PAL's warm caches.
+func TestHomeIsFNV1a(t *testing.T) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	for _, key := range []string{"", "a", "ssh-auth", "flicker-ca", "pal-7"} {
+		h := uint64(offset64)
+		for i := 0; i < len(key); i++ {
+			h ^= uint64(key[i])
+			h *= prime64
+		}
+		for _, n := range []int{1, 3, 4, 16} {
+			if got, want := Home(key, n), int(h%uint64(n)); got != want {
+				t.Fatalf("Home(%q, %d) = %d, want %d", key, n, got, want)
+			}
+		}
+	}
+}
+
+func TestHomeSpreadsKeys(t *testing.T) {
+	seen := make(map[int]bool)
+	for i := 0; i < 32; i++ {
+		seen[Home(fmt.Sprintf("pal-%d", i), 4)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("32 keys over 4 targets hit only %d homes", len(seen))
+	}
+}
+
+func TestLeastLoadedPicksMinAndBreaksTiesLow(t *testing.T) {
+	loads := []int64{5, 2, 9, 2}
+	got := LeastLoaded(len(loads), func(i int) int64 { return loads[i] })
+	if got != 1 {
+		t.Fatalf("LeastLoaded = %d, want 1 (first of the tied minima)", got)
+	}
+	one := LeastLoaded(1, func(int) int64 { return 99 })
+	if one != 0 {
+		t.Fatalf("single-target LeastLoaded = %d, want 0", one)
+	}
+}
+
+func TestPickPrefersHomeThenSpillsThenFails(t *testing.T) {
+	loads := []int64{3, 1, 2, 7}
+	load := func(i int) int64 { return loads[i] }
+	key := "k"
+	home := Home(key, 4)
+
+	// Home has room: home wins regardless of load.
+	if got := Pick(key, 4, load, func(int) bool { return false }); got != home {
+		t.Fatalf("Pick with room = %d, want home %d", got, home)
+	}
+	// Home full: least-loaded other target with room.
+	gotSpill := Pick(key, 4, load, func(i int) bool { return i == home })
+	wantSpill := -1
+	var wantLoad int64
+	for i := 0; i < 4; i++ {
+		if i == home {
+			continue
+		}
+		if wantSpill < 0 || loads[i] < wantLoad {
+			wantSpill, wantLoad = i, loads[i]
+		}
+	}
+	if gotSpill != wantSpill {
+		t.Fatalf("Pick spill = %d, want %d", gotSpill, wantSpill)
+	}
+	// Everything full: -1.
+	if got := Pick(key, 4, load, func(int) bool { return true }); got != -1 {
+		t.Fatalf("Pick all-full = %d, want -1", got)
+	}
+	if got := Pick(key, 0, load, func(int) bool { return false }); got != -1 {
+		t.Fatalf("Pick n=0 = %d, want -1", got)
+	}
+}
