@@ -320,6 +320,71 @@ func BenchmarkSessionThroughput(b *testing.B) {
 	})
 }
 
+// BenchmarkSessionThroughputTraced measures the tracing tax on the session
+// hot path at three sample rates: 0 (the sampler rejects every root — one
+// counter check per session, gated in CI to stay within 5% of the untraced
+// baseline), 0.01 (a steady production setting), and 1.0 (every session
+// pays full span assembly into the flight recorder).
+func BenchmarkSessionThroughputTraced(b *testing.B) {
+	hello := &PALFunc{
+		PALName: "hello",
+		Binary:  DescriptorCode("hello", "1.0", nil, nil),
+		Fn: func(env *Env, input []byte) ([]byte, error) {
+			return []byte("Hello, world"), nil
+		},
+	}
+	for _, bc := range []struct {
+		name string
+		rate float64
+	}{{"rate=0", 0}, {"rate=0.01", 0.01}, {"rate=1", 1}} {
+		b.Run(bc.name, func(b *testing.B) {
+			p, err := NewPlatform(Config{Seed: "bench-trace", Profile: ProfileFuture()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tracer := NewTracer("bench", p.Clock.Now)
+			tracer.SetSampleRate(bc.rate)
+			rec := NewTraceFlightRecorder(64, 64, 0)
+			tracer.OnComplete(rec.Offer)
+			run := func() error {
+				root := tracer.StartSampled("bench.run")
+				var o SessionOptions
+				if root != nil {
+					o.TraceID = root.TraceHex()
+					o.Observer = NewSessionTraceObserver(root)
+				}
+				res, err := p.RunSession(hello, o)
+				if err != nil {
+					return err
+				}
+				root.EndErr(res.PALError)
+				return res.PALError
+			}
+			if err := run(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			start := nowSeconds()
+			for i := 0; i < b.N; i++ {
+				if err := run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if dt := nowSeconds() - start; dt > 0 {
+				b.ReportMetric(float64(b.N)/dt, "sessions/s")
+			}
+			// Short -benchtime runs may not reach a 1-in-100 sample, so only
+			// full sampling asserts retention.
+			if bc.rate >= 1 {
+				if _, triggered, sampled := rec.Stats(); triggered+sampled == 0 {
+					b.Fatal("traced benchmark retained no traces")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPoolThroughput measures aggregate sessions/second through the
 // sharded pool at 1 and 4 shards. Each platform serializes its sessions, so
 // the pool's speedup comes from running independent platforms side by side;

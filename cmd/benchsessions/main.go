@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"runtime"
 	"sync"
@@ -243,6 +244,47 @@ func runPoolBatched(n, shards, maxBatch int) (modeResult, error) {
 	return r, nil
 }
 
+// runTraced benchmarks the classic session loop with the distributed tracer
+// attached at the given sample rate: 0 costs one sampler check per session
+// (the <5% CI gate), 1.0 pays full span assembly into a flight recorder.
+// capture, when non-nil, receives the last fully-assembled trace — the
+// TRACE_sample.json artifact CI uploads next to BENCH_sessions.json.
+func runTraced(n int, rate float64, capture **flicker.TraceData) (modeResult, error) {
+	p, err := flicker.NewPlatform(flicker.Config{Seed: "benchsessions", Profile: flicker.ProfileFuture()})
+	if err != nil {
+		return modeResult{}, err
+	}
+	tracer := flicker.NewTracer("benchsessions", p.Clock.Now)
+	tracer.SetSampleRate(rate)
+	rec := flicker.NewTraceFlightRecorder(8, 8, 0)
+	tracer.OnComplete(func(td *flicker.TraceData) {
+		rec.Offer(td)
+		if capture != nil {
+			*capture = td
+		}
+	})
+	hello := demoPAL("hello")
+	run := func() error {
+		root := tracer.StartSampled("bench.run")
+		var o flicker.SessionOptions
+		if root != nil {
+			root.SetAttr("pal", "hello")
+			o.TraceID = root.TraceHex()
+			o.Observer = flicker.NewSessionTraceObserver(root)
+		}
+		res, err := p.RunSession(hello, o)
+		if err != nil {
+			return err
+		}
+		root.EndErr(res.PALError)
+		return res.PALError
+	}
+	if err := run(); err != nil {
+		return modeResult{}, err
+	}
+	return measure(n, run)
+}
+
 // pacedPAL returns a PAL whose body sleeps for the given wall time,
 // emulating a device-paced session (TPM waits, I/O). Sleeps release the P,
 // so paced sessions on different hosts overlap regardless of core count —
@@ -403,9 +445,17 @@ func runCoreModes(n int, modes map[string]modeResult, suffix string) error {
 	return nil
 }
 
+// traceArtifact is the TRACE_sample.json schema: the same TraceData +
+// reassembled tree shape `flicker serve` returns from /traces/{id}.
+type traceArtifact struct {
+	*flicker.TraceData
+	Tree *flicker.TraceNode `json:"tree"`
+}
+
 func main() {
 	out := flag.String("o", "BENCH_sessions.json", "output path")
 	n := flag.Int("n", 2000, "sessions per mode")
+	traceOut := flag.String("trace-out", "", "also write one fully-assembled sample trace as JSON to this path")
 	flag.Parse()
 
 	parallel := runtime.NumCPU()
@@ -444,6 +494,69 @@ func main() {
 	fmt.Printf("fabric scaling: %0.2fx (fabric4 %0.0f/s over fabric1 %0.0f/s)\n",
 		report.Modes["fabric4"].SessionsPerSec/report.Modes["fabric1"].SessionsPerSec,
 		report.Modes["fabric4"].SessionsPerSec, report.Modes["fabric1"].SessionsPerSec)
+
+	// Tracing trajectories: the classic loop with the distributed tracer at
+	// three sample rates. The off/baseline ratio is the CI gate — sampling
+	// off must cost < 5% — so both sides are re-measured back to back,
+	// best-of-3 rounds, to keep scheduler noise out of the comparison.
+	var sample *flicker.TraceData
+	procs := runtime.GOMAXPROCS(0)
+	baseline := modeResult{NsPerOp: math.MaxFloat64}
+	traceOff := modeResult{NsPerOp: math.MaxFloat64}
+	hello := demoPAL("hello")
+	for round := 0; round < 3; round++ {
+		rb, err := runPlatform(*n, func(p *flicker.Platform) error {
+			res, err := p.RunSession(hello, flicker.SessionOptions{})
+			if err != nil {
+				return err
+			}
+			return res.PALError
+		})
+		if err != nil {
+			log.Fatalf("trace baseline: %v", err)
+		}
+		if rb.NsPerOp < baseline.NsPerOp {
+			baseline = rb
+		}
+		ro, err := runTraced(*n, 0, nil)
+		if err != nil {
+			log.Fatalf("classic_trace_off: %v", err)
+		}
+		if ro.NsPerOp < traceOff.NsPerOp {
+			traceOff = ro
+		}
+	}
+	traceOff.GOMAXPROCS = procs
+	report.Modes["classic_trace_off"] = traceOff
+	for _, tm := range []struct {
+		name string
+		rate float64
+		cap  **flicker.TraceData
+	}{{"classic_trace_1pct", 0.01, nil}, {"classic_trace_all", 1, &sample}} {
+		r, err := runTraced(*n, tm.rate, tm.cap)
+		if err != nil {
+			log.Fatalf("%s: %v", tm.name, err)
+		}
+		r.GOMAXPROCS = procs
+		report.Modes[tm.name] = r
+	}
+	fmt.Printf("trace overhead: %0.2f%% sampling-off (%0.0f ns/op traced-off vs %0.0f ns/op baseline)\n",
+		(traceOff.NsPerOp-baseline.NsPerOp)/baseline.NsPerOp*100,
+		traceOff.NsPerOp, baseline.NsPerOp)
+
+	if *traceOut != "" {
+		if sample == nil {
+			log.Fatal("classic_trace_all retained no trace to write")
+		}
+		raw, err := json.MarshalIndent(traceArtifact{TraceData: sample, Tree: sample.Tree()}, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*traceOut, append(raw, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote sample trace %s (%d spans) to %s\n", sample.ID, len(sample.Spans), *traceOut)
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -120,10 +121,13 @@ func cmdRun(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var rec *trace.Recorder
+	// -trace-json uses the same tracer/span format as the fabric and the
+	// serve flight recorder, so the CLI output matches /traces/{id} exactly.
+	var traced *flicker.TraceData
+	var tracer *flicker.Tracer
 	if *traceJSON != "" {
-		rec = trace.NewRecorder()
-		p.AddObserver(rec)
+		tracer = flicker.NewTracer("cli", p.Clock.Now)
+		tracer.OnComplete(func(td *flicker.TraceData) { traced = td })
 	}
 
 	target, err := demoPAL(*palName)
@@ -132,15 +136,23 @@ func cmdRun(args []string) {
 	}
 
 	nonce := flicker.SHA1Sum([]byte("cli-nonce"))
-	res, err := p.RunSession(target, flicker.SessionOptions{
+	opts := flicker.SessionOptions{
 		Input:    []byte(*input),
 		Nonce:    &nonce,
 		Sandbox:  *sandbox,
 		TwoStage: *twoStage,
-	})
+	}
+	root := tracer.Start("run")
+	if root != nil {
+		root.SetAttr("pal", *palName)
+		opts.TraceID = root.TraceHex()
+		opts.Observer = flicker.NewSessionTraceObserver(root)
+	}
+	res, err := p.RunSession(target, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+	root.EndErr(res.PALError)
 	if res.PALError != nil {
 		log.Fatalf("PAL error: %v", res.PALError)
 	}
@@ -159,23 +171,21 @@ func cmdRun(args []string) {
 	fmt.Fprint(report, trace.RenderTimeline(res, 48))
 	fmt.Fprintln(report)
 	fmt.Fprint(report, trace.RenderCharges(p.Clock.ChargesSince(res.Start)))
-	if rec != nil {
+	if traced != nil {
+		raw, err := json.MarshalIndent(traceDetail{TraceData: traced, Tree: traced.Tree()}, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		raw = append(raw, '\n')
 		if *traceJSON == "-" {
-			if err := rec.WriteJSON(os.Stdout); err != nil {
+			if _, err := os.Stdout.Write(raw); err != nil {
 				log.Fatal(err)
 			}
 		} else {
-			f, err := os.Create(*traceJSON)
-			if err != nil {
+			if err := os.WriteFile(*traceJSON, raw, 0o644); err != nil {
 				log.Fatal(err)
 			}
-			if err := rec.WriteJSON(f); err != nil {
-				log.Fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("\nwrote JSON spans to %s\n", *traceJSON)
+			fmt.Printf("\nwrote trace %s to %s\n", traced.ID, *traceJSON)
 		}
 	}
 }

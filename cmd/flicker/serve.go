@@ -1,7 +1,9 @@
 // flicker serve: run Flicker sessions while exposing the platform's
 // observability surface over HTTP — Prometheus text exposition on /metrics,
 // a JSON view of Platform.Stats() plus the full registry on /stats, the
-// security event log on /events, and a liveness probe on /healthz.
+// security event log on /events (filterable with ?n= and ?kind=), a
+// liveness probe on /healthz, and — when -trace-sample > 0 — the
+// distributed-trace flight recorder on /traces and /traces/{id}.
 package main
 
 import (
@@ -11,6 +13,8 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"flicker"
@@ -38,10 +42,99 @@ type poolStatsResponse struct {
 	Metrics flicker.MetricsSnapshot `json:"metrics"`
 }
 
+// traceSummary is one row of the /traces listing.
+type traceSummary struct {
+	ID         string  `json:"trace_id"`
+	Name       string  `json:"name"`
+	PAL        string  `json:"pal,omitempty"`
+	Outcome    string  `json:"outcome"`
+	Trigger    string  `json:"trigger,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	StartMs    float64 `json:"start_ms"`
+	DurationMs float64 `json:"duration_ms"`
+	Spans      int     `json:"spans"`
+}
+
+// traceDetail is the /traces/{id} payload: the flat trace plus its
+// reassembled tree.
+type traceDetail struct {
+	*flicker.TraceData
+	Tree *flicker.TraceNode `json:"tree"`
+}
+
+// addTraceEndpoints wires /traces (recent roots, ?n= / ?pal= / ?outcome=
+// filters) and /traces/{id} (full span tree) onto a mux. A nil recorder —
+// tracing disabled — serves an empty listing and 404s every ID, so the
+// endpoint surface is stable across configurations.
+func addTraceEndpoints(mux *http.ServeMux, fr *flicker.TraceFlightRecorder) {
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		q := r.URL.Query()
+		n, _ := strconv.Atoi(q.Get("n"))
+		out := make([]traceSummary, 0, 16)
+		for _, td := range fr.Recent(n, q.Get("pal"), q.Get("outcome")) {
+			out = append(out, traceSummary{
+				ID:         td.ID,
+				Name:       td.Name,
+				PAL:        td.Attr("pal"),
+				Outcome:    td.Outcome(),
+				Trigger:    td.Trigger,
+				Error:      td.Err,
+				StartMs:    float64(td.Start) / float64(time.Millisecond),
+				DurationMs: float64(td.Duration) / float64(time.Millisecond),
+				Spans:      len(td.Spans),
+			})
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/traces/", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		id := strings.TrimPrefix(r.URL.Path, "/traces/")
+		td := fr.Get(id)
+		if td == nil {
+			http.Error(w, "no retained trace with id "+id, http.StatusNotFound)
+			return
+		}
+		writeJSON(w, traceDetail{TraceData: td, Tree: td.Tree()})
+	})
+}
+
+// eventsHandler serves the security event log with ?n= (most recent n) and
+// ?kind= (exact event kind) filters. Events linked to a trace carry its
+// trace_id, resolvable at /traces/{id}.
+func eventsHandler(get func() []flicker.SecurityEvent) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		evs := get()
+		if kind := r.URL.Query().Get("kind"); kind != "" {
+			kept := evs[:0:0]
+			for _, ev := range evs {
+				if ev.Kind == kind {
+					kept = append(kept, ev)
+				}
+			}
+			evs = kept
+		}
+		if n, _ := strconv.Atoi(r.URL.Query().Get("n")); n > 0 && len(evs) > n {
+			evs = evs[len(evs)-n:]
+		}
+		if evs == nil {
+			evs = []flicker.SecurityEvent{}
+		}
+		writeJSON(w, evs)
+	}
+}
+
 // newPoolServeMux is newServeMux for a sharded pool: the same endpoint
 // surface, backed by the shared registry and event log all shards fold
 // into.
-func newPoolServeMux(p *flicker.Pool) *http.ServeMux {
+func newPoolServeMux(p *flicker.Pool, fr *flicker.TraceFlightRecorder) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if !allowGet(w, r) {
@@ -58,16 +151,8 @@ func newPoolServeMux(p *flicker.Pool) *http.ServeMux {
 		}
 		writeJSON(w, poolStatsResponse{Pool: p.Stats(), Metrics: p.Metrics().Snapshot()})
 	})
-	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
-		if !allowGet(w, r) {
-			return
-		}
-		events := p.Events().Events()
-		if events == nil {
-			events = []flicker.SecurityEvent{}
-		}
-		writeJSON(w, events)
-	})
+	mux.HandleFunc("/events", eventsHandler(p.Events().Events))
+	addTraceEndpoints(mux, fr)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if !allowGet(w, r) {
 			return
@@ -127,16 +212,8 @@ func newFabricServeMux(ctrl *flicker.FabricController, reg *flicker.MetricsRegis
 		}
 		writeJSON(w, hosts)
 	})
-	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
-		if !allowGet(w, r) {
-			return
-		}
-		evs := events.Events()
-		if evs == nil {
-			evs = []flicker.SecurityEvent{}
-		}
-		writeJSON(w, evs)
-	})
+	mux.HandleFunc("/events", eventsHandler(events.Events))
+	addTraceEndpoints(mux, ctrl.Traces())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if !allowGet(w, r) {
 			return
@@ -158,7 +235,7 @@ func newFabricServeMux(ctrl *flicker.FabricController, reg *flicker.MetricsRegis
 
 // newServeMux builds the exposition handler for a platform. Split out from
 // cmdServe so tests can drive it through httptest without binding a port.
-func newServeMux(p *flicker.Platform) *http.ServeMux {
+func newServeMux(p *flicker.Platform, fr *flicker.TraceFlightRecorder) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if !allowGet(w, r) {
@@ -175,16 +252,8 @@ func newServeMux(p *flicker.Platform) *http.ServeMux {
 		}
 		writeJSON(w, statsResponse{Sessions: p.Stats(), Metrics: p.Metrics.Snapshot()})
 	})
-	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
-		if !allowGet(w, r) {
-			return
-		}
-		events := p.Events.Events()
-		if events == nil {
-			events = []flicker.SecurityEvent{}
-		}
-		writeJSON(w, events)
-	})
+	mux.HandleFunc("/events", eventsHandler(p.Events.Events))
+	addTraceEndpoints(mux, fr)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if !allowGet(w, r) {
 			return
@@ -215,11 +284,45 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// localTracer builds the serve-local tracer and flight recorder used by the
+// single-platform and pool modes (a fabric controller owns its own pair).
+// Tracing off (sample <= 0) yields nils; every downstream consumer is
+// nil-safe, so the wrapped runner costs one pointer check per session.
+func localTracer(now func() time.Duration, sample float64, slow time.Duration) (*flicker.Tracer, *flicker.TraceFlightRecorder) {
+	if sample <= 0 {
+		return nil, nil
+	}
+	tr := flicker.NewTracer("serve", now)
+	tr.SetSampleRate(sample)
+	rec := flicker.NewTraceFlightRecorder(0, 0, slow)
+	tr.OnComplete(rec.Offer)
+	return tr, rec
+}
+
+// traceRunOnce wraps a session runner with a sampled "serve.run" root span:
+// the session observer stream hangs phase and TPM-command spans under it,
+// and the completed trace lands in the flight recorder via the tracer's
+// OnComplete sink.
+func traceRunOnce(tracer *flicker.Tracer, palName string, run func(flicker.SessionOptions) error, opts flicker.SessionOptions) func() error {
+	return func() error {
+		root := tracer.StartSampled("serve.run")
+		o := opts
+		if root != nil {
+			root.SetAttr("pal", palName)
+			o.TraceID = root.TraceHex()
+			o.Observer = flicker.NewSessionTraceObserver(root)
+		}
+		err := run(o)
+		root.EndErr(err)
+		return err
+	}
+}
+
 // buildFabric stands up an in-process attestation fabric: a controller and
 // n host agents on one simulated switch, every host quote-verified at
 // admission, all folding into one metrics registry. A background ticker
 // drives heartbeats and periodic re-attestation.
-func buildFabric(n int, palName string, target flicker.PAL, prof *flicker.Profile) (*flicker.FabricController, *http.ServeMux, error) {
+func buildFabric(n int, palName string, target flicker.PAL, prof *flicker.Profile, sample float64, slow time.Duration) (*flicker.FabricController, *http.ServeMux, error) {
 	reg := flicker.NewMetricsRegistry()
 	events := flicker.NewSecurityEventLog(0)
 	sw := flicker.NewNetSwitch(2*time.Millisecond, 0)
@@ -232,6 +335,9 @@ func buildFabric(n int, palName string, target flicker.PAL, prof *flicker.Profil
 		Seed:          "serve-fabric",
 		ReattestEvery: 30,
 		Metrics:       reg,
+		Events:        events,
+		TraceSample:   sample,
+		TraceSlow:     slow,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -279,6 +385,8 @@ func cmdServe(args []string) {
 	hosts := fs.Int("hosts", 0, "run an in-process attestation fabric of N quote-verified hosts (0 = no fabric; overrides -shards)")
 	batch := fs.Int("batch", 1, "max requests coalesced into one session per shard (requires -shards mode; >1 enables the coalescer)")
 	batchWait := fs.Duration("batch-wait", 2*time.Millisecond, "how long a shard holds a lone request hoping to form a batch")
+	traceSample := fs.Float64("trace-sample", 0, "fraction of sessions to trace end-to-end (0 = tracing off, 1 = every session)")
+	traceSlow := fs.Duration("trace-slow", 0, "retain every sampled trace at least this slow in the flight recorder (0 = default threshold)")
 	fs.Parse(args)
 
 	prof, err := profileByName(*profile)
@@ -304,7 +412,7 @@ func cmdServe(args []string) {
 		mux     *http.ServeMux
 	)
 	if *hosts > 0 {
-		ctrl, mux2, err := buildFabric(*hosts, *palName, target, prof)
+		ctrl, mux2, err := buildFabric(*hosts, *palName, target, prof, *traceSample, *traceSlow)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -323,27 +431,29 @@ func cmdServe(args []string) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		runOnce = func() error {
-			res, err := pool.Run(target, opts)
+		tracer, rec := localTracer(pool.Shard(0).Clock.Now, *traceSample, *traceSlow)
+		runOnce = traceRunOnce(tracer, *palName, func(o flicker.SessionOptions) error {
+			res, err := pool.Run(target, o)
 			if err != nil {
 				return err
 			}
 			return res.PALError
-		}
-		mux = newPoolServeMux(pool)
+		}, opts)
+		mux = newPoolServeMux(pool, rec)
 	} else {
 		p, err := flicker.NewPlatform(flicker.Config{Seed: "serve", Profile: prof})
 		if err != nil {
 			log.Fatal(err)
 		}
-		runOnce = func() error {
-			res, err := p.RunSession(target, opts)
+		tracer, rec := localTracer(p.Clock.Now, *traceSample, *traceSlow)
+		runOnce = traceRunOnce(tracer, *palName, func(o flicker.SessionOptions) error {
+			res, err := p.RunSession(target, o)
 			if err != nil {
 				return err
 			}
 			return res.PALError
-		}
-		mux = newServeMux(p)
+		}, opts)
+		mux = newServeMux(p, rec)
 	}
 
 	for i := 0; i < *warm; i++ {
@@ -382,14 +492,18 @@ func cmdServe(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	traced := ""
+	if *traceSample > 0 {
+		traced = ", /traces + /traces/{id} (flight recorder)"
+	}
 	if *hosts > 0 {
 		fmt.Printf("flicker serve: %d warm-up session(s) done on a %d-host fabric; listening on http://%s\n",
 			*warm, *hosts, ln.Addr())
-		fmt.Println("endpoints: /metrics (Prometheus), /stats (JSON), /events (JSON), /healthz, /hosts (attestation status)")
+		fmt.Println("endpoints: /metrics (Prometheus), /stats (JSON), /events (JSON), /healthz, /hosts (attestation status)" + traced)
 	} else {
 		fmt.Printf("flicker serve: %d warm-up session(s) done on %d shard(s); listening on http://%s\n",
 			*warm, *shards, ln.Addr())
-		fmt.Println("endpoints: /metrics (Prometheus), /stats (JSON), /events (JSON), /healthz")
+		fmt.Println("endpoints: /metrics (Prometheus), /stats (JSON), /events (JSON), /healthz" + traced)
 	}
 	log.Fatal(http.Serve(ln, mux))
 }

@@ -40,7 +40,7 @@ func get(t *testing.T, mux *http.ServeMux, path string) *httptest.ResponseRecord
 }
 
 func TestServeMetricsEndpoint(t *testing.T) {
-	mux := newServeMux(servePlatform(t))
+	mux := newServeMux(servePlatform(t), nil)
 	rec := get(t, mux, "/metrics")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("GET /metrics = %d, want 200", rec.Code)
@@ -68,7 +68,7 @@ func TestServeMetricsEndpoint(t *testing.T) {
 }
 
 func TestServeStatsEndpoint(t *testing.T) {
-	mux := newServeMux(servePlatform(t))
+	mux := newServeMux(servePlatform(t), nil)
 	rec := get(t, mux, "/stats")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("GET /stats = %d, want 200", rec.Code)
@@ -86,7 +86,7 @@ func TestServeStatsEndpoint(t *testing.T) {
 }
 
 func TestServeHealthAndEvents(t *testing.T) {
-	mux := newServeMux(servePlatform(t))
+	mux := newServeMux(servePlatform(t), nil)
 
 	rec := get(t, mux, "/healthz")
 	if rec.Code != http.StatusOK {
@@ -122,7 +122,7 @@ func TestServeHealthAndEvents(t *testing.T) {
 }
 
 func TestServeRejectsWrites(t *testing.T) {
-	mux := newServeMux(servePlatform(t))
+	mux := newServeMux(servePlatform(t), nil)
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/metrics", strings.NewReader("x")))
 	if rec.Code != http.StatusMethodNotAllowed {
@@ -158,7 +158,7 @@ func servePool(t *testing.T, shards, sessions int) *flicker.Pool {
 }
 
 func TestServePoolEndpoints(t *testing.T) {
-	mux := newPoolServeMux(servePool(t, 3, 4))
+	mux := newPoolServeMux(servePool(t, 3, 4), nil)
 
 	rec := get(t, mux, "/metrics")
 	if rec.Code != http.StatusOK {
@@ -216,13 +216,13 @@ func TestServePoolEndpoints(t *testing.T) {
 
 // serveFabric stands up a small in-process fabric and pushes a few
 // sessions through it.
-func serveFabric(t *testing.T, hosts, sessions int) (*flicker.FabricController, *http.ServeMux) {
+func serveFabric(t *testing.T, hosts, sessions int, sample float64) (*flicker.FabricController, *http.ServeMux) {
 	t.Helper()
 	target, err := demoPAL("hello")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctrl, mux, err := buildFabric(hosts, "hello", target, nil)
+	ctrl, mux, err := buildFabric(hosts, "hello", target, nil, sample, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func serveFabric(t *testing.T, hosts, sessions int) (*flicker.FabricController, 
 }
 
 func TestServeFabricEndpoints(t *testing.T) {
-	_, mux := serveFabric(t, 2, 3)
+	_, mux := serveFabric(t, 2, 3, 0)
 
 	rec := get(t, mux, "/metrics")
 	if rec.Code != http.StatusOK {
@@ -307,10 +307,169 @@ func TestServeFabricEndpoints(t *testing.T) {
 	}
 }
 
+// The /events filters: ?kind= keeps only one event kind, ?n= the most
+// recent n entries.
+func TestServeEventsFilters(t *testing.T) {
+	p := servePlatform(t)
+	// A second session appends a second pcr17-reset event, giving ?n= a
+	// log deep enough to truncate.
+	target, err := demoPAL("hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunSession(target, flicker.SessionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	mux := newServeMux(p, nil)
+
+	var events []flicker.SecurityEvent
+	if err := json.Unmarshal(get(t, mux, "/events?kind=pcr17-reset").Body.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("/events?kind=pcr17-reset is empty")
+	}
+	for _, e := range events {
+		if e.Kind != "pcr17-reset" {
+			t.Errorf("kind filter leaked %+v", e)
+		}
+	}
+
+	var all, last []flicker.SecurityEvent
+	if err := json.Unmarshal(get(t, mux, "/events").Body.Bytes(), &all); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(get(t, mux, "/events?n=1").Body.Bytes(), &last); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 2 {
+		t.Fatalf("want at least 2 events to exercise ?n=, got %d", len(all))
+	}
+	if len(last) != 1 || last[0] != all[len(all)-1] {
+		t.Errorf("/events?n=1 = %+v, want the newest of %d events", last, len(all))
+	}
+
+	if err := json.Unmarshal(get(t, mux, "/events?kind=no-such-kind").Body.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Errorf("bogus kind filter returned %+v", events)
+	}
+}
+
+// A traced platform serve exposes its flight recorder: /traces lists the
+// session roots (filterable by PAL and outcome) and /traces/{id} returns
+// the reassembled span tree.
+func TestServeTraceEndpoints(t *testing.T) {
+	p, err := flicker.NewPlatform(flicker.Config{Seed: "serve-trace-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := demoPAL("hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer, rec := localTracer(p.Clock.Now, 1.0, 0)
+	runOnce := traceRunOnce(tracer, "hello", func(o flicker.SessionOptions) error {
+		res, err := p.RunSession(target, o)
+		if err != nil {
+			return err
+		}
+		return res.PALError
+	}, flicker.SessionOptions{})
+	for i := 0; i < 3; i++ {
+		if err := runOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mux := newServeMux(p, rec)
+
+	var list []traceSummary
+	if err := json.Unmarshal(get(t, mux, "/traces?pal=hello&outcome=ok").Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("/traces lists %d roots, want 3: %+v", len(list), list)
+	}
+	for _, s := range list {
+		if s.Name != "serve.run" || s.Outcome != "ok" || s.PAL != "hello" || s.Spans < 3 {
+			t.Errorf("trace summary = %+v", s)
+		}
+	}
+
+	if err := json.Unmarshal(get(t, mux, "/traces?pal=no-such-pal").Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 0 {
+		t.Errorf("PAL filter leaked %+v", list)
+	}
+
+	if err := json.Unmarshal(get(t, mux, "/traces").Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	detail := get(t, mux, "/traces/"+list[0].ID)
+	if detail.Code != http.StatusOK {
+		t.Fatalf("GET /traces/%s = %d, want 200", list[0].ID, detail.Code)
+	}
+	var td struct {
+		ID   string             `json:"trace_id"`
+		Tree *flicker.TraceNode `json:"tree"`
+	}
+	if err := json.Unmarshal(detail.Body.Bytes(), &td); err != nil {
+		t.Fatalf("decode trace detail: %v", err)
+	}
+	if td.Tree == nil || td.Tree.Name != "serve.run" || len(td.Tree.Children) == 0 {
+		t.Fatalf("trace tree = %+v, want serve.run root with children", td.Tree)
+	}
+
+	if got := get(t, mux, "/traces/ffffffffffffffff").Code; got != http.StatusNotFound {
+		t.Errorf("GET /traces/<unknown> = %d, want 404", got)
+	}
+}
+
+// With tracing off the endpoint surface stays stable: /traces serves an
+// empty listing and every ID 404s.
+func TestServeTraceEndpointsDisabled(t *testing.T) {
+	mux := newServeMux(servePlatform(t), nil)
+	var list []traceSummary
+	if err := json.Unmarshal(get(t, mux, "/traces").Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 0 {
+		t.Errorf("/traces with tracing off = %+v", list)
+	}
+	if got := get(t, mux, "/traces/0000000000000001").Code; got != http.StatusNotFound {
+		t.Errorf("GET /traces/{id} with tracing off = %d, want 404", got)
+	}
+}
+
+// A traced fabric serve surfaces controller-assembled traces that span the
+// wire: the detail tree reaches the remote host's session spans.
+func TestServeFabricTraceEndpoints(t *testing.T) {
+	_, mux := serveFabric(t, 2, 2, 1.0)
+	var list []traceSummary
+	if err := json.Unmarshal(get(t, mux, "/traces?outcome=ok").Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) < 2 {
+		t.Fatalf("fabric /traces lists %d roots, want >= 2", len(list))
+	}
+	detail := get(t, mux, "/traces/"+list[0].ID)
+	if detail.Code != http.StatusOK {
+		t.Fatalf("GET /traces/%s = %d, want 200", list[0].ID, detail.Code)
+	}
+	body := detail.Body.String()
+	for _, span := range []string{"fabric.run", "host.run", `"session"`, "skinit"} {
+		if !strings.Contains(body, span) {
+			t.Errorf("fabric trace detail missing span %q", span)
+		}
+	}
+}
+
 // The fleet-aware health endpoint degrades when a member is lost and goes
 // down when none remain.
 func TestServeFabricHealthDegrades(t *testing.T) {
-	ctrl, mux := serveFabric(t, 1, 1)
+	ctrl, mux := serveFabric(t, 1, 1, 0)
 	var health fabricHealthResponse
 	if err := json.Unmarshal(get(t, mux, "/healthz").Body.Bytes(), &health); err != nil {
 		t.Fatal(err)

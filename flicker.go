@@ -44,6 +44,7 @@ import (
 	"flicker/internal/simtime"
 	"flicker/internal/slb"
 	"flicker/internal/tpm"
+	"flicker/internal/trace"
 )
 
 // Platform is a fully assembled simulated Flicker machine: TPM, CPU,
@@ -297,3 +298,55 @@ func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 // NewSecurityEventLog creates a bounded security event log (n <= 0 uses
 // the default capacity).
 func NewSecurityEventLog(n int) *SecurityEventLog { return metrics.NewEventLog(n) }
+
+// --- distributed tracing ---------------------------------------------------
+
+// Tracer mints deterministic trace/span IDs for one site and assembles
+// completed traces. FabricController owns one when
+// FabricControllerConfig.TraceSample > 0; standalone platforms and pools can
+// attach their own via NewTracer + NewSessionTraceObserver. A nil *Tracer is
+// "tracing disabled": every method is a cheap no-op.
+type Tracer = trace.Tracer
+
+// TraceSpan is one open interval in a trace. All methods are nil-safe, so
+// unsampled requests pay a single pointer check.
+type TraceSpan = trace.Span
+
+// TraceData is one completed trace: the root span plus every descendant
+// record, including segments adopted from remote sites.
+type TraceData = trace.TraceData
+
+// TraceSpanRecord is the flat, wire-friendly form of one completed span.
+type TraceSpanRecord = trace.SpanRecord
+
+// TraceNode is one vertex of a reassembled trace tree (the /traces/{id}
+// JSON shape).
+type TraceNode = trace.TraceNode
+
+// TraceFlightRecorder retains completed traces for postmortem reads: every
+// trace matching a trigger (failover resubmits, re-attestation evictions,
+// errors, slow outliers) plus a deterministic reservoir sample of the rest.
+type TraceFlightRecorder = trace.FlightRecorder
+
+// NewTracer creates a tracer for a site; now supplies its simulated
+// timebase (e.g. Platform.Clock.Now).
+func NewTracer(site string, now func() time.Duration) *Tracer {
+	return trace.NewTracer(site, now)
+}
+
+// NewTraceFlightRecorder creates a flight recorder keeping up to trigCap
+// triggered traces and a sampCap reservoir (non-positive caps use the
+// default); traces at least slow long are retained as triggered.
+func NewTraceFlightRecorder(trigCap, sampCap int, slow time.Duration) *TraceFlightRecorder {
+	return trace.NewFlightRecorder(trigCap, sampCap, slow)
+}
+
+// NewSessionTraceObserver adapts the session observer stream into spans
+// under the given parent spans (pass it via SessionOptions.Observer).
+func NewSessionTraceObserver(parents ...*TraceSpan) Observer {
+	return trace.NewSessionObserver(parents...)
+}
+
+// FormatTraceID renders a trace or span ID the canonical way every surface
+// (exemplars, /traces, SessionOptions.TraceID) spells it.
+func FormatTraceID(id uint64) string { return trace.FormatID(id) }

@@ -25,6 +25,11 @@ var fixtureCases = []struct {
 	{ScrubPair, "scrubpair", "flicker/internal/core/spfixture"},
 	{LocalityCheck, "localitycheck", "flicker/internal/apps/lcfixture"},
 	{MetricHandle, "metrichandle", "flicker/internal/pool/mhfixture"},
+	// Tracing-era scope extensions: the tracer package is cycle-accounted
+	// (deterministic IDs and sampling), and the fabric's exemplar-bearing
+	// observation methods are per-event consumers like Observe.
+	{WallTime, "walltime_trace", "flicker/internal/trace/wtfixture"},
+	{MetricHandle, "metrichandle_fabric", "flicker/internal/fabric/mhfixture"},
 }
 
 func TestAnalyzerFixturesGolden(t *testing.T) {
@@ -37,7 +42,7 @@ func TestAnalyzerFixturesGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, tc := range fixtureCases {
-		t.Run(tc.analyzer.Name, func(t *testing.T) {
+		t.Run(tc.dir, func(t *testing.T) {
 			pkg, err := l.LoadDirAs(filepath.Join("testdata", "src", tc.dir), tc.as)
 			if err != nil {
 				t.Fatal(err)
@@ -58,7 +63,7 @@ func TestAnalyzerFixturesGolden(t *testing.T) {
 					filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 			}
 			got := b.String()
-			golden := filepath.Join("testdata", "golden", tc.analyzer.Name+".txt")
+			golden := filepath.Join("testdata", "golden", tc.dir+".txt")
 			if *update {
 				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
 					t.Fatal(err)

@@ -26,6 +26,7 @@ const metricsPkg = "flicker/internal/metrics"
 var metricConsumers = map[string]bool{
 	"Inc": true, "Dec": true, "Add": true, "Set": true,
 	"Observe": true, "ObserveDuration": true,
+	"ObserveExemplar": true, "ObserveDurationExemplar": true,
 }
 
 // MetricHandle reports per-event metrics series lookups in hot-path
@@ -39,6 +40,11 @@ var MetricHandle = &Analyzer{
 		"flicker/internal/hw",
 		"flicker/internal/core",
 		"flicker/internal/pool",
+		// The fabric's run/admit paths observe per-session histograms (now
+		// with exemplars) and the trace hot path must never acquire a
+		// registry lookup per span.
+		"flicker/internal/fabric",
+		"flicker/internal/trace",
 	),
 	Run: runMetricHandle,
 }

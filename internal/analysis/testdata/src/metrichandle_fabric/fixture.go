@@ -1,0 +1,33 @@
+// Package mhfixture seeds a metrichandle violation in the fabric's scope
+// using the exemplar-bearing observation methods: ObserveDurationExemplar
+// chained onto a fresh With(...) lookup is a per-event series resolution
+// exactly like Observe, and must use a handle cached at registration time.
+package mhfixture
+
+import (
+	"time"
+
+	"flicker/internal/metrics"
+)
+
+type controller struct {
+	runSeconds   *metrics.HistogramVec
+	runSecondsOK *metrics.Histogram
+}
+
+func newController(reg *metrics.Registry) *controller {
+	vec := reg.Histogram("fixture_run_seconds", "Session latency.", nil, "result")
+	return &controller{runSeconds: vec, runSecondsOK: vec.With("ok")}
+}
+
+// observeSlow resolves the series on every completed session: the seeded
+// violation, through the exemplar-carrying consumer.
+func (c *controller) observeSlow(d time.Duration, traceID string) {
+	c.runSeconds.With("ok").ObserveDurationExemplar(d, traceID) // want: per-event lookup
+}
+
+// observeFast records through the handle cached at construction — the
+// near-miss.
+func (c *controller) observeFast(d time.Duration, traceID string) {
+	c.runSecondsOK.ObserveDurationExemplar(d, traceID)
+}

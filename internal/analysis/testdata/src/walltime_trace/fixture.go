@@ -1,0 +1,29 @@
+// Package wtfixture seeds walltime violations inside the tracer's scope:
+// span timestamps must come from an injected simtime-backed func and
+// sampling must be a deterministic counter, never the host clock or
+// math/rand.
+package wtfixture
+
+import (
+	"math/rand" // want: banned import
+	"time"
+)
+
+// stampSpan reads the host wall clock for a span timestamp: the seeded
+// violation. Real spans take `now func() time.Duration` at construction.
+func stampSpan() time.Duration {
+	start := time.Now() // want: banned
+	return time.Since(start)
+}
+
+// sampleCoinFlip decides sampling with math/rand — non-deterministic trace
+// selection, flagged at the import above.
+func sampleCoinFlip(rate float64) bool {
+	return rand.Float64() < rate
+}
+
+// spanAt is the near-miss: the timebase arrives injected, and time is used
+// only as a duration arithmetic type.
+func spanAt(now func() time.Duration, skew time.Duration) time.Duration {
+	return now() + skew
+}

@@ -32,6 +32,10 @@ var WallTime = &Analyzer{
 		"flicker/internal/core",
 		"flicker/internal/fabric",
 		"flicker/internal/pool",
+		// The tracer's span IDs and sampling decisions must be deterministic
+		// (counter-based, no wall clock, no math/rand) or trace-replay tests
+		// and the simtime-anchored span timestamps fall apart.
+		"flicker/internal/trace",
 	),
 	Run: runWallTime,
 }

@@ -34,6 +34,7 @@ type metricsBridge struct {
 // sessionTrack carries per-session state between observer callbacks.
 type sessionTrack struct {
 	pipeline   string
+	traceID    string // active distributed trace ("" when untraced)
 	phaseStart time.Duration
 	lastPhase  string // most recent phase to start (the abort site on failure)
 }
@@ -70,7 +71,7 @@ func (b *metricsBridge) phaseHist(phase string) *metrics.Histogram {
 
 func (b *metricsBridge) SessionStart(m SessionMeta) {
 	b.mu.Lock()
-	b.start[m.ID] = sessionTrack{pipeline: m.Pipeline}
+	b.start[m.ID] = sessionTrack{pipeline: m.Pipeline, traceID: m.TraceID}
 	b.mu.Unlock()
 	b.inFlight.Inc()
 }
@@ -92,7 +93,9 @@ func (b *metricsBridge) PhaseEnd(sid uint64, phase string, at time.Duration, err
 	tr, ok := b.start[sid]
 	b.mu.Unlock()
 	if ok {
-		b.phaseHist(phase).ObserveDuration(at - tr.phaseStart)
+		// A traced session pins its trace ID as the exemplar of the bucket
+		// each phase duration lands in.
+		b.phaseHist(phase).ObserveDurationExemplar(at-tr.phaseStart, tr.traceID)
 	}
 	if err != nil {
 		//flickervet:allow metrichandle(aborts are once-per-incident infrastructure failures)
@@ -110,8 +113,8 @@ func (b *metricsBridge) SessionEnd(sid uint64, at time.Duration, err error) {
 		return
 	}
 	if err != nil {
-		b.events.Record(metrics.EventSessionAbort,
-			"core: session aborted in phase "+tr.lastPhase+": "+err.Error())
+		b.events.RecordTrace(metrics.EventSessionAbort,
+			"core: session aborted in phase "+tr.lastPhase+": "+err.Error(), tr.traceID)
 		//flickervet:allow metrichandle(aborted sessions are once-per-incident)
 		b.sessions.With(tr.pipeline, "aborted").Inc()
 		return

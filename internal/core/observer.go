@@ -24,6 +24,9 @@ type SessionMeta struct {
 	PAL string
 	// Start is the simulated time at which the session began.
 	Start time.Duration
+	// TraceID is the distributed-trace ID the session runs under ("" when
+	// untraced) — SessionOptions.TraceID, echoed to observers.
+	TraceID string
 }
 
 // Observer receives session pipeline events. Callbacks are invoked
@@ -41,6 +44,59 @@ type Observer interface {
 	Charge(sid uint64, phase string, c simtime.Charge)
 	PhaseEnd(sid uint64, phase string, at time.Duration, err error)
 	SessionEnd(sid uint64, at time.Duration, err error)
+}
+
+// CombineObservers fans one observer stream out to several observers (the
+// pool's coalescer merges per-job observers into the shared batched session
+// with it). Nil entries are dropped; it returns nil for an empty set and
+// the observer itself for a singleton.
+func CombineObservers(obs ...Observer) Observer {
+	live := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiObserver(live)
+}
+
+// multiObserver fans callbacks out in registration order.
+type multiObserver []Observer
+
+func (m multiObserver) SessionStart(meta SessionMeta) {
+	for _, o := range m {
+		o.SessionStart(meta)
+	}
+}
+
+func (m multiObserver) PhaseStart(sid uint64, phase string, at time.Duration) {
+	for _, o := range m {
+		o.PhaseStart(sid, phase, at)
+	}
+}
+
+func (m multiObserver) Charge(sid uint64, phase string, c simtime.Charge) {
+	for _, o := range m {
+		o.Charge(sid, phase, c)
+	}
+}
+
+func (m multiObserver) PhaseEnd(sid uint64, phase string, at time.Duration, err error) {
+	for _, o := range m {
+		o.PhaseEnd(sid, phase, at, err)
+	}
+}
+
+func (m multiObserver) SessionEnd(sid uint64, at time.Duration, err error) {
+	for _, o := range m {
+		o.SessionEnd(sid, at, err)
+	}
 }
 
 // AddObserver registers an observer for every subsequent session on the

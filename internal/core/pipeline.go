@@ -140,13 +140,24 @@ func (p *Platform) runPipeline(pipe *sessionPipeline, pl pal.PAL, opts SessionOp
 		},
 	}
 	obs := p.observerList()
+	if opts.Observer != nil {
+		obs = append(obs, opts.Observer)
+	}
 	st.obs = obs
+	if opts.TraceID != "" {
+		// Pin the active trace on the platform tag so deep layers (TPM
+		// dispatch) attach exemplars with exact attribution; sessions are
+		// serialized under sessionMu, so one tag per platform suffices.
+		p.traceTag.Set(opts.TraceID)
+		defer p.traceTag.Clear()
+	}
 	for _, o := range obs {
 		o.SessionStart(SessionMeta{
 			ID:       st.res.SessionID,
 			Pipeline: pipe.name,
 			PAL:      pl.Name(),
 			Start:    st.res.Start,
+			TraceID:  opts.TraceID,
 		})
 	}
 	if len(obs) > 0 {

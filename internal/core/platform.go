@@ -64,6 +64,11 @@ type Platform struct {
 	Metrics *metrics.Registry
 	Events  *metrics.EventLog
 
+	// traceTag pins the active session's distributed-trace ID for the
+	// layers below the pipeline (sessions are serialized, so one tag per
+	// platform is exact).
+	traceTag *metrics.TraceTag
+
 	mu       sync.Mutex
 	registry map[tpm.Digest]*registeredPAL
 	seq      int
@@ -161,6 +166,8 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		return nil, fmt.Errorf("core: TPM: %w", err)
 	}
 	tp.Instrument(reg, events)
+	traceTag := metrics.NewTraceTag()
+	tp.SetTraceTag(traceTag)
 	bus := tis.NewBus(tp)
 	bus.Instrument(reg, events)
 	machine, err := cpu.NewMachine(clock, cfg.Profile, bus, cpu.Config{
@@ -190,6 +197,7 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		Mod:           mod,
 		Metrics:       reg,
 		Events:        events,
+		traceTag:      traceTag,
 		registry:      make(map[tpm.Digest]*registeredPAL),
 		imageCache:    make(map[imageKey]*slb.Image),
 		phaseTotal:    make(map[string]time.Duration),

@@ -38,6 +38,17 @@ type SessionOptions struct {
 	// body runs; a non-nil return aborts the session with that error.
 	Injector func(phase string) error
 
+	// TraceID, if non-empty, is the distributed-trace ID (16 hex digits)
+	// this session runs under. The pipeline pins it on the platform's trace
+	// tag for the session's duration, so deep layers (TPM dispatch) attach
+	// it as the exemplar on their latency histograms, and the metrics
+	// bridge links phase histograms and abort events to it.
+	TraceID string
+	// Observer, if non-nil, observes this session only, in addition to the
+	// platform-registered observers (trace.SessionObserver uses this to
+	// grow a span tree under a caller-owned parent span).
+	Observer Observer
+
 	// image, when set (by the registry path), reuses a prebuilt image.
 	image *slb.Image
 	// batch, when set (by RunSessionBatch), carries the decoded request

@@ -20,9 +20,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"flicker/internal/attest"
 	"flicker/internal/tpm"
+	"flicker/internal/trace"
 )
 
 // Frame kinds. Requests flow controller → host; each has one response
@@ -53,6 +55,15 @@ const (
 // ErrBadFrame is wrapped by every decode failure.
 var ErrBadFrame = errors.New("fabric: malformed frame")
 
+// traceCtx is the distributed-trace propagation pair carried on every
+// request frame: the trace ID and the caller's span that the host-side
+// segment should parent under. A zero pair means "untraced" and costs the
+// host a single comparison.
+type traceCtx struct {
+	TraceID uint64
+	Parent  uint64
+}
+
 // hostPAL is one entry of a host's PAL inventory: the wire name and the
 // expected PCR-17 launch value of the image the host built for it.
 type hostPAL struct {
@@ -68,12 +79,16 @@ type challengeResp struct {
 	// launch measurement covers the patched load address, so the verifier
 	// patches its own build with this before recomputing PCR 17)
 	Att attest.Attestation
+	// Spans is the host-side segment of the admission trace ([] when the
+	// challenge was untraced).
+	Spans []trace.SpanRecord
 }
 
 // runReq asks a host to execute one session.
 type runReq struct {
 	PAL   string
 	Input []byte
+	Trace traceCtx
 }
 
 // runResp reports one session's outcome.
@@ -81,6 +96,9 @@ type runResp struct {
 	Status byte
 	Output []byte
 	Err    string
+	// Spans is the host-side segment of the session trace, shipped back for
+	// the controller to splice under its attempt span.
+	Spans []trace.SpanRecord
 }
 
 // heartbeatResp is a host's liveness/load report.
@@ -173,21 +191,147 @@ func readDigest(b []byte) (tpm.Digest, []byte, error) {
 	return d, b[len(d):], nil
 }
 
-// --- challenge --------------------------------------------------------------
+// --- trace context and span records -----------------------------------------
 
-func encodeChallenge(nonce tpm.Digest) []byte {
-	return append([]byte{kindChallenge}, nonce[:]...)
+// appendTraceCtx writes the fixed 16-byte propagation pair. It is always
+// written (zeros when untraced) so frame layouts stay positional and the
+// trailing-bytes checks keep their teeth.
+func appendTraceCtx(b []byte, tc traceCtx) []byte {
+	b = binary.BigEndian.AppendUint64(b, tc.TraceID)
+	return binary.BigEndian.AppendUint64(b, tc.Parent)
 }
 
-func decodeChallenge(b []byte) (tpm.Digest, error) {
+func readTraceCtx(b []byte) (traceCtx, []byte, error) {
+	var tc traceCtx
+	var err error
+	if tc.TraceID, b, err = readU64(b); err != nil {
+		return tc, nil, err
+	}
+	if tc.Parent, b, err = readU64(b); err != nil {
+		return tc, nil, err
+	}
+	return tc, b, nil
+}
+
+// spanRecMin is the smallest possible encoded span record: two 8-byte IDs,
+// empty name and site (2-byte lengths), two 8-byte times, empty error, and a
+// zero attribute count. It bounds the forged-count clamp in readSpans.
+const spanRecMin = 8 + 8 + 2 + 2 + 8 + 8 + 2 + 2
+
+// attrMin is the smallest encoded attribute: two empty 2-byte-length fields.
+const attrMin = 2 + 2
+
+// appendSpans encodes a span-record blob: a u16 count followed by each
+// record's IDs, name, site, times, error, and attributes. Counts past the
+// u16 range are truncated at encode time so the wire count always matches
+// what follows.
+func appendSpans(b []byte, recs []trace.SpanRecord) []byte {
+	if len(recs) > 0xffff {
+		recs = recs[:0xffff]
+	}
+	b = appendU16(b, len(recs))
+	for _, r := range recs {
+		b = binary.BigEndian.AppendUint64(b, r.Span)
+		b = binary.BigEndian.AppendUint64(b, r.Parent)
+		b = appendBytes16(b, []byte(r.Name))
+		b = appendBytes16(b, []byte(r.Site))
+		b = binary.BigEndian.AppendUint64(b, uint64(r.Start))
+		b = binary.BigEndian.AppendUint64(b, uint64(r.Duration))
+		b = appendBytes16(b, []byte(r.Err))
+		b = appendU16(b, len(r.Attrs))
+		for _, a := range r.Attrs {
+			b = appendBytes16(b, []byte(a.Key))
+			b = appendBytes16(b, []byte(a.Value))
+		}
+	}
+	return b
+}
+
+// readSpans decodes a span-record blob. Both the record count and each
+// record's attribute count are clamped against the remaining frame bytes
+// before sizing any allocation — span blobs arrive from untrusted hosts.
+func readSpans(b []byte) ([]trace.SpanRecord, []byte, error) {
+	count, rest, err := readU16(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if count > len(rest)/spanRecMin {
+		return nil, nil, fmt.Errorf("%w: span count %d exceeds what %d bytes can frame", ErrBadFrame, count, len(rest))
+	}
+	var recs []trace.SpanRecord
+	if count > 0 {
+		recs = make([]trace.SpanRecord, 0, count)
+	}
+	for i := 0; i < count; i++ {
+		var r trace.SpanRecord
+		if r.Span, rest, err = readU64(rest); err != nil {
+			return nil, nil, err
+		}
+		if r.Parent, rest, err = readU64(rest); err != nil {
+			return nil, nil, err
+		}
+		var name, site []byte
+		if name, rest, err = readBytes16(rest); err != nil {
+			return nil, nil, err
+		}
+		if site, rest, err = readBytes16(rest); err != nil {
+			return nil, nil, err
+		}
+		r.Name, r.Site = string(name), string(site)
+		var start, dur uint64
+		if start, rest, err = readU64(rest); err != nil {
+			return nil, nil, err
+		}
+		if dur, rest, err = readU64(rest); err != nil {
+			return nil, nil, err
+		}
+		r.Start, r.Duration = time.Duration(start), time.Duration(dur)
+		var msg []byte
+		if msg, rest, err = readBytes16(rest); err != nil {
+			return nil, nil, err
+		}
+		r.Err = string(msg)
+		var nattrs int
+		if nattrs, rest, err = readU16(rest); err != nil {
+			return nil, nil, err
+		}
+		if nattrs > len(rest)/attrMin {
+			return nil, nil, fmt.Errorf("%w: attr count %d exceeds what %d bytes can frame", ErrBadFrame, nattrs, len(rest))
+		}
+		for j := 0; j < nattrs; j++ {
+			var k, v []byte
+			if k, rest, err = readBytes16(rest); err != nil {
+				return nil, nil, err
+			}
+			if v, rest, err = readBytes16(rest); err != nil {
+				return nil, nil, err
+			}
+			r.Attrs = append(r.Attrs, trace.SpanAttr{Key: string(k), Value: string(v)})
+		}
+		recs = append(recs, r)
+	}
+	return recs, rest, nil
+}
+
+// --- challenge --------------------------------------------------------------
+
+func encodeChallenge(nonce tpm.Digest, tc traceCtx) []byte {
+	return appendTraceCtx(append([]byte{kindChallenge}, nonce[:]...), tc)
+}
+
+func decodeChallenge(b []byte) (tpm.Digest, traceCtx, error) {
 	nonce, rest, err := readDigest(b)
 	if err != nil {
-		return nonce, err
+		return nonce, traceCtx{}, err
+	}
+	tc, rest, err := readTraceCtx(rest)
+	if err != nil {
+		return nonce, tc, err
 	}
 	if len(rest) != 0 {
-		return nonce, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
+		return nonce, tc, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
 	}
-	return nonce, nil
+	return nonce, tc, nil
 }
 
 func encodeChallengeResp(r *challengeResp) []byte {
@@ -209,7 +353,7 @@ func encodeChallengeResp(r *challengeResp) []byte {
 	b = appendBytes16(b, []byte(cert.PlatformID))
 	b = appendBytes16(b, cert.AIKPub)
 	b = appendBytes16(b, cert.Signature)
-	return b
+	return appendSpans(b, r.Spans)
 }
 
 // palEntryMin is the smallest possible inventory entry: empty name (2-byte
@@ -267,6 +411,9 @@ func decodeChallengeResp(b []byte) (*challengeResp, error) {
 	if cert.Signature, rest, err = readBytes16(rest); err != nil {
 		return nil, err
 	}
+	if r.Spans, rest, err = readSpans(rest); err != nil {
+		return nil, err
+	}
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
 	}
@@ -280,7 +427,7 @@ func encodeRun(r *runReq) []byte {
 	b := []byte{kindRun}
 	b = appendBytes16(b, []byte(r.PAL))
 	b = appendBytes32(b, r.Input)
-	return b
+	return appendTraceCtx(b, r.Trace)
 }
 
 func decodeRun(b []byte) (*runReq, error) {
@@ -292,17 +439,21 @@ func decodeRun(b []byte) (*runReq, error) {
 	if err != nil {
 		return nil, err
 	}
+	tc, rest, err := readTraceCtx(rest)
+	if err != nil {
+		return nil, err
+	}
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
 	}
-	return &runReq{PAL: string(name), Input: input}, nil
+	return &runReq{PAL: string(name), Input: input, Trace: tc}, nil
 }
 
 func encodeRunResp(r *runResp) []byte {
 	b := []byte{kindRunResp, r.Status}
 	b = appendBytes32(b, r.Output)
 	b = appendBytes16(b, []byte(r.Err))
-	return b
+	return appendSpans(b, r.Spans)
 }
 
 func decodeRunResp(b []byte) (*runResp, error) {
@@ -319,10 +470,13 @@ func decodeRunResp(b []byte) (*runResp, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.Err = string(msg)
+	if r.Spans, rest, err = readSpans(rest); err != nil {
+		return nil, err
+	}
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(rest))
 	}
-	r.Err = string(msg)
 	return r, nil
 }
 

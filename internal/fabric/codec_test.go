@@ -5,9 +5,11 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"flicker/internal/attest"
 	"flicker/internal/tpm"
+	"flicker/internal/trace"
 )
 
 func TestCodecChallengeRoundTrip(t *testing.T) {
@@ -15,15 +17,23 @@ func TestCodecChallengeRoundTrip(t *testing.T) {
 	for i := range nonce {
 		nonce[i] = byte(i)
 	}
-	got, err := decodeChallenge(encodeChallenge(nonce)[1:])
+	tc := traceCtx{TraceID: 0xABCD000000000001, Parent: 0xABCD000000000002}
+	got, gotTC, err := decodeChallenge(encodeChallenge(nonce, tc)[1:])
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != nonce {
 		t.Fatalf("nonce round trip = %x", got)
 	}
-	if _, err := decodeChallenge(nonce[:10]); !errors.Is(err, ErrBadFrame) {
+	if gotTC != tc {
+		t.Fatalf("trace ctx round trip = %+v", gotTC)
+	}
+	if _, _, err := decodeChallenge(nonce[:10]); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("truncated challenge = %v", err)
+	}
+	// A frame carrying the nonce but a truncated trace context is rejected.
+	if _, _, err := decodeChallenge(encodeChallenge(nonce, tc)[1:30]); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("truncated trace ctx = %v", err)
 	}
 }
 
@@ -123,6 +133,73 @@ func TestCodecRunRoundTripAndTrailing(t *testing.T) {
 	resp, err := decodeRunResp(encodeRunResp(&runResp{Status: runOK, Output: []byte("o"), Err: "e"})[1:])
 	if err != nil || resp.Status != runOK || string(resp.Output) != "o" || resp.Err != "e" {
 		t.Fatalf("run resp round trip = %+v, %v", resp, err)
+	}
+}
+
+func sampleSpans() []trace.SpanRecord {
+	return []trace.SpanRecord{
+		{Span: 0x1000000000000001, Parent: 0, Name: "host.run", Site: "host0",
+			Start: 5 * time.Millisecond, Duration: 40 * time.Millisecond,
+			Attrs: []trace.SpanAttr{{Key: "pal", Value: "echo"}, {Key: "host", Value: "host0"}}},
+		{Span: 0x1000000000000002, Parent: 0x1000000000000001, Name: "session", Site: "host0",
+			Start: 6 * time.Millisecond, Duration: 38 * time.Millisecond, Err: "boom"},
+	}
+}
+
+func TestCodecSpanRecordsRoundTrip(t *testing.T) {
+	want := sampleSpans()
+	resp, err := decodeRunResp(encodeRunResp(&runResp{Status: runOK, Spans: want})[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Spans) != len(want) {
+		t.Fatalf("span count = %d, want %d", len(resp.Spans), len(want))
+	}
+	for i := range want {
+		g, w := resp.Spans[i], want[i]
+		if g.Span != w.Span || g.Parent != w.Parent || g.Name != w.Name ||
+			g.Site != w.Site || g.Start != w.Start || g.Duration != w.Duration || g.Err != w.Err {
+			t.Fatalf("span %d round trip = %+v, want %+v", i, g, w)
+		}
+		if len(g.Attrs) != len(w.Attrs) {
+			t.Fatalf("span %d attrs = %+v", i, g.Attrs)
+		}
+		for j := range w.Attrs {
+			if g.Attrs[j] != w.Attrs[j] {
+				t.Fatalf("span %d attr %d = %+v", i, j, g.Attrs[j])
+			}
+		}
+	}
+	// The challenge response carries the same blob.
+	cr := sampleChallengeResp()
+	cr.Spans = sampleSpans()
+	got, err := decodeChallengeResp(encodeChallengeResp(cr)[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Spans) != 2 || got.Spans[1].Err != "boom" {
+		t.Fatalf("challenge resp spans = %+v", got.Spans)
+	}
+}
+
+// A forged span count may not size the record allocation, and a forged
+// attribute count may not size an attribute slice: both are clamped against
+// the remaining frame bytes. Span blobs arrive from untrusted hosts.
+func TestCodecForgedSpanCountsRejected(t *testing.T) {
+	raw := encodeRunResp(&runResp{Status: runOK, Spans: sampleSpans()})[1:]
+	// Span count sits after status(1) + output len(4) + err len(2).
+	body := append([]byte(nil), raw...)
+	binary.BigEndian.PutUint16(body[7:9], 0xFFFF)
+	if _, err := decodeRunResp(body); !errors.Is(err, ErrBadFrame) || !strings.Contains(err.Error(), "span count") {
+		t.Fatalf("forged span count = %v, want clamp rejection", err)
+	}
+	// Attr count of the first record sits after the fixed span header plus
+	// its name, site, and error fields.
+	body = append([]byte(nil), raw...)
+	off := 9 + 8 + 8 + 2 + len("host.run") + 2 + len("host0") + 8 + 8 + 2
+	binary.BigEndian.PutUint16(body[off:off+2], 0xFFFF)
+	if _, err := decodeRunResp(body); !errors.Is(err, ErrBadFrame) || !strings.Contains(err.Error(), "attr count") {
+		t.Fatalf("forged attr count = %v, want clamp rejection", err)
 	}
 }
 

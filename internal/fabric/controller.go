@@ -17,6 +17,7 @@ import (
 	"flicker/internal/sched"
 	"flicker/internal/slb"
 	"flicker/internal/tpm"
+	"flicker/internal/trace"
 )
 
 // ControllerAddr is the controller's port name on the switch.
@@ -58,6 +59,16 @@ type ControllerConfig struct {
 	MaxResubmits int
 	// Metrics receives the fabric counters (nil = unregistered).
 	Metrics *metrics.Registry
+	// TraceSample enables distributed tracing: the fraction of Run calls
+	// traced end to end (0 = tracing off entirely, 1 = every call). Sampling
+	// is a deterministic counter, not a coin flip.
+	TraceSample float64
+	// TraceSlow is the flight recorder's tail-latency trigger: any completed
+	// trace at least this long is retained (0 = no slow trigger).
+	TraceSlow time.Duration
+	// Events, if non-nil, receives fabric security events (re-attestation
+	// evictions) linked to their trace IDs.
+	Events *metrics.EventLog
 }
 
 // memberState is a host's position in the admission state machine:
@@ -152,6 +163,11 @@ type Controller struct {
 	cfg  ControllerConfig
 	met  *fabricMetrics
 
+	// tracer and flight are nil when cfg.TraceSample is 0, so the untraced
+	// fabric pays nothing beyond nil checks.
+	tracer *trace.Tracer
+	flight *trace.FlightRecorder
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	members  map[string]*member
@@ -186,6 +202,12 @@ func NewController(sw *netsim.Switch, ca *attest.PrivacyCA, cfg ControllerConfig
 		members:  make(map[string]*member),
 		expected: make(map[string]expectedPAL),
 	}
+	if cfg.TraceSample > 0 {
+		c.tracer = trace.NewTracer("controller", sw.Clock().Now)
+		c.tracer.SetSampleRate(cfg.TraceSample)
+		c.flight = trace.NewFlightRecorder(0, 0, cfg.TraceSlow)
+		c.tracer.OnComplete(c.flight.Offer)
+	}
 	c.cond = sync.NewCond(&c.mu)
 	port, err := sw.Attach(ControllerAddr, nil)
 	if err != nil {
@@ -216,7 +238,10 @@ func (c *Controller) RegisterPAL(p pal.PAL) error {
 // A previously drained, lost, or rejected member may be re-admitted (a
 // restarted host rejoining); its attestation starts over from scratch.
 func (c *Controller) Admit(host string) error {
-	resp, err := c.attestHost(host)
+	root := c.tracer.Start("fabric.admit")
+	root.SetAttr("host", host)
+	resp, err := c.attestHost(host, root)
+	root.EndErr(err)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m := c.members[host]
@@ -253,9 +278,10 @@ func (c *Controller) Admit(host string) error {
 // signature, PCR-17 composite against the controller's own admission-PAL
 // build, platform identity, and the advertised inventory's launch
 // measurements.
-func (c *Controller) attestHost(host string) (*challengeResp, error) {
+func (c *Controller) attestHost(host string, parent *trace.Span) (*challengeResp, error) {
 	nonce := c.auth.Issue()
-	raw, err := c.port.Call(host, encodeChallenge(nonce))
+	tid, pid := parent.Context()
+	raw, err := c.port.Call(host, encodeChallenge(nonce, traceCtx{TraceID: tid, Parent: pid}))
 	if err != nil {
 		return nil, err
 	}
@@ -267,6 +293,9 @@ func (c *Controller) attestHost(host string) (*challengeResp, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The host's segment of the admission trace (attestation lock, admission
+	// session, quote) splices in under the challenge span.
+	parent.Adopt(resp.Spans)
 	// Freshness first: a response to an expired or already-redeemed
 	// challenge is rejected before any cryptography runs.
 	if err := c.auth.Redeem(resp.Att.Nonce); err != nil {
@@ -343,15 +372,40 @@ func (c *Controller) lookupExpected(name string) (expectedPAL, bool) {
 // protocol garbage — is excluded and the job is resubmitted to a survivor,
 // so an accepted job is lost only when the whole eligible fleet is gone.
 func (c *Controller) Run(palName string, input []byte) ([]byte, error) {
+	start := c.sw.Clock().Now()
+	root := c.tracer.StartSampled("fabric.run")
+	root.SetAttr("pal", palName)
+	out, err := c.run(palName, input, root)
+	root.EndErr(err)
+	c.met.runSeconds.ObserveDurationExemplar(c.sw.Clock().Now()-start, root.TraceHex())
+	return out, err
+}
+
+// run is Run's failover loop. Every dispatch attempt gets its own child span
+// under root, so a resubmitted job's assembled trace shows the orphaned
+// attempt (whose host half died with the host) and the successful sibling
+// side by side.
+func (c *Controller) run(palName string, input []byte, root *trace.Span) ([]byte, error) {
 	tried := make(map[string]bool)
 	for attempt := 0; attempt <= c.cfg.MaxResubmits; attempt++ {
 		m := c.pick(palName, tried)
 		if m == nil {
 			return nil, fmt.Errorf("%w: %s", ErrNoHosts, palName)
 		}
-		raw, err := c.port.Call(m.name, encodeRun(&runReq{PAL: palName, Input: input}))
+		att := root.Child("attempt")
+		att.SetAttr("host", m.name)
+		tid, pid := att.Context()
+		raw, err := c.port.Call(m.name, encodeRun(&runReq{
+			PAL: palName, Input: input,
+			Trace: traceCtx{TraceID: tid, Parent: pid},
+		}))
 		c.finishCall(m)
 		if err != nil {
+			// Died mid-call: the reply — and the host's span records with it
+			// — is gone. The attempt span survives as the orphaned half of a
+			// partial trace, and the whole trace is pinned for the recorder.
+			att.EndErr(err)
+			root.Trigger("failover-resubmit")
 			c.hostLost(m, err)
 			tried[m.name] = true
 			c.noteResubmit()
@@ -361,6 +415,7 @@ func (c *Controller) Run(palName string, input []byte) ([]byte, error) {
 		if derr == nil {
 			var rr *runResp
 			if rr, derr = decodeRunResp(body); derr == nil {
+				att.Adopt(rr.Spans)
 				switch rr.Status {
 				case runOK:
 					c.mu.Lock()
@@ -368,13 +423,18 @@ func (c *Controller) Run(palName string, input []byte) ([]byte, error) {
 					c.sessions++
 					c.mu.Unlock()
 					c.met.runsOK.Inc()
+					att.End()
 					return rr.Output, nil
 				case runPALError:
 					c.met.runsErr.Inc()
-					return nil, &PALError{Host: m.name, Msg: rr.Err}
+					perr := &PALError{Host: m.name, Msg: rr.Err}
+					att.EndErr(perr)
+					return nil, perr
 				default:
 					// Draining, lost, or unknown PAL: this member cannot take
 					// the job right now; try a survivor.
+					att.EndErr(fmt.Errorf("host refused (status %d): %s", rr.Status, rr.Err))
+					root.Trigger("failover-resubmit")
 					tried[m.name] = true
 					c.noteResubmit()
 					continue
@@ -382,6 +442,8 @@ func (c *Controller) Run(palName string, input []byte) ([]byte, error) {
 			}
 		}
 		// Protocol garbage from an admitted member: treat like a crash.
+		att.EndErr(derr)
+		root.Trigger("failover-resubmit")
 		c.hostLost(m, derr)
 		tried[m.name] = true
 		c.noteResubmit()
@@ -498,11 +560,24 @@ func (c *Controller) Tick() {
 		if skip {
 			continue
 		}
-		if _, err := c.attestHost(m.name); err != nil {
+		// Re-attestations are traced unconditionally (when tracing is on):
+		// an eviction is rare enough to always deserve a flight-recorder
+		// entry, and its event links back to the trace.
+		root := c.tracer.Start("fabric.reattest")
+		root.SetAttr("host", m.name)
+		if _, err := c.attestHost(m.name, root); err != nil {
 			c.met.reattestFail.Inc()
+			root.Trigger("reattest-evict")
+			root.EndErr(err)
+			if c.cfg.Events != nil {
+				c.cfg.Events.RecordTrace(metrics.EventHostEvicted,
+					"fabric: "+m.name+" evicted: re-attestation failed: "+err.Error(),
+					root.TraceHex())
+			}
 			c.hostLost(m, fmt.Errorf("re-attestation failed: %w", err))
 			continue
 		}
+		root.End()
 		c.mu.Lock()
 		m.reattests++
 		m.attestedAt = c.sw.Clock().Now()
@@ -510,6 +585,13 @@ func (c *Controller) Tick() {
 		c.met.reattestOK.Inc()
 	}
 }
+
+// Traces returns the controller's flight recorder, nil when tracing is off
+// (cfg.TraceSample == 0). The `flicker serve` /traces endpoints read it.
+func (c *Controller) Traces() *trace.FlightRecorder { return c.flight }
+
+// Tracer returns the controller's tracer, nil when tracing is off.
+func (c *Controller) Tracer() *trace.Tracer { return c.tracer }
 
 // Drain gracefully removes a host: stop routing new work to it, tell it to
 // refuse direct submissions, wait for its controller-tracked in-flight

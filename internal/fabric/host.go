@@ -15,6 +15,7 @@ import (
 	"flicker/internal/pal"
 	"flicker/internal/pool"
 	"flicker/internal/tpm"
+	"flicker/internal/trace"
 )
 
 // AdmissionPALName is the wire name of the PAL every host must run,
@@ -67,6 +68,12 @@ type Host struct {
 	port      *netsim.Port
 	admission pal.PAL
 
+	// tracer mints this host's segments of controller-rooted traces. Its
+	// timebase is shard 0's simulated clock; session-internal spans are
+	// replayed on their own shard's clock by trace.SessionObserver, and the
+	// per-record Site field keeps the timebases apart when traces reassemble.
+	tracer *trace.Tracer
+
 	// attestMu serializes attestation (write side) against session traffic
 	// (read side): a Quote must cover the admission session's PCR-17 value
 	// with no interleaved session mutating it.
@@ -110,6 +117,7 @@ func NewHost(sw *netsim.Switch, ca *attest.PrivacyCA, cfg HostConfig) (*Host, er
 		pals:     make(map[string]pal.PAL),
 		launch:   make(map[string]tpm.Digest),
 	}
+	h.tracer = trace.NewTracer(cfg.Name, h.platform.Clock.Now)
 	h.daemon, err = attest.NewDaemon(h.platform.OSTPM(), tpm.Digest{}, ca, cfg.Name)
 	if err != nil {
 		p.Close()
@@ -202,29 +210,49 @@ func (h *Host) handle(req []byte) []byte {
 // session traffic for the duration so no other session's measurements leak
 // into (or race) the quoted value.
 func (h *Host) handleChallenge(body []byte) []byte {
-	nonce, err := decodeChallenge(body)
+	nonce, tc, err := decodeChallenge(body)
 	if err != nil {
 		return encodeErrorResp(err.Error())
 	}
+	// Join the controller's admission trace (nil segment when untraced); the
+	// segment covers the attestation lock wait, the admission session, and
+	// the quote, and ships back inside the response.
+	seg := h.tracer.Join(tc.TraceID, tc.Parent, "host.admit")
+	seg.SetAttr("host", h.name)
 	h.attestMu.Lock()
 	defer h.attestMu.Unlock()
 	res, err := h.platform.RunSession(h.admission, core.SessionOptions{
-		Input: nonce[:],
-		Nonce: &nonce,
+		Input:    nonce[:],
+		Nonce:    &nonce,
+		TraceID:  seg.TraceHex(),
+		Observer: sessionObserver(seg),
 	})
 	if err != nil {
+		seg.EndErr(err)
 		return encodeErrorResp(fmt.Sprintf("admission session: %v", err))
 	}
 	att, err := h.daemon.Quote(nonce)
 	if err != nil {
+		seg.EndErr(err)
 		return encodeErrorResp(fmt.Sprintf("quote: %v", err))
 	}
+	seg.End()
 	return encodeChallengeResp(&challengeResp{
 		PALs:    h.inventory(),
 		Output:  res.Outputs,
 		SLBBase: res.SLBBase,
 		Att:     *att,
+		Spans:   seg.Records(),
 	})
+}
+
+// sessionObserver wraps a joined segment as a core.Observer, staying nil
+// (no observer overhead at all) on the untraced path.
+func sessionObserver(seg *trace.Span) core.Observer {
+	if seg == nil {
+		return nil
+	}
+	return trace.NewSessionObserver(seg)
 }
 
 // handleRun executes one session through the host's pool.
@@ -242,21 +270,31 @@ func (h *Host) handleRun(body []byte) []byte {
 	if p == nil {
 		return encodeRunResp(&runResp{Status: runUnknownPAL, Err: "PAL not registered: " + r.PAL})
 	}
+	// The host segment starts before the attestation read lock, so traces of
+	// slow requests show time spent waiting out a concurrent re-attestation.
+	seg := h.tracer.Join(r.Trace.TraceID, r.Trace.Parent, "host.run")
+	seg.SetAttr("host", h.name)
+	seg.SetAttr("pal", r.PAL)
 	h.attestMu.RLock()
 	defer h.attestMu.RUnlock()
 	h.inflight.Add(1)
 	defer h.inflight.Add(-1)
-	res, err := h.pool.Run(p, core.SessionOptions{Input: r.Input})
+	res, err := h.pool.Run(p, core.SessionOptions{
+		Input:    r.Input,
+		TraceID:  seg.TraceHex(),
+		Observer: sessionObserver(seg),
+	})
+	seg.EndErr(err)
 	switch {
 	case errors.Is(err, pool.ErrClosed):
-		return encodeRunResp(&runResp{Status: runLost, Err: err.Error()})
+		return encodeRunResp(&runResp{Status: runLost, Err: err.Error(), Spans: seg.Records()})
 	case err != nil:
-		return encodeRunResp(&runResp{Status: runPALError, Err: err.Error()})
+		return encodeRunResp(&runResp{Status: runPALError, Err: err.Error(), Spans: seg.Records()})
 	case res.PALError != nil:
-		return encodeRunResp(&runResp{Status: runPALError, Err: res.PALError.Error()})
+		return encodeRunResp(&runResp{Status: runPALError, Err: res.PALError.Error(), Spans: seg.Records()})
 	}
 	h.sessions.Add(1)
-	return encodeRunResp(&runResp{Status: runOK, Output: res.Outputs})
+	return encodeRunResp(&runResp{Status: runOK, Output: res.Outputs, Spans: seg.Records()})
 }
 
 // inventory snapshots the host's registered PALs, sorted by name.

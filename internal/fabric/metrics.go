@@ -22,6 +22,11 @@ type fabricMetrics struct {
 	runsOK    *metrics.Counter
 	runsErr   *metrics.Counter
 
+	// runSeconds is the controller-side end-to-end session latency — queue,
+	// network, failover retries and all — the distribution /traces exemplars
+	// index into.
+	runSeconds *metrics.Histogram
+
 	inflight *metrics.GaugeVec
 }
 
@@ -45,6 +50,8 @@ func newFabricMetrics(reg *metrics.Registry) *fabricMetrics {
 			"Accepted jobs resubmitted to a surviving host after a member failed.").With(),
 		runsOK:  runs.With("ok"),
 		runsErr: runs.With("pal_error"),
+		runSeconds: reg.Histogram("flicker_fabric_run_seconds",
+			"End-to-end controller-observed session latency, including failover.", nil).With(),
 		inflight: reg.Gauge("flicker_fabric_inflight",
 			"Controller-observed in-flight sessions per host.", "host"),
 	}

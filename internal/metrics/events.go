@@ -26,6 +26,9 @@ const (
 	EventSessionAbort = "session-abort"
 	// EventSKINITFault is a rejected SKINIT (precondition violation).
 	EventSKINITFault = "skinit-fault"
+	// EventHostEvicted is a fabric member evicted by the controller (missed
+	// heartbeats or a failed re-attestation).
+	EventHostEvicted = "host-evicted"
 )
 
 // Event is one security-relevant occurrence.
@@ -40,6 +43,10 @@ type Event struct {
 	Kind string `json:"kind"`
 	// Detail is a human-readable description.
 	Detail string `json:"detail"`
+	// TraceID links the event to the trace that was active when it was
+	// recorded (empty when none) — e.g. an eviction event points at its
+	// re-attestation trace in /traces/{id}.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // EventLog is a bounded ring buffer of Events, safe for concurrent use.
@@ -75,14 +82,18 @@ func (l *EventLog) WithNow(now func() time.Duration) *EventLog {
 }
 
 // Record appends an event, evicting the oldest when full.
-func (l *EventLog) Record(kind, detail string) {
+func (l *EventLog) Record(kind, detail string) { l.RecordTrace(kind, detail, "") }
+
+// RecordTrace is Record with a trace-ID link for events that occur while a
+// trace is in scope.
+func (l *EventLog) RecordTrace(kind, detail, traceID string) {
 	if l == nil {
 		return
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.seq++
-	ev := Event{Seq: l.seq, Kind: kind, Detail: detail}
+	ev := Event{Seq: l.seq, Kind: kind, Detail: detail, TraceID: traceID}
 	if l.now != nil {
 		ev.At = l.now()
 	}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.001, 0.01, 0.1}, "op").With("x")
+
+	h.ObserveExemplar(0.005, "00000000000000aa") // second bucket
+	h.ObserveExemplar(5.0, "00000000000000bb")   // +Inf bucket
+	h.Observe(0.006)                             // untraced: must not disturb exemplars
+	h.ObserveExemplar(0.007, "")                 // empty ID behaves like Observe
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, `lat_seconds_bucket{le="0.01",op="x"} 3 # {trace_id="00000000000000aa"} 0.005`) {
+		t.Fatalf("bucket exemplar missing:\n%s", text)
+	}
+	if !strings.Contains(text, `lat_seconds_bucket{le="+Inf",op="x"} 4 # {trace_id="00000000000000bb"} 5`) {
+		t.Fatalf("+Inf exemplar missing:\n%s", text)
+	}
+	if strings.Contains(text, `le="0.001",op="x"} 0 #`) {
+		t.Fatalf("empty bucket grew an exemplar:\n%s", text)
+	}
+
+	snap := r.Snapshot()
+	var ss *SeriesSnapshot
+	for i := range snap.Families {
+		if snap.Families[i].Name == "lat_seconds" {
+			ss = &snap.Families[i].Series[0]
+		}
+	}
+	if ss == nil || len(ss.Exemplars) != 2 {
+		t.Fatalf("snapshot exemplars: %+v", ss)
+	}
+	if ss.Exemplars[0].Bound != "0.01" || ss.Exemplars[0].TraceID != "00000000000000aa" {
+		t.Fatalf("snapshot exemplar[0]: %+v", ss.Exemplars[0])
+	}
+	if ss.Exemplars[1].Bound != "+Inf" || ss.Exemplars[1].Value != 5 {
+		t.Fatalf("snapshot exemplar[1]: %+v", ss.Exemplars[1])
+	}
+}
+
+func TestHistogramExemplarOverwrite(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d_seconds", "d", []float64{1}).With()
+	h.ObserveDurationExemplar(500*time.Millisecond, "0000000000000001")
+	h.ObserveDurationExemplar(600*time.Millisecond, "0000000000000002")
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `# {trace_id="0000000000000002"} 0.6`) {
+		t.Fatalf("latest exemplar should win:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "0000000000000001") {
+		t.Fatalf("stale exemplar survived:\n%s", sb.String())
+	}
+}
+
+func TestTraceTag(t *testing.T) {
+	var nilTag *TraceTag
+	nilTag.Set("x")
+	nilTag.Clear()
+	if nilTag.Get() != "" {
+		t.Fatal("nil tag returned a value")
+	}
+	tag := NewTraceTag()
+	if tag.Get() != "" {
+		t.Fatal("fresh tag not empty")
+	}
+	tag.Set("00000000000000ff")
+	if tag.Get() != "00000000000000ff" {
+		t.Fatal("tag lost value")
+	}
+	tag.Clear()
+	if tag.Get() != "" {
+		t.Fatal("tag not cleared")
+	}
+}
+
+func TestEventLogTraceLink(t *testing.T) {
+	l := NewEventLog(4)
+	l.RecordTrace(EventHostEvicted, "host0: quote mismatch", "00000000000000cc")
+	l.Record(EventSessionAbort, "plain")
+	evs := l.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events: %d", len(evs))
+	}
+	if evs[0].TraceID != "00000000000000cc" || evs[0].Kind != EventHostEvicted {
+		t.Fatalf("trace link lost: %+v", evs[0])
+	}
+	if evs[1].TraceID != "" {
+		t.Fatalf("plain record grew a trace: %+v", evs[1])
+	}
+}

@@ -34,6 +34,7 @@ func (f *family) writeSeries(w io.Writer, s *series) error {
 	s.mu.Lock()
 	value, count, sum := s.value, s.count, s.sum
 	binds := append([]uint64(nil), s.binds...)
+	exemplars := append([]exemplar(nil), s.exemplars...)
 	s.mu.Unlock()
 
 	switch f.kind {
@@ -44,13 +45,15 @@ func (f *family) writeSeries(w io.Writer, s *series) error {
 	case KindHistogram:
 		for i, b := range f.buckets {
 			le := strconv.FormatFloat(b, 'g', -1, 64)
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-				f.name, labelPairs(f.labels, s.labelValues, "le", le), binds[i]); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+				f.name, labelPairs(f.labels, s.labelValues, "le", le), binds[i],
+				exemplarSuffix(exemplars, i)); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-			f.name, labelPairs(f.labels, s.labelValues, "le", "+Inf"), count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+			f.name, labelPairs(f.labels, s.labelValues, "le", "+Inf"), count,
+			exemplarSuffix(exemplars, len(f.buckets))); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
@@ -68,6 +71,17 @@ func (f *family) writeSeries(w io.Writer, s *series) error {
 // values without an exponent or trailing zeros.
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// exemplarSuffix renders a bucket line's OpenMetrics-style exemplar
+// (" # {trace_id=\"...\"} value"), or "" when the bucket holds none. The
+// suffix follows the sample value, so scrapers that key on the line prefix
+// are unaffected.
+func exemplarSuffix(exemplars []exemplar, i int) string {
+	if i >= len(exemplars) || exemplars[i].traceID == "" {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s", exemplars[i].traceID, formatFloat(exemplars[i].value))
 }
 
 // Snapshot is a point-in-time copy of a registry, JSON-marshalable.
@@ -93,6 +107,17 @@ type SeriesSnapshot struct {
 	Sum     float64           `json:"sum,omitempty"`
 	Bounds  []float64         `json:"bounds,omitempty"`
 	Buckets []uint64          `json:"buckets,omitempty"`
+	// Exemplars links buckets to recent traces: one entry per bucket that
+	// holds a trace-annotated observation (Bound "+Inf" for the overflow
+	// bucket).
+	Exemplars []ExemplarSnapshot `json:"exemplars,omitempty"`
+}
+
+// ExemplarSnapshot is one bucket's exemplar in a SeriesSnapshot.
+type ExemplarSnapshot struct {
+	Bound   string  `json:"le"`
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
 }
 
 // Snapshot captures every family and series for programmatic consumption.
@@ -110,6 +135,18 @@ func (r *Registry) Snapshot() Snapshot {
 			if f.kind == KindHistogram {
 				ss.Bounds = append([]float64(nil), f.buckets...)
 				ss.Buckets = append([]uint64(nil), s.binds...)
+				for i, ex := range s.exemplars {
+					if ex.traceID == "" {
+						continue
+					}
+					le := "+Inf"
+					if i < len(f.buckets) {
+						le = strconv.FormatFloat(f.buckets[i], 'g', -1, 64)
+					}
+					ss.Exemplars = append(ss.Exemplars, ExemplarSnapshot{
+						Bound: le, TraceID: ex.traceID, Value: ex.value,
+					})
+				}
 			}
 			s.mu.Unlock()
 			if len(f.labels) > 0 {

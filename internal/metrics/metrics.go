@@ -88,6 +88,18 @@ type series struct {
 	count uint64    // histogram observations
 	sum   float64   // histogram sum
 	binds []uint64  // histogram cumulative-from-zero per-bound counts
+
+	// exemplars holds the most recent trace-annotated observation per
+	// bucket (index len(binds) is the +Inf bucket). Allocated lazily on the
+	// first ObserveExemplar so untraced histograms pay nothing.
+	exemplars []exemplar
+}
+
+// exemplar links one histogram bucket to a concrete trace: the last traced
+// observation that landed in the bucket, OpenMetrics-style.
+type exemplar struct {
+	traceID string
+	value   float64
 }
 
 // NewRegistry creates an empty registry.
@@ -256,20 +268,45 @@ type Histogram struct {
 }
 
 // Observe records one sample.
-func (h *Histogram) Observe(v float64) {
-	h.s.mu.Lock()
-	h.s.count++
-	h.s.sum += v
-	for i, b := range h.buckets {
-		if v <= b {
-			h.s.binds[i]++
-		}
-	}
-	h.s.mu.Unlock()
-}
+func (h *Histogram) Observe(v float64) { h.observe(v, "") }
+
+// ObserveExemplar records one sample and, when traceID is non-empty, pins
+// it as the exemplar of the bucket it lands in — the breadcrumb that links
+// a fat latency bucket to a concrete trace in /traces/{id}. An empty
+// traceID behaves exactly like Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) { h.observe(v, traceID) }
 
 // ObserveDuration records a simulated duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(Seconds(d)) }
+
+// ObserveDurationExemplar is ObserveDuration with an exemplar trace ID.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, traceID string) {
+	h.observe(Seconds(d), traceID)
+}
+
+func (h *Histogram) observe(v float64, traceID string) {
+	h.s.mu.Lock()
+	h.s.count++
+	h.s.sum += v
+	// slot is the non-cumulative bucket the sample falls in; the implicit
+	// +Inf bucket is index len(buckets).
+	slot := len(h.buckets)
+	for i, b := range h.buckets {
+		if v <= b {
+			h.s.binds[i]++
+			if i < slot {
+				slot = i
+			}
+		}
+	}
+	if traceID != "" {
+		if h.s.exemplars == nil {
+			h.s.exemplars = make([]exemplar, len(h.buckets)+1)
+		}
+		h.s.exemplars[slot] = exemplar{traceID: traceID, value: v}
+	}
+	h.s.mu.Unlock()
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {

@@ -1,0 +1,44 @@
+package metrics
+
+import "sync"
+
+// TraceTag carries the active trace ID across a layer boundary that cannot
+// see the tracer itself: the platform pins the current session's trace ID
+// here (sessions on one platform are serialized), and deep layers — the TPM
+// command dispatcher — read it to attach exemplars to their latency
+// histograms with exact attribution. It lives in this package because
+// every simulated layer may import metrics, while internal/trace sits above
+// internal/core in the import graph.
+//
+// All methods are safe on a nil *TraceTag, so untraced platforms pay one
+// pointer check.
+type TraceTag struct {
+	mu sync.Mutex
+	id string
+}
+
+// NewTraceTag returns an empty tag.
+func NewTraceTag() *TraceTag { return &TraceTag{} }
+
+// Set pins the active trace ID.
+func (t *TraceTag) Set(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.id = id
+	t.mu.Unlock()
+}
+
+// Clear unpins the tag.
+func (t *TraceTag) Clear() { t.Set("") }
+
+// Get returns the active trace ID, or "".
+func (t *TraceTag) Get() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.id
+}

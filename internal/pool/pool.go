@@ -214,7 +214,7 @@ func (p *Pool) worker(s *shard) {
 
 // runSingleton executes one job as its own session.
 func (p *Pool) runSingleton(s *shard, j job) {
-	p.metQueueDelay.ObserveDuration(p.now().Sub(j.enq))
+	p.metQueueDelay.ObserveDurationExemplar(p.now().Sub(j.enq), j.opts.TraceID)
 	res, err := s.platform.RunSession(j.pl, j.opts)
 	s.pending.Add(-1)
 	j.done <- result{res: res, err: err}
@@ -265,6 +265,9 @@ func coalescable(a, b job) bool {
 	if aok != bok || (aok && !bytes.Equal(ae.ExtraCode(), be.ExtraCode())) {
 		return false
 	}
+	// Tracing fields (TraceID, Observer) deliberately do not split groups:
+	// runBatch merges every member's observer, so a traced job coalesces
+	// with untraced companions and still sees the shared session's spans.
 	return a.opts.Sandbox == b.opts.Sandbox &&
 		a.opts.HeapSize == b.opts.HeapSize &&
 		a.opts.TwoStage == b.opts.TwoStage &&
@@ -278,7 +281,7 @@ func coalescable(a, b job) bool {
 func (p *Pool) flush(s *shard, group []job, reason string) {
 	now := p.now()
 	for _, j := range group {
-		p.metQueueDelay.ObserveDuration(now.Sub(j.enq))
+		p.metQueueDelay.ObserveDurationExemplar(now.Sub(j.enq), j.opts.TraceID)
 	}
 	used := make([]bool, len(group))
 	for i := range group {
@@ -301,7 +304,7 @@ func (p *Pool) flush(s *shard, group []job, reason string) {
 				sizes = append(sizes, len(group[k].opts.Input))
 			}
 		}
-		p.metBatchSize.Observe(float64(len(part)))
+		p.metBatchSize.ObserveExemplar(float64(len(part)), firstTraceID(part))
 		if len(part) == 1 {
 			p.runSingletonNoDelay(s, part[0])
 			continue
@@ -332,6 +335,21 @@ func (p *Pool) runBatch(s *shard, part []job) {
 	}
 	opts := part[0].opts
 	opts.Input = nil
+	// Every traced member observes the shared session: merge the group's
+	// per-job observers, and pin the first traced member's ID for deep-layer
+	// exemplar attribution (one physical session, one active trace tag).
+	var obs []core.Observer
+	var traceID string
+	for _, j := range part {
+		if j.opts.Observer != nil {
+			obs = append(obs, j.opts.Observer)
+		}
+		if traceID == "" {
+			traceID = j.opts.TraceID
+		}
+	}
+	opts.Observer = core.CombineObservers(obs...)
+	opts.TraceID = traceID
 	if opts.MaxPALTime > 0 {
 		// Each member was promised MaxPALTime as its own session; the batch
 		// arms ONE shared SLB Core timer for the whole group, so scale the
@@ -366,6 +384,18 @@ func (p *Pool) runBatch(s *shard, part []job) {
 		}
 		j.done <- result{res: &r}
 	}
+}
+
+// firstTraceID returns the first traced member's ID ("" when the whole
+// group is untraced), linking the batch-size histogram to a trace that rode
+// in that group.
+func firstTraceID(part []job) string {
+	for _, j := range part {
+		if j.opts.TraceID != "" {
+			return j.opts.TraceID
+		}
+	}
+	return ""
 }
 
 // homeShard returns the PAL's affinity shard via the shared scheduling

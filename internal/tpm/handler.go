@@ -34,7 +34,7 @@ func (t *TPM) dispatch(loc tis.Locality, tag uint16, ord uint32, body []byte) ([
 		h = t.metLatency.With(name)
 		t.latHists[ord] = h
 	}
-	h.ObserveDuration(t.clock.Now() - start)
+	h.ObserveDurationExemplar(t.clock.Now()-start, t.traceTag.Get())
 	if rc == RCBadLocality {
 		t.events.Record(metrics.EventLocalityFault,
 			"tpm: "+name+" refused at locality "+strconv.Itoa(int(loc)))

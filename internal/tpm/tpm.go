@@ -92,6 +92,10 @@ type TPM struct {
 	// Guarded by t.mu like the rest of dispatch; reset by Instrument.
 	okCounters map[uint32]*metrics.Counter
 	latHists   map[uint32]*metrics.Histogram
+	// traceTag, when set, carries the active session's distributed-trace
+	// ID; dispatch pins it as the exemplar on the command-latency bucket
+	// each command lands in. Nil-safe (a nil tag always reads "").
+	traceTag *metrics.TraceTag
 }
 
 type loadedKey struct {
@@ -169,6 +173,14 @@ func (t *TPM) Instrument(reg *metrics.Registry, events *metrics.EventLog) {
 	t.okCounters = make(map[uint32]*metrics.Counter)
 	t.latHists = make(map[uint32]*metrics.Histogram)
 	t.events = events
+}
+
+// SetTraceTag installs the trace tag dispatch reads for latency exemplars
+// (the platform shares one tag between its pipeline and its TPM).
+func (t *TPM) SetTraceTag(tag *metrics.TraceTag) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.traceTag = tag
 }
 
 // rebootLocked resets volatile state as a platform reset does.

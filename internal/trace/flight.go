@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// FlightRecorder retains completed traces for postmortem reads. Two bounded
+// stores back it: a triggered ring that keeps every trace matching a
+// retention trigger (explicit Trigger marks such as failover resubmits and
+// re-attestation evictions, root-span errors, duration over the slow
+// threshold), and a reservoir sample of everything else so /traces always
+// has representative baseline traces to compare against. The reservoir uses
+// a deterministic xorshift stream — no math/rand — so tests replay
+// identically.
+type FlightRecorder struct {
+	mu       sync.Mutex
+	slow     time.Duration
+	trigCap  int
+	sampCap  int
+	trig     []*TraceData // ring, trigHead is the next overwrite slot
+	trigHead int
+	samp     []*TraceData // reservoir
+	seen     uint64       // untriggered traces offered so far
+	rng      uint64
+	index    map[string][]*TraceData // trace ID -> live entries
+	total    uint64
+}
+
+// DefaultFlightCapacity bounds each of the two stores when the caller
+// passes a non-positive capacity.
+const DefaultFlightCapacity = 256
+
+// NewFlightRecorder creates a recorder keeping up to trigCap triggered
+// traces and a sampCap-sized reservoir of the rest. slow is the duration
+// trigger: any trace at least this long is retained as triggered (0
+// disables the duration trigger).
+func NewFlightRecorder(trigCap, sampCap int, slow time.Duration) *FlightRecorder {
+	if trigCap <= 0 {
+		trigCap = DefaultFlightCapacity
+	}
+	if sampCap <= 0 {
+		sampCap = DefaultFlightCapacity
+	}
+	return &FlightRecorder{
+		slow:    slow,
+		trigCap: trigCap,
+		sampCap: sampCap,
+		rng:     0x9e3779b97f4a7c15,
+		index:   make(map[string][]*TraceData),
+	}
+}
+
+// xorshift64 steps the deterministic reservoir stream.
+func (f *FlightRecorder) xorshift64() uint64 {
+	x := f.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	f.rng = x
+	return x
+}
+
+// retained reports why td must be kept in the triggered ring ("" = sample).
+func (f *FlightRecorder) retained(td *TraceData) string {
+	switch {
+	case td.Trigger != "":
+		return td.Trigger
+	case td.Err != "":
+		return "error"
+	case f.slow > 0 && td.Duration >= f.slow:
+		return "slow"
+	}
+	return ""
+}
+
+// Offer hands a completed trace to the recorder. Safe on a nil recorder.
+func (f *FlightRecorder) Offer(td *TraceData) {
+	if f == nil || td == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.total++
+	if why := f.retained(td); why != "" {
+		if td.Trigger == "" {
+			td.Trigger = why
+		}
+		if len(f.trig) < f.trigCap {
+			f.trig = append(f.trig, td)
+		} else {
+			f.drop(f.trig[f.trigHead])
+			f.trig[f.trigHead] = td
+			f.trigHead = (f.trigHead + 1) % f.trigCap
+		}
+		f.add(td)
+		return
+	}
+	f.seen++
+	if len(f.samp) < f.sampCap {
+		f.samp = append(f.samp, td)
+		f.add(td)
+		return
+	}
+	if j := f.xorshift64() % f.seen; j < uint64(f.sampCap) {
+		f.drop(f.samp[j])
+		f.samp[j] = td
+		f.add(td)
+	}
+}
+
+func (f *FlightRecorder) add(td *TraceData) {
+	f.index[td.ID] = append(f.index[td.ID], td)
+}
+
+func (f *FlightRecorder) drop(td *TraceData) {
+	live := f.index[td.ID]
+	for i, t := range live {
+		if t == td {
+			live = append(live[:i], live[i+1:]...)
+			break
+		}
+	}
+	if len(live) == 0 {
+		delete(f.index, td.ID)
+	} else {
+		f.index[td.ID] = live
+	}
+}
+
+// Get returns the retained trace with the given hex ID, or nil.
+func (f *FlightRecorder) Get(id string) *TraceData {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if live := f.index[id]; len(live) > 0 {
+		return live[len(live)-1]
+	}
+	return nil
+}
+
+// Recent returns up to n retained traces, newest first, triggered traces
+// before sampled ones. pal filters on the root span's "pal" attribute and
+// outcome on TraceData.Outcome(); either may be "" for no filter.
+func (f *FlightRecorder) Recent(n int, pal, outcome string) []*TraceData {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 0 {
+		n = f.trigCap + f.sampCap
+	}
+	out := make([]*TraceData, 0, n)
+	match := func(td *TraceData) bool {
+		if pal != "" && td.Attr("pal") != pal {
+			return false
+		}
+		if outcome != "" && td.Outcome() != outcome {
+			return false
+		}
+		return true
+	}
+	// Triggered ring newest-first: walk backwards from the slot before the
+	// next overwrite position.
+	for i := 0; i < len(f.trig) && len(out) < n; i++ {
+		idx := (f.trigHead - 1 - i + 2*len(f.trig)) % len(f.trig)
+		if len(f.trig) < f.trigCap {
+			idx = len(f.trig) - 1 - i // ring not yet wrapped: append order
+		}
+		if td := f.trig[idx]; match(td) {
+			out = append(out, td)
+		}
+	}
+	for i := len(f.samp) - 1; i >= 0 && len(out) < n; i-- {
+		if td := f.samp[i]; match(td) {
+			out = append(out, td)
+		}
+	}
+	return out
+}
+
+// Stats reports the recorder's occupancy: traces offered, triggered slots
+// used, and reservoir slots used.
+func (f *FlightRecorder) Stats() (offered uint64, triggered, sampled int) {
+	if f == nil {
+		return 0, 0, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total, len(f.trig), len(f.samp)
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"sync"
+	"time"
+
+	"flicker/internal/core"
+	"flicker/internal/simtime"
+)
+
+// SessionObserver adapts the core.Observer callback stream into spans under
+// one or more parent spans: a "session" span per session, a child span per
+// phase, and a leaf span per simulated-clock charge (the TPM-command /
+// hardware-step level of the tree). Timestamps are replayed from the
+// observer callbacks, so the spans live on the session platform's timebase
+// regardless of which site's tracer minted their IDs.
+//
+// Multiple parents cover coalesced batches: when several traced requests
+// share one physical session, every member's trace receives its own copy of
+// the session span tree.
+type SessionObserver struct {
+	parents []*Span
+
+	mu   sync.Mutex
+	open map[uint64]*obsSession
+}
+
+type obsSession struct {
+	sessions []*Span // one per parent
+	phases   []*Span // open phase span per parent, nil when no phase is open
+}
+
+// NewSessionObserver builds an observer attaching session spans under the
+// given parents. Nil parents are dropped; with no live parent the observer
+// is inert (and cheap).
+func NewSessionObserver(parents ...*Span) *SessionObserver {
+	o := &SessionObserver{open: make(map[uint64]*obsSession)}
+	for _, p := range parents {
+		if p != nil {
+			o.parents = append(o.parents, p)
+		}
+	}
+	return o
+}
+
+var _ core.Observer = (*SessionObserver)(nil)
+
+// SessionStart opens a session span under every parent.
+func (o *SessionObserver) SessionStart(m core.SessionMeta) {
+	if len(o.parents) == 0 {
+		return
+	}
+	s := &obsSession{
+		sessions: make([]*Span, len(o.parents)),
+		phases:   make([]*Span, len(o.parents)),
+	}
+	for i, p := range o.parents {
+		sp := p.ChildAt("session", m.Start)
+		sp.SetAttr("pal", m.PAL)
+		sp.SetAttr("pipeline", m.Pipeline)
+		s.sessions[i] = sp
+	}
+	o.mu.Lock()
+	o.open[m.ID] = s
+	o.mu.Unlock()
+}
+
+// PhaseStart opens a phase span under each session span.
+func (o *SessionObserver) PhaseStart(sid uint64, phase string, at time.Duration) {
+	o.mu.Lock()
+	s := o.open[sid]
+	if s != nil {
+		for i, sess := range s.sessions {
+			s.phases[i] = sess.ChildAt(phase, at)
+		}
+	}
+	o.mu.Unlock()
+}
+
+// Charge records one simulated-clock charge as a leaf span under the open
+// phase (or directly under the session span for out-of-phase charges such
+// as abort teardowns).
+func (o *SessionObserver) Charge(sid uint64, phase string, c simtime.Charge) {
+	o.mu.Lock()
+	s := o.open[sid]
+	if s != nil {
+		for i := range s.sessions {
+			parent := s.phases[i]
+			if parent == nil {
+				parent = s.sessions[i]
+			}
+			leaf := parent.ChildAt(c.Label, c.At)
+			leaf.EndAt(c.At + c.Duration)
+		}
+	}
+	o.mu.Unlock()
+}
+
+// PhaseEnd closes the phase spans.
+func (o *SessionObserver) PhaseEnd(sid uint64, phase string, at time.Duration, err error) {
+	o.mu.Lock()
+	s := o.open[sid]
+	if s != nil {
+		for i, ph := range s.phases {
+			ph.EndErrAt(err, at)
+			s.phases[i] = nil
+		}
+	}
+	o.mu.Unlock()
+}
+
+// SessionEnd closes the session spans (and any phase span left open).
+func (o *SessionObserver) SessionEnd(sid uint64, at time.Duration, err error) {
+	o.mu.Lock()
+	s := o.open[sid]
+	delete(o.open, sid)
+	o.mu.Unlock()
+	if s == nil {
+		return
+	}
+	for i, ph := range s.phases {
+		ph.EndErrAt(err, at)
+		s.phases[i] = nil
+	}
+	for _, sess := range s.sessions {
+		sess.EndErrAt(err, at)
+	}
+}

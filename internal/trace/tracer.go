@@ -1,0 +1,463 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file is the distributed half of the trace package: a dependency-free
+// tracer whose span tree can cross the fabric wire protocol. IDs are
+// deterministic counters prefixed by a hash of the creating site, times come
+// from an injected clock (each site records spans on its own simtime
+// timebase), and sampling is counter-based — no wall clock and no math/rand,
+// so the package stays inside flickervet's walltime discipline.
+
+// SpanAttr is one key/value annotation on a span. Attributes are kept as an
+// ordered slice (not a map) so wire encoding and JSON output are
+// deterministic.
+type SpanAttr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanRecord is the flat, wire-friendly form of one completed span. A trace
+// is a set of records tied together by Parent references; records created on
+// different sites (controller, host) carry different Site names and span-ID
+// prefixes, so a reassembled trace never collides.
+type SpanRecord struct {
+	Span     uint64        `json:"span"`
+	Parent   uint64        `json:"parent,omitempty"`
+	Name     string        `json:"name"`
+	Site     string        `json:"site"`
+	Start    time.Duration `json:"start_ns"`
+	Duration time.Duration `json:"duration_ns"`
+	Err      string        `json:"error,omitempty"`
+	Attrs    []SpanAttr    `json:"attrs,omitempty"`
+}
+
+// Attr returns the value of the named attribute, or "".
+func (r *SpanRecord) Attr(key string) string {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// TraceData is one completed trace: the root span plus every descendant
+// record gathered locally or adopted from remote sites.
+type TraceData struct {
+	ID       string        `json:"trace_id"`
+	TraceID  uint64        `json:"-"`
+	Name     string        `json:"name"`
+	Trigger  string        `json:"trigger,omitempty"`
+	Err      string        `json:"error,omitempty"`
+	Start    time.Duration `json:"start_ns"`
+	Duration time.Duration `json:"duration_ns"`
+	Spans    []SpanRecord  `json:"spans"`
+}
+
+// Root returns the trace's root span record (the first entry), or nil.
+func (td *TraceData) Root() *SpanRecord {
+	if td == nil || len(td.Spans) == 0 {
+		return nil
+	}
+	return &td.Spans[0]
+}
+
+// Attr returns the root span's attribute value for key, or "".
+func (td *TraceData) Attr(key string) string {
+	if r := td.Root(); r != nil {
+		return r.Attr(key)
+	}
+	return ""
+}
+
+// Outcome classifies the trace for filtering: "error" when the root span
+// ended with an error, "ok" otherwise.
+func (td *TraceData) Outcome() string {
+	if td != nil && td.Err != "" {
+		return "error"
+	}
+	return "ok"
+}
+
+// FormatID renders a trace or span ID the way every surface (exemplars,
+// /traces, wire logs) spells it: 16 lowercase hex digits.
+func FormatID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// Tracer mints trace and span IDs for one site and assembles completed
+// traces. All methods are safe for concurrent use and safe on a nil
+// receiver (a nil *Tracer is "tracing disabled": every Start returns nil).
+type Tracer struct {
+	site   string
+	prefix uint64
+	now    func() time.Duration
+
+	mu          sync.Mutex
+	nextTrace   uint64
+	nextSpan    uint64
+	sampleEvery uint64 // 0 = never, 1 = always, N = every Nth root
+	sampleSeen  uint64
+	onComplete  func(*TraceData)
+}
+
+// NewTracer creates a tracer for a site. now supplies the site's timebase
+// (typically a simtime clock's Now); nil means all spans record zero times.
+func NewTracer(site string, now func() time.Duration) *Tracer {
+	return &Tracer{site: site, prefix: sitePrefix(site), now: now}
+}
+
+// sitePrefix folds an FNV-1a hash of the site name into the top 16 bits of
+// every ID the tracer mints, so spans created independently on the
+// controller and on each host land in disjoint ID ranges.
+func sitePrefix(site string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(site); i++ {
+		h ^= uint64(site[i])
+		h *= 1099511628211
+	}
+	return (h | 1<<63) & (0xffff << 48) // keep 16 bits, never zero-prefix
+}
+
+// SetSampleRate configures head sampling for StartSampled: r <= 0 disables,
+// r >= 1 samples everything, otherwise every round(1/r)-th root is sampled.
+// Sampling is a deterministic counter, not a coin flip.
+func (t *Tracer) SetSampleRate(r float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch {
+	case r <= 0:
+		t.sampleEvery = 0
+	case r >= 1:
+		t.sampleEvery = 1
+	default:
+		t.sampleEvery = uint64(1/r + 0.5)
+	}
+}
+
+// Enabled reports whether StartSampled can ever return a span.
+func (t *Tracer) Enabled() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sampleEvery > 0
+}
+
+// OnComplete registers the sink invoked (synchronously, from End) with every
+// completed root trace. Joined segments do not fire it — their records are
+// shipped back to the root's site instead.
+func (t *Tracer) OnComplete(fn func(*TraceData)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onComplete = fn
+}
+
+// Start begins a new root span unconditionally (no sampling decision).
+// Returns nil only on a nil tracer.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextTrace++
+	traceID := t.prefix | (t.nextTrace & spanCounterMask)
+	t.mu.Unlock()
+	return t.newSpan(&traceState{tracer: t, traceID: traceID, root: true}, 0, name)
+}
+
+// StartSampled begins a new root span if the deterministic sampler elects
+// this request; otherwise it returns nil (and every nil-safe Span method
+// downstream is a no-op).
+func (t *Tracer) StartSampled(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	every := t.sampleEvery
+	if every == 0 {
+		t.mu.Unlock()
+		return nil
+	}
+	t.sampleSeen++
+	hit := t.sampleSeen%every == 0
+	t.mu.Unlock()
+	if !hit {
+		return nil
+	}
+	return t.Start(name)
+}
+
+// Join begins a local segment of a remote trace: a span whose trace ID and
+// parent arrived over the wire. Ending the segment does NOT fire OnComplete;
+// the caller reads Records() and ships them back to the root's site.
+func (t *Tracer) Join(traceID, parentSpan uint64, name string) *Span {
+	if t == nil || traceID == 0 {
+		return nil
+	}
+	return t.newSpan(&traceState{tracer: t, traceID: traceID}, parentSpan, name)
+}
+
+const spanCounterMask = (uint64(1) << 48) - 1
+
+func (t *Tracer) newSpan(st *traceState, parent uint64, name string) *Span {
+	t.mu.Lock()
+	t.nextSpan++
+	id := t.prefix | (t.nextSpan & spanCounterMask)
+	t.mu.Unlock()
+	var at time.Duration
+	if t.now != nil {
+		at = t.now()
+	}
+	return &Span{st: st, id: id, parent: parent, name: name, start: at}
+}
+
+// traceState is the per-trace accumulator every span of a local trace (or
+// local segment of a remote trace) appends its record to on End.
+type traceState struct {
+	tracer  *Tracer
+	traceID uint64
+	root    bool // true when this site owns the trace root
+
+	mu      sync.Mutex
+	recs    []SpanRecord
+	trigger string
+}
+
+// Span is one open interval in a trace. All methods are nil-safe so
+// unsampled paths cost a single pointer check.
+type Span struct {
+	st     *traceState
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Duration
+
+	mu    sync.Mutex
+	attrs []SpanAttr
+	ended bool
+}
+
+// Context returns the wire propagation pair (trace ID, this span's ID), or
+// zeros on a nil span.
+func (s *Span) Context() (traceID, spanID uint64) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.st.traceID, s.id
+}
+
+// TraceHex returns the trace ID in the canonical 16-hex-digit form, or ""
+// on a nil span — the exact string exemplars and SessionOptions.TraceID
+// carry.
+func (s *Span) TraceHex() string {
+	if s == nil {
+		return ""
+	}
+	return FormatID(s.st.traceID)
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, SpanAttr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Trigger marks the whole trace for flight-recorder retention (e.g.
+// "failover-resubmit", "reattest-evict"). The last non-empty reason wins.
+func (s *Span) Trigger(reason string) {
+	if s == nil || reason == "" {
+		return
+	}
+	s.st.mu.Lock()
+	s.st.trigger = reason
+	s.st.mu.Unlock()
+}
+
+// Child opens a sub-span at the tracer's current time.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.st.tracer.newSpan(s.st, s.id, name)
+}
+
+// ChildAt opens a sub-span with an explicit start time (used by observers
+// that replay session-clock timestamps rather than reading the tracer's
+// clock).
+func (s *Span) ChildAt(name string, start time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.st.tracer.newSpan(s.st, s.id, name)
+	c.start = start
+	return c
+}
+
+// Adopt splices span records assembled on another site (shipped back in a
+// reply frame) into this span's trace. Records whose Parent is zero are
+// re-parented under this span so orphaned remote roots stay attached.
+func (s *Span) Adopt(recs []SpanRecord) {
+	if s == nil || len(recs) == 0 {
+		return
+	}
+	s.st.mu.Lock()
+	for _, r := range recs {
+		if r.Parent == 0 {
+			r.Parent = s.id
+		}
+		s.st.recs = append(s.st.recs, r)
+	}
+	s.st.mu.Unlock()
+}
+
+// End closes the span at the tracer's current time.
+func (s *Span) End() { s.EndErr(nil) }
+
+// EndErr closes the span, recording err (if any) on its record. Ending the
+// trace's root span assembles the TraceData and fires the tracer's
+// OnComplete sink.
+func (s *Span) EndErr(err error) {
+	if s == nil {
+		return
+	}
+	var at time.Duration
+	if now := s.st.tracer.now; now != nil {
+		at = now()
+	}
+	s.endAt(err, at)
+}
+
+// EndAt closes the span at an explicit timestamp (same timebase the span
+// was opened in via ChildAt).
+func (s *Span) EndAt(at time.Duration) { s.EndErrAt(nil, at) }
+
+// EndErrAt is EndAt with an error.
+func (s *Span) EndErrAt(err error, at time.Duration) {
+	if s == nil {
+		return
+	}
+	s.endAt(err, at)
+}
+
+func (s *Span) endAt(err error, at time.Duration) {
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	d := at - s.start
+	if d < 0 {
+		d = 0
+	}
+	rec := SpanRecord{
+		Span:     s.id,
+		Parent:   s.parent,
+		Name:     s.name,
+		Site:     s.st.tracer.site,
+		Start:    s.start,
+		Duration: d,
+		Attrs:    attrs,
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	st := s.st
+	st.mu.Lock()
+	// The root's record leads the slice so TraceData.Root() is O(1).
+	if st.root && s.parent == 0 {
+		st.recs = append([]SpanRecord{rec}, st.recs...)
+	} else {
+		st.recs = append(st.recs, rec)
+	}
+	done := st.root && s.parent == 0
+	recs := st.recs
+	trigger := st.trigger
+	st.mu.Unlock()
+	if !done {
+		return
+	}
+	td := &TraceData{
+		ID:       FormatID(st.traceID),
+		TraceID:  st.traceID,
+		Name:     s.name,
+		Trigger:  trigger,
+		Err:      rec.Err,
+		Start:    rec.Start,
+		Duration: rec.Duration,
+		Spans:    recs,
+	}
+	st.tracer.mu.Lock()
+	sink := st.tracer.onComplete
+	st.tracer.mu.Unlock()
+	if sink != nil {
+		sink(td)
+	}
+}
+
+// Records snapshots every record accumulated so far in this span's trace
+// (used by a joined segment to ship its finished spans back over the wire).
+func (s *Span) Records() []SpanRecord {
+	if s == nil {
+		return nil
+	}
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	out := make([]SpanRecord, len(s.st.recs))
+	copy(out, s.st.recs)
+	return out
+}
+
+// TraceNode is one vertex of a reassembled trace tree (the /traces/{id}
+// JSON shape).
+type TraceNode struct {
+	SpanRecord
+	Children []*TraceNode `json:"children,omitempty"`
+}
+
+// Tree reassembles the trace's records into a parent/child tree rooted at
+// the trace root. Records whose parent is missing (e.g. the host half of a
+// died-mid-call attempt) attach to the root so nothing is silently dropped.
+func (td *TraceData) Tree() *TraceNode {
+	if td == nil || len(td.Spans) == 0 {
+		return nil
+	}
+	nodes := make(map[uint64]*TraceNode, len(td.Spans))
+	order := make([]*TraceNode, 0, len(td.Spans))
+	for i := range td.Spans {
+		n := &TraceNode{SpanRecord: td.Spans[i]}
+		if _, dup := nodes[n.Span]; !dup {
+			nodes[n.Span] = n
+		}
+		order = append(order, n)
+	}
+	root := nodes[td.Spans[0].Span]
+	for _, n := range order {
+		if n == root {
+			continue
+		}
+		if p, ok := nodes[n.Parent]; ok && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			root.Children = append(root.Children, n)
+		}
+	}
+	return root
+}

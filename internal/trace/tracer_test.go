@@ -1,0 +1,326 @@
+package trace
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"flicker/internal/simtime"
+)
+
+func TestTracerSpanTree(t *testing.T) {
+	clk := simtime.New()
+	tr := NewTracer("ctrl", clk.Now)
+	var got *TraceData
+	tr.OnComplete(func(td *TraceData) { got = td })
+
+	root := tr.Start("fabric.run")
+	root.SetAttr("pal", "seal")
+	clk.Advance(1*time.Millisecond, "t")
+	child := root.Child("attempt")
+	clk.Advance(2*time.Millisecond, "t")
+	leaf := child.Child("rpc")
+	clk.Advance(3*time.Millisecond, "t")
+	leaf.End()
+	child.End()
+	clk.Advance(1*time.Millisecond, "t")
+	root.End()
+
+	if got == nil {
+		t.Fatal("OnComplete did not fire")
+	}
+	if got.ID != FormatID(got.TraceID) || len(got.ID) != 16 {
+		t.Fatalf("bad trace id %q", got.ID)
+	}
+	if len(got.Spans) != 3 {
+		t.Fatalf("want 3 spans, got %d", len(got.Spans))
+	}
+	if r := got.Root(); r == nil || r.Name != "fabric.run" || r.Parent != 0 {
+		t.Fatalf("root not first: %+v", got.Spans[0])
+	}
+	if got.Attr("pal") != "seal" {
+		t.Fatalf("root attr lost: %v", got.Spans[0].Attrs)
+	}
+	if got.Duration != 7*time.Millisecond {
+		t.Fatalf("root duration = %v", got.Duration)
+	}
+	tree := got.Tree()
+	if len(tree.Children) != 1 || tree.Children[0].Name != "attempt" {
+		t.Fatalf("bad tree: %+v", tree)
+	}
+	if len(tree.Children[0].Children) != 1 || tree.Children[0].Children[0].Name != "rpc" {
+		t.Fatalf("bad leaf: %+v", tree.Children[0])
+	}
+	if tree.Children[0].Children[0].Duration != 3*time.Millisecond {
+		t.Fatalf("leaf duration = %v", tree.Children[0].Children[0].Duration)
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer("s", nil)
+	if tr.Enabled() {
+		t.Fatal("fresh tracer should be disabled")
+	}
+	if sp := tr.StartSampled("x"); sp != nil {
+		t.Fatal("disabled tracer sampled a span")
+	}
+	tr.SetSampleRate(0.01)
+	n := 0
+	for i := 0; i < 1000; i++ {
+		if sp := tr.StartSampled("x"); sp != nil {
+			n++
+			sp.End()
+		}
+	}
+	if n != 10 {
+		t.Fatalf("rate 0.01 over 1000: sampled %d, want 10", n)
+	}
+	tr.SetSampleRate(1)
+	for i := 0; i < 5; i++ {
+		if sp := tr.StartSampled("x"); sp == nil {
+			t.Fatal("rate 1 skipped a span")
+		}
+	}
+}
+
+func TestNilTracerAndSpanAreNoops(t *testing.T) {
+	var tr *Tracer
+	if tr.Start("x") != nil || tr.StartSampled("x") != nil || tr.Join(1, 2, "x") != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	tr.SetSampleRate(1)
+	var sp *Span
+	sp.SetAttr("k", "v")
+	sp.Trigger("t")
+	sp.End()
+	sp.EndErr(errors.New("e"))
+	sp.Adopt([]SpanRecord{{Span: 1}})
+	if sp.Child("c") != nil || sp.ChildAt("c", 0) != nil {
+		t.Fatal("nil span spawned a child")
+	}
+	if id, _ := sp.Context(); id != 0 || sp.TraceHex() != "" {
+		t.Fatal("nil span has context")
+	}
+}
+
+func TestJoinAndAdopt(t *testing.T) {
+	// Controller side mints the trace; host side joins it over the "wire"
+	// and ships its records back for adoption.
+	ctrl := NewTracer("ctrl", nil)
+	host := NewTracer("host0", nil)
+	var got *TraceData
+	ctrl.OnComplete(func(td *TraceData) { got = td })
+
+	root := ctrl.Start("fabric.run")
+	attempt := root.Child("attempt")
+	traceID, parentSpan := attempt.Context()
+
+	seg := host.Join(traceID, parentSpan, "host.run")
+	inner := seg.Child("queue")
+	inner.End()
+	seg.End()
+	wire := seg.Records()
+	if len(wire) != 2 {
+		t.Fatalf("segment shipped %d records, want 2", len(wire))
+	}
+
+	attempt.Adopt(wire)
+	attempt.End()
+	root.End()
+	if got == nil || len(got.Spans) != 4 {
+		t.Fatalf("assembled trace wrong: %+v", got)
+	}
+	tree := got.Tree()
+	// root -> attempt -> host.run -> queue
+	at := tree.Children[0]
+	if len(at.Children) != 1 || at.Children[0].Name != "host.run" || at.Children[0].Site != "host0" {
+		t.Fatalf("host segment not under attempt: %+v", at)
+	}
+	if len(at.Children[0].Children) != 1 || at.Children[0].Children[0].Name != "queue" {
+		t.Fatalf("host leaf lost: %+v", at.Children[0])
+	}
+	// Host and controller IDs must not collide (distinct site prefixes).
+	seen := map[uint64]bool{}
+	for _, r := range got.Spans {
+		if seen[r.Span] {
+			t.Fatalf("span id collision: %x", r.Span)
+		}
+		seen[r.Span] = true
+	}
+}
+
+func TestOrphanedRecordsAttachToRoot(t *testing.T) {
+	ctrl := NewTracer("ctrl", nil)
+	var got *TraceData
+	ctrl.OnComplete(func(td *TraceData) { got = td })
+	root := ctrl.Start("r")
+	// A record whose parent never made it back (died mid-call).
+	root.Adopt([]SpanRecord{{Span: 999, Parent: 12345, Name: "lost", Site: "hostX"}})
+	root.End()
+	tree := got.Tree()
+	if len(tree.Children) != 1 || tree.Children[0].Name != "lost" {
+		t.Fatalf("orphan not reattached: %+v", tree)
+	}
+}
+
+func TestFlightRecorderTriggers(t *testing.T) {
+	f := NewFlightRecorder(4, 4, 10*time.Millisecond)
+	mk := func(id uint64, trigger, errStr string, d time.Duration) *TraceData {
+		return &TraceData{ID: FormatID(id), TraceID: id, Name: "r", Trigger: trigger,
+			Err: errStr, Duration: d,
+			Spans: []SpanRecord{{Span: id, Name: "r"}}}
+	}
+	f.Offer(mk(1, "failover-resubmit", "", time.Millisecond))
+	f.Offer(mk(2, "", "boom", time.Millisecond))
+	f.Offer(mk(3, "", "", 20*time.Millisecond)) // slow
+	f.Offer(mk(4, "", "", time.Millisecond))    // plain -> reservoir
+	if _, trig, samp := f.Stats(); trig != 3 || samp != 1 {
+		t.Fatalf("trig=%d samp=%d", trig, samp)
+	}
+	if td := f.Get(FormatID(2)); td == nil || td.Trigger != "error" {
+		t.Fatalf("error trace not retained/triggered: %+v", td)
+	}
+	if td := f.Get(FormatID(3)); td == nil || td.Trigger != "slow" {
+		t.Fatalf("slow trace not triggered: %+v", td)
+	}
+	if f.Get(FormatID(1)) == nil {
+		t.Fatal("explicit trigger lost")
+	}
+	got := f.Recent(10, "", "error")
+	if len(got) != 1 || got[0].ID != FormatID(2) {
+		t.Fatalf("outcome filter: %+v", got)
+	}
+}
+
+func TestFlightRecorderRingEviction(t *testing.T) {
+	f := NewFlightRecorder(2, 2, 0)
+	for i := uint64(1); i <= 5; i++ {
+		f.Offer(&TraceData{ID: FormatID(i), TraceID: i, Trigger: "x",
+			Spans: []SpanRecord{{Span: i}}})
+	}
+	if f.Get(FormatID(1)) != nil || f.Get(FormatID(2)) != nil || f.Get(FormatID(3)) != nil {
+		t.Fatal("evicted traces still indexed")
+	}
+	if f.Get(FormatID(4)) == nil || f.Get(FormatID(5)) == nil {
+		t.Fatal("recent traces lost")
+	}
+	got := f.Recent(10, "", "")
+	if len(got) != 2 || got[0].ID != FormatID(5) || got[1].ID != FormatID(4) {
+		t.Fatalf("Recent order: %v, %v", got[0].ID, got[1].ID)
+	}
+}
+
+func TestFlightRecorderPALFilter(t *testing.T) {
+	f := NewFlightRecorder(8, 8, 0)
+	for i := uint64(1); i <= 4; i++ {
+		pal := "seal"
+		if i%2 == 0 {
+			pal = "hello"
+		}
+		f.Offer(&TraceData{ID: FormatID(i), TraceID: i, Trigger: "x",
+			Spans: []SpanRecord{{Span: i, Attrs: []SpanAttr{{Key: "pal", Value: pal}}}}})
+	}
+	got := f.Recent(10, "seal", "")
+	if len(got) != 2 {
+		t.Fatalf("pal filter: %d", len(got))
+	}
+	for _, td := range got {
+		if td.Attr("pal") != "seal" {
+			t.Fatalf("wrong pal: %+v", td)
+		}
+	}
+}
+
+func TestFlightRecorderReservoirDeterministic(t *testing.T) {
+	run := func() []string {
+		f := NewFlightRecorder(2, 4, 0)
+		for i := uint64(1); i <= 100; i++ {
+			f.Offer(&TraceData{ID: FormatID(i), TraceID: i,
+				Spans: []SpanRecord{{Span: i}}})
+		}
+		var ids []string
+		for _, td := range f.Recent(10, "", "") {
+			ids = append(ids, td.ID)
+		}
+		return ids
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("reservoir sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reservoir not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestNilFlightRecorderIsNoop(t *testing.T) {
+	var f *FlightRecorder
+	f.Offer(&TraceData{ID: "x"})
+	if f.Get("x") != nil || f.Recent(1, "", "") != nil {
+		t.Fatal("nil recorder returned data")
+	}
+}
+
+// TestConcurrentSpansAndFlightReads is the -race hammer: goroutines mint
+// spans on a shared tracer and complete traces into a flight recorder while
+// readers pound Get/Recent.
+func TestConcurrentSpansAndFlightReads(t *testing.T) {
+	tr := NewTracer("hammer", nil)
+	tr.SetSampleRate(1)
+	f := NewFlightRecorder(32, 32, 0)
+	tr.OnComplete(f.Offer)
+
+	const writers, readers, per = 8, 4, 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, td := range f.Recent(8, "", "") {
+					f.Get(td.ID)
+					td.Tree()
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < per; i++ {
+				root := tr.StartSampled("load")
+				root.SetAttr("pal", "seal")
+				c1 := root.Child("a")
+				c2 := root.Child("b")
+				c2.SetAttr("k", "v")
+				c2.End()
+				c1.End()
+				if i%7 == 0 {
+					root.Trigger("hammer")
+				}
+				root.End()
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	offered, trig, samp := f.Stats()
+	if offered != writers*per {
+		t.Fatalf("offered %d, want %d", offered, writers*per)
+	}
+	if trig == 0 || samp == 0 {
+		t.Fatalf("trig=%d samp=%d", trig, samp)
+	}
+}
