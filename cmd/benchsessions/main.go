@@ -1,6 +1,6 @@
-// benchsessions measures session-hot-path throughput — classic, partitioned,
-// and the sharded pool — and writes a machine-readable BENCH_sessions.json so
-// CI can track the perf trajectory PR-over-PR.
+// benchsessions measures session-hot-path throughput — classic and the
+// sharded pool, closed- and open-loop — and writes a machine-readable
+// BENCH_sessions.json so CI can track the perf trajectory PR-over-PR.
 //
 // Unlike the go-test benchmarks (which report to the console), this tool is
 // the artifact emitter: fixed iteration counts, wall-clock sessions/s, and
@@ -26,14 +26,20 @@ import (
 // shared each session), so sessions_per_sec columns stay comparable as
 // requests-served-per-second across singleton and batched trajectories.
 type modeResult struct {
-	Sessions       int     `json:"sessions"`
-	Batch          int     `json:"batch,omitempty"`
-	Hosts          int     `json:"hosts,omitempty"`
-	GOMAXPROCS     int     `json:"gomaxprocs,omitempty"`
-	NsPerOp        float64 `json:"ns_per_op"`
-	SessionsPerSec float64 `json:"sessions_per_sec"`
-	AllocsPerOp    float64 `json:"allocs_per_op"`
-	BytesPerOp     float64 `json:"bytes_per_op"`
+	Sessions   int `json:"sessions"`
+	Batch      int `json:"batch,omitempty"`
+	Hosts      int `json:"hosts,omitempty"`
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	NumCPU     int `json:"num_cpu,omitempty"`
+	// DegradedParallelism marks a mode that asked for real parallelism
+	// (the _mp and _par passes) on a single-CPU machine: the numbers are
+	// valid but say nothing about scaling, and the CI shard-scaling gate
+	// must skip rather than silently pass on them.
+	DegradedParallelism bool    `json:"degraded_parallelism,omitempty"`
+	NsPerOp             float64 `json:"ns_per_op"`
+	SessionsPerSec      float64 `json:"sessions_per_sec"`
+	AllocsPerOp         float64 `json:"allocs_per_op"`
+	BytesPerOp          float64 `json:"bytes_per_op"`
 }
 
 // reportFile is the BENCH_sessions.json schema. Every core mode runs
@@ -45,6 +51,7 @@ type reportFile struct {
 	GeneratedUnix      int64                 `json:"generated_unix"`
 	GoVersion          string                `json:"go_version"`
 	GOMAXPROCS         int                   `json:"gomaxprocs"`
+	NumCPU             int                   `json:"num_cpu"`
 	GOMAXPROCSPinned   int                   `json:"gomaxprocs_pinned"`
 	GOMAXPROCSParallel int                   `json:"gomaxprocs_parallel"`
 	Modes              map[string]modeResult `json:"modes"`
@@ -141,6 +148,75 @@ func runPool(n, shards int) (modeResult, error) {
 		close(errs)
 		return <-errs
 	})
+}
+
+// runPoolParallel is the true-parallel pass: open-loop submitters (at
+// least 2x the shard count, and at least one per CPU) drive the pool at
+// GOMAXPROCS=NumCPU with a queue deep enough that the submit ring, not the
+// submitters, sets the pace. pool_shards4_par vs pool_shards1_par is the
+// shard-scaling gate: with per-shard platform stacks and the lock-free
+// ring, four shards must clear 3x one shard on >= 4 CPUs.
+func runPoolParallel(n, shards int) (modeResult, error) {
+	pool, err := flicker.NewPool(flicker.PoolConfig{
+		Shards:   shards,
+		QueueLen: 64,
+		Platform: flicker.Config{Seed: "benchsessions-pool", Profile: flicker.ProfileFuture()},
+	})
+	if err != nil {
+		return modeResult{}, err
+	}
+	defer pool.Close()
+	// One PAL per shard slot and then some, so affinity routing spreads
+	// the open-loop load over every shard.
+	pals := make([]flicker.PAL, 8)
+	for i := range pals {
+		pals[i] = demoPAL(fmt.Sprintf("pal-%c", 'a'+i))
+	}
+	for _, pl := range pals {
+		if _, err := pool.Run(pl, flicker.SessionOptions{}); err != nil {
+			return modeResult{}, err
+		}
+	}
+	submitters := 2 * shards
+	if c := runtime.NumCPU(); submitters < c {
+		submitters = c
+	}
+	if submitters < 8 {
+		submitters = 8
+	}
+	r, err := measure(1, func() error {
+		var wg sync.WaitGroup
+		errs := make(chan error, submitters)
+		for w := 0; w < submitters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < n; i += submitters {
+					res, err := pool.Run(pals[i%len(pals)], flicker.SessionOptions{})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if res.PALError != nil {
+						errs <- res.PALError
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		return <-errs
+	})
+	if err != nil {
+		return modeResult{}, err
+	}
+	r.Sessions = n
+	r.NsPerOp /= float64(n)
+	r.SessionsPerSec = float64(n) * r.SessionsPerSec
+	r.AllocsPerOp /= float64(n)
+	r.BytesPerOp /= float64(n)
+	return r, nil
 }
 
 // runBatchDirect benchmarks RunSessionBatch on one platform: n requests in
@@ -379,13 +455,21 @@ func runFabric(n, hosts int) (modeResult, error) {
 	return r, nil
 }
 
-// runCoreModes runs the single-machine trajectories (classic, partitioned,
-// pools, batching) at the current GOMAXPROCS, tagging each result with it.
+// runCoreModes runs the single-machine trajectories (classic, pools,
+// batching) at the current GOMAXPROCS, tagging each result with the actual
+// per-mode GOMAXPROCS and the machine's CPU count. (The old `partitioned`
+// mode is retired: RunSessionConcurrent still exists and is tested, but as
+// a throughput trajectory it was inconsistent across GOMAXPROCS settings —
+// the pool_shards* modes are the scaling story now.)
 func runCoreModes(n int, modes map[string]modeResult, suffix string) error {
 	hello := demoPAL("hello")
 	procs := runtime.GOMAXPROCS(0)
 	add := func(name string, r modeResult) {
 		r.GOMAXPROCS = procs
+		r.NumCPU = runtime.NumCPU()
+		// An _mp pass on a 1-CPU machine ran at real parallelism 1: valid
+		// numbers, no scaling signal.
+		r.DegradedParallelism = suffix != "" && runtime.NumCPU() == 1
 		modes[name+suffix] = r
 	}
 
@@ -400,18 +484,6 @@ func runCoreModes(n int, modes map[string]modeResult, suffix string) error {
 		return fmt.Errorf("classic: %w", err)
 	}
 	add("classic", classic)
-
-	partitioned, err := runPlatform(n, func(p *flicker.Platform) error {
-		res, err := p.RunSessionConcurrent(hello, flicker.SessionOptions{})
-		if err != nil {
-			return err
-		}
-		return res.PALError
-	})
-	if err != nil {
-		return fmt.Errorf("partitioned: %w", err)
-	}
-	add("partitioned", partitioned)
 
 	for _, shards := range []int{1, 4} {
 		r, err := runPool(n, shards)
@@ -463,6 +535,7 @@ func main() {
 		GeneratedUnix:      time.Now().Unix(),
 		GoVersion:          runtime.Version(),
 		GOMAXPROCS:         parallel,
+		NumCPU:             parallel,
 		GOMAXPROCSPinned:   1,
 		GOMAXPROCSParallel: parallel,
 		Modes:              map[string]modeResult{},
@@ -478,7 +551,28 @@ func main() {
 	if err := runCoreModes(*n, report.Modes, "_mp"); err != nil {
 		log.Fatal(err)
 	}
+	// Pass 3 — true shard-parallel: open-loop submitters >= shards at
+	// GOMAXPROCS=NumCPU. The pool_shards4_par/pool_shards1_par ratio is
+	// the shard-scaling gate (>= 3x with >= 4 CPUs; skipped loudly below
+	// when the machine cannot express the parallelism).
+	for _, shards := range []int{1, 4} {
+		r, err := runPoolParallel(*n, shards)
+		if err != nil {
+			log.Fatalf("pool_shards%d_par: %v", shards, err)
+		}
+		r.GOMAXPROCS = parallel
+		r.NumCPU = parallel
+		r.DegradedParallelism = parallel == 1
+		report.Modes[fmt.Sprintf("pool_shards%d_par", shards)] = r
+	}
 	runtime.GOMAXPROCS(prev)
+	if parallel >= 4 {
+		fmt.Printf("pool scaling: %0.2fx (pool_shards4_par %0.0f/s over pool_shards1_par %0.0f/s)\n",
+			report.Modes["pool_shards4_par"].SessionsPerSec/report.Modes["pool_shards1_par"].SessionsPerSec,
+			report.Modes["pool_shards4_par"].SessionsPerSec, report.Modes["pool_shards1_par"].SessionsPerSec)
+	} else {
+		fmt.Printf("pool scaling: SKIPPED (num_cpu=%d < 4; shard-scaling gate not evaluated)\n", parallel)
+	}
 
 	// Fabric trajectories: device-paced sessions scheduled across a
 	// quote-verified cluster. fabric4 vs fabric1 is the horizontal-scaling

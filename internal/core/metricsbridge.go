@@ -49,7 +49,7 @@ func newMetricsBridge(reg *metrics.Registry, events *metrics.EventLog) *metricsB
 		aborts: reg.Counter("flicker_session_aborts_total",
 			"Sessions aborted by an infrastructure failure, by the phase that failed.", "phase"),
 		inFlight: reg.Gauge("flicker_sessions_in_flight",
-			"Sessions currently between SessionStart and SessionEnd.").With(),
+			"Sessions currently between SessionStart and SessionEnd.").With().Cell(),
 		events:     events,
 		start:      make(map[uint64]sessionTrack),
 		phaseObs:   make(map[string]*metrics.Histogram),
@@ -63,7 +63,7 @@ func (b *metricsBridge) phaseHist(phase string) *metrics.Histogram {
 	defer b.mu.Unlock()
 	h, ok := b.phaseObs[phase]
 	if !ok {
-		h = b.phaseSecs.With(phase)
+		h = b.phaseSecs.With(phase).Cell()
 		b.phaseObs[phase] = h
 	}
 	return h
@@ -122,7 +122,7 @@ func (b *metricsBridge) SessionEnd(sid uint64, at time.Duration, err error) {
 	b.mu.Lock()
 	c, cached := b.sessionsOK[tr.pipeline]
 	if !cached {
-		c = b.sessions.With(tr.pipeline, "ok")
+		c = b.sessions.With(tr.pipeline, "ok").Cell()
 		b.sessionsOK[tr.pipeline] = c
 	}
 	b.mu.Unlock()

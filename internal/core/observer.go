@@ -121,14 +121,19 @@ func (p *Platform) RemoveObserver(o Observer) {
 
 // observerList snapshots the registered observers for one session.
 func (p *Platform) observerList() []Observer {
+	return p.observersInto(nil)
+}
+
+// observersInto copies the observer list into dst's backing storage,
+// growing it only when the list got longer — the session hot path hands in
+// a per-platform scratch slice so a warm session does not allocate here.
+func (p *Platform) observersInto(dst []Observer) []Observer {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if len(p.observers) == 0 {
-		return nil
+		return dst[:0]
 	}
-	out := make([]Observer, len(p.observers))
-	copy(out, p.observers)
-	return out
+	return append(dst[:0], p.observers...)
 }
 
 // SessionStats aggregates all sessions run on a platform.

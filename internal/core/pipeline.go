@@ -20,6 +20,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"flicker/internal/flickermod"
@@ -115,7 +116,32 @@ func (st *sessionState) runTeardowns() {
 	for i := len(st.teardowns) - 1; i >= 0; i-- {
 		st.teardowns[i](st)
 	}
-	st.teardowns = nil
+	st.teardowns = st.teardowns[:0]
+}
+
+// reset reinitializes the scratch session state for a new session, keeping
+// the teardown slice's backing storage (and the phase mutex) in place.
+// Fields are cleared individually rather than by struct assignment because
+// phaseMu must not be copied.
+func (st *sessionState) reset(p *Platform, pl pal.PAL, opts SessionOptions) {
+	st.p = p
+	st.pl = pl
+	st.opts = opts
+	st.res = nil
+	st.im = nil
+	st.slbBase = 0
+	st.saved = nil
+	st.ll = nil
+	st.env = nil
+	st.palOut = nil
+	st.palErr = nil
+	st.windowDirty = false
+	st.pcrOpen = false
+	st.aborted = false
+	st.windowWiped = false
+	st.obs = nil
+	st.teardowns = st.teardowns[:0]
+	st.setPhase("")
 }
 
 // runPipeline executes a phase list for one session. This is the single
@@ -128,21 +154,24 @@ func (p *Platform) runPipeline(pipe *sessionPipeline, pl pal.PAL, opts SessionOp
 	p.sessionMu.Lock()
 	defer p.sessionMu.Unlock()
 
-	st := &sessionState{
-		p:    p,
-		pl:   pl,
-		opts: opts,
-		res: &SessionResult{
-			Start:     p.Clock.Now(),
-			Nonce:     opts.Nonce,
-			SessionID: p.nextSessionID(),
-			Pipeline:  pipe.name,
-		},
+	// The session state is per-platform scratch reused across sessions
+	// (sessionMu serializes them); only the SessionResult — which the
+	// caller retains — is freshly allocated, with its phase timeline
+	// preallocated to the pipeline length so it never regrows.
+	st := &p.scratch.st
+	st.reset(p, pl, opts)
+	st.res = &SessionResult{
+		Start:     p.Clock.Now(),
+		Nonce:     opts.Nonce,
+		SessionID: p.nextSessionID(),
+		Pipeline:  pipe.name,
+		Phases:    make([]Phase, 0, len(pipe.phases)),
 	}
-	obs := p.observerList()
+	obs := p.observersInto(p.scratch.obs)
 	if opts.Observer != nil {
 		obs = append(obs, opts.Observer)
 	}
+	p.scratch.obs = obs[:0]
 	st.obs = obs
 	if opts.TraceID != "" {
 		// Pin the active trace on the platform tag so deep layers (TPM
@@ -161,12 +190,17 @@ func (p *Platform) runPipeline(pipe *sessionPipeline, pl pal.PAL, opts SessionOp
 		})
 	}
 	if len(obs) > 0 {
-		p.Clock.SetOnCharge(func(c simtime.Charge) {
-			phase := st.phase()
-			for _, o := range obs {
-				o.Charge(st.res.SessionID, phase, c)
+		// The charge hook closes over the platform's session scratch, so
+		// it is built once and reused by every session on this platform.
+		if p.scratch.chargeFn == nil {
+			p.scratch.chargeFn = func(c simtime.Charge) {
+				phase := st.phase()
+				for _, o := range st.obs {
+					o.Charge(st.res.SessionID, phase, c)
+				}
 			}
-		})
+		}
+		p.Clock.SetOnCharge(p.scratch.chargeFn)
 		defer p.Clock.SetOnCharge(nil)
 	}
 
@@ -322,7 +356,14 @@ func (st *sessionState) launched(ll *cpu.LateLaunch) {
 // and returns the input bytes the PAL will see.
 func setupPALEnv(st *sessionState) ([]byte, error) {
 	p := st.p
-	palTPM := tpm.NewClient(p.Bus, tis.Locality2, []byte(fmt.Sprintf("pal-tpm-%d", p.nextSeq())))
+	// The PAL's locality-2 driver is cached on the platform and reseeded
+	// with the same per-session identity a fresh client would get, so the
+	// nonce stream is identical to pre-cache behavior.
+	seed := append(p.scratch.seed[:0], "pal-tpm-"...)
+	seed = strconv.AppendInt(seed, int64(p.nextSeq()), 10)
+	p.scratch.seed = seed
+	palTPM := p.scratch.palClient
+	palTPM.Reseed(seed)
 
 	// Two-stage measurement: the stub hashes the full window on the main
 	// CPU and extends it into PCR 17 before the PAL runs.
@@ -351,7 +392,8 @@ func setupPALEnv(st *sessionState) ([]byte, error) {
 	if st.im.HasExtra() {
 		identity = tpm.ExtendDigest(identity, st.im.ExtraMeasurement())
 	}
-	env, err := pal.NewEnv(pal.EnvConfig{
+	env := &p.scratch.env
+	err := env.Reinit(pal.EnvConfig{
 		Clock:      p.Clock,
 		Profile:    p.Profile,
 		Mem:        p.Machine.Mem,
@@ -383,7 +425,12 @@ func (st *sessionState) writeOutputPage(out []byte) error {
 		st.palErr = fmt.Errorf("core: PAL output of %d bytes exceeds the 4 KB output page", len(out))
 		return nil
 	}
-	page := make([]byte, 4+len(out))
+	page := st.p.scratch.page
+	if cap(page) < 4+len(out) {
+		page = make([]byte, 4+len(out))
+	}
+	page = page[:4+len(out)]
+	st.p.scratch.page = page
 	page[0] = byte(len(out) >> 24)
 	page[1] = byte(len(out) >> 16)
 	page[2] = byte(len(out) >> 8)
@@ -475,7 +522,9 @@ func cleanupBody(st *sessionState) error {
 // extendPCRBody extends inputs, outputs, nonce, and the terminator into
 // PCR 17, closing the session's attestation chain.
 func extendPCRBody(st *sessionState) error {
-	palTPM := tpm.NewClient(st.p.Bus, tis.Locality2, []byte("slbcore-extend"))
+	// The SLB Core's driver only issues unauthorized commands (Extend,
+	// PCRRead), so the cached client needs no per-session reseed.
+	palTPM := st.p.scratch.slbClient
 	st.res.InputDigest = palcrypto.SHA1Sum(st.opts.Input)
 	if _, err := palTPM.Extend(17, st.res.InputDigest); err != nil {
 		return err

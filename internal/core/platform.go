@@ -93,6 +93,23 @@ type Platform struct {
 	// supports one late launch at a time, so concurrent callers queue here
 	// exactly as concurrent ioctls against the real module would.
 	sessionMu sync.Mutex
+
+	// scratch is per-session state reused across runs, guarded by sessionMu
+	// like the rest of the session path. It is what makes a warm session
+	// (near-)zero-alloc: the session state, observer list, PAL environment,
+	// locality-2 TPM drivers, and output-page framing buffer all persist
+	// across sessions. SessionResult and response frames are NEVER pooled —
+	// callers retain those.
+	scratch struct {
+		st        sessionState
+		obs       []Observer
+		env       pal.Env
+		palClient *tpm.Client // PAL's locality-2 driver, reseeded per session
+		slbClient *tpm.Client // SLB Core's locality-2 driver (unauth commands)
+		seed      []byte      // per-session client nonce-seed scratch
+		page      []byte      // output-page framing scratch
+		chargeFn  func(simtime.Charge)
+	}
 }
 
 type registeredPAL struct {
@@ -203,6 +220,8 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		phaseTotal:    make(map[string]time.Duration),
 		abortsByPhase: make(map[string]int),
 	}
+	p.scratch.palClient = tpm.NewClient(bus, tis.Locality2, []byte("pal-tpm"))
+	p.scratch.slbClient = tpm.NewClient(bus, tis.Locality2, []byte("slbcore-extend"))
 	p.AddObserver(newMetricsBridge(reg, events))
 	mod.SetLauncher(p)
 	return p, nil

@@ -48,10 +48,10 @@ func newFabricMetrics(reg *metrics.Registry) *fabricMetrics {
 		reattestFail:      ev.With("reattest_fail"),
 		resubmits: reg.Counter("flicker_fabric_resubmits_total",
 			"Accepted jobs resubmitted to a surviving host after a member failed.").With(),
-		runsOK:  runs.With("ok"),
-		runsErr: runs.With("pal_error"),
+		runsOK:  runs.With("ok").Cell(),
+		runsErr: runs.With("pal_error").Cell(),
 		runSeconds: reg.Histogram("flicker_fabric_run_seconds",
-			"End-to-end controller-observed session latency, including failover.", nil).With(),
+			"End-to-end controller-observed session latency, including failover.", nil).With().Cell(),
 		inflight: reg.Gauge("flicker_fabric_inflight",
 			"Controller-observed in-flight sessions per host.", "host"),
 	}

@@ -129,10 +129,13 @@ func (mod *Module) control([]byte) error {
 }
 
 // PublishOutputs makes session outputs readable at the outputs sysfs entry.
+// The slice is retained as-is (the session engine hands over the PAL's own
+// staged-output buffer, which nothing mutates afterwards) — the same
+// aliasing the control-path launcher already uses.
 func (mod *Module) PublishOutputs(out []byte) {
 	mod.mu.Lock()
 	defer mod.mu.Unlock()
-	mod.outputs = append([]byte(nil), out...)
+	mod.outputs = out
 }
 
 // AllocateSLB returns slb_base: the 64 KB-aligned kernel buffer for the SLB
@@ -237,10 +240,10 @@ func (mod *Module) SuspendOS(slbBase uint32) (*SavedState, error) {
 	}
 	// Persist the state to the saved-state page (the SLB Core reads it
 	// during Resume OS).
-	buf := make([]byte, 8)
+	var buf [8]byte
 	binary.LittleEndian.PutUint32(buf[0:4], st.CR3)
 	binary.LittleEndian.PutUint32(buf[4:8], st.GDTBase)
-	if err := mod.M.Mem.Write(st.SavedAt, buf); err != nil {
+	if err := mod.M.Mem.Write(st.SavedAt, buf[:]); err != nil {
 		return nil, err
 	}
 	mod.K.Clock().Advance(mod.K.Profile().ContextSwitch, "os.suspend")

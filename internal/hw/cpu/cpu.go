@@ -268,14 +268,14 @@ func (m *Machine) Instrument(reg *metrics.Registry, events *metrics.EventLog) {
 	m.metSKINIT = reg.Counter("flicker_skinit_attempts_total",
 		"SKINIT attempts, by launch variant and outcome.", "variant", "result")
 	m.metSKINITOK = map[string]*metrics.Counter{
-		"classic":     m.metSKINIT.With("classic", "ok"),
-		"partitioned": m.metSKINIT.With("partitioned", "ok"),
+		"classic":     m.metSKINIT.With("classic", "ok").Cell(),
+		"partitioned": m.metSKINIT.With("partitioned", "ok").Cell(),
 	}
 	cache := reg.Counter("flicker_skinit_measure_cache_total",
 		"SKINIT measurement cache lookups, by result (hit = unchanged image re-measured in O(1)).",
 		"result")
-	m.metMeasureHit = cache.With("hit")
-	m.metMeasureMiss = cache.With("miss")
+	m.metMeasureHit = cache.With("hit").Cell()
+	m.metMeasureMiss = cache.With("miss").Cell()
 	m.events = events
 }
 

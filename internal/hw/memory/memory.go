@@ -102,8 +102,8 @@ func (m *PhysMem) recordDMA(device, op, result string, n int) {
 		h, ok := m.dmaOK[key]
 		if !ok {
 			h = dmaOKHandles{
-				txn:   m.metDMA.With(device, op, "ok"),
-				bytes: m.metDMABytes.With(device, op),
+				txn:   m.metDMA.With(device, op, "ok").Cell(),
+				bytes: m.metDMABytes.With(device, op).Cell(),
 			}
 			m.dmaOK[key] = h
 		}

@@ -97,7 +97,7 @@ func (b *Bus) Instrument(reg *metrics.Registry, events *metrics.EventLog) {
 // Callers hold b.mu.
 func cachedOK(cache *[Locality4 + 1]*metrics.Counter, vec *metrics.CounterVec, l Locality, result string) *metrics.Counter {
 	if cache[l] == nil {
-		cache[l] = vec.With(locLabel(l), result)
+		cache[l] = vec.With(locLabel(l), result).Cell()
 	}
 	return cache[l]
 }

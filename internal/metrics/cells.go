@@ -1,0 +1,129 @@
+package metrics
+
+// Lock-free accumulation cells. A cell is a private, atomically updated
+// shard of a series: each pool shard (or per-shard platform component)
+// calls Cell() on its cached handle once and then increments without ever
+// touching the series mutex, so the shared registry stops being a
+// cross-shard serialization point on the session hot path. The owning
+// series folds every attached cell back in under its own lock at read time
+// (Value/Count/Sum, Prometheus exposition, JSON snapshot), so exposition
+// totals are exactly what the un-celled instruments would have produced.
+//
+// Cells are for long-lived cached handles — one per shard per series, made
+// at Instrument time. Per-event With().Cell() on a cold path would grow an
+// unbounded cell list; cold paths should keep using the locked instruments.
+//
+// A scrape that races an in-flight histogram observation may see the cell's
+// count without its sum (or a bucket without the count): each field is
+// independently atomic. The skew is bounded by the in-flight operation and
+// is the standard monitoring trade for a lock-free write path.
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// counterCell accumulates float64 deltas with CAS on the value's bit
+// pattern (one writer or many, no locks either way).
+type counterCell struct {
+	bits atomic.Uint64
+}
+
+func (c *counterCell) add(delta float64) {
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (c *counterCell) load() float64 {
+	return math.Float64frombits(c.bits.Load())
+}
+
+// histogramCell is a lock-free shard of a histogram series: observation
+// count, sum (CAS on bits), and cumulative per-bound bucket counts.
+type histogramCell struct {
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+	binds   []atomic.Uint64
+}
+
+func (c *histogramCell) observe(v float64, buckets []float64) {
+	c.count.Add(1)
+	for {
+		old := c.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for i, b := range buckets {
+		if v <= b {
+			c.binds[i].Add(1)
+		}
+	}
+}
+
+// Cell returns a counter backed by a new lock-free cell attached to the
+// same series. Writes through the returned handle never take the series
+// lock; reads anywhere (Value, scrape, snapshot) include them.
+func (c *Counter) Cell() *Counter {
+	cell := &counterCell{}
+	c.s.mu.Lock()
+	c.s.counterCells = append(c.s.counterCells, cell)
+	c.s.mu.Unlock()
+	return &Counter{s: c.s, cell: cell}
+}
+
+// Cell returns a gauge backed by a new lock-free cell attached to the same
+// series. Only the delta operations (Add/Inc/Dec) work through a cell —
+// Set has no meaning when several shards each hold a private slice of the
+// value, and panics.
+func (g *Gauge) Cell() *Gauge {
+	cell := &counterCell{}
+	g.s.mu.Lock()
+	g.s.counterCells = append(g.s.counterCells, cell)
+	g.s.mu.Unlock()
+	return &Gauge{s: g.s, cell: cell}
+}
+
+// Cell returns a histogram backed by a new lock-free cell attached to the
+// same series. Exemplar-annotated observations still pin the exemplar under
+// the series lock (they are rare, traced-only events); the count, sum, and
+// bucket increments stay lock-free.
+func (h *Histogram) Cell() *Histogram {
+	cell := &histogramCell{binds: make([]atomic.Uint64, len(h.buckets))}
+	h.s.mu.Lock()
+	h.s.histogramCells = append(h.s.histogramCells, cell)
+	h.s.mu.Unlock()
+	return &Histogram{s: h.s, buckets: h.buckets, cell: cell}
+}
+
+// foldValueLocked returns the series value including every attached cell.
+// The caller holds s.mu.
+func (s *series) foldValueLocked() float64 {
+	v := s.value
+	for _, c := range s.counterCells {
+		v += c.load()
+	}
+	return v
+}
+
+// foldHistogramLocked returns count, sum, and cumulative bucket counts
+// including every attached cell. The caller holds s.mu; binds is freshly
+// allocated (read paths are cold).
+func (s *series) foldHistogramLocked() (count uint64, sum float64, binds []uint64) {
+	count, sum = s.count, s.sum
+	binds = append([]uint64(nil), s.binds...)
+	for _, c := range s.histogramCells {
+		count += c.count.Load()
+		sum += math.Float64frombits(c.sumBits.Load())
+		for i := range c.binds {
+			binds[i] += c.binds[i].Load()
+		}
+	}
+	return count, sum, binds
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterCellFold: writes through cells and the plain handle land in
+// one exposition total.
+func TestCounterCellFold(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.Counter("cell_test_total", "h", "shard")
+	base := vec.With("a")
+	c1 := base.Cell()
+	c2 := base.Cell()
+	base.Add(1)
+	c1.Add(2)
+	c2.Add(3)
+	if got := base.Value(); got != 6 {
+		t.Fatalf("folded Value = %v, want 6", got)
+	}
+	if got := c1.Value(); got != 6 {
+		t.Fatalf("cell handle Value = %v, want 6 (reads always fold)", got)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `cell_test_total{shard="a"} 6`) {
+		t.Fatalf("exposition missing folded total:\n%s", b.String())
+	}
+}
+
+// TestHistogramCellFold: cell observations fold into count, sum, buckets,
+// and both exposition formats.
+func TestHistogramCellFold(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("cell_hist_seconds", "h", []float64{1, 10}).With()
+	cell := h.Cell()
+	h.Observe(0.5)
+	cell.Observe(5)
+	cell.Observe(50)
+	if got := h.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	if got := h.Sum(); got != 55.5 {
+		t.Fatalf("Sum = %v, want 55.5", got)
+	}
+	snap := reg.Snapshot()
+	ss := snap.Families[0].Series[0]
+	if ss.Count != 3 || ss.Buckets[0] != 1 || ss.Buckets[1] != 2 {
+		t.Fatalf("snapshot fold wrong: count=%d buckets=%v", ss.Count, ss.Buckets)
+	}
+}
+
+// TestGaugeCellDeltas: delta ops work through cells; Set panics.
+func TestGaugeCellDeltas(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("cell_gauge", "h").With()
+	cell := g.Cell()
+	cell.Inc()
+	cell.Inc()
+	cell.Dec()
+	g.Add(10)
+	if got := g.Value(); got != 11 {
+		t.Fatalf("folded gauge = %v, want 11", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set on a cell-backed gauge did not panic")
+		}
+	}()
+	cell.Set(1)
+}
+
+// TestCellConcurrent hammers one series through per-goroutine cells — the
+// shape of per-shard platforms reporting into one registry — and checks
+// the fold under the race detector.
+func TestCellConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	base := reg.Counter("cell_conc_total", "h").With()
+	hist := reg.Histogram("cell_conc_seconds", "h", []float64{1}).With()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		c := base.Cell()
+		hc := hist.Cell()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				hc.Observe(0.5)
+			}
+		}()
+	}
+	// Concurrent scrapes must see consistent (monotonic, folded) state.
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if got := base.Value(); got != workers*perWorker {
+		t.Fatalf("folded counter = %v, want %d", got, workers*perWorker)
+	}
+	if got := hist.Count(); got != workers*perWorker {
+		t.Fatalf("folded histogram count = %d, want %d", got, workers*perWorker)
+	}
+}

@@ -32,8 +32,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // writeSeries renders one labeled series of a family.
 func (f *family) writeSeries(w io.Writer, s *series) error {
 	s.mu.Lock()
-	value, count, sum := s.value, s.count, s.sum
-	binds := append([]uint64(nil), s.binds...)
+	value := s.foldValueLocked()
+	count, sum, binds := s.foldHistogramLocked()
 	exemplars := append([]exemplar(nil), s.exemplars...)
 	s.mu.Unlock()
 
@@ -127,14 +127,15 @@ func (r *Registry) Snapshot() Snapshot {
 		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.kind.String()}
 		for _, s := range f.snapshotSeries() {
 			s.mu.Lock()
+			count, sum, binds := s.foldHistogramLocked()
 			ss := SeriesSnapshot{
-				Value: s.value,
-				Count: s.count,
-				Sum:   s.sum,
+				Value: s.foldValueLocked(),
+				Count: count,
+				Sum:   sum,
 			}
 			if f.kind == KindHistogram {
 				ss.Bounds = append([]float64(nil), f.buckets...)
-				ss.Buckets = append([]uint64(nil), s.binds...)
+				ss.Buckets = binds
 				for i, ex := range s.exemplars {
 					if ex.traceID == "" {
 						continue

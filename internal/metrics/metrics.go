@@ -84,10 +84,16 @@ type series struct {
 	labelValues []string
 
 	mu    sync.Mutex
-	value float64   // counter / gauge
-	count uint64    // histogram observations
-	sum   float64   // histogram sum
-	binds []uint64  // histogram cumulative-from-zero per-bound counts
+	value float64  // counter / gauge
+	count uint64   // histogram observations
+	sum   float64  // histogram sum
+	binds []uint64 // histogram cumulative-from-zero per-bound counts
+
+	// Lock-free per-shard cells attached via Cell(); folded into the above
+	// at every read point (see cells.go). Appended under mu, then only read
+	// under mu — the cells themselves are atomic.
+	counterCells   []*counterCell
+	histogramCells []*histogramCell
 
 	// exemplars holds the most recent trace-annotated observation per
 	// bucket (index len(binds) is the +Inf bucket). Allocated lazily on the
@@ -168,8 +174,12 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return &Counter{s: v.f.with(values)}
 }
 
-// Counter is a monotonically increasing value.
-type Counter struct{ s *series }
+// Counter is a monotonically increasing value. A cell-backed counter (see
+// Cell) adds without locking; Value always folds every cell in.
+type Counter struct {
+	s    *series
+	cell *counterCell
+}
 
 // Inc adds one.
 func (c *Counter) Inc() { c.Add(1) }
@@ -179,16 +189,20 @@ func (c *Counter) Add(delta float64) {
 	if delta < 0 {
 		panic("metrics: counter decrease")
 	}
+	if c.cell != nil {
+		c.cell.add(delta)
+		return
+	}
 	c.s.mu.Lock()
 	c.s.value += delta
 	c.s.mu.Unlock()
 }
 
-// Value returns the current count.
+// Value returns the current count, including every attached cell.
 func (c *Counter) Value() float64 {
 	c.s.mu.Lock()
 	defer c.s.mu.Unlock()
-	return c.s.value
+	return c.s.foldValueLocked()
 }
 
 // --- Gauges -----------------------------------------------------------------
@@ -206,11 +220,19 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 	return &Gauge{s: v.f.with(values)}
 }
 
-// Gauge is a value that can move in both directions.
-type Gauge struct{ s *series }
+// Gauge is a value that can move in both directions. A cell-backed gauge
+// (see Cell) supports the delta operations without locking.
+type Gauge struct {
+	s    *series
+	cell *counterCell
+}
 
-// Set stores v.
+// Set stores v. Set through a cell-backed gauge panics: a cell is one
+// shard's slice of the value, and an absolute store has no fold semantics.
 func (g *Gauge) Set(v float64) {
+	if g.cell != nil {
+		panic("metrics: Set on a cell-backed gauge")
+	}
 	g.s.mu.Lock()
 	g.s.value = v
 	g.s.mu.Unlock()
@@ -218,6 +240,10 @@ func (g *Gauge) Set(v float64) {
 
 // Add adds delta (may be negative).
 func (g *Gauge) Add(delta float64) {
+	if g.cell != nil {
+		g.cell.add(delta)
+		return
+	}
 	g.s.mu.Lock()
 	g.s.value += delta
 	g.s.mu.Unlock()
@@ -229,11 +255,11 @@ func (g *Gauge) Inc() { g.Add(1) }
 // Dec subtracts one.
 func (g *Gauge) Dec() { g.Add(-1) }
 
-// Value returns the current value.
+// Value returns the current value, including every attached cell.
 func (g *Gauge) Value() float64 {
 	g.s.mu.Lock()
 	defer g.s.mu.Unlock()
-	return g.s.value
+	return g.s.foldValueLocked()
 }
 
 // --- Histograms -------------------------------------------------------------
@@ -261,10 +287,13 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 	return &Histogram{s: v.f.with(values), buckets: v.f.buckets}
 }
 
-// Histogram accumulates observations into fixed buckets.
+// Histogram accumulates observations into fixed buckets. A cell-backed
+// histogram (see Cell) observes without locking; exemplars still pin under
+// the series lock.
 type Histogram struct {
 	s       *series
 	buckets []float64
+	cell    *histogramCell
 }
 
 // Observe records one sample.
@@ -285,6 +314,25 @@ func (h *Histogram) ObserveDurationExemplar(d time.Duration, traceID string) {
 }
 
 func (h *Histogram) observe(v float64, traceID string) {
+	if h.cell != nil {
+		h.cell.observe(v, h.buckets)
+		if traceID != "" {
+			h.s.mu.Lock()
+			slot := len(h.buckets)
+			for i, b := range h.buckets {
+				if v <= b {
+					slot = i
+					break
+				}
+			}
+			if h.s.exemplars == nil {
+				h.s.exemplars = make([]exemplar, len(h.buckets)+1)
+			}
+			h.s.exemplars[slot] = exemplar{traceID: traceID, value: v}
+			h.s.mu.Unlock()
+		}
+		return
+	}
 	h.s.mu.Lock()
 	h.s.count++
 	h.s.sum += v
@@ -308,18 +356,20 @@ func (h *Histogram) observe(v float64, traceID string) {
 	h.s.mu.Unlock()
 }
 
-// Count returns the number of observations.
+// Count returns the number of observations, including every attached cell.
 func (h *Histogram) Count() uint64 {
 	h.s.mu.Lock()
 	defer h.s.mu.Unlock()
-	return h.s.count
+	count, _, _ := h.s.foldHistogramLocked()
+	return count
 }
 
-// Sum returns the sum of all observations.
+// Sum returns the sum of all observations, including every attached cell.
 func (h *Histogram) Sum() float64 {
 	h.s.mu.Lock()
 	defer h.s.mu.Unlock()
-	return h.s.sum
+	_, sum, _ := h.s.foldHistogramLocked()
+	return sum
 }
 
 // snapshotFamilies returns the registry's families in registration order.

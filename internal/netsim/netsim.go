@@ -82,15 +82,15 @@ func (l *Link) Instrument(reg *metrics.Registry, name string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.metRoundTrips = reg.Counter("flicker_net_roundtrips_total",
-		"Completed request/response exchanges per link.", "link").With(name)
+		"Completed request/response exchanges per link.", "link").With(name).Cell()
 	bytes := reg.Counter("flicker_net_bytes_total",
 		"Payload bytes carried per link and direction.", "link", "direction")
 	l.metBytes = map[string]*metrics.Counter{
-		"sent":     bytes.With(name, "sent"),
-		"received": bytes.With(name, "received"),
+		"sent":     bytes.With(name, "sent").Cell(),
+		"received": bytes.With(name, "received").Cell(),
 	}
 	l.metWire = reg.Counter("flicker_net_wire_seconds_total",
-		"Simulated wire time charged per link.", "link").With(name)
+		"Simulated wire time charged per link.", "link").With(name).Cell()
 }
 
 // Stats returns a snapshot of the link's cumulative traffic.

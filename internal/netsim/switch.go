@@ -64,15 +64,15 @@ func (sw *Switch) Instrument(reg *metrics.Registry, name string) {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
 	sw.metRoundTrips = reg.Counter("flicker_net_roundtrips_total",
-		"Completed request/response exchanges per link.", "link").With(name)
+		"Completed request/response exchanges per link.", "link").With(name).Cell()
 	bytes := reg.Counter("flicker_net_bytes_total",
 		"Payload bytes carried per link and direction.", "link", "direction")
 	sw.metBytes = map[string]*metrics.Counter{
-		"sent":     bytes.With(name, "sent"),
-		"received": bytes.With(name, "received"),
+		"sent":     bytes.With(name, "sent").Cell(),
+		"received": bytes.With(name, "received").Cell(),
 	}
 	sw.metWire = reg.Counter("flicker_net_wire_seconds_total",
-		"Simulated wire time charged per link.", "link").With(name)
+		"Simulated wire time charged per link.", "link").With(name).Cell()
 }
 
 // Stats returns a snapshot of the switch's cumulative traffic.

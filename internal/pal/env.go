@@ -90,22 +90,46 @@ type EnvConfig struct {
 // NewEnv prepares a PAL execution environment (the SLB Core's
 // initialization phase).
 func NewEnv(cfg EnvConfig) (*Env, error) {
+	e := &Env{}
+	if err := e.Reinit(cfg); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Reinit re-prepares an Env in place for a new session, reusing the
+// receiver's PRNG state and (shape-permitting) heap buffer. It is
+// behaviorally identical to NewEnv — the session engine keeps one Env per
+// platform so a warm session does not rebuild the environment on the heap.
+func (e *Env) Reinit(cfg EnvConfig) error {
 	if cfg.Clock == nil || cfg.Profile == nil || cfg.Mem == nil || cfg.TPM == nil {
-		return nil, errors.New("pal: incomplete environment config")
+		return errors.New("pal: incomplete environment config")
 	}
-	e := &Env{
-		clock:     cfg.Clock,
-		profile:   cfg.Profile,
-		mem:       cfg.Mem,
-		core:      cfg.Core,
-		TPM:       cfg.TPM,
-		slbBase:   cfg.SLBBase,
-		slbLen:    cfg.SLBLen,
-		extraLen:  cfg.ExtraLen,
-		sandboxed: cfg.Sandbox,
-	}
+	e.clock = cfg.Clock
+	e.profile = cfg.Profile
+	e.mem = cfg.Mem
+	e.core = cfg.Core
+	e.TPM = cfg.TPM
+	e.slbBase = cfg.SLBBase
+	e.slbLen = cfg.SLBLen
+	e.extraLen = cfg.ExtraLen
+	e.sandboxed = cfg.Sandbox
+	e.outputs = nil
+	e.deadline = 0
 	if cfg.HeapSize > 0 {
-		e.Heap = NewHeap(cfg.HeapSize)
+		// NewHeap clamps tiny sizes; mirror it so a matching request
+		// reuses the buffer it produced.
+		n := cfg.HeapSize
+		if n < hdrSize+minSplit {
+			n = hdrSize + minSplit
+		}
+		if e.Heap != nil && len(e.Heap.buf) == n {
+			e.Heap.setHdr(0, n-hdrSize, true)
+		} else {
+			e.Heap = NewHeap(cfg.HeapSize)
+		}
+	} else {
+		e.Heap = nil
 	}
 	seed := cfg.RNGSeed
 	if seed == nil {
@@ -114,11 +138,15 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		// generator)" — Section 7.4.1.
 		b, err := cfg.TPM.GetRandom(128)
 		if err != nil {
-			return nil, fmt.Errorf("pal: seeding PRNG from TPM: %w", err)
+			return fmt.Errorf("pal: seeding PRNG from TPM: %w", err)
 		}
 		seed = b
 	}
-	e.rng = palcrypto.NewPRNG(seed)
+	if e.rng == nil {
+		e.rng = palcrypto.NewPRNG(seed)
+	} else {
+		e.rng.Reseed(seed)
+	}
 	e.machine = cfg.Machine
 	e.identity = cfg.Identity
 	if cfg.MaxPALTime > 0 {
@@ -129,7 +157,7 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		cfg.Core.SetRing(3)
 		cfg.Core.SetSegments(cfg.SLBBase, uint32(slb.ParamAreaLen+cfg.ExtraLen-1))
 	}
-	return e, nil
+	return nil
 }
 
 // ExitSandbox returns the core to ring 0 (the SLB Core's call-gate path

@@ -10,30 +10,43 @@ import "encoding/binary"
 type PRNG struct {
 	seed [SHA1Size]byte
 	ctr  uint64
-	buf  []byte
+	// block holds the current output block; off is how much of it has been
+	// consumed. Keeping the block inline (rather than slicing a fresh
+	// digest) keeps Read allocation-free — the generator backs every TPM
+	// nonce and every PAL RNG on the session hot path.
+	block [SHA1Size]byte
+	off   int
 }
 
 // NewPRNG creates a generator seeded with the given entropy.
 func NewPRNG(seed []byte) *PRNG {
 	p := &PRNG{}
-	p.seed = SHA1Sum(seed)
+	p.Reseed(seed)
 	return p
+}
+
+// Reseed resets the generator to the state NewPRNG(seed) would produce,
+// reusing the receiver's storage.
+func (p *PRNG) Reseed(seed []byte) {
+	p.seed = SHA1Sum(seed)
+	p.ctr = 0
+	p.off = SHA1Size
 }
 
 // Read fills b with pseudo-random bytes. It never fails.
 func (p *PRNG) Read(b []byte) (int, error) {
 	n := len(b)
 	for len(b) > 0 {
-		if len(p.buf) == 0 {
-			var block [SHA1Size + 8]byte
-			copy(block[:], p.seed[:])
-			binary.BigEndian.PutUint64(block[SHA1Size:], p.ctr)
+		if p.off == SHA1Size {
+			var in [SHA1Size + 8]byte
+			copy(in[:], p.seed[:])
+			binary.BigEndian.PutUint64(in[SHA1Size:], p.ctr)
 			p.ctr++
-			d := SHA1Sum(block[:])
-			p.buf = d[:]
+			p.block = SHA1Sum(in[:])
+			p.off = 0
 		}
-		c := copy(b, p.buf)
-		p.buf = p.buf[c:]
+		c := copy(b, p.block[p.off:])
+		p.off += c
 		b = b[c:]
 	}
 	return n, nil

@@ -65,6 +65,17 @@ func (s *SHA1) Write(p []byte) (int, error) {
 
 // Sum appends the current digest to b without disturbing the running state.
 func (s *SHA1) Sum(b []byte) []byte {
+	var out [SHA1Size]byte
+	s.sumInto(&out)
+	return append(b, out[:]...)
+}
+
+// SumInto writes the current digest into out without disturbing the running
+// state and without touching the heap — the hot-path form of Sum for the
+// per-command digests a warm session computes dozens of times.
+func (s *SHA1) SumInto(out *[SHA1Size]byte) { s.sumInto(out) }
+
+func (s *SHA1) sumInto(out *[SHA1Size]byte) {
 	d := *s // copy so callers can keep writing
 	var pad [SHA1BlockSize + 8]byte
 	pad[0] = 0x80
@@ -82,11 +93,9 @@ func (s *SHA1) Sum(b []byte) []byte {
 	if d.nx != 0 {
 		panic("palcrypto: sha1 padding error")
 	}
-	var out [SHA1Size]byte
 	for i, v := range d.h {
 		binary.BigEndian.PutUint32(out[i*4:], v)
 	}
-	return append(b, out[:]...)
 }
 
 // Size returns SHA1Size.
@@ -150,11 +159,13 @@ func (s *SHA1) block(p []byte) {
 	s.h[0], s.h[1], s.h[2], s.h[3], s.h[4] = h0, h1, h2, h3, h4
 }
 
-// SHA1Sum computes the SHA-1 digest of data in one shot.
+// SHA1Sum computes the SHA-1 digest of data in one shot. The state lives on
+// the caller's stack, so a one-shot digest costs no heap allocation.
 func SHA1Sum(data []byte) [SHA1Size]byte {
-	s := NewSHA1()
+	var s SHA1
+	s.Reset()
 	s.Write(data)
 	var out [SHA1Size]byte
-	copy(out[:], s.Sum(nil))
+	s.sumInto(&out)
 	return out
 }

@@ -15,9 +15,14 @@
 // instead. Close drains: queued sessions still execute, then the workers
 // exit.
 //
-// All shards share one metrics.Registry and one event log, so the existing
-// observability surface (flicker serve, Prometheus exposition) aggregates
-// the fleet without per-shard plumbing.
+// The hot path is shard-parallel end to end: each shard owns a lock-free
+// MPSC submit ring (see ring.go) and a private platform stack, submission
+// takes no locks (an in-flight ticket counter and an atomic closed flag
+// replace the old submit/close RWMutex), job records are pooled, and every
+// per-session metric writes through a lock-free cell. All shards still
+// share one metrics.Registry and one event log — per-shard cells fold at
+// scrape time — so the existing observability surface (flicker serve,
+// Prometheus exposition) aggregates the fleet without per-shard plumbing.
 package pool
 
 import (
@@ -70,7 +75,9 @@ type Config struct {
 	WallClock func() time.Time
 }
 
-// job is one queued session.
+// job is one queued session. Records are pooled and recycled (the done
+// channel included: each cycle is exactly one send and one receive), so a
+// warm submit allocates nothing.
 type job struct {
 	pl   pal.PAL
 	opts core.SessionOptions
@@ -83,13 +90,66 @@ type result struct {
 	err error
 }
 
-// shard is one platform plus its submission queue.
+// shard is one platform plus its submit ring and the ring's park/wake
+// state. All the shard's hot-path metrics write through private lock-free
+// cells, so two shards never contend on the shared registry.
 type shard struct {
 	platform *core.Platform
-	jobs     chan job
+	ring     *ring
 	// pending counts queued plus in-flight sessions, for least-loaded
 	// overflow routing.
 	pending atomic.Int64
+
+	// Consumer parking: the worker sets sleeping before blocking on wake;
+	// a producer that publishes while sleeping is set CASes it back and
+	// sends the (cap-1, non-blocking) wake token. A busy worker costs
+	// producers one atomic load and no channel operation.
+	sleeping atomic.Bool
+	wake     chan struct{}
+
+	// Producer backpressure: a blocked Run registers in waiters, and the
+	// worker offers a space token after every pop while waiters > 0.
+	waiters atomic.Int64
+	space   chan struct{}
+
+	// Per-shard cells on the pool's shared series (see metrics/cells.go).
+	queueDelay *metrics.Histogram
+	batchSize  *metrics.Histogram
+	batchFlush map[string]*metrics.Counter
+}
+
+// push publishes j to the shard's ring and wakes its worker if parked.
+func (s *shard) push(j *job) bool {
+	if !s.ring.tryPush(j) {
+		return false
+	}
+	s.wakeWorker()
+	return true
+}
+
+// pop takes one job and, when submitters are blocked on backpressure,
+// offers them the freed slot.
+func (s *shard) pop() (*job, bool) {
+	j, ok := s.ring.pop()
+	if ok && s.waiters.Load() > 0 {
+		select {
+		case s.space <- struct{}{}:
+		default:
+		}
+	}
+	return j, ok
+}
+
+// wakeWorker rouses a parked worker. The CAS makes the wake single-shot
+// per park: concurrent producers race to flip sleeping and only the winner
+// touches the channel.
+func (s *shard) wakeWorker() {
+	if s.sleeping.CompareAndSwap(true, false) {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // Pool is a sharded session pool.
@@ -101,25 +161,33 @@ type Pool struct {
 	maxBatch int
 	maxWait  time.Duration
 
-	// closeMu guards the submit/close handshake: submissions hold the read
-	// side while enqueueing, Close takes the write side to flip closed and
-	// close the queues, so no send can race a channel close.
-	closeMu sync.RWMutex
-	closed  bool
+	// The submit/close handshake, lock-free: submitters hold an inflight
+	// ticket across submit; Close flips closed and workers drain until the
+	// rings are empty and no ticket remains. A submitter that raced past
+	// the closed check completes its enqueue (its ticket keeps the workers
+	// alive), exactly as the old RWMutex read side did.
+	closed   atomic.Bool
+	inflight atomic.Int64
+
+	// jobs recycles job records (with their reply channels) across
+	// submissions.
+	jobs sync.Pool
 
 	// now is Config.WallClock (default time.Now), used only for the
 	// queue-delay metric.
 	now func() time.Time
 
-	// Submission and flush counters are resolved to series handles once at
-	// construction — the label sets are closed (route: home|overflow,
-	// reason: full|timeout|drain), and submit/flush are the pool's hot path.
+	// Submission counters are resolved to cell-backed handles once at
+	// construction — the label sets are closed (route: home|overflow) and
+	// submit is the pool's hot path, shared by every producer goroutine.
 	metSubmitHome     *metrics.Counter
 	metSubmitOverflow *metrics.Counter
 	metRejected       *metrics.Counter
-	metBatchSize      *metrics.Histogram
-	metBatchFlush     map[string]*metrics.Counter
-	metQueueDelay     *metrics.Histogram
+	// Base (locked) handles for the per-shard celled series; kept for
+	// reads — Count/Sum on these fold every shard's cell in.
+	metBatchSize  *metrics.Histogram
+	metBatchFlush map[string]*metrics.Counter
+	metQueueDelay *metrics.Histogram
 }
 
 // New builds and boots a pool of cfg.Shards platforms.
@@ -160,10 +228,10 @@ func New(cfg Config) (*Pool, error) {
 		maxBatch:          cfg.MaxBatch,
 		maxWait:           cfg.MaxWait,
 		now:               now,
-		metSubmitHome:     submit.With("home"),
-		metSubmitOverflow: submit.With("overflow"),
+		metSubmitHome:     submit.With("home").Cell(),
+		metSubmitOverflow: submit.With("overflow").Cell(),
 		metRejected: reg.Counter("flicker_pool_rejected_total",
-			"TryRun submissions rejected because every shard queue was full.").With(),
+			"TryRun submissions rejected because every shard queue was full.").With().Cell(),
 		metBatchSize: reg.Histogram("flicker_pool_batch_size",
 			"Jobs coalesced per flushed group (1 = singleton fallback).",
 			[]float64{1, 2, 4, 8, 16, 32}).With(),
@@ -186,8 +254,17 @@ func New(cfg Config) (*Pool, error) {
 			return nil, fmt.Errorf("pool: shard %d: %w", i, err)
 		}
 		p.shards = append(p.shards, &shard{
-			platform: plat,
-			jobs:     make(chan job, cfg.QueueLen),
+			platform:   plat,
+			ring:       newRing(cfg.QueueLen),
+			wake:       make(chan struct{}, 1),
+			space:      make(chan struct{}, 1),
+			queueDelay: p.metQueueDelay.Cell(),
+			batchSize:  p.metBatchSize.Cell(),
+			batchFlush: map[string]*metrics.Counter{
+				"full":    p.metBatchFlush["full"].Cell(),
+				"timeout": p.metBatchFlush["timeout"].Cell(),
+				"drain":   p.metBatchFlush["drain"].Cell(),
+			},
 		})
 	}
 	for _, s := range p.shards {
@@ -197,12 +274,50 @@ func New(cfg Config) (*Pool, error) {
 	return p, nil
 }
 
-// worker drains one shard's queue until it is closed. With coalescing
-// enabled it gathers a group per iteration; otherwise each job is one
-// singleton session.
+// drained reports the worker exit condition: Close has begun and no
+// submitter ticket is in flight, so no further publish can occur.
+func (p *Pool) drained() bool {
+	return p.closed.Load() && p.inflight.Load() == 0
+}
+
+// take blocks until a job is available, or returns false once the pool is
+// closed and fully drained.
+func (p *Pool) take(s *shard) (*job, bool) {
+	for {
+		if j, ok := s.pop(); ok {
+			return j, true
+		}
+		if p.drained() {
+			// A publish may have landed between the failed pop and the
+			// drained check; take it before exiting.
+			if j, ok := s.pop(); ok {
+				return j, true
+			}
+			return nil, false
+		}
+		s.sleeping.Store(true)
+		// Re-check after announcing the park: a producer that published
+		// before seeing sleeping is caught here; one that published after
+		// will CAS sleeping back and send the wake.
+		if !s.ring.empty() || p.drained() {
+			s.sleeping.Store(false)
+			continue
+		}
+		<-s.wake
+		s.sleeping.Store(false)
+	}
+}
+
+// worker drains one shard's ring until the pool is closed and drained.
+// With coalescing enabled it gathers a group per iteration; otherwise each
+// job is one singleton session.
 func (p *Pool) worker(s *shard) {
 	defer p.wg.Done()
-	for j := range s.jobs {
+	for {
+		j, ok := p.take(s)
+		if !ok {
+			return
+		}
 		if p.maxBatch <= 1 {
 			p.runSingleton(s, j)
 			continue
@@ -213,8 +328,8 @@ func (p *Pool) worker(s *shard) {
 }
 
 // runSingleton executes one job as its own session.
-func (p *Pool) runSingleton(s *shard, j job) {
-	p.metQueueDelay.ObserveDurationExemplar(p.now().Sub(j.enq), j.opts.TraceID)
+func (p *Pool) runSingleton(s *shard, j *job) {
+	s.queueDelay.ObserveDurationExemplar(p.now().Sub(j.enq), j.opts.TraceID)
 	res, err := s.platform.RunSession(j.pl, j.opts)
 	s.pending.Add(-1)
 	j.done <- result{res: res, err: err}
@@ -222,22 +337,34 @@ func (p *Pool) runSingleton(s *shard, j job) {
 
 // gather collects up to MaxBatch jobs, holding the first for at most
 // MaxWait (group commit): a burst flushes immediately at MaxBatch, a lone
-// request waits one MaxWait and runs alone, and a closing queue flushes
+// request waits one MaxWait and runs alone, and a draining pool flushes
 // whatever is in hand.
-func (p *Pool) gather(s *shard, first job) ([]job, string) {
-	group := []job{first}
+func (p *Pool) gather(s *shard, first *job) ([]*job, string) {
+	group := []*job{first}
 	timer := time.NewTimer(p.maxWait)
 	defer timer.Stop()
 	for len(group) < p.maxBatch {
-		select {
-		case j, ok := <-s.jobs:
-			if !ok {
-				// Queue closed: flush in-hand jobs; the worker loop's
-				// range then terminates.
-				return group, "drain"
-			}
+		if j, ok := s.pop(); ok {
 			group = append(group, j)
+			continue
+		}
+		if p.drained() {
+			if j, ok := s.pop(); ok {
+				group = append(group, j)
+				continue
+			}
+			return group, "drain"
+		}
+		s.sleeping.Store(true)
+		if !s.ring.empty() || p.drained() {
+			s.sleeping.Store(false)
+			continue
+		}
+		select {
+		case <-s.wake:
+			s.sleeping.Store(false)
 		case <-timer.C:
+			s.sleeping.Store(false)
 			return group, "timeout"
 		}
 	}
@@ -247,13 +374,13 @@ func (p *Pool) gather(s *shard, first job) ([]job, string) {
 // batchable reports whether a job may share a session with others at all:
 // a verifier nonce, fault injection, or an injector pins a job to its own
 // singleton session.
-func batchable(j job) bool {
+func batchable(j *job) bool {
 	return j.opts.Nonce == nil && j.opts.FailPhase == "" && j.opts.Injector == nil
 }
 
 // coalescable reports whether b can join a group keyed by a: same measured
 // identity (name + code + extra code) and identical session options.
-func coalescable(a, b job) bool {
+func coalescable(a, b *job) bool {
 	if !batchable(a) || !batchable(b) {
 		return false
 	}
@@ -278,10 +405,10 @@ func coalescable(a, b job) bool {
 // compatibility (bounded by what fits the input page) and runs each
 // partition: one batched session for 2+ jobs, a singleton session for a
 // lone job.
-func (p *Pool) flush(s *shard, group []job, reason string) {
+func (p *Pool) flush(s *shard, group []*job, reason string) {
 	now := p.now()
 	for _, j := range group {
-		p.metQueueDelay.ObserveDurationExemplar(now.Sub(j.enq), j.opts.TraceID)
+		s.queueDelay.ObserveDurationExemplar(now.Sub(j.enq), j.opts.TraceID)
 	}
 	used := make([]bool, len(group))
 	for i := range group {
@@ -289,7 +416,7 @@ func (p *Pool) flush(s *shard, group []job, reason string) {
 			continue
 		}
 		used[i] = true
-		part := []job{group[i]}
+		part := []*job{group[i]}
 		sizes := []int{len(group[i].opts.Input)}
 		if batchable(group[i]) {
 			for k := i + 1; k < len(group) && len(part) < p.maxBatch; k++ {
@@ -304,19 +431,19 @@ func (p *Pool) flush(s *shard, group []job, reason string) {
 				sizes = append(sizes, len(group[k].opts.Input))
 			}
 		}
-		p.metBatchSize.ObserveExemplar(float64(len(part)), firstTraceID(part))
+		s.batchSize.ObserveExemplar(float64(len(part)), firstTraceID(part))
 		if len(part) == 1 {
 			p.runSingletonNoDelay(s, part[0])
 			continue
 		}
-		p.metBatchFlush[reason].Inc()
+		s.batchFlush[reason].Inc()
 		p.runBatch(s, part)
 	}
 }
 
 // runSingletonNoDelay is runSingleton minus the queue-delay observation
 // (flush already recorded it for the whole group).
-func (p *Pool) runSingletonNoDelay(s *shard, j job) {
+func (p *Pool) runSingletonNoDelay(s *shard, j *job) {
 	res, err := s.platform.RunSession(j.pl, j.opts)
 	s.pending.Add(-1)
 	j.done <- result{res: res, err: err}
@@ -328,7 +455,7 @@ func (p *Pool) runSingletonNoDelay(s *shard, j job) {
 // caller cannot observe another request's output. On session abort, every
 // member of the group sees the abort error — the batch engine's
 // completed-prefix contract is exercised directly via RunSessionBatch.
-func (p *Pool) runBatch(s *shard, part []job) {
+func (p *Pool) runBatch(s *shard, part []*job) {
 	reqs := make([][]byte, len(part))
 	for i, j := range part {
 		reqs[i] = j.opts.Input
@@ -389,7 +516,7 @@ func (p *Pool) runBatch(s *shard, part []job) {
 // firstTraceID returns the first traced member's ID ("" when the whole
 // group is untraced), linking the batch-size histogram to a trace that rode
 // in that group.
-func firstTraceID(part []job) string {
+func firstTraceID(part []*job) string {
 	for _, j := range part {
 		if j.opts.TraceID != "" {
 			return j.opts.TraceID
@@ -416,85 +543,126 @@ func (p *Pool) leastLoaded() *shard {
 // shardLoad is the sched load callback: shard i's queued + in-flight count.
 func (p *Pool) shardLoad(i int) int64 { return p.shards[i].pending.Load() }
 
-// submit routes one job: non-blocking try on the home shard, then the
-// least-loaded shard; if both queues are full, either block on the home
-// shard (wait=true, backpressure) or fail with ErrSaturated.
-func (p *Pool) submit(pl pal.PAL, opts core.SessionOptions, wait bool) (chan result, error) {
-	j := job{pl: pl, opts: opts, enq: p.now(), done: make(chan result, 1)}
+// newJob checks a pooled record out (allocating only on a cold pool) and
+// stamps it for this submission.
+func (p *Pool) newJob(pl pal.PAL, opts core.SessionOptions) *job {
+	j, _ := p.jobs.Get().(*job)
+	if j == nil {
+		j = &job{done: make(chan result, 1)}
+	}
+	j.pl = pl
+	j.opts = opts
+	j.enq = p.now()
+	return j
+}
 
-	p.closeMu.RLock()
-	defer p.closeMu.RUnlock()
-	if p.closed {
+// putJob recycles a job record after its reply has been received (or its
+// submission rejected). The done channel is reused: each cycle is exactly
+// one send matched by one receive.
+func (p *Pool) putJob(j *job) {
+	j.pl = nil
+	j.opts = core.SessionOptions{}
+	p.jobs.Put(j)
+}
+
+// submitDone retires a submitter's inflight ticket. The last ticket out
+// after Close wakes every parked worker so they can observe the drain
+// condition and exit.
+func (p *Pool) submitDone() {
+	if p.inflight.Add(-1) == 0 && p.closed.Load() {
+		for _, s := range p.shards {
+			s.wakeWorker()
+		}
+	}
+}
+
+// submit routes one job: non-blocking try on the home shard, then the
+// least-loaded shard; if both rings are full, either block on the home
+// shard (wait=true, backpressure) or fail with ErrSaturated. The fast path
+// is lock-free: an inflight ticket, one ring CAS, one cell increment.
+func (p *Pool) submit(pl pal.PAL, opts core.SessionOptions, wait bool) (*job, error) {
+	p.inflight.Add(1)
+	defer p.submitDone()
+	if p.closed.Load() {
 		return nil, ErrClosed
 	}
+	j := p.newJob(pl, opts)
 	home := p.homeShard(pl.Name())
 	home.pending.Add(1)
-	select {
-	case home.jobs <- j:
+	if home.push(j) {
 		p.metSubmitHome.Inc()
-		return j.done, nil
-	default:
-		home.pending.Add(-1)
+		return j, nil
 	}
+	home.pending.Add(-1)
 	if alt := p.leastLoaded(); alt != home {
 		alt.pending.Add(1)
-		select {
-		case alt.jobs <- j:
+		if alt.push(j) {
 			p.metSubmitOverflow.Inc()
-			return j.done, nil
-		default:
-			alt.pending.Add(-1)
+			return j, nil
 		}
+		alt.pending.Add(-1)
 	}
 	if !wait {
 		p.metRejected.Inc()
+		p.putJob(j)
 		return nil, ErrSaturated
 	}
-	// Backpressure: block until the home shard's queue has room. Workers
-	// never take closeMu, so they keep draining while we hold the read
-	// side, and Close cannot close the channel out from under the send.
+	// Backpressure: spin-register on the home shard until its ring has
+	// room. The worker keeps draining while we wait (our inflight ticket
+	// holds off the drain exit), and offers a space token after each pop
+	// while waiters is nonzero, so a blocked submitter always lands.
 	home.pending.Add(1)
-	home.jobs <- j
-	p.metSubmitHome.Inc()
-	return j.done, nil
+	for {
+		if home.push(j) {
+			p.metSubmitHome.Inc()
+			return j, nil
+		}
+		home.waiters.Add(1)
+		// Re-try after registering: a pop between the failed push and the
+		// registration would otherwise strand us before the first token.
+		if home.push(j) {
+			home.waiters.Add(-1)
+			p.metSubmitHome.Inc()
+			return j, nil
+		}
+		<-home.space
+		home.waiters.Add(-1)
+	}
 }
 
 // Run executes one session on the PAL's affinity shard (or, under load, the
 // least-loaded shard), blocking for queue space when the pool is saturated.
 func (p *Pool) Run(pl pal.PAL, opts core.SessionOptions) (*core.SessionResult, error) {
-	done, err := p.submit(pl, opts, true)
+	j, err := p.submit(pl, opts, true)
 	if err != nil {
 		return nil, err
 	}
-	r := <-done
+	r := <-j.done
+	p.putJob(j)
 	return r.res, r.err
 }
 
 // TryRun is Run without backpressure: it returns ErrSaturated instead of
 // blocking when every shard queue is full.
 func (p *Pool) TryRun(pl pal.PAL, opts core.SessionOptions) (*core.SessionResult, error) {
-	done, err := p.submit(pl, opts, false)
+	j, err := p.submit(pl, opts, false)
 	if err != nil {
 		return nil, err
 	}
-	r := <-done
+	r := <-j.done
+	p.putJob(j)
 	return r.res, r.err
 }
 
 // Close drains the pool: no new submissions are accepted, queued sessions
-// still execute, and Close returns once every worker has exited. Closing
-// twice is a no-op.
+// still execute (including those of submitters that raced past the closed
+// check — their inflight tickets keep the workers alive), and Close
+// returns once every worker has exited. Closing twice is a no-op.
 func (p *Pool) Close() error {
-	p.closeMu.Lock()
-	if p.closed {
-		p.closeMu.Unlock()
-		return nil
-	}
-	p.closed = true
+	p.closed.Store(true)
 	for _, s := range p.shards {
-		close(s.jobs)
+		s.wakeWorker()
 	}
-	p.closeMu.Unlock()
 	p.wg.Wait()
 	return nil
 }

@@ -1,0 +1,111 @@
+package pool
+
+// The submit ring: a bounded multi-producer single-consumer queue built on
+// sequence-stamped slots (the Vyukov bounded-queue discipline). Each shard
+// owns one ring; any number of submitters publish into it with a CAS ticket
+// claim and the shard's worker consumes it alone. Replacing the old
+// mutex-guarded channel removes the last cross-shard serialization on the
+// submit path: a push is one ticket CAS plus two slot stores, a pop is two
+// loads and two stores, and neither ever takes a lock.
+//
+// Slot protocol. slots[i].seq carries the slot's state machine:
+//
+//	seq == pos            free — a producer holding ticket pos may claim it
+//	seq == pos+1          published — the consumer at head == pos may take it
+//	seq == pos+len(slots) recycled — free for the producer one lap ahead
+//
+// A producer claims ticket pos by CASing tail pos→pos+1, writes the job,
+// then publishes with seq = pos+1. The consumer sees seq == head+1, reads
+// the job, and recycles with seq = head+len(slots). Tickets are uint64 and
+// never wrap in practice.
+//
+// Capacity. The slot array is sized to the next power of two (for mask
+// indexing) but the logical capacity is exactly Config.QueueLen, enforced by
+// the tail-head occupancy gate, so saturation and backpressure trip at the
+// configured depth, same as the old channel. The gate reads head without
+// synchronizing against an in-flight pop, so a push racing the consumer's
+// recycle can report full one operation early — indistinguishable from
+// having raced the genuinely full queue a moment sooner.
+
+import "sync/atomic"
+
+// ringSlot is one sequence-stamped cell. The job pointer is owned by
+// whichever side the seq state machine says owns the slot.
+type ringSlot struct {
+	seq atomic.Uint64
+	j   *job
+}
+
+// ring is a bounded MPSC queue. Producers call tryPush concurrently; pop
+// and empty-at-head checks belong to the single consumer.
+type ring struct {
+	cap   uint64
+	mask  uint64
+	slots []ringSlot
+	head  atomic.Uint64 // next position to consume (written by the consumer)
+	tail  atomic.Uint64 // next producer ticket (CAS-claimed)
+}
+
+// newRing builds a ring with logical capacity n (>= 1).
+func newRing(n int) *ring {
+	if n < 1 {
+		n = 1
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	r := &ring{cap: uint64(n), mask: uint64(size - 1), slots: make([]ringSlot, size)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// tryPush publishes j, returning false when the ring is at capacity.
+// Safe for any number of concurrent producers.
+func (r *ring) tryPush(j *job) bool {
+	for {
+		pos := r.tail.Load()
+		if pos-r.head.Load() >= r.cap {
+			return false
+		}
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		if seq == pos {
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				slot.j = j
+				slot.seq.Store(pos + 1)
+				return true
+			}
+			continue // lost the ticket race; reload tail
+		}
+		if seq < pos {
+			// The consumer has not recycled this slot: a full lap of
+			// published jobs sits ahead of it.
+			return false
+		}
+		// seq > pos: another producer advanced tail past us; retry.
+	}
+}
+
+// pop takes the oldest published job. Single consumer only.
+func (r *ring) pop() (*job, bool) {
+	pos := r.head.Load()
+	slot := &r.slots[pos&r.mask]
+	if slot.seq.Load() != pos+1 {
+		return nil, false // empty, or the producer at pos is mid-publish
+	}
+	j := slot.j
+	slot.j = nil
+	r.head.Store(pos + 1)
+	slot.seq.Store(pos + uint64(len(r.slots)))
+	return j, true
+}
+
+// empty reports whether every claimed ticket has been consumed. Used only
+// in the consumer's park protocol, where a racing publish is caught by the
+// producer's wake instead.
+func (r *ring) empty() bool {
+	return r.head.Load() == r.tail.Load()
+}

@@ -1,0 +1,277 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"flicker/internal/core"
+	"flicker/internal/pal"
+)
+
+// TestRingFIFOAndCapacity: the ring is FIFO and honors its logical
+// capacity exactly, including non-power-of-two depths (the slot array
+// rounds up; the occupancy gate must not).
+func TestRingFIFOAndCapacity(t *testing.T) {
+	for _, depth := range []int{1, 3, 4, 5, 16} {
+		r := newRing(depth)
+		jobs := make([]*job, depth)
+		for i := range jobs {
+			jobs[i] = &job{}
+			if !r.tryPush(jobs[i]) {
+				t.Fatalf("depth %d: push %d rejected below capacity", depth, i)
+			}
+		}
+		if r.tryPush(&job{}) {
+			t.Fatalf("depth %d: push accepted at capacity", depth)
+		}
+		for i := range jobs {
+			j, ok := r.pop()
+			if !ok || j != jobs[i] {
+				t.Fatalf("depth %d: pop %d = %v ok=%v, want FIFO order", depth, i, j, ok)
+			}
+		}
+		if _, ok := r.pop(); ok {
+			t.Fatalf("depth %d: pop succeeded on empty ring", depth)
+		}
+		// A second lap exercises the sequence recycling.
+		if !r.tryPush(jobs[0]) {
+			t.Fatalf("depth %d: push rejected after full drain", depth)
+		}
+		if j, ok := r.pop(); !ok || j != jobs[0] {
+			t.Fatalf("depth %d: second-lap pop failed", depth)
+		}
+	}
+}
+
+// TestRingConcurrentProducers: many producers race into one ring while a
+// single consumer drains; every pushed job is consumed exactly once. Run
+// under -race this also checks the publish/consume memory ordering.
+func TestRingConcurrentProducers(t *testing.T) {
+	const producers, perProducer = 8, 2000
+	r := newRing(64)
+	var pushed, popped atomic.Int64
+	seen := make(map[*job]bool, producers*perProducer)
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				j := &job{}
+				for !r.tryPush(j) {
+					runtime.Gosched()
+				}
+				pushed.Add(1)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for popped.Load() < producers*perProducer {
+			if j, ok := r.pop(); ok {
+				if seen[j] {
+					t.Error("job consumed twice")
+					return
+				}
+				seen[j] = true
+				popped.Add(1)
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := popped.Load(); got != producers*perProducer {
+		t.Fatalf("consumed %d jobs, want %d", got, producers*perProducer)
+	}
+}
+
+// TestPoolCloseDrainHammer races Run, TryRun, and Close: every submission
+// that was accepted (did not return ErrClosed/ErrSaturated) must complete
+// with a session result — accepted-then-dropped would hang the submitter,
+// and a double-completed job would double-send on its reply channel (the
+// race detector and the channel's cap-1 send would both trip).
+func TestPoolCloseDrainHammer(t *testing.T) {
+	for round := 0; round < 4; round++ {
+		p, err := New(Config{
+			Shards:   2,
+			QueueLen: 2,
+			Platform: core.PlatformConfig{Seed: fmt.Sprintf("pool-drain-%d", round)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var accepted, completed atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 20; i++ {
+					name := fmt.Sprintf("pal-%d", (w+i)%4)
+					var res *core.SessionResult
+					var err error
+					if w%2 == 0 {
+						res, err = p.Run(testPAL(name), core.SessionOptions{})
+					} else {
+						res, err = p.TryRun(testPAL(name), core.SessionOptions{})
+					}
+					switch {
+					case err == nil:
+						accepted.Add(1)
+						if res == nil {
+							t.Errorf("accepted job returned nil result")
+						} else {
+							completed.Add(1)
+						}
+					case errors.Is(err, ErrClosed) || errors.Is(err, ErrSaturated):
+						// Rejected; fine under the racing Close/saturation.
+					default:
+						t.Errorf("unexpected submit error: %v", err)
+					}
+				}
+			}(w)
+		}
+		close(start)
+		// Close concurrently with the submitter storm: raced submissions
+		// either reject with ErrClosed or drain to completion.
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		if accepted.Load() != completed.Load() {
+			t.Fatalf("accepted %d jobs but %d completed", accepted.Load(), completed.Load())
+		}
+		if st := p.Stats(); int64(st.Sessions) < completed.Load() {
+			t.Fatalf("platforms ran %d sessions, fewer than %d completed replies", st.Sessions, completed.Load())
+		}
+		if _, err := p.Run(testPAL("late"), core.SessionOptions{}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Run after drain = %v, want ErrClosed", err)
+		}
+	}
+}
+
+// TestPoolBackpressureDuringClose: a Run blocked on a full ring when Close
+// begins holds an inflight ticket, so the worker keeps draining and the
+// blocked submitter's session still completes (the old RWMutex guarantee).
+func TestPoolBackpressureDuringClose(t *testing.T) {
+	p, err := New(Config{
+		Shards:   1,
+		QueueLen: 1,
+		Platform: core.PlatformConfig{Seed: "pool-bp-close"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocker := &pal.Func{
+		PALName: "blocker",
+		Binary:  pal.DescriptorCode("blocker", "1.0", nil, nil),
+		Fn: func(env *pal.Env, input []byte) ([]byte, error) {
+			close(started)
+			<-release
+			return []byte("done"), nil
+		},
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 6)
+	wg.Add(1)
+	go func() { defer wg.Done(); _, errs[0] = p.Run(blocker, core.SessionOptions{}) }()
+	<-started
+	// Fill the single ring slot and pile blocked submitters behind it.
+	for i := 1; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); _, errs[i] = p.Run(testPAL("queued"), core.SessionOptions{}) }(i)
+	}
+	// Blocker in flight + one job in the ring slot + four submitters blocked
+	// on backpressure (pending counts blocked submissions too).
+	waitPending(t, p, 6)
+	closed := make(chan error, 1)
+	go func() { closed <- p.Close() }()
+	close(release)
+	wg.Wait()
+	if err := <-closed; err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, ErrClosed) {
+			t.Errorf("submitter %d: %v (blocked submissions must drain or reject, never fail)", i, err)
+		}
+	}
+}
+
+// TestPoolSubmitAllocs budgets the warm submit-to-reply round trip. Job
+// records and their reply channels are pooled, the ring publishes without
+// allocating, and the session itself runs on the platform's scratch, so
+// the pool must add only a handful of allocations over the bare session.
+func TestPoolSubmitAllocs(t *testing.T) {
+	p := newPool(t, 1, 4)
+	hello := testPAL("hello")
+	if _, err := p.Run(hello, core.SessionOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		res, err := p.Run(hello, core.SessionOptions{})
+		if err != nil || res.PALError != nil {
+			t.Fatalf("%v %v", err, res.PALError)
+		}
+	})
+	// The warm classic session itself costs ~19 allocs (budgeted at 32 in
+	// core's TestSessionAllocsRegression); the pool's submit/reply framing
+	// rides the job pool and must stay within a small constant of that.
+	const budget = 40
+	if avg > budget {
+		t.Errorf("pool round trip costs %.0f allocs, budget %d", avg, budget)
+	}
+}
+
+// BenchmarkPoolThroughputParallel drives the pool with open-loop parallel
+// submitters (RunParallel spawns GOMAXPROCS goroutines), the shape the
+// shard-parallel scaling gate measures in cmd/benchsessions.
+func BenchmarkPoolThroughputParallel(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			p, err := New(Config{
+				Shards:   shards,
+				QueueLen: 64,
+				Platform: core.PlatformConfig{Seed: "bench-pool"},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			// Distinct PAL names spread affinity across shards.
+			pals := make([]pal.PAL, 8)
+			for i := range pals {
+				pals[i] = testPAL(fmt.Sprintf("bench-%d", i))
+			}
+			for _, pl := range pals {
+				if _, err := p.Run(pl, core.SessionOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					res, err := p.Run(pals[i%len(pals)], core.SessionOptions{})
+					if err != nil || res.PALError != nil {
+						b.Errorf("%v %v", err, res.PALError)
+						return
+					}
+					i++
+				}
+			})
+		})
+	}
+}

@@ -38,6 +38,11 @@ func NewClient(bus *tis.Bus, loc tis.Locality, nonceSeed []byte) *Client {
 // Locality returns the locality this driver issues commands at.
 func (c *Client) Locality() tis.Locality { return c.loc }
 
+// Reseed resets the client's nonce generator to the state NewClient with the
+// same seed would produce. It lets a session reuse a cached driver while
+// keeping the nonce stream identical to a freshly constructed one.
+func (c *Client) Reseed(nonceSeed []byte) { c.rng.Reseed(nonceSeed) }
+
 // params resets and returns the client's parameter scratch buffer. The
 // returned buffer is valid until the next params call — long enough to
 // build one command's body and hand it to run/runAuth1, which copy it

@@ -161,14 +161,16 @@ func appendCommand(dst []byte, tag uint16, ordinal uint32, body []byte) []byte {
 	return w.b
 }
 
-// marshalResponse frames a response.
+// marshalResponse frames a response. The frame is sized exactly and copied
+// out of body, so handlers may hand in a scratch buffer; the returned frame
+// itself is freshly allocated and never pooled — the caller owns it.
 func marshalResponse(tag uint16, rc uint32, body []byte) []byte {
-	w := &buf{}
-	w.u16(tag)
-	w.u32(uint32(10 + len(body)))
-	w.u32(rc)
-	w.raw(body)
-	return w.b
+	out := make([]byte, 10+len(body))
+	binary.BigEndian.PutUint16(out, tag)
+	binary.BigEndian.PutUint32(out[2:], uint32(10+len(body)))
+	binary.BigEndian.PutUint32(out[6:], rc)
+	copy(out[10:], body)
+	return out
 }
 
 // parseFrame splits a frame into (tag, code, body); code is the ordinal for

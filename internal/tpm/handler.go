@@ -21,7 +21,7 @@ func (t *TPM) dispatch(loc tis.Locality, tag uint16, ord uint32, body []byte) ([
 	if rc == RCSuccess {
 		c, ok := t.okCounters[ord]
 		if !ok {
-			c = t.metCommands.With(name, "0")
+			c = t.metCommands.With(name, "0").Cell()
 			t.okCounters[ord] = c
 		}
 		c.Inc()
@@ -31,7 +31,7 @@ func (t *TPM) dispatch(loc tis.Locality, tag uint16, ord uint32, body []byte) ([
 	}
 	h, ok := t.latHists[ord]
 	if !ok {
-		h = t.metLatency.With(name)
+		h = t.metLatency.With(name).Cell()
 		t.latHists[ord] = h
 	}
 	h.ObserveDurationExemplar(t.clock.Now()-start, t.traceTag.Get())
@@ -108,7 +108,7 @@ func (t *TPM) dispatchOrdinal(loc tis.Locality, tag uint16, ord uint32, body []b
 func (t *TPM) cmdOIAP() ([]byte, uint32) {
 	t.charge(simtime.Charge{Duration: t.profile.TPMOIAPSession, Label: "tpm.oiap"})
 	h, ne := t.oiapLocked()
-	w := &buf{}
+	w := t.respBuf()
 	w.u32(h)
 	w.raw(ne[:])
 	return w.b, RCSuccess
@@ -135,7 +135,7 @@ func (t *TPM) cmdOSAP(body []byte) ([]byte, uint32) {
 	if rc != RCSuccess {
 		return nil, rc
 	}
-	w := &buf{}
+	w := t.respBuf()
 	w.u32(h)
 	w.raw(ne[:])
 	w.raw(neOSAP[:])
@@ -156,8 +156,7 @@ func (t *TPM) cmdExtend(body []byte) ([]byte, uint32) {
 	var m Digest
 	copy(m[:], db)
 	t.extendLocked(int(idx), m)
-	v := t.pcrs[idx]
-	return v[:], RCSuccess
+	return t.pcrs[idx][:], RCSuccess
 }
 
 func (t *TPM) cmdPCRRead(body []byte) ([]byte, uint32) {
@@ -167,8 +166,7 @@ func (t *TPM) cmdPCRRead(body []byte) ([]byte, uint32) {
 	if err != nil || idx >= NumPCRs {
 		return nil, RCBadIndex
 	}
-	v := t.pcrs[idx]
-	return v[:], RCSuccess
+	return t.pcrs[idx][:], RCSuccess
 }
 
 // cmdPCRReset implements the software TPM_PCR_Reset. Per the v1.2 locality
@@ -208,8 +206,13 @@ func (t *TPM) cmdGetRandom(body []byte) ([]byte, uint32) {
 	if err != nil || n > 4096 {
 		return nil, RCBadParameter
 	}
-	w := &buf{}
-	w.bytes32(t.rng.Bytes(int(n)))
+	if cap(t.rnd) < int(n) {
+		t.rnd = make([]byte, n)
+	}
+	t.rnd = t.rnd[:n]
+	t.rng.Read(t.rnd)
+	w := t.respBuf()
+	w.bytes32(t.rnd)
 	return w.b, RCSuccess
 }
 
@@ -220,7 +223,7 @@ func (t *TPM) cmdGetCapability(body []byte) ([]byte, uint32) {
 	if err != nil {
 		return nil, RCBadParameter
 	}
-	w := &buf{}
+	w := t.respBuf()
 	switch area {
 	case 0: // version + PCR count
 		w.raw([]byte{1, 2, 0, 0})
@@ -274,7 +277,7 @@ func (t *TPM) cmdQuote(tag uint16, body []byte) ([]byte, uint32) {
 	if err != nil {
 		return nil, RCFail
 	}
-	w := &buf{}
+	w := t.respBuf()
 	w.raw(composite[:])
 	w.bytes32(sig)
 	return appendResponseAuth(w.b, authKey, RCSuccess, OrdQuote, nonceEven, tr.nonceOdd, tr.cont), RCSuccess
@@ -318,7 +321,7 @@ func (t *TPM) cmdSeal(tag uint16, body []byte) ([]byte, uint32) {
 	if rc != RCSuccess {
 		return nil, rc
 	}
-	w := &buf{}
+	w := t.respBuf()
 	w.bytes32(blob)
 	return appendResponseAuth(w.b, authKey, RCSuccess, OrdSeal, nonceEven, tr.nonceOdd, tr.cont), RCSuccess
 }
@@ -351,7 +354,7 @@ func (t *TPM) cmdUnseal(tag uint16, body []byte) ([]byte, uint32) {
 	if rc != RCSuccess {
 		return nil, rc
 	}
-	w := &buf{}
+	w := t.respBuf()
 	w.bytes32(data)
 	return appendResponseAuth(w.b, authKey, RCSuccess, OrdUnseal, nonceEven, tr.nonceOdd, tr.cont), RCSuccess
 }
@@ -383,7 +386,7 @@ func (t *TPM) cmdMakeIdentity(tag uint16, body []byte) ([]byte, uint32) {
 	h := t.nextHandle
 	t.nextHandle++
 	t.keys[h] = &loadedKey{priv: priv, isAIK: true}
-	w := &buf{}
+	w := t.respBuf()
 	w.u32(h)
 	w.bytes32(palcrypto.MarshalPublicKey(&priv.RSAPublicKey))
 	w.bytes32(blob)
@@ -406,7 +409,7 @@ func (t *TPM) cmdCreateCounter(tag uint16, body []byte) ([]byte, uint32) {
 	id := t.nextCounter
 	t.nextCounter++
 	t.counters[id] = &counter{}
-	w := &buf{}
+	w := t.respBuf()
 	w.u32(id)
 	w.u32(0)
 	return appendResponseAuth(w.b, authKey, RCSuccess, OrdCreateCounter, nonceEven, tr.nonceOdd, tr.cont), RCSuccess
@@ -424,7 +427,7 @@ func (t *TPM) cmdIncrementCounter(body []byte) ([]byte, uint32) {
 		return nil, RCBadIndex
 	}
 	c.value++
-	w := &buf{}
+	w := t.respBuf()
 	w.u32(c.value)
 	return w.b, RCSuccess
 }
@@ -440,7 +443,7 @@ func (t *TPM) cmdReadCounter(body []byte) ([]byte, uint32) {
 	if !ok {
 		return nil, RCBadIndex
 	}
-	w := &buf{}
+	w := t.respBuf()
 	w.u32(c.value)
 	return w.b, RCSuccess
 }
@@ -459,7 +462,7 @@ func (t *TPM) cmdHashStart(loc tis.Locality) ([]byte, uint32) {
 	t.events.Record(metrics.EventPCR17Reset,
 		"tpm: locality-4 hash sequence reset PCRs 17-23")
 	t.hashActive = true
-	t.hash = palcrypto.NewSHA1()
+	t.hash.Reset()
 	return nil, RCSuccess
 }
 
@@ -488,12 +491,10 @@ func (t *TPM) cmdHashEnd(loc tis.Locality) ([]byte, uint32) {
 		return nil, RCFail
 	}
 	var m Digest
-	copy(m[:], t.hash.Sum(nil))
+	t.hash.SumInto(&m)
 	t.extendLocked(17, m)
 	t.hashActive = false
-	t.hash = nil
-	v := t.pcrs[17]
-	return v[:], RCSuccess
+	return t.pcrs[17][:], RCSuccess
 }
 
 // cmdHashDigest is the single-command fast path of the locality-4 hash
@@ -523,9 +524,7 @@ func (t *TPM) cmdHashDigest(loc tis.Locality, body []byte) ([]byte, uint32) {
 	copy(m[:], body[4:])
 	t.extendLocked(17, m)
 	t.hashActive = false
-	t.hash = nil
-	v := t.pcrs[17]
-	return v[:], RCSuccess
+	return t.pcrs[17][:], RCSuccess
 }
 
 // cmdStartup is TPM_Startup(ST_CLEAR): the BIOS's first command after a

@@ -71,9 +71,18 @@ type TPM struct {
 
 	nv map[uint32]*nvSpace
 
-	// In-progress locality-4 hash sequence (SKINIT SLB transfer).
+	// In-progress locality-4 hash sequence (SKINIT SLB transfer). The
+	// state is stored by value and reset per sequence so a warm session's
+	// SKINIT does not allocate a fresh hash state.
 	hashActive bool
-	hash       *palcrypto.SHA1
+	hash       palcrypto.SHA1
+
+	// rbody is the response-body scratch handed out by respBuf, and rnd the
+	// GetRandom payload scratch. Both are valid only under t.mu:
+	// marshalResponse copies the body into the (never-pooled) response
+	// frame before HandleCommand returns, so neither escapes a command.
+	rbody buf
+	rnd   []byte
 
 	// needStartup is set by a platform reset: the TPM refuses every
 	// command except TPM_Startup until the BIOS issues one (the v1.2
@@ -183,6 +192,14 @@ func (t *TPM) SetTraceTag(tag *metrics.TraceTag) {
 	t.traceTag = tag
 }
 
+// respBuf returns the TPM's response-body scratch, reset for a new body.
+// Valid only while t.mu is held, which every command handler is; the body is
+// copied into the response frame before HandleCommand returns.
+func (t *TPM) respBuf() *buf {
+	t.rbody.b = t.rbody.b[:0]
+	return &t.rbody
+}
+
 // rebootLocked resets volatile state as a platform reset does.
 // Callers must hold t.mu or be in New.
 func (t *TPM) rebootLocked() {
@@ -200,7 +217,6 @@ func (t *TPM) rebootLocked() {
 	t.sessions = make(map[uint32]*session)
 	t.keys = make(map[uint32]*loadedKey)
 	t.hashActive = false
-	t.hash = nil
 	t.bootCount++
 	t.needStartup = true
 }
