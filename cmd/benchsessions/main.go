@@ -455,6 +455,118 @@ func runFabric(n, hosts int) (modeResult, error) {
 	return r, nil
 }
 
+// pacedBatchPAL is the device-paced workload for the batched-fabric modes:
+// the session-entry cost (SKINIT + Unseal stand-in) is paid once per
+// session at OpenBatch, and each request behind it is trivial. The
+// singleton Run path sleeps the same pace, so a coalescer that falls back
+// to singleton frames pays exactly what fabric1's paced sessions pay —
+// any speedup the batch modes report is wire + session amortization, not a
+// cheaper workload.
+type pacedBatchPAL struct {
+	name string
+	pace time.Duration
+	code []byte
+}
+
+func newPacedBatchPAL(name string, pace time.Duration) *pacedBatchPAL {
+	return &pacedBatchPAL{name: name, pace: pace, code: flicker.DescriptorCode(name, "1.0", nil, nil)}
+}
+
+func (p *pacedBatchPAL) Name() string { return p.name }
+func (p *pacedBatchPAL) Code() []byte { return p.code }
+func (p *pacedBatchPAL) Run(env *flicker.Env, input []byte) ([]byte, error) {
+	time.Sleep(p.pace)
+	return []byte("ok"), nil
+}
+func (p *pacedBatchPAL) OpenBatch(env *flicker.Env, header []byte, n int) (any, error) {
+	time.Sleep(p.pace)
+	return nil, nil
+}
+func (p *pacedBatchPAL) RunRequest(env *flicker.Env, bctx any, i int, input []byte) ([]byte, error) {
+	return []byte("ok"), nil
+}
+func (p *pacedBatchPAL) CloseBatch(env *flicker.Env, bctx any) ([]byte, error) { return nil, nil }
+
+// runFabricBatched benchmarks the controller's wire-frame coalescer:
+// same-PAL runs grouped into runBatch frames, one frame per wire round
+// trip, one session (one OpenBatch pace) per frame. Per-op numbers are per
+// request, directly comparable against fabric1's per-session numbers.
+func runFabricBatched(n, hosts, batch int) (modeResult, error) {
+	sw := flicker.NewNetSwitch(0, 0)
+	ca, err := flicker.NewPrivacyCA([]byte("benchsessions-fabric"), 0)
+	if err != nil {
+		return modeResult{}, err
+	}
+	ctrl, err := flicker.NewFabricController(sw, ca, flicker.FabricControllerConfig{
+		Seed:     "benchsessions",
+		MaxBatch: batch,
+		MaxWait:  2 * time.Millisecond,
+		Window:   4,
+	})
+	if err != nil {
+		return modeResult{}, err
+	}
+	defer ctrl.Close()
+	pl := newPacedBatchPAL("paced-batch", 500*time.Microsecond)
+	if err := ctrl.RegisterPAL(pl); err != nil {
+		return modeResult{}, err
+	}
+	for i := 0; i < hosts; i++ {
+		name := fmt.Sprintf("host%d", i)
+		h, err := flicker.NewFabricHost(sw, ca, flicker.FabricHostConfig{
+			Name:     name,
+			Platform: flicker.Config{Seed: "benchsessions|" + name, Profile: flicker.ProfileFuture()},
+		})
+		if err != nil {
+			return modeResult{}, err
+		}
+		defer h.Close()
+		if err := h.RegisterPAL(pl); err != nil {
+			return modeResult{}, err
+		}
+		if err := ctrl.Admit(name); err != nil {
+			return modeResult{}, err
+		}
+	}
+	if _, err := ctrl.Run(pl.Name(), nil); err != nil {
+		return modeResult{}, err
+	}
+	submitters := 32
+	if hosts > 1 {
+		submitters = 64
+	}
+	r, err := measure(1, func() error {
+		var wg sync.WaitGroup
+		errs := make(chan error, submitters)
+		for w := 0; w < submitters; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < n; i += submitters {
+					if _, err := ctrl.Run(pl.Name(), nil); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		return <-errs
+	})
+	if err != nil {
+		return modeResult{}, err
+	}
+	r.Sessions = n
+	r.Hosts = hosts
+	r.Batch = batch
+	r.NsPerOp /= float64(n)
+	r.SessionsPerSec = float64(n) * r.SessionsPerSec
+	r.AllocsPerOp /= float64(n)
+	r.BytesPerOp /= float64(n)
+	return r, nil
+}
+
 // runCoreModes runs the single-machine trajectories (classic, pools,
 // batching) at the current GOMAXPROCS, tagging each result with the actual
 // per-mode GOMAXPROCS and the machine's CPU count. (The old `partitioned`
@@ -588,6 +700,29 @@ func main() {
 	fmt.Printf("fabric scaling: %0.2fx (fabric4 %0.0f/s over fabric1 %0.0f/s)\n",
 		report.Modes["fabric4"].SessionsPerSec/report.Modes["fabric1"].SessionsPerSec,
 		report.Modes["fabric4"].SessionsPerSec, report.Modes["fabric1"].SessionsPerSec)
+
+	// Batched fabric trajectories: same-PAL runs coalesced into runBatch
+	// wire frames. fabric_batch8 vs fabric1 is the wire-amortization gate
+	// (target: >= 5x requests/s from one frame -> one session per group).
+	for _, bm := range []struct {
+		name  string
+		hosts int
+		batch int
+	}{
+		{"fabric_batch8", 1, 8},
+		{"fabric_batch32", 1, 32},
+		{"fabric4_batch8", 4, 8},
+	} {
+		r, err := runFabricBatched(*n, bm.hosts, bm.batch)
+		if err != nil {
+			log.Fatalf("%s: %v", bm.name, err)
+		}
+		r.GOMAXPROCS = parallel
+		report.Modes[bm.name] = r
+	}
+	fmt.Printf("fabric batch scaling: %0.2fx (fabric_batch8 %0.0f/s over fabric1 %0.0f/s)\n",
+		report.Modes["fabric_batch8"].SessionsPerSec/report.Modes["fabric1"].SessionsPerSec,
+		report.Modes["fabric_batch8"].SessionsPerSec, report.Modes["fabric1"].SessionsPerSec)
 
 	// Tracing trajectories: the classic loop with the distributed tracer at
 	// three sample rates. The off/baseline ratio is the CI gate — sampling

@@ -322,7 +322,7 @@ func traceRunOnce(tracer *flicker.Tracer, palName string, run func(flicker.Sessi
 // n host agents on one simulated switch, every host quote-verified at
 // admission, all folding into one metrics registry. A background ticker
 // drives heartbeats and periodic re-attestation.
-func buildFabric(n int, palName string, target flicker.PAL, prof *flicker.Profile, sample float64, slow time.Duration) (*flicker.FabricController, *http.ServeMux, error) {
+func buildFabric(n int, palName string, target flicker.PAL, prof *flicker.Profile, sample float64, slow time.Duration, batch int, batchWait time.Duration, window int) (*flicker.FabricController, *http.ServeMux, error) {
 	reg := flicker.NewMetricsRegistry()
 	events := flicker.NewSecurityEventLog(0)
 	sw := flicker.NewNetSwitch(2*time.Millisecond, 0)
@@ -338,6 +338,9 @@ func buildFabric(n int, palName string, target flicker.PAL, prof *flicker.Profil
 		Events:        events,
 		TraceSample:   sample,
 		TraceSlow:     slow,
+		MaxBatch:      batch,
+		MaxWait:       batchWait,
+		Window:        window,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -385,6 +388,9 @@ func cmdServe(args []string) {
 	hosts := fs.Int("hosts", 0, "run an in-process attestation fabric of N quote-verified hosts (0 = no fabric; overrides -shards)")
 	batch := fs.Int("batch", 1, "max requests coalesced into one session per shard (requires -shards mode; >1 enables the coalescer)")
 	batchWait := fs.Duration("batch-wait", 2*time.Millisecond, "how long a shard holds a lone request hoping to form a batch")
+	fabricBatch := fs.Int("fabric-batch", 0, "max same-PAL runs coalesced into one fabric wire frame (0 = singleton frames; requires -hosts)")
+	fabricBatchWait := fs.Duration("fabric-batch-wait", time.Millisecond, "how long the controller holds a lone run hoping to form a wire frame")
+	fabricWindow := fs.Int("fabric-window", 4, "max in-flight wire frames per fabric host (pipelining window)")
 	traceSample := fs.Float64("trace-sample", 0, "fraction of sessions to trace end-to-end (0 = tracing off, 1 = every session)")
 	traceSlow := fs.Duration("trace-slow", 0, "retain every sampled trace at least this slow in the flight recorder (0 = default threshold)")
 	fs.Parse(args)
@@ -412,10 +418,11 @@ func cmdServe(args []string) {
 		mux     *http.ServeMux
 	)
 	if *hosts > 0 {
-		ctrl, mux2, err := buildFabric(*hosts, *palName, target, prof, *traceSample, *traceSlow)
+		ctrl, mux2, err := buildFabric(*hosts, *palName, target, prof, *traceSample, *traceSlow, *fabricBatch, *fabricBatchWait, *fabricWindow)
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer ctrl.Close()
 		runOnce = func() error {
 			_, err := ctrl.Run(*palName, []byte(*input))
 			return err

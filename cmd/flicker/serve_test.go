@@ -222,10 +222,11 @@ func serveFabric(t *testing.T, hosts, sessions int, sample float64) (*flicker.Fa
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctrl, mux, err := buildFabric(hosts, "hello", target, nil, sample, 0)
+	ctrl, mux, err := buildFabric(hosts, "hello", target, nil, sample, 0, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { ctrl.Close() })
 	for i := 0; i < sessions; i++ {
 		if _, err := ctrl.Run("hello", []byte("x")); err != nil {
 			t.Fatal(err)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flicker/internal/attest"
@@ -26,6 +27,10 @@ const ControllerAddr = "controller"
 // ErrNoHosts is returned by Run when no admitted, non-draining host can
 // serve the requested PAL (including after failover exhausted the fleet).
 var ErrNoHosts = errors.New("fabric: no admitted host can serve this PAL")
+
+// ErrClosed is returned by Run after Close has begun shutting the
+// controller's dispatchers down.
+var ErrClosed = errors.New("fabric: controller closed")
 
 // PALError reports a session that a host executed but whose PAL failed.
 // It is an application outcome, not a fabric failure, so the controller
@@ -57,6 +62,21 @@ type ControllerConfig struct {
 	HostInFlight int
 	// MaxResubmits bounds failover attempts per accepted job (default 8).
 	MaxResubmits int
+	// MaxBatch enables the wire-frame coalescer: Run calls for the same PAL
+	// are gathered (sched.Coalescer group commit, same MaxBatch/MaxWait/
+	// singleton-fallback discipline as the pool's session coalescer) into one
+	// multi-request runBatch frame — one frame on the wire, one host-pool
+	// batch, one SKINIT + Seal/Unseal for the whole group. 0 or 1 disables
+	// batching (every Run is its own synchronous kindRun exchange).
+	MaxBatch int
+	// MaxWait bounds how long the coalescer holds the first Run of a group
+	// open waiting for companions (default 1ms when MaxBatch > 1).
+	MaxWait time.Duration
+	// Window is the pipelining depth: how many frames may be outstanding to
+	// one host at once before dispatch blocks (default 4; only meaningful
+	// when MaxBatch > 1). Heartbeats and control frames bypass the window
+	// entirely.
+	Window int
 	// Metrics receives the fabric counters (nil = unregistered).
 	Metrics *metrics.Registry
 	// TraceSample enables distributed tracing: the fraction of Run calls
@@ -174,6 +194,18 @@ type Controller struct {
 	expected map[string]expectedPAL
 	ticks    int
 
+	// Batched dispatch (cfg.MaxBatch > 1): one coalescing dispatcher
+	// goroutine per PAL feeds pipelined frame goroutines, bounded per host by
+	// a window lane. stop tears the dispatchers down.
+	coal     sched.Coalescer
+	stop     chan struct{}
+	stopOnce sync.Once
+	frameID  atomic.Uint64
+	dispMu   sync.Mutex
+	queues   map[string]chan *fabJob
+	laneMu   sync.Mutex
+	lanes    map[string]*hostLane
+
 	admissionsOK       int64
 	admissionsRejected int64
 	resubmits          int64
@@ -193,6 +225,13 @@ func NewController(sw *netsim.Switch, ca *attest.PrivacyCA, cfg ControllerConfig
 	if cfg.MaxResubmits <= 0 {
 		cfg.MaxResubmits = 8
 	}
+	// Same normalization as the pool's session coalescer — shared discipline,
+	// shared defaults.
+	co := sched.Coalescer{MaxBatch: cfg.MaxBatch, MaxWait: cfg.MaxWait}.Normalize()
+	cfg.MaxBatch, cfg.MaxWait = co.MaxBatch, co.MaxWait
+	if cfg.Window <= 0 {
+		cfg.Window = 4
+	}
 	c := &Controller{
 		sw:       sw,
 		ca:       ca.PublicKey(),
@@ -201,6 +240,10 @@ func NewController(sw *netsim.Switch, ca *attest.PrivacyCA, cfg ControllerConfig
 		met:      newFabricMetrics(cfg.Metrics),
 		members:  make(map[string]*member),
 		expected: make(map[string]expectedPAL),
+		coal:     co,
+		stop:     make(chan struct{}),
+		queues:   make(map[string]chan *fabJob),
+		lanes:    make(map[string]*hostLane),
 	}
 	if cfg.TraceSample > 0 {
 		c.tracer = trace.NewTracer("controller", sw.Clock().Now)
@@ -371,20 +414,30 @@ func (c *Controller) lookupExpected(name string) (expectedPAL, bool) {
 // that fails mid-job — unreachable, died mid-call, draining, or talking
 // protocol garbage — is excluded and the job is resubmitted to a survivor,
 // so an accepted job is lost only when the whole eligible fleet is gone.
+//
+// With cfg.MaxBatch > 1 the call is queued on the wire-frame coalescer
+// instead of dispatched synchronously: same outcome semantics, but same-PAL
+// neighbors share a runBatch frame and a host-side batched session.
 func (c *Controller) Run(palName string, input []byte) ([]byte, error) {
 	start := c.sw.Clock().Now()
 	root := c.tracer.StartSampled("fabric.run")
 	root.SetAttr("pal", palName)
-	out, err := c.run(palName, input, root)
+	var out []byte
+	var err error
+	if c.coal.Enabled() {
+		out, err = c.runBatched(palName, input, root)
+	} else {
+		out, err = c.run(palName, input, root)
+	}
 	root.EndErr(err)
 	c.met.runSeconds.ObserveDurationExemplar(c.sw.Clock().Now()-start, root.TraceHex())
 	return out, err
 }
 
-// run is Run's failover loop. Every dispatch attempt gets its own child span
-// under root, so a resubmitted job's assembled trace shows the orphaned
-// attempt (whose host half died with the host) and the successful sibling
-// side by side.
+// run is Run's synchronous failover loop (batching disabled). Every dispatch
+// attempt gets its own child span under root, so a resubmitted job's
+// assembled trace shows the orphaned attempt (whose host half died with the
+// host) and the successful sibling side by side.
 func (c *Controller) run(palName string, input []byte, root *trace.Span) ([]byte, error) {
 	tried := make(map[string]bool)
 	for attempt := 0; attempt <= c.cfg.MaxResubmits; attempt++ {
@@ -394,61 +447,436 @@ func (c *Controller) run(palName string, input []byte, root *trace.Span) ([]byte
 		}
 		att := root.Child("attempt")
 		att.SetAttr("host", m.name)
-		tid, pid := att.Context()
-		raw, err := c.port.Call(m.name, encodeRun(&runReq{
-			PAL: palName, Input: input,
-			Trace: traceCtx{TraceID: tid, Parent: pid},
-		}))
-		c.finishCall(m)
-		if err != nil {
-			// Died mid-call: the reply — and the host's span records with it
-			// — is gone. The attempt span survives as the orphaned half of a
-			// partial trace, and the whole trace is pinned for the recorder.
-			att.EndErr(err)
-			root.Trigger("failover-resubmit")
-			c.hostLost(m, err)
-			tried[m.name] = true
-			c.noteResubmit()
-			continue
-		}
-		body, derr := decodeResp(raw, kindRunResp)
-		if derr == nil {
-			var rr *runResp
-			if rr, derr = decodeRunResp(body); derr == nil {
-				att.Adopt(rr.Spans)
-				switch rr.Status {
-				case runOK:
-					c.mu.Lock()
-					m.sessions++
-					c.sessions++
-					c.mu.Unlock()
-					c.met.runsOK.Inc()
-					att.End()
-					return rr.Output, nil
-				case runPALError:
-					c.met.runsErr.Inc()
-					perr := &PALError{Host: m.name, Msg: rr.Err}
-					att.EndErr(perr)
-					return nil, perr
-				default:
-					// Draining, lost, or unknown PAL: this member cannot take
-					// the job right now; try a survivor.
-					att.EndErr(fmt.Errorf("host refused (status %d): %s", rr.Status, rr.Err))
-					root.Trigger("failover-resubmit")
-					tried[m.name] = true
-					c.noteResubmit()
-					continue
-				}
+		out, err, retry, down := c.callRun(m, palName, input, att)
+		c.finishCallN(m, 1)
+		if !retry {
+			if err != nil {
+				att.EndErr(err)
+				return nil, err
 			}
+			c.noteSessions(m, 1)
+			att.End()
+			return out, nil
 		}
-		// Protocol garbage from an admitted member: treat like a crash.
-		att.EndErr(derr)
+		// Died mid-call, protocol garbage, or a refusal: the attempt span
+		// survives as the orphaned half of a partial trace, the whole trace is
+		// pinned for the recorder, and the job moves to a survivor.
+		att.EndErr(err)
 		root.Trigger("failover-resubmit")
-		c.hostLost(m, derr)
+		if down {
+			c.hostLost(m, err)
+		}
 		tried[m.name] = true
 		c.noteResubmit()
 	}
 	return nil, fmt.Errorf("%w: %s (failover budget exhausted)", ErrNoHosts, palName)
+}
+
+// callRun performs one singleton kindRun exchange with m on the pooled
+// frame path (encode scratch and reply buffer both recycled — the fabric's
+// zero-alloc discipline). out is an owned copy, safe after the buffers are
+// recycled. retry reports that the member could not take the job (the
+// caller's failover policy decides where it goes next); down additionally
+// reports the member must be marked lost (dead or talking garbage, versus a
+// clean refusal).
+func (c *Controller) callRun(m *member, palName string, input []byte, att *trace.Span) (out []byte, err error, retry, down bool) {
+	tid, pid := att.Context()
+	scratch := getFrameBuf()
+	enc := appendRun((*scratch)[:0], &runReq{
+		PAL: palName, Input: input,
+		Trace: traceCtx{TraceID: tid, Parent: pid},
+	})
+	reply := getFrameBuf()
+	raw, cerr := c.port.CallAppend(m.name, enc, (*reply)[:0])
+	*scratch = enc[:0]
+	putFrameBuf(scratch)
+	defer func() {
+		if raw != nil {
+			*reply = raw
+		}
+		putFrameBuf(reply)
+	}()
+	if cerr != nil {
+		// Died mid-call: the reply — and the host's span records with it —
+		// is gone.
+		return nil, cerr, true, true
+	}
+	body, derr := decodeResp(raw, kindRunResp)
+	if derr == nil {
+		var rr *runResp
+		if rr, derr = decodeRunResp(body); derr == nil {
+			att.Adopt(rr.Spans)
+			switch rr.Status {
+			case runOK:
+				// rr.Output aliases the pooled reply buffer; copy before it
+				// recycles.
+				return append([]byte(nil), rr.Output...), nil, false, false
+			case runPALError:
+				c.met.runsErr.Inc()
+				return nil, &PALError{Host: m.name, Msg: rr.Err}, false, false
+			default:
+				// Draining, lost, or unknown PAL: this member cannot take
+				// the job right now; try a survivor.
+				return nil, fmt.Errorf("host refused (status %d): %s", rr.Status, rr.Err), true, false
+			}
+		}
+	}
+	// Protocol garbage from an admitted member: treat like a crash.
+	return nil, derr, true, true
+}
+
+// --- batched dispatch -------------------------------------------------------
+
+// fabJob is one queued Run riding the wire-frame coalescer. done is
+// buffered: outcome delivery never blocks a frame goroutine.
+type fabJob struct {
+	input    []byte
+	root     *trace.Span
+	tried    map[string]bool
+	attempts int
+	done     chan fabOut
+}
+
+type fabOut struct {
+	out []byte
+	err error
+}
+
+// hostLane is one host's pipelining window: a frame dispatch acquires a
+// token before its port call and releases it as soon as the wire exchange
+// returns, so at most Window frames are outstanding to the host at once.
+// The blocked-acquire counter mirrors the pool ring's waiter-counted
+// backpressure semantics: contention is observable, not silent.
+type hostLane struct {
+	tokens chan struct{}
+}
+
+func (l *hostLane) acquire(met *fabricMetrics) {
+	select {
+	case l.tokens <- struct{}{}:
+	default:
+		met.windowWaits.Inc()
+		l.tokens <- struct{}{}
+	}
+}
+
+func (l *hostLane) release() { <-l.tokens }
+
+func (c *Controller) laneFor(host string) *hostLane {
+	c.laneMu.Lock()
+	defer c.laneMu.Unlock()
+	l, ok := c.lanes[host]
+	if !ok {
+		l = &hostLane{tokens: make(chan struct{}, c.cfg.Window)}
+		c.lanes[host] = l
+	}
+	return l
+}
+
+// queueFor returns (lazily starting) the dispatcher queue for one PAL.
+func (c *Controller) queueFor(palName string) chan *fabJob {
+	c.dispMu.Lock()
+	defer c.dispMu.Unlock()
+	q, ok := c.queues[palName]
+	if !ok {
+		depth := 4 * c.coal.MaxBatch
+		if depth < 64 {
+			depth = 64
+		}
+		q = make(chan *fabJob, depth)
+		c.queues[palName] = q
+		go c.dispatch(palName, q)
+	}
+	return q
+}
+
+// runBatched enqueues one Run on its PAL's coalescer and waits for the
+// outcome.
+func (c *Controller) runBatched(palName string, input []byte, root *trace.Span) ([]byte, error) {
+	j := &fabJob{input: input, root: root, done: make(chan fabOut, 1)}
+	select {
+	case c.queueFor(palName) <- j:
+	case <-c.stop:
+		return nil, ErrClosed
+	}
+	o := <-j.done
+	return o.out, o.err
+}
+
+// dispatch is one PAL's coalescing dispatcher: gather a group (sched.Gather,
+// the pool's group-commit discipline on a channel), pick a host, and issue
+// the group as pipelined frames. The dispatcher itself never touches the
+// wire — frame goroutines do — so gathering the next group overlaps the
+// previous frames' round trips.
+func (c *Controller) dispatch(palName string, q chan *fabJob) {
+	for {
+		var first *fabJob
+		select {
+		case first = <-q:
+		case <-c.stop:
+			c.failPending(q)
+			return
+		}
+		group, reason := sched.Gather(c.coal, first, q)
+		c.met.batchFlush[reason].Inc()
+		c.met.batchSize.ObserveExemplar(float64(len(group)), firstRootHex(group))
+		c.dispatchGroup(palName, group)
+	}
+}
+
+// failPending drains a closing queue, failing everything in hand. Close's
+// contract is that no Run is in flight when it is called, so this only
+// sweeps stragglers.
+func (c *Controller) failPending(q chan *fabJob) {
+	for {
+		select {
+		case j := <-q:
+			j.done <- fabOut{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// dispatchGroup splits a gathered group into frames bounded by what one
+// batched session's input page can hold (core.BatchInputFits — the same
+// bound the pool's coalescer applies) and issues each frame to a host.
+func (c *Controller) dispatchGroup(palName string, group []*fabJob) {
+	for len(group) > 0 {
+		sizes := []int{len(group[0].input)}
+		n := 1
+		for n < len(group) {
+			next := append(sizes, len(group[n].input))
+			if !core.BatchInputFits(0, next...) {
+				break
+			}
+			sizes = next
+			n++
+		}
+		frame := group[:n]
+		group = group[n:]
+		m := c.pickN(palName, triedUnion(frame), len(frame))
+		if m == nil {
+			for _, j := range frame {
+				j.done <- fabOut{err: fmt.Errorf("%w: %s", ErrNoHosts, palName)}
+			}
+			continue
+		}
+		lane := c.laneFor(m.name)
+		// Window backpressure is applied here, in the dispatcher, so the
+		// number of outstanding frames per host is bounded before goroutines
+		// are spawned for them.
+		lane.acquire(c.met)
+		go c.callFrame(m, lane, palName, frame)
+	}
+}
+
+// triedUnion merges the members' failover exclusion sets: a frame carrying
+// any job that already failed on a host avoids that host for the whole
+// frame.
+func triedUnion(frame []*fabJob) map[string]bool {
+	var u map[string]bool
+	for _, j := range frame {
+		for h := range j.tried {
+			if u == nil {
+				u = make(map[string]bool)
+			}
+			u[h] = true
+		}
+	}
+	return u
+}
+
+// firstRootHex returns the first traced job's trace ID for exemplar
+// attribution ("" when the whole group is untraced).
+func firstRootHex(group []*fabJob) string {
+	for _, j := range group {
+		if h := j.root.TraceHex(); h != "" {
+			return h
+		}
+	}
+	return ""
+}
+
+// callFrame issues one frame: a singleton rides the legacy kindRun exchange
+// (bit-identical to the unbatched fabric), a group rides one runBatch frame.
+// The lane token is released as soon as the wire exchange returns — before
+// decode, fan-out, or resubmission — so a retry that blocks re-enqueueing
+// never wedges the host's window.
+func (c *Controller) callFrame(m *member, lane *hostLane, palName string, frame []*fabJob) {
+	if len(frame) == 1 {
+		c.callSingle(m, lane, palName, frame[0])
+		return
+	}
+	fid := c.frameID.Add(1)
+	atts := make([]*trace.Span, len(frame))
+	var ftc traceCtx
+	for i, j := range frame {
+		att := j.root.Child("attempt")
+		att.SetAttr("host", m.name)
+		att.SetAttrInt("batch", int64(len(frame)))
+		att.SetAttrInt("frame", int64(fid))
+		atts[i] = att
+		if ftc.TraceID == 0 {
+			tid, pid := att.Context()
+			ftc = traceCtx{TraceID: tid, Parent: pid}
+		}
+	}
+	req := &runBatchReq{Frame: fid, PAL: palName, Trace: ftc,
+		Members: make([]runBatchMember, len(frame))}
+	for i, j := range frame {
+		tid, pid := atts[i].Context()
+		req.Members[i] = runBatchMember{Input: j.input, Trace: traceCtx{TraceID: tid, Parent: pid}}
+	}
+	scratch := getFrameBuf()
+	enc := appendRunBatch((*scratch)[:0], req)
+	reply := getFrameBuf()
+	raw, cerr := c.port.CallAppend(m.name, enc, (*reply)[:0])
+	*scratch = enc[:0]
+	putFrameBuf(scratch)
+	lane.release()
+	c.finishCallN(m, len(frame))
+	if cerr != nil {
+		// Died mid-call: the whole reply frame is lost, completed members and
+		// all — every member resubmits (the empty-completed-prefix case).
+		putFrameBuf(reply)
+		for i, j := range frame {
+			atts[i].EndErr(cerr)
+			j.root.Trigger("failover-resubmit")
+		}
+		c.hostLost(m, cerr)
+		for _, j := range frame {
+			c.retryJob(palName, j, m.name)
+		}
+		return
+	}
+	body, derr := decodeResp(raw, kindRunBatchResp)
+	var br *runBatchResp
+	if derr == nil {
+		br, derr = decodeRunBatchResp(body)
+	}
+	if derr == nil && (br.Frame != fid || len(br.Members) != len(frame)) {
+		derr = fmt.Errorf("%w: batch reply mismatch (frame %d for %d, %d members for %d)",
+			ErrBadFrame, br.Frame, fid, len(br.Members), len(frame))
+	}
+	if derr != nil {
+		// Protocol garbage from an admitted member: treat like a crash.
+		*reply = raw
+		putFrameBuf(reply)
+		for i, j := range frame {
+			atts[i].EndErr(derr)
+			j.root.Trigger("failover-resubmit")
+		}
+		c.hostLost(m, derr)
+		for _, j := range frame {
+			c.retryJob(palName, j, m.name)
+		}
+		return
+	}
+	// Fan the member outcomes out. The host finished members it reports
+	// runOK/runPALError — those are final and never resubmitted; members it
+	// reports runLost (an abort interrupted them) or a refusal status
+	// resubmit individually, so only the incomplete suffix travels again.
+	adopted := false
+	ok := 0
+	for i, j := range frame {
+		mr := &br.Members[i]
+		atts[i].Adopt(mr.Spans)
+		if !adopted && atts[i] != nil {
+			// The frame-level host segment (host.runBatch + the shared
+			// session's spans) splices under the first traced attempt.
+			atts[i].Adopt(br.Spans)
+			adopted = true
+		}
+		switch mr.Status {
+		case runOK:
+			ok++
+			atts[i].End()
+			// mr.Output aliases the pooled reply buffer; copy before it
+			// recycles.
+			j.done <- fabOut{out: append([]byte(nil), mr.Output...)}
+		case runPALError:
+			c.met.runsErr.Inc()
+			perr := &PALError{Host: m.name, Msg: mr.Err}
+			atts[i].EndErr(perr)
+			j.done <- fabOut{err: perr}
+		default:
+			atts[i].EndErr(fmt.Errorf("host refused (status %d): %s", mr.Status, mr.Err))
+			j.root.Trigger("failover-resubmit")
+			c.retryJob(palName, j, m.name)
+		}
+	}
+	if ok > 0 {
+		c.noteSessions(m, ok)
+	}
+	*reply = raw
+	putFrameBuf(reply)
+}
+
+// callSingle is callFrame's singleton fallback: the legacy kindRun exchange
+// with the batched path's failover plumbing.
+func (c *Controller) callSingle(m *member, lane *hostLane, palName string, j *fabJob) {
+	att := j.root.Child("attempt")
+	att.SetAttr("host", m.name)
+	out, err, retry, down := c.callRun(m, palName, j.input, att)
+	lane.release()
+	c.finishCallN(m, 1)
+	if !retry {
+		if err != nil {
+			att.EndErr(err)
+			j.done <- fabOut{err: err}
+			return
+		}
+		c.noteSessions(m, 1)
+		att.End()
+		j.done <- fabOut{out: out}
+		return
+	}
+	att.EndErr(err)
+	j.root.Trigger("failover-resubmit")
+	if down {
+		c.hostLost(m, err)
+	}
+	c.retryJob(palName, j, m.name)
+}
+
+// retryJob excludes the failed host and re-enqueues the job on its PAL's
+// coalescer, failing it once the failover budget is spent. Callers must not
+// hold a lane token: the re-enqueue may block on a full queue.
+func (c *Controller) retryJob(palName string, j *fabJob, host string) {
+	if j.tried == nil {
+		j.tried = make(map[string]bool)
+	}
+	j.tried[host] = true
+	j.attempts++
+	c.noteResubmit()
+	if j.attempts > c.cfg.MaxResubmits {
+		j.done <- fabOut{err: fmt.Errorf("%w: %s (failover budget exhausted)", ErrNoHosts, palName)}
+		return
+	}
+	select {
+	case c.queueFor(palName) <- j:
+	case <-c.stop:
+		j.done <- fabOut{err: ErrClosed}
+	}
+}
+
+// noteSessions credits n completed sessions to a member.
+func (c *Controller) noteSessions(m *member, n int) {
+	c.mu.Lock()
+	m.sessions += int64(n)
+	c.sessions += int64(n)
+	c.mu.Unlock()
+	c.met.runsOK.Add(float64(n))
+}
+
+// Close tears the batched dispatchers down: queued jobs fail with ErrClosed
+// and no further Run is accepted. Callers should let outstanding Runs finish
+// first (Close does not wait for them). A controller with batching disabled
+// needs no Close, but calling it is always safe.
+func (c *Controller) Close() error {
+	c.stopOnce.Do(func() { close(c.stop) })
+	return nil
 }
 
 func (c *Controller) noteResubmit() {
@@ -460,6 +888,12 @@ func (c *Controller) noteResubmit() {
 
 // pick selects and reserves (inflight++) an eligible member for a PAL.
 func (c *Controller) pick(palName string, tried map[string]bool) *member {
+	return c.pickN(palName, tried, 1)
+}
+
+// pickN is pick reserving n in-flight slots at once — a whole frame's worth
+// for a batched dispatch.
+func (c *Controller) pickN(palName string, tried map[string]bool, n int) *member {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var eligible []*member
@@ -484,15 +918,15 @@ func (c *Controller) pick(palName string, tried map[string]bool) *member {
 		i = sched.LeastLoaded(len(eligible), func(j int) int64 { return eligible[j].inflight })
 	}
 	m := eligible[i]
-	m.inflight++
+	m.inflight += int64(n)
 	m.gauge.Set(float64(m.inflight))
 	return m
 }
 
-// finishCall releases a member reservation and wakes drain waiters.
-func (c *Controller) finishCall(m *member) {
+// finishCallN releases n member reservations and wakes drain waiters.
+func (c *Controller) finishCallN(m *member, n int) {
 	c.mu.Lock()
-	m.inflight--
+	m.inflight -= int64(n)
 	m.gauge.Set(float64(m.inflight))
 	c.mu.Unlock()
 	c.cond.Broadcast()
@@ -531,6 +965,11 @@ func (c *Controller) Tick() {
 	sort.Slice(live, func(i, j int) bool { return live[i].name < live[j].name })
 	c.mu.Unlock()
 
+	// Heartbeats ride the priority lane: a direct port.Call that never enters
+	// a dispatcher queue and never takes a window token, so a host saturated
+	// with batched data frames still answers probes and is not falsely
+	// evicted. (The host side is symmetric — kindHeartbeat is served inline
+	// from atomics, never through the pool.)
 	for _, m := range live {
 		raw, err := c.port.Call(m.name, encodeEmpty(kindHeartbeat))
 		if err == nil {

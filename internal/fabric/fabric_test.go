@@ -65,6 +65,7 @@ func newFabRig(t *testing.T, n int, ccfg ControllerConfig) *fabRig {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { r.ctrl.Close() })
 	if err := r.ctrl.RegisterPAL(testPAL("echo")); err != nil {
 		t.Fatal(err)
 	}

@@ -187,6 +187,8 @@ func (h *Host) handle(req []byte) []byte {
 		return h.handleChallenge(req[1:])
 	case kindRun:
 		return h.handleRun(req[1:])
+	case kindRunBatch:
+		return h.handleRunBatch(req[1:])
 	case kindHeartbeat:
 		resp := &heartbeatResp{
 			InFlight: uint32(h.inflight.Load()),
@@ -295,6 +297,120 @@ func (h *Host) handleRun(body []byte) []byte {
 	}
 	h.sessions.Add(1)
 	return encodeRunResp(&runResp{Status: runOK, Output: res.Outputs, Spans: seg.Records()})
+}
+
+// handleRunBatch executes one runBatch frame as ONE batched pool session:
+// one SKINIT, one Seal/Unseal for the whole group. Per-member statuses carry
+// the completed-prefix contract back to the controller — members the batch
+// engine finished are final (runOK / runPALError), members an abort
+// interrupted are runLost so only the incomplete suffix is resubmitted.
+func (h *Host) handleRunBatch(body []byte) []byte {
+	r, err := decodeRunBatch(body)
+	if err != nil {
+		return encodeErrorResp(err.Error())
+	}
+	if len(r.Members) == 0 {
+		return encodeErrorResp("empty batch")
+	}
+	if h.draining.Load() {
+		return encodeBatchRefusal(r, runDraining, "host draining")
+	}
+	h.palMu.Lock()
+	p := h.pals[r.PAL]
+	h.palMu.Unlock()
+	if p == nil {
+		return encodeBatchRefusal(r, runUnknownPAL, "PAL not registered: "+r.PAL)
+	}
+	n := len(r.Members)
+	// The frame-level segment parents under the first traced member's attempt
+	// span; each member's own segment parents under its own attempt — except
+	// the frame's lead trace, whose member segment nests under the frame
+	// segment so the exemplar trace reads attempt → host.runBatch → host.run
+	// → session.
+	seg := h.tracer.Join(r.Trace.TraceID, r.Trace.Parent, "host.runBatch")
+	seg.SetAttr("host", h.name)
+	seg.SetAttr("pal", r.PAL)
+	seg.SetAttrInt("batch", int64(n))
+	_, segID := seg.Context()
+	reqs := make([][]byte, n)
+	memberSegs := make([]*trace.Span, n)
+	var obs []core.Observer
+	for i, m := range r.Members {
+		reqs[i] = m.Input
+		parent := m.Trace.Parent
+		if seg != nil && m.Trace.TraceID == r.Trace.TraceID {
+			parent = segID
+		}
+		ms := h.tracer.Join(m.Trace.TraceID, parent, "host.run")
+		ms.SetAttr("host", h.name)
+		memberSegs[i] = ms
+		if o := sessionObserver(ms); o != nil {
+			obs = append(obs, o)
+		}
+	}
+	h.attestMu.RLock()
+	defer h.attestMu.RUnlock()
+	h.inflight.Add(int64(n))
+	defer h.inflight.Add(int64(-n))
+	br, err := h.pool.RunBatch(p, reqs, core.SessionOptions{
+		TraceID:  seg.TraceHex(),
+		Observer: core.CombineObservers(obs...),
+	})
+	resp := &runBatchResp{Frame: r.Frame, Members: make([]runBatchMemberResp, n)}
+	for i := range resp.Members {
+		mr := &resp.Members[i]
+		switch {
+		case errors.Is(err, pool.ErrClosed):
+			mr.Status, mr.Err = runLost, err.Error()
+		case err != nil:
+			// The shared session aborted. Members before the interruption
+			// point keep their replies (the batch engine's completed-prefix
+			// contract); interrupted members report runLost and travel again.
+			switch {
+			case br != nil && i < br.Completed && br.Replies[i].Err == nil:
+				mr.Status, mr.Output = runOK, br.Replies[i].Output
+			case br != nil && i < br.Completed:
+				mr.Status, mr.Err = runPALError, br.Replies[i].Err.Error()
+			default:
+				mr.Status, mr.Err = runLost, err.Error()
+			}
+		case br.Session.PALError != nil:
+			// Batch-level PAL failure: the shared timer's completed prefix
+			// keeps its replies (mirroring the pool's singleton narrowing);
+			// everyone else sees the PAL error — final, never resubmitted.
+			if errors.Is(br.Session.PALError, pal.ErrPALTimeout) && i < br.Completed && br.Replies[i].Err == nil {
+				mr.Status, mr.Output = runOK, br.Replies[i].Output
+			} else {
+				mr.Status, mr.Err = runPALError, br.Session.PALError.Error()
+			}
+		case br.Replies[i].Err != nil:
+			mr.Status, mr.Err = runPALError, br.Replies[i].Err.Error()
+		default:
+			mr.Status, mr.Output = runOK, br.Replies[i].Output
+		}
+		ms := memberSegs[i]
+		if mr.Status == runOK {
+			h.sessions.Add(1)
+			ms.End()
+		} else {
+			ms.EndErr(errors.New(mr.Err))
+		}
+		mr.Spans = ms.Records()
+	}
+	seg.EndErr(err)
+	resp.Spans = seg.Records()
+	return appendRunBatchResp(nil, resp)
+}
+
+// encodeBatchRefusal answers a whole frame with one refusal status per
+// member (draining, unknown PAL) — correct Frame echo and member count, so
+// the controller's reply validation still holds.
+func encodeBatchRefusal(r *runBatchReq, status byte, msg string) []byte {
+	resp := &runBatchResp{Frame: r.Frame, Members: make([]runBatchMemberResp, len(r.Members))}
+	for i := range resp.Members {
+		resp.Members[i] = runBatchMemberResp{Status: status, Err: msg}
+	}
+	return appendRunBatchResp(nil, resp)
 }
 
 // inventory snapshots the host's registered PALs, sorted by name.

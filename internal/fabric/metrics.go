@@ -1,6 +1,9 @@
 package fabric
 
-import "flicker/internal/metrics"
+import (
+	"flicker/internal/metrics"
+	"flicker/internal/sched"
+)
 
 // fabricMetrics holds the controller's pre-resolved series handles. Label
 // sets are closed, so every handle is resolved once at construction (the
@@ -27,6 +30,14 @@ type fabricMetrics struct {
 	// index into.
 	runSeconds *metrics.Histogram
 
+	// Wire-frame coalescer instrumentation, mirroring the pool's
+	// flicker_pool_batch_* pair one tier up: runs per frame and why each
+	// group flushed, plus how often dispatch blocked on a full per-host
+	// pipelining window.
+	batchSize   *metrics.Histogram
+	batchFlush  map[string]*metrics.Counter
+	windowWaits *metrics.Counter
+
 	inflight *metrics.GaugeVec
 }
 
@@ -37,6 +48,8 @@ func newFabricMetrics(reg *metrics.Registry) *fabricMetrics {
 		"Fleet membership events.", "event")
 	runs := reg.Counter("flicker_fabric_runs_total",
 		"Sessions dispatched through the controller by outcome.", "result")
+	flush := reg.Counter("flicker_fabric_batch_flush_total",
+		"Controller wire-frame coalescer flushes, by reason.", "reason")
 	return &fabricMetrics{
 		reg:               reg,
 		admissionOK:       adm.With("ok"),
@@ -52,6 +65,16 @@ func newFabricMetrics(reg *metrics.Registry) *fabricMetrics {
 		runsErr: runs.With("pal_error").Cell(),
 		runSeconds: reg.Histogram("flicker_fabric_run_seconds",
 			"End-to-end controller-observed session latency, including failover.", nil).With().Cell(),
+		batchSize: reg.Histogram("flicker_fabric_batch_size",
+			"Runs coalesced per wire frame (1 = singleton fallback).",
+			[]float64{1, 2, 4, 8, 16, 32}).With().Cell(),
+		batchFlush: map[string]*metrics.Counter{
+			sched.FlushFull:    flush.With(sched.FlushFull).Cell(),
+			sched.FlushTimeout: flush.With(sched.FlushTimeout).Cell(),
+			sched.FlushDrain:   flush.With(sched.FlushDrain).Cell(),
+		},
+		windowWaits: reg.Counter("flicker_fabric_window_waits_total",
+			"Frame dispatches that blocked on a full per-host in-flight window.").With().Cell(),
 		inflight: reg.Gauge("flicker_fabric_inflight",
 			"Controller-observed in-flight sessions per host.", "host"),
 	}

@@ -277,3 +277,54 @@ func TestSwitchConcurrentCallsRace(t *testing.T) {
 		t.Fatalf("RoundTrips = %d, want %d", st.RoundTrips, workers*perW)
 	}
 }
+
+func TestSwitchCallAppendReusesBuffer(t *testing.T) {
+	sw := NewSwitch(simtime.New(), time.Millisecond, 0)
+	a, err := sw.Attach("ctrl", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Attach("host-0", func(req []byte) []byte {
+		return append([]byte("re:"), req...)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A buffer with spare capacity is reused in place: the reply lands in
+	// the same backing array, sliced from zero.
+	buf := make([]byte, 3, 64)
+	resp, err := a.CallAppend("host-0", []byte("query"), buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "re:query" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if &resp[0] != &buf[:1][0] {
+		t.Fatal("CallAppend allocated despite sufficient capacity")
+	}
+
+	// Nil buffer degenerates to Call: a freshly owned reply.
+	resp, err = a.CallAppend("host-0", []byte("q2"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "re:q2" {
+		t.Fatalf("nil-buf reply = %q", resp)
+	}
+
+	// The reply is a copy, never an alias of the handler's return value:
+	// mutating the caller's view does not reach the remote side.
+	handlerOwned := []byte("stable")
+	if _, err := sw.Attach("host-1", func([]byte) []byte { return handlerOwned }); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = a.CallAppend("host-1", nil, make([]byte, 0, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp[0] = 'X'
+	if handlerOwned[0] == 'X' {
+		t.Fatal("CallAppend aliased the handler's buffer across the simulated wire")
+	}
+}

@@ -166,8 +166,21 @@ func (p *Port) isClosed() bool {
 // Call performs one request/response exchange with the named destination:
 // request out, destination handler runs, response back. Both legs charge
 // wire time and are accounted from the caller's perspective (request =
-// sent, response = received).
+// sent, response = received). The returned response is an owned exact-size
+// frame; steady-state callers use CallAppend to reuse a reply buffer
+// instead.
 func (p *Port) Call(to string, request []byte) ([]byte, error) {
+	return p.CallAppend(to, request, nil)
+}
+
+// CallAppend is Call with a caller-supplied reply buffer: the response is
+// appended to buf[:0] and the filled slice returned, so a caller in a loop
+// (the fabric's frame path) recycles one buffer across exchanges instead
+// of allocating an owned copy per call. A nil buf behaves exactly like
+// Call. The request is still copied before the handler runs — the
+// destination owns its copy for the duration of the call — so the caller's
+// request buffer is reusable as soon as CallAppend returns.
+func (p *Port) CallAppend(to string, request, buf []byte) ([]byte, error) {
 	if p.isClosed() {
 		return nil, fmt.Errorf("%w: %s (local port closed)", ErrUnreachable, p.name)
 	}
@@ -192,8 +205,7 @@ func (p *Port) Call(to string, request []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s (died mid-call)", ErrUnreachable, to)
 	}
 	p.sw.charge(len(resp), "received")
-	out := make([]byte, len(resp))
-	copy(out, resp)
+	out := append(buf[:0], resp...)
 	p.sw.mu.Lock()
 	p.sw.stats.RoundTrips++
 	rt := p.sw.metRoundTrips

@@ -77,16 +77,20 @@ type Config struct {
 
 // job is one queued session. Records are pooled and recycled (the done
 // channel included: each cycle is exactly one send and one receive), so a
-// warm submit allocates nothing.
+// warm submit allocates nothing. A job with batch set is a pre-formed group
+// (RunBatch): it rides the same ring to the same affinity shard but
+// executes as one RunSessionBatch call and never coalesces with neighbors.
 type job struct {
-	pl   pal.PAL
-	opts core.SessionOptions
-	enq  time.Time
-	done chan result
+	pl    pal.PAL
+	opts  core.SessionOptions
+	batch [][]byte
+	enq   time.Time
+	done  chan result
 }
 
 type result struct {
 	res *core.SessionResult
+	br  *core.BatchResult
 	err error
 }
 
@@ -210,9 +214,10 @@ func New(cfg Config) (*Pool, error) {
 	if seed == "" {
 		seed = "flicker"
 	}
-	if cfg.MaxBatch > 1 && cfg.MaxWait <= 0 {
-		cfg.MaxWait = time.Millisecond
-	}
+	// The group-commit knobs are the shared sched.Coalescer discipline —
+	// the fabric controller normalizes its wire-frame coalescer the same way.
+	co := sched.Coalescer{MaxBatch: cfg.MaxBatch, MaxWait: cfg.MaxWait}.Normalize()
+	cfg.MaxBatch, cfg.MaxWait = co.MaxBatch, co.MaxWait
 	now := cfg.WallClock
 	if now == nil {
 		//flickervet:allow walltime(queue delay is real scheduling latency; tests inject Config.WallClock)
@@ -236,9 +241,9 @@ func New(cfg Config) (*Pool, error) {
 			"Jobs coalesced per flushed group (1 = singleton fallback).",
 			[]float64{1, 2, 4, 8, 16, 32}).With(),
 		metBatchFlush: map[string]*metrics.Counter{
-			"full":    flush.With("full"),
-			"timeout": flush.With("timeout"),
-			"drain":   flush.With("drain"),
+			sched.FlushFull:    flush.With(sched.FlushFull),
+			sched.FlushTimeout: flush.With(sched.FlushTimeout),
+			sched.FlushDrain:   flush.With(sched.FlushDrain),
 		},
 		metQueueDelay: reg.Histogram("flicker_pool_queue_delay_seconds",
 			"Wall-clock time a job spent queued before its session started.",
@@ -261,9 +266,9 @@ func New(cfg Config) (*Pool, error) {
 			queueDelay: p.metQueueDelay.Cell(),
 			batchSize:  p.metBatchSize.Cell(),
 			batchFlush: map[string]*metrics.Counter{
-				"full":    p.metBatchFlush["full"].Cell(),
-				"timeout": p.metBatchFlush["timeout"].Cell(),
-				"drain":   p.metBatchFlush["drain"].Cell(),
+				sched.FlushFull:    p.metBatchFlush[sched.FlushFull].Cell(),
+				sched.FlushTimeout: p.metBatchFlush[sched.FlushTimeout].Cell(),
+				sched.FlushDrain:   p.metBatchFlush[sched.FlushDrain].Cell(),
 			},
 		})
 	}
@@ -327,12 +332,28 @@ func (p *Pool) worker(s *shard) {
 	}
 }
 
-// runSingleton executes one job as its own session.
+// runSingleton executes one job as its own session (or, for a pre-formed
+// batch job, one batched session).
 func (p *Pool) runSingleton(s *shard, j *job) {
 	s.queueDelay.ObserveDurationExemplar(p.now().Sub(j.enq), j.opts.TraceID)
+	if j.batch != nil {
+		p.runBatchJob(s, j)
+		return
+	}
 	res, err := s.platform.RunSession(j.pl, j.opts)
 	s.pending.Add(-1)
 	j.done <- result{res: res, err: err}
+}
+
+// runBatchJob executes a pre-formed RunBatch group as one batched session.
+// The group was assembled by the caller (the fabric controller's wire-frame
+// coalescer), so it bypasses gather/flush but shares the shard worker, the
+// affinity routing, and the batch-size histogram with coalesced groups.
+func (p *Pool) runBatchJob(s *shard, j *job) {
+	s.batchSize.ObserveExemplar(float64(len(j.batch)), j.opts.TraceID)
+	br, err := s.platform.RunSessionBatch(j.pl, core.Batch{Requests: j.batch}, j.opts)
+	s.pending.Add(-1)
+	j.done <- result{br: br, err: err}
 }
 
 // gather collects up to MaxBatch jobs, holding the first for at most
@@ -353,7 +374,7 @@ func (p *Pool) gather(s *shard, first *job) ([]*job, string) {
 				group = append(group, j)
 				continue
 			}
-			return group, "drain"
+			return group, sched.FlushDrain
 		}
 		s.sleeping.Store(true)
 		if !s.ring.empty() || p.drained() {
@@ -365,17 +386,17 @@ func (p *Pool) gather(s *shard, first *job) ([]*job, string) {
 			s.sleeping.Store(false)
 		case <-timer.C:
 			s.sleeping.Store(false)
-			return group, "timeout"
+			return group, sched.FlushTimeout
 		}
 	}
-	return group, "full"
+	return group, sched.FlushFull
 }
 
 // batchable reports whether a job may share a session with others at all:
 // a verifier nonce, fault injection, or an injector pins a job to its own
-// singleton session.
+// singleton session, and a pre-formed batch is already a group.
 func batchable(j *job) bool {
-	return j.opts.Nonce == nil && j.opts.FailPhase == "" && j.opts.Injector == nil
+	return j.batch == nil && j.opts.Nonce == nil && j.opts.FailPhase == "" && j.opts.Injector == nil
 }
 
 // coalescable reports whether b can join a group keyed by a: same measured
@@ -444,6 +465,10 @@ func (p *Pool) flush(s *shard, group []*job, reason string) {
 // runSingletonNoDelay is runSingleton minus the queue-delay observation
 // (flush already recorded it for the whole group).
 func (p *Pool) runSingletonNoDelay(s *shard, j *job) {
+	if j.batch != nil {
+		p.runBatchJob(s, j)
+		return
+	}
 	res, err := s.platform.RunSession(j.pl, j.opts)
 	s.pending.Add(-1)
 	j.done <- result{res: res, err: err}
@@ -552,6 +577,7 @@ func (p *Pool) newJob(pl pal.PAL, opts core.SessionOptions) *job {
 	}
 	j.pl = pl
 	j.opts = opts
+	j.batch = nil
 	j.enq = p.now()
 	return j
 }
@@ -562,6 +588,7 @@ func (p *Pool) newJob(pl pal.PAL, opts core.SessionOptions) *job {
 func (p *Pool) putJob(j *job) {
 	j.pl = nil
 	j.opts = core.SessionOptions{}
+	j.batch = nil
 	p.jobs.Put(j)
 }
 
@@ -580,13 +607,14 @@ func (p *Pool) submitDone() {
 // least-loaded shard; if both rings are full, either block on the home
 // shard (wait=true, backpressure) or fail with ErrSaturated. The fast path
 // is lock-free: an inflight ticket, one ring CAS, one cell increment.
-func (p *Pool) submit(pl pal.PAL, opts core.SessionOptions, wait bool) (*job, error) {
+func (p *Pool) submit(pl pal.PAL, opts core.SessionOptions, batch [][]byte, wait bool) (*job, error) {
 	p.inflight.Add(1)
 	defer p.submitDone()
 	if p.closed.Load() {
 		return nil, ErrClosed
 	}
 	j := p.newJob(pl, opts)
+	j.batch = batch
 	home := p.homeShard(pl.Name())
 	home.pending.Add(1)
 	if home.push(j) {
@@ -633,7 +661,7 @@ func (p *Pool) submit(pl pal.PAL, opts core.SessionOptions, wait bool) (*job, er
 // Run executes one session on the PAL's affinity shard (or, under load, the
 // least-loaded shard), blocking for queue space when the pool is saturated.
 func (p *Pool) Run(pl pal.PAL, opts core.SessionOptions) (*core.SessionResult, error) {
-	j, err := p.submit(pl, opts, true)
+	j, err := p.submit(pl, opts, nil, true)
 	if err != nil {
 		return nil, err
 	}
@@ -645,13 +673,35 @@ func (p *Pool) Run(pl pal.PAL, opts core.SessionOptions) (*core.SessionResult, e
 // TryRun is Run without backpressure: it returns ErrSaturated instead of
 // blocking when every shard queue is full.
 func (p *Pool) TryRun(pl pal.PAL, opts core.SessionOptions) (*core.SessionResult, error) {
-	j, err := p.submit(pl, opts, false)
+	j, err := p.submit(pl, opts, nil, false)
 	if err != nil {
 		return nil, err
 	}
 	r := <-j.done
 	p.putJob(j)
 	return r.res, r.err
+}
+
+// RunBatch executes a pre-formed group of requests as ONE batched session on
+// the PAL's affinity shard — one SKINIT, one Seal/Unseal for the whole group.
+// The caller has already decided the grouping (the fabric host runs each
+// runBatch wire frame through here), so the group bypasses the coalescer and
+// executes verbatim. opts.Input is ignored; each request's input rides in
+// reqs. The BatchResult carries the shared session plus per-request replies,
+// with the engine's completed-prefix contract intact: on abort, Completed
+// counts the requests that finished and their Replies are preserved.
+func (p *Pool) RunBatch(pl pal.PAL, reqs [][]byte, opts core.SessionOptions) (*core.BatchResult, error) {
+	if len(reqs) == 0 {
+		return nil, errors.New("pool: empty batch")
+	}
+	opts.Input = nil
+	j, err := p.submit(pl, opts, reqs, true)
+	if err != nil {
+		return nil, err
+	}
+	r := <-j.done
+	p.putJob(j)
+	return r.br, r.err
 }
 
 // Close drains the pool: no new submissions are accepted, queued sessions

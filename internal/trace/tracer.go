@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -275,6 +276,15 @@ func (s *Span) SetAttr(key, value string) {
 	s.mu.Lock()
 	s.attrs = append(s.attrs, SpanAttr{Key: key, Value: value})
 	s.mu.Unlock()
+}
+
+// SetAttrInt annotates the span with an integer value (batch sizes, frame
+// IDs). Formatting happens here so hot paths don't hand-roll strconv calls.
+func (s *Span) SetAttrInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatInt(v, 10))
 }
 
 // Trigger marks the whole trace for flight-recorder retention (e.g.
