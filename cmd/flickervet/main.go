@@ -6,6 +6,11 @@
 //	flickervet ./...                      run all analyzers, print findings
 //	flickervet -list                      print the analyzer catalog
 //	flickervet -run walltime ./...        run a subset (comma-separated)
+//	flickervet -json VET_report.json ./...
+//	                                      also write the machine-readable
+//	                                      report (per-analyzer counts, every
+//	                                      finding with its sink chain, every
+//	                                      suppression with its reason)
 //	flickervet -tcbreport -o TCB_report.json -budget tcb_budget.json ./...
 //	                                      emit the per-PAL TCB report and
 //	                                      enforce the tracked line budgets
@@ -13,7 +18,8 @@
 // Exit status: 0 clean, 1 findings or budget violations, 2 usage or load
 // errors. CI runs both modes; a PAL whose reachable line count grows past
 // its tcb_budget.json entry fails the build until the budget is changed in
-// a reviewed diff.
+// a reviewed diff, and VET_report.json is uploaded as an artifact with the
+// build gated on zero unsuppressed findings.
 package main
 
 import (
@@ -37,10 +43,11 @@ func run() int {
 		tcbreport = flag.Bool("tcbreport", false, "emit the per-PAL static TCB report instead of analyzing")
 		out       = flag.String("o", "", "with -tcbreport: write the JSON report to this file (default stdout)")
 		budget    = flag.String("budget", "", "with -tcbreport: enforce per-PAL line budgets from this JSON file")
+		jsonOut   = flag.String("json", "", "write the machine-readable VET report to this file")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: flickervet [-list] [-run names] [-tcbreport [-o file] [-budget file]] [packages]\n\n")
+			"usage: flickervet [-list] [-run names] [-json file] [-tcbreport [-o file] [-budget file]] [packages]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -108,9 +115,23 @@ func run() int {
 		}
 	}
 
-	diags := analysis.Run(loader, pkgs, analyzers)
+	diags, rep := analysis.RunReport(loader, pkgs, analyzers)
 	for _, d := range diags {
 		fmt.Println(d.String())
+	}
+	if *jsonOut != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flickervet:", err)
+			return 2
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "flickervet:", err)
+			return 2
+		}
+	}
+	if n := len(rep.Suppress); n > 0 {
+		fmt.Fprintf(os.Stderr, "flickervet: %d suppressed finding(s) under //flickervet:allow\n", n)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "flickervet: %d finding(s)\n", len(diags))

@@ -17,6 +17,10 @@ type Diagnostic struct {
 	Pos token.Position
 	// Message states the violated invariant and the offending construct.
 	Message string
+	// Chain, when the finding crossed call boundaries, lists the callee
+	// chain (funcIDs, outermost first) from the reported position down to
+	// the sink.
+	Chain []string
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -34,6 +38,9 @@ type Analyzer struct {
 	// Scope reports whether the analyzer applies to a package import path.
 	// Out-of-scope packages are skipped entirely.
 	Scope func(pkgPath string) bool
+	// NeedsInterp requests the interprocedural summary engine; Run builds
+	// one Interp over every loaded package and shares it across passes.
+	NeedsInterp bool
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
 }
@@ -43,6 +50,9 @@ type Pass struct {
 	Analyzer *Analyzer
 	Loader   *Loader
 	Pkg      *Package
+	// Interp is the shared interprocedural engine, non-nil when the
+	// analyzer declares NeedsInterp.
+	Interp *Interp
 
 	diags *[]Diagnostic
 }
@@ -52,10 +62,17 @@ func (p *Pass) Fset() *token.FileSet { return p.Loader.Fset }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.reportChain(pos, nil, format, args...)
+}
+
+// reportChain records a finding whose sink sits at the end of a callee
+// chain (for the interprocedural analyzers).
+func (p *Pass) reportChain(pos token.Pos, chain []string, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Fset().Position(pos),
 		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
 	})
 }
 
@@ -67,6 +84,9 @@ func All() []*Analyzer {
 		ScrubPair,
 		LocalityCheck,
 		MetricHandle,
+		SecretFlow,
+		AtomicSafe,
+		FrameKind,
 	}
 }
 
@@ -74,7 +94,25 @@ func All() []*Analyzer {
 // its scope matches), filters out findings suppressed by
 // //flickervet:allow directives, and returns the rest sorted by position.
 func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunReport(l, pkgs, analyzers)
+	return diags
+}
+
+// RunReport is Run plus the machine-readable report: suppressed findings
+// are kept (with their directive reasons) instead of dropped, and
+// per-analyzer counts cover every analyzer that ran.
+func RunReport(l *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *VetReport) {
+	var interp *Interp
+	for _, a := range analyzers {
+		if a.NeedsInterp {
+			// One engine for the whole run, over everything the loader has
+			// seen, so summaries cross package (and fixture) boundaries.
+			interp = NewInterp(l, l.Packages())
+			break
+		}
+	}
 	var diags []Diagnostic
+	var suppressed []SuppressedDiagnostic
 	for _, pkg := range pkgs {
 		if pkg.Types == nil {
 			continue
@@ -85,29 +123,47 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				continue
 			}
 			var got []Diagnostic
-			pass := &Pass{Analyzer: a, Loader: l, Pkg: pkg, diags: &got}
+			pass := &Pass{Analyzer: a, Loader: l, Pkg: pkg, Interp: interp, diags: &got}
 			a.Run(pass)
 			for _, d := range got {
-				if !allows.suppresses(d) {
+				if dir, ok := allows.match(d); ok {
+					suppressed = append(suppressed, SuppressedDiagnostic{Diagnostic: d, Reason: dir.reason})
+				} else {
 					diags = append(diags, d)
 				}
 			}
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Analyzer < b.Analyzer
+	sortDiags(diags)
+	sort.Slice(suppressed, func(i, j int) bool {
+		return lessDiag(suppressed[i].Diagnostic, suppressed[j].Diagnostic)
 	})
-	return diags
+	return diags, buildReport(l.Module, analyzers, diags, suppressed)
+}
+
+// SuppressedDiagnostic is a finding silenced by an allow directive,
+// retained for the report.
+type SuppressedDiagnostic struct {
+	Diagnostic
+	// Reason is the justification recorded in the directive.
+	Reason string
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool { return lessDiag(diags[i], diags[j]) })
+}
+
+func lessDiag(a, b Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Analyzer < b.Analyzer
 }
 
 // prefixScope builds a Scope function matching any of the given import
@@ -183,18 +239,25 @@ func collectAllows(fset *token.FileSet, pkg *Package) allowSet {
 // suppresses reports whether a directive on the diagnostic's line or the
 // line immediately above it names the diagnostic's analyzer.
 func (s allowSet) suppresses(d Diagnostic) bool {
+	_, ok := s.match(d)
+	return ok
+}
+
+// match returns the directive suppressing the diagnostic: one on its line
+// or the line immediately above it naming its analyzer.
+func (s allowSet) match(d Diagnostic) (allowDirective, bool) {
 	lines := s[d.Pos.Filename]
 	if lines == nil {
-		return false
+		return allowDirective{}, false
 	}
 	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
 		for _, a := range lines[ln] {
 			if a.analyzer == d.Analyzer {
-				return true
+				return a, true
 			}
 		}
 	}
-	return false
+	return allowDirective{}, false
 }
 
 // --- Shared AST/type helpers ------------------------------------------------

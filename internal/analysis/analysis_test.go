@@ -30,6 +30,14 @@ var fixtureCases = []struct {
 	// observation methods are per-event consumers like Observe.
 	{WallTime, "walltime_trace", "flicker/internal/trace/wtfixture"},
 	{MetricHandle, "metrichandle_fabric", "flicker/internal/fabric/mhfixture"},
+	// flickervet v2: analyzers built on the interprocedural summary engine.
+	// The secretflow leak is seeded two calls deep and the untrustedlen_x
+	// cases split decode and allocation across functions, so these fixtures
+	// fail without the summary transfer.
+	{SecretFlow, "secretflow", "flicker/internal/apps/sffixture"},
+	{AtomicSafe, "atomicsafe", "flicker/internal/pool/asfixture"},
+	{FrameKind, "framekind", "flicker/internal/fabric/fkfixture"},
+	{UntrustedLen, "untrustedlen_x", "flicker/internal/apps/ulxfixture"},
 }
 
 func TestAnalyzerFixturesGolden(t *testing.T) {
@@ -105,9 +113,28 @@ func TestAnalyzersCleanOnModule(t *testing.T) {
 			t.Fatalf("%s: %v", p.Path, te)
 		}
 	}
-	for _, d := range Run(l, pkgs, All()) {
+	diags, rep := RunReport(l, pkgs, All())
+	for _, d := range diags {
 		t.Errorf("unexpected finding: %s", d.String())
 	}
+	// Suppressions are allowed but must be visible: every one carries a
+	// reason, and the report totals must agree with the raw list.
+	var total int
+	for _, a := range rep.Analyzers {
+		if a.Findings != 0 {
+			t.Errorf("report counts %d unsuppressed %s finding(s) on a clean run", a.Findings, a.Name)
+		}
+		total += a.Suppressed
+	}
+	if total != len(rep.Suppress) {
+		t.Errorf("per-analyzer suppressed counts sum to %d, report lists %d", total, len(rep.Suppress))
+	}
+	for _, s := range rep.Suppress {
+		if s.Reason == "" {
+			t.Errorf("suppression without a reason: %s:%d (%s)", s.File, s.Line, s.Analyzer)
+		}
+	}
+	t.Logf("module clean under %d analyzers with %d justified suppression(s)", len(rep.Analyzers), total)
 }
 
 func TestParseAllow(t *testing.T) {

@@ -1,0 +1,95 @@
+package analysis
+
+// framekind: every switch that dispatches on fabric frame kinds or run/op
+// status codes must carry a non-empty default arm. The fabric's failure
+// contract (PR 7/8) is that protocol garbage and unknown frames degrade to
+// an explicit failover outcome (host-lost, runLost, an error response) —
+// a switch that silently falls through turns the next added frame kind
+// into a dropped request instead of a failed-over one.
+//
+// Detection is name-driven and local: a switch "dispatches on kinds" when
+// any of its case expressions mentions a package-level constant whose name
+// matches the fabric catalogs (kindX / runX). That keeps the lint honest
+// in fixtures and future packages without hard-coding the constant list.
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// FrameKind reports fabric kind/status switches with no failover default.
+var FrameKind = &Analyzer{
+	Name: "framekind",
+	Doc: "switches over fabric frame/op kind constants must have a " +
+		"non-empty default arm that fails over",
+	Scope: prefixScope("flicker/internal/fabric"),
+	Run:   runFrameKind,
+}
+
+// kindConstName matches the fabric constant catalogs: frame kinds
+// (kindChallenge, kindRunBatch, ...) and run statuses (runOK, runLost, ...).
+var kindConstName = regexp.MustCompile(`^(kind|run)[A-Z]`)
+
+func runFrameKind(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			dispatches := false
+			var def *ast.CaseClause
+			for _, c := range sw.Body.List {
+				cc, ok := c.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					def = cc
+					continue
+				}
+				for _, e := range cc.List {
+					if mentionsKindConst(pass.Pkg.Info, e) {
+						dispatches = true
+					}
+				}
+			}
+			if !dispatches {
+				return true
+			}
+			switch {
+			case def == nil:
+				pass.Reportf(sw.Pos(),
+					"switch over fabric frame/op kind constants has no default arm; "+
+						"unknown kinds must fail over explicitly (error response / host-lost)")
+			case len(def.Body) == 0:
+				pass.Reportf(def.Pos(),
+					"default arm of a fabric frame/op kind switch is empty; "+
+						"unknown kinds must fail over explicitly, not be swallowed")
+			}
+			return true
+		})
+	}
+}
+
+// mentionsKindConst reports whether the expression names a package-level
+// constant from the fabric kind/status catalogs.
+func mentionsKindConst(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		c, ok := info.Uses[id].(*types.Const)
+		if !ok || c.Pkg() == nil {
+			return true
+		}
+		if c.Parent() == c.Pkg().Scope() && kindConstName.MatchString(c.Name()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

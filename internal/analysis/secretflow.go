@@ -1,0 +1,116 @@
+package analysis
+
+// secretflow: unsealed secrets must die inside the session.
+//
+// Sources: pal.Env.Unseal (every sealed-storage read — sealed.Unseal, the
+// secure-channel key recovery, the app PALs — bottoms out there, and the
+// summary engine propagates the taint through those wrappers
+// automatically).
+//
+// Obligation: a function that materializes a secret into a local must, on
+// an unconditional path, either (a) scrub it (clear(), a Zero/Wipe/Scrub/
+// Erase-style op, or a callee summarized as scrubbing that parameter),
+// (b) return it — the obligation moves to the caller, or (c) hand it to a
+// custody boundary (env.SetOutput, whose page the session engine zeroes on
+// teardown; env.SealToSelf/SealToPCR17, which release only ciphertext;
+// a channel send; or any call that folds it into a consumed result — e.g.
+// palcrypto's AEAD open/derive chain — where the result re-carries the
+// taint and the obligation).
+//
+// Leak sinks — reported wherever a secret-tagged value reaches one, in
+// this function or any summarized callee (the chain is printed):
+//   trace span attrs (Span.SetAttr/SetAttrInt), metric exemplars,
+//   fmt/log output, package-level variables, and wire encodes outside the
+//   sealed path (encoding/binary appends/puts, netsim port calls).
+//
+// Declassification: ciphertext and MACs derived from a secret are
+// releasable, otherwise every sealed response would flag. Values returned
+// by env.SealToSelf/SealToPCR17 are clean by the custody rule above;
+// palcrypto's encrypt/sign/digest outputs are clean because those
+// functions' summaries are overridden here (the key parameter does not
+// flow to the result).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// SecretFlow reports unsealed secrets that leak to traces, exemplars, logs,
+// globals, or the wire, or that are dropped without a scrub.
+var SecretFlow = &Analyzer{
+	Name: "secretflow",
+	Doc: "unsealed secrets must be scrubbed on every path and never reach " +
+		"trace attrs, exemplars, logs, globals, or unsealed wire encodes",
+	// Secrets travel wherever the session engine does; every package is in
+	// scope.
+	Scope:       func(string) bool { return true },
+	NeedsInterp: true,
+	Run:         runSecretFlow,
+}
+
+func runSecretFlow(pass *Pass) {
+	if pass.Interp == nil {
+		return
+	}
+	for _, fn := range pass.declaredFuncs() {
+		sum := pass.Interp.Summary(fn)
+		if sum == nil {
+			continue
+		}
+		for _, ev := range sum.events {
+			if !ev.secret || ev.kind == SinkAlloc {
+				continue
+			}
+			msg := fmt.Sprintf("unsealed secret reaches %s", ev.kind)
+			if len(ev.chain) > 0 {
+				msg += " via " + chainString(ev.chain)
+			}
+			if ev.srcPos.IsValid() && ev.srcPos != ev.pos {
+				msg += fmt.Sprintf(" (secret materialized at %s)", pass.Loader.Fset.Position(ev.srcPos))
+			}
+			msg += "; secrets may only leave the session sealed or scrubbed"
+			pass.reportChain(ev.pos, ev.chain, "%s", msg)
+		}
+		for _, ob := range sum.obligations {
+			name := ob.name
+			if name == "" {
+				name = "value"
+			}
+			if ob.conditional {
+				pass.Reportf(ob.pos, "unsealed secret %q is scrubbed only on a conditional path; zero it unconditionally (defer clear(...)) before returning", name)
+			} else {
+				pass.Reportf(ob.pos, "unsealed secret %q is neither scrubbed nor handed off; zero it (clear/Zero/Wipe) or seal it before returning", name)
+			}
+		}
+	}
+}
+
+// declaredFuncs lists the functions declared in the pass's package, in
+// source order.
+func (p *Pass) declaredFuncs() []*types.Func {
+	var out []*types.Func
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					out = append(out, obj)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+func chainString(chain []string) string {
+	s := ""
+	for i, c := range chain {
+		if i > 0 {
+			s += " -> "
+		}
+		s += c
+	}
+	return s
+}

@@ -73,60 +73,19 @@ type TCBPackage struct {
 // sessionEngineEntry names the infrastructure pseudo-entry.
 const sessionEngineEntry = "session-engine"
 
-// tcbGraph is the module-wide call graph.
+// tcbGraph is the module-wide call graph: the shared declaration/type/CHA
+// index (modIndex, also the summary engine's substrate — see summary.go)
+// plus the reference edges the reachability walk follows.
 type tcbGraph struct {
-	l     *Loader
-	pkgs  []*Package
-	decls map[*types.Func]*ast.FuncDecl
-	pkgOf map[*types.Func]*Package
+	*modIndex
 	edges map[*types.Func][]*types.Func
-	// named collects every named type in the module, for CHA.
-	named []*types.Named
-	// visible memoizes each package's transitive import closure (itself
-	// included), the set of packages whose types it can name.
-	visible map[*types.Package]map[*types.Package]bool
-}
-
-// visibleFrom reports whether def's types are nameable from pkg: def is
-// pkg itself or in pkg's transitive imports.
-func (g *tcbGraph) visibleFrom(pkg, def *types.Package) bool {
-	if pkg == nil || def == nil || pkg == def {
-		return true
-	}
-	if g.visible == nil {
-		g.visible = make(map[*types.Package]map[*types.Package]bool)
-	}
-	closure := g.visible[pkg]
-	if closure == nil {
-		closure = map[*types.Package]bool{pkg: true}
-		queue := []*types.Package{pkg}
-		for len(queue) > 0 {
-			p := queue[0]
-			queue = queue[1:]
-			for _, imp := range p.Imports() {
-				if !closure[imp] {
-					closure[imp] = true
-					queue = append(queue, imp)
-				}
-			}
-		}
-		g.visible[pkg] = closure
-	}
-	return closure[def]
 }
 
 // BuildTCBReport computes the per-PAL reachable-code accounting over the
 // loaded module packages.
 func BuildTCBReport(l *Loader, pkgs []*Package) (*TCBReport, error) {
-	g := &tcbGraph{
-		l:     l,
-		pkgs:  pkgs,
-		decls: make(map[*types.Func]*ast.FuncDecl),
-		pkgOf: make(map[*types.Func]*Package),
-		edges: make(map[*types.Func][]*types.Func),
-	}
-	g.collect()
-	g.buildEdges()
+	g := &tcbGraph{modIndex: newModIndex(l, pkgs)}
+	g.edges = g.callEdges()
 
 	palIface, batchIface, err := g.palInterfaces()
 	if err != nil {
@@ -139,103 +98,6 @@ func BuildTCBReport(l *Loader, pkgs []*Package) (*TCBReport, error) {
 	}
 	sort.Slice(rep.Entries, func(i, j int) bool { return rep.Entries[i].PAL < rep.Entries[j].PAL })
 	return rep, nil
-}
-
-// collect indexes every function declaration and named type in the module.
-func (g *tcbGraph) collect() {
-	for _, pkg := range g.pkgs {
-		if pkg.Types == nil {
-			continue
-		}
-		for _, f := range pkg.Files {
-			for _, d := range f.Decls {
-				fd, ok := d.(*ast.FuncDecl)
-				if !ok {
-					continue
-				}
-				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
-					g.decls[obj] = fd
-					g.pkgOf[obj] = pkg
-				}
-			}
-		}
-		scope := pkg.Types.Scope()
-		for _, name := range scope.Names() {
-			if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
-				if named, ok := tn.Type().(*types.Named); ok {
-					g.named = append(g.named, named)
-				}
-			}
-		}
-	}
-}
-
-// buildEdges records, for each declared function, every module function it
-// references plus the CHA expansion of every interface method it calls.
-func (g *tcbGraph) buildEdges() {
-	for obj, fd := range g.decls {
-		pkg := g.pkgOf[obj]
-		var out []*types.Func
-		seen := make(map[*types.Func]bool)
-		add := func(f *types.Func) {
-			if f != nil && !seen[f] && g.decls[f] != nil {
-				seen[f] = true
-				out = append(out, f)
-			}
-		}
-		ast.Inspect(fd, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.Ident:
-				if f, ok := pkg.Info.Uses[n].(*types.Func); ok {
-					if recv := f.Type().(*types.Signature).Recv(); recv != nil {
-						if _, isIface := recv.Type().Underlying().(*types.Interface); isIface {
-							for _, impl := range g.implementors(f) {
-								// CHA restricted to the caller's import
-								// closure: a package cannot hold values of
-								// types it cannot name (see the package
-								// comment).
-								if g.visibleFrom(pkg.Types, impl.Pkg()) {
-									add(impl)
-								}
-							}
-							return true
-						}
-					}
-					add(f)
-				}
-			}
-			return true
-		})
-		sort.Slice(out, func(i, j int) bool { return funcID(out[i]) < funcID(out[j]) })
-		g.edges[obj] = out
-	}
-}
-
-// implementors returns, for an interface method, the corresponding concrete
-// method of every module type implementing the interface (CHA).
-func (g *tcbGraph) implementors(m *types.Func) []*types.Func {
-	iface, ok := m.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface)
-	if !ok {
-		return nil
-	}
-	var out []*types.Func
-	for _, named := range g.named {
-		if _, isIface := named.Underlying().(*types.Interface); isIface {
-			continue
-		}
-		recv := types.Type(named)
-		if !types.Implements(recv, iface) {
-			recv = types.NewPointer(named)
-			if !types.Implements(recv, iface) {
-				continue
-			}
-		}
-		obj, _, _ := types.LookupFieldOrMethod(recv, true, m.Pkg(), m.Name())
-		if f, ok := obj.(*types.Func); ok {
-			out = append(out, f)
-		}
-	}
-	return out
 }
 
 // palInterfaces resolves the pal.PAL and pal.BatchPAL interface types.

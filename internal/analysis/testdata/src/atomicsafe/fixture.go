@@ -1,0 +1,76 @@
+// Package asfixture seeds atomicsafe violations and a near-miss: a plain
+// read of a CAS-managed word, a plain field multi-written next to an atomic
+// one, and a 64-bit atomic field that 32-bit layout leaves misaligned.
+package asfixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flags is managed with fn-style atomics on the write side.
+type flags struct {
+	bits uint32
+}
+
+func (f *flags) set(b uint32) {
+	for {
+		old := atomic.LoadUint32(&f.bits)
+		if atomic.CompareAndSwapUint32(&f.bits, old, old|b) {
+			return
+		}
+	}
+}
+
+// readFast reads the CAS-managed word without synchronization: the seeded
+// plain-access violation.
+func (f *flags) readFast() uint32 {
+	return f.bits
+}
+
+// queue pairs an atomic head with a plain cursor that two different
+// functions write, with no mutex in sight: the multi-writer violation.
+type queue struct {
+	head   atomic.Uint64
+	cursor int
+}
+
+func (q *queue) advance() {
+	q.head.Add(1)
+	q.cursor++
+}
+
+func (q *queue) reset() {
+	q.cursor = 0
+}
+
+// ticker's 64-bit counter sits at offset 4 under 32-bit struct layout, so
+// fn-style 64-bit atomics would fault on 386: the alignment violation.
+type ticker struct {
+	pad uint32
+	seq uint64
+}
+
+func (t *ticker) tick() uint64 {
+	return atomic.AddUint64(&t.seq, 1)
+}
+
+// guarded is the near-miss: the mutex explains the plain field, so the
+// multi-writer rule stays quiet.
+type guarded struct {
+	mu   sync.Mutex
+	live atomic.Bool
+	v    int
+}
+
+func (g *guarded) incr() {
+	g.mu.Lock()
+	g.v++
+	g.mu.Unlock()
+}
+
+func (g *guarded) zero() {
+	g.mu.Lock()
+	g.v = 0
+	g.mu.Unlock()
+}

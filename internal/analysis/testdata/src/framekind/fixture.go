@@ -1,0 +1,53 @@
+// Package fkfixture seeds framekind violations and a near-miss: dispatch
+// switches over frame-kind constants that silently drop unknown kinds.
+package fkfixture
+
+import "errors"
+
+type frame struct {
+	kind byte
+	body []byte
+}
+
+const (
+	kindHello byte = iota + 1
+	kindQuote
+	kindRun
+)
+
+var errUnknownKind = errors.New("fkfixture: unknown frame kind")
+
+// DispatchBad has no default arm at all: a frame with an unrecognized kind
+// falls out of the switch as if it had been handled. The seeded violation.
+func DispatchBad(f *frame) int {
+	switch f.kind {
+	case kindHello:
+		return 1
+	case kindQuote:
+		return 2
+	}
+	return 0
+}
+
+// DispatchEmptyDefault has a default arm that swallows unknown kinds
+// without failing over: the second violation.
+func DispatchEmptyDefault(f *frame) int {
+	switch f.kind {
+	case kindHello:
+		return len(f.body)
+	default:
+	}
+	return 0
+}
+
+// DispatchGood is the near-miss: unknown kinds fail over with an error.
+func DispatchGood(f *frame) (int, error) {
+	switch f.kind {
+	case kindHello:
+		return 1, nil
+	case kindRun:
+		return 3, nil
+	default:
+		return 0, errUnknownKind
+	}
+}

@@ -1,0 +1,66 @@
+// Package sffixture seeds secretflow violations and near-misses. The deep
+// leak routes an unsealed key through two intermediate calls before it hits
+// a trace attribute, so only the interprocedural summary transfer can see it.
+package sffixture
+
+import (
+	"fmt"
+
+	"flicker/internal/pal"
+	"flicker/internal/trace"
+)
+
+// LeakDeep unseals a key and hands it to record, which hands it to stamp,
+// which writes it into a span attribute: the seeded violation, two calls
+// deep. The defer discharges the scrub obligation but cannot unsay the leak.
+func LeakDeep(env *pal.Env, sp *trace.Span, blob []byte) error {
+	key, err := env.Unseal(blob)
+	if err != nil {
+		return err
+	}
+	defer clear(key)
+	record(sp, key)
+	return nil
+}
+
+func record(sp *trace.Span, key []byte) {
+	stamp(sp, key)
+}
+
+func stamp(sp *trace.Span, key []byte) {
+	sp.SetAttr("session.key", string(key))
+}
+
+// LogLeak prints the secret straight into the untrusted log: the direct
+// violation.
+func LogLeak(env *pal.Env, blob []byte) error {
+	key, err := env.Unseal(blob)
+	if err != nil {
+		return err
+	}
+	defer clear(key)
+	fmt.Printf("debug key=%x\n", key)
+	return nil
+}
+
+// ForgetToScrub drops the unsealed key on the floor: it is neither zeroed,
+// nor resealed, nor handed off, so the session exits with the secret still
+// in memory. len() is a laundering read, not custody.
+func ForgetToScrub(env *pal.Env, blob []byte) (int, error) {
+	key, err := env.Unseal(blob)
+	if err != nil {
+		return 0, err
+	}
+	return len(key), nil
+}
+
+// SealedRoundTrip is the near-miss: the secret is resealed (custody) and
+// the cleartext copy is zeroed before the session returns.
+func SealedRoundTrip(env *pal.Env, blob []byte) ([]byte, error) {
+	key, err := env.Unseal(blob)
+	if err != nil {
+		return nil, err
+	}
+	defer clear(key)
+	return env.SealToSelf(key)
+}

@@ -1,0 +1,58 @@
+// Package ulxfixture seeds cross-function untrustedlen violations: the
+// wire decode and the allocation live in different functions, connected
+// only by the interprocedural summaries.
+package ulxfixture
+
+import "encoding/binary"
+
+// alloc sizes a table from its caller's count; on its own it is innocent.
+func alloc(n int) [][]byte {
+	return make([][]byte, 0, n)
+}
+
+// DecodeBad passes a wire-decoded count to alloc unclamped: the seeded
+// violation, one call deep.
+func DecodeBad(b []byte) [][]byte {
+	n := binary.BigEndian.Uint32(b)
+	return alloc(int(n))
+}
+
+// readCount decodes a count from the frame head; its result carries the
+// wire taint into whoever calls it.
+func readCount(b []byte) int {
+	return int(binary.BigEndian.Uint16(b))
+}
+
+// DecodeBadDeep gets the tainted count from one callee and sizes the
+// allocation in another: decode and make are two calls apart.
+func DecodeBadDeep(b []byte) [][]byte {
+	return alloc(readCount(b))
+}
+
+// DecodeClamped is the near-miss: the count is clamped before the call, so
+// the laundered value reaches alloc clean.
+func DecodeClamped(b []byte) [][]byte {
+	n := readCount(b)
+	n = min(n, len(b)/2)
+	return alloc(n)
+}
+
+// checkCount is a callee-side guard in the memory.checkRange style:
+// branching on its parameter earns callers clamp credit at the call site
+// (the rule that keeps env.ReadMem clean).
+func checkCount(n, limit int) bool {
+	if n < 0 || n > limit {
+		return false
+	}
+	return true
+}
+
+// DecodeGuardedByCallee is the second near-miss: the guard lives in a
+// callee, and the summary's paramClamp fact carries it back here.
+func DecodeGuardedByCallee(b []byte) [][]byte {
+	n := readCount(b)
+	if !checkCount(n, len(b)/2) {
+		return nil
+	}
+	return alloc(n)
+}

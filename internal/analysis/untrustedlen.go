@@ -15,236 +15,59 @@ package analysis
 // — cap the preallocation by what the remaining bytes could possibly
 // frame. The analyzer accepts a min(...) clamp or any comparison guard on
 // the decoded value between the decode and the allocation.
+//
+// v2 is interprocedural: the taint and the clamp no longer have to sit in
+// the same function. The summary engine (summary.go) propagates the wire
+// tag through helper results — `count, b, err = readU16(b)` taints count
+// because readU16's summary says its first result is wire-decoded — and
+// through helper parameters: a helper that sizes an allocation with its
+// parameter gives that parameter a SinkAlloc entry, so an unclamped
+// wire-decoded argument at any call site is a finding at the call, with
+// the callee chain in the message. A clamp on either side of the call
+// boundary (caller comparison/min before the call, or callee clamp before
+// its make) silences it, matching where authors actually put the guard.
 
-import (
-	"go/ast"
-	"go/token"
-	"go/types"
-)
+import "fmt"
 
 // UntrustedLen reports unclamped allocations sized by wire-decoded integers.
 var UntrustedLen = &Analyzer{
 	Name: "untrustedlen",
 	Doc: "make() sized by a wire-decoded integer without a clamp against " +
-		"the remaining buffer (forged-count allocation)",
+		"the remaining buffer (forged-count allocation), across call boundaries",
 	// Every module package parses some frame format somewhere; the bug
 	// class is not confined to the simulation core.
-	Scope: func(string) bool { return true },
-	Run:   runUntrustedLen,
-}
-
-// taintTracker accumulates, per file, where wire-decoded integers are born,
-// where they are validated, and where they size allocations.
-type taintTracker struct {
-	pass *Pass
-	// taintPos records the earliest position at which each object became
-	// tainted (assigned from a wire decode).
-	taintPos map[types.Object]token.Pos
-	// clampPos records the earliest position at which each tainted object
-	// was validated (compared, or re-derived through min).
-	clampPos map[types.Object]token.Pos
+	Scope:       func(string) bool { return true },
+	NeedsInterp: true,
+	Run:         runUntrustedLen,
 }
 
 func runUntrustedLen(pass *Pass) {
-	tr := &taintTracker{
-		pass:     pass,
-		taintPos: make(map[types.Object]token.Pos),
-		clampPos: make(map[types.Object]token.Pos),
-	}
-	// Pass 1: find taints and clamps, in any order (positions disambiguate).
-	for _, f := range pass.Pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.AssignStmt:
-				tr.recordAssign(n)
-			case *ast.IfStmt:
-				tr.recordGuard(n.Cond)
-			case *ast.ForStmt:
-				if n.Cond != nil {
-					tr.recordGuard(n.Cond)
-				}
-			case *ast.SwitchStmt:
-				if n.Tag != nil {
-					tr.recordGuard(n.Tag)
-				}
-			}
-			return true
-		})
-	}
-	// Pass 2: audit allocations.
-	for _, f := range pass.Pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok || !tr.isBuiltin(call, "make") || len(call.Args) < 2 {
-				return true
-			}
-			for _, arg := range call.Args[1:] {
-				if src, obj := tr.taintedAt(arg, call.Pos()); src.IsValid() {
-					what := "a wire-decoded integer"
-					if obj != nil {
-						what = "wire-decoded " + obj.Name()
-					}
-					tr.pass.Reportf(call.Pos(),
-						"allocation sized by %s (decoded at %s) without a clamp against the remaining frame; "+
-							"cap it, e.g. min(int(n), len(buf)/entrySize)",
-						what, tr.pass.Fset().Position(src))
-					break
-				}
-			}
-			return true
-		})
-	}
-}
-
-// recordAssign taints LHS objects assigned from wire-decode expressions.
-func (tr *taintTracker) recordAssign(as *ast.AssignStmt) {
-	if len(as.Lhs) != len(as.Rhs) {
+	if pass.Interp == nil {
 		return
 	}
-	for i, lhs := range as.Lhs {
-		id, ok := lhs.(*ast.Ident)
-		if !ok {
+	for _, fn := range pass.declaredFuncs() {
+		sum := pass.Interp.Summary(fn)
+		if sum == nil {
 			continue
 		}
-		obj := tr.pass.Pkg.Info.Defs[id]
-		if obj == nil {
-			obj = tr.pass.Pkg.Info.Uses[id]
-		}
-		if obj == nil {
-			continue
-		}
-		if tr.exprTainted(as.Rhs[i]) {
-			if cur, ok := tr.taintPos[obj]; !ok || as.Pos() < cur {
-				tr.taintPos[obj] = as.Pos()
+		for _, ev := range sum.events {
+			if ev.kind != SinkAlloc || !ev.wire {
+				continue
 			}
+			src := ""
+			if ev.srcPos.IsValid() && ev.srcPos != ev.pos {
+				src = fmt.Sprintf(" (decoded at %s)", pass.Fset().Position(ev.srcPos))
+			}
+			if len(ev.chain) == 0 {
+				pass.Reportf(ev.pos,
+					"allocation sized by a wire-decoded integer%s without a clamp against the remaining frame; "+
+						"cap it, e.g. min(int(n), len(buf)/entrySize)", src)
+				continue
+			}
+			pass.reportChain(ev.pos, ev.chain,
+				"wire-decoded integer%s passed unclamped to %s, which sizes an allocation with it; "+
+					"clamp before the call, e.g. min(int(n), len(buf)/entrySize)",
+				src, chainString(ev.chain))
 		}
 	}
-}
-
-// recordGuard marks every tainted object mentioned in a condition as
-// clamped from that point on: a comparison against anything is taken as
-// the author validating the decoded value.
-func (tr *taintTracker) recordGuard(cond ast.Expr) {
-	ast.Inspect(cond, func(n ast.Node) bool {
-		be, ok := n.(*ast.BinaryExpr)
-		if !ok {
-			return true
-		}
-		switch be.Op {
-		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
-		default:
-			return true
-		}
-		for _, side := range []ast.Expr{be.X, be.Y} {
-			ast.Inspect(side, func(m ast.Node) bool {
-				id, ok := m.(*ast.Ident)
-				if !ok {
-					return true
-				}
-				obj := tr.pass.Pkg.Info.Uses[id]
-				if obj == nil {
-					return true
-				}
-				if _, tainted := tr.taintPos[obj]; tainted {
-					if cur, ok := tr.clampPos[obj]; !ok || be.Pos() < cur {
-						tr.clampPos[obj] = be.Pos()
-					}
-				}
-				return true
-			})
-		}
-		return true
-	})
-}
-
-// exprTainted reports whether an expression carries a wire-decoded integer:
-// a binary.*Endian.UintNN call, a tainted identifier, or arithmetic or
-// conversions over either. min/max calls launder the taint — they are the
-// clamp idiom.
-func (tr *taintTracker) exprTainted(e ast.Expr) bool {
-	switch e := ast.Unparen(e).(type) {
-	case *ast.Ident:
-		obj := tr.pass.Pkg.Info.Uses[e]
-		_, ok := tr.taintPos[obj]
-		return ok
-	case *ast.BinaryExpr:
-		return tr.exprTainted(e.X) || tr.exprTainted(e.Y)
-	case *ast.CallExpr:
-		if tr.isBuiltin(e, "min") || tr.isBuiltin(e, "max") {
-			return false
-		}
-		if tr.isEndianDecode(e) {
-			return true
-		}
-		// A conversion propagates its operand's taint (int(n), uint64(n)).
-		if tv, ok := tr.pass.Pkg.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
-			return tr.exprTainted(e.Args[0])
-		}
-		return false
-	}
-	return false
-}
-
-// taintedAt reports whether e mentions (or is) a wire-decoded value that is
-// still unclamped at position at. It returns the taint origin and, when the
-// taint flows through a variable, that variable's object.
-func (tr *taintTracker) taintedAt(e ast.Expr, at token.Pos) (token.Pos, types.Object) {
-	var srcPos token.Pos
-	var srcObj types.Object
-	ast.Inspect(e, func(n ast.Node) bool {
-		if srcPos.IsValid() {
-			return false
-		}
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			if tr.isBuiltin(n, "min") || tr.isBuiltin(n, "max") {
-				return false // clamped subexpression
-			}
-			if tr.isEndianDecode(n) {
-				srcPos = n.Pos()
-				return false
-			}
-		case *ast.Ident:
-			obj := tr.pass.Pkg.Info.Uses[n]
-			if obj == nil {
-				return true
-			}
-			tp, tainted := tr.taintPos[obj]
-			if !tainted || tp >= at {
-				return true
-			}
-			if cp, clamped := tr.clampPos[obj]; clamped && cp < at {
-				return true
-			}
-			srcPos, srcObj = tp, obj
-			return false
-		}
-		return true
-	})
-	return srcPos, srcObj
-}
-
-// isEndianDecode matches binary.BigEndian/LittleEndian/NativeEndian
-// Uint16/Uint32/Uint64 calls (and the AppendUint variants do not read, so
-// only the readers count).
-func (tr *taintTracker) isEndianDecode(call *ast.CallExpr) bool {
-	f := calleeFunc(tr.pass.Pkg.Info, call)
-	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "encoding/binary" {
-		return false
-	}
-	switch f.Name() {
-	case "Uint16", "Uint32", "Uint64":
-		return true
-	}
-	return false
-}
-
-// isBuiltin reports whether call invokes the named Go builtin.
-func (tr *taintTracker) isBuiltin(call *ast.CallExpr, name string) bool {
-	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
-	if !ok || id.Name != name {
-		return false
-	}
-	_, isB := tr.pass.Pkg.Info.Uses[id].(*types.Builtin)
-	return isB
 }

@@ -369,6 +369,15 @@ func runCA(env *pal.Env, policy *Policy, input []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The issuing key exists only between unseal and reseal; wipe it
+		// before the session returns to the untrusted OS.
+		defer key.Zero()
+		// The issued certificate is the PAL's public artifact: its fields
+		// (serial, subject, issuance log position) come from the unsealed
+		// database on purpose, and the signature is produced by the
+		// declassifying palcrypto signing path — the private key itself
+		// never reaches the TBS or certificate bytes.
+		//flickervet:allow secretflow(certificate fields from the sealed DB are public by design; the key is wiped and only its signature is released)
 		cert, err := signCSR(env, policy, db, key, &CSR{Subject: string(subject), PublicKey: csrPub})
 		if err != nil {
 			return nil, err
@@ -377,8 +386,10 @@ func runCA(env *pal.Env, policy *Policy, input []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
+		//flickervet:allow secretflow(the encoded certificate is the released artifact; see the issuance-path rationale above)
 		certBytes := EncodeCertificate(cert)
 		var out []byte
+		//flickervet:allow secretflow(framing a public certificate plus resealed ciphertext; no raw secret bytes are present)
 		out = binary.BigEndian.AppendUint32(out, uint32(len(certBytes)))
 		out = append(out, certBytes...)
 		out = append(out, newSealed...)

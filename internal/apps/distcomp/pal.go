@@ -200,6 +200,9 @@ func runFactor(env *pal.Env, input []byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("distcomp: unsealing session key: %w", err)
 	}
+	// The MAC key exists only to verify and re-wrap this checkpoint; zero
+	// it before the session returns (only the sealed copy survives).
+	defer clear(key)
 	envlp, err := DecodeEnvelope(req.Envelope)
 	if err != nil {
 		return nil, err

@@ -61,6 +61,10 @@ func OpenChannel(env *Env, sealedPrivate, ciphertext []byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pal: corrupt channel key: %w", err)
 	}
+	// The recovered key lives only for this one decryption; wipe it (and
+	// the DER bytes it was parsed from) before the session returns.
+	defer key.Zero()
+	defer clear(raw)
 	env.ChargeCPU(simtime.Charge{Duration: env.Profile().RSADecrypt1024, Label: "cpu.rsadecrypt"})
 	pt, err := palcrypto.DecryptPKCS1(key, ciphertext)
 	if err != nil {

@@ -25,6 +25,26 @@ type RSAPrivateKey struct {
 // Size returns the modulus length in bytes.
 func (k *RSAPublicKey) Size() int { return (k.N.BitLen() + 7) / 8 }
 
+// Zero wipes the private half of the key in place: every limb of the
+// private exponent, the primes, and the CRT values is overwritten before
+// the big.Ints are reset. PALs that recover a sealed key for one session
+// (OpenChannel, the CA's issuance path) defer this so the key material is
+// gone before the session returns to the untrusted OS — the paper's
+// "erase all traces" obligation applied to heap state. The public half
+// (n, e) is released anyway and stays intact.
+func (k *RSAPrivateKey) Zero() {
+	for _, x := range []*big.Int{k.D, k.P, k.Q, k.Dp, k.Dq, k.Qinv} {
+		if x == nil {
+			continue
+		}
+		limbs := x.Bits()
+		for i := range limbs {
+			limbs[i] = 0
+		}
+		x.SetInt64(0)
+	}
+}
+
 var bigOne = big.NewInt(1)
 
 // GenerateRSAKey generates an RSA keypair of the given modulus bit length

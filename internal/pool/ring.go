@@ -33,7 +33,14 @@ import "sync/atomic"
 // whichever side the seq state machine says owns the slot.
 type ringSlot struct {
 	seq atomic.Uint64
-	j   *job
+	// The plain pointer is safe by construction: a producer writes j only
+	// between winning the CAS on tail and publishing seq (Store-release),
+	// and the consumer reads j only after observing that publish, then
+	// clears it before the recycling Store hands the slot back. Every
+	// handoff is ordered by a seq Load/Store pair, so j is never accessed
+	// concurrently — the Vyukov MPSC ownership argument.
+	//flickervet:allow atomicsafe(ownership of j is handed off through the seq publish/recycle protocol; accesses never overlap)
+	j *job
 }
 
 // ring is a bounded MPSC queue. Producers call tryPush concurrently; pop
